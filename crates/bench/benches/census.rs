@@ -1,0 +1,86 @@
+//! Census throughput benchmarks (ablations A2 and A3):
+//! emax scaling (§3.1: subgraph count grows roughly exponentially with
+//! subgraph size), the heterogeneous grouping heuristic on/off (§3.2), and
+//! the dmax hub cutoff (§3.2 / §4.3.4).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hsgf_core::census::{CensusConfig, CensusEngine, CountingSink};
+use hsgf_data::{LoadConfig, LoadData, Scale};
+use hsgf_graph::{DegreeStats, NodeId};
+
+fn bench_graph() -> hsgf_graph::HetGraph {
+    LoadData::generate(&LoadConfig::at_scale(Scale::Tiny)).graph
+}
+
+fn roots(graph: &hsgf_graph::HetGraph) -> Vec<NodeId> {
+    graph.nodes().step_by(13).take(12).collect()
+}
+
+fn run_census(graph: &hsgf_graph::HetGraph, config: CensusConfig, roots: &[NodeId]) -> u64 {
+    let engine = CensusEngine::new(graph, config).expect("valid config");
+    let mut scratch = engine.make_scratch();
+    let mut sink = CountingSink::default();
+    for &root in roots {
+        engine.run(root, &mut scratch, &mut sink).expect("valid root");
+    }
+    sink.total
+}
+
+fn emax_scaling(c: &mut Criterion) {
+    let graph = bench_graph();
+    let roots = roots(&graph);
+    let dmax = Some(DegreeStats::of(&graph).degree_at_percentile(90.0));
+    let mut group = c.benchmark_group("census/emax");
+    for emax in [2usize, 3, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(emax), &emax, |b, &emax| {
+            let config = CensusConfig::default().with_emax(emax).with_dmax(dmax);
+            b.iter(|| run_census(&graph, config.clone(), &roots));
+        });
+    }
+    group.finish();
+}
+
+fn grouping_heuristic(c: &mut Criterion) {
+    let graph = bench_graph();
+    let roots = roots(&graph);
+    let dmax = Some(DegreeStats::of(&graph).degree_at_percentile(90.0));
+    let mut group = c.benchmark_group("census/grouping");
+    for (name, grouping) in [("on", true), ("off", false)] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &grouping, |b, &g| {
+            let mut config = CensusConfig::default().with_emax(4).with_dmax(dmax);
+            config.group_by_label = g;
+            b.iter(|| run_census(&graph, config.clone(), &roots));
+        });
+    }
+    group.finish();
+}
+
+fn dmax_cutoff(c: &mut Criterion) {
+    let graph = bench_graph();
+    let roots = roots(&graph);
+    let stats = DegreeStats::of(&graph);
+    let mut group = c.benchmark_group("census/dmax");
+    for pct in [80.0f64, 90.0, 95.0, 100.0] {
+        let dmax = if pct >= 100.0 {
+            None
+        } else {
+            Some(stats.degree_at_percentile(pct))
+        };
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{pct:.0}pct")),
+            &dmax,
+            |b, &dmax| {
+                let config = CensusConfig::default().with_emax(3).with_dmax(dmax);
+                b.iter(|| run_census(&graph, config.clone(), &roots));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = emax_scaling, grouping_heuristic, dmax_cutoff
+}
+criterion_main!(benches);

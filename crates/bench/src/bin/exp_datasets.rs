@@ -1,0 +1,44 @@
+//! Experiment E2 — prints the three evaluation datasets and their label
+//! connectivity graphs (paper Fig. 2 and §4.1).
+//!
+//! ```text
+//! cargo run -p hsgf-bench --release --bin exp_datasets [-- --scale small]
+//! ```
+
+use hsgf_bench::{label_datasets, Args};
+use hsgf_graph::{DegreeStats, LabelConnectivityGraph};
+
+fn main() {
+    let args = Args::parse();
+    for (name, graph) in label_datasets(args.scale()) {
+        let lcg = LabelConnectivityGraph::of(&graph);
+        let stats = DegreeStats::of(&graph);
+        println!("== {name}");
+        println!(
+            "   {} nodes, {} edges, {} labels",
+            graph.node_count(),
+            graph.edge_count(),
+            graph.label_count()
+        );
+        let hist = graph.label_histogram();
+        for (label, lname) in graph.labels().iter() {
+            println!("     {lname:>14}: {} nodes", hist[label.index()]);
+        }
+        println!(
+            "   degrees: mean {:.1}, median {}, max {}, 90th pct {}, hub ratio {:.1}",
+            stats.mean(),
+            stats.median(),
+            stats.max(),
+            stats.degree_at_percentile(90.0),
+            stats.hub_ratio()
+        );
+        println!(
+            "   label connectivity graph (density {:.2}, self loops: {}, unique-encoding emax {}):",
+            lcg.density(),
+            lcg.has_any_self_loop(),
+            lcg.unique_encoding_emax()
+        );
+        print!("{}", lcg.render(&graph));
+        println!();
+    }
+}

@@ -1,0 +1,61 @@
+//! Experiment E1 — reproduces the encoding-uniqueness limits of paper §3.1
+//! (and the collision examples of Fig. 1C) by exhaustive enumeration.
+//!
+//! Paper claims: encodings are unique up to `emax = 5` edges when the label
+//! connectivity graph is loop-free, and up to `emax = 4` with loops.
+//!
+//! ```text
+//! cargo run -p hsgf-bench --release --bin exp_encoding_limits [-- --labels 2 --max-edges 5]
+//! ```
+
+use hsgf_bench::Args;
+use hsgf_core::enumerate::{collision_report, enumerate_connected, EnumerationConfig};
+use hsgf_graph::LabelSet;
+
+fn report(title: &str, config: &EnumerationConfig) {
+    println!("== {title} (labels={}, max edges={})", config.label_count, config.max_edges);
+    let graphs = enumerate_connected(config);
+    let report = collision_report(&graphs, config.label_count);
+    println!("   non-isomorphic connected graphs: {}", graphs.len());
+    for class in &report.classes {
+        println!(
+            "   e={}: {:6} graphs, {:6} encodings, {:4} colliding pairs",
+            class.edges, class.graphs, class.distinct_encodings, class.colliding_pairs
+        );
+    }
+    println!("   => encodings unique up to {} edges", report.unique_up_to_edges());
+    if let Some(class) = report.classes.iter().find(|c| c.example.is_some()) {
+        let (a, b) = class.example.as_ref().expect("checked");
+        let names: Vec<String> = (0..config.label_count).map(|i| format!("{}", (b'a' + i as u8) as char)).collect();
+        let labels = LabelSet::from_names(names).expect("few labels");
+        println!(
+            "   smallest collision (Fig. 1C style): {} edges",
+            class.edges
+        );
+        println!("     graph A: labels {:?}, edges {:?}", a.labels(), a.edges());
+        println!("     graph B: labels {:?}, edges {:?}", b.labels(), b.edges());
+        println!("     shared encoding: {}", a.encoding(config.label_count).render(&labels));
+    }
+    println!();
+}
+
+fn main() {
+    let args = Args::parse();
+    let labels = args.get("labels", 2usize);
+    // With LCG loops (the worst case: a single label is all-loops).
+    let loops_edges = args.get("max-edges-loops", 5usize);
+    report(
+        "LCG with self loops (expect uniqueness up to 4 edges)",
+        &EnumerationConfig::unrestricted(1, loops_edges),
+    );
+    report(
+        "LCG with self loops, 2 labels",
+        &EnumerationConfig::unrestricted(labels.min(2), loops_edges),
+    );
+    // Loop-free LCG.
+    let free_edges = args.get("max-edges", 6usize);
+    report(
+        "loop-free LCG (expect uniqueness up to 5 edges)",
+        &EnumerationConfig::loop_free(labels.max(2), free_edges),
+    );
+}

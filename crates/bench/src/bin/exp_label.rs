@@ -1,0 +1,51 @@
+//! Experiment E7 — Fig. 5A–C: label-prediction Macro-F1 as the training
+//! fraction varies, for subgraph features vs. node2vec / DeepWalk / LINE,
+//! on all three datasets (paper §4.3.6).
+//!
+//! ```text
+//! cargo run -p hsgf-bench --release --bin exp_label [-- --scale small --per-label 100 --repeats 10]
+//! ```
+
+use hsgf_bench::{label_datasets, Args};
+use hsgf_eval::features::FeatureFamily;
+use hsgf_eval::label::{training_size_sweep, LabelTaskConfig};
+use hsgf_eval::report::{fmt_ci, render_series};
+
+fn main() {
+    let args = Args::parse();
+    let config = LabelTaskConfig {
+        nodes_per_label: args.get("per-label", 100),
+        emax: args.get("emax", 4),
+        embed_budget: args.get("embed-budget", 0.25),
+        repeats: args.get("repeats", 5),
+        seed: args.get("seed", 0xE7A1),
+        ..LabelTaskConfig::default()
+    };
+    // Default: 5 coarse fractions (single-core friendly); --fine gives the
+    // paper's full 10%..90% grid.
+    let fractions: Vec<f64> = if args.flag("fine") {
+        (1..=9).map(|i| i as f64 / 10.0).collect()
+    } else {
+        vec![0.1, 0.3, 0.5, 0.7, 0.9]
+    };
+    for (name, graph) in label_datasets(args.scale()) {
+        eprintln!("label prediction on {name} ({} nodes)...", graph.node_count());
+        let sweep =
+            training_size_sweep(&graph, &config, &fractions, &FeatureFamily::LABEL_TASK);
+        println!("== Figure 5 ({name}) — Macro F1 vs. training size");
+        let xs: Vec<String> =
+            sweep.fractions.iter().map(|f| format!("{:.0}%", f * 100.0)).collect();
+        let series: Vec<(String, Vec<String>)> = sweep
+            .results
+            .iter()
+            .map(|(family, points)| {
+                (
+                    family.name().to_string(),
+                    points.iter().map(|p| fmt_ci(p.mean, p.ci95)).collect(),
+                )
+            })
+            .collect();
+        print!("{}", render_series("train", &xs, &series));
+        println!();
+    }
+}

@@ -1,0 +1,46 @@
+//! Experiment E8 — Fig. 5D–F: label-prediction Macro-F1 as node labels are
+//! progressively removed from the graph (replaced by an artificial
+//! `unlabeled` label), at a fixed 90% training size (paper §4.3.6).
+//! Embedding baselines ignore labels and appear as flat lines.
+//!
+//! ```text
+//! cargo run -p hsgf-bench --release --bin exp_label_removal [-- --scale small --per-label 100]
+//! ```
+
+use hsgf_bench::{label_datasets, Args};
+use hsgf_eval::features::FeatureFamily;
+use hsgf_eval::label::{label_removal_sweep, LabelTaskConfig};
+use hsgf_eval::report::{fmt_ci, render_series};
+
+fn main() {
+    let args = Args::parse();
+    let config = LabelTaskConfig {
+        nodes_per_label: args.get("per-label", 100),
+        emax: args.get("emax", 4),
+        embed_budget: args.get("embed-budget", 0.25),
+        repeats: args.get("repeats", 5),
+        seed: args.get("seed", 0xE7A1),
+        ..LabelTaskConfig::default()
+    };
+    let fractions: Vec<f64> = (0..=5).map(|i| i as f64 * 0.15).collect();
+    for (name, graph) in label_datasets(args.scale()) {
+        eprintln!("label removal on {name} ({} nodes)...", graph.node_count());
+        let sweep =
+            label_removal_sweep(&graph, &config, &fractions, &FeatureFamily::LABEL_TASK);
+        println!("== Figure 5 D-F ({name}) — Macro F1 vs. removed labels (90% training)");
+        let xs: Vec<String> =
+            sweep.fractions.iter().map(|f| format!("{:.0}%", f * 100.0)).collect();
+        let series: Vec<(String, Vec<String>)> = sweep
+            .results
+            .iter()
+            .map(|(family, points)| {
+                (
+                    family.name().to_string(),
+                    points.iter().map(|p| fmt_ci(p.mean, p.ci95)).collect(),
+                )
+            })
+            .collect();
+        print!("{}", render_series("removed", &xs, &series));
+        println!();
+    }
+}

@@ -1,0 +1,75 @@
+//! Experiment E3 — the rank-prediction grid: Fig. 3 (NDCG per conference,
+//! regressor, and feature set) and Table 1 (averages over conferences).
+//!
+//! ```text
+//! cargo run -p hsgf-bench --release --bin exp_rank [-- --scale small --emax 4 --repeats 5]
+//! ```
+//!
+//! `--scale paper --emax 6 --trees 300` approaches the paper's exact
+//! setup at a correspondingly higher runtime.
+
+use hsgf_bench::{mag_corpus, Args};
+use hsgf_eval::rank::{run_rank_task, RankFeatureSet, RankTaskConfig};
+use hsgf_eval::report::{fmt_ci, render_table};
+use hsgf_ml::RegressorKind;
+
+fn main() {
+    let args = Args::parse();
+    let data = mag_corpus(args.scale());
+    let config = RankTaskConfig {
+        emax: args.get("emax", 4),
+        embed_budget: args.get("embed-budget", 0.2),
+        forest_trees: args.get("trees", 100),
+        bootstrap_repeats: args.get("repeats", 5),
+        seed: args.get("seed", 0x4A8B),
+        ..RankTaskConfig::default()
+    };
+    eprintln!(
+        "running rank task: {} institutions, {} conferences, years {}-{} (emax={})",
+        data.config.institutions,
+        data.config.conferences.len(),
+        data.config.first_year,
+        data.config.last_year,
+        config.emax
+    );
+    let results = run_rank_task(&data, &config);
+
+    // Fig. 3: one table per regressor, rows = conferences.
+    for (ri, kind) in RegressorKind::ALL.iter().enumerate() {
+        println!("== Figure 3 — {} (NDCG@20, mean ± 95% CI)", kind.name());
+        let header: Vec<String> = std::iter::once("conference".to_string())
+            .chain(RankFeatureSet::ALL.iter().map(|f| f.name().to_string()))
+            .collect();
+        let rows: Vec<Vec<String>> = results
+            .conferences
+            .iter()
+            .enumerate()
+            .map(|(ci, conf)| {
+                let mut row = vec![conf.clone()];
+                row.extend(
+                    results.ndcg[ci][ri].iter().map(|cell| fmt_ci(cell.mean, cell.ci95)),
+                );
+                row
+            })
+            .collect();
+        print!("{}", render_table(&header, &rows));
+        println!();
+    }
+
+    // Table 1: averages over conferences.
+    println!("== Table 1 — average NDCG over all conferences");
+    let table = results.table1();
+    let header: Vec<String> = std::iter::once("feature".to_string())
+        .chain(RegressorKind::ALL.iter().map(|k| k.name().to_string()))
+        .collect();
+    let rows: Vec<Vec<String>> = RankFeatureSet::ALL
+        .iter()
+        .enumerate()
+        .map(|(fi, set)| {
+            let mut row = vec![set.name().to_string()];
+            row.extend((0..RegressorKind::ALL.len()).map(|ri| format!("{:.2}", table[ri][fi])));
+            row
+        })
+        .collect();
+    print!("{}", render_table(&header, &rows));
+}

@@ -1,0 +1,50 @@
+//! Experiment E6 — Table 3: per-node feature-extraction time for subgraph
+//! features (mean and upper percentiles) and amortized per-node time for
+//! the embedding baselines (paper §4.3.5).
+//!
+//! ```text
+//! cargo run -p hsgf-bench --release --bin exp_runtime [-- --scale small --per-label 100]
+//! ```
+
+use hsgf_bench::{label_datasets, Args};
+use hsgf_eval::label::{runtime_report, LabelTaskConfig};
+use hsgf_eval::report::{fmt_secs, render_table};
+
+fn main() {
+    let args = Args::parse();
+    let config = LabelTaskConfig {
+        nodes_per_label: args.get("per-label", 100),
+        emax: args.get("emax", 4),
+        embed_budget: args.get("embed-budget", 0.25),
+        seed: args.get("seed", 0xE7A1),
+        ..LabelTaskConfig::default()
+    };
+    println!("== Table 3 — extraction time per node");
+    let header: Vec<String> = [
+        "dataset", "sg mean", "sg p75", "sg p90", "sg p95", "sg max", "n2v", "DW", "LINE",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    let mut rows = Vec::new();
+    for (name, graph) in label_datasets(args.scale()) {
+        eprintln!("timing {name} ({} nodes, {} edges)...", graph.node_count(), graph.edge_count());
+        let report = runtime_report(&graph, &config);
+        let mut row = vec![
+            name.to_string(),
+            fmt_secs(report.subgraph_mean),
+            fmt_secs(report.subgraph_p75),
+            fmt_secs(report.subgraph_p90),
+            fmt_secs(report.subgraph_p95),
+            fmt_secs(report.subgraph_max),
+        ];
+        for (_, secs) in &report.embeddings {
+            row.push(fmt_secs(*secs));
+        }
+        rows.push(row);
+    }
+    print!("{}", render_table(&header, &rows));
+    println!();
+    println!("(embedding columns are whole-graph training time divided by node count,");
+    println!(" as the paper amortizes them; subgraph columns are true per-root times)");
+}

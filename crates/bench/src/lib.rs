@@ -1,0 +1,95 @@
+//! Shared plumbing for the experiment binaries: a tiny `--flag value`
+//! parser (no CLI dependency) and dataset construction helpers.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+use hsgf_data::{ImdbConfig, ImdbData, LoadConfig, LoadData, MagConfig, MagData, Scale};
+use hsgf_graph::HetGraph;
+
+/// Minimal `--key value` argument reader over `std::env::args`.
+pub struct Args {
+    pairs: Vec<(String, String)>,
+    flags: Vec<String>,
+}
+
+impl Args {
+    /// Parses the process arguments. `--key value` becomes a pair;
+    /// a `--key` followed by another `--…` (or nothing) becomes a flag.
+    pub fn parse() -> Self {
+        let raw: Vec<String> = std::env::args().skip(1).collect();
+        let mut pairs = Vec::new();
+        let mut flags = Vec::new();
+        let mut i = 0;
+        while i < raw.len() {
+            let arg = &raw[i];
+            if let Some(key) = arg.strip_prefix("--") {
+                if i + 1 < raw.len() && !raw[i + 1].starts_with("--") {
+                    pairs.push((key.to_string(), raw[i + 1].clone()));
+                    i += 2;
+                } else {
+                    flags.push(key.to_string());
+                    i += 1;
+                }
+            } else {
+                i += 1;
+            }
+        }
+        Args { pairs, flags }
+    }
+
+    /// The value of `--key`, parsed, or `default`.
+    pub fn get<T: std::str::FromStr>(&self, key: &str, default: T) -> T {
+        self.pairs
+            .iter()
+            .rev()
+            .find(|(k, _)| k == key)
+            .and_then(|(_, v)| v.parse().ok())
+            .unwrap_or(default)
+    }
+
+    /// Whether `--key` was passed as a bare flag.
+    pub fn flag(&self, key: &str) -> bool {
+        self.flags.iter().any(|f| f == key)
+    }
+
+    /// The dataset scale selected by `--scale tiny|small|paper`
+    /// (default small).
+    pub fn scale(&self) -> Scale {
+        match self.get::<String>("scale", "small".into()).as_str() {
+            "tiny" => Scale::Tiny,
+            "paper" => Scale::Paper,
+            _ => Scale::Small,
+        }
+    }
+}
+
+/// The three label-prediction datasets, constructed at a scale.
+pub fn label_datasets(scale: Scale) -> Vec<(&'static str, HetGraph)> {
+    let load = LoadData::generate(&LoadConfig::at_scale(scale));
+    let imdb = ImdbData::generate(&ImdbConfig::at_scale(scale));
+    let mag = MagData::generate(&MagConfig::at_scale(scale));
+    vec![("LOAD", load.graph), ("IMDB", imdb.graph), ("MAG", mag.label_graph())]
+}
+
+/// The MAG corpus at a scale (rank-prediction substrate).
+pub fn mag_corpus(scale: Scale) -> MagData {
+    MagData::generate(&MagConfig::at_scale(scale))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn datasets_construct_at_tiny_scale() {
+        let sets = label_datasets(Scale::Tiny);
+        assert_eq!(sets.len(), 3);
+        for (name, graph) in &sets {
+            assert!(graph.node_count() > 0, "{name} is empty");
+            assert!(graph.edge_count() > 0, "{name} has no edges");
+        }
+        let names: Vec<&str> = sets.iter().map(|(n, _)| *n).collect();
+        assert_eq!(names, vec!["LOAD", "IMDB", "MAG"]);
+    }
+}

@@ -1,0 +1,443 @@
+//! Library backing the `hsgf` command-line tool.
+//!
+//! Subcommands (see `hsgf help`):
+//!
+//! * `generate <dataset>` — write a synthetic network in the text format.
+//! * `info <graph>` — node/edge/label statistics and the label
+//!   connectivity graph.
+//! * `extract <graph>` — run the subgraph census over roots and emit a
+//!   feature CSV (plus an optional vocabulary listing).
+//!
+//! Everything here is plain functions over `io::Write` so the binary stays
+//! a thin shell and the behaviour is unit-testable.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::io::Write;
+
+use hsgf_core::census::{CensusConfig, CensusEngine};
+use hsgf_core::export;
+use hsgf_core::features::FeatureMatrix;
+use hsgf_core::parallel::extract_censuses;
+use hsgf_core::sampling;
+use hsgf_data::{FlowConfig, FlowData, ImdbConfig, ImdbData, LoadConfig, LoadData, MagConfig, MagData, Scale};
+use hsgf_graph::{DegreeStats, HetGraph, LabelConnectivityGraph, NodeId};
+
+/// A parsed `--key value` / `--flag` command line.
+#[derive(Debug, Default)]
+pub struct Options {
+    /// Positional arguments (subcommand, paths).
+    pub positional: Vec<String>,
+    /// `--key value` pairs.
+    pub pairs: Vec<(String, String)>,
+    /// Bare `--flag`s.
+    pub flags: Vec<String>,
+}
+
+impl Options {
+    /// Parses an argument list (without the program name).
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Self {
+        let raw: Vec<String> = args.into_iter().collect();
+        let mut out = Options::default();
+        let mut i = 0;
+        while i < raw.len() {
+            if let Some(key) = raw[i].strip_prefix("--") {
+                if i + 1 < raw.len() && !raw[i + 1].starts_with("--") {
+                    out.pairs.push((key.to_string(), raw[i + 1].clone()));
+                    i += 2;
+                } else {
+                    out.flags.push(key.to_string());
+                    i += 1;
+                }
+            } else {
+                out.positional.push(raw[i].clone());
+                i += 1;
+            }
+        }
+        out
+    }
+
+    /// Typed lookup with default.
+    pub fn get<T: std::str::FromStr>(&self, key: &str, default: T) -> T {
+        self.pairs
+            .iter()
+            .rev()
+            .find(|(k, _)| k == key)
+            .and_then(|(_, v)| v.parse().ok())
+            .unwrap_or(default)
+    }
+
+    /// Optional string value.
+    pub fn get_opt(&self, key: &str) -> Option<&str> {
+        self.pairs.iter().rev().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+    }
+
+    /// Bare-flag check.
+    pub fn flag(&self, key: &str) -> bool {
+        self.flags.iter().any(|f| f == key)
+    }
+
+    /// The `--scale` preset.
+    pub fn scale(&self) -> Scale {
+        match self.get::<String>("scale", "small".into()).as_str() {
+            "tiny" => Scale::Tiny,
+            "paper" => Scale::Paper,
+            _ => Scale::Small,
+        }
+    }
+}
+
+/// Top-level error type for CLI operations.
+#[derive(Debug)]
+pub enum CliError {
+    /// Unknown subcommand or malformed usage.
+    Usage(String),
+    /// Graph-layer failure.
+    Graph(hsgf_graph::GraphError),
+    /// Census-layer failure.
+    Census(hsgf_core::census::CensusError),
+    /// Filesystem / IO failure.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Usage(msg) => write!(f, "usage error: {msg}"),
+            CliError::Graph(e) => write!(f, "graph error: {e}"),
+            CliError::Census(e) => write!(f, "census error: {e}"),
+            CliError::Io(e) => write!(f, "io error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<hsgf_graph::GraphError> for CliError {
+    fn from(e: hsgf_graph::GraphError) -> Self {
+        CliError::Graph(e)
+    }
+}
+impl From<hsgf_core::census::CensusError> for CliError {
+    fn from(e: hsgf_core::census::CensusError) -> Self {
+        CliError::Census(e)
+    }
+}
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError::Io(e)
+    }
+}
+
+/// The usage text shown by `hsgf help`.
+pub const USAGE: &str = "\
+hsgf — heterogeneous subgraph features for information networks
+
+USAGE:
+  hsgf generate <load|imdb|mag|flow> [--scale tiny|small|paper] [--out FILE]
+  hsgf info <GRAPH>
+  hsgf extract <GRAPH> [--emax N] [--dmax-pct P] [--mask] [--directed]
+               [--roots all|sample:K] [--min-df N] [--threads T]
+               [--out FILE] [--vocab FILE]
+  hsgf help
+
+GRAPH files use the hsgf-graph v1 text format (see `hsgf generate`).
+`extract` writes one dense CSV row of subgraph-feature counts per root.";
+
+/// Generates a named synthetic dataset.
+pub fn generate(dataset: &str, scale: Scale) -> Result<HetGraph, CliError> {
+    match dataset {
+        "load" => Ok(LoadData::generate(&LoadConfig::at_scale(scale)).graph),
+        "imdb" => Ok(ImdbData::generate(&ImdbConfig::at_scale(scale)).graph),
+        "mag" => Ok(MagData::generate(&MagConfig::at_scale(scale)).label_graph()),
+        "flow" => Ok(FlowData::generate(&FlowConfig::at_scale(scale)).graph),
+        other => Err(CliError::Usage(format!(
+            "unknown dataset {other:?}; expected load, imdb, mag, or flow"
+        ))),
+    }
+}
+
+/// Writes the `info` report for a graph.
+pub fn info<W: Write>(graph: &HetGraph, mut out: W) -> Result<(), CliError> {
+    let stats = DegreeStats::of(graph);
+    let lcg = LabelConnectivityGraph::of(graph);
+    writeln!(
+        out,
+        "{} nodes, {} edges, {} labels{}",
+        graph.node_count(),
+        graph.edge_count(),
+        graph.label_count(),
+        if graph.has_directions() { " (directed edges present)" } else { "" }
+    )?;
+    let hist = graph.label_histogram();
+    for (label, name) in graph.labels().iter() {
+        writeln!(out, "  {name:>16}: {:>8} nodes", hist[label.index()])?;
+    }
+    writeln!(
+        out,
+        "degrees: mean {:.1}, median {}, max {}, p90 {}, hub ratio {:.1}",
+        stats.mean(),
+        stats.median(),
+        stats.max(),
+        stats.degree_at_percentile(90.0),
+        stats.hub_ratio()
+    )?;
+    writeln!(
+        out,
+        "label connectivity: density {:.2}, self loops {}, unique-encoding emax {}",
+        lcg.density(),
+        lcg.has_any_self_loop(),
+        lcg.unique_encoding_emax()
+    )?;
+    write!(out, "{}", lcg.render(graph))?;
+    Ok(())
+}
+
+/// Root-selection directive of `extract`.
+pub enum RootSpec {
+    /// Every node.
+    All,
+    /// Every `k`-th node (deterministic subsample).
+    Sample(usize),
+}
+
+impl RootSpec {
+    /// Parses `all` or `sample:K`.
+    pub fn parse(s: &str) -> Result<Self, CliError> {
+        if s == "all" {
+            return Ok(RootSpec::All);
+        }
+        if let Some(k) = s.strip_prefix("sample:") {
+            let k: usize = k
+                .parse()
+                .map_err(|_| CliError::Usage(format!("bad sample count in {s:?}")))?;
+            return Ok(RootSpec::Sample(k.max(1)));
+        }
+        Err(CliError::Usage(format!("bad --roots value {s:?}; expected all or sample:K")))
+    }
+}
+
+/// Extraction parameters for [`extract`].
+pub struct ExtractParams {
+    /// Census edge bound.
+    pub emax: usize,
+    /// Hub-cutoff percentile (≥100 disables).
+    pub dmax_percentile: f64,
+    /// Mask the root's label.
+    pub mask: bool,
+    /// Directed characteristic sequence.
+    pub directed: bool,
+    /// Root selection.
+    pub roots: RootSpec,
+    /// Minimum document frequency.
+    pub min_df: u32,
+    /// Worker threads.
+    pub threads: usize,
+}
+
+/// Runs the census and returns the assembled feature matrix.
+pub fn extract(graph: &HetGraph, params: &ExtractParams) -> Result<FeatureMatrix, CliError> {
+    let dmax = if params.dmax_percentile >= 100.0 {
+        None
+    } else {
+        Some(DegreeStats::of(graph).degree_at_percentile(params.dmax_percentile))
+    };
+    let config = CensusConfig::default()
+        .with_emax(params.emax)
+        .with_dmax(dmax)
+        .with_mask_root_label(params.mask)
+        .with_directed(params.directed);
+    let engine = CensusEngine::new(graph, config)?;
+    let all: Vec<NodeId> = graph.nodes().collect();
+    let roots = match params.roots {
+        RootSpec::All => all,
+        RootSpec::Sample(k) => sampling::stride_sample(&all, k),
+    };
+    let censuses = extract_censuses(&engine, &roots, params.threads)?;
+    let mut matrix = FeatureMatrix::from_censuses(roots, censuses);
+    if params.min_df > 1 {
+        matrix = matrix.filter_min_df(params.min_df);
+    }
+    Ok(matrix)
+}
+
+/// Full dispatch: interprets `options` and writes human output to `out`.
+/// Returns the process exit code.
+pub fn run<W: Write>(options: &Options, mut out: W) -> Result<(), CliError> {
+    let sub = options.positional.first().map(String::as_str).unwrap_or("help");
+    match sub {
+        "help" => {
+            writeln!(out, "{USAGE}")?;
+            Ok(())
+        }
+        "generate" => {
+            let dataset = options
+                .positional
+                .get(1)
+                .ok_or_else(|| CliError::Usage("generate needs a dataset name".into()))?;
+            let graph = generate(dataset, options.scale())?;
+            let text = hsgf_graph::io::to_string(&graph);
+            match options.get_opt("out") {
+                Some(path) => std::fs::write(path, text)?,
+                None => out.write_all(text.as_bytes())?,
+            }
+            Ok(())
+        }
+        "info" => {
+            let path = options
+                .positional
+                .get(1)
+                .ok_or_else(|| CliError::Usage("info needs a graph file".into()))?;
+            let text = std::fs::read_to_string(path)?;
+            let graph = hsgf_graph::io::from_str(&text)?;
+            info(&graph, out)
+        }
+        "extract" => {
+            let path = options
+                .positional
+                .get(1)
+                .ok_or_else(|| CliError::Usage("extract needs a graph file".into()))?;
+            let text = std::fs::read_to_string(path)?;
+            let graph = hsgf_graph::io::from_str(&text)?;
+            let params = ExtractParams {
+                emax: options.get("emax", 4),
+                dmax_percentile: options.get("dmax-pct", 90.0),
+                mask: options.flag("mask"),
+                directed: options.flag("directed"),
+                roots: RootSpec::parse(&options.get::<String>("roots", "all".into()))?,
+                min_df: options.get("min-df", 1),
+                threads: options.get(
+                    "threads",
+                    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
+                ),
+            };
+            let matrix = extract(&graph, &params)?;
+            if let Some(vocab_path) = options.get_opt("vocab") {
+                let mut f = std::fs::File::create(vocab_path)?;
+                export::write_vocabulary(&matrix, graph.labels(), &mut f)?;
+            }
+            match options.get_opt("out") {
+                Some(path) => {
+                    let mut f = std::fs::File::create(path)?;
+                    export::write_csv(&matrix, graph.labels(), &mut f)?;
+                }
+                None => export::write_csv(&matrix, graph.labels(), &mut out)?,
+            }
+            Ok(())
+        }
+        other => Err(CliError::Usage(format!("unknown subcommand {other:?}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn opts(args: &[&str]) -> Options {
+        Options::parse(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn parse_splits_positional_pairs_flags() {
+        let o = opts(&["extract", "g.txt", "--emax", "5", "--mask", "--roots", "sample:3"]);
+        assert_eq!(o.positional, vec!["extract", "g.txt"]);
+        assert_eq!(o.get("emax", 0usize), 5);
+        assert!(o.flag("mask"));
+        assert_eq!(o.get::<String>("roots", String::new()), "sample:3");
+    }
+
+    #[test]
+    fn generate_produces_each_dataset() {
+        for name in ["load", "imdb", "mag", "flow"] {
+            let g = generate(name, Scale::Tiny).unwrap();
+            assert!(g.node_count() > 0, "{name}");
+        }
+        assert!(matches!(generate("nope", Scale::Tiny), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn info_renders_summary() {
+        let g = generate("imdb", Scale::Tiny).unwrap();
+        let mut buf = Vec::new();
+        info(&g, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("6 labels"));
+        assert!(text.contains("movie"));
+        assert!(text.contains("label connectivity"));
+    }
+
+    #[test]
+    fn root_spec_parsing() {
+        assert!(matches!(RootSpec::parse("all").unwrap(), RootSpec::All));
+        assert!(matches!(RootSpec::parse("sample:7").unwrap(), RootSpec::Sample(7)));
+        assert!(RootSpec::parse("everything").is_err());
+        assert!(RootSpec::parse("sample:x").is_err());
+    }
+
+    #[test]
+    fn extract_smoke() {
+        let g = generate("flow", Scale::Tiny).unwrap();
+        let params = ExtractParams {
+            emax: 2,
+            dmax_percentile: 100.0,
+            mask: true,
+            directed: true,
+            roots: RootSpec::Sample(5),
+            min_df: 1,
+            threads: 2,
+        };
+        let m = extract(&g, &params).unwrap();
+        assert!(m.row_count() > 0);
+        assert!(m.feature_count() > 0);
+    }
+
+    #[test]
+    fn run_help_and_unknown() {
+        let mut buf = Vec::new();
+        run(&opts(&["help"]), &mut buf).unwrap();
+        assert!(String::from_utf8(buf).unwrap().contains("USAGE"));
+        assert!(matches!(run(&opts(&["bogus"]), Vec::new()), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn run_generate_info_extract_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("hsgf-cli-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let graph_path = dir.join("g.txt");
+        run(
+            &opts(&[
+                "generate",
+                "imdb",
+                "--scale",
+                "tiny",
+                "--out",
+                graph_path.to_str().unwrap(),
+            ]),
+            Vec::new(),
+        )
+        .unwrap();
+        let mut buf = Vec::new();
+        run(&opts(&["info", graph_path.to_str().unwrap()]), &mut buf).unwrap();
+        assert!(String::from_utf8(buf).unwrap().contains("movie"));
+        let csv_path = dir.join("features.csv");
+        run(
+            &opts(&[
+                "extract",
+                graph_path.to_str().unwrap(),
+                "--emax",
+                "2",
+                "--roots",
+                "sample:11",
+                "--out",
+                csv_path.to_str().unwrap(),
+            ]),
+            Vec::new(),
+        )
+        .unwrap();
+        let csv = std::fs::read_to_string(&csv_path).unwrap();
+        assert!(csv.starts_with("node,"));
+        assert!(csv.lines().count() > 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,11 @@
+//! The `hsgf` command-line tool. See `hsgf help`.
+
+fn main() {
+    let options = hsgf_cli::Options::parse(std::env::args().skip(1));
+    let stdout = std::io::stdout();
+    if let Err(e) = hsgf_cli::run(&options, stdout.lock()) {
+        eprintln!("{e}");
+        eprintln!("{}", hsgf_cli::USAGE);
+        std::process::exit(2);
+    }
+}

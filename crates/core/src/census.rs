@@ -1,0 +1,1075 @@
+//! The rooted heterogeneous subgraph census (paper §3.2).
+//!
+//! For a root node `v`, the census counts every *connected* subgraph of `G`
+//! that contains `v` and has between 1 and `emax` edges, keyed by the
+//! pseudo-canonical encoding (or its rolling hash). Subgraphs are edge
+//! subsets: two subgraphs over the same node set but different edge sets are
+//! distinct, matching the paper's `S(v) = {G' ⊆ G | v ∈ V'}` definition.
+//! The trivial zero-edge subgraph `({v}, ∅)` is excluded — its count is 1
+//! for every node and carries no signal.
+//!
+//! # Enumeration scheme
+//!
+//! Depth-first growth with the classic *exclusion discipline* for connected
+//! subgraph enumeration: the engine maintains a stack of candidate edges
+//! (edges adjacent to the current subgraph, not yet considered). Each call
+//! pops candidates in turn; choosing candidate `e` explores every extension
+//! containing `e`, after which `e` stays excluded for the call's remaining
+//! candidates. This generates every connected edge subset exactly once.
+//!
+//! # Heuristics (paper §3.2)
+//!
+//! * **Incremental rolling hash** — adding edge `(a, b)` updates the
+//!   subgraph hash by `b_{λ(a)}^{λ(b)+1} + b_{λ(b)}^{λ(a)+1}` in O(1).
+//! * **Heterogeneous grouping** — at the last expansion level, consecutive
+//!   candidates attaching a new node of the same label to the same subgraph
+//!   node yield identical encodings; they are counted in bulk without
+//!   touching the subgraph state.
+//! * **Maximum-degree constraint** `dmax` — a discovered node whose degree
+//!   exceeds `dmax` is added to subgraphs but never expanded through
+//!   (the constraint never applies to the root itself).
+//! * **Root-label masking** — for label-prediction experiments the root's
+//!   label is replaced by an artificial mask label during extraction so the
+//!   feature does not leak the value it is asked to predict (paper §4.3.2).
+
+use std::collections::HashMap;
+use std::fmt;
+
+use hsgf_graph::{HetGraph, NodeId, Orientation};
+use serde::{Deserialize, Serialize};
+
+use crate::hash::{mix, HashScheme, LabelBases};
+use crate::sequence::Encoding;
+
+/// Hard upper bound on `emax`: per-node neighbour counts must fit `u8` and
+/// the exclusion recursion depth equals `emax`. The paper uses 5 and 6.
+pub const MAX_EMAX: usize = 8;
+
+/// Errors produced by census configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CensusError {
+    /// `emax` outside `1..=MAX_EMAX`.
+    InvalidEmax {
+        /// The rejected value.
+        emax: usize,
+    },
+    /// The root node id is out of range for the graph.
+    UnknownRoot {
+        /// The rejected root.
+        root: u32,
+    },
+}
+
+impl fmt::Display for CensusError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CensusError::InvalidEmax { emax } => {
+                write!(f, "emax must be in 1..={MAX_EMAX}, got {emax}")
+            }
+            CensusError::UnknownRoot { root } => write!(f, "root node {root} not in graph"),
+        }
+    }
+}
+
+impl std::error::Error for CensusError {}
+
+/// Census parameters. Mirrors the paper's knobs.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct CensusConfig {
+    /// Maximum number of edges per subgraph (paper: 5 for label prediction,
+    /// 6 for rank prediction).
+    pub emax: usize,
+    /// Maximum-degree constraint; `None` disables the heuristic (`dmax=∞`).
+    pub dmax: Option<u32>,
+    /// Replace the root's label with an artificial mask label during
+    /// extraction (paper §4.3.2, label-prediction setup).
+    pub mask_root_label: bool,
+    /// Enable the heterogeneous grouping heuristic at the final expansion
+    /// level. Off only for the A2 ablation benchmark; results are identical.
+    pub group_by_label: bool,
+    /// Seed for the per-label rolling-hash bases.
+    pub hash_seed: u64,
+    /// Rolling-hash combination scheme (see [`HashScheme`]). `Mixed` is the
+    /// collision-resistant default; `Linear` is the paper-literal formula.
+    pub hash_scheme: HashScheme,
+    /// Use the *directed* characteristic sequence (the paper's §5 future
+    /// work): per subgraph node, three count blocks — symmetric, incoming,
+    /// outgoing — per label instead of one. Only meaningful on graphs with
+    /// edge directions; on undirected graphs it degenerates to the plain
+    /// encoding with two always-zero blocks.
+    pub directed: bool,
+    /// Use the *edge-heterogeneous* characteristic sequence (the other §5
+    /// future-work item): one count block per edge type per label.
+    /// Composes with `directed` (blocks multiply).
+    pub edge_typed: bool,
+}
+
+impl Default for CensusConfig {
+    fn default() -> Self {
+        CensusConfig {
+            emax: 5,
+            dmax: None,
+            mask_root_label: false,
+            group_by_label: true,
+            hash_seed: 0x48_53_47_46, // "HSGF"
+            hash_scheme: HashScheme::Mixed,
+            directed: false,
+            edge_typed: false,
+        }
+    }
+}
+
+impl CensusConfig {
+    /// Convenience: set `emax`.
+    pub fn with_emax(mut self, emax: usize) -> Self {
+        self.emax = emax;
+        self
+    }
+
+    /// Convenience: set `dmax`.
+    pub fn with_dmax(mut self, dmax: Option<u32>) -> Self {
+        self.dmax = dmax;
+        self
+    }
+
+    /// Convenience: set root-label masking.
+    pub fn with_mask_root_label(mut self, mask: bool) -> Self {
+        self.mask_root_label = mask;
+        self
+    }
+
+    /// Convenience: enable the directed characteristic sequence.
+    pub fn with_directed(mut self, directed: bool) -> Self {
+        self.directed = directed;
+        self
+    }
+
+    /// Convenience: enable the edge-heterogeneous characteristic sequence.
+    pub fn with_edge_typed(mut self, edge_typed: bool) -> Self {
+        self.edge_typed = edge_typed;
+        self
+    }
+}
+
+/// A candidate edge on the extension stack.
+#[derive(Copy, Clone, Debug)]
+struct Candidate {
+    edge: u32,
+    /// Endpoint that was in the subgraph when the candidate was pushed
+    /// (guaranteed still in the subgraph whenever the candidate is popped).
+    from: NodeId,
+    /// The other endpoint; may or may not be in the subgraph at pop time.
+    to: NodeId,
+}
+
+/// Reusable per-worker state for the census of one root at a time.
+///
+/// All bookkeeping is restored incrementally by the DFS itself, so a scratch
+/// is reset-free across roots; memory is `O(V + E)` per worker, matching the
+/// paper's parallel space analysis (`O(tV + E)` total, with the graph
+/// shared).
+pub struct CensusScratch {
+    /// Per node: membership flag in the current subgraph.
+    in_sub: Vec<bool>,
+    /// Per node × alphabet label: in-subgraph neighbour counts (flat,
+    /// stride = alphabet size).
+    counts: Vec<u8>,
+    /// Per node: linear row value of its characteristic-sequence row
+    /// (maintained only while the node is in the subgraph).
+    row_value: Vec<u64>,
+    /// Nodes currently in the subgraph, in insertion order.
+    sub_nodes: Vec<NodeId>,
+    /// Per edge: pushed-as-candidate / excluded marker.
+    edge_seen: Vec<bool>,
+    /// Extension stack.
+    ext: Vec<Candidate>,
+    /// Candidates processed by active calls (restored on unwind).
+    processed: Vec<Candidate>,
+    /// Current number of subgraph edges.
+    sub_edge_count: usize,
+    /// Rolling hash of the current subgraph.
+    hash: u64,
+    /// Root of the census currently in progress.
+    root: NodeId,
+}
+
+/// Read-only view of the current subgraph handed to census sinks.
+pub struct SubgraphView<'s> {
+    scratch: &'s CensusScratch,
+    graph: &'s HetGraph,
+    /// Count columns per row (`alphabet` undirected, `3 × alphabet`
+    /// directed).
+    cols: usize,
+    /// `Some(mask_byte)` when the root's label is masked.
+    mask: Option<u8>,
+}
+
+impl SubgraphView<'_> {
+    /// Number of nodes in the current subgraph.
+    pub fn node_count(&self) -> usize {
+        self.scratch.sub_nodes.len()
+    }
+
+    /// Number of edges in the current subgraph.
+    pub fn edge_count(&self) -> usize {
+        self.scratch.sub_edge_count
+    }
+
+    #[inline]
+    fn label_byte(&self, n: NodeId) -> u8 {
+        match self.mask {
+            Some(mask_byte) if n == self.scratch.root => mask_byte,
+            _ => self.graph.label(n).raw(),
+        }
+    }
+
+    /// Builds the canonical encoding of the current subgraph.
+    pub fn encoding(&self) -> Encoding {
+        let cols = self.cols;
+        let row_len = 1 + cols;
+        let mut rows = Vec::with_capacity(self.scratch.sub_nodes.len() * row_len);
+        for &n in &self.scratch.sub_nodes {
+            rows.push(self.label_byte(n));
+            let base = n.index() * cols;
+            rows.extend_from_slice(&self.scratch.counts[base..base + cols]);
+        }
+        Encoding::from_unsorted_rows(rows, row_len as u8)
+    }
+}
+
+/// The census engine: borrows a graph, owns the configuration and hash
+/// bases, and runs censuses against caller-provided scratches.
+pub struct CensusEngine<'g> {
+    graph: &'g HetGraph,
+    config: CensusConfig,
+    bases: LabelBases,
+    /// Alphabet size: `label_count` plus one mask slot when masking.
+    alphabet: usize,
+    /// Count columns per row: `alphabet × direction blocks × edge types`.
+    cols: usize,
+    /// Number of edge types consulted (1 when `edge_typed` is off).
+    type_count: usize,
+}
+
+impl<'g> CensusEngine<'g> {
+    /// Creates an engine, validating the configuration.
+    pub fn new(graph: &'g HetGraph, config: CensusConfig) -> Result<Self, CensusError> {
+        if config.emax == 0 || config.emax > MAX_EMAX {
+            return Err(CensusError::InvalidEmax { emax: config.emax });
+        }
+        let alphabet = graph.label_count() + usize::from(config.mask_root_label);
+        let type_count = if config.edge_typed { graph.edge_type_count() } else { 1 };
+        let cols = alphabet * if config.directed { 3 } else { 1 } * type_count;
+        let bases = LabelBases::with_max_exponent(alphabet, cols, config.hash_seed);
+        Ok(CensusEngine { graph, config, bases, alphabet, cols, type_count })
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &CensusConfig {
+        &self.config
+    }
+
+    /// The graph the engine operates on.
+    pub fn graph(&self) -> &HetGraph {
+        self.graph
+    }
+
+    /// The alphabet size used for encodings (includes the mask label when
+    /// root masking is enabled).
+    pub fn alphabet(&self) -> usize {
+        self.alphabet
+    }
+
+    /// The mask label id, if masking is enabled.
+    pub fn mask_label(&self) -> Option<u8> {
+        self.config.mask_root_label.then_some(self.graph.label_count() as u8)
+    }
+
+    /// Allocates a scratch sized for this graph.
+    pub fn make_scratch(&self) -> CensusScratch {
+        let v = self.graph.node_count();
+        CensusScratch {
+            in_sub: vec![false; v],
+            counts: vec![0u8; v * self.cols],
+            row_value: vec![0u64; v],
+            sub_nodes: Vec::with_capacity(MAX_EMAX + 1),
+            edge_seen: vec![false; self.graph.edge_count()],
+            ext: Vec::with_capacity(256),
+            processed: Vec::with_capacity(256),
+            sub_edge_count: 0,
+            hash: 0,
+            root: NodeId::new(0),
+        }
+    }
+
+    /// Effective label byte of a node (root may be masked).
+    #[inline]
+    fn label_byte(&self, scratch: &CensusScratch, n: NodeId) -> u8 {
+        if self.config.mask_root_label && n == scratch.root {
+            self.graph.label_count() as u8
+        } else {
+            self.graph.label(n).raw()
+        }
+    }
+
+    /// Runs the census for `root`, keyed by rolling hash (the paper's fast
+    /// production mode; hash collisions are accepted as feature noise).
+    pub fn census_hashes(
+        &self,
+        root: NodeId,
+        scratch: &mut CensusScratch,
+    ) -> Result<HashMap<u64, u64>, CensusError> {
+        let mut sink = HashSink { counts: HashMap::new() };
+        self.run(root, scratch, &mut sink)?;
+        Ok(sink.counts)
+    }
+
+    /// Runs the census for `root`, keyed by the canonical encoding (exact
+    /// mode; also reports 64-bit hash collisions observed along the way).
+    pub fn census_encodings(
+        &self,
+        root: NodeId,
+        scratch: &mut CensusScratch,
+    ) -> Result<EncodedCensus, CensusError> {
+        let mut sink = EncodingSink { counts: HashMap::new(), by_hash: HashMap::new(), collisions: 0 };
+        self.run(root, scratch, &mut sink)?;
+        Ok(EncodedCensus { counts: sink.counts, hash_collisions: sink.collisions })
+    }
+
+    /// Runs the census with a caller-provided sink.
+    pub fn run<S: CensusSink>(
+        &self,
+        root: NodeId,
+        scratch: &mut CensusScratch,
+        sink: &mut S,
+    ) -> Result<(), CensusError> {
+        if root.index() >= self.graph.node_count() {
+            return Err(CensusError::UnknownRoot { root: root.raw() });
+        }
+        debug_assert!(scratch.in_sub.len() == self.graph.node_count());
+        scratch.root = root;
+        scratch.in_sub[root.index()] = true;
+        scratch.sub_nodes.push(root);
+        // Seed the root's row value and hash contribution; the hash is the
+        // sum of mixed (or linear) row values over all subgraph nodes,
+        // root included.
+        let root_byte = self.label_byte(scratch, root) as u64;
+        scratch.row_value[root.index()] = root_byte;
+        let initial_hash = match self.config.hash_scheme {
+            HashScheme::Mixed => mix(root_byte),
+            HashScheme::Linear => root_byte,
+        };
+        scratch.hash = initial_hash;
+        let mark = scratch.ext.len();
+        debug_assert_eq!(mark, 0);
+        // The degree constraint never applies to the root (paper §4.3.5).
+        self.push_candidates(scratch, root);
+        self.explore(scratch, sink);
+        // Unwind root state.
+        while scratch.ext.len() > mark {
+            let c = scratch.ext.pop().expect("len checked");
+            scratch.edge_seen[c.edge as usize] = false;
+        }
+        scratch.in_sub[root.index()] = false;
+        scratch.sub_nodes.pop();
+        debug_assert_eq!(scratch.sub_edge_count, 0);
+        debug_assert_eq!(scratch.hash, initial_hash);
+        scratch.hash = 0;
+        debug_assert!(scratch.sub_nodes.is_empty());
+        debug_assert!(scratch.processed.is_empty());
+        Ok(())
+    }
+
+    /// Pushes every unseen edge incident to `w` as a candidate.
+    fn push_candidates(&self, scratch: &mut CensusScratch, w: NodeId) {
+        let nbrs = self.graph.neighbors(w);
+        let ids = self.graph.incident_edge_ids(w);
+        for (&x, &e) in nbrs.iter().zip(ids) {
+            if !scratch.edge_seen[e as usize] {
+                scratch.edge_seen[e as usize] = true;
+                scratch.ext.push(Candidate { edge: e, from: w, to: x });
+            }
+        }
+    }
+
+    /// Column index of a neighbour with label `l` seen through
+    /// orientation `o` and edge type `ty` (from the counting node's point
+    /// of view). Layout: `((block × type_count) + ty) × alphabet + l`.
+    #[inline]
+    fn col(&self, l: usize, o: Orientation, ty: usize) -> usize {
+        let block = if self.config.directed { o.block() } else { 0 };
+        let ty = if self.config.edge_typed { ty } else { 0 };
+        (block * self.type_count + ty) * self.alphabet + l
+    }
+
+    /// The orientation of `cand`'s edge as seen from each endpoint:
+    /// `(from's view, to's view)`.
+    #[inline]
+    fn orientations(&self, cand: Candidate) -> (Orientation, Orientation) {
+        if !self.config.directed {
+            return (Orientation::Symmetric, Orientation::Symmetric);
+        }
+        let from_view = self.graph.orientation(cand.from, cand.to, cand.edge);
+        let to_view = match from_view {
+            Orientation::Symmetric => Orientation::Symmetric,
+            Orientation::Incoming => Orientation::Outgoing,
+            Orientation::Outgoing => Orientation::Incoming,
+        };
+        (from_view, to_view)
+    }
+
+    /// Adds candidate edge `(from, to)` to the subgraph; returns whether
+    /// `to` was newly inserted.
+    #[inline]
+    fn add_edge(&self, scratch: &mut CensusScratch, cand: Candidate) -> bool {
+        let la = self.label_byte(scratch, cand.from) as usize;
+        let lb = self.label_byte(scratch, cand.to) as usize;
+        let (o_from, o_to) = self.orientations(cand);
+        let ty = self.graph.edge_type(cand.edge) as usize;
+        let col_from = self.col(lb, o_from, ty);
+        let col_to = self.col(la, o_to, ty);
+        let new_node = !scratch.in_sub[cand.to.index()];
+        if new_node {
+            scratch.in_sub[cand.to.index()] = true;
+            scratch.sub_nodes.push(cand.to);
+            // A freshly inserted node's row is just its label term.
+            scratch.row_value[cand.to.index()] = lb as u64;
+        }
+        scratch.counts[cand.from.index() * self.cols + col_from] += 1;
+        scratch.counts[cand.to.index() * self.cols + col_to] += 1;
+
+        let d_from = self.bases.neighbor_delta(la, col_from);
+        let d_to = self.bases.neighbor_delta(lb, col_to);
+        let rv_from_old = scratch.row_value[cand.from.index()];
+        let rv_from_new = rv_from_old.wrapping_add(d_from);
+        scratch.row_value[cand.from.index()] = rv_from_new;
+        let rv_to_old = scratch.row_value[cand.to.index()];
+        let rv_to_new = rv_to_old.wrapping_add(d_to);
+        scratch.row_value[cand.to.index()] = rv_to_new;
+        match self.config.hash_scheme {
+            HashScheme::Mixed => {
+                scratch.hash = scratch
+                    .hash
+                    .wrapping_sub(mix(rv_from_old))
+                    .wrapping_add(mix(rv_from_new))
+                    .wrapping_add(mix(rv_to_new));
+                if !new_node {
+                    scratch.hash = scratch.hash.wrapping_sub(mix(rv_to_old));
+                }
+            }
+            HashScheme::Linear => {
+                scratch.hash = scratch.hash.wrapping_add(d_from).wrapping_add(d_to);
+                if new_node {
+                    scratch.hash = scratch.hash.wrapping_add(lb as u64);
+                }
+            }
+        }
+        scratch.sub_edge_count += 1;
+        new_node
+    }
+
+    /// Reverses [`CensusEngine::add_edge`].
+    #[inline]
+    fn remove_edge(&self, scratch: &mut CensusScratch, cand: Candidate, node_was_new: bool) {
+        let la = self.label_byte(scratch, cand.from) as usize;
+        let lb = self.label_byte(scratch, cand.to) as usize;
+        let (o_from, o_to) = self.orientations(cand);
+        let ty = self.graph.edge_type(cand.edge) as usize;
+        let col_from = self.col(lb, o_from, ty);
+        let col_to = self.col(la, o_to, ty);
+        scratch.counts[cand.from.index() * self.cols + col_from] -= 1;
+        scratch.counts[cand.to.index() * self.cols + col_to] -= 1;
+
+        let d_from = self.bases.neighbor_delta(la, col_from);
+        let d_to = self.bases.neighbor_delta(lb, col_to);
+        let rv_from_old = scratch.row_value[cand.from.index()];
+        let rv_from_new = rv_from_old.wrapping_sub(d_from);
+        scratch.row_value[cand.from.index()] = rv_from_new;
+        let rv_to_old = scratch.row_value[cand.to.index()];
+        let rv_to_new = rv_to_old.wrapping_sub(d_to);
+        scratch.row_value[cand.to.index()] = rv_to_new;
+        match self.config.hash_scheme {
+            HashScheme::Mixed => {
+                scratch.hash = scratch
+                    .hash
+                    .wrapping_add(mix(rv_from_new))
+                    .wrapping_sub(mix(rv_from_old))
+                    .wrapping_sub(mix(rv_to_old));
+                if !node_was_new {
+                    scratch.hash = scratch.hash.wrapping_add(mix(rv_to_new));
+                }
+            }
+            HashScheme::Linear => {
+                scratch.hash = scratch.hash.wrapping_sub(d_from).wrapping_sub(d_to);
+                if node_was_new {
+                    scratch.hash = scratch.hash.wrapping_sub(lb as u64);
+                }
+            }
+        }
+        scratch.sub_edge_count -= 1;
+        if node_was_new {
+            debug_assert_eq!(rv_to_new, lb as u64, "leaving node must revert to label term");
+            let popped = scratch.sub_nodes.pop();
+            debug_assert_eq!(popped, Some(cand.to));
+            scratch.in_sub[cand.to.index()] = false;
+        }
+    }
+
+    /// The recursive exclusion-discipline exploration.
+    fn explore<S: CensusSink>(&self, scratch: &mut CensusScratch, sink: &mut S) {
+        let processed_mark = scratch.processed.len();
+        while let Some(cand) = scratch.ext.pop() {
+            let was_outside = !scratch.in_sub[cand.to.index()];
+            let node_was_new = self.add_edge(scratch, cand);
+            debug_assert_eq!(was_outside, node_was_new);
+            let hash = scratch.hash;
+            if scratch.sub_edge_count < self.config.emax {
+                sink.record(&self.view(scratch), hash, 1);
+                let mark = scratch.ext.len();
+                if node_was_new && self.may_expand(cand.to) {
+                    self.push_candidates(scratch, cand.to);
+                }
+                self.explore(scratch, sink);
+                while scratch.ext.len() > mark {
+                    let c = scratch.ext.pop().expect("len checked");
+                    scratch.edge_seen[c.edge as usize] = false;
+                }
+            } else {
+                // Final level: heterogeneous grouping. Consecutive
+                // candidates attaching a new node of the same label to the
+                // same subgraph node produce identical subgraph encodings
+                // and are counted in bulk.
+                let mut multiplicity = 1u64;
+                if self.config.group_by_label && node_was_new {
+                    let group_label = self.graph.label(cand.to);
+                    let group_orient = self.orientations(cand).0;
+                    let group_type = self.graph.edge_type(cand.edge);
+                    while let Some(&next) = scratch.ext.last() {
+                        if next.from == cand.from
+                            && !scratch.in_sub[next.to.index()]
+                            && self.graph.label(next.to) == group_label
+                            && self.orientations(next).0 == group_orient
+                            && (!self.config.edge_typed
+                                || self.graph.edge_type(next.edge) == group_type)
+                        {
+                            scratch.ext.pop();
+                            scratch.processed.push(next);
+                            multiplicity += 1;
+                        } else {
+                            break;
+                        }
+                    }
+                }
+                sink.record(&self.view(scratch), hash, multiplicity);
+            }
+            self.remove_edge(scratch, cand, node_was_new);
+            scratch.processed.push(cand);
+        }
+        // Restore this call's processed candidates for the parent.
+        while scratch.processed.len() > processed_mark {
+            let c = scratch.processed.pop().expect("len checked");
+            scratch.ext.push(c);
+        }
+    }
+
+    /// Whether the census may expand through `w` (degree heuristic).
+    #[inline]
+    fn may_expand(&self, w: NodeId) -> bool {
+        match self.config.dmax {
+            None => true,
+            Some(dmax) => self.graph.degree(w) as u32 <= dmax,
+        }
+    }
+
+    fn view<'s>(&'s self, scratch: &'s CensusScratch) -> SubgraphView<'s> {
+        SubgraphView {
+            scratch,
+            graph: self.graph,
+            cols: self.cols,
+            mask: self.mask_label(),
+        }
+    }
+}
+
+/// Receiver of census records. `multiplicity` accounts for grouped
+/// final-level extensions.
+pub trait CensusSink {
+    /// Called once per distinct discovered subgraph occurrence group.
+    fn record(&mut self, view: &SubgraphView<'_>, hash: u64, multiplicity: u64);
+}
+
+struct HashSink {
+    counts: HashMap<u64, u64>,
+}
+
+impl CensusSink for HashSink {
+    #[inline]
+    fn record(&mut self, _view: &SubgraphView<'_>, hash: u64, multiplicity: u64) {
+        *self.counts.entry(hash).or_insert(0) += multiplicity;
+    }
+}
+
+/// Result of an exact (encoding-keyed) census.
+#[derive(Clone, Debug)]
+pub struct EncodedCensus {
+    /// Count per canonical encoding.
+    pub counts: HashMap<Encoding, u64>,
+    /// Distinct encodings observed sharing a 64-bit rolling hash (expected
+    /// to be 0 in practice).
+    pub hash_collisions: u64,
+}
+
+struct EncodingSink {
+    counts: HashMap<Encoding, u64>,
+    by_hash: HashMap<u64, Encoding>,
+    collisions: u64,
+}
+
+impl CensusSink for EncodingSink {
+    fn record(&mut self, view: &SubgraphView<'_>, hash: u64, multiplicity: u64) {
+        let encoding = view.encoding();
+        match self.by_hash.get(&hash) {
+            Some(known) if known != &encoding => self.collisions += 1,
+            Some(_) => {}
+            None => {
+                self.by_hash.insert(hash, encoding.clone());
+            }
+        }
+        *self.counts.entry(encoding).or_insert(0) += multiplicity;
+    }
+}
+
+/// A sink that only counts total discovered subgraphs — used by benchmarks
+/// to measure raw enumeration throughput without hash-map noise.
+#[derive(Default)]
+pub struct CountingSink {
+    /// Total subgraphs recorded (multiplicities included).
+    pub total: u64,
+}
+
+impl CensusSink for CountingSink {
+    #[inline]
+    fn record(&mut self, _view: &SubgraphView<'_>, _hash: u64, multiplicity: u64) {
+        self.total += multiplicity;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+
+    use hsgf_graph::{generators, GraphBuilder, Label, LabelSet};
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    use crate::reference::naive_census;
+
+    use super::*;
+
+    fn engine_census(
+        graph: &HetGraph,
+        root: NodeId,
+        config: CensusConfig,
+    ) -> HashMap<Encoding, u64> {
+        let engine = CensusEngine::new(graph, config).unwrap();
+        let mut scratch = engine.make_scratch();
+        engine.census_encodings(root, &mut scratch).unwrap().counts
+    }
+
+    /// Random small labelled graph for oracle comparisons.
+    fn random_graph(seed: u64, n: usize, p: f64, labels: usize) -> HetGraph {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let names: Vec<String> = (0..labels).map(|i| format!("l{i}")).collect();
+        let mut b = GraphBuilder::with_label_names(names).unwrap();
+        for _ in 0..n {
+            let l = Label::new(rng.gen_range(0..labels) as u8);
+            b.add_node_with(l).unwrap();
+        }
+        for u in 0..n as u32 {
+            for v in (u + 1)..n as u32 {
+                if rng.gen_bool(p) {
+                    b.add_edge(NodeId::new(u), NodeId::new(v)).unwrap();
+                }
+            }
+        }
+        b.build()
+    }
+
+    #[test]
+    fn engine_matches_oracle_on_random_graphs() {
+        for seed in 0..30u64 {
+            let g = random_graph(seed, 7, 0.35, 3);
+            if g.edge_count() == 0 || g.edge_count() > 18 {
+                continue;
+            }
+            for emax in [1usize, 2, 3, 4] {
+                let config = CensusConfig::default().with_emax(emax);
+                let expected = naive_census(&g, NodeId::new(0), &config);
+                let actual = engine_census(&g, NodeId::new(0), config);
+                assert_eq!(
+                    expected, actual,
+                    "mismatch: seed={seed} emax={emax} edges={:?}",
+                    g.edges().collect::<Vec<_>>()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn engine_matches_oracle_with_dmax() {
+        for seed in 100..120u64 {
+            let g = random_graph(seed, 8, 0.35, 2);
+            if g.edge_count() == 0 || g.edge_count() > 18 {
+                continue;
+            }
+            for dmax in [1u32, 2, 3] {
+                let config = CensusConfig::default().with_emax(3).with_dmax(Some(dmax));
+                let expected = naive_census(&g, NodeId::new(0), &config);
+                let actual = engine_census(&g, NodeId::new(0), config);
+                assert_eq!(expected, actual, "mismatch: seed={seed} dmax={dmax}");
+            }
+        }
+    }
+
+    #[test]
+    fn engine_matches_oracle_with_masking() {
+        for seed in 200..220u64 {
+            let g = random_graph(seed, 7, 0.3, 3);
+            if g.edge_count() == 0 || g.edge_count() > 18 {
+                continue;
+            }
+            let config = CensusConfig::default().with_emax(3).with_mask_root_label(true);
+            let expected = naive_census(&g, NodeId::new(2), &config);
+            let actual = engine_census(&g, NodeId::new(2), config);
+            assert_eq!(expected, actual, "mismatch: seed={seed}");
+        }
+    }
+
+    #[test]
+    fn grouping_heuristic_does_not_change_results() {
+        for seed in 300..315u64 {
+            let g = random_graph(seed, 9, 0.3, 2);
+            let mut with = CensusConfig::default().with_emax(3);
+            with.group_by_label = true;
+            let mut without = with.clone();
+            without.group_by_label = false;
+            for root in 0..3u32 {
+                let a = engine_census(&g, NodeId::new(root), with.clone());
+                let b = engine_census(&g, NodeId::new(root), without.clone());
+                assert_eq!(a, b, "grouping changed results: seed={seed} root={root}");
+            }
+        }
+    }
+
+    #[test]
+    fn hash_mode_totals_match_encoding_mode() {
+        let g = random_graph(7, 10, 0.3, 3);
+        let engine = CensusEngine::new(&g, CensusConfig::default().with_emax(4)).unwrap();
+        let mut scratch = engine.make_scratch();
+        for root in g.nodes() {
+            let hashes = engine.census_hashes(root, &mut scratch).unwrap();
+            let encoded = engine.census_encodings(root, &mut scratch).unwrap();
+            let t1: u64 = hashes.values().sum();
+            let t2: u64 = encoded.counts.values().sum();
+            assert_eq!(t1, t2);
+            assert_eq!(encoded.hash_collisions, 0, "unexpected 64-bit collision");
+            // Distinct encodings == distinct hashes when collision-free.
+            assert_eq!(hashes.len(), encoded.counts.len());
+        }
+    }
+
+    #[test]
+    fn scratch_is_reusable_across_roots_and_runs() {
+        let g = random_graph(11, 12, 0.25, 3);
+        let engine = CensusEngine::new(&g, CensusConfig::default().with_emax(3)).unwrap();
+        let mut scratch = engine.make_scratch();
+        let first = engine.census_encodings(NodeId::new(0), &mut scratch).unwrap();
+        // Interleave other roots, then repeat the first: identical results.
+        for root in g.nodes() {
+            let _ = engine.census_encodings(root, &mut scratch).unwrap();
+        }
+        let again = engine.census_encodings(NodeId::new(0), &mut scratch).unwrap();
+        assert_eq!(first.counts, again.counts);
+    }
+
+    #[test]
+    fn rejects_invalid_config_and_root() {
+        let g = random_graph(1, 5, 0.5, 2);
+        assert!(matches!(
+            CensusEngine::new(&g, CensusConfig::default().with_emax(0)),
+            Err(CensusError::InvalidEmax { .. })
+        ));
+        assert!(matches!(
+            CensusEngine::new(&g, CensusConfig::default().with_emax(MAX_EMAX + 1)),
+            Err(CensusError::InvalidEmax { .. })
+        ));
+        let engine = CensusEngine::new(&g, CensusConfig::default()).unwrap();
+        let mut scratch = engine.make_scratch();
+        assert!(matches!(
+            engine.census_hashes(NodeId::new(99), &mut scratch),
+            Err(CensusError::UnknownRoot { .. })
+        ));
+    }
+
+    #[test]
+    fn path_graph_census_counts() {
+        // Path a - b - c - d (4 nodes, labels all distinct), root = a.
+        // emax=3: subgraphs containing a: {ab}, {ab,bc}, {ab,bc,cd} -> 3.
+        let labels = LabelSet::from_names(["a", "b", "c", "d"]).unwrap();
+        let g = GraphBuilder::from_edges(
+            labels,
+            &[Label::new(0), Label::new(1), Label::new(2), Label::new(3)],
+            &[(0, 1), (1, 2), (2, 3)],
+        )
+        .unwrap();
+        let counts = engine_census(&g, NodeId::new(0), CensusConfig::default().with_emax(3));
+        let total: u64 = counts.values().sum();
+        assert_eq!(total, 3);
+        assert_eq!(counts.len(), 3, "all three prefixes have distinct encodings");
+        // Root = b: {ab}, {bc}, {ab,bc}, {bc,cd}, {ab,bc,cd} -> 5.
+        let counts = engine_census(&g, NodeId::new(1), CensusConfig::default().with_emax(3));
+        let total: u64 = counts.values().sum();
+        assert_eq!(total, 5);
+    }
+
+    #[test]
+    fn star_counts_scale_with_choose() {
+        // Star: centre (label 0) with 6 leaves (label 1); root = centre.
+        // Subgraphs with k edges = C(6, k).
+        let labels = LabelSet::from_names(["c", "l"]).unwrap();
+        let mut b = GraphBuilder::new(labels);
+        let c = b.add_node_with(Label::new(0)).unwrap();
+        for _ in 0..6 {
+            let leaf = b.add_node_with(Label::new(1)).unwrap();
+            b.add_edge(c, leaf).unwrap();
+        }
+        let g = b.build();
+        let counts = engine_census(&g, c, CensusConfig::default().with_emax(3));
+        // One encoding per k (all leaves identical): k=1,2,3.
+        assert_eq!(counts.len(), 3);
+        let mut by_edges: Vec<(usize, u64)> =
+            counts.iter().map(|(e, &c)| (e.edge_count(), c)).collect();
+        by_edges.sort_unstable();
+        assert_eq!(by_edges, vec![(1, 6), (2, 15), (3, 20)]);
+    }
+
+    #[test]
+    fn leaf_root_census_through_hub() {
+        // Leaf -> hub with many leaves: counts reflect the hub's breadth
+        // (the "local sparsity is part of the feature" claim, §2).
+        let labels = LabelSet::from_names(["c", "l"]).unwrap();
+        let mut b = GraphBuilder::new(labels);
+        let c = b.add_node_with(Label::new(0)).unwrap();
+        let mut first_leaf = None;
+        for _ in 0..5 {
+            let leaf = b.add_node_with(Label::new(1)).unwrap();
+            first_leaf.get_or_insert(leaf);
+            b.add_edge(c, leaf).unwrap();
+        }
+        let g = b.build();
+        let root = first_leaf.unwrap();
+        let counts = engine_census(&g, root, CensusConfig::default().with_emax(2));
+        // 1-edge: {root-c}. 2-edge: {root-c, c-otherleaf} × 4 -> one
+        // encoding with count 4.
+        let total: u64 = counts.values().sum();
+        assert_eq!(total, 5);
+        assert_eq!(counts.len(), 2);
+        assert!(counts.values().any(|&v| v == 4));
+    }
+
+    /// Random small graph where ~half the edges carry a direction.
+    fn random_directed_graph(seed: u64, n: usize, p: f64, labels: usize) -> HetGraph {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let names: Vec<String> = (0..labels).map(|i| format!("l{i}")).collect();
+        let mut b = GraphBuilder::with_label_names(names).unwrap();
+        for _ in 0..n {
+            let l = Label::new(rng.gen_range(0..labels) as u8);
+            b.add_node_with(l).unwrap();
+        }
+        for u in 0..n as u32 {
+            for v in (u + 1)..n as u32 {
+                if rng.gen_bool(p) {
+                    match rng.gen_range(0..3) {
+                        0 => b.add_edge(NodeId::new(u), NodeId::new(v)).unwrap(),
+                        1 => b.add_arc(NodeId::new(u), NodeId::new(v)).unwrap(),
+                        _ => b.add_arc(NodeId::new(v), NodeId::new(u)).unwrap(),
+                    }
+                }
+            }
+        }
+        b.build()
+    }
+
+    #[test]
+    fn directed_engine_matches_oracle() {
+        for seed in 400..425u64 {
+            let g = random_directed_graph(seed, 7, 0.35, 2);
+            if g.edge_count() == 0 || g.edge_count() > 16 {
+                continue;
+            }
+            let config = CensusConfig::default().with_emax(3).with_directed(true);
+            let expected = naive_census(&g, NodeId::new(0), &config);
+            let actual = engine_census(&g, NodeId::new(0), config);
+            assert_eq!(expected, actual, "mismatch: seed={seed}");
+        }
+    }
+
+    #[test]
+    fn directed_mode_distinguishes_arc_orientation() {
+        // a → b vs b → a around root a: different encodings.
+        let mk = |reversed: bool| {
+            let mut b = GraphBuilder::with_label_names(["x", "y"]).unwrap();
+            let a = b.add_node("x").unwrap();
+            let c = b.add_node("y").unwrap();
+            if reversed {
+                b.add_arc(c, a).unwrap();
+            } else {
+                b.add_arc(a, c).unwrap();
+            }
+            b.build()
+        };
+        let config = CensusConfig::default().with_emax(1).with_directed(true);
+        let out = engine_census(&mk(false), NodeId::new(0), config.clone());
+        let inn = engine_census(&mk(true), NodeId::new(0), config.clone());
+        assert_ne!(out, inn, "orientation must be visible in the encoding");
+        // Undirected mode collapses them.
+        let config_u = CensusConfig::default().with_emax(1);
+        let out_u = engine_census(&mk(false), NodeId::new(0), config_u.clone());
+        let inn_u = engine_census(&mk(true), NodeId::new(0), config_u);
+        assert_eq!(out_u, inn_u);
+    }
+
+    #[test]
+    fn directed_mode_on_undirected_graph_degenerates() {
+        // Purely symmetric graphs: directed and undirected censuses have
+        // the same totals and count multiset (only the row width differs).
+        let g = random_graph(55, 8, 0.35, 2);
+        let root = NodeId::new(0);
+        let undirected = engine_census(&g, root, CensusConfig::default().with_emax(3));
+        let directed =
+            engine_census(&g, root, CensusConfig::default().with_emax(3).with_directed(true));
+        let mut a: Vec<u64> = undirected.values().copied().collect();
+        let mut b: Vec<u64> = directed.values().copied().collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn directed_grouping_does_not_change_results() {
+        for seed in 500..510u64 {
+            let g = random_directed_graph(seed, 9, 0.3, 2);
+            let mut with = CensusConfig::default().with_emax(3).with_directed(true);
+            with.group_by_label = true;
+            let mut without = with.clone();
+            without.group_by_label = false;
+            let a = engine_census(&g, NodeId::new(0), with);
+            let b = engine_census(&g, NodeId::new(0), without);
+            assert_eq!(a, b, "seed {seed}");
+        }
+    }
+
+    /// Random small graph with typed (and possibly directed) edges.
+    fn random_typed_graph(seed: u64, n: usize, p: f64, labels: usize, types: u8) -> HetGraph {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let names: Vec<String> = (0..labels).map(|i| format!("l{i}")).collect();
+        let mut b = GraphBuilder::with_label_names(names).unwrap();
+        for _ in 0..n {
+            let l = Label::new(rng.gen_range(0..labels) as u8);
+            b.add_node_with(l).unwrap();
+        }
+        for u in 0..n as u32 {
+            for v in (u + 1)..n as u32 {
+                if rng.gen_bool(p) {
+                    let ty = rng.gen_range(0..types);
+                    if rng.gen_bool(0.5) {
+                        b.add_edge_typed(NodeId::new(u), NodeId::new(v), ty).unwrap();
+                    } else {
+                        b.add_arc_typed(NodeId::new(u), NodeId::new(v), ty).unwrap();
+                    }
+                }
+            }
+        }
+        b.build()
+    }
+
+    #[test]
+    fn edge_typed_engine_matches_oracle() {
+        for seed in 600..620u64 {
+            let g = random_typed_graph(seed, 7, 0.35, 2, 3);
+            if g.edge_count() == 0 || g.edge_count() > 16 {
+                continue;
+            }
+            for directed in [false, true] {
+                let config = CensusConfig::default()
+                    .with_emax(3)
+                    .with_directed(directed)
+                    .with_edge_typed(true);
+                let expected = naive_census(&g, NodeId::new(0), &config);
+                let actual = engine_census(&g, NodeId::new(0), config);
+                assert_eq!(expected, actual, "seed={seed} directed={directed}");
+            }
+        }
+    }
+
+    #[test]
+    fn edge_types_distinguish_otherwise_identical_edges() {
+        let mk = |ty: u8| {
+            let mut b = GraphBuilder::with_label_names(["x", "y"]).unwrap();
+            let a = b.add_node("x").unwrap();
+            let c = b.add_node("y").unwrap();
+            let d = b.add_node("y").unwrap();
+            b.add_edge_typed(a, c, 0).unwrap();
+            b.add_edge_typed(a, d, ty).unwrap();
+            b.build()
+        };
+        let config = CensusConfig::default().with_emax(2).with_edge_typed(true);
+        let same = engine_census(&mk(0), NodeId::new(0), config.clone());
+        let mixed = engine_census(&mk(1), NodeId::new(0), config.clone());
+        assert_ne!(same, mixed, "edge types must be visible in the encoding");
+        // Untyped mode collapses them — but only when both graphs agree on
+        // the type alphabet... untyped ignores types entirely:
+        let config_u = CensusConfig::default().with_emax(2);
+        let same_u = engine_census(&mk(0), NodeId::new(0), config_u.clone());
+        let mixed_u = engine_census(&mk(1), NodeId::new(0), config_u);
+        assert_eq!(same_u, mixed_u);
+    }
+
+    #[test]
+    fn edge_typed_grouping_does_not_change_results() {
+        for seed in 700..708u64 {
+            let g = random_typed_graph(seed, 9, 0.3, 2, 2);
+            let mut with = CensusConfig::default().with_emax(3).with_edge_typed(true);
+            with.group_by_label = true;
+            let mut without = with.clone();
+            without.group_by_label = false;
+            let a = engine_census(&g, NodeId::new(0), with);
+            let b = engine_census(&g, NodeId::new(0), without);
+            assert_eq!(a, b, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn dmax_zero_blocks_all_expansion_beyond_neighbors() {
+        let labels = LabelSet::from_names(["x"]).unwrap();
+        let g = generators::barabasi_albert(labels, &[1.0], 60, 2, 5).unwrap();
+        let config = CensusConfig::default().with_emax(3).with_dmax(Some(0));
+        let engine = CensusEngine::new(&g, config).unwrap();
+        let mut scratch = engine.make_scratch();
+        let root = NodeId::new(10);
+        let counts = engine.census_encodings(root, &mut scratch).unwrap().counts;
+        // With dmax = 0, no non-root node may be expanded: all subgraphs
+        // are stars around the root (plus cycle-closing edges between the
+        // root's neighbours are unreachable since neither endpoint pushes).
+        for enc in counts.keys() {
+            // Every subgraph must contain the root as the single centre:
+            // at most one node with degree > 1 in the encoding.
+            let high_degree_rows = enc
+                .rows()
+                .filter(|r| r[1..].iter().map(|&t| t as usize).sum::<usize>() > 1)
+                .count();
+            assert!(high_degree_rows <= 1, "non-star subgraph slipped through: {enc:?}");
+        }
+    }
+}

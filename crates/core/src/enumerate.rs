@@ -1,0 +1,360 @@
+//! Exhaustive enumeration of small connected labelled graphs up to
+//! isomorphism, and the encoding-collision analysis of paper §3.1.
+//!
+//! The paper derives the encoding's uniqueness limits ("the maximum number
+//! of edges that a subgraph may contain to ensure unique encodings is
+//! emax = 5 for graphs without loops in the label connectivity graph and
+//! emax = 4 for graphs with loops") by enumerating all non-isomorphic
+//! labelled graphs and pairwise-checking their encodings. This module
+//! reproduces that derivation (experiment E1): [`enumerate_connected`]
+//! grows every canonical form breadth-first by edge additions, and
+//! [`collision_report`] groups the result by encoding.
+
+use std::collections::HashMap;
+use std::collections::HashSet;
+
+use crate::sequence::Encoding;
+use crate::small::SmallGraph;
+
+/// Configuration for [`enumerate_connected`].
+#[derive(Clone, Debug)]
+pub struct EnumerationConfig {
+    /// Size of the label alphabet.
+    pub label_count: usize,
+    /// Maximum number of edges per graph.
+    pub max_edges: usize,
+    /// Optional symmetric label-pair mask: `allowed[a][b] == false` forbids
+    /// edges between labels `a` and `b`. `None` allows every pair
+    /// (a complete label connectivity graph with all self loops).
+    pub allowed_pairs: Option<Vec<Vec<bool>>>,
+}
+
+impl EnumerationConfig {
+    /// All label pairs allowed (LCG complete, with self loops).
+    pub fn unrestricted(label_count: usize, max_edges: usize) -> Self {
+        EnumerationConfig { label_count, max_edges, allowed_pairs: None }
+    }
+
+    /// Forbids same-label edges only (loop-free LCG, complete otherwise).
+    pub fn loop_free(label_count: usize, max_edges: usize) -> Self {
+        let allowed = (0..label_count)
+            .map(|a| (0..label_count).map(|b| a != b).collect())
+            .collect();
+        EnumerationConfig { label_count, max_edges, allowed_pairs: Some(allowed) }
+    }
+
+    fn pair_allowed(&self, a: u8, b: u8) -> bool {
+        match &self.allowed_pairs {
+            None => true,
+            Some(m) => m[a as usize][b as usize],
+        }
+    }
+}
+
+/// Enumerates every connected labelled graph with between 1 and
+/// `config.max_edges` edges (plus the single-node graphs), up to
+/// isomorphism. Returned graphs are canonical forms, ordered by
+/// `(edge_count, node_count)` then canonical order.
+pub fn enumerate_connected(config: &EnumerationConfig) -> Vec<SmallGraph> {
+    let mut all: HashSet<SmallGraph> = HashSet::new();
+    let mut frontier: Vec<SmallGraph> = Vec::new();
+    for l in 0..config.label_count as u8 {
+        let g = SmallGraph::new(vec![l], &[]).canonical();
+        if all.insert(g.clone()) {
+            frontier.push(g);
+        }
+    }
+    for _edges in 1..=config.max_edges {
+        let mut next: Vec<SmallGraph> = Vec::new();
+        for g in &frontier {
+            for succ in successors(g, config) {
+                if all.insert(succ.clone()) {
+                    next.push(succ);
+                }
+            }
+        }
+        frontier = next;
+    }
+    let mut out: Vec<SmallGraph> = all.into_iter().collect();
+    out.sort_by(|a, b| {
+        (a.edge_count(), a.node_count())
+            .cmp(&(b.edge_count(), b.node_count()))
+            .then_with(|| a.cmp(b))
+    });
+    out
+}
+
+/// All canonical one-edge extensions of `g`: close a missing pair, or attach
+/// a new node of each label to each existing node.
+fn successors(g: &SmallGraph, config: &EnumerationConfig) -> Vec<SmallGraph> {
+    let n = g.node_count();
+    let mut out = Vec::new();
+    let labels = g.labels().to_vec();
+    let mut edges = g.edges();
+    // (a) add a missing edge between existing nodes.
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if !g.has_edge(i, j) && config.pair_allowed(labels[i], labels[j]) {
+                edges.push((i as u8, j as u8));
+                out.push(SmallGraph::new(labels.clone(), &edges).canonical());
+                edges.pop();
+            }
+        }
+    }
+    // (b) attach a fresh node of each label to each existing node.
+    if n < crate::small::MAX_SMALL_NODES {
+        for l in 0..config.label_count as u8 {
+            let mut labels2 = labels.clone();
+            labels2.push(l);
+            for i in 0..n {
+                if config.pair_allowed(labels[i], l) {
+                    edges.push((i as u8, n as u8));
+                    out.push(SmallGraph::new(labels2.clone(), &edges).canonical());
+                    edges.pop();
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Statistics for one edge-count class of the collision analysis.
+#[derive(Clone, Debug)]
+pub struct EdgeClassStats {
+    /// Number of edges in this class.
+    pub edges: usize,
+    /// Non-isomorphic graphs enumerated.
+    pub graphs: usize,
+    /// Distinct characteristic-sequence encodings among them.
+    pub distinct_encodings: usize,
+    /// Unordered pairs of non-isomorphic graphs sharing an encoding.
+    pub colliding_pairs: usize,
+    /// One witness collision, if any (two non-isomorphic graphs with the
+    /// same encoding — the paper's Fig. 1C).
+    pub example: Option<(SmallGraph, SmallGraph)>,
+}
+
+/// Full collision report over an enumeration result.
+#[derive(Clone, Debug)]
+pub struct CollisionReport {
+    /// Per-edge-count statistics, index 0 = graphs with 0 edges.
+    pub classes: Vec<EdgeClassStats>,
+}
+
+impl CollisionReport {
+    /// The largest `e` such that every class with `edges ≤ e` is
+    /// collision-free, i.e. the verified unique-encoding bound.
+    pub fn unique_up_to_edges(&self) -> usize {
+        let mut bound = 0;
+        for class in &self.classes {
+            if class.colliding_pairs > 0 {
+                break;
+            }
+            bound = class.edges;
+        }
+        bound
+    }
+}
+
+/// Groups non-isomorphic graphs by encoding, per edge count.
+///
+/// `graphs` must already be pairwise non-isomorphic (canonical forms from
+/// [`enumerate_connected`]); any encoding shared by two entries is then a
+/// genuine collision.
+pub fn collision_report(graphs: &[SmallGraph], label_count: usize) -> CollisionReport {
+    let max_edges = graphs.iter().map(SmallGraph::edge_count).max().unwrap_or(0);
+    let mut classes: Vec<EdgeClassStats> = (0..=max_edges)
+        .map(|e| EdgeClassStats {
+            edges: e,
+            graphs: 0,
+            distinct_encodings: 0,
+            colliding_pairs: 0,
+            example: None,
+        })
+        .collect();
+    let mut by_encoding: Vec<HashMap<Encoding, Vec<&SmallGraph>>> =
+        vec![HashMap::new(); max_edges + 1];
+    for g in graphs {
+        let e = g.edge_count();
+        classes[e].graphs += 1;
+        by_encoding[e].entry(g.encoding(label_count)).or_default().push(g);
+    }
+    for (e, map) in by_encoding.iter().enumerate() {
+        classes[e].distinct_encodings = map.len();
+        for group in map.values() {
+            let k = group.len();
+            if k > 1 {
+                classes[e].colliding_pairs += k * (k - 1) / 2;
+                if classes[e].example.is_none() {
+                    classes[e].example = Some((group[0].clone(), group[1].clone()));
+                }
+            }
+        }
+    }
+    CollisionReport { classes }
+}
+
+/// Searches for a small graph whose encoding matches `target`, growing
+/// candidates breadth-first. Used to render the discriminative subgraphs of
+/// Fig. 4 from their feature encodings. `budget` caps the number of
+/// canonical forms visited; returns `None` when exhausted.
+pub fn find_realization(
+    target: &Encoding,
+    label_count: usize,
+    budget: usize,
+) -> Option<SmallGraph> {
+    let want_nodes = target.node_count();
+    let want_edges = target.edge_count();
+    let mut label_multiset: Vec<u8> = target.rows().map(|r| r[0]).collect();
+    label_multiset.sort_unstable();
+
+    let config = EnumerationConfig::unrestricted(label_count, want_edges);
+    let mut all: HashSet<SmallGraph> = HashSet::new();
+    let mut frontier: Vec<SmallGraph> = Vec::new();
+    for l in 0..label_count as u8 {
+        // Only seed labels present in the target.
+        if label_multiset.contains(&l) {
+            let g = SmallGraph::new(vec![l], &[]).canonical();
+            if all.insert(g.clone()) {
+                frontier.push(g);
+            }
+        }
+    }
+    let mut visited = 0usize;
+    for _ in 1..=want_edges {
+        let mut next = Vec::new();
+        for g in &frontier {
+            for succ in successors(g, &config) {
+                visited += 1;
+                if visited > budget {
+                    return None;
+                }
+                // Prune: label multiset must stay a sub-multiset of the
+                // target, node count must not exceed it.
+                if succ.node_count() > want_nodes {
+                    continue;
+                }
+                if !is_sub_multiset(succ.labels(), &label_multiset) {
+                    continue;
+                }
+                if succ.edge_count() == want_edges
+                    && succ.node_count() == want_nodes
+                    && &succ.encoding(label_count) == target
+                {
+                    return Some(succ);
+                }
+                if all.insert(succ.clone()) {
+                    next.push(succ);
+                }
+            }
+        }
+        frontier = next;
+    }
+    None
+}
+
+fn is_sub_multiset(labels: &[u8], sorted_target: &[u8]) -> bool {
+    let mut counts = [0i32; 256];
+    for &l in sorted_target {
+        counts[l as usize] += 1;
+    }
+    for &l in labels {
+        counts[l as usize] -= 1;
+        if counts[l as usize] < 0 {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_for_single_label_tiny_graphs() {
+        // Connected unlabeled graphs: 0 edges: 1 (the single node);
+        // 1 edge: 1 (K2); 2 edges: 1 (P3); 3 edges: 3 (P4, star K1,3, C3).
+        let graphs = enumerate_connected(&EnumerationConfig::unrestricted(1, 3));
+        let count_with = |e: usize| graphs.iter().filter(|g| g.edge_count() == e).count();
+        assert_eq!(count_with(0), 1);
+        assert_eq!(count_with(1), 1);
+        assert_eq!(count_with(2), 1);
+        assert_eq!(count_with(3), 3);
+    }
+
+    #[test]
+    fn counts_for_two_labels_one_edge() {
+        // Labelled K2 over {a, b}: aa, ab, bb → 3 graphs with 1 edge,
+        // 2 single-node graphs.
+        let graphs = enumerate_connected(&EnumerationConfig::unrestricted(2, 1));
+        assert_eq!(graphs.iter().filter(|g| g.edge_count() == 0).count(), 2);
+        assert_eq!(graphs.iter().filter(|g| g.edge_count() == 1).count(), 3);
+    }
+
+    #[test]
+    fn loop_free_excludes_same_label_edges() {
+        let graphs = enumerate_connected(&EnumerationConfig::loop_free(2, 2));
+        for g in &graphs {
+            for (u, v) in g.edges() {
+                assert_ne!(
+                    g.labels()[u as usize],
+                    g.labels()[v as usize],
+                    "loop-free enumeration produced a same-label edge"
+                );
+            }
+        }
+        // One edge: only ab. Two edges: paths aba, bab → 2.
+        assert_eq!(graphs.iter().filter(|g| g.edge_count() == 1).count(), 1);
+        assert_eq!(graphs.iter().filter(|g| g.edge_count() == 2).count(), 2);
+    }
+
+    #[test]
+    fn all_results_are_connected_canonical_and_distinct() {
+        let graphs = enumerate_connected(&EnumerationConfig::unrestricted(2, 4));
+        let mut seen = HashSet::new();
+        for g in &graphs {
+            assert!(g.is_connected());
+            assert_eq!(&g.canonical(), g, "enumeration must yield canonical forms");
+            assert!(seen.insert(g.clone()), "duplicate canonical form");
+        }
+    }
+
+    #[test]
+    fn no_collisions_up_to_four_edges_single_label() {
+        // The weaker (with-loops) bound of §3.1: encodings are unique up to
+        // 4 edges even when the LCG has self loops. Single label = the
+        // all-loops worst case.
+        let graphs = enumerate_connected(&EnumerationConfig::unrestricted(1, 4));
+        let report = collision_report(&graphs, 1);
+        assert!(report.unique_up_to_edges() >= 4, "report: {report:?}");
+    }
+
+    #[test]
+    fn collision_exists_at_five_edges_single_label() {
+        // With LCG loops the bound is exactly 4: some pair of 5-edge
+        // graphs must collide (paper Fig. 1C left).
+        let graphs = enumerate_connected(&EnumerationConfig::unrestricted(1, 5));
+        let report = collision_report(&graphs, 1);
+        assert_eq!(report.unique_up_to_edges(), 4);
+        let class5 = &report.classes[5];
+        assert!(class5.colliding_pairs > 0);
+        let (a, b) = class5.example.as_ref().unwrap();
+        assert!(!a.is_isomorphic(b), "collision witnesses must be non-isomorphic");
+        assert_eq!(a.encoding(1), b.encoding(1));
+    }
+
+    #[test]
+    fn realization_search_recovers_a_path() {
+        let target = SmallGraph::new(vec![0, 1, 0], &[(0, 1), (1, 2)]).encoding(2);
+        let found = find_realization(&target, 2, 100_000).expect("path is realizable");
+        assert_eq!(found.encoding(2), target);
+        assert_eq!(found.edge_count(), 2);
+    }
+
+    #[test]
+    fn realization_respects_budget() {
+        let target = SmallGraph::new(vec![0; 5], &[(0, 1), (1, 2), (2, 3), (3, 4)]).encoding(1);
+        assert!(find_realization(&target, 1, 1).is_none());
+    }
+}

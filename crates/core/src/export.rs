@@ -1,0 +1,139 @@
+//! Feature-matrix export: CSV for downstream tooling and a compact text
+//! vocabulary listing. The paper's original pipeline handed features to
+//! Python/scikit-learn; these writers keep that workflow available.
+
+use std::io::Write;
+
+use hsgf_graph::LabelSet;
+
+use crate::features::FeatureMatrix;
+
+/// Writes the matrix as CSV: a header row of rendered encodings (using the
+/// given label names) followed by one dense row per root. The first column
+/// is the root node id.
+pub fn write_csv<W: Write>(
+    matrix: &FeatureMatrix,
+    labels: &LabelSet,
+    mut out: W,
+) -> std::io::Result<()> {
+    write!(out, "node")?;
+    for (_, encoding) in matrix.space().iter() {
+        write!(out, ",{}", encoding.render(labels))?;
+    }
+    writeln!(out)?;
+    for (i, root) in matrix.roots().iter().enumerate() {
+        write!(out, "{}", root.raw())?;
+        let row = matrix.row(i);
+        let mut cursor = 0usize;
+        for f in 0..matrix.feature_count() as u32 {
+            let value = if cursor < row.len() && row[cursor].0 == f {
+                let v = row[cursor].1;
+                cursor += 1;
+                v
+            } else {
+                0.0
+            };
+            if value == 0.0 {
+                write!(out, ",0")?;
+            } else if value.fract() == 0.0 && value.abs() < 1e15 {
+                write!(out, ",{}", value as i64)?;
+            } else {
+                write!(out, ",{value}")?;
+            }
+        }
+        writeln!(out)?;
+    }
+    Ok(())
+}
+
+/// Writes the vocabulary: one line per feature with its index, rendered
+/// encoding, node count, edge count, and document frequency.
+pub fn write_vocabulary<W: Write>(
+    matrix: &FeatureMatrix,
+    labels: &LabelSet,
+    mut out: W,
+) -> std::io::Result<()> {
+    let df = matrix.document_frequency();
+    writeln!(out, "# index\tencoding\tnodes\tedges\tdoc_freq")?;
+    for (idx, encoding) in matrix.space().iter() {
+        writeln!(
+            out,
+            "{idx}\t{}\t{}\t{}\t{}",
+            encoding.render(labels),
+            encoding.node_count(),
+            encoding.edge_count(),
+            df[idx as usize]
+        )?;
+    }
+    Ok(())
+}
+
+/// CSV rendering to a `String` (convenience for tests and small exports).
+pub fn to_csv_string(matrix: &FeatureMatrix, labels: &LabelSet) -> String {
+    let mut buf = Vec::new();
+    write_csv(matrix, labels, &mut buf).expect("writing to a Vec cannot fail");
+    String::from_utf8(buf).expect("CSV is UTF-8")
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+
+    use hsgf_graph::{Label, NodeId};
+
+    use crate::sequence::Encoding;
+
+    use super::*;
+
+    fn sample() -> (FeatureMatrix, LabelSet) {
+        let labels = LabelSet::from_names(["x", "y"]).unwrap();
+        let e1 = Encoding::of_subgraph(2, &[Label::new(0), Label::new(1)], &[(0, 1)]);
+        let e2 = Encoding::of_subgraph(2, &[Label::new(0), Label::new(0)], &[(0, 1)]);
+        let mut c1 = HashMap::new();
+        c1.insert(e1.clone(), 2);
+        let mut c2 = HashMap::new();
+        c2.insert(e1, 1);
+        c2.insert(e2, 7);
+        let matrix =
+            FeatureMatrix::from_censuses(vec![NodeId::new(3), NodeId::new(8)], vec![c1, c2]);
+        (matrix, labels)
+    }
+
+    #[test]
+    fn csv_has_header_and_dense_rows() {
+        let (matrix, labels) = sample();
+        let csv = to_csv_string(&matrix, &labels);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("node,"));
+        assert_eq!(lines[0].matches(',').count(), matrix.feature_count());
+        assert!(lines[1].starts_with("3,"));
+        assert!(lines[2].starts_with("8,"));
+        // Row 1 has a zero for the second feature.
+        assert!(lines[1].ends_with(",0") || lines[1].contains(",0,"));
+    }
+
+    #[test]
+    fn csv_values_match_matrix() {
+        let (matrix, labels) = sample();
+        let csv = to_csv_string(&matrix, &labels);
+        let lines: Vec<&str> = csv.lines().collect();
+        for (i, line) in lines[1..].iter().enumerate() {
+            let cells: Vec<&str> = line.split(',').collect();
+            for f in 0..matrix.feature_count() {
+                let got: f64 = cells[f + 1].parse().unwrap();
+                assert_eq!(got, matrix.value(i, f as u32));
+            }
+        }
+    }
+
+    #[test]
+    fn vocabulary_lists_every_feature() {
+        let (matrix, labels) = sample();
+        let mut buf = Vec::new();
+        write_vocabulary(&matrix, &labels, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert_eq!(text.lines().count(), 1 + matrix.feature_count());
+        assert!(text.contains("doc_freq"));
+    }
+}

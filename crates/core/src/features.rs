@@ -1,0 +1,349 @@
+//! Assembly of per-node censuses into a shared feature space
+//! (paper §3.2 "Feature Definition": every distinct subgraph encoding is one
+//! feature; its value for a node is the rooted count).
+//!
+//! Censuses of different nodes discover different encodings, so downstream
+//! learners need a common vocabulary. [`FeatureMatrix::from_censuses`]
+//! interns every encoding once and stores rows sparsely; helpers provide
+//! document-frequency pruning, `log1p` scaling (counts grow roughly
+//! exponentially with `emax`), and dense export for the `hsgf-ml`
+//! regressors.
+
+use std::collections::HashMap;
+
+use hsgf_graph::NodeId;
+
+use crate::sequence::Encoding;
+
+/// An interned vocabulary of subgraph encodings.
+#[derive(Clone, Debug, Default)]
+pub struct FeatureSpace {
+    index: HashMap<Encoding, u32>,
+    keys: Vec<Encoding>,
+}
+
+impl FeatureSpace {
+    /// Creates an empty feature space.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns an encoding, returning its stable feature index.
+    pub fn intern(&mut self, encoding: Encoding) -> u32 {
+        if let Some(&idx) = self.index.get(&encoding) {
+            return idx;
+        }
+        let idx = self.keys.len() as u32;
+        self.index.insert(encoding.clone(), idx);
+        self.keys.push(encoding);
+        idx
+    }
+
+    /// Looks up an existing encoding's index.
+    pub fn get(&self, encoding: &Encoding) -> Option<u32> {
+        self.index.get(encoding).copied()
+    }
+
+    /// The encoding behind a feature index.
+    pub fn key(&self, idx: u32) -> &Encoding {
+        &self.keys[idx as usize]
+    }
+
+    /// Number of interned features.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Whether the space is empty.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// Iterates `(index, encoding)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &Encoding)> {
+        self.keys.iter().enumerate().map(|(i, k)| (i as u32, k))
+    }
+}
+
+/// A sparse node × subgraph-feature matrix over a shared [`FeatureSpace`].
+#[derive(Clone, Debug)]
+pub struct FeatureMatrix {
+    space: FeatureSpace,
+    /// One sparse row per root; entries sorted by feature index.
+    rows: Vec<Vec<(u32, f64)>>,
+    roots: Vec<NodeId>,
+}
+
+impl FeatureMatrix {
+    /// Builds a matrix from per-root censuses (in root order).
+    ///
+    /// ```
+    /// use std::collections::HashMap;
+    /// use hsgf_core::{Encoding, features::FeatureMatrix};
+    /// use hsgf_graph::{Label, NodeId};
+    ///
+    /// let edge = Encoding::of_subgraph(2, &[Label::new(0), Label::new(1)], &[(0, 1)]);
+    /// let mut census = HashMap::new();
+    /// census.insert(edge.clone(), 3u64);
+    /// let m = FeatureMatrix::from_censuses(vec![NodeId::new(7)], vec![census]);
+    /// assert_eq!(m.feature_count(), 1);
+    /// assert_eq!(m.value(0, m.space().get(&edge).unwrap()), 3.0);
+    /// ```
+    pub fn from_censuses(
+        roots: Vec<NodeId>,
+        censuses: Vec<HashMap<Encoding, u64>>,
+    ) -> Self {
+        assert_eq!(roots.len(), censuses.len(), "one census per root");
+        let mut space = FeatureSpace::new();
+        let mut rows = Vec::with_capacity(censuses.len());
+        for census in censuses {
+            let mut row: Vec<(u32, f64)> = census
+                .into_iter()
+                .map(|(enc, count)| (space.intern(enc), count as f64))
+                .collect();
+            row.sort_unstable_by_key(|&(i, _)| i);
+            rows.push(row);
+        }
+        FeatureMatrix { space, rows, roots }
+    }
+
+    /// The shared feature vocabulary.
+    pub fn space(&self) -> &FeatureSpace {
+        &self.space
+    }
+
+    /// The roots, in row order.
+    pub fn roots(&self) -> &[NodeId] {
+        &self.roots
+    }
+
+    /// Number of rows (nodes).
+    pub fn row_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Number of features (columns).
+    pub fn feature_count(&self) -> usize {
+        self.space.len()
+    }
+
+    /// The sparse row for node `i` (entries sorted by feature index).
+    pub fn row(&self, i: usize) -> &[(u32, f64)] {
+        &self.rows[i]
+    }
+
+    /// Value at `(row, feature)` — binary search within the sparse row.
+    pub fn value(&self, row: usize, feature: u32) -> f64 {
+        match self.rows[row].binary_search_by_key(&feature, |&(i, _)| i) {
+            Ok(pos) => self.rows[row][pos].1,
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Number of rows in which each feature occurs (document frequency).
+    pub fn document_frequency(&self) -> Vec<u32> {
+        let mut df = vec![0u32; self.feature_count()];
+        for row in &self.rows {
+            for &(idx, _) in row {
+                df[idx as usize] += 1;
+            }
+        }
+        df
+    }
+
+    /// Drops features occurring in fewer than `min_df` rows, reindexing the
+    /// vocabulary. Rare features carry little signal for linear models and
+    /// inflate the dense export.
+    pub fn filter_min_df(&self, min_df: u32) -> FeatureMatrix {
+        let df = self.document_frequency();
+        let mut space = FeatureSpace::new();
+        let mut remap: Vec<Option<u32>> = vec![None; self.feature_count()];
+        for (old_idx, enc) in self.space.iter() {
+            if df[old_idx as usize] >= min_df {
+                remap[old_idx as usize] = Some(space.intern(enc.clone()));
+            }
+        }
+        let rows = self
+            .rows
+            .iter()
+            .map(|row| {
+                let mut new_row: Vec<(u32, f64)> = row
+                    .iter()
+                    .filter_map(|&(idx, v)| remap[idx as usize].map(|ni| (ni, v)))
+                    .collect();
+                new_row.sort_unstable_by_key(|&(i, _)| i);
+                new_row
+            })
+            .collect();
+        FeatureMatrix { space, rows, roots: self.roots.clone() }
+    }
+
+    /// Keeps only the `k` features with the highest document frequency
+    /// (ties broken by feature index), reindexing the vocabulary. Document
+    /// frequency is target-independent, so this cap cannot leak label
+    /// information into the features.
+    pub fn top_k_by_document_frequency(&self, k: usize) -> FeatureMatrix {
+        if self.feature_count() <= k {
+            return self.clone();
+        }
+        let df = self.document_frequency();
+        let mut order: Vec<usize> = (0..df.len()).collect();
+        order.sort_by_key(|&i| (std::cmp::Reverse(df[i]), i));
+        order.truncate(k);
+        order.sort_unstable();
+        let mut space = FeatureSpace::new();
+        let mut remap: Vec<Option<u32>> = vec![None; self.feature_count()];
+        for &old_idx in &order {
+            remap[old_idx] = Some(space.intern(self.space.key(old_idx as u32).clone()));
+        }
+        let rows = self
+            .rows
+            .iter()
+            .map(|row| {
+                let mut new_row: Vec<(u32, f64)> = row
+                    .iter()
+                    .filter_map(|&(idx, v)| remap[idx as usize].map(|ni| (ni, v)))
+                    .collect();
+                new_row.sort_unstable_by_key(|&(i, _)| i);
+                new_row
+            })
+            .collect();
+        FeatureMatrix { space, rows, roots: self.roots.clone() }
+    }
+
+    /// Applies `ln(1 + x)` to every value. Census counts grow roughly
+    /// exponentially with `emax`; compressing them stabilizes linear and
+    /// ridge models without affecting tree-based ones (monotone transform).
+    pub fn log1p(&self) -> FeatureMatrix {
+        let rows = self
+            .rows
+            .iter()
+            .map(|row| row.iter().map(|&(i, v)| (i, v.ln_1p())).collect())
+            .collect();
+        FeatureMatrix { space: self.space.clone(), rows, roots: self.roots.clone() }
+    }
+
+    /// Exports a dense row-major matrix (`row_count × feature_count`).
+    pub fn to_dense(&self) -> Vec<f64> {
+        let cols = self.feature_count();
+        let mut out = vec![0.0; self.rows.len() * cols];
+        for (r, row) in self.rows.iter().enumerate() {
+            for &(idx, v) in row {
+                out[r * cols + idx as usize] = v;
+            }
+        }
+        out
+    }
+
+    /// Total number of stored non-zero entries.
+    pub fn nnz(&self) -> usize {
+        self.rows.iter().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use hsgf_graph::Label;
+
+    use super::*;
+
+    fn enc(labels: &[u8], edges: &[(u8, u8)]) -> Encoding {
+        let labels: Vec<Label> = labels.iter().map(|&l| Label::new(l)).collect();
+        Encoding::of_subgraph(2, &labels, edges)
+    }
+
+    fn sample_matrix() -> FeatureMatrix {
+        let e1 = enc(&[0, 1], &[(0, 1)]);
+        let e2 = enc(&[0, 0], &[(0, 1)]);
+        let e3 = enc(&[0, 1, 1], &[(0, 1), (0, 2)]);
+        let mut c1 = HashMap::new();
+        c1.insert(e1.clone(), 3);
+        c1.insert(e2.clone(), 1);
+        let mut c2 = HashMap::new();
+        c2.insert(e1.clone(), 2);
+        c2.insert(e3.clone(), 5);
+        FeatureMatrix::from_censuses(vec![NodeId::new(0), NodeId::new(1)], vec![c1, c2])
+    }
+
+    #[test]
+    fn interning_is_stable_and_shared() {
+        let m = sample_matrix();
+        assert_eq!(m.row_count(), 2);
+        assert_eq!(m.feature_count(), 3);
+        let e1 = enc(&[0, 1], &[(0, 1)]);
+        let idx = m.space().get(&e1).unwrap();
+        assert_eq!(m.value(0, idx), 3.0);
+        assert_eq!(m.value(1, idx), 2.0);
+    }
+
+    #[test]
+    fn value_returns_zero_for_absent_features() {
+        let m = sample_matrix();
+        let e3 = enc(&[0, 1, 1], &[(0, 1), (0, 2)]);
+        let idx = m.space().get(&e3).unwrap();
+        assert_eq!(m.value(0, idx), 0.0);
+        assert_eq!(m.value(1, idx), 5.0);
+    }
+
+    #[test]
+    fn document_frequency_counts_rows() {
+        let m = sample_matrix();
+        let df = m.document_frequency();
+        let e1 = enc(&[0, 1], &[(0, 1)]);
+        assert_eq!(df[m.space().get(&e1).unwrap() as usize], 2);
+        let e2 = enc(&[0, 0], &[(0, 1)]);
+        assert_eq!(df[m.space().get(&e2).unwrap() as usize], 1);
+    }
+
+    #[test]
+    fn min_df_filter_drops_and_reindexes() {
+        let m = sample_matrix().filter_min_df(2);
+        assert_eq!(m.feature_count(), 1, "only e1 appears in both rows");
+        let e1 = enc(&[0, 1], &[(0, 1)]);
+        let idx = m.space().get(&e1).unwrap();
+        assert_eq!(idx, 0);
+        assert_eq!(m.value(0, idx), 3.0);
+        assert_eq!(m.value(1, idx), 2.0);
+        assert_eq!(m.nnz(), 2);
+    }
+
+    #[test]
+    fn top_k_by_df_keeps_most_frequent() {
+        let m = sample_matrix();
+        let capped = m.top_k_by_document_frequency(1);
+        assert_eq!(capped.feature_count(), 1);
+        // e1 appears in both rows; it must be the survivor.
+        let e1 = enc(&[0, 1], &[(0, 1)]);
+        assert!(capped.space().get(&e1).is_some());
+        assert_eq!(capped.value(0, 0), 3.0);
+        // A cap larger than the vocabulary is a no-op.
+        let uncapped = m.top_k_by_document_frequency(100);
+        assert_eq!(uncapped.feature_count(), m.feature_count());
+    }
+
+    #[test]
+    fn log1p_transforms_values() {
+        let m = sample_matrix().log1p();
+        let e1 = enc(&[0, 1], &[(0, 1)]);
+        let idx = m.space().get(&e1).unwrap();
+        assert!((m.value(0, idx) - 4.0f64.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dense_export_matches_sparse() {
+        let m = sample_matrix();
+        let dense = m.to_dense();
+        let cols = m.feature_count();
+        for r in 0..m.row_count() {
+            for c in 0..cols {
+                assert_eq!(dense[r * cols + c], m.value(r, c as u32));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one census per root")]
+    fn mismatched_lengths_panic() {
+        let _ = FeatureMatrix::from_censuses(vec![NodeId::new(0)], vec![]);
+    }
+}

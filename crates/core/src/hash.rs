@@ -1,0 +1,287 @@
+//! Rolling subgraph hashes (paper §3.2, "Hashing Optimization").
+//!
+//! Characteristic sequences are vectors of small integers; converting them
+//! to strings before hashing is wasteful. The paper assigns every label `l`
+//! a base `b_l` and scores a node's row `s_v = (λ(v), t_1, …, t_k)` as the
+//! *row value*
+//!
+//! ```text
+//! rv(s_v) = λ(v) + Σ_{i=1..k}  t_i · b_{λ(v)}^i        (mod 2^64 here)
+//! ```
+//!
+//! and the subgraph hash as a sum over nodes, which is invariant under node
+//! order and updates incrementally when the subgraph grows.
+//!
+//! Two combination schemes are provided:
+//!
+//! * [`HashScheme::Linear`] — the paper's formula (5) verbatim: the hash is
+//!   `Σ_v rv(s_v)`. Because every term is linear in the counts, this value
+//!   only depends on the *multiset of edge label pairs*: a single-label star
+//!   `K_{1,3}` and path `P_4` hash identically. We keep it for fidelity and
+//!   for the A1 ablation, but it is a weak key.
+//! * [`HashScheme::Mixed`] (default) — each row value is passed through a
+//!   64-bit finalizer before summing: `Σ_v mix(rv(s_v))`. Still order
+//!   invariant, still O(1) to update per affected node (subtract the old
+//!   mixed value, add the new one), and collision-resistant in practice.
+
+use serde::{Deserialize, Serialize};
+
+use crate::sequence::Encoding;
+
+/// How row values are combined into the subgraph hash.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum HashScheme {
+    /// `Σ_v mix(rv(s_v))` — collision-resistant rolling hash (default).
+    Mixed,
+    /// `Σ_v rv(s_v)` — the paper's linear formula (5); collides for
+    /// subgraphs sharing an edge-label multiset.
+    Linear,
+}
+
+impl Default for HashScheme {
+    fn default() -> Self {
+        HashScheme::Mixed
+    }
+}
+
+/// Per-label hash bases with precomputed powers.
+#[derive(Clone, Debug)]
+pub struct LabelBases {
+    /// `powers[l][i] = b_l^i (mod 2^64)` for `i ∈ 0..=label_count`.
+    powers: Vec<Vec<u64>>,
+}
+
+/// splitmix64 step — cheap, well-distributed seed expander.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    mix(*state)
+}
+
+/// The splitmix64 finalizer: a fast 64-bit bijective mixer.
+#[inline]
+pub fn mix(x: u64) -> u64 {
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl LabelBases {
+    /// Derives one odd 64-bit base per label from `seed` and precomputes
+    /// powers up to `label_count` (the highest exponent an undirected row
+    /// can use).
+    pub fn new(label_count: usize, seed: u64) -> Self {
+        Self::with_max_exponent(label_count, label_count, seed)
+    }
+
+    /// As [`LabelBases::new`], but with an explicit maximum exponent —
+    /// the directed characteristic sequence has `3 × label_count` count
+    /// columns per row, so its exponents exceed the label count.
+    pub fn with_max_exponent(label_count: usize, max_exponent: usize, seed: u64) -> Self {
+        let mut state = seed;
+        let powers = (0..label_count)
+            .map(|_| {
+                let base = splitmix64(&mut state) | 1; // odd ⇒ invertible mod 2^64
+                let mut row = Vec::with_capacity(max_exponent + 1);
+                let mut acc = 1u64;
+                row.push(acc);
+                for _ in 0..max_exponent {
+                    acc = acc.wrapping_mul(base);
+                    row.push(acc);
+                }
+                row
+            })
+            .collect();
+        LabelBases { powers }
+    }
+
+    /// Number of labels covered.
+    pub fn label_count(&self) -> usize {
+        self.powers.len()
+    }
+
+    /// `b_{label}^{exp}` — `exp` must be ≤ `label_count`.
+    #[inline]
+    pub fn power(&self, label: usize, exp: usize) -> u64 {
+        self.powers[label][exp]
+    }
+
+    /// Linear row value `rv(s_v) = λ(v) + Σ t_i · b_{λ(v)}^i`.
+    #[inline]
+    pub fn row_value(&self, label: usize, counts: &[u8]) -> u64 {
+        let pows = &self.powers[label];
+        let mut acc = label as u64;
+        for (i, &t) in counts.iter().enumerate() {
+            if t != 0 {
+                acc = acc.wrapping_add(pows[i + 1].wrapping_mul(t as u64));
+            }
+        }
+        acc
+    }
+
+    /// The row-value delta of an existing node of label `u_label` gaining
+    /// one in-subgraph neighbour of label `new_label`.
+    #[inline]
+    pub fn neighbor_delta(&self, u_label: usize, new_label: usize) -> u64 {
+        self.powers[u_label][new_label + 1]
+    }
+
+    /// Hashes a complete encoding from scratch under the given scheme
+    /// (reference path used by tests and validation).
+    pub fn hash_encoding(&self, enc: &Encoding, scheme: HashScheme) -> u64 {
+        let mut acc = 0u64;
+        for row in enc.rows() {
+            let rv = self.row_value(row[0] as usize, &row[1..]);
+            acc = acc.wrapping_add(match scheme {
+                HashScheme::Mixed => mix(rv),
+                HashScheme::Linear => rv,
+            });
+        }
+        acc
+    }
+}
+
+/// FNV-1a over the canonical encoding bytes — the "convert to a string and
+/// hash it" strategy the paper compares against (ablation A1). Requires the
+/// sorted encoding to be materialized, which is exactly the cost the rolling
+/// scheme avoids.
+pub fn fnv1a_encoding_hash(enc: &Encoding) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for &b in enc.as_bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use hsgf_graph::Label;
+
+    use super::*;
+
+    fn enc(label_count: usize, labels: &[u8], edges: &[(u8, u8)]) -> Encoding {
+        let labels: Vec<Label> = labels.iter().map(|&l| Label::new(l)).collect();
+        Encoding::of_subgraph(label_count, &labels, edges)
+    }
+
+    #[test]
+    fn linear_hash_matches_row_sum_definition() {
+        let bases = LabelBases::new(3, 42);
+        let e = enc(3, &[2, 1, 2], &[(0, 1), (1, 2)]);
+        // Two z rows (label 2) with one y neighbour each, one y row (label
+        // 1) with two z neighbours; each row value includes the label term.
+        let expected = 2u64
+            .wrapping_add(bases.power(2, 2))
+            .wrapping_add(2u64.wrapping_add(bases.power(2, 2)))
+            .wrapping_add(1u64.wrapping_add(bases.power(1, 3).wrapping_mul(2)));
+        assert_eq!(bases.hash_encoding(&e, HashScheme::Linear), expected);
+    }
+
+    #[test]
+    fn deterministic_per_seed_and_distinct_across_seeds() {
+        let e = enc(2, &[0, 1], &[(0, 1)]);
+        let a = LabelBases::new(2, 7).hash_encoding(&e, HashScheme::Mixed);
+        let b = LabelBases::new(2, 7).hash_encoding(&e, HashScheme::Mixed);
+        let c = LabelBases::new(2, 8).hash_encoding(&e, HashScheme::Mixed);
+        assert_eq!(a, b);
+        assert_ne!(a, c, "different seeds should (overwhelmingly) differ");
+    }
+
+    #[test]
+    fn incremental_row_deltas_match_full_rehash() {
+        let bases = LabelBases::new(3, 99);
+        // Subgraph: 0(l0) -- 1(l1); insert node 2 (l2) adjacent to both.
+        let before = enc(3, &[0, 1], &[(0, 1)]);
+        let after = enc(3, &[0, 1, 2], &[(0, 1), (0, 2), (1, 2)]);
+        // Row values before/after for nodes 0 and 1, plus the new node 2.
+        let rv0_before = bases.row_value(0, &[0, 1, 0]);
+        let rv0_after = rv0_before.wrapping_add(bases.neighbor_delta(0, 2));
+        let rv1_before = bases.row_value(1, &[1, 0, 0]);
+        let rv1_after = rv1_before.wrapping_add(bases.neighbor_delta(1, 2));
+        let rv2 = bases.row_value(2, &[1, 1, 0]);
+        let h_before = bases.hash_encoding(&before, HashScheme::Mixed);
+        let h_incremental = h_before
+            .wrapping_sub(mix(rv0_before))
+            .wrapping_add(mix(rv0_after))
+            .wrapping_sub(mix(rv1_before))
+            .wrapping_add(mix(rv1_after))
+            .wrapping_add(mix(rv2));
+        assert_eq!(h_incremental, bases.hash_encoding(&after, HashScheme::Mixed));
+    }
+
+    #[test]
+    fn linear_scheme_collides_on_edge_label_multisets() {
+        // The documented weakness: a single-label star K_{1,3} and path P_4
+        // share the edge-label multiset AND the node-label multiset, so the
+        // linear scheme cannot separate them...
+        let bases = LabelBases::new(2, 1);
+        let path = enc(2, &[0, 0, 0, 0], &[(0, 1), (1, 2), (2, 3)]);
+        let star = enc(2, &[0, 0, 0, 0], &[(0, 1), (0, 2), (0, 3)]);
+        assert_ne!(path, star);
+        assert_eq!(
+            bases.hash_encoding(&path, HashScheme::Linear),
+            bases.hash_encoding(&star, HashScheme::Linear)
+        );
+        // ... and the mixed scheme separates them.
+        assert_ne!(
+            bases.hash_encoding(&path, HashScheme::Mixed),
+            bases.hash_encoding(&star, HashScheme::Mixed)
+        );
+    }
+
+    #[test]
+    fn distinct_small_encodings_hash_distinctly_under_mixed() {
+        let bases = LabelBases::new(2, 1);
+        let encodings = [
+            enc(2, &[0, 1], &[(0, 1)]),
+            enc(2, &[0, 0], &[(0, 1)]),
+            enc(2, &[1, 1], &[(0, 1)]),
+            enc(2, &[0, 1, 0], &[(0, 1), (1, 2)]),
+            enc(2, &[0, 1, 0], &[(0, 1), (0, 2)]),
+            enc(2, &[0, 1, 1], &[(0, 1), (0, 2)]),
+            enc(2, &[0; 4], &[(0, 1), (1, 2), (2, 3)]),
+            enc(2, &[0; 4], &[(0, 1), (0, 2), (0, 3)]),
+        ];
+        let mut hashes: Vec<u64> = encodings
+            .iter()
+            .map(|e| bases.hash_encoding(e, HashScheme::Mixed))
+            .collect();
+        hashes.sort_unstable();
+        hashes.dedup();
+        assert_eq!(hashes.len(), encodings.len());
+    }
+
+    #[test]
+    fn fnv_hash_distinguishes_same_cases() {
+        let encodings = [
+            enc(2, &[0, 1], &[(0, 1)]),
+            enc(2, &[0, 0], &[(0, 1)]),
+            enc(2, &[0, 1, 0], &[(0, 1), (1, 2)]),
+        ];
+        let mut hashes: Vec<u64> = encodings.iter().map(fnv1a_encoding_hash).collect();
+        hashes.sort_unstable();
+        hashes.dedup();
+        assert_eq!(hashes.len(), encodings.len());
+    }
+
+    #[test]
+    fn hash_is_order_invariant_like_the_encoding() {
+        let bases = LabelBases::new(3, 5);
+        let a = enc(3, &[2, 1, 2], &[(0, 1), (1, 2)]);
+        let b = enc(3, &[1, 2, 2], &[(1, 0), (0, 2)]);
+        assert_eq!(a, b);
+        for scheme in [HashScheme::Mixed, HashScheme::Linear] {
+            assert_eq!(bases.hash_encoding(&a, scheme), bases.hash_encoding(&b, scheme));
+        }
+    }
+
+    #[test]
+    fn mix_is_bijective_on_samples() {
+        // mix is a bijection on u64; spot-check injectivity on a range.
+        let mut outs: Vec<u64> = (0..10_000u64).map(mix).collect();
+        outs.sort_unstable();
+        outs.dedup();
+        assert_eq!(outs.len(), 10_000);
+    }
+}

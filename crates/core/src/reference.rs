@@ -1,0 +1,277 @@
+//! A brutally simple reference census — the executable specification the
+//! optimized engine is validated against.
+//!
+//! [`naive_census`] enumerates *every* edge subset of the graph up to
+//! `emax` edges, filters the ones forming a connected subgraph containing
+//! the root (and, with `dmax` set, the ones the degree heuristic admits),
+//! and tallies their encodings. Exponential in the edge count — only usable
+//! on tiny graphs — but each rule maps one-to-one onto the paper's prose,
+//! which is exactly what a test oracle should do.
+
+use std::collections::HashMap;
+
+use hsgf_graph::{HetGraph, NodeId, Orientation};
+
+use crate::census::CensusConfig;
+use crate::sequence::Encoding;
+
+/// Enumerates all census subgraphs of `root` by brute force and returns the
+/// counts per encoding. Semantics match
+/// [`crate::census::CensusEngine::census_encodings`]; see module docs.
+///
+/// # Panics
+/// If the graph has more than 25 edges (the subset enumeration is `2^E`).
+pub fn naive_census(
+    graph: &HetGraph,
+    root: NodeId,
+    config: &CensusConfig,
+) -> HashMap<Encoding, u64> {
+    let e = graph.edge_count();
+    assert!(e <= 25, "naive census is exponential; got {e} edges");
+    let edges: Vec<(NodeId, NodeId)> = graph.edges().collect();
+    let alphabet = graph.label_count() + usize::from(config.mask_root_label);
+    let mask_byte = config.mask_root_label.then(|| graph.label_count() as u8);
+
+    let mut counts: HashMap<Encoding, u64> = HashMap::new();
+    for bits in 1u32..(1u32 << e) {
+        let size = bits.count_ones() as usize;
+        if size > config.emax {
+            continue;
+        }
+        let subset: Vec<(NodeId, NodeId)> = (0..e)
+            .filter(|&i| bits & (1 << i) != 0)
+            .map(|i| edges[i])
+            .collect();
+        if !admissible(graph, root, &subset, config.dmax) {
+            continue;
+        }
+        *counts
+            .entry(encode_subset(
+                graph,
+                root,
+                &subset,
+                alphabet,
+                mask_byte,
+                config.directed,
+                config.edge_typed,
+            ))
+            .or_insert(0) += 1;
+    }
+    counts
+}
+
+/// Whether the edge subset is a census subgraph of `root`:
+/// connected, contains the root, and — under the degree heuristic — growable
+/// from the root without ever expanding through a non-root node of degree
+/// greater than `dmax`.
+fn admissible(
+    graph: &HetGraph,
+    root: NodeId,
+    subset: &[(NodeId, NodeId)],
+    dmax: Option<u32>,
+) -> bool {
+    // Root must be an endpoint of some edge (a connected subgraph with ≥1
+    // edge containing the root touches it).
+    if !subset.iter().any(|&(u, v)| u == root || v == root) {
+        return false;
+    }
+    let expandable = |n: NodeId| {
+        n == root
+            || match dmax {
+                None => true,
+                Some(d) => graph.degree(n) as u32 <= d,
+            }
+    };
+    // Grow from the root: an edge activates once one of its endpoints is
+    // reached AND that endpoint is expandable. Fixpoint iteration (the
+    // subset is tiny).
+    let mut in_set: Vec<NodeId> = vec![root];
+    let mut covered = vec![false; subset.len()];
+    loop {
+        let mut progress = false;
+        for (i, &(u, v)) in subset.iter().enumerate() {
+            if covered[i] {
+                continue;
+            }
+            let u_ok = in_set.contains(&u) && expandable(u);
+            let v_ok = in_set.contains(&v) && expandable(v);
+            // A cycle-closing edge between two reached nodes also needs an
+            // expandable endpoint: the engine only pushes candidates from
+            // expandable nodes.
+            if u_ok || v_ok {
+                covered[i] = true;
+                progress = true;
+                if !in_set.contains(&u) {
+                    in_set.push(u);
+                }
+                if !in_set.contains(&v) {
+                    in_set.push(v);
+                }
+            }
+        }
+        if !progress {
+            break;
+        }
+    }
+    covered.iter().all(|&c| c)
+}
+
+/// Looks up the undirected edge id of a node pair.
+fn edge_id_of(graph: &HetGraph, u: NodeId, v: NodeId) -> u32 {
+    let idx = graph
+        .neighbors(u)
+        .iter()
+        .position(|&x| x == v)
+        .expect("subset edges come from the graph");
+    graph.incident_edge_ids(u)[idx]
+}
+
+/// Builds the (optionally directed) encoding of an explicit edge subset.
+#[allow(clippy::too_many_arguments)]
+fn encode_subset(
+    graph: &HetGraph,
+    root: NodeId,
+    subset: &[(NodeId, NodeId)],
+    alphabet: usize,
+    mask_byte: Option<u8>,
+    directed: bool,
+    edge_typed: bool,
+) -> Encoding {
+    let mut nodes: Vec<NodeId> = Vec::new();
+    for &(u, v) in subset {
+        if !nodes.contains(&u) {
+            nodes.push(u);
+        }
+        if !nodes.contains(&v) {
+            nodes.push(v);
+        }
+    }
+    let label_byte = |n: NodeId| match mask_byte {
+        Some(m) if n == root => m,
+        _ => graph.label(n).raw(),
+    };
+    let type_count = if edge_typed { graph.edge_type_count() } else { 1 };
+    let cols = alphabet * if directed { 3 } else { 1 } * type_count;
+    let col = |label: u8, o: Orientation, ty: usize| -> usize {
+        let block = if directed { o.block() } else { 0 };
+        let ty = if edge_typed { ty } else { 0 };
+        (block * type_count + ty) * alphabet + label as usize
+    };
+    let row_len = 1 + cols;
+    let mut rows = vec![0u8; nodes.len() * row_len];
+    for (i, &n) in nodes.iter().enumerate() {
+        rows[i * row_len] = label_byte(n);
+    }
+    for &(u, v) in subset {
+        let iu = nodes.iter().position(|&n| n == u).expect("collected above");
+        let iv = nodes.iter().position(|&n| n == v).expect("collected above");
+        let id = edge_id_of(graph, u, v);
+        let ty = graph.edge_type(id) as usize;
+        let (ou, ov) = if directed {
+            let ou = graph.orientation(u, v, id);
+            let ov = match ou {
+                Orientation::Symmetric => Orientation::Symmetric,
+                Orientation::Incoming => Orientation::Outgoing,
+                Orientation::Outgoing => Orientation::Incoming,
+            };
+            (ou, ov)
+        } else {
+            (Orientation::Symmetric, Orientation::Symmetric)
+        };
+        rows[iu * row_len + 1 + col(label_byte(v), ou, ty)] += 1;
+        rows[iv * row_len + 1 + col(label_byte(u), ov, ty)] += 1;
+    }
+    Encoding::from_unsorted_rows(rows, row_len as u8)
+}
+
+#[cfg(test)]
+mod tests {
+    use hsgf_graph::{GraphBuilder, Label, LabelSet};
+
+    use super::*;
+
+    /// Triangle a(0) - b(1) - c(0), all edges present.
+    fn triangle() -> HetGraph {
+        let labels = LabelSet::from_names(["a", "b"]).unwrap();
+        GraphBuilder::from_edges(
+            labels,
+            &[Label::new(0), Label::new(1), Label::new(0)],
+            &[(0, 1), (1, 2), (0, 2)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn triangle_census_from_a_corner() {
+        let g = triangle();
+        let config = CensusConfig::default().with_emax(3);
+        let counts = naive_census(&g, NodeId::new(0), &config);
+        // Subgraphs containing node 0 with ≤3 edges:
+        //  1-edge: {01}, {02}                                      → 2
+        //  2-edge: {01,02}, {01,12}, {02,12}                       → 3
+        //  3-edge: {01,02,12}                                      → 1
+        let total: u64 = counts.values().sum();
+        assert_eq!(total, 6);
+        // Encodings: the two 1-edge subgraphs differ (a–b vs a–a);
+        // {01,12} and {02,12} are both a–b–a paths... wait, {02,12} is
+        // a–a plus a–b: a path a–a–b. {01,12}: a–b plus b–a: path a–b–a.
+        // {01,02}: star at a with neighbours b and a: path b–a–a. So
+        // {01,02} and {02,12} are... different rooted? Encodings ignore
+        // the root: b–a–a ≃ a–a–b as graphs → same encoding.
+        // Distinct encodings: a–b, a–a, (a–b–a), (a–a–b), triangle → 5.
+        assert_eq!(counts.len(), 5);
+    }
+
+    #[test]
+    fn dmax_blocks_expansion_through_hubs() {
+        // Path r - h - x where h is a hub (degree 2 > dmax 1).
+        let labels = LabelSet::from_names(["t"]).unwrap();
+        let g = GraphBuilder::from_edges(
+            labels,
+            &[Label::new(0), Label::new(0), Label::new(0)],
+            &[(0, 1), (1, 2)],
+        )
+        .unwrap();
+        let config = CensusConfig::default().with_emax(2).with_dmax(Some(1));
+        let counts = naive_census(&g, NodeId::new(0), &config);
+        // Only {r-h} survives: the 2-path needs expansion through h.
+        let total: u64 = counts.values().sum();
+        assert_eq!(total, 1);
+        // Without the constraint both subgraphs count.
+        let config = CensusConfig::default().with_emax(2);
+        let counts = naive_census(&g, NodeId::new(0), &config);
+        let total: u64 = counts.values().sum();
+        assert_eq!(total, 2);
+    }
+
+    #[test]
+    fn masking_changes_encodings_but_not_totals() {
+        let g = triangle();
+        let plain = naive_census(&g, NodeId::new(0), &CensusConfig::default().with_emax(2));
+        let masked = naive_census(
+            &g,
+            NodeId::new(0),
+            &CensusConfig::default().with_emax(2).with_mask_root_label(true),
+        );
+        let t1: u64 = plain.values().sum();
+        let t2: u64 = masked.values().sum();
+        assert_eq!(t1, t2, "masking must not change which subgraphs count");
+        // With the root masked, the two 1-edge subgraphs *-b and *-a are
+        // distinct, and distinct from any unmasked encoding.
+        assert!(plain.keys().all(|e| e.label_count() == 2));
+        assert!(masked.keys().all(|e| e.label_count() == 3));
+    }
+
+    #[test]
+    fn root_with_no_edges_has_empty_census() {
+        let labels = LabelSet::from_names(["t"]).unwrap();
+        let g = GraphBuilder::from_edges(
+            labels,
+            &[Label::new(0), Label::new(0), Label::new(0)],
+            &[(1, 2)],
+        )
+        .unwrap();
+        let counts = naive_census(&g, NodeId::new(0), &CensusConfig::default());
+        assert!(counts.is_empty());
+    }
+}

@@ -1,0 +1,114 @@
+//! Root-sampling strategies for feature extraction (paper §3.2 "the
+//! node-based enumeration scheme supports … sampling strategies" and
+//! §4.3.5: "prediction performance does not decrease when we extract
+//! features only up to the 95% mark", i.e. skipping the highest-degree
+//! roots whose censuses dominate the cost).
+
+use hsgf_graph::{DegreeStats, HetGraph, NodeId};
+
+/// Filters `roots` down to those whose degree lies within the given
+/// percentile of the graph's degree distribution — the paper's "extract
+/// features only up to the 95% mark" strategy. `percentile >= 100` keeps
+/// everything.
+pub fn cap_root_degrees(
+    graph: &HetGraph,
+    roots: &[NodeId],
+    percentile: f64,
+) -> Vec<NodeId> {
+    if percentile >= 100.0 {
+        return roots.to_vec();
+    }
+    let cap = DegreeStats::of(graph).degree_at_percentile(percentile);
+    roots
+        .iter()
+        .copied()
+        .filter(|&v| graph.degree(v) as u32 <= cap)
+        .collect()
+}
+
+/// Deterministically subsamples every `stride`-th root after sorting by
+/// node id — a cheap representative sample of the graph when the full
+/// by-node census is unnecessary (the paper argues features only need "a
+/// representative sample of the entire graph", §2).
+pub fn stride_sample(roots: &[NodeId], stride: usize) -> Vec<NodeId> {
+    let stride = stride.max(1);
+    let mut sorted = roots.to_vec();
+    sorted.sort_unstable();
+    sorted.into_iter().step_by(stride).collect()
+}
+
+/// Splits roots into degree-balanced batches for static scheduling: roots
+/// are sorted by descending degree and dealt round-robin, so each batch
+/// receives a similar mix of expensive hubs and cheap leaves. Useful when
+/// dynamic work stealing (the default in `parallel`) is unavailable, e.g.
+/// distributing across processes.
+pub fn degree_balanced_batches(
+    graph: &HetGraph,
+    roots: &[NodeId],
+    batches: usize,
+) -> Vec<Vec<NodeId>> {
+    let batches = batches.max(1);
+    let mut by_degree = roots.to_vec();
+    by_degree.sort_by_key(|&v| std::cmp::Reverse(graph.degree(v)));
+    let mut out = vec![Vec::with_capacity(roots.len() / batches + 1); batches];
+    for (i, v) in by_degree.into_iter().enumerate() {
+        out[i % batches].push(v);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use hsgf_graph::{GraphBuilder, Label, LabelSet};
+
+    use super::*;
+
+    /// A star (hub + 9 leaves) plus one isolated pair.
+    fn star_graph() -> HetGraph {
+        let labels = LabelSet::from_names(["x"]).unwrap();
+        let mut b = GraphBuilder::new(labels);
+        let hub = b.add_node_with(Label::new(0)).unwrap();
+        for _ in 0..9 {
+            let leaf = b.add_node_with(Label::new(0)).unwrap();
+            b.add_edge(hub, leaf).unwrap();
+        }
+        let a = b.add_node_with(Label::new(0)).unwrap();
+        let c = b.add_node_with(Label::new(0)).unwrap();
+        b.add_edge(a, c).unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn cap_removes_hubs_only() {
+        let g = star_graph();
+        let roots: Vec<NodeId> = g.nodes().collect();
+        let capped = cap_root_degrees(&g, &roots, 90.0);
+        assert_eq!(capped.len(), roots.len() - 1, "only the hub is dropped");
+        assert!(!capped.contains(&NodeId::new(0)));
+        let all = cap_root_degrees(&g, &roots, 100.0);
+        assert_eq!(all.len(), roots.len());
+    }
+
+    #[test]
+    fn stride_sample_is_sorted_and_deterministic() {
+        let roots: Vec<NodeId> = [5u32, 1, 9, 3, 7].iter().map(|&i| NodeId::new(i)).collect();
+        let s = stride_sample(&roots, 2);
+        assert_eq!(s, vec![NodeId::new(1), NodeId::new(5), NodeId::new(9)]);
+        assert_eq!(stride_sample(&roots, 1).len(), 5);
+        assert_eq!(stride_sample(&roots, 0).len(), 5, "stride 0 clamps to 1");
+    }
+
+    #[test]
+    fn batches_balance_hubs() {
+        let g = star_graph();
+        let roots: Vec<NodeId> = g.nodes().collect();
+        let batches = degree_balanced_batches(&g, &roots, 3);
+        assert_eq!(batches.len(), 3);
+        let total: usize = batches.iter().map(Vec::len).sum();
+        assert_eq!(total, roots.len());
+        // The hub (max degree) goes to batch 0; batch sizes differ by ≤ 1.
+        assert_eq!(batches[0][0], NodeId::new(0));
+        let sizes: Vec<usize> = batches.iter().map(Vec::len).collect();
+        assert!(sizes.iter().max().unwrap() - sizes.iter().min().unwrap() <= 1);
+    }
+}

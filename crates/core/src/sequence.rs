@@ -1,0 +1,292 @@
+//! Characteristic sequences and the pseudo-canonical subgraph encoding
+//! (paper §3.1).
+//!
+//! For a subgraph `H` over a label alphabet of size `k`, every node `v ∈ H`
+//! contributes the row `s_v = (λ(v), t_1, …, t_k)` where `t_l` is the number
+//! of neighbours of `v` *inside `H`* carrying label `l`. The encoding of `H`
+//! is the concatenation of all rows in descending lexicographic order
+//! (`s_{v1} ≥ s_{v2} ≥ … ≥ s_{vn}`), which makes it invariant under the node
+//! visiting order of the census.
+//!
+//! The encoding distinguishes subgraphs up to isomorphism as long as they are
+//! small: provably collision-free up to 5 edges (4 if the network's label
+//! connectivity graph has self loops); see `hsgf-core::enumerate` for the
+//! machinery that verifies those bounds exhaustively.
+
+use std::fmt;
+
+use hsgf_graph::{Label, LabelSet};
+use serde::{Deserialize, Serialize};
+
+/// A pseudo-canonical encoding of a small labelled subgraph.
+///
+/// Stored as the flat byte matrix of sorted characteristic-sequence rows;
+/// each row is `1 + label_count` bytes: `[λ(v), t_1, …, t_k]`. Node-local
+/// neighbour counts fit in a `u8` because subgraphs carry at most
+/// [`crate::census::MAX_EMAX`] edges.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Encoding {
+    bytes: Vec<u8>,
+    row_len: u8,
+}
+
+impl Encoding {
+    /// Builds the encoding of a standalone small subgraph given as a label
+    /// assignment and an edge list over local node indices.
+    ///
+    /// `label_count` fixes the alphabet (and thus the row width); every
+    /// label must satisfy `label.index() < label_count`.
+    ///
+    /// ```
+    /// use hsgf_core::Encoding;
+    /// use hsgf_graph::{Label, LabelSet};
+    ///
+    /// // The paper's Fig. 1B example: a z–y–z path over labels {x, y, z}.
+    /// let labels = [Label::new(2), Label::new(1), Label::new(2)];
+    /// let enc = Encoding::of_subgraph(3, &labels, &[(0, 1), (1, 2)]);
+    /// let names = LabelSet::from_names(["x", "y", "z"]).unwrap();
+    /// assert_eq!(enc.render(&names), "z010z010y002");
+    /// assert_eq!(enc.edge_count(), 2);
+    /// ```
+    pub fn of_subgraph(label_count: usize, node_labels: &[Label], edges: &[(u8, u8)]) -> Self {
+        let n = node_labels.len();
+        let row_len = 1 + label_count;
+        let mut rows = vec![0u8; n * row_len];
+        for (i, &l) in node_labels.iter().enumerate() {
+            debug_assert!(l.index() < label_count);
+            rows[i * row_len] = l.raw();
+        }
+        for &(u, v) in edges {
+            let (u, v) = (u as usize, v as usize);
+            debug_assert!(u < n && v < n && u != v);
+            rows[u * row_len + 1 + node_labels[v].index()] += 1;
+            rows[v * row_len + 1 + node_labels[u].index()] += 1;
+        }
+        Self::from_unsorted_rows(rows, row_len as u8)
+    }
+
+    /// Builds an encoding from a pre-filled row matrix, sorting the rows
+    /// into the canonical descending order.
+    pub(crate) fn from_unsorted_rows(rows: Vec<u8>, row_len: u8) -> Self {
+        let mut enc = Encoding { bytes: rows, row_len };
+        enc.sort_rows();
+        enc
+    }
+
+    fn sort_rows(&mut self) {
+        let rl = self.row_len as usize;
+        debug_assert_eq!(self.bytes.len() % rl, 0);
+        let n = self.bytes.len() / rl;
+        // Subgraphs are tiny (≤ MAX_EMAX + 1 rows): insertion sort on row
+        // chunks beats allocating a Vec<Vec<u8>>.
+        for i in 1..n {
+            let mut j = i;
+            while j > 0 && row(&self.bytes, rl, j - 1) < row(&self.bytes, rl, j) {
+                swap_rows(&mut self.bytes, rl, j - 1, j);
+                j -= 1;
+            }
+        }
+    }
+
+    /// Number of nodes in the encoded subgraph.
+    pub fn node_count(&self) -> usize {
+        self.bytes.len() / self.row_len as usize
+    }
+
+    /// Number of edges in the encoded subgraph (half the sum of all
+    /// neighbour counts).
+    pub fn edge_count(&self) -> usize {
+        let rl = self.row_len as usize;
+        let total: usize = self
+            .bytes
+            .chunks_exact(rl)
+            .map(|r| r[1..].iter().map(|&t| t as usize).sum::<usize>())
+            .sum();
+        total / 2
+    }
+
+    /// Size of the label alphabet the encoding was built over.
+    pub fn label_count(&self) -> usize {
+        self.row_len as usize - 1
+    }
+
+    /// Iterates the sorted rows; each row is `[λ(v), t_1, …, t_k]`.
+    pub fn rows(&self) -> impl Iterator<Item = &[u8]> {
+        self.bytes.chunks_exact(self.row_len as usize)
+    }
+
+    /// Raw canonical bytes (stable hash/compare key).
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Renders the paper's compact form (e.g. `z010z010y002`), using the
+    /// first letter of each label name from `labels`; multi-digit counts are
+    /// wrapped in parentheses.
+    pub fn render(&self, labels: &LabelSet) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for row in self.rows() {
+            let label = Label::new(row[0]);
+            match labels.name(label) {
+                Some(name) => {
+                    let c = name.chars().next().unwrap_or('?');
+                    out.push(c.to_ascii_lowercase());
+                }
+                None => {
+                    // Labels beyond the set (e.g. the artificial root mask)
+                    // render as '*'.
+                    out.push('*');
+                }
+            }
+            for &t in &row[1..] {
+                if t < 10 {
+                    let _ = write!(out, "{t}");
+                } else {
+                    let _ = write!(out, "({t})");
+                }
+            }
+        }
+        out
+    }
+}
+
+#[inline]
+fn row(bytes: &[u8], rl: usize, i: usize) -> &[u8] {
+    &bytes[i * rl..(i + 1) * rl]
+}
+
+#[inline]
+fn swap_rows(bytes: &mut [u8], rl: usize, a: usize, b: usize) {
+    debug_assert_ne!(a, b);
+    let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+    let (head, tail) = bytes.split_at_mut(hi * rl);
+    head[lo * rl..(lo + 1) * rl].swap_with_slice(&mut tail[..rl]);
+}
+
+impl fmt::Debug for Encoding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Encoding[")?;
+        for (i, row) in self.rows().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "L{}:", row[0])?;
+            for &t in &row[1..] {
+                write!(f, "{t}")?;
+            }
+        }
+        write!(f, "]")
+    }
+}
+
+impl fmt::Display for Encoding {
+    /// Label-name-free rendering: `L<id>` followed by the count digits.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for row in self.rows() {
+            write!(f, "L{}", row[0])?;
+            for &t in &row[1..] {
+                write!(f, "{t}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn l(i: u8) -> Label {
+        Label::new(i)
+    }
+
+    /// Paper Fig. 1B: labels {x, y, z}; path z -- y -- z encodes to
+    /// z010 z010 y002 (z rows first because they sort higher... the paper
+    /// sorts descending; z = label 2 > y = label 1).
+    #[test]
+    fn paper_example_z010z010y002() {
+        // Node 0: z, node 1: y, node 2: z; edges z-y, y-z.
+        let enc = Encoding::of_subgraph(3, &[l(2), l(1), l(2)], &[(0, 1), (1, 2)]);
+        let rows: Vec<Vec<u8>> = enc.rows().map(|r| r.to_vec()).collect();
+        assert_eq!(
+            rows,
+            vec![
+                vec![2, 0, 1, 0], // z: one y-neighbour
+                vec![2, 0, 1, 0], // z: one y-neighbour
+                vec![1, 0, 0, 2], // y: two z-neighbours
+            ]
+        );
+        assert_eq!(enc.node_count(), 3);
+        assert_eq!(enc.edge_count(), 2);
+        let labels = LabelSet::from_names(["x", "y", "z"]).unwrap();
+        assert_eq!(enc.render(&labels), "z010z010y002");
+    }
+
+    #[test]
+    fn encoding_is_invariant_under_node_order() {
+        // Same path with nodes listed in a different order.
+        let a = Encoding::of_subgraph(3, &[l(2), l(1), l(2)], &[(0, 1), (1, 2)]);
+        let b = Encoding::of_subgraph(3, &[l(1), l(2), l(2)], &[(1, 0), (0, 2)]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn distinguishes_star_from_path_single_label() {
+        // 3-edge path vs 3-edge star, single label: degree sequences differ.
+        let path = Encoding::of_subgraph(1, &[l(0); 4], &[(0, 1), (1, 2), (2, 3)]);
+        let star = Encoding::of_subgraph(1, &[l(0); 4], &[(0, 1), (0, 2), (0, 3)]);
+        assert_ne!(path, star);
+        assert_eq!(path.edge_count(), 3);
+        assert_eq!(star.edge_count(), 3);
+    }
+
+    #[test]
+    fn distinguishes_label_placement() {
+        // Same topology (path of 2 edges), different label on the centre.
+        let a = Encoding::of_subgraph(2, &[l(0), l(1), l(0)], &[(0, 1), (1, 2)]);
+        let b = Encoding::of_subgraph(2, &[l(1), l(0), l(1)], &[(0, 1), (1, 2)]);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn rows_are_sorted_descending() {
+        let enc = Encoding::of_subgraph(
+            3,
+            &[l(0), l(2), l(1), l(2)],
+            &[(0, 1), (0, 2), (0, 3), (1, 2)],
+        );
+        let rows: Vec<&[u8]> = enc.rows().collect();
+        for w in rows.windows(2) {
+            assert!(w[0] >= w[1], "rows must be descending: {rows:?}");
+        }
+    }
+
+    #[test]
+    fn single_node_subgraph() {
+        let enc = Encoding::of_subgraph(2, &[l(1)], &[]);
+        assert_eq!(enc.node_count(), 1);
+        assert_eq!(enc.edge_count(), 0);
+        assert_eq!(enc.to_string(), "L100");
+    }
+
+    #[test]
+    fn counts_above_nine_render_unambiguously() {
+        // A star with 11 leaves (only possible with a raised emax, but the
+        // encoding itself supports it).
+        let mut labels = vec![l(0)];
+        labels.extend(std::iter::repeat(l(1)).take(11));
+        let edges: Vec<(u8, u8)> = (1..=11).map(|i| (0u8, i as u8)).collect();
+        let enc = Encoding::of_subgraph(2, &labels, &edges);
+        let names = LabelSet::from_names(["hub", "leaf"]).unwrap();
+        let rendered = enc.render(&names);
+        assert!(rendered.contains("(11)"), "got {rendered}");
+    }
+
+    #[test]
+    fn display_and_debug_are_stable() {
+        let enc = Encoding::of_subgraph(2, &[l(0), l(1)], &[(0, 1)]);
+        assert_eq!(enc.to_string(), "L110L001");
+        assert_eq!(format!("{enc:?}"), "Encoding[L1:10 L0:01]");
+    }
+}

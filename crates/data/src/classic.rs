@@ -1,0 +1,286 @@
+//! The hand-engineered "classic" and linguistic features of paper §4.2.2,
+//! computed from the generated publication metadata.
+//!
+//! Features are extracted per institution for one (conference, target
+//! year) pair, using only information from years strictly before the
+//! target year — the setup under which the paper trains on 2007–2014 and
+//! predicts 2015. History-dependent features use a sliding window of
+//! [`HISTORY_WINDOW`] years so every row has a fixed dimension regardless
+//! of the target year.
+
+use crate::mag::MagData;
+
+/// Number of past years the per-year history features cover.
+pub const HISTORY_WINDOW: usize = 4;
+
+/// Number of top title words tracked per conference (paper: 20).
+pub const TOP_WORDS: usize = 20;
+
+/// Names of all classic + linguistic features, in column order.
+pub fn feature_names() -> Vec<String> {
+    let mut names = Vec::new();
+    for k in 1..=HISTORY_WINDOW {
+        names.push(format!("relevance_y-{k}"));
+    }
+    for k in 1..=HISTORY_WINDOW {
+        names.push(format!("relevance_norm_y-{k}"));
+    }
+    names.push("full_papers".into());
+    names.push("all_papers".into());
+    names.push("authorship".into());
+    names.push("full_paper_authors".into());
+    names.push("short_paper_authors".into());
+    names.push("last_author_count".into());
+    // Linguistic block.
+    names.push("avg_institutions_per_paper".into());
+    names.push("avg_keywords".into());
+    names.push("avg_title_words".into());
+    names.push("avg_title_chars".into());
+    for class in ["noun", "verb", "adjective", "adverb", "number", "punctuation"] {
+        names.push(format!("frac_{class}"));
+    }
+    names.push("distinct_word_fraction".into());
+    names.push("repeated_word_fraction".into());
+    for k in 0..TOP_WORDS {
+        names.push(format!("top_word_{k}"));
+    }
+    names
+}
+
+/// Synthetic part-of-speech class of a vocabulary word (stable hash of the
+/// word id). Stands in for the real POS tagger the paper applies to title
+/// text.
+fn word_class(word: u32) -> usize {
+    // Weighted so that "nouns" dominate, as in English titles.
+    match word % 10 {
+        0..=3 => 0, // noun
+        4..=5 => 1, // verb
+        6 => 2,     // adjective
+        7 => 3,     // adverb
+        8 => 4,     // number
+        _ => 5,     // punctuation
+    }
+}
+
+/// Synthetic word length in characters (stable per word id).
+fn word_len(word: u32) -> f64 {
+    3.0 + (word % 8) as f64
+}
+
+/// Extracts the classic + linguistic features for every institution, for
+/// one conference and target year. Returns a flat row-major matrix
+/// (`institutions × feature_names().len()`).
+pub fn classic_features(data: &MagData, conference: usize, target_year: u32) -> Vec<f64> {
+    let n_inst = data.config.institutions;
+    let d = feature_names().len();
+    let mut out = vec![0.0f64; n_inst * d];
+    let window_years: Vec<u32> = (1..=HISTORY_WINDOW as u32)
+        .filter_map(|k| target_year.checked_sub(k))
+        .filter(|&y| y >= data.config.first_year)
+        .collect();
+
+    // Per-year relevance history.
+    for (k, &y) in window_years.iter().enumerate() {
+        let rel = data.relevance(conference, y);
+        let full_count = data
+            .papers
+            .iter()
+            .filter(|p| p.conference == Some(conference) && p.year == y && p.full)
+            .count()
+            .max(1) as f64;
+        for i in 0..n_inst {
+            out[i * d + k] = rel[i];
+            out[i * d + HISTORY_WINDOW + k] = rel[i] / full_count;
+        }
+    }
+
+    // The global top title words of this conference in the window.
+    let mut word_counts: std::collections::HashMap<u32, usize> =
+        std::collections::HashMap::new();
+    for paper in &data.papers {
+        if paper.conference == Some(conference) && window_years.contains(&paper.year) {
+            for &w in &paper.title {
+                *word_counts.entry(w).or_insert(0) += 1;
+            }
+        }
+    }
+    let mut top_words: Vec<(u32, usize)> = word_counts.into_iter().collect();
+    top_words.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    top_words.truncate(TOP_WORDS);
+    let top_words: Vec<u32> = top_words.into_iter().map(|(w, _)| w).collect();
+
+    // Paper-sweep accumulators per institution.
+    let base = 2 * HISTORY_WINDOW;
+    let mut paper_counts = vec![0usize; n_inst]; // all papers (for averaging)
+    for paper in &data.papers {
+        if paper.conference != Some(conference) || !window_years.contains(&paper.year) {
+            continue;
+        }
+        // Institutions represented on this paper.
+        let mut insts: Vec<usize> = Vec::new();
+        for &a in &paper.authors {
+            for &i in &data.authors[a].institutions {
+                if !insts.contains(&i) {
+                    insts.push(i);
+                }
+            }
+        }
+        let n_title = paper.title.len() as f64;
+        let chars: f64 = paper.title.iter().map(|&w| word_len(w)).sum();
+        let mut class_counts = [0.0f64; 6];
+        for &w in &paper.title {
+            class_counts[word_class(w)] += 1.0;
+        }
+        let mut distinct = paper.title.clone();
+        distinct.sort_unstable();
+        distinct.dedup();
+        let distinct_frac = distinct.len() as f64 / n_title.max(1.0);
+        let top_hits: f64 = paper
+            .title
+            .iter()
+            .filter(|w| top_words.contains(w))
+            .count() as f64;
+        let last_author = *paper.authors.last().expect("papers have authors");
+        for &i in &insts {
+            let row = &mut out[i * d..(i + 1) * d];
+            paper_counts[i] += 1;
+            if paper.full {
+                row[base] += 1.0; // full papers
+            }
+            row[base + 1] += 1.0; // all papers
+            // Authors of this institution on the paper.
+            let inst_authors = paper
+                .authors
+                .iter()
+                .filter(|&&a| data.authors[a].institutions.contains(&i))
+                .count() as f64;
+            row[base + 2] += inst_authors / window_years.len().max(1) as f64;
+            if paper.full {
+                row[base + 3] += inst_authors;
+            } else {
+                row[base + 4] += inst_authors;
+            }
+            if data.authors[last_author].institutions.contains(&i) {
+                row[base + 5] += 1.0;
+            }
+            // Linguistic accumulators (averaged after the sweep).
+            row[base + 6] += insts.len() as f64;
+            row[base + 7] += paper.keywords as f64;
+            row[base + 8] += n_title;
+            row[base + 9] += chars;
+            for (c, &cc) in class_counts.iter().enumerate() {
+                row[base + 10 + c] += cc / n_title.max(1.0);
+            }
+            row[base + 16] += distinct_frac;
+            row[base + 17] += 1.0 - distinct_frac;
+            for (k, w) in top_words.iter().enumerate() {
+                row[base + 18 + k] +=
+                    paper.title.iter().filter(|&x| x == w).count() as f64;
+            }
+            let _ = top_hits;
+        }
+    }
+    // Convert per-paper accumulators into averages.
+    for i in 0..n_inst {
+        let count = paper_counts[i] as f64;
+        if count > 0.0 {
+            let row = &mut out[i * d..(i + 1) * d];
+            for slot in base + 6..d {
+                row[slot] /= count;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::mag::MagConfig;
+    use crate::Scale;
+
+    use super::*;
+
+    fn tiny() -> MagData {
+        MagData::generate(&MagConfig::at_scale(Scale::Tiny))
+    }
+
+    #[test]
+    fn dimensions_match_names() {
+        let data = tiny();
+        let names = feature_names();
+        let x = classic_features(&data, 0, 2012);
+        assert_eq!(x.len(), data.config.institutions * names.len());
+        assert!(x.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn relevance_history_columns_match_relevance() {
+        let data = tiny();
+        let target = 2012u32;
+        let x = classic_features(&data, 0, target);
+        let d = feature_names().len();
+        let rel_prev = data.relevance(0, target - 1);
+        for i in 0..data.config.institutions {
+            assert!(
+                (x[i * d] - rel_prev[i]).abs() < 1e-12,
+                "inst {i}: feature {} vs relevance {}",
+                x[i * d],
+                rel_prev[i]
+            );
+        }
+    }
+
+    #[test]
+    fn uses_only_past_years() {
+        // Features for the earliest possible target year see no history:
+        // all history columns are zero.
+        let data = tiny();
+        let x = classic_features(&data, 0, data.config.first_year);
+        assert!(x.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn paper_counts_are_window_sums() {
+        let data = tiny();
+        let target = 2011u32;
+        let x = classic_features(&data, 1, target);
+        let d = feature_names().len();
+        let base = 2 * HISTORY_WINDOW;
+        // Summed over institutions, each full paper is counted once per
+        // distinct institution on it.
+        let mut expected = 0.0;
+        for paper in &data.papers {
+            if paper.conference == Some(1)
+                && paper.year < target
+                && paper.year + (HISTORY_WINDOW as u32) >= target
+                && paper.full
+            {
+                let mut insts: Vec<usize> = Vec::new();
+                for &a in &paper.authors {
+                    for &i in &data.authors[a].institutions {
+                        if !insts.contains(&i) {
+                            insts.push(i);
+                        }
+                    }
+                }
+                expected += insts.len() as f64;
+            }
+        }
+        let total: f64 = (0..data.config.institutions).map(|i| x[i * d + base]).sum();
+        assert!((total - expected).abs() < 1e-9, "total {total} vs {expected}");
+    }
+
+    #[test]
+    fn fractions_are_normalized() {
+        let data = tiny();
+        let x = classic_features(&data, 0, 2013);
+        let d = feature_names().len();
+        let base = 2 * HISTORY_WINDOW;
+        for i in 0..data.config.institutions {
+            let frac_sum: f64 = (0..6).map(|c| x[i * d + base + 10 + c]).sum();
+            if frac_sum > 0.0 {
+                assert!((frac_sum - 1.0).abs() < 1e-9, "inst {i}: {frac_sum}");
+            }
+        }
+    }
+}

@@ -1,0 +1,46 @@
+//! Synthetic heterogeneous-network datasets with generative ground truth.
+//!
+//! The paper evaluates on three proprietary / no-longer-distributed
+//! datasets: subsets of the Microsoft Academic Graph, the LOAD entity
+//! co-occurrence network, and IMDB movie records. This crate replaces each
+//! with a *generator* that reproduces the structural properties the paper
+//! reports (label sets, label-connectivity-graph shape, skewed degrees)
+//! plus a generative ground-truth process for each prediction task — see
+//! DESIGN.md §2 for the substitution rationale.
+//!
+//! * [`mag`] — publication network (institutions, authors, papers, venues,
+//!   fields) with the KDD-Cup-2016 relevance directives as ground truth.
+//! * [`load`] — dense entity co-occurrence network over locations,
+//!   organizations, actors, and dates (complete LCG with self loops).
+//! * [`imdb`] — star-structured movie-record network (six labels, hub label
+//!   `movie`, loop-free star LCG).
+//! * [`classic`] — the hand-engineered "classic" + linguistic features of
+//!   paper §4.2.2, computed from the generated publication metadata.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod classic;
+pub mod flow;
+pub mod imdb;
+pub mod load;
+pub mod mag;
+pub mod multiplex;
+
+pub use flow::{FlowConfig, FlowData};
+pub use multiplex::{MultiplexConfig, MultiplexData};
+pub use imdb::{ImdbConfig, ImdbData};
+pub use load::{LoadConfig, LoadData};
+pub use mag::{MagConfig, MagData};
+
+/// Size presets shared by the generators so tests, default experiment runs,
+/// and paper-scale runs stay consistent.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Scale {
+    /// A few hundred nodes — unit tests.
+    Tiny,
+    /// A few thousand nodes — default experiment runs (minutes, laptop).
+    Small,
+    /// Tens of thousands of nodes — the paper's order of magnitude.
+    Paper,
+}

@@ -1,0 +1,648 @@
+//! Synthetic MAG-style scientific publication network (paper §4.1, §4.2).
+//!
+//! Replaces the Microsoft Academic Graph subsets used by the paper with a
+//! generative model whose latent process *is* the ground truth:
+//!
+//! * Institutions carry a Zipf-like latent prestige; authors are affiliated
+//!   with institutions (multi-affiliation is possible but rare, as in the
+//!   real data) and inherit a skill correlated with prestige.
+//! * Per conference and year, full and short papers are written by teams
+//!   whose lead authors are sampled proportionally to skill; strong teams
+//!   collaborate across institutional boundaries more often — the very
+//!   signal the paper's Fig. 4 finds discriminative.
+//! * Papers cite earlier papers with recency decay and preference for
+//!   strong teams; externally cited papers live in journals.
+//! * Titles are Zipf-distributed word sequences with conference-specific
+//!   vocabulary bias, giving the "linguistic" classic features signal.
+//!
+//! Institution relevance follows the 2016 KDD Cup directives verbatim
+//! (§4.2): each accepted full paper has one vote, split equally among its
+//! authors, and each author's share is split equally among their
+//! affiliations. Because relevance derives from the same latent process
+//! that shapes the topology, the task "predict relevance from topology"
+//! stays meaningful.
+
+use hsgf_graph::{GraphBuilder, HetGraph, Label, LabelSet, NodeId};
+use rand::distributions::{Distribution, WeightedIndex};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::Scale;
+
+/// MAG generator parameters.
+#[derive(Clone, Debug)]
+pub struct MagConfig {
+    /// Number of research institutions.
+    pub institutions: usize,
+    /// Number of authors.
+    pub authors: usize,
+    /// Conference names (the paper uses KDD, FSE, ICML, MM, MOBICOM).
+    pub conferences: Vec<String>,
+    /// First publication year (paper: 2007).
+    pub first_year: u32,
+    /// Last publication year — the prediction target (paper: 2015).
+    pub last_year: u32,
+    /// Accepted full papers per conference per year.
+    pub full_papers: usize,
+    /// Short / workshop / demo papers per conference per year.
+    pub short_papers: usize,
+    /// Number of journals for externally cited papers.
+    pub journals: usize,
+    /// Number of fields of study.
+    pub fields: usize,
+    /// External (journal) papers generated per year as citation targets.
+    pub external_papers_per_year: usize,
+    /// Probability that an author holds two affiliations.
+    pub multi_affiliation_prob: f64,
+    /// Title vocabulary size.
+    pub vocab: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl MagConfig {
+    /// Preset sizes; `Paper` uses the paper's 741 institutions and five
+    /// conferences over 2007–2015.
+    pub fn at_scale(scale: Scale) -> Self {
+        let (institutions, authors, confs, full, short, external) = match scale {
+            Scale::Tiny => (18, 120, 2, 8, 4, 20),
+            Scale::Small => (150, 1_500, 5, 40, 20, 250),
+            Scale::Paper => (741, 12_000, 5, 160, 90, 2_500),
+        };
+        let names = ["KDD", "FSE", "ICML", "MM", "MOBICOM"];
+        MagConfig {
+            institutions,
+            authors,
+            conferences: names.iter().take(confs).map(|s| s.to_string()).collect(),
+            first_year: 2007,
+            last_year: 2015,
+            full_papers: full,
+            short_papers: short,
+            journals: 30,
+            fields: 25,
+            external_papers_per_year: external,
+            multi_affiliation_prob: 0.02,
+            vocab: 2_000,
+            seed: 0x3A6,
+        }
+    }
+
+    /// All years covered, ascending.
+    pub fn years(&self) -> impl Iterator<Item = u32> {
+        self.first_year..=self.last_year
+    }
+}
+
+/// An author with affiliations and latent skill.
+#[derive(Clone, Debug)]
+pub struct Author {
+    /// Affiliated institutions (1, rarely 2).
+    pub institutions: Vec<usize>,
+    /// Latent skill, correlated with institutional prestige.
+    pub skill: f64,
+}
+
+/// A generated paper (conference or journal).
+#[derive(Clone, Debug)]
+pub struct Paper {
+    /// Conference index, or `None` for external journal papers.
+    pub conference: Option<usize>,
+    /// Journal index for external papers.
+    pub journal: Option<usize>,
+    /// Publication year.
+    pub year: u32,
+    /// Whether the paper is a full paper (only these count for relevance).
+    pub full: bool,
+    /// Author ids; the last entry is the senior "last author".
+    pub authors: Vec<usize>,
+    /// Indices of cited earlier papers.
+    pub citations: Vec<usize>,
+    /// Title as word ids into the Zipf vocabulary.
+    pub title: Vec<u32>,
+    /// Number of attached keywords.
+    pub keywords: usize,
+    /// Fields of study.
+    pub fields: Vec<usize>,
+}
+
+/// The generated publication corpus.
+pub struct MagData {
+    /// Generator parameters (retained for downstream feature extraction).
+    pub config: MagConfig,
+    /// Latent institutional prestige (the hidden driver of everything).
+    pub prestige: Vec<f64>,
+    /// Authors.
+    pub authors: Vec<Author>,
+    /// All papers, internal and external.
+    pub papers: Vec<Paper>,
+}
+
+/// Labels of the rank-prediction subgraphs (paper Fig. 2 left).
+pub const MAG_RANK_LABELS: [&str; 3] = ["institution", "author", "paper"];
+
+/// Labels of the label-prediction network (paper Fig. 2 right).
+pub const MAG_LABEL_LABELS: [&str; 6] =
+    ["author", "institution", "conference", "journal", "field", "paper"];
+
+impl MagData {
+    /// Generates the corpus.
+    pub fn generate(config: &MagConfig) -> Self {
+        let mut rng = SmallRng::seed_from_u64(config.seed);
+        let config = config.clone();
+        // Institutional prestige: Zipf-like with noise.
+        let prestige: Vec<f64> = (0..config.institutions)
+            .map(|i| (1.0 / (i as f64 + 1.0).powf(0.7)) * rng.gen_range(0.7..1.3))
+            .collect();
+        // Authors join institutions proportionally to prestige (prestigious
+        // institutions are larger in the MAG too).
+        let inst_dist = WeightedIndex::new(&prestige).expect("positive prestige");
+        let authors: Vec<Author> = (0..config.authors)
+            .map(|_| {
+                let first = inst_dist.sample(&mut rng);
+                let mut institutions = vec![first];
+                if rng.gen_bool(config.multi_affiliation_prob) && config.institutions > 1 {
+                    let mut second = inst_dist.sample(&mut rng);
+                    while second == first {
+                        second = inst_dist.sample(&mut rng);
+                    }
+                    institutions.push(second);
+                }
+                let skill = prestige[first] * rng.gen_range(0.5..1.5) + rng.gen_range(0.0..0.05);
+                Author { institutions, skill }
+            })
+            .collect();
+        let author_skill: Vec<f64> = authors.iter().map(|a| a.skill).collect();
+        let lead_dist =
+            WeightedIndex::new(author_skill.iter().map(|s| s * s)).expect("positive skills");
+
+        // Conference-specific vocabulary bias: each conference over-uses a
+        // band of the vocabulary.
+        let vocab_band = |conf: usize| -> (u32, u32) {
+            let band = (config.vocab / 10) as u32;
+            let start = (conf as u32 * band * 2) % config.vocab as u32;
+            (start, band.max(1))
+        };
+
+        let mut papers: Vec<Paper> = Vec::new();
+        for year in config.first_year..=config.last_year {
+            // External journal papers first (citable in the same year).
+            for _ in 0..config.external_papers_per_year {
+                let team = sample_team(&mut rng, &lead_dist, &authors, 1, 4);
+                let journal = rng.gen_range(0..config.journals.max(1));
+                let paper = make_paper(
+                    &mut rng,
+                    &config,
+                    None,
+                    Some(journal),
+                    year,
+                    false,
+                    team,
+                    &papers,
+                    (0, 1),
+                );
+                papers.push(paper);
+            }
+            for conf in 0..config.conferences.len() {
+                let band = vocab_band(conf);
+                for k in 0..config.full_papers + config.short_papers {
+                    let full = k < config.full_papers;
+                    let team = sample_team(&mut rng, &lead_dist, &authors, 2, 5);
+                    let paper = make_paper(
+                        &mut rng,
+                        &config,
+                        Some(conf),
+                        None,
+                        year,
+                        full,
+                        team,
+                        &papers,
+                        band,
+                    );
+                    papers.push(paper);
+                }
+            }
+        }
+        MagData { config, prestige, authors, papers }
+    }
+
+    /// The KDD-Cup relevance of every institution for one conference and
+    /// year: full papers vote equally; authors split a paper's vote; an
+    /// author's share splits across their affiliations.
+    pub fn relevance(&self, conference: usize, year: u32) -> Vec<f64> {
+        let mut rel = vec![0.0f64; self.config.institutions];
+        for paper in &self.papers {
+            if paper.conference != Some(conference) || paper.year != year || !paper.full {
+                continue;
+            }
+            let per_author = 1.0 / paper.authors.len() as f64;
+            for &a in &paper.authors {
+                let insts = &self.authors[a].institutions;
+                let per_inst = per_author / insts.len() as f64;
+                for &i in insts {
+                    rel[i] += per_inst;
+                }
+            }
+        }
+        rel
+    }
+
+    /// Builds the rank-prediction subgraph for one conference and year
+    /// (labels: institution, author, paper): the conference's papers of
+    /// that year, referenced papers up to distance 2, every author of an
+    /// included paper, and those authors' institutions.
+    ///
+    /// Returns the graph and the node id of every institution (indexed by
+    /// institution id; institutions with no presence in the subgraph still
+    /// get an isolated node so every feature row is well-defined).
+    pub fn rank_graph(&self, conference: usize, year: u32) -> (HetGraph, Vec<NodeId>) {
+        let labels = LabelSet::from_names(MAG_RANK_LABELS).expect("static names");
+        let mut builder = GraphBuilder::new(labels);
+        // All institutions up front, ids align with institution indices.
+        let inst_nodes: Vec<NodeId> = (0..self.config.institutions)
+            .map(|_| builder.add_node_with(Label::new(0)).expect("fits"))
+            .collect();
+        let mut author_nodes: Vec<Option<NodeId>> = vec![None; self.authors.len()];
+        let mut paper_nodes: Vec<Option<NodeId>> = vec![None; self.papers.len()];
+        // Seed papers: this conference + year.
+        let seeds: Vec<usize> = (0..self.papers.len())
+            .filter(|&p| {
+                self.papers[p].conference == Some(conference) && self.papers[p].year == year
+            })
+            .collect();
+        // Expand citations to distance ≤ 2.
+        let mut include: Vec<usize> = seeds.clone();
+        let mut frontier = seeds;
+        for _depth in 0..2 {
+            let mut next = Vec::new();
+            for &p in &frontier {
+                for &c in &self.papers[p].citations {
+                    if paper_nodes[c].is_none() && !include.contains(&c) && !next.contains(&c)
+                    {
+                        next.push(c);
+                    }
+                }
+            }
+            include.extend(next.iter().copied());
+            frontier = next;
+        }
+        let mut add_paper = |builder: &mut GraphBuilder, p: usize| -> NodeId {
+            let node = builder.add_node_with(Label::new(2)).expect("fits");
+            paper_nodes[p] = Some(node);
+            node
+        };
+        for &p in &include {
+            add_paper(&mut builder, p);
+        }
+        // Authors, affiliations, authorship edges.
+        for &p in &include {
+            let p_node = paper_nodes[p].expect("just added");
+            for &a in &self.papers[p].authors {
+                let a_node = match author_nodes[a] {
+                    Some(n) => n,
+                    None => {
+                        let n = builder.add_node_with(Label::new(1)).expect("fits");
+                        author_nodes[a] = Some(n);
+                        for &i in &self.authors[a].institutions {
+                            builder.add_edge(n, inst_nodes[i]).expect("nodes exist");
+                        }
+                        n
+                    }
+                };
+                builder.add_edge(p_node, a_node).expect("nodes exist");
+            }
+        }
+        // Citation edges among included papers.
+        for &p in &include {
+            for &c in &self.papers[p].citations {
+                if let (Some(a), Some(b)) = (paper_nodes[p], paper_nodes[c]) {
+                    builder.add_edge(a, b).expect("nodes exist");
+                }
+            }
+        }
+        (builder.build(), inst_nodes)
+    }
+
+    /// Builds the six-label network used for label prediction (paper
+    /// Fig. 2 right): all papers, authors, institutions, conferences,
+    /// journals, and fields, with authorship, affiliation, venue, field,
+    /// and citation edges.
+    pub fn label_graph(&self) -> HetGraph {
+        let labels = LabelSet::from_names(MAG_LABEL_LABELS).expect("static names");
+        let mut builder = GraphBuilder::new(labels);
+        let author_nodes: Vec<NodeId> = (0..self.authors.len())
+            .map(|_| builder.add_node_with(Label::new(0)).expect("fits"))
+            .collect();
+        let inst_nodes: Vec<NodeId> = (0..self.config.institutions)
+            .map(|_| builder.add_node_with(Label::new(1)).expect("fits"))
+            .collect();
+        let conf_nodes: Vec<NodeId> = (0..self.config.conferences.len())
+            .map(|_| builder.add_node_with(Label::new(2)).expect("fits"))
+            .collect();
+        let journal_nodes: Vec<NodeId> = (0..self.config.journals)
+            .map(|_| builder.add_node_with(Label::new(3)).expect("fits"))
+            .collect();
+        let field_nodes: Vec<NodeId> = (0..self.config.fields)
+            .map(|_| builder.add_node_with(Label::new(4)).expect("fits"))
+            .collect();
+        for (a, author) in self.authors.iter().enumerate() {
+            for &i in &author.institutions {
+                builder.add_edge(author_nodes[a], inst_nodes[i]).expect("nodes exist");
+            }
+        }
+        let paper_nodes: Vec<NodeId> = self
+            .papers
+            .iter()
+            .map(|_| builder.add_node_with(Label::new(5)).expect("fits"))
+            .collect();
+        for (p, paper) in self.papers.iter().enumerate() {
+            let pn = paper_nodes[p];
+            for &a in &paper.authors {
+                builder.add_edge(pn, author_nodes[a]).expect("nodes exist");
+            }
+            if let Some(c) = paper.conference {
+                builder.add_edge(pn, conf_nodes[c]).expect("nodes exist");
+            }
+            if let Some(j) = paper.journal {
+                builder.add_edge(pn, journal_nodes[j]).expect("nodes exist");
+            }
+            for &f in &paper.fields {
+                builder.add_edge(pn, field_nodes[f]).expect("nodes exist");
+            }
+            for &c in &paper.citations {
+                builder.add_edge(pn, paper_nodes[c]).expect("nodes exist");
+            }
+        }
+        builder.build()
+    }
+
+    /// Index of the conference by name.
+    pub fn conference_index(&self, name: &str) -> Option<usize> {
+        self.config.conferences.iter().position(|c| c == name)
+    }
+}
+
+/// Samples an author team: a skill-weighted lead plus collaborators.
+/// Stronger leads collaborate across institutions more often (the latent
+/// signal behind the paper's Fig. 4 observation).
+fn sample_team(
+    rng: &mut SmallRng,
+    lead_dist: &WeightedIndex<f64>,
+    authors: &[Author],
+    min_size: usize,
+    max_size: usize,
+) -> Vec<usize> {
+    let lead = lead_dist.sample(rng);
+    let size = rng.gen_range(min_size..=max_size);
+    let mut team = vec![lead];
+    let cross_inst_prob = (authors[lead].skill * 0.6).clamp(0.05, 0.8);
+    let mut guard = 0;
+    while team.len() < size && guard < 20 * size {
+        guard += 1;
+        let cand = if rng.gen_bool(cross_inst_prob) {
+            // Cross-institution collaborator, skill-weighted.
+            lead_dist.sample(rng)
+        } else {
+            // Same-institution colleague: rejection sample.
+            let home = authors[lead].institutions[0];
+            let c = lead_dist.sample(rng);
+            if authors[c].institutions.contains(&home) {
+                c
+            } else {
+                continue;
+            }
+        };
+        if !team.contains(&cand) {
+            team.push(cand);
+        }
+    }
+    // Most senior (highest skill) author last, as conventions go.
+    let last = (0..team.len())
+        .max_by(|&a, &b| {
+            authors[team[a]]
+                .skill
+                .partial_cmp(&authors[team[b]].skill)
+                .expect("finite skill")
+        })
+        .expect("non-empty team");
+    let n = team.len();
+    team.swap(last, n - 1);
+    team
+}
+
+#[allow(clippy::too_many_arguments)]
+fn make_paper(
+    rng: &mut SmallRng,
+    config: &MagConfig,
+    conference: Option<usize>,
+    journal: Option<usize>,
+    year: u32,
+    full: bool,
+    team: Vec<usize>,
+    earlier: &[Paper],
+    vocab_band: (u32, u32),
+) -> Paper {
+    // Citations: recency-weighted sample of earlier papers.
+    let n_cites = rng.gen_range(2..=9).min(earlier.len());
+    let mut citations = Vec::with_capacity(n_cites);
+    let mut guard = 0;
+    while citations.len() < n_cites && guard < 20 * n_cites {
+        guard += 1;
+        // Bias toward recent papers: sample an offset from the end.
+        let span = earlier.len();
+        let back = (hsgf_graph::generators::zipf_index(rng, span, 1.1)) + 1;
+        let idx = span - back;
+        if !citations.contains(&idx) {
+            citations.push(idx);
+        }
+    }
+    // Title: conference band words mixed with global Zipf words.
+    let title_len = rng.gen_range(4..=12);
+    let title: Vec<u32> = (0..title_len)
+        .map(|_| {
+            if rng.gen_bool(0.35) {
+                vocab_band.0 + rng.gen_range(0..vocab_band.1)
+            } else {
+                hsgf_graph::generators::zipf_index(rng, config.vocab, 1.05) as u32
+            }
+        })
+        .collect();
+    let n_fields = rng.gen_range(1..=3).min(config.fields.max(1));
+    let mut fields = Vec::with_capacity(n_fields);
+    // Conference-correlated fields.
+    let base_field = conference.unwrap_or(0) * 3 % config.fields.max(1);
+    while fields.len() < n_fields {
+        let f = if rng.gen_bool(0.5) {
+            (base_field + fields.len()) % config.fields.max(1)
+        } else {
+            rng.gen_range(0..config.fields.max(1))
+        };
+        if !fields.contains(&f) {
+            fields.push(f);
+        } else {
+            let f2 = rng.gen_range(0..config.fields.max(1));
+            if !fields.contains(&f2) {
+                fields.push(f2);
+            }
+        }
+    }
+    Paper {
+        conference,
+        journal,
+        year,
+        full,
+        authors: team,
+        citations,
+        title,
+        keywords: rng.gen_range(3..=8),
+        fields,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use hsgf_graph::LabelConnectivityGraph;
+
+    use super::*;
+
+    fn tiny() -> MagData {
+        MagData::generate(&MagConfig::at_scale(Scale::Tiny))
+    }
+
+    #[test]
+    fn corpus_shape() {
+        let data = tiny();
+        let c = &data.config;
+        let years = (c.last_year - c.first_year + 1) as usize;
+        let expected = years
+            * (c.external_papers_per_year
+                + c.conferences.len() * (c.full_papers + c.short_papers));
+        assert_eq!(data.papers.len(), expected);
+        assert_eq!(data.authors.len(), c.authors);
+    }
+
+    #[test]
+    fn relevance_follows_kdd_cup_directives() {
+        let data = tiny();
+        let rel = data.relevance(0, 2010);
+        // Total relevance equals the number of full papers at (conf, year):
+        // votes are conserved under equal splitting.
+        let full_count = data
+            .papers
+            .iter()
+            .filter(|p| p.conference == Some(0) && p.year == 2010 && p.full)
+            .count();
+        let total: f64 = rel.iter().sum();
+        assert!(
+            (total - full_count as f64).abs() < 1e-9,
+            "total {total} vs {full_count} full papers"
+        );
+    }
+
+    #[test]
+    fn relevance_correlates_with_prestige() {
+        let data = MagData::generate(&MagConfig::at_scale(Scale::Tiny));
+        // Aggregate over all conferences/years for stability.
+        let mut total = vec![0.0; data.config.institutions];
+        for conf in 0..data.config.conferences.len() {
+            for year in data.config.years() {
+                for (t, r) in total.iter_mut().zip(data.relevance(conf, year)) {
+                    *t += r;
+                }
+            }
+        }
+        // Spearman-ish check: the top-prestige third must collect more
+        // relevance than the bottom third.
+        let k = data.config.institutions / 3;
+        let mut by_prestige: Vec<usize> = (0..data.config.institutions).collect();
+        by_prestige.sort_by(|&a, &b| {
+            data.prestige[b].partial_cmp(&data.prestige[a]).expect("finite")
+        });
+        let top: f64 = by_prestige[..k].iter().map(|&i| total[i]).sum();
+        let bottom: f64 = by_prestige[data.config.institutions - k..]
+            .iter()
+            .map(|&i| total[i])
+            .sum();
+        assert!(top > 2.0 * bottom, "top {top} vs bottom {bottom}");
+    }
+
+    #[test]
+    fn citations_point_backwards() {
+        let data = tiny();
+        for (p, paper) in data.papers.iter().enumerate() {
+            for &c in &paper.citations {
+                assert!(c < p, "paper {p} cites a later paper {c}");
+            }
+        }
+    }
+
+    #[test]
+    fn rank_graph_has_three_labels_and_all_institutions() {
+        let data = tiny();
+        let (graph, inst_nodes) = data.rank_graph(0, 2009);
+        assert_eq!(graph.label_count(), 3);
+        assert_eq!(inst_nodes.len(), data.config.institutions);
+        for &n in &inst_nodes {
+            assert_eq!(graph.label(n), Label::new(0));
+        }
+        // Seed papers of the target conference/year are present: count
+        // paper-labelled nodes.
+        let papers = graph.label_histogram()[2];
+        assert!(papers >= data.config.full_papers + data.config.short_papers);
+    }
+
+    #[test]
+    fn rank_graph_lcg_shape() {
+        // I–A, A–P, P–P: no I–I, no I–P, no A–A edges.
+        let data = tiny();
+        let (graph, _) = data.rank_graph(1, 2012);
+        let lcg = LabelConnectivityGraph::of(&graph);
+        assert!(lcg.connected(Label::new(0), Label::new(1)));
+        assert!(lcg.connected(Label::new(1), Label::new(2)));
+        assert!(lcg.has_self_loop(Label::new(2)), "citations are P–P self loops");
+        assert!(!lcg.connected(Label::new(0), Label::new(2)));
+        assert!(!lcg.has_self_loop(Label::new(0)));
+        assert!(!lcg.has_self_loop(Label::new(1)));
+    }
+
+    #[test]
+    fn label_graph_has_six_labels_and_venue_edges() {
+        let data = tiny();
+        let g = data.label_graph();
+        assert_eq!(g.label_count(), 6);
+        let hist = g.label_histogram();
+        assert_eq!(hist[0], data.config.authors);
+        assert_eq!(hist[1], data.config.institutions);
+        assert_eq!(hist[2], data.config.conferences.len());
+        assert_eq!(hist[5], data.papers.len());
+        let lcg = LabelConnectivityGraph::of(&g);
+        // Papers connect to everything paper-ish; conferences/journals/
+        // fields only to papers.
+        assert!(lcg.connected(Label::new(5), Label::new(2)));
+        assert!(lcg.connected(Label::new(5), Label::new(3)));
+        assert!(lcg.connected(Label::new(5), Label::new(4)));
+        assert!(!lcg.connected(Label::new(2), Label::new(3)));
+        assert!(lcg.has_self_loop(Label::new(5)));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = tiny();
+        let b = tiny();
+        assert_eq!(a.papers.len(), b.papers.len());
+        for (pa, pb) in a.papers.iter().zip(&b.papers) {
+            assert_eq!(pa.authors, pb.authors);
+            assert_eq!(pa.citations, pb.citations);
+        }
+    }
+
+    #[test]
+    fn teams_have_last_author_with_max_skill() {
+        let data = tiny();
+        for paper in data.papers.iter().take(200) {
+            let last = *paper.authors.last().expect("non-empty");
+            for &a in &paper.authors {
+                assert!(data.authors[a].skill <= data.authors[last].skill + 1e-12);
+            }
+        }
+    }
+}

@@ -1,0 +1,143 @@
+//! O(1) discrete sampling via Vose's alias method — the workhorse behind
+//! LINE's edge sampling and the unigram^0.75 negative-sampling noise
+//! distribution shared by all three embedding baselines.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// A prepared alias table over `0..weights.len()`.
+#[derive(Clone, Debug)]
+pub struct AliasTable {
+    prob: Vec<f64>,
+    alias: Vec<usize>,
+}
+
+impl AliasTable {
+    /// Builds a table from non-negative weights (not necessarily
+    /// normalized).
+    ///
+    /// # Panics
+    /// If `weights` is empty, contains a negative/NaN value, or sums to 0.
+    pub fn new(weights: &[f64]) -> Self {
+        assert!(!weights.is_empty(), "alias table needs at least one outcome");
+        let total: f64 = weights.iter().sum();
+        assert!(
+            total > 0.0 && total.is_finite(),
+            "weights must be non-negative with a positive finite sum"
+        );
+        let n = weights.len();
+        let scale = n as f64 / total;
+        let mut prob: Vec<f64> = weights
+            .iter()
+            .map(|&w| {
+                assert!(w >= 0.0, "negative weight");
+                w * scale
+            })
+            .collect();
+        let mut alias = vec![0usize; n];
+        let mut small: Vec<usize> = Vec::with_capacity(n);
+        let mut large: Vec<usize> = Vec::with_capacity(n);
+        for (i, &p) in prob.iter().enumerate() {
+            if p < 1.0 {
+                small.push(i);
+            } else {
+                large.push(i);
+            }
+        }
+        while let (Some(&s), Some(&l)) = (small.last(), large.last()) {
+            small.pop();
+            alias[s] = l;
+            prob[l] = (prob[l] + prob[s]) - 1.0;
+            if prob[l] < 1.0 {
+                large.pop();
+                small.push(l);
+            }
+        }
+        // Residual numerical slack: remaining entries take probability 1.
+        for &i in small.iter().chain(large.iter()) {
+            prob[i] = 1.0;
+        }
+        AliasTable { prob, alias }
+    }
+
+    /// Draws one index in O(1).
+    #[inline]
+    pub fn sample(&self, rng: &mut SmallRng) -> usize {
+        let i = rng.gen_range(0..self.prob.len());
+        if rng.gen::<f64>() < self.prob[i] {
+            i
+        } else {
+            self.alias[i]
+        }
+    }
+
+    /// Number of outcomes.
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// Whether the table is empty (never true after `new`).
+    pub fn is_empty(&self) -> bool {
+        self.prob.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use rand::SeedableRng;
+
+    use super::*;
+
+    #[test]
+    fn uniform_weights_sample_uniformly() {
+        let table = AliasTable::new(&[1.0; 4]);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut counts = [0usize; 4];
+        let n = 40_000;
+        for _ in 0..n {
+            counts[table.sample(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            let expected = n / 4;
+            assert!(
+                (c as i64 - expected as i64).unsigned_abs() < (expected / 10) as u64,
+                "counts {counts:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn skewed_weights_respect_proportions() {
+        let table = AliasTable::new(&[8.0, 1.0, 1.0]);
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut counts = [0usize; 3];
+        let n = 50_000;
+        for _ in 0..n {
+            counts[table.sample(&mut rng)] += 1;
+        }
+        let p0 = counts[0] as f64 / n as f64;
+        assert!((p0 - 0.8).abs() < 0.02, "p0 = {p0}");
+    }
+
+    #[test]
+    fn zero_weight_outcomes_never_sampled() {
+        let table = AliasTable::new(&[1.0, 0.0, 1.0]);
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            assert_ne!(table.sample(&mut rng), 1);
+        }
+    }
+
+    #[test]
+    fn singleton_table() {
+        let table = AliasTable::new(&[5.0]);
+        let mut rng = SmallRng::seed_from_u64(4);
+        assert_eq!(table.sample(&mut rng), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive finite sum")]
+    fn all_zero_weights_panic() {
+        let _ = AliasTable::new(&[0.0, 0.0]);
+    }
+}

@@ -1,0 +1,91 @@
+//! DeepWalk (Perozzi et al., KDD 2014): truncated uniform random walks fed
+//! to skip-gram with negative sampling.
+
+use hsgf_graph::HetGraph;
+
+use crate::sgns::{train_sgns, SgnsConfig};
+use crate::walks::uniform_walks;
+use crate::Embedding;
+
+/// DeepWalk parameters; defaults are the paper's §4.2.2 settings
+/// (`d = 128`, `r = 10` walks per node, walk length `l = 80`, context
+/// `k = 10`, `K = 5` negatives).
+#[derive(Clone, Debug)]
+pub struct DeepWalkConfig {
+    /// Walks started per node.
+    pub walks_per_node: usize,
+    /// Nodes per walk.
+    pub walk_length: usize,
+    /// SGNS trainer settings.
+    pub sgns: SgnsConfig,
+}
+
+impl Default for DeepWalkConfig {
+    fn default() -> Self {
+        DeepWalkConfig {
+            walks_per_node: 10,
+            walk_length: 80,
+            sgns: SgnsConfig::default(),
+        }
+    }
+}
+
+/// Trains DeepWalk embeddings for every node of `graph`.
+pub fn deepwalk(graph: &HetGraph, config: &DeepWalkConfig) -> Embedding {
+    let walks = uniform_walks(
+        graph,
+        config.walks_per_node,
+        config.walk_length,
+        config.sgns.seed ^ 0xD3E9,
+    );
+    train_sgns(&walks, graph.node_count(), &config.sgns)
+}
+
+#[cfg(test)]
+mod tests {
+    use hsgf_graph::{GraphBuilder, Label, LabelSet};
+
+    use super::*;
+
+    /// Barbell graph: two K5 cliques joined by one bridge edge. DeepWalk
+    /// must embed same-clique nodes closer than cross-clique nodes.
+    fn barbell() -> HetGraph {
+        let labels = LabelSet::from_names(["x"]).unwrap();
+        let mut edges = Vec::new();
+        for a in 0..5u32 {
+            for b in (a + 1)..5 {
+                edges.push((a, b));
+                edges.push((a + 5, b + 5));
+            }
+        }
+        edges.push((0, 5));
+        GraphBuilder::from_edges(labels, &[Label::new(0); 10], &edges).unwrap()
+    }
+
+    #[test]
+    fn clusters_cliques() {
+        let g = barbell();
+        let config = DeepWalkConfig {
+            walks_per_node: 20,
+            walk_length: 20,
+            sgns: SgnsConfig { dim: 16, window: 4, epochs: 3, ..Default::default() },
+        };
+        let emb = deepwalk(&g, &config);
+        let within = (emb.cosine(1, 2) + emb.cosine(3, 4) + emb.cosine(6, 7)) / 3.0;
+        let across = (emb.cosine(1, 6) + emb.cosine(2, 8) + emb.cosine(3, 9)) / 3.0;
+        assert!(within > across, "within {within:.3} vs across {across:.3}");
+    }
+
+    #[test]
+    fn produces_vectors_for_all_nodes() {
+        let g = barbell();
+        let config = DeepWalkConfig {
+            walks_per_node: 2,
+            walk_length: 5,
+            sgns: SgnsConfig { dim: 8, ..Default::default() },
+        };
+        let emb = deepwalk(&g, &config);
+        assert_eq!(emb.vectors.len(), 10 * 8);
+        assert!(emb.vectors.iter().all(|v| v.is_finite()));
+    }
+}

@@ -1,0 +1,163 @@
+//! Neural node-embedding baselines, implemented from scratch.
+//!
+//! The paper compares heterogeneous subgraph features against three
+//! state-of-the-art embedding methods (§4.2.2): **DeepWalk** (uniform
+//! walks + skip-gram), **node2vec** (p/q-biased second-order walks +
+//! skip-gram), and **LINE** (first+second-order proximity via edge
+//! sampling). All three are purely structural — they ignore node labels —
+//! which is exactly the property the paper's experiments probe.
+//!
+//! Default hyperparameters follow the paper: `d = 128`, `r = 10` walks per
+//! node, walk length `l = 80`, context size `k = 10`, `p = q = 1`, and
+//! `K = 5` negative samples.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod alias;
+pub mod deepwalk;
+pub mod line;
+pub mod node2vec;
+pub mod sgns;
+pub mod walks;
+
+pub use alias::AliasTable;
+pub use deepwalk::{deepwalk, DeepWalkConfig};
+pub use line::{line, LineConfig};
+pub use node2vec::{node2vec, Node2VecConfig};
+pub use sgns::{train_sgns, SgnsConfig};
+
+/// A dense per-node embedding table.
+#[derive(Clone, Debug)]
+pub struct Embedding {
+    /// Vector dimension.
+    pub dim: usize,
+    /// Row-major `node_count × dim` storage.
+    pub vectors: Vec<f64>,
+}
+
+impl Embedding {
+    /// The vector of node `v`.
+    pub fn row(&self, v: usize) -> &[f64] {
+        &self.vectors[v * self.dim..(v + 1) * self.dim]
+    }
+
+    /// Number of embedded nodes.
+    pub fn node_count(&self) -> usize {
+        if self.dim == 0 {
+            0
+        } else {
+            self.vectors.len() / self.dim
+        }
+    }
+
+    /// Cosine similarity between two nodes' vectors.
+    pub fn cosine(&self, a: usize, b: usize) -> f64 {
+        let (va, vb) = (self.row(a), self.row(b));
+        let dot: f64 = va.iter().zip(vb).map(|(x, y)| x * y).sum();
+        let na: f64 = va.iter().map(|x| x * x).sum::<f64>().sqrt();
+        let nb: f64 = vb.iter().map(|x| x * x).sum::<f64>().sqrt();
+        dot / (na * nb + 1e-12)
+    }
+
+    /// Extracts the rows for a set of nodes as a flat row-major matrix —
+    /// the "embedded features" handed to downstream learners.
+    pub fn features_for(&self, nodes: &[u32]) -> Vec<f64> {
+        let mut out = Vec::with_capacity(nodes.len() * self.dim);
+        for &v in nodes {
+            out.extend_from_slice(self.row(v as usize));
+        }
+        out
+    }
+}
+
+/// The three baseline embedding methods, unified for the experiment
+/// harness.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum EmbeddingKind {
+    /// node2vec (Grover & Leskovec 2016).
+    Node2Vec,
+    /// DeepWalk (Perozzi et al. 2014).
+    DeepWalk,
+    /// LINE (Tang et al. 2015).
+    Line,
+}
+
+impl EmbeddingKind {
+    /// All baselines, in the paper's presentation order.
+    pub const ALL: [EmbeddingKind; 3] =
+        [EmbeddingKind::Node2Vec, EmbeddingKind::DeepWalk, EmbeddingKind::Line];
+
+    /// Display name used in tables and figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            EmbeddingKind::Node2Vec => "node2vec",
+            EmbeddingKind::DeepWalk => "DeepWalk",
+            EmbeddingKind::Line => "LINE",
+        }
+    }
+
+    /// Trains this baseline on the graph with dimension `dim` and
+    /// walk/sample budgets scaled by `budget` (1.0 = the paper's defaults).
+    /// Experiments on laptop-scale graphs pass `budget < 1` to keep the
+    /// full suite fast; the relative comparison is unaffected.
+    pub fn train(
+        self,
+        graph: &hsgf_graph::HetGraph,
+        dim: usize,
+        budget: f64,
+        seed: u64,
+    ) -> Embedding {
+        let scale = |x: usize| ((x as f64 * budget).round() as usize).max(1);
+        match self {
+            EmbeddingKind::DeepWalk => {
+                let config = DeepWalkConfig {
+                    walks_per_node: scale(10),
+                    walk_length: scale(80),
+                    sgns: SgnsConfig { dim, seed, ..SgnsConfig::default() },
+                };
+                deepwalk(graph, &config)
+            }
+            EmbeddingKind::Node2Vec => {
+                let config = Node2VecConfig {
+                    walks_per_node: scale(10),
+                    walk_length: scale(80),
+                    sgns: SgnsConfig { dim, seed, ..SgnsConfig::default() },
+                    ..Node2VecConfig::default()
+                };
+                node2vec(graph, &config)
+            }
+            EmbeddingKind::Line => {
+                let config = LineConfig {
+                    dim,
+                    samples_per_edge: scale(50),
+                    seed,
+                    ..LineConfig::default()
+                };
+                line(graph, &config)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn embedding_accessors() {
+        let emb = Embedding { dim: 2, vectors: vec![1.0, 0.0, 0.0, 1.0, 1.0, 1.0] };
+        assert_eq!(emb.node_count(), 3);
+        assert_eq!(emb.row(1), &[0.0, 1.0]);
+        assert!((emb.cosine(0, 1)).abs() < 1e-9);
+        assert!((emb.cosine(0, 0) - 1.0).abs() < 1e-9);
+        let f = emb.features_for(&[2, 0]);
+        assert_eq!(f, vec![1.0, 1.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn kinds_have_names() {
+        let names: Vec<&str> = EmbeddingKind::ALL.iter().map(|k| k.name()).collect();
+        assert_eq!(names, vec!["node2vec", "DeepWalk", "LINE"]);
+    }
+}

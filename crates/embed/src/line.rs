@@ -1,0 +1,188 @@
+//! LINE (Tang et al., WWW 2015): large-scale information network embedding
+//! preserving first- and second-order proximity, trained by edge sampling
+//! with negative sampling. As in the original method (and the paper's
+//! §4.2.2 description), the final representation concatenates the
+//! first-order and second-order embeddings.
+
+use hsgf_graph::HetGraph;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::alias::AliasTable;
+use crate::Embedding;
+
+/// LINE parameters. `dim` is the *total* dimension; each order gets
+/// `dim / 2`. Defaults follow the paper's setup (`d = 128`, `K = 5`).
+#[derive(Clone, Debug)]
+pub struct LineConfig {
+    /// Total embedding dimension (split across the two orders).
+    pub dim: usize,
+    /// Negative samples per positive edge.
+    pub negatives: usize,
+    /// Edge samples per order, as a multiple of the edge count.
+    pub samples_per_edge: usize,
+    /// Initial learning rate, linearly decayed.
+    pub learning_rate: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for LineConfig {
+    fn default() -> Self {
+        LineConfig {
+            dim: 128,
+            negatives: 5,
+            samples_per_edge: 50,
+            learning_rate: 0.025,
+            seed: 0,
+        }
+    }
+}
+
+/// Trains the concatenated first+second order LINE embedding.
+pub fn line(graph: &HetGraph, config: &LineConfig) -> Embedding {
+    let half = (config.dim / 2).max(1);
+    let first = train_order(graph, half, config, Order::First);
+    let second = train_order(graph, half, config, Order::Second);
+    let n = graph.node_count();
+    let mut vectors = vec![0.0f64; n * half * 2];
+    for v in 0..n {
+        vectors[v * half * 2..v * half * 2 + half].copy_from_slice(first.row(v));
+        vectors[v * half * 2 + half..(v + 1) * half * 2].copy_from_slice(second.row(v));
+    }
+    Embedding { dim: half * 2, vectors }
+}
+
+#[derive(Copy, Clone, PartialEq)]
+enum Order {
+    First,
+    Second,
+}
+
+fn train_order(graph: &HetGraph, dim: usize, config: &LineConfig, order: Order) -> Embedding {
+    let n = graph.node_count();
+    let edges: Vec<(u32, u32)> = graph.edges().map(|(u, v)| (u.raw(), v.raw())).collect();
+    let mut rng = SmallRng::seed_from_u64(
+        config.seed ^ if order == Order::First { 0x11AE } else { 0x22BE },
+    );
+    let mut vertex = vec![0.0f32; n * dim];
+    for v in vertex.iter_mut() {
+        *v = (rng.gen::<f32>() - 0.5) / dim as f32;
+    }
+    // Second order uses separate context vectors; first order is symmetric
+    // (contexts are the vertex vectors themselves).
+    let mut context = if order == Order::Second { vec![0.0f32; n * dim] } else { Vec::new() };
+
+    if edges.is_empty() {
+        return Embedding { dim, vectors: vertex.into_iter().map(f64::from).collect() };
+    }
+    // Uniform edge sampling (our graphs are unweighted) and degree^0.75
+    // negative noise.
+    let noise_weights: Vec<f64> =
+        (0..n).map(|v| (graph.degree(hsgf_graph::NodeId::new(v as u32)) as f64 + 1.0).powf(0.75)).collect();
+    let noise = AliasTable::new(&noise_weights);
+    let total = edges.len() * config.samples_per_edge;
+    let lr0 = config.learning_rate;
+    let mut grad = vec![0.0f32; dim];
+    let mut u_vec = vec![0.0f32; dim];
+    for step in 0..total {
+        let lr = (lr0 * (1.0 - step as f64 / total as f64)).max(lr0 * 1e-4) as f32;
+        let (mut u, mut v) = edges[rng.gen_range(0..edges.len())];
+        // Undirected edge: pick a random direction per sample.
+        if rng.gen::<bool>() {
+            std::mem::swap(&mut u, &mut v);
+        }
+        let ui = u as usize * dim;
+        // Work on a copy of u's vector so target updates never alias it
+        // (in first order the negatives share the vertex table).
+        u_vec.copy_from_slice(&vertex[ui..ui + dim]);
+        grad.iter_mut().for_each(|g| *g = 0.0);
+        for k in 0..=config.negatives {
+            let (target, label) = if k == 0 {
+                (v as usize, 1.0f32)
+            } else {
+                (noise.sample(&mut rng), 0.0f32)
+            };
+            // Self-pairs carry no signal; in first order they would also
+            // alias u's own vector.
+            if target == u as usize {
+                continue;
+            }
+            let ti = target * dim;
+            let target_vec: &mut [f32] = if order == Order::Second {
+                &mut context[ti..ti + dim]
+            } else {
+                &mut vertex[ti..ti + dim]
+            };
+            let dot: f32 = u_vec.iter().zip(target_vec.iter()).map(|(a, b)| a * b).sum();
+            let pred = 1.0 / (1.0 + (-dot).exp());
+            let g = (label - pred) * lr;
+            for j in 0..dim {
+                grad[j] += g * target_vec[j];
+                target_vec[j] += g * u_vec[j];
+            }
+        }
+        for j in 0..dim {
+            vertex[ui + j] += grad[j];
+        }
+    }
+    Embedding { dim, vectors: vertex.into_iter().map(f64::from).collect() }
+}
+
+#[cfg(test)]
+mod tests {
+    use hsgf_graph::{GraphBuilder, Label, LabelSet};
+
+    use super::*;
+
+    fn barbell() -> HetGraph {
+        let labels = LabelSet::from_names(["x"]).unwrap();
+        let mut edges = Vec::new();
+        for a in 0..5u32 {
+            for b in (a + 1)..5 {
+                edges.push((a, b));
+                edges.push((a + 5, b + 5));
+            }
+        }
+        edges.push((0, 5));
+        GraphBuilder::from_edges(labels, &[Label::new(0); 10], &edges).unwrap()
+    }
+
+    #[test]
+    fn dimension_is_split_and_concatenated() {
+        let g = barbell();
+        let config = LineConfig { dim: 16, samples_per_edge: 10, ..Default::default() };
+        let emb = line(&g, &config);
+        assert_eq!(emb.dim, 16);
+        assert_eq!(emb.vectors.len(), 10 * 16);
+        assert!(emb.vectors.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn first_order_proximity_clusters_cliques() {
+        let g = barbell();
+        let config = LineConfig { dim: 16, samples_per_edge: 400, ..Default::default() };
+        let emb = line(&g, &config);
+        let within = (emb.cosine(1, 2) + emb.cosine(6, 7)) / 2.0;
+        let across = (emb.cosine(1, 6) + emb.cosine(2, 7)) / 2.0;
+        assert!(within > across, "within {within:.3} vs across {across:.3}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let g = barbell();
+        let config = LineConfig { dim: 8, samples_per_edge: 5, ..Default::default() };
+        let a = line(&g, &config);
+        let b = line(&g, &config);
+        assert_eq!(a.vectors, b.vectors);
+    }
+
+    #[test]
+    fn edgeless_graph_is_safe() {
+        let labels = LabelSet::from_names(["x"]).unwrap();
+        let g = GraphBuilder::from_edges(labels, &[Label::new(0); 3], &[]).unwrap();
+        let config = LineConfig { dim: 8, ..Default::default() };
+        let emb = line(&g, &config);
+        assert_eq!(emb.vectors.len(), 3 * 8);
+    }
+}

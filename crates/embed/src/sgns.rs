@@ -1,0 +1,175 @@
+//! Skip-gram with negative sampling (SGNS) over a walk corpus — the shared
+//! trainer behind DeepWalk and node2vec (both reduce node embedding to
+//! word2vec on walk "sentences"; Mikolov et al. 2013).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::alias::AliasTable;
+use crate::Embedding;
+
+/// SGNS hyperparameters. Defaults follow the paper's §4.2.2 settings:
+/// `d = 128`, context size `k = 10`, `K = 5` negative samples.
+#[derive(Clone, Debug)]
+pub struct SgnsConfig {
+    /// Embedding dimension.
+    pub dim: usize,
+    /// Maximum context window; the effective window per centre token is
+    /// sampled uniformly from `1..=window` as in word2vec.
+    pub window: usize,
+    /// Negative samples per positive pair.
+    pub negatives: usize,
+    /// Training epochs over the corpus.
+    pub epochs: usize,
+    /// Initial learning rate, linearly decayed to 1e-4 of itself.
+    pub learning_rate: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SgnsConfig {
+    fn default() -> Self {
+        SgnsConfig {
+            dim: 128,
+            window: 10,
+            negatives: 5,
+            epochs: 1,
+            learning_rate: 0.025,
+            seed: 0,
+        }
+    }
+}
+
+/// Trains SGNS input vectors over `vocab_size` tokens from walk sentences.
+pub fn train_sgns(walks: &[Vec<u32>], vocab_size: usize, config: &SgnsConfig) -> Embedding {
+    assert!(vocab_size > 0, "empty vocabulary");
+    let d = config.dim;
+    let mut rng = SmallRng::seed_from_u64(config.seed);
+    // Unigram^0.75 noise distribution over corpus frequencies.
+    let mut freq = vec![0.0f64; vocab_size];
+    for walk in walks {
+        for &t in walk {
+            freq[t as usize] += 1.0;
+        }
+    }
+    let noise_weights: Vec<f64> = freq.iter().map(|&f| (f + 1.0).powf(0.75)).collect();
+    let noise = AliasTable::new(&noise_weights);
+
+    // word2vec-style init: input uniform small, output zero.
+    let mut input = vec![0.0f32; vocab_size * d];
+    for v in input.iter_mut() {
+        *v = (rng.gen::<f32>() - 0.5) / d as f32;
+    }
+    let mut output = vec![0.0f32; vocab_size * d];
+
+    let total_tokens: usize = walks.iter().map(Vec::len).sum::<usize>().max(1);
+    let total_steps = (total_tokens * config.epochs) as f64;
+    let mut seen = 0usize;
+    let lr0 = config.learning_rate;
+    let mut grad = vec![0.0f32; d];
+    for _ in 0..config.epochs {
+        for walk in walks {
+            for (center_pos, &center) in walk.iter().enumerate() {
+                seen += 1;
+                let lr = (lr0 * (1.0 - seen as f64 / total_steps)).max(lr0 * 1e-4) as f32;
+                let b = rng.gen_range(1..=config.window);
+                let lo = center_pos.saturating_sub(b);
+                let hi = (center_pos + b + 1).min(walk.len());
+                for ctx_pos in lo..hi {
+                    if ctx_pos == center_pos {
+                        continue;
+                    }
+                    let context = walk[ctx_pos] as usize;
+                    let ci = context * d;
+                    grad.iter_mut().for_each(|g| *g = 0.0);
+                    // One positive + K negative updates on the context's
+                    // input vector.
+                    for k in 0..=config.negatives {
+                        let (target, label) = if k == 0 {
+                            (center as usize, 1.0f32)
+                        } else {
+                            (noise.sample(&mut rng), 0.0f32)
+                        };
+                        let ti = target * d;
+                        let dot: f32 = input[ci..ci + d]
+                            .iter()
+                            .zip(&output[ti..ti + d])
+                            .map(|(a, b)| a * b)
+                            .sum();
+                        let pred = 1.0 / (1.0 + (-dot).exp());
+                        let g = (label - pred) * lr;
+                        for j in 0..d {
+                            grad[j] += g * output[ti + j];
+                            output[ti + j] += g * input[ci + j];
+                        }
+                    }
+                    for j in 0..d {
+                        input[ci + j] += grad[j];
+                    }
+                }
+            }
+        }
+    }
+    Embedding {
+        dim: d,
+        vectors: input.into_iter().map(f64::from).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two disconnected "communities" simulated as walk corpora: tokens
+    /// 0..4 co-occur, tokens 5..9 co-occur. SGNS must embed communities
+    /// closer together than across.
+    #[test]
+    fn communities_embed_closer_than_strangers() {
+        let mut walks = Vec::new();
+        let mut state = 7u64;
+        let mut next = |m: u32| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((state >> 33) as u32) % m
+        };
+        for _ in 0..300 {
+            walks.push((0..12).map(|_| next(5)).collect::<Vec<u32>>());
+            walks.push((0..12).map(|_| 5 + next(5)).collect::<Vec<u32>>());
+        }
+        let config = SgnsConfig { dim: 16, window: 4, epochs: 2, ..Default::default() };
+        let emb = train_sgns(&walks, 10, &config);
+        let cos = |a: usize, b: usize| -> f64 {
+            let (va, vb) = (emb.row(a), emb.row(b));
+            let dot: f64 = va.iter().zip(vb).map(|(x, y)| x * y).sum();
+            let na: f64 = va.iter().map(|x| x * x).sum::<f64>().sqrt();
+            let nb: f64 = vb.iter().map(|x| x * x).sum::<f64>().sqrt();
+            dot / (na * nb + 1e-12)
+        };
+        let within = (cos(0, 1) + cos(2, 3) + cos(5, 6) + cos(7, 8)) / 4.0;
+        let across = (cos(0, 5) + cos(1, 7) + cos(3, 9) + cos(4, 6)) / 4.0;
+        assert!(
+            within > across + 0.2,
+            "within {within:.3} should beat across {across:.3}"
+        );
+    }
+
+    #[test]
+    fn shapes_and_determinism() {
+        let walks = vec![vec![0, 1, 2], vec![2, 1, 0]];
+        let config = SgnsConfig { dim: 8, window: 2, epochs: 1, ..Default::default() };
+        let e1 = train_sgns(&walks, 3, &config);
+        let e2 = train_sgns(&walks, 3, &config);
+        assert_eq!(e1.dim, 8);
+        assert_eq!(e1.vectors.len(), 3 * 8);
+        assert_eq!(e1.vectors, e2.vectors);
+    }
+
+    #[test]
+    fn tokens_absent_from_corpus_keep_init_scale() {
+        let walks = vec![vec![0, 1], vec![1, 0]];
+        let config = SgnsConfig { dim: 4, window: 2, ..Default::default() };
+        let emb = train_sgns(&walks, 5, &config);
+        // Token 4 never appears: its vector stays at the small init scale.
+        let norm: f64 = emb.row(4).iter().map(|x| x * x).sum::<f64>().sqrt();
+        assert!(norm < 0.5, "untouched vector should stay small, norm={norm}");
+    }
+}

@@ -1,0 +1,186 @@
+//! Random-walk corpora: uniform first-order walks (DeepWalk) and the
+//! p/q-biased second-order walks of node2vec.
+
+use hsgf_graph::{HetGraph, NodeId};
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Generates `walks_per_node` uniform random walks of `walk_length` nodes
+/// from every node (DeepWalk's corpus; Perozzi et al. 2014). Nodes with no
+/// neighbours yield length-1 walks.
+pub fn uniform_walks(
+    graph: &HetGraph,
+    walks_per_node: usize,
+    walk_length: usize,
+    seed: u64,
+) -> Vec<Vec<u32>> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut starts: Vec<u32> = (0..graph.node_count() as u32).collect();
+    let mut walks = Vec::with_capacity(graph.node_count() * walks_per_node);
+    for _ in 0..walks_per_node {
+        // DeepWalk shuffles the start order each pass.
+        starts.shuffle(&mut rng);
+        for &s in &starts {
+            let mut walk = Vec::with_capacity(walk_length);
+            walk.push(s);
+            let mut cur = NodeId::new(s);
+            for _ in 1..walk_length {
+                let nbrs = graph.neighbors(cur);
+                if nbrs.is_empty() {
+                    break;
+                }
+                cur = nbrs[rng.gen_range(0..nbrs.len())];
+                walk.push(cur.raw());
+            }
+            walks.push(walk);
+        }
+    }
+    walks
+}
+
+/// Generates node2vec second-order walks (Grover & Leskovec 2016): the
+/// unnormalized probability of stepping from `v` to `x` given the previous
+/// node `t` is `1/p` if `x = t`, `1` if `x` is adjacent to `t`, and `1/q`
+/// otherwise. Sampling is done by rejection against the maximum weight, so
+/// no per-edge alias tables are materialized.
+pub fn node2vec_walks(
+    graph: &HetGraph,
+    walks_per_node: usize,
+    walk_length: usize,
+    p: f64,
+    q: f64,
+    seed: u64,
+) -> Vec<Vec<u32>> {
+    assert!(p > 0.0 && q > 0.0, "p and q must be positive");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut starts: Vec<u32> = (0..graph.node_count() as u32).collect();
+    let mut walks = Vec::with_capacity(graph.node_count() * walks_per_node);
+    let w_return = 1.0 / p;
+    let w_out = 1.0 / q;
+    let w_max = w_return.max(1.0).max(w_out);
+    for _ in 0..walks_per_node {
+        starts.shuffle(&mut rng);
+        for &s in &starts {
+            let mut walk = Vec::with_capacity(walk_length);
+            walk.push(s);
+            let mut prev: Option<NodeId> = None;
+            let mut cur = NodeId::new(s);
+            for _ in 1..walk_length {
+                let nbrs = graph.neighbors(cur);
+                if nbrs.is_empty() {
+                    break;
+                }
+                let next = match prev {
+                    None => nbrs[rng.gen_range(0..nbrs.len())],
+                    Some(t) => {
+                        // Rejection sampling on the second-order weights.
+                        loop {
+                            let cand = nbrs[rng.gen_range(0..nbrs.len())];
+                            let w = if cand == t {
+                                w_return
+                            } else if graph.has_edge(cand, t) {
+                                1.0
+                            } else {
+                                w_out
+                            };
+                            if rng.gen::<f64>() * w_max <= w {
+                                break cand;
+                            }
+                        }
+                    }
+                };
+                walk.push(next.raw());
+                prev = Some(cur);
+                cur = next;
+            }
+            walks.push(walk);
+        }
+    }
+    walks
+}
+
+#[cfg(test)]
+mod tests {
+    use hsgf_graph::{generators, GraphBuilder, Label, LabelSet};
+
+    use super::*;
+
+    fn line_graph(n: usize) -> HetGraph {
+        let labels = LabelSet::from_names(["x"]).unwrap();
+        let node_labels = vec![Label::new(0); n];
+        let edges: Vec<(u32, u32)> = (0..n as u32 - 1).map(|i| (i, i + 1)).collect();
+        GraphBuilder::from_edges(labels, &node_labels, &edges).unwrap()
+    }
+
+    #[test]
+    fn walks_have_requested_shape() {
+        let g = line_graph(10);
+        let walks = uniform_walks(&g, 3, 7, 1);
+        assert_eq!(walks.len(), 30);
+        for w in &walks {
+            assert!(w.len() <= 7 && !w.is_empty());
+            // Consecutive nodes must be adjacent.
+            for pair in w.windows(2) {
+                assert!(g.has_edge(NodeId::new(pair[0]), NodeId::new(pair[1])));
+            }
+        }
+    }
+
+    #[test]
+    fn isolated_nodes_yield_singleton_walks() {
+        let labels = LabelSet::from_names(["x"]).unwrap();
+        let g = GraphBuilder::from_edges(
+            labels,
+            &[Label::new(0), Label::new(0), Label::new(0)],
+            &[(0, 1)],
+        )
+        .unwrap();
+        let walks = uniform_walks(&g, 1, 5, 2);
+        let w2: Vec<&Vec<u32>> = walks.iter().filter(|w| w[0] == 2).collect();
+        assert_eq!(w2.len(), 1);
+        assert_eq!(w2[0].len(), 1);
+    }
+
+    #[test]
+    fn node2vec_walks_are_valid_paths() {
+        let labels = LabelSet::from_names(["a", "b"]).unwrap();
+        let g = generators::barabasi_albert(labels, &[1.0, 1.0], 80, 2, 3).unwrap();
+        let walks = node2vec_walks(&g, 2, 10, 1.0, 1.0, 7);
+        assert_eq!(walks.len(), 160);
+        for w in &walks {
+            for pair in w.windows(2) {
+                assert!(g.has_edge(NodeId::new(pair[0]), NodeId::new(pair[1])));
+            }
+        }
+    }
+
+    #[test]
+    fn low_p_increases_backtracking() {
+        // On a line graph, a tiny p (strong return bias) should produce
+        // more immediate backtracks than a huge p.
+        let g = line_graph(50);
+        let count_backtracks = |walks: &[Vec<u32>]| -> usize {
+            walks
+                .iter()
+                .flat_map(|w| w.windows(3))
+                .filter(|t| t[0] == t[2])
+                .count()
+        };
+        let returny = node2vec_walks(&g, 5, 20, 0.05, 1.0, 11);
+        let outy = node2vec_walks(&g, 5, 20, 20.0, 1.0, 11);
+        let r = count_backtracks(&returny);
+        let o = count_backtracks(&outy);
+        assert!(r > o, "backtracks: return-biased {r} vs outward {o}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let g = line_graph(12);
+        assert_eq!(uniform_walks(&g, 2, 6, 9), uniform_walks(&g, 2, 6, 9));
+        assert_eq!(
+            node2vec_walks(&g, 2, 6, 0.5, 2.0, 9),
+            node2vec_walks(&g, 2, 6, 0.5, 2.0, 9)
+        );
+    }
+}

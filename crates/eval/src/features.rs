@@ -1,0 +1,160 @@
+//! Shared feature-extraction pipelines: subgraph censuses and neural
+//! embeddings, both shaped into dense matrices for the learners.
+
+use hsgf_core::census::{CensusConfig, CensusEngine};
+use hsgf_core::features::FeatureMatrix;
+use hsgf_core::parallel::extract_censuses;
+use hsgf_embed::EmbeddingKind;
+use hsgf_graph::{DegreeStats, HetGraph, NodeId};
+
+/// Which family of node features to extract.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum FeatureFamily {
+    /// Heterogeneous subgraph features (the paper's contribution).
+    Subgraph,
+    /// A neural embedding baseline.
+    Embedding(EmbeddingKind),
+}
+
+impl FeatureFamily {
+    /// Display name used in tables and figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            FeatureFamily::Subgraph => "Subgraph",
+            FeatureFamily::Embedding(k) => k.name(),
+        }
+    }
+
+    /// The four families compared in the label-prediction figures, in the
+    /// paper's order.
+    pub const LABEL_TASK: [FeatureFamily; 4] = [
+        FeatureFamily::Subgraph,
+        FeatureFamily::Embedding(EmbeddingKind::Node2Vec),
+        FeatureFamily::Embedding(EmbeddingKind::DeepWalk),
+        FeatureFamily::Embedding(EmbeddingKind::Line),
+    ];
+}
+
+/// Parameters of the subgraph feature pipeline.
+#[derive(Clone, Debug)]
+pub struct SubgraphFeatureConfig {
+    /// Census parameters.
+    pub census: CensusConfig,
+    /// Drop features occurring in fewer rows than this.
+    pub min_df: u32,
+    /// Cap the vocabulary to the `k` most document-frequent features
+    /// (unsupervised, so leak-free). `None` keeps everything.
+    pub max_features: Option<usize>,
+    /// Apply `ln(1+x)` to counts before learning.
+    pub log1p: bool,
+    /// Worker threads.
+    pub threads: usize,
+}
+
+impl Default for SubgraphFeatureConfig {
+    fn default() -> Self {
+        SubgraphFeatureConfig {
+            census: CensusConfig::default(),
+            min_df: 2,
+            max_features: None,
+            log1p: true,
+            threads: default_threads(),
+        }
+    }
+}
+
+/// A sensible worker count for the current machine.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+}
+
+/// Resolves a `dmax` percentile (e.g. 90.0) into a concrete degree bound
+/// for the graph; `None` or `>= 100` means unbounded (the paper's "100%" /
+/// `dmax = ∞` setting).
+pub fn dmax_from_percentile(graph: &HetGraph, percentile: Option<f64>) -> Option<u32> {
+    match percentile {
+        Some(p) if p < 100.0 => Some(DegreeStats::of(graph).degree_at_percentile(p)),
+        _ => None,
+    }
+}
+
+/// Extracts the subgraph [`FeatureMatrix`] for `roots`, applying min-df
+/// pruning and log scaling per the config.
+pub fn subgraph_features(
+    graph: &HetGraph,
+    roots: &[NodeId],
+    config: &SubgraphFeatureConfig,
+) -> FeatureMatrix {
+    let engine = CensusEngine::new(graph, config.census.clone())
+        .expect("config validated by caller");
+    let censuses =
+        extract_censuses(&engine, roots, config.threads).expect("roots are valid nodes");
+    let mut matrix = FeatureMatrix::from_censuses(roots.to_vec(), censuses);
+    if config.min_df > 1 {
+        matrix = matrix.filter_min_df(config.min_df);
+    }
+    if let Some(k) = config.max_features {
+        matrix = matrix.top_k_by_document_frequency(k);
+    }
+    if config.log1p {
+        matrix = matrix.log1p();
+    }
+    matrix
+}
+
+/// Extracts dense embedding features for `roots` by training the baseline
+/// on the whole graph (embeddings are transductive).
+pub fn embedding_features(
+    graph: &HetGraph,
+    roots: &[NodeId],
+    kind: EmbeddingKind,
+    dim: usize,
+    budget: f64,
+    seed: u64,
+) -> Vec<f64> {
+    let embedding = kind.train(graph, dim, budget, seed);
+    let ids: Vec<u32> = roots.iter().map(|r| r.raw()).collect();
+    embedding.features_for(&ids)
+}
+
+#[cfg(test)]
+mod tests {
+    use hsgf_data::{LoadConfig, LoadData, Scale};
+
+    use super::*;
+
+    fn small_graph() -> HetGraph {
+        LoadData::generate(&LoadConfig::at_scale(Scale::Tiny)).graph
+    }
+
+    #[test]
+    fn subgraph_pipeline_produces_rows_for_all_roots() {
+        let graph = small_graph();
+        let roots: Vec<NodeId> = graph.nodes().step_by(13).collect();
+        let mut config = SubgraphFeatureConfig::default();
+        config.census.emax = 3;
+        config.census.dmax = dmax_from_percentile(&graph, Some(90.0));
+        let m = subgraph_features(&graph, &roots, &config);
+        assert_eq!(m.row_count(), roots.len());
+        assert!(m.feature_count() > 0);
+    }
+
+    #[test]
+    fn dmax_percentile_resolution() {
+        let graph = small_graph();
+        assert!(dmax_from_percentile(&graph, None).is_none());
+        assert!(dmax_from_percentile(&graph, Some(100.0)).is_none());
+        let d90 = dmax_from_percentile(&graph, Some(90.0)).unwrap();
+        let d98 = dmax_from_percentile(&graph, Some(98.0)).unwrap();
+        assert!(d90 <= d98);
+    }
+
+    #[test]
+    fn embedding_features_have_expected_shape() {
+        let graph = small_graph();
+        let roots: Vec<NodeId> = graph.nodes().take(10).collect();
+        let x = embedding_features(&graph, &roots, EmbeddingKind::DeepWalk, 16, 0.05, 1);
+        assert_eq!(x.len(), 10 * 16);
+        assert!(x.iter().all(|v| v.is_finite()));
+    }
+}

@@ -1,0 +1,569 @@
+//! The label-prediction evaluation (paper §4.3): Fig. 5A–C training-size
+//! sweeps, Fig. 5D–F label-removal sweeps, Table 2 `dmax` stability, and
+//! Table 3 extraction runtimes.
+
+use std::time::Instant;
+
+use hsgf_core::census::{CensusConfig, CensusEngine};
+use hsgf_embed::EmbeddingKind;
+use hsgf_graph::{HetGraph, Label, LabelSet, NodeId};
+use hsgf_ml::dataset::{Dataset, StandardScaler};
+use hsgf_ml::logreg::{LogisticConfig, OneVsAllClassifier};
+use hsgf_ml::metrics::{macro_f1, mean_ci95};
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use crate::features::{
+    dmax_from_percentile, embedding_features, subgraph_features, FeatureFamily,
+    SubgraphFeatureConfig,
+};
+
+/// Parameters of one label-prediction evaluation.
+#[derive(Clone, Debug)]
+pub struct LabelTaskConfig {
+    /// Nodes sampled per label (paper: 250).
+    pub nodes_per_label: usize,
+    /// Census edge bound (paper: 5).
+    pub emax: usize,
+    /// Hub-cutoff percentile; `None` = ∞ (paper uses the 90% mark).
+    pub dmax_percentile: Option<f64>,
+    /// Use the directed characteristic sequence (the §5 extension).
+    pub directed: bool,
+    /// Cap on the subgraph vocabulary (most document-frequent features
+    /// kept). Keeps single-core classifier fits fast; `None` = unlimited.
+    pub max_features: Option<usize>,
+    /// Exclude sampled roots whose degree exceeds this percentile of the
+    /// degree distribution (paper §4.3.5: "prediction performance does not
+    /// decrease when we extract features only up to the 95% mark").
+    /// `None` keeps every sampled root, including extreme hubs.
+    pub root_cap_percentile: Option<f64>,
+    /// Embedding dimension (paper: 128).
+    pub embed_dim: usize,
+    /// Embedding walk/sample budget relative to paper defaults.
+    pub embed_budget: f64,
+    /// Random re-splits per measurement (paper: 100).
+    pub repeats: usize,
+    /// Worker threads for the census.
+    pub threads: usize,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for LabelTaskConfig {
+    fn default() -> Self {
+        LabelTaskConfig {
+            nodes_per_label: 250,
+            emax: 5,
+            dmax_percentile: Some(90.0),
+            directed: false,
+            max_features: Some(256),
+            root_cap_percentile: Some(99.0),
+            embed_dim: 128,
+            embed_budget: 0.25,
+            repeats: 20,
+            threads: crate::features::default_threads(),
+            seed: 0xE7A1,
+        }
+    }
+}
+
+/// Samples up to `per_label` nodes of every label, returning node ids and
+/// their class indices (the prediction targets). `degree_cap` excludes
+/// nodes above the given degree (the §4.3.5 sampling strategy).
+pub fn sample_labelled_nodes_capped(
+    graph: &HetGraph,
+    per_label: usize,
+    degree_cap: Option<u32>,
+    seed: u64,
+) -> (Vec<NodeId>, Vec<usize>) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut nodes = Vec::new();
+    let mut classes = Vec::new();
+    for label in graph.labels().labels() {
+        let mut pool: Vec<NodeId> = graph
+            .nodes_with_label(label)
+            .filter(|&v| degree_cap.map_or(true, |cap| graph.degree(v) as u32 <= cap))
+            .collect();
+        pool.shuffle(&mut rng);
+        pool.truncate(per_label);
+        for v in pool {
+            nodes.push(v);
+            classes.push(label.index());
+        }
+    }
+    (nodes, classes)
+}
+
+/// Samples up to `per_label` nodes of every label with no degree cap.
+pub fn sample_labelled_nodes(
+    graph: &HetGraph,
+    per_label: usize,
+    seed: u64,
+) -> (Vec<NodeId>, Vec<usize>) {
+    sample_labelled_nodes_capped(graph, per_label, None, seed)
+}
+
+/// The task's root sample under its configuration (degree cap resolved
+/// against this graph's distribution).
+pub fn task_sample(graph: &HetGraph, config: &LabelTaskConfig) -> (Vec<NodeId>, Vec<usize>) {
+    let cap = config
+        .root_cap_percentile
+        .filter(|&p| p < 100.0)
+        .map(|p| hsgf_graph::DegreeStats::of(graph).degree_at_percentile(p));
+    sample_labelled_nodes_capped(graph, config.nodes_per_label, cap, config.seed)
+}
+
+/// Extracts the feature matrix of one family for the sampled nodes.
+/// Subgraph features mask the root label (paper §4.3.2) and standardize
+/// after log scaling; embedding features are used as-is.
+pub fn extract_label_features(
+    graph: &HetGraph,
+    nodes: &[NodeId],
+    family: FeatureFamily,
+    config: &LabelTaskConfig,
+) -> Dataset {
+    let x = match family {
+        FeatureFamily::Subgraph => {
+            let mut sg = SubgraphFeatureConfig {
+                threads: config.threads,
+                max_features: config.max_features,
+                ..SubgraphFeatureConfig::default()
+            };
+            sg.census = CensusConfig::default()
+                .with_emax(config.emax)
+                .with_dmax(dmax_from_percentile(graph, config.dmax_percentile))
+                .with_mask_root_label(true)
+                .with_directed(config.directed);
+            let matrix = subgraph_features(graph, nodes, &sg);
+            let dense = matrix.to_dense();
+            let d = matrix.feature_count();
+            return standardized(dense, nodes.len(), d);
+        }
+        FeatureFamily::Embedding(kind) => embedding_features(
+            graph,
+            nodes,
+            kind,
+            config.embed_dim,
+            config.embed_budget,
+            config.seed,
+        ),
+    };
+    let d = x.len() / nodes.len().max(1);
+    Dataset::new(x, nodes.len(), d, vec![0.0; nodes.len()])
+}
+
+fn standardized(x: Vec<f64>, n: usize, d: usize) -> Dataset {
+    let data = Dataset::new(x, n, d, vec![0.0; n]);
+    let (_, t) = StandardScaler::fit_transform(&data.x);
+    Dataset { x: t, y: data.y }
+}
+
+/// One measured point: mean Macro-F1 and its 95% CI half-width over the
+/// repeated random splits.
+#[derive(Clone, Copy, Debug)]
+pub struct F1Point {
+    /// Mean Macro-F1.
+    pub mean: f64,
+    /// 95% confidence half-width.
+    pub ci95: f64,
+}
+
+/// Trains one-vs-all logistic regression on `train_fraction` of the rows
+/// and evaluates Macro-F1 on the rest, repeated over reshuffles, at the
+/// default regularization strength (`C = 1`).
+pub fn evaluate_classification(
+    features: &Dataset,
+    classes: &[usize],
+    train_fraction: f64,
+    repeats: usize,
+    seed: u64,
+) -> F1Point {
+    evaluate_classification_with(features, classes, train_fraction, repeats, seed, 1.0)
+}
+
+/// As [`evaluate_classification`], at an explicit inverse regularization
+/// strength `c`.
+pub fn evaluate_classification_with(
+    features: &Dataset,
+    classes: &[usize],
+    train_fraction: f64,
+    repeats: usize,
+    seed: u64,
+    c: f64,
+) -> F1Point {
+    assert_eq!(features.len(), classes.len());
+    let n = features.len();
+    let mut scores = Vec::with_capacity(repeats);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    for _ in 0..repeats.max(1) {
+        let mut order: Vec<usize> = (0..n).collect();
+        order.shuffle(&mut rng);
+        let cut = ((n as f64) * train_fraction).round() as usize;
+        let cut = cut.clamp(1, n - 1);
+        let (train_rows, test_rows) = order.split_at(cut);
+        let train_x = features.select_rows(train_rows);
+        let test_x = features.select_rows(test_rows);
+        let train_y: Vec<usize> = train_rows.iter().map(|&i| classes[i]).collect();
+        let test_y: Vec<usize> = test_rows.iter().map(|&i| classes[i]).collect();
+        let clf = OneVsAllClassifier::fit(
+            &train_x,
+            &train_y,
+            &LogisticConfig { c, max_iter: 200, tol: 1e-4 },
+        );
+        let preds = clf.predict(&test_x);
+        scores.push(macro_f1(&preds, &test_y));
+    }
+    let (mean, ci95) = mean_ci95(&scores);
+    F1Point { mean, ci95 }
+}
+
+/// The paper's full §4.3.3 protocol: tune the regularization strength by
+/// k-fold cross-validation on one training split, then evaluate at the
+/// chosen strength over repeated re-splits. Returns the tuned `C` and the
+/// resulting score.
+pub fn evaluate_classification_tuned(
+    features: &Dataset,
+    classes: &[usize],
+    train_fraction: f64,
+    repeats: usize,
+    seed: u64,
+) -> (f64, F1Point) {
+    // Carve a single training split for tuning so the tuning never sees
+    // the evaluation test rows of the first repeat.
+    let n = features.len();
+    let mut order: Vec<usize> = (0..n).collect();
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x7u64);
+    order.shuffle(&mut rng);
+    let cut = (((n as f64) * train_fraction).round() as usize).clamp(2, n - 1);
+    let tune_rows = &order[..cut];
+    let tune_x = features.select_rows(tune_rows);
+    let tune_y: Vec<usize> = tune_rows.iter().map(|&i| classes[i]).collect();
+    let folds = 3.min(cut);
+    let c = hsgf_ml::crossval::tune_logistic_c(
+        &tune_x,
+        &tune_y,
+        &hsgf_ml::crossval::DEFAULT_C_GRID,
+        folds.max(2),
+        seed,
+    );
+    let point = evaluate_classification_with(features, classes, train_fraction, repeats, seed, c);
+    (c, point)
+}
+
+/// Fig. 5A–C: Macro-F1 per feature family per training fraction.
+pub struct TrainingSizeSweep {
+    /// Training fractions measured (e.g. 0.1 ..= 0.9).
+    pub fractions: Vec<f64>,
+    /// `results[family][fraction_idx]`.
+    pub results: Vec<(FeatureFamily, Vec<F1Point>)>,
+}
+
+/// Runs the Fig. 5A–C sweep on one dataset.
+pub fn training_size_sweep(
+    graph: &HetGraph,
+    config: &LabelTaskConfig,
+    fractions: &[f64],
+    families: &[FeatureFamily],
+) -> TrainingSizeSweep {
+    let (nodes, classes) = task_sample(graph, config);
+    let results = families
+        .iter()
+        .map(|&family| {
+            let features = extract_label_features(graph, &nodes, family, config);
+            let points = fractions
+                .iter()
+                .map(|&f| {
+                    evaluate_classification(&features, &classes, f, config.repeats, config.seed)
+                })
+                .collect();
+            (family, points)
+        })
+        .collect();
+    TrainingSizeSweep { fractions: fractions.to_vec(), results }
+}
+
+/// Returns a copy of `graph` with a fraction of node labels replaced by an
+/// artificial `unlabeled` label (paper Fig. 5D–F). The sampled nodes keep
+/// their *true* labels as prediction targets; only the graph's label
+/// information degrades.
+pub fn remove_labels(graph: &HetGraph, fraction: f64, seed: u64) -> HetGraph {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut labels = LabelSet::new();
+    for (_, name) in graph.labels().iter() {
+        labels.intern(name).expect("capacity");
+    }
+    let unlabeled = labels.intern("unlabeled").expect("capacity");
+    let node_labels: Vec<Label> = graph
+        .nodes()
+        .map(|v| if rng.gen_bool(fraction) { unlabeled } else { graph.label(v) })
+        .collect();
+    graph.relabeled(labels, node_labels).expect("labels in range")
+}
+
+/// Fig. 5D–F: Macro-F1 per family per removed-label fraction, at a fixed
+/// 90% training size.
+pub struct LabelRemovalSweep {
+    /// Removed fractions measured (e.g. 0.0 ..= 0.75).
+    pub fractions: Vec<f64>,
+    /// `results[family][fraction_idx]`.
+    pub results: Vec<(FeatureFamily, Vec<F1Point>)>,
+}
+
+/// Runs the Fig. 5D–F sweep. Embedding features are invariant to label
+/// removal (they ignore labels), so they are computed once.
+pub fn label_removal_sweep(
+    graph: &HetGraph,
+    config: &LabelTaskConfig,
+    fractions: &[f64],
+    families: &[FeatureFamily],
+) -> LabelRemovalSweep {
+    let (nodes, classes) = task_sample(graph, config);
+    let train_fraction = 0.9;
+    let results = families
+        .iter()
+        .map(|&family| {
+            let points: Vec<F1Point> = match family {
+                FeatureFamily::Subgraph => fractions
+                    .iter()
+                    .map(|&f| {
+                        let degraded = remove_labels(graph, f, config.seed ^ 0xDE1);
+                        let features =
+                            extract_label_features(&degraded, &nodes, family, config);
+                        evaluate_classification(
+                            &features,
+                            &classes,
+                            train_fraction,
+                            config.repeats,
+                            config.seed,
+                        )
+                    })
+                    .collect(),
+                FeatureFamily::Embedding(_) => {
+                    let features = extract_label_features(graph, &nodes, family, config);
+                    let point = evaluate_classification(
+                        &features,
+                        &classes,
+                        train_fraction,
+                        config.repeats,
+                        config.seed,
+                    );
+                    vec![point; fractions.len()]
+                }
+            };
+            (family, points)
+        })
+        .collect();
+    LabelRemovalSweep { fractions: fractions.to_vec(), results }
+}
+
+/// Table 2: Macro-F1 of subgraph features per `dmax` percentile.
+pub fn dmax_sweep(
+    graph: &HetGraph,
+    config: &LabelTaskConfig,
+    percentiles: &[f64],
+) -> Vec<(f64, F1Point)> {
+    let (nodes, classes) = task_sample(graph, config);
+    percentiles
+        .iter()
+        .map(|&p| {
+            let mut c = config.clone();
+            c.dmax_percentile = if p >= 100.0 { None } else { Some(p) };
+            let features = extract_label_features(graph, &nodes, FeatureFamily::Subgraph, &c);
+            let point =
+                evaluate_classification(&features, &classes, 0.9, config.repeats, config.seed);
+            (p, point)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+pub(crate) mod tests_support {
+    //! Shared fixtures for this module's tests.
+    use hsgf_data::{ImdbConfig, ImdbData, Scale};
+
+    pub fn tiny_graph_for_tuning() -> hsgf_graph::HetGraph {
+        ImdbData::generate(&ImdbConfig::at_scale(Scale::Tiny)).graph
+    }
+}
+
+/// Table 3 row: per-node subgraph extraction times plus per-node
+/// amortized embedding times.
+#[derive(Clone, Debug)]
+pub struct RuntimeReport {
+    /// Mean subgraph extraction seconds per node.
+    pub subgraph_mean: f64,
+    /// 75th / 90th / 95th percentile and max, in seconds.
+    pub subgraph_p75: f64,
+    /// 90th percentile.
+    pub subgraph_p90: f64,
+    /// 95th percentile.
+    pub subgraph_p95: f64,
+    /// Maximum.
+    pub subgraph_max: f64,
+    /// `(name, amortized seconds per node)` for each embedding baseline.
+    pub embeddings: Vec<(&'static str, f64)>,
+}
+
+/// Measures Table 3 on one dataset: times each sampled node's census
+/// single-threaded and amortizes whole-graph embedding training over all
+/// nodes (the embeddings are trained globally, as in the paper).
+pub fn runtime_report(graph: &HetGraph, config: &LabelTaskConfig) -> RuntimeReport {
+    let (nodes, _) = task_sample(graph, config);
+    let census_config = CensusConfig::default()
+        .with_emax(config.emax)
+        .with_dmax(dmax_from_percentile(graph, config.dmax_percentile))
+        .with_mask_root_label(true);
+    let engine = CensusEngine::new(graph, census_config).expect("valid config");
+    let mut scratch = engine.make_scratch();
+    let mut times: Vec<f64> = nodes
+        .iter()
+        .map(|&v| {
+            let start = Instant::now();
+            let _ = engine.census_hashes(v, &mut scratch).expect("valid root");
+            start.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+    let pct = |p: f64| -> f64 {
+        if times.is_empty() {
+            return 0.0;
+        }
+        let idx = ((times.len() as f64 * p).ceil() as usize).clamp(1, times.len());
+        times[idx - 1]
+    };
+    let mean = times.iter().sum::<f64>() / times.len().max(1) as f64;
+    let embeddings = EmbeddingKind::ALL
+        .iter()
+        .map(|&kind| {
+            let start = Instant::now();
+            let _ = kind.train(graph, config.embed_dim, config.embed_budget, config.seed);
+            let total = start.elapsed().as_secs_f64();
+            (kind.name(), total / graph.node_count().max(1) as f64)
+        })
+        .collect();
+    RuntimeReport {
+        subgraph_mean: mean,
+        subgraph_p75: pct(0.75),
+        subgraph_p90: pct(0.90),
+        subgraph_p95: pct(0.95),
+        subgraph_max: times.last().copied().unwrap_or(0.0),
+        embeddings,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use hsgf_data::{ImdbConfig, ImdbData, Scale};
+
+    #[test]
+    fn tuned_evaluation_returns_grid_c() {
+        let graph = super::tests_support::tiny_graph_for_tuning();
+        let config = LabelTaskConfig {
+            nodes_per_label: 12,
+            emax: 2,
+            repeats: 2,
+            ..LabelTaskConfig::default()
+        };
+        let (nodes, classes) = task_sample(&graph, &config);
+        let features =
+            extract_label_features(&graph, &nodes, FeatureFamily::Subgraph, &config);
+        let (c, point) = evaluate_classification_tuned(&features, &classes, 0.7, 2, 3);
+        assert!(hsgf_ml::crossval::DEFAULT_C_GRID.contains(&c));
+        assert!((0.0..=1.0).contains(&point.mean));
+    }
+
+    use super::*;
+
+    fn tiny_config() -> LabelTaskConfig {
+        LabelTaskConfig {
+            nodes_per_label: 15,
+            emax: 3,
+            embed_dim: 8,
+            embed_budget: 0.02,
+            repeats: 3,
+            threads: 2,
+            ..LabelTaskConfig::default()
+        }
+    }
+
+    fn tiny_graph() -> HetGraph {
+        ImdbData::generate(&ImdbConfig::at_scale(Scale::Tiny)).graph
+    }
+
+    #[test]
+    fn sampling_is_stratified_and_capped() {
+        let graph = tiny_graph();
+        let (nodes, classes) = sample_labelled_nodes(&graph, 10, 1);
+        for label in 0..graph.label_count() {
+            let count = classes.iter().filter(|&&c| c == label).count();
+            let available = graph.label_histogram()[label];
+            assert_eq!(count, available.min(10), "label {label}");
+        }
+        for (&v, &c) in nodes.iter().zip(&classes) {
+            assert_eq!(graph.label(v).index(), c);
+        }
+    }
+
+    #[test]
+    fn subgraph_features_beat_chance_on_imdb_tiny() {
+        let graph = tiny_graph();
+        let config = tiny_config();
+        let (nodes, classes) =
+            sample_labelled_nodes(&graph, config.nodes_per_label, config.seed);
+        let features =
+            extract_label_features(&graph, &nodes, FeatureFamily::Subgraph, &config);
+        let point = evaluate_classification(&features, &classes, 0.7, 5, 3);
+        // 6 classes ⇒ chance macro-F1 ≈ 0.17.
+        assert!(point.mean > 0.3, "macro F1 {}", point.mean);
+    }
+
+    #[test]
+    fn remove_labels_adds_unlabeled_class() {
+        let graph = tiny_graph();
+        let degraded = remove_labels(&graph, 0.5, 7);
+        assert_eq!(degraded.label_count(), graph.label_count() + 1);
+        let unlabeled = degraded.label_count() - 1;
+        let hist = degraded.label_histogram();
+        let removed = hist[unlabeled];
+        let n = graph.node_count();
+        assert!(
+            removed > n / 4 && removed < 3 * n / 4,
+            "removed {removed} of {n}"
+        );
+        assert_eq!(degraded.edge_count(), graph.edge_count());
+    }
+
+    #[test]
+    fn remove_labels_zero_fraction_is_identity_modulo_alphabet() {
+        let graph = tiny_graph();
+        let degraded = remove_labels(&graph, 0.0, 7);
+        let hist = degraded.label_histogram();
+        assert_eq!(hist[degraded.label_count() - 1], 0);
+        for v in graph.nodes() {
+            assert_eq!(graph.label(v).index(), degraded.label(v).index());
+        }
+    }
+
+    #[test]
+    fn dmax_sweep_produces_a_point_per_percentile() {
+        let graph = tiny_graph();
+        let config = tiny_config();
+        let rows = dmax_sweep(&graph, &config, &[90.0, 100.0]);
+        assert_eq!(rows.len(), 2);
+        for (_, p) in rows {
+            assert!(p.mean >= 0.0 && p.mean <= 1.0);
+        }
+    }
+
+    #[test]
+    fn runtime_report_is_ordered() {
+        let graph = tiny_graph();
+        let config = tiny_config();
+        let report = runtime_report(&graph, &config);
+        assert!(report.subgraph_p75 <= report.subgraph_p90);
+        assert!(report.subgraph_p90 <= report.subgraph_p95);
+        assert!(report.subgraph_p95 <= report.subgraph_max);
+        assert_eq!(report.embeddings.len(), 3);
+    }
+}

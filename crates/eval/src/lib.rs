@@ -1,0 +1,26 @@
+//! Experiment harness reproducing every table and figure of the HSGF
+//! evaluation (paper §4).
+//!
+//! | Paper artifact | Module entry point |
+//! |---|---|
+//! | Fig. 3 + Table 1 (rank prediction) | [`rank::run_rank_task`] |
+//! | Fig. 4 (discriminative subgraphs) | [`rank::discriminative_subgraphs`] |
+//! | Table 2 (`dmax` stability) | [`label::dmax_sweep`] |
+//! | Table 3 (extraction runtime) | [`label::runtime_report`] |
+//! | Fig. 5A–C (training-size sweep) | [`label::training_size_sweep`] |
+//! | Fig. 5D–F (label removal) | [`label::label_removal_sweep`] |
+//!
+//! The binaries in `hsgf-bench` wire these to the synthetic datasets and
+//! print the paper's tables; see EXPERIMENTS.md for paper-vs-measured.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod features;
+pub mod label;
+pub mod rank;
+pub mod report;
+
+pub use features::{FeatureFamily, SubgraphFeatureConfig};
+pub use label::{LabelTaskConfig, RuntimeReport};
+pub use rank::{RankFeatureSet, RankResults, RankTaskConfig};

@@ -1,0 +1,125 @@
+//! Plain-text table and series rendering for experiment binaries.
+
+use std::fmt::Write as _;
+
+/// Renders an aligned text table: header row plus data rows, all columns
+/// padded to their widest cell.
+pub fn render_table(header: &[String], rows: &[Vec<String>]) -> String {
+    let cols = header.len();
+    let mut widths: Vec<usize> = header.iter().map(String::len).collect();
+    for row in rows {
+        assert_eq!(row.len(), cols, "ragged table row");
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let emit = |cells: &[String], out: &mut String| {
+        for (i, (cell, w)) in cells.iter().zip(&widths).enumerate() {
+            if i > 0 {
+                out.push_str("  ");
+            }
+            let _ = write!(out, "{cell:>w$}", w = w);
+        }
+        out.push('\n');
+    };
+    emit(header, &mut out);
+    let sep: Vec<String> = widths.iter().map(|&w| "-".repeat(w)).collect();
+    emit(&sep, &mut out);
+    for row in rows {
+        emit(row, &mut out);
+    }
+    out
+}
+
+/// Formats `mean ± ci` compactly.
+pub fn fmt_ci(mean: f64, ci: f64) -> String {
+    if ci > 0.0 {
+        format!("{mean:.3}±{ci:.3}")
+    } else {
+        format!("{mean:.3}")
+    }
+}
+
+/// Formats a duration in seconds with adaptive precision.
+pub fn fmt_secs(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.2}s")
+    } else if s >= 1e-3 {
+        format!("{:.2}ms", s * 1e3)
+    } else {
+        format!("{:.1}µs", s * 1e6)
+    }
+}
+
+/// Renders an ASCII line series (one row per x value) — the text stand-in
+/// for the paper's figures.
+pub fn render_series(
+    x_label: &str,
+    xs: &[String],
+    series: &[(String, Vec<String>)],
+) -> String {
+    let mut header = vec![x_label.to_string()];
+    header.extend(series.iter().map(|(name, _)| name.clone()));
+    let rows: Vec<Vec<String>> = xs
+        .iter()
+        .enumerate()
+        .map(|(i, x)| {
+            let mut row = vec![x.clone()];
+            row.extend(series.iter().map(|(_, ys)| ys[i].clone()));
+            row
+        })
+        .collect();
+    render_table(&header, &rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_is_aligned() {
+        let out = render_table(
+            &["name".into(), "value".into()],
+            &[
+                vec!["a".into(), "1".into()],
+                vec!["long-name".into(), "12345".into()],
+            ],
+        );
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 4);
+        let width = lines[0].len();
+        assert!(lines.iter().all(|l| l.len() == width), "{out}");
+        assert!(out.contains("long-name"));
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_rows_panic() {
+        let _ = render_table(&["a".into()], &[vec!["1".into(), "2".into()]]);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fmt_ci(0.5, 0.0), "0.500");
+        assert_eq!(fmt_ci(0.5, 0.01), "0.500±0.010");
+        assert_eq!(fmt_secs(2.5), "2.50s");
+        assert_eq!(fmt_secs(0.0025), "2.50ms");
+        assert_eq!(fmt_secs(0.0000025), "2.5µs");
+    }
+
+    #[test]
+    fn series_layout() {
+        let out = render_series(
+            "x",
+            &["10%".into(), "20%".into()],
+            &[
+                ("a".into(), vec!["0.1".into(), "0.2".into()]),
+                ("b".into(), vec!["0.3".into(), "0.4".into()]),
+            ],
+        );
+        assert!(out.contains("10%"));
+        assert!(out.contains("0.4"));
+        assert_eq!(out.lines().count(), 4);
+    }
+}

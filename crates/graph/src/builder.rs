@@ -1,0 +1,331 @@
+//! Incremental construction of [`HetGraph`] values.
+
+use std::collections::HashSet;
+
+use crate::direction::Direction;
+use crate::graph::{HetGraph, NodeId};
+use crate::labels::{Label, LabelSet};
+use crate::GraphError;
+
+/// Mutable builder accumulating labelled nodes and undirected edges.
+///
+/// The builder enforces the paper's graph model at insertion time:
+/// no self loops, endpoints must exist. Parallel edges are deduplicated
+/// during [`GraphBuilder::build`], so generators may emit duplicates freely
+/// (the LOAD co-occurrence generator, for instance, clique-connects entity
+/// mentions and regularly rediscovers the same pair).
+#[derive(Clone, Debug)]
+pub struct GraphBuilder {
+    labels: LabelSet,
+    node_labels: Vec<Label>,
+    edges: Vec<(NodeId, NodeId, Direction, u8)>,
+    edge_type_count: u8,
+}
+
+impl GraphBuilder {
+    /// Creates a builder over a fixed label set.
+    pub fn new(labels: LabelSet) -> Self {
+        GraphBuilder { labels, node_labels: Vec::new(), edges: Vec::new(), edge_type_count: 1 }
+    }
+
+    /// Creates a builder, interning the given label names in order.
+    pub fn with_label_names<I, S>(names: I) -> crate::Result<Self>
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        Ok(Self::new(LabelSet::from_names(names)?))
+    }
+
+    /// The builder's label set.
+    pub fn labels(&self) -> &LabelSet {
+        &self.labels
+    }
+
+    /// Number of nodes added so far.
+    pub fn node_count(&self) -> usize {
+        self.node_labels.len()
+    }
+
+    /// Number of (possibly duplicate) edge insertions so far.
+    pub fn raw_edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Adds a node by label name, interning the name if new.
+    pub fn add_node(&mut self, label_name: &str) -> crate::Result<NodeId> {
+        let label = self.labels.intern(label_name)?;
+        self.add_node_with(label)
+    }
+
+    /// Adds a node with an existing label id.
+    pub fn add_node_with(&mut self, label: Label) -> crate::Result<NodeId> {
+        if label.index() >= self.labels.len() {
+            return Err(GraphError::LabelOutOfRange {
+                label: label.raw(),
+                label_count: self.labels.len(),
+            });
+        }
+        if self.node_labels.len() > u32::MAX as usize - 1 {
+            return Err(GraphError::TooManyNodes);
+        }
+        let id = NodeId::new(self.node_labels.len() as u32);
+        self.node_labels.push(label);
+        Ok(id)
+    }
+
+    /// Adds `count` nodes sharing one label, returning the first id.
+    pub fn add_nodes(&mut self, label: Label, count: usize) -> crate::Result<NodeId> {
+        let first = self.add_node_with(label)?;
+        for _ in 1..count {
+            self.add_node_with(label)?;
+        }
+        Ok(first)
+    }
+
+    /// Adds an undirected edge of type 0. Self loops are rejected;
+    /// duplicates are accepted here and merged during
+    /// [`GraphBuilder::build`].
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId) -> crate::Result<()> {
+        self.push_edge(u, v, Direction::Symmetric, 0)
+    }
+
+    /// Adds an undirected edge carrying an *edge type* (the
+    /// edge-heterogeneous extension of paper §5). Types are dense small
+    /// ids; duplicate insertions of the same pair keep the smallest type.
+    pub fn add_edge_typed(&mut self, u: NodeId, v: NodeId, edge_type: u8) -> crate::Result<()> {
+        self.push_edge(u, v, Direction::Symmetric, edge_type)
+    }
+
+    /// Adds a directed edge `u → v`. The topology stays symmetric (the
+    /// census traverses both ways); the direction is recorded in the
+    /// per-edge side table for the directed encoding. Asserting both
+    /// `u → v` and `v → u` (or mixing with an undirected insertion of the
+    /// same pair) merges to an undirected edge.
+    pub fn add_arc(&mut self, u: NodeId, v: NodeId) -> crate::Result<()> {
+        let dir = if u < v { Direction::LowToHigh } else { Direction::HighToLow };
+        self.push_edge(u, v, dir, 0)
+    }
+
+    /// Adds a directed edge `u → v` carrying an edge type.
+    pub fn add_arc_typed(&mut self, u: NodeId, v: NodeId, edge_type: u8) -> crate::Result<()> {
+        let dir = if u < v { Direction::LowToHigh } else { Direction::HighToLow };
+        self.push_edge(u, v, dir, edge_type)
+    }
+
+    fn push_edge(
+        &mut self,
+        u: NodeId,
+        v: NodeId,
+        dir: Direction,
+        edge_type: u8,
+    ) -> crate::Result<()> {
+        if u == v {
+            return Err(GraphError::SelfLoop { node: u.raw() });
+        }
+        let n = self.node_labels.len();
+        for w in [u, v] {
+            if w.index() >= n {
+                return Err(GraphError::UnknownNode { node: w.raw(), node_count: n });
+            }
+        }
+        let (a, b) = if u < v { (u, v) } else { (v, u) };
+        self.edge_type_count = self.edge_type_count.max(edge_type.saturating_add(1));
+        self.edges.push((a, b, dir, edge_type));
+        Ok(())
+    }
+
+    /// Finalizes the CSR graph: deduplicates edges, builds the adjacency
+    /// sorted by `(label, id)`, and indexes per-label neighbour runs.
+    pub fn build(mut self) -> HetGraph {
+        // Deduplicate edges (already normalized to u < v), merging the
+        // direction assertions of duplicates.
+        self.edges.sort_unstable_by_key(|&(u, v, _, _)| (u, v));
+        let mut merged: Vec<(NodeId, NodeId, Direction, u8)> =
+            Vec::with_capacity(self.edges.len());
+        for &(u, v, dir, ty) in &self.edges {
+            match merged.last_mut() {
+                Some((lu, lv, ldir, lty)) if *lu == u && *lv == v => {
+                    *ldir = ldir.merge(dir);
+                    *lty = (*lty).min(ty);
+                }
+                _ => merged.push((u, v, dir, ty)),
+            }
+        }
+        self.edges = merged;
+
+        let n = self.node_labels.len();
+        let mut degrees = vec![0usize; n];
+        for &(u, v, _, _) in &self.edges {
+            degrees[u.index()] += 1;
+            degrees[v.index()] += 1;
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut acc = 0usize;
+        offsets.push(0);
+        for &d in &degrees {
+            acc += d;
+            offsets.push(acc);
+        }
+        let mut cursor = offsets.clone();
+        // Pack (neighbor, edge_id) together so the per-row sort keeps them
+        // aligned; edge ids are the indices of the deduplicated edge list.
+        let mut adj: Vec<(NodeId, u32)> = vec![(NodeId::new(0), 0); acc];
+        let mut directions: Vec<Direction> = Vec::with_capacity(self.edges.len());
+        let mut edge_types: Vec<u8> = Vec::with_capacity(self.edges.len());
+        for (id, &(u, v, dir, ty)) in self.edges.iter().enumerate() {
+            directions.push(dir);
+            edge_types.push(ty);
+            adj[cursor[u.index()]] = (v, id as u32);
+            cursor[u.index()] += 1;
+            adj[cursor[v.index()]] = (u, id as u32);
+            cursor[v.index()] += 1;
+        }
+        // Sort each row by (label, id) — the invariant the census relies on.
+        let node_labels = &self.node_labels;
+        for v in 0..n {
+            adj[offsets[v]..offsets[v + 1]]
+                .sort_unstable_by_key(|&(w, _)| (node_labels[w.index()], w));
+        }
+        let neighbors: Vec<NodeId> = adj.iter().map(|&(w, _)| w).collect();
+        let edge_ids: Vec<u32> = adj.iter().map(|&(_, id)| id).collect();
+        HetGraph::from_parts(
+            self.labels,
+            self.node_labels,
+            offsets,
+            neighbors,
+            edge_ids,
+            directions,
+            edge_types,
+            self.edge_type_count,
+        )
+    }
+
+    /// Convenience: builds a graph directly from label assignments and an
+    /// edge list (used heavily by tests and the exhaustive enumerator).
+    pub fn from_edges(
+        labels: LabelSet,
+        node_labels: &[Label],
+        edges: &[(u32, u32)],
+    ) -> crate::Result<HetGraph> {
+        let mut b = GraphBuilder::new(labels);
+        for &l in node_labels {
+            b.add_node_with(l)?;
+        }
+        for &(u, v) in edges {
+            b.add_edge(NodeId::new(u), NodeId::new(v))?;
+        }
+        Ok(b.build())
+    }
+
+    /// Checks whether the accumulated edge multiset contains duplicates
+    /// (diagnostic helper for generators).
+    pub fn has_duplicate_edges(&self) -> bool {
+        let mut seen = HashSet::with_capacity(self.edges.len());
+        self.edges.iter().any(|&(u, v, _, _)| !seen.insert((u, v)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_self_loops() {
+        let mut b = GraphBuilder::with_label_names(["x"]).unwrap();
+        let v = b.add_node("x").unwrap();
+        assert!(matches!(b.add_edge(v, v), Err(GraphError::SelfLoop { .. })));
+    }
+
+    #[test]
+    fn rejects_unknown_endpoints() {
+        let mut b = GraphBuilder::with_label_names(["x"]).unwrap();
+        let v = b.add_node("x").unwrap();
+        let ghost = NodeId::new(17);
+        assert!(matches!(b.add_edge(v, ghost), Err(GraphError::UnknownNode { .. })));
+    }
+
+    #[test]
+    fn duplicate_edges_collapse() {
+        let mut b = GraphBuilder::with_label_names(["x", "y"]).unwrap();
+        let u = b.add_node("x").unwrap();
+        let v = b.add_node("y").unwrap();
+        for _ in 0..5 {
+            b.add_edge(u, v).unwrap();
+            b.add_edge(v, u).unwrap();
+        }
+        assert!(b.has_duplicate_edges());
+        let g = b.build();
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.degree(u), 1);
+    }
+
+    #[test]
+    fn add_nodes_bulk() {
+        let mut b = GraphBuilder::with_label_names(["x"]).unwrap();
+        let first = b.add_nodes(Label::new(0), 10).unwrap();
+        assert_eq!(first, NodeId::new(0));
+        assert_eq!(b.node_count(), 10);
+    }
+
+    #[test]
+    fn from_edges_roundtrip() {
+        let labels = LabelSet::from_names(["a", "b"]).unwrap();
+        let la = Label::new(0);
+        let lb = Label::new(1);
+        let g = GraphBuilder::from_edges(labels, &[la, lb, la], &[(0, 1), (1, 2)]).unwrap();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 2);
+        assert!(g.has_edge(NodeId::new(0), NodeId::new(1)));
+        assert!(!g.has_edge(NodeId::new(0), NodeId::new(2)));
+    }
+
+    #[test]
+    fn arcs_record_directions_and_merge() {
+        use crate::direction::Direction;
+        let mut b = GraphBuilder::with_label_names(["x"]).unwrap();
+        let a = b.add_node("x").unwrap();
+        let c = b.add_node("x").unwrap();
+        let d = b.add_node("x").unwrap();
+        let e = b.add_node("x").unwrap();
+        b.add_arc(a, c).unwrap(); // a → c
+        b.add_arc(d, c).unwrap(); // d → c
+        b.add_arc(c, d).unwrap(); // c → d: merges to symmetric
+        b.add_edge(a, e).unwrap(); // plain undirected
+        let g = b.build();
+        assert!(g.has_directions());
+        // Find each edge id through the adjacency.
+        let dir_of = |u: NodeId, v: NodeId| {
+            let idx = g.neighbors(u).iter().position(|&x| x == v).unwrap();
+            g.edge_direction(g.incident_edge_ids(u)[idx])
+        };
+        assert_eq!(dir_of(a, c), Direction::LowToHigh);
+        assert_eq!(dir_of(c, d), Direction::Symmetric);
+        assert_eq!(dir_of(a, e), Direction::Symmetric);
+        // Orientation is endpoint-relative.
+        let idx = g.neighbors(a).iter().position(|&x| x == c).unwrap();
+        let eid = g.incident_edge_ids(a)[idx];
+        assert_eq!(g.orientation(a, c, eid), crate::direction::Orientation::Outgoing);
+        assert_eq!(g.orientation(c, a, eid), crate::direction::Orientation::Incoming);
+    }
+
+    #[test]
+    fn undirected_graphs_report_no_directions() {
+        let mut b = GraphBuilder::with_label_names(["x"]).unwrap();
+        let a = b.add_node("x").unwrap();
+        let c = b.add_node("x").unwrap();
+        b.add_edge(a, c).unwrap();
+        let g = b.build();
+        assert!(!g.has_directions());
+    }
+
+    #[test]
+    fn rejects_out_of_range_label() {
+        let labels = LabelSet::from_names(["a"]).unwrap();
+        let mut b = GraphBuilder::new(labels);
+        assert!(matches!(
+            b.add_node_with(Label::new(3)),
+            Err(GraphError::LabelOutOfRange { .. })
+        ));
+    }
+}

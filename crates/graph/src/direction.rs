@@ -1,0 +1,113 @@
+//! Optional edge directions.
+//!
+//! The paper's graph model is undirected, but its future-work section (§5)
+//! hypothesizes that *directed* subgraph features could be more performant
+//! on networks with meaningful edge directions (e.g. citations). The
+//! substrate therefore stores an optional per-edge direction side table:
+//! the topology stays a symmetric CSR (the census enumeration ignores
+//! direction), while the directed encoding in `hsgf-core` consults the
+//! direction of each edge it adds.
+
+use serde::{Deserialize, Serialize};
+
+/// Direction of one edge, relative to an ordered node pair.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Direction {
+    /// No direction (or both directions asserted).
+    Symmetric,
+    /// Directed from the smaller node id to the larger.
+    LowToHigh,
+    /// Directed from the larger node id to the smaller.
+    HighToLow,
+}
+
+impl Direction {
+    /// Combines two assertions about the same edge (used by the builder's
+    /// deduplication): opposing or repeated-with-symmetric assertions
+    /// collapse to [`Direction::Symmetric`].
+    pub fn merge(self, other: Direction) -> Direction {
+        if self == other {
+            self
+        } else {
+            Direction::Symmetric
+        }
+    }
+
+    /// How node `u` sees this edge to neighbour `w`.
+    #[inline]
+    pub fn orient(self, u: u32, w: u32) -> Orientation {
+        match self {
+            Direction::Symmetric => Orientation::Symmetric,
+            Direction::LowToHigh => {
+                if u < w {
+                    Orientation::Outgoing
+                } else {
+                    Orientation::Incoming
+                }
+            }
+            Direction::HighToLow => {
+                if u < w {
+                    Orientation::Incoming
+                } else {
+                    Orientation::Outgoing
+                }
+            }
+        }
+    }
+}
+
+/// An edge's direction from one endpoint's point of view.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Orientation {
+    /// Undirected (or bidirectional).
+    Symmetric,
+    /// Points toward this endpoint.
+    Incoming,
+    /// Points away from this endpoint.
+    Outgoing,
+}
+
+impl Orientation {
+    /// Block index used by the directed characteristic sequence:
+    /// symmetric = 0, incoming = 1, outgoing = 2.
+    #[inline]
+    pub const fn block(self) -> usize {
+        match self {
+            Orientation::Symmetric => 0,
+            Orientation::Incoming => 1,
+            Orientation::Outgoing => 2,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_collapses_conflicts() {
+        use Direction::*;
+        assert_eq!(LowToHigh.merge(LowToHigh), LowToHigh);
+        assert_eq!(LowToHigh.merge(HighToLow), Symmetric);
+        assert_eq!(LowToHigh.merge(Symmetric), Symmetric);
+        assert_eq!(Symmetric.merge(Symmetric), Symmetric);
+    }
+
+    #[test]
+    fn orientation_is_relative_to_endpoint() {
+        let d = Direction::LowToHigh;
+        assert_eq!(d.orient(1, 5), Orientation::Outgoing);
+        assert_eq!(d.orient(5, 1), Orientation::Incoming);
+        let d = Direction::HighToLow;
+        assert_eq!(d.orient(1, 5), Orientation::Incoming);
+        assert_eq!(d.orient(5, 1), Orientation::Outgoing);
+        assert_eq!(Direction::Symmetric.orient(1, 5), Orientation::Symmetric);
+    }
+
+    #[test]
+    fn blocks_are_stable() {
+        assert_eq!(Orientation::Symmetric.block(), 0);
+        assert_eq!(Orientation::Incoming.block(), 1);
+        assert_eq!(Orientation::Outgoing.block(), 2);
+    }
+}

@@ -1,0 +1,74 @@
+use std::fmt;
+
+/// Errors produced by the graph substrate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GraphError {
+    /// A self loop `v -- v` was rejected; the paper's graph model forbids
+    /// self loops (§3, "undirected graph without self loops").
+    SelfLoop {
+        /// The offending node.
+        node: u32,
+    },
+    /// An endpoint referenced a node id that has not been added to the
+    /// builder.
+    UnknownNode {
+        /// The offending node id.
+        node: u32,
+        /// Number of nodes currently known.
+        node_count: usize,
+    },
+    /// The label registry is full; labels are stored as `u8` and the census
+    /// encoding assumes a small label alphabet.
+    TooManyLabels {
+        /// Maximum number of labels supported.
+        max: usize,
+    },
+    /// A label name was looked up that has not been interned.
+    UnknownLabel {
+        /// The name that failed to resolve.
+        name: String,
+    },
+    /// A label id was out of range for the graph's label set.
+    LabelOutOfRange {
+        /// The offending label id.
+        label: u8,
+        /// Number of labels in the set.
+        label_count: usize,
+    },
+    /// Node count exceeded the `u32` id space.
+    TooManyNodes,
+    /// A serialized graph could not be parsed.
+    Parse {
+        /// 1-based line number of the malformed input.
+        line: usize,
+        /// Human-readable description of the problem.
+        message: String,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::SelfLoop { node } => {
+                write!(f, "self loop on node {node} is not allowed")
+            }
+            GraphError::UnknownNode { node, node_count } => {
+                write!(f, "node id {node} out of range (graph has {node_count} nodes)")
+            }
+            GraphError::TooManyLabels { max } => {
+                write!(f, "label registry full: at most {max} labels are supported")
+            }
+            GraphError::UnknownLabel { name } => write!(f, "unknown label name {name:?}"),
+            GraphError::LabelOutOfRange { label, label_count } => {
+                write!(f, "label id {label} out of range (label set has {label_count} labels)")
+            }
+            GraphError::TooManyNodes => write!(f, "node count exceeds u32 id space"),
+            GraphError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}

@@ -1,0 +1,340 @@
+//! Domain-agnostic random-graph primitives.
+//!
+//! The synthetic datasets in `hsgf-data` compose these primitives into
+//! publication, co-occurrence, and movie-record networks. All generators are
+//! deterministic given a seed, so every experiment in the workspace is
+//! reproducible bit-for-bit.
+
+use rand::distributions::{Distribution, WeightedIndex};
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use crate::builder::GraphBuilder;
+use crate::graph::{HetGraph, NodeId};
+use crate::labels::{Label, LabelSet};
+
+/// Labelled Erdős–Rényi `G(n, p)`: node labels drawn from the given
+/// proportions, every pair connected independently with probability `p`.
+///
+/// Useful as a *non-skewed* control in benchmarks; all paper networks are
+/// heavily skewed instead.
+pub fn erdos_renyi(
+    labels: LabelSet,
+    label_weights: &[f64],
+    n: usize,
+    p: f64,
+    seed: u64,
+) -> crate::Result<HetGraph> {
+    assert_eq!(labels.len(), label_weights.len(), "one weight per label");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let dist = WeightedIndex::new(label_weights).expect("weights must be positive");
+    let mut b = GraphBuilder::new(labels);
+    for _ in 0..n {
+        let l = Label::new(dist.sample(&mut rng) as u8);
+        b.add_node_with(l)?;
+    }
+    for u in 0..n as u32 {
+        for v in (u + 1)..n as u32 {
+            if rng.gen_bool(p) {
+                b.add_edge(NodeId::new(u), NodeId::new(v))?;
+            }
+        }
+    }
+    Ok(b.build())
+}
+
+/// Labelled Barabási–Albert preferential attachment.
+///
+/// Starts from a small seed clique, then attaches each new node to `m`
+/// existing nodes chosen proportionally to degree. Produces the skewed,
+/// hub-dominated degree distributions the paper's heuristics target
+/// (§3.2 "Topological Optimization Heuristic").
+pub fn barabasi_albert(
+    labels: LabelSet,
+    label_weights: &[f64],
+    n: usize,
+    m: usize,
+    seed: u64,
+) -> crate::Result<HetGraph> {
+    assert_eq!(labels.len(), label_weights.len(), "one weight per label");
+    assert!(m >= 1, "attachment count must be positive");
+    assert!(n > m, "need more nodes than the attachment count");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let dist = WeightedIndex::new(label_weights).expect("weights must be positive");
+    let mut b = GraphBuilder::new(labels);
+    for _ in 0..n {
+        let l = Label::new(dist.sample(&mut rng) as u8);
+        b.add_node_with(l)?;
+    }
+    // Degree-proportional sampling via a repeated-endpoint urn.
+    let mut urn: Vec<u32> = Vec::with_capacity(2 * n * m);
+    let seed_size = m + 1;
+    for u in 0..seed_size as u32 {
+        for v in (u + 1)..seed_size as u32 {
+            b.add_edge(NodeId::new(u), NodeId::new(v))?;
+            urn.push(u);
+            urn.push(v);
+        }
+    }
+    let mut targets = Vec::with_capacity(m);
+    for u in seed_size as u32..n as u32 {
+        targets.clear();
+        let mut guard = 0usize;
+        while targets.len() < m && guard < 64 * m {
+            guard += 1;
+            let t = urn[rng.gen_range(0..urn.len())];
+            if t != u && !targets.contains(&t) {
+                targets.push(t);
+            }
+        }
+        for &t in &targets {
+            b.add_edge(NodeId::new(u), NodeId::new(t))?;
+            urn.push(u);
+            urn.push(t);
+        }
+    }
+    Ok(b.build())
+}
+
+/// A planted-partition style block model over labels.
+///
+/// `block_p[a][b]` gives the edge probability between labels `a` and `b`
+/// (symmetric; the diagonal controls intra-label connectivity, i.e. LCG self
+/// loops). Sizes are exact per label. Edge sampling is done pairwise with a
+/// geometric skip, so sparse graphs generate in `O(E)` expected time rather
+/// than `O(V^2)`.
+pub fn label_block_model(
+    labels: LabelSet,
+    label_sizes: &[usize],
+    block_p: &[Vec<f64>],
+    seed: u64,
+) -> crate::Result<HetGraph> {
+    let k = labels.len();
+    assert_eq!(label_sizes.len(), k);
+    assert_eq!(block_p.len(), k);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(labels);
+    let mut ranges: Vec<(u32, u32)> = Vec::with_capacity(k);
+    let mut next = 0u32;
+    for (l, &size) in label_sizes.iter().enumerate() {
+        if size > 0 {
+            b.add_nodes(Label::new(l as u8), size)?;
+        }
+        ranges.push((next, next + size as u32));
+        next += size as u32;
+    }
+    for a in 0..k {
+        for bl in a..k {
+            let p = block_p[a][bl];
+            if p <= 0.0 {
+                continue;
+            }
+            let (alo, ahi) = ranges[a];
+            let (blo, bhi) = ranges[bl];
+            sample_block_edges(&mut rng, &mut b, p, (alo, ahi), (blo, bhi), a == bl)?;
+        }
+    }
+    Ok(b.build())
+}
+
+/// Geometric-skip sampling of Bernoulli(p) edges over a (possibly diagonal)
+/// rectangular block of the adjacency matrix.
+fn sample_block_edges(
+    rng: &mut SmallRng,
+    b: &mut GraphBuilder,
+    p: f64,
+    (alo, ahi): (u32, u32),
+    (blo, bhi): (u32, u32),
+    diagonal: bool,
+) -> crate::Result<()> {
+    let rows = (ahi - alo) as u64;
+    let cols = (bhi - blo) as u64;
+    let total: u64 = if diagonal { rows * (rows.saturating_sub(1)) / 2 } else { rows * cols };
+    if total == 0 {
+        return Ok(());
+    }
+    if p >= 1.0 {
+        // Dense block: enumerate directly.
+        for i in 0..total {
+            let (u, v) = unrank(i, rows, cols, alo, blo, diagonal);
+            b.add_edge(NodeId::new(u), NodeId::new(v))?;
+        }
+        return Ok(());
+    }
+    let log_q = (1.0 - p).ln();
+    let mut idx: u64 = 0;
+    loop {
+        // Geometric skip: number of failures before the next success.
+        let r: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let skip = (r.ln() / log_q).floor() as u64;
+        idx = match idx.checked_add(skip) {
+            Some(i) => i,
+            None => break,
+        };
+        if idx >= total {
+            break;
+        }
+        let (u, v) = unrank(idx, rows, cols, alo, blo, diagonal);
+        b.add_edge(NodeId::new(u), NodeId::new(v))?;
+        idx += 1;
+    }
+    Ok(())
+}
+
+/// Maps a linear index into the block to a concrete node pair.
+fn unrank(idx: u64, rows: u64, cols: u64, alo: u32, blo: u32, diagonal: bool) -> (u32, u32) {
+    if diagonal {
+        // Upper triangle (i < j) of a rows × rows block.
+        // Row i owns (rows - 1 - i) cells starting at offset
+        // i*rows - i(i+1)/2 ... solve incrementally (rows is small enough
+        // that a loop is fine for generation workloads, but use the closed
+        // form to stay O(1)).
+        let n = rows;
+        // Find i such that cum(i) <= idx < cum(i+1) where
+        // cum(i) = i*n - i(i+1)/2.
+        let fi = n as f64 - 0.5
+            - (((n as f64 - 0.5) * (n as f64 - 0.5)) - 2.0 * idx as f64).max(0.0).sqrt();
+        let mut i = fi.floor() as u64;
+        let cum = |i: u64| i * n - i * (i + 1) / 2;
+        while i + 1 < n && cum(i + 1) <= idx {
+            i += 1;
+        }
+        while i > 0 && cum(i) > idx {
+            i -= 1;
+        }
+        let j = i + 1 + (idx - cum(i));
+        (alo + i as u32, alo + j as u32)
+    } else {
+        let i = idx / cols;
+        let j = idx % cols;
+        (alo + i as u32, blo + j as u32)
+    }
+}
+
+/// Samples `count` distinct nodes uniformly from a slice (without
+/// replacement); helper shared by dataset generators.
+pub fn sample_distinct<T: Copy>(rng: &mut SmallRng, pool: &[T], count: usize) -> Vec<T> {
+    pool.choose_multiple(rng, count.min(pool.len())).copied().collect()
+}
+
+/// Draws an index from a Zipf-like distribution over `n` items with
+/// exponent `s` (popularity skew used by the LOAD and IMDB generators).
+pub fn zipf_index(rng: &mut SmallRng, n: usize, s: f64) -> usize {
+    debug_assert!(n > 0);
+    // Inverse-CDF on the continuous approximation, then clamp.
+    let u: f64 = rng.gen_range(0.0f64..1.0);
+    if (s - 1.0).abs() < 1e-9 {
+        let hmax = (n as f64).ln_1p();
+        return ((u * hmax).exp_m1().floor() as usize).min(n - 1);
+    }
+    let exp = 1.0 - s;
+    let hmax = ((n as f64 + 1.0).powf(exp) - 1.0) / exp;
+    let x = (1.0 + u * hmax * exp).powf(1.0 / exp) - 1.0;
+    (x.floor() as usize).min(n - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::stats::DegreeStats;
+
+    use super::*;
+
+    fn two_labels() -> LabelSet {
+        LabelSet::from_names(["a", "b"]).unwrap()
+    }
+
+    #[test]
+    fn er_is_deterministic_per_seed() {
+        let g1 = erdos_renyi(two_labels(), &[0.5, 0.5], 60, 0.1, 7).unwrap();
+        let g2 = erdos_renyi(two_labels(), &[0.5, 0.5], 60, 0.1, 7).unwrap();
+        assert_eq!(g1.edge_count(), g2.edge_count());
+        let e1: Vec<_> = g1.edges().collect();
+        let e2: Vec<_> = g2.edges().collect();
+        assert_eq!(e1, e2);
+    }
+
+    #[test]
+    fn er_edge_count_near_expectation() {
+        let n = 200;
+        let p = 0.05;
+        let g = erdos_renyi(two_labels(), &[1.0, 1.0], n, p, 42).unwrap();
+        let expected = p * (n * (n - 1) / 2) as f64;
+        let observed = g.edge_count() as f64;
+        assert!(
+            (observed - expected).abs() < 4.0 * expected.sqrt() + 10.0,
+            "observed {observed}, expected {expected}"
+        );
+    }
+
+    #[test]
+    fn ba_produces_hubs() {
+        let g = barabasi_albert(two_labels(), &[1.0, 1.0], 500, 2, 3).unwrap();
+        let stats = DegreeStats::of(&g);
+        assert!(stats.hub_ratio() > 3.0, "BA graph should be skewed");
+        assert!(g.edge_count() >= 2 * (500 - 3));
+    }
+
+    #[test]
+    fn block_model_respects_zero_blocks() {
+        let labels = two_labels();
+        let g = label_block_model(
+            labels,
+            &[50, 50],
+            &[vec![0.0, 0.2], vec![0.2, 0.0]],
+            11,
+        )
+        .unwrap();
+        // No intra-label edges at all.
+        for (u, v) in g.edges() {
+            assert_ne!(g.label(u), g.label(v));
+        }
+        assert!(g.edge_count() > 0);
+    }
+
+    #[test]
+    fn block_model_diagonal_block() {
+        let labels = LabelSet::from_names(["only"]).unwrap();
+        let g = label_block_model(labels, &[40], &[vec![1.0]], 5).unwrap();
+        assert_eq!(g.edge_count(), 40 * 39 / 2, "p=1 diagonal block is a clique");
+    }
+
+    #[test]
+    fn unrank_diagonal_covers_all_pairs() {
+        let rows = 13u64;
+        let total = rows * (rows - 1) / 2;
+        let mut seen = std::collections::HashSet::new();
+        for idx in 0..total {
+            let (u, v) = unrank(idx, rows, rows, 100, 100, true);
+            assert!(u < v, "idx {idx} gave ({u},{v})");
+            assert!((100..113).contains(&u) && (100..113).contains(&v));
+            assert!(seen.insert((u, v)), "duplicate pair at idx {idx}");
+        }
+        assert_eq!(seen.len(), total as usize);
+    }
+
+    #[test]
+    fn zipf_prefers_small_indices() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let n = 1000;
+        let mut counts = vec![0usize; n];
+        for _ in 0..20_000 {
+            counts[zipf_index(&mut rng, n, 1.1)] += 1;
+        }
+        let head: usize = counts[..10].iter().sum();
+        let tail: usize = counts[n - 10..].iter().sum();
+        assert!(head > 10 * (tail + 1), "head {head} should dwarf tail {tail}");
+    }
+
+    #[test]
+    fn zipf_stays_in_range() {
+        let mut rng = SmallRng::seed_from_u64(10);
+        for s in [0.5, 1.0, 1.5, 2.5] {
+            for n in [1usize, 2, 7, 100] {
+                for _ in 0..200 {
+                    assert!(zipf_index(&mut rng, n, s) < n);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,482 @@
+//! The immutable CSR heterogeneous graph.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::direction::{Direction, Orientation};
+use crate::labels::{Label, LabelSet};
+use crate::GraphError;
+
+/// A compact node identifier (index into the graph's node arrays).
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Serialize, Deserialize)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// Creates a node id from its raw index.
+    #[inline]
+    pub const fn new(id: u32) -> Self {
+        NodeId(id)
+    }
+
+    /// The node's index into dense per-node arrays.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Raw `u32` representation.
+    #[inline]
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// An immutable, undirected, node-labelled graph in CSR form.
+///
+/// Adjacency lists are sorted by `(label, node id)`. Consequently:
+///
+/// * neighbours of one label form a contiguous *run*, addressable in O(1)
+///   through a precomputed run index ([`HetGraph::neighbors_with_label`]);
+/// * the census engine can iterate label groups without re-sorting
+///   (the *heterogeneous optimization heuristic* of paper §3.2);
+/// * membership tests within a run can binary-search.
+///
+/// Construct one through [`crate::GraphBuilder`].
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct HetGraph {
+    labels: LabelSet,
+    node_labels: Vec<Label>,
+    /// CSR row offsets, length `V + 1`.
+    offsets: Vec<usize>,
+    /// Flattened adjacency, each row sorted by `(label, id)`.
+    neighbors: Vec<NodeId>,
+    /// Undirected edge id of each adjacency entry (each id appears twice,
+    /// once per direction). Ids are dense in `0..edge_count`.
+    edge_ids: Vec<u32>,
+    /// Per-edge direction side table, indexed by edge id.
+    directions: Vec<Direction>,
+    /// Per-edge type side table, indexed by edge id (the §5
+    /// edge-heterogeneous extension; untyped graphs use type 0 only).
+    edge_types: Vec<u8>,
+    /// Number of distinct edge types (at least 1).
+    edge_type_count: u8,
+    /// For each node, `|L| + 1` offsets *relative to the node's CSR row*
+    /// delimiting the per-label neighbour runs. Stride is `|L| + 1`.
+    label_runs: Vec<u32>,
+}
+
+impl HetGraph {
+    pub(crate) fn from_parts(
+        labels: LabelSet,
+        node_labels: Vec<Label>,
+        offsets: Vec<usize>,
+        neighbors: Vec<NodeId>,
+        edge_ids: Vec<u32>,
+        directions: Vec<Direction>,
+        edge_types: Vec<u8>,
+        edge_type_count: u8,
+    ) -> Self {
+        debug_assert_eq!(neighbors.len(), edge_ids.len());
+        debug_assert_eq!(directions.len() * 2, edge_ids.len());
+        debug_assert_eq!(edge_types.len(), directions.len());
+        debug_assert!(edge_type_count >= 1);
+        let stride = labels.len() + 1;
+        let mut label_runs = Vec::with_capacity(node_labels.len() * stride);
+        for v in 0..node_labels.len() {
+            let row = &neighbors[offsets[v]..offsets[v + 1]];
+            debug_assert!(row.windows(2).all(|w| {
+                let ka = (node_labels[w[0].index()], w[0]);
+                let kb = (node_labels[w[1].index()], w[1]);
+                ka < kb
+            }));
+            let mut cursor = 0usize;
+            label_runs.push(0);
+            for l in 0..labels.len() {
+                while cursor < row.len() && node_labels[row[cursor].index()].index() == l {
+                    cursor += 1;
+                }
+                label_runs.push(cursor as u32);
+            }
+            debug_assert_eq!(cursor, row.len());
+        }
+        HetGraph {
+            labels,
+            node_labels,
+            offsets,
+            neighbors,
+            edge_ids,
+            directions,
+            edge_types,
+            edge_type_count,
+            label_runs,
+        }
+    }
+
+    /// Number of nodes `|V|`.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.node_labels.len()
+    }
+
+    /// Number of undirected edges `|E|`.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.neighbors.len() / 2
+    }
+
+    /// The graph's label registry.
+    #[inline]
+    pub fn labels(&self) -> &LabelSet {
+        &self.labels
+    }
+
+    /// Number of distinct labels `|L|`.
+    #[inline]
+    pub fn label_count(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// The label of node `v`.
+    #[inline]
+    pub fn label(&self, v: NodeId) -> Label {
+        self.node_labels[v.index()]
+    }
+
+    /// All node labels, indexed by node.
+    #[inline]
+    pub fn node_labels(&self) -> &[Label] {
+        &self.node_labels
+    }
+
+    /// Degree of node `v`.
+    #[inline]
+    pub fn degree(&self, v: NodeId) -> usize {
+        self.offsets[v.index() + 1] - self.offsets[v.index()]
+    }
+
+    /// Neighbours of `v`, sorted by `(label, id)`.
+    #[inline]
+    pub fn neighbors(&self, v: NodeId) -> &[NodeId] {
+        &self.neighbors[self.offsets[v.index()]..self.offsets[v.index() + 1]]
+    }
+
+    /// The contiguous run of neighbours of `v` that carry `label`.
+    ///
+    /// O(1): reads two offsets from the precomputed run index.
+    #[inline]
+    pub fn neighbors_with_label(&self, v: NodeId, label: Label) -> &[NodeId] {
+        let stride = self.labels.len() + 1;
+        let base = v.index() * stride;
+        let row_start = self.offsets[v.index()];
+        let lo = self.label_runs[base + label.index()] as usize;
+        let hi = self.label_runs[base + label.index() + 1] as usize;
+        &self.neighbors[row_start + lo..row_start + hi]
+    }
+
+    /// The undirected-edge ids parallel to [`HetGraph::neighbors`] for `v`:
+    /// `incident_edge_ids(v)[i]` is the id of the edge `v --
+    /// neighbors(v)[i]`. Ids are dense in `0..edge_count()` and shared by
+    /// both directions.
+    #[inline]
+    pub fn incident_edge_ids(&self, v: NodeId) -> &[u32] {
+        &self.edge_ids[self.offsets[v.index()]..self.offsets[v.index() + 1]]
+    }
+
+    /// The direction of edge `edge_id` (undirected graphs report
+    /// [`Direction::Symmetric`] everywhere).
+    #[inline]
+    pub fn edge_direction(&self, edge_id: u32) -> Direction {
+        self.directions[edge_id as usize]
+    }
+
+    /// How node `u` sees edge `edge_id` toward neighbour `w`.
+    #[inline]
+    pub fn orientation(&self, u: NodeId, w: NodeId, edge_id: u32) -> Orientation {
+        self.directions[edge_id as usize].orient(u.raw(), w.raw())
+    }
+
+    /// Whether any edge carries a direction.
+    pub fn has_directions(&self) -> bool {
+        self.directions.iter().any(|&d| d != Direction::Symmetric)
+    }
+
+    /// The type of edge `edge_id` (untyped graphs report 0 everywhere).
+    #[inline]
+    pub fn edge_type(&self, edge_id: u32) -> u8 {
+        self.edge_types[edge_id as usize]
+    }
+
+    /// Number of distinct edge types the builder observed (≥ 1).
+    #[inline]
+    pub fn edge_type_count(&self) -> usize {
+        self.edge_type_count as usize
+    }
+
+    /// Whether any edge carries a non-default type.
+    pub fn has_edge_types(&self) -> bool {
+        self.edge_type_count > 1
+    }
+
+    /// Rebuilds this graph with a new label assignment (same topology).
+    ///
+    /// Used by the partial-label experiments (paper Fig. 5D–F), where a
+    /// fraction of node labels is replaced with an artificial
+    /// "unlabelled" label: the adjacency sort order depends on labels, so
+    /// the CSR rows must be rebuilt.
+    pub fn relabeled(&self, labels: LabelSet, node_labels: Vec<Label>) -> crate::Result<Self> {
+        assert_eq!(node_labels.len(), self.node_count(), "one label per node");
+        for &l in &node_labels {
+            if l.index() >= labels.len() {
+                return Err(GraphError::LabelOutOfRange {
+                    label: l.raw(),
+                    label_count: labels.len(),
+                });
+            }
+        }
+        let mut neighbors = self.neighbors.clone();
+        let mut edge_ids = self.edge_ids.clone();
+        for v in 0..self.node_count() {
+            let range = self.offsets[v]..self.offsets[v + 1];
+            // Sort the row and its parallel edge-id slice together.
+            let mut order: Vec<usize> = (0..range.len()).collect();
+            let row = &self.neighbors[range.clone()];
+            order.sort_unstable_by_key(|&i| (node_labels[row[i].index()], row[i]));
+            for (slot, &src) in order.iter().enumerate() {
+                neighbors[range.start + slot] = self.neighbors[range.start + src];
+                edge_ids[range.start + slot] = self.edge_ids[range.start + src];
+            }
+        }
+        Ok(HetGraph::from_parts(
+            labels,
+            node_labels,
+            self.offsets.clone(),
+            neighbors,
+            edge_ids,
+            self.directions.clone(),
+            self.edge_types.clone(),
+            self.edge_type_count,
+        ))
+    }
+
+    /// Iterates `(label, neighbour run)` pairs for `v`, skipping empty runs.
+    #[inline]
+    pub fn neighbor_label_runs(&self, v: NodeId) -> NeighborLabelRuns<'_> {
+        NeighborLabelRuns { graph: self, node: v, next_label: 0 }
+    }
+
+    /// Whether `u` and `v` are adjacent (binary search in the label run of
+    /// `v`'s label within `u`'s row).
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        if u == v {
+            return false;
+        }
+        // Search the smaller endpoint's run for cache friendliness.
+        let (a, b) = if self.degree(u) <= self.degree(v) { (u, v) } else { (v, u) };
+        self.neighbors_with_label(a, self.label(b)).binary_search(&b).is_ok()
+    }
+
+    /// Iterates all node ids `0..V`.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.node_count() as u32).map(NodeId::new)
+    }
+
+    /// Iterates all node ids carrying `label`.
+    pub fn nodes_with_label(&self, label: Label) -> impl Iterator<Item = NodeId> + '_ {
+        self.nodes().filter(move |&v| self.label(v) == label)
+    }
+
+    /// Iterates every undirected edge once, as `(u, v)` with `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.nodes().flat_map(move |u| {
+            self.neighbors(u).iter().copied().filter(move |&v| u < v).map(move |v| (u, v))
+        })
+    }
+
+    /// Number of nodes per label, indexed by label id.
+    pub fn label_histogram(&self) -> Vec<usize> {
+        let mut hist = vec![0usize; self.label_count()];
+        for &l in &self.node_labels {
+            hist[l.index()] += 1;
+        }
+        hist
+    }
+
+    /// Validates a node id against this graph.
+    pub fn check_node(&self, v: NodeId) -> crate::Result<()> {
+        if v.index() < self.node_count() {
+            Ok(())
+        } else {
+            Err(GraphError::UnknownNode { node: v.raw(), node_count: self.node_count() })
+        }
+    }
+}
+
+/// Iterator over the non-empty `(label, run)` pairs of one node's adjacency.
+pub struct NeighborLabelRuns<'g> {
+    graph: &'g HetGraph,
+    node: NodeId,
+    next_label: u8,
+}
+
+impl<'g> Iterator for NeighborLabelRuns<'g> {
+    type Item = (Label, &'g [NodeId]);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        while (self.next_label as usize) < self.graph.label_count() {
+            let label = Label::new(self.next_label);
+            self.next_label += 1;
+            let run = self.graph.neighbors_with_label(self.node, label);
+            if !run.is_empty() {
+                return Some((label, run));
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::builder::GraphBuilder;
+    use crate::labels::LabelSet;
+
+    use super::*;
+
+    /// P--A--I triangle-ish fixture: paper Fig. 1A in miniature.
+    fn pub_fixture() -> HetGraph {
+        let labels = LabelSet::from_names(["I", "A", "P"]).unwrap();
+        let mut b = GraphBuilder::new(labels);
+        let i = b.add_node_with(Label::new(0)).unwrap();
+        let a1 = b.add_node_with(Label::new(1)).unwrap();
+        let a2 = b.add_node_with(Label::new(1)).unwrap();
+        let p = b.add_node_with(Label::new(2)).unwrap();
+        b.add_edge(i, a1).unwrap();
+        b.add_edge(i, a2).unwrap();
+        b.add_edge(a1, p).unwrap();
+        b.add_edge(a2, p).unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn counts_and_degrees() {
+        let g = pub_fixture();
+        assert_eq!(g.node_count(), 4);
+        assert_eq!(g.edge_count(), 4);
+        assert_eq!(g.degree(NodeId::new(0)), 2);
+        assert_eq!(g.degree(NodeId::new(3)), 2);
+    }
+
+    #[test]
+    fn label_runs_are_contiguous_and_complete() {
+        let g = pub_fixture();
+        let i = NodeId::new(0);
+        assert!(g.neighbors_with_label(i, Label::new(0)).is_empty());
+        assert_eq!(g.neighbors_with_label(i, Label::new(1)).len(), 2);
+        assert!(g.neighbors_with_label(i, Label::new(2)).is_empty());
+        let total: usize =
+            g.labels().labels().map(|l| g.neighbors_with_label(i, l).len()).sum();
+        assert_eq!(total, g.degree(i));
+    }
+
+    #[test]
+    fn neighbor_label_runs_skips_empty() {
+        let g = pub_fixture();
+        let runs: Vec<_> = g
+            .neighbor_label_runs(NodeId::new(1))
+            .map(|(l, r)| (l.index(), r.len()))
+            .collect();
+        // Author a1 sees one institution and one paper.
+        assert_eq!(runs, vec![(0, 1), (2, 1)]);
+    }
+
+    #[test]
+    fn has_edge_both_directions_and_non_edges() {
+        let g = pub_fixture();
+        assert!(g.has_edge(NodeId::new(0), NodeId::new(1)));
+        assert!(g.has_edge(NodeId::new(1), NodeId::new(0)));
+        assert!(!g.has_edge(NodeId::new(0), NodeId::new(3)));
+        assert!(!g.has_edge(NodeId::new(2), NodeId::new(2)));
+    }
+
+    #[test]
+    fn edges_iterates_each_edge_once() {
+        let g = pub_fixture();
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges.len(), g.edge_count());
+        for (u, v) in edges {
+            assert!(u < v);
+            assert!(g.has_edge(u, v));
+        }
+    }
+
+    #[test]
+    fn label_histogram_sums_to_node_count() {
+        let g = pub_fixture();
+        let hist = g.label_histogram();
+        assert_eq!(hist, vec![1, 2, 1]);
+        assert_eq!(hist.iter().sum::<usize>(), g.node_count());
+    }
+
+    #[test]
+    fn edge_ids_are_dense_and_shared_by_both_directions() {
+        let g = pub_fixture();
+        let mut seen = vec![0usize; g.edge_count()];
+        for v in g.nodes() {
+            let ids = g.incident_edge_ids(v);
+            let nbrs = g.neighbors(v);
+            assert_eq!(ids.len(), nbrs.len());
+            for (&id, &w) in ids.iter().zip(nbrs) {
+                assert!((id as usize) < g.edge_count());
+                seen[id as usize] += 1;
+                // The same id must appear on the reverse arc.
+                let widx = g.neighbors(w).iter().position(|&x| x == v).unwrap();
+                assert_eq!(g.incident_edge_ids(w)[widx], id);
+            }
+        }
+        assert!(seen.iter().all(|&c| c == 2), "each edge id seen once per direction");
+    }
+
+    #[test]
+    fn relabeled_preserves_topology_and_resorts_rows() {
+        let g = pub_fixture();
+        // Swap labels: everything becomes label 0 except the paper (label 1).
+        let labels = LabelSet::from_names(["all", "special"]).unwrap();
+        let mut nl = vec![Label::new(0); g.node_count()];
+        nl[3] = Label::new(1);
+        let g2 = g.relabeled(labels, nl).unwrap();
+        assert_eq!(g2.node_count(), g.node_count());
+        assert_eq!(g2.edge_count(), g.edge_count());
+        for (u, v) in g.edges() {
+            assert!(g2.has_edge(u, v));
+        }
+        // Rows must satisfy the (label, id) sort invariant with new labels.
+        for v in g2.nodes() {
+            let row = g2.neighbors(v);
+            assert!(row
+                .windows(2)
+                .all(|w| (g2.label(w[0]), w[0]) < (g2.label(w[1]), w[1])));
+        }
+        assert_eq!(g2.label(NodeId::new(3)), Label::new(1));
+    }
+
+    #[test]
+    fn relabeled_rejects_out_of_range_labels() {
+        let g = pub_fixture();
+        let labels = LabelSet::from_names(["only"]).unwrap();
+        let nl = vec![Label::new(5); g.node_count()];
+        assert!(g.relabeled(labels, nl).is_err());
+    }
+
+    #[test]
+    fn nodes_with_label_filters() {
+        let g = pub_fixture();
+        let authors: Vec<_> = g.nodes_with_label(Label::new(1)).collect();
+        assert_eq!(authors, vec![NodeId::new(1), NodeId::new(2)]);
+    }
+}

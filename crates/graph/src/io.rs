@@ -1,0 +1,244 @@
+//! Plain-text interchange format for labelled graphs.
+//!
+//! The format is line-oriented and diff-friendly:
+//!
+//! ```text
+//! # hsgf-graph v1
+//! labels <name_0> <name_1> ...
+//! node <label_index>            (one line per node, in id order)
+//! edge <u> <v> [type]           (undirected edge, optional edge type)
+//! arc <u> <v> [type]            (directed edge u → v, optional type)
+//! ```
+//!
+//! Comments (`#`) and blank lines are ignored. This is intentionally simple:
+//! the workspace generates its datasets synthetically, but a user bringing
+//! their own network needs a zero-dependency way in.
+
+use std::io::{BufRead, Write};
+
+use crate::builder::GraphBuilder;
+use crate::graph::{HetGraph, NodeId};
+use crate::labels::{Label, LabelSet};
+use crate::GraphError;
+
+/// Writes `graph` in the v1 text format (directions and edge types are
+/// preserved; type 0 / symmetric edges use the short `edge u v` form).
+pub fn write_graph<W: Write>(graph: &HetGraph, mut out: W) -> std::io::Result<()> {
+    use crate::direction::Direction;
+    writeln!(out, "# hsgf-graph v1")?;
+    write!(out, "labels")?;
+    for (_, name) in graph.labels().iter() {
+        write!(out, " {name}")?;
+    }
+    writeln!(out)?;
+    for v in graph.nodes() {
+        writeln!(out, "node {}", graph.label(v).index())?;
+    }
+    for (u, v) in graph.edges() {
+        // Recover the edge id to read its direction and type.
+        let idx = graph
+            .neighbors(u)
+            .iter()
+            .position(|&x| x == v)
+            .expect("edges() yields adjacency members");
+        let id = graph.incident_edge_ids(u)[idx];
+        let ty = graph.edge_type(id);
+        let (keyword, a, b) = match graph.edge_direction(id) {
+            Direction::Symmetric => ("edge", u.raw(), v.raw()),
+            Direction::LowToHigh => ("arc", u.raw().min(v.raw()), u.raw().max(v.raw())),
+            Direction::HighToLow => ("arc", u.raw().max(v.raw()), u.raw().min(v.raw())),
+        };
+        if ty == 0 {
+            writeln!(out, "{keyword} {a} {b}")?;
+        } else {
+            writeln!(out, "{keyword} {a} {b} {ty}")?;
+        }
+    }
+    Ok(())
+}
+
+/// Reads a graph in the v1 text format.
+pub fn read_graph<R: BufRead>(input: R) -> crate::Result<HetGraph> {
+    let mut builder: Option<GraphBuilder> = None;
+    for (lineno, line) in input.lines().enumerate() {
+        let lineno = lineno + 1;
+        let line = line.map_err(|e| GraphError::Parse {
+            line: lineno,
+            message: format!("I/O error: {e}"),
+        })?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_ascii_whitespace();
+        let keyword = parts.next().expect("non-empty line has a first token");
+        match keyword {
+            "labels" => {
+                let labels = LabelSet::from_names(parts)?;
+                builder = Some(GraphBuilder::new(labels));
+            }
+            "node" => {
+                let b = builder.as_mut().ok_or_else(|| GraphError::Parse {
+                    line: lineno,
+                    message: "node before labels".to_owned(),
+                })?;
+                let idx: u8 = parse_field(parts.next(), lineno, "label index")?;
+                b.add_node_with(Label::new(idx))?;
+            }
+            "edge" | "arc" => {
+                let b = builder.as_mut().ok_or_else(|| GraphError::Parse {
+                    line: lineno,
+                    message: format!("{keyword} before labels"),
+                })?;
+                let u: u32 = parse_field(parts.next(), lineno, "source")?;
+                let v: u32 = parse_field(parts.next(), lineno, "target")?;
+                let ty: u8 = match parts.next() {
+                    Some(t) => t.parse().map_err(|_| GraphError::Parse {
+                        line: lineno,
+                        message: "malformed edge type".to_owned(),
+                    })?,
+                    None => 0,
+                };
+                if keyword == "arc" {
+                    b.add_arc_typed(NodeId::new(u), NodeId::new(v), ty)?;
+                } else {
+                    b.add_edge_typed(NodeId::new(u), NodeId::new(v), ty)?;
+                }
+            }
+            other => {
+                return Err(GraphError::Parse {
+                    line: lineno,
+                    message: format!("unknown keyword {other:?}"),
+                });
+            }
+        }
+    }
+    builder
+        .map(GraphBuilder::build)
+        .ok_or(GraphError::Parse { line: 0, message: "empty input".to_owned() })
+}
+
+fn parse_field<T: std::str::FromStr>(
+    field: Option<&str>,
+    line: usize,
+    what: &str,
+) -> crate::Result<T> {
+    field
+        .ok_or_else(|| GraphError::Parse { line, message: format!("missing {what}") })?
+        .parse()
+        .map_err(|_| GraphError::Parse { line, message: format!("malformed {what}") })
+}
+
+/// Serializes `graph` to an owned string (convenience over [`write_graph`]).
+pub fn to_string(graph: &HetGraph) -> String {
+    let mut buf = Vec::new();
+    write_graph(graph, &mut buf).expect("writing to a Vec cannot fail");
+    String::from_utf8(buf).expect("format emits only UTF-8")
+}
+
+/// Parses a graph from a string (convenience over [`read_graph`]).
+pub fn from_str(s: &str) -> crate::Result<HetGraph> {
+    read_graph(s.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fixture() -> HetGraph {
+        let mut b = GraphBuilder::with_label_names(["I", "A", "P"]).unwrap();
+        let i = b.add_node("I").unwrap();
+        let a = b.add_node("A").unwrap();
+        let p = b.add_node("P").unwrap();
+        b.add_edge(i, a).unwrap();
+        b.add_edge(a, p).unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn roundtrip_preserves_structure() {
+        let g = fixture();
+        let text = to_string(&g);
+        let g2 = from_str(&text).unwrap();
+        assert_eq!(g.node_count(), g2.node_count());
+        assert_eq!(g.edge_count(), g2.edge_count());
+        let e1: Vec<_> = g.edges().collect();
+        let e2: Vec<_> = g2.edges().collect();
+        assert_eq!(e1, e2);
+        for v in g.nodes() {
+            assert_eq!(g.label(v), g2.label(v));
+        }
+        assert_eq!(
+            g.labels().iter().map(|(_, n)| n.to_owned()).collect::<Vec<_>>(),
+            g2.labels().iter().map(|(_, n)| n.to_owned()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn directions_and_types_roundtrip() {
+        let mut b = GraphBuilder::with_label_names(["x", "y"]).unwrap();
+        let a = b.add_node("x").unwrap();
+        let c = b.add_node("y").unwrap();
+        let d = b.add_node("y").unwrap();
+        let e = b.add_node("x").unwrap();
+        b.add_arc(c, a).unwrap(); // directed high→low
+        b.add_arc_typed(a, d, 2).unwrap(); // directed + typed
+        b.add_edge_typed(d, e, 1).unwrap(); // typed undirected
+        b.add_edge(c, e).unwrap(); // plain
+        let g = b.build();
+        let text = to_string(&g);
+        assert!(text.contains("arc"), "{text}");
+        let g2 = from_str(&text).unwrap();
+        assert_eq!(g2.edge_count(), g.edge_count());
+        assert_eq!(g2.edge_type_count(), g.edge_type_count());
+        for v in g.nodes() {
+            let ids1 = g.incident_edge_ids(v);
+            let ids2 = g2.incident_edge_ids(v);
+            for ((&w1, &e1), (&w2, &e2)) in g
+                .neighbors(v)
+                .iter()
+                .zip(ids1)
+                .zip(g2.neighbors(v).iter().zip(ids2))
+            {
+                assert_eq!(w1, w2);
+                assert_eq!(g.edge_type(e1), g2.edge_type(e2));
+                assert_eq!(g.orientation(v, w1, e1), g2.orientation(v, w2, e2));
+            }
+        }
+    }
+
+    #[test]
+    fn comments_and_blanks_are_ignored() {
+        let text = "# hello\n\nlabels x y\nnode 0\nnode 1\n# mid comment\nedge 0 1\n";
+        let g = from_str(text).unwrap();
+        assert_eq!(g.node_count(), 2);
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let text = "labels x\nnode 0\nedge 0\n";
+        match from_str(text) {
+            Err(GraphError::Parse { line, .. }) => assert_eq!(line, 3),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_unknown_keyword() {
+        assert!(matches!(
+            from_str("labels x\nvertex 0\n"),
+            Err(GraphError::Parse { line: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_node_before_labels() {
+        assert!(matches!(from_str("node 0\n"), Err(GraphError::Parse { line: 1, .. })));
+    }
+
+    #[test]
+    fn rejects_empty_input() {
+        assert!(from_str("# nothing\n").is_err());
+    }
+}

@@ -1,0 +1,207 @@
+//! Label interning for heterogeneous networks.
+//!
+//! The paper models heterogeneity with a label function `λ : V → L` over a
+//! small alphabet (all evaluation networks have 4–6 labels). We intern label
+//! names once in a [`LabelSet`] and refer to them everywhere else through the
+//! compact [`Label`] id, which keeps the census encoding rows dense and the
+//! per-label hash bases cheap to index.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::GraphError;
+
+/// Maximum number of distinct labels supported by the substrate.
+///
+/// The characteristic-sequence rows are `1 + |L|` bytes, and the per-node
+/// neighbour-run index stores `|L| + 1` offsets per node; a small alphabet
+/// keeps both dense. 64 comfortably exceeds any network in the paper.
+pub const MAX_LABELS: usize = 64;
+
+/// A compact node-label identifier (index into a [`LabelSet`]).
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Serialize, Deserialize)]
+pub struct Label(u8);
+
+impl Label {
+    /// Creates a label from its raw index.
+    ///
+    /// The caller is responsible for the index being valid for the label set
+    /// it will be used with; [`LabelSet::get`] and graph accessors perform
+    /// range checks where it matters.
+    #[inline]
+    pub const fn new(id: u8) -> Self {
+        Label(id)
+    }
+
+    /// Raw index of this label within its [`LabelSet`].
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Raw `u8` representation.
+    #[inline]
+    pub const fn raw(self) -> u8 {
+        self.0
+    }
+}
+
+impl fmt::Display for Label {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L{}", self.0)
+    }
+}
+
+/// An ordered registry of label names.
+///
+/// The *fixed ordering of labels* required by the characteristic sequence
+/// (paper §3.1, "for some fixed ordering of labels l = 1, …, |L|") is the
+/// insertion order of this set.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct LabelSet {
+    names: Vec<String>,
+    #[serde(skip)]
+    index: HashMap<String, Label>,
+}
+
+impl LabelSet {
+    /// Creates an empty label set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a label set from an ordered list of names.
+    ///
+    /// Duplicate names resolve to the first occurrence.
+    pub fn from_names<I, S>(names: I) -> crate::Result<Self>
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut set = Self::new();
+        for name in names {
+            set.intern(name.into())?;
+        }
+        Ok(set)
+    }
+
+    /// Interns a label name, returning its (possibly pre-existing) id.
+    pub fn intern(&mut self, name: impl Into<String>) -> crate::Result<Label> {
+        let name = name.into();
+        if let Some(&label) = self.index.get(&name) {
+            return Ok(label);
+        }
+        if self.names.len() >= MAX_LABELS {
+            return Err(GraphError::TooManyLabels { max: MAX_LABELS });
+        }
+        let label = Label(self.names.len() as u8);
+        self.index.insert(name.clone(), label);
+        self.names.push(name);
+        Ok(label)
+    }
+
+    /// Resolves a label name to its id.
+    pub fn get(&self, name: &str) -> crate::Result<Label> {
+        self.index
+            .get(name)
+            .copied()
+            .ok_or_else(|| GraphError::UnknownLabel { name: name.to_owned() })
+    }
+
+    /// Returns the name of a label id, if in range.
+    pub fn name(&self, label: Label) -> Option<&str> {
+        self.names.get(label.index()).map(String::as_str)
+    }
+
+    /// Number of interned labels.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether no labels have been interned.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterates over `(Label, name)` pairs in the fixed label order.
+    pub fn iter(&self) -> impl Iterator<Item = (Label, &str)> {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (Label(i as u8), n.as_str()))
+    }
+
+    /// Iterates over all label ids in the fixed label order.
+    pub fn labels(&self) -> impl Iterator<Item = Label> {
+        (0..self.names.len() as u8).map(Label)
+    }
+
+    /// Rebuilds the name → id index (needed after deserialization, where the
+    /// map is skipped).
+    pub fn rebuild_index(&mut self) {
+        self.index = self
+            .names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.clone(), Label(i as u8)))
+            .collect();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut set = LabelSet::new();
+        let a = set.intern("author").unwrap();
+        let p = set.intern("paper").unwrap();
+        let a2 = set.intern("author").unwrap();
+        assert_eq!(a, a2);
+        assert_ne!(a, p);
+        assert_eq!(set.len(), 2);
+    }
+
+    #[test]
+    fn order_is_insertion_order() {
+        let set = LabelSet::from_names(["x", "y", "z"]).unwrap();
+        let collected: Vec<_> = set.iter().map(|(l, n)| (l.index(), n.to_owned())).collect();
+        assert_eq!(
+            collected,
+            vec![(0, "x".to_owned()), (1, "y".to_owned()), (2, "z".to_owned())]
+        );
+    }
+
+    #[test]
+    fn lookup_errors_on_unknown() {
+        let set = LabelSet::from_names(["x"]).unwrap();
+        assert!(matches!(set.get("nope"), Err(GraphError::UnknownLabel { .. })));
+    }
+
+    #[test]
+    fn registry_capacity_is_enforced() {
+        let mut set = LabelSet::new();
+        for i in 0..MAX_LABELS {
+            set.intern(format!("l{i}")).unwrap();
+        }
+        assert!(matches!(
+            set.intern("overflow"),
+            Err(GraphError::TooManyLabels { .. })
+        ));
+    }
+
+    #[test]
+    fn rebuild_index_restores_lookup() {
+        let mut set = LabelSet::from_names(["a", "b"]).unwrap();
+        set.index.clear();
+        assert!(set.get("a").is_err());
+        set.rebuild_index();
+        assert_eq!(set.get("a").unwrap(), Label::new(0));
+        assert_eq!(set.get("b").unwrap(), Label::new(1));
+    }
+}

@@ -1,0 +1,235 @@
+//! Label connectivity graphs (paper §3, Fig. 1A and Fig. 2).
+//!
+//! The label connectivity graph (LCG) aggregates every node of one label into
+//! a single meta-node; it has a self loop on label `l` iff the network
+//! contains an edge between two `l`-labelled nodes. The paper uses the LCG
+//! in two ways we reproduce:
+//!
+//! * the collision-free bound of the characteristic-sequence encoding is
+//!   `emax = 5` edges when the LCG is loop-free and `emax = 4` otherwise
+//!   (§3.1 "Limitations");
+//! * Fig. 2 characterizes each evaluation dataset by the *shape* of its LCG
+//!   (densely interconnected for LOAD vs star-like for IMDB).
+
+use serde::{Deserialize, Serialize};
+
+use crate::graph::HetGraph;
+use crate::labels::Label;
+
+/// Adjacency structure over labels, with self loops.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LabelConnectivityGraph {
+    label_count: usize,
+    /// Row-major `label_count × label_count` symmetric edge-presence matrix;
+    /// the diagonal marks self loops.
+    adjacency: Vec<bool>,
+    /// Number of network edges realizing each label pair (same layout).
+    multiplicity: Vec<u64>,
+}
+
+impl LabelConnectivityGraph {
+    /// Builds the LCG of a heterogeneous graph in one pass over its edges.
+    pub fn of(graph: &HetGraph) -> Self {
+        let k = graph.label_count();
+        let mut adjacency = vec![false; k * k];
+        let mut multiplicity = vec![0u64; k * k];
+        for (u, v) in graph.edges() {
+            let (a, b) = (graph.label(u).index(), graph.label(v).index());
+            adjacency[a * k + b] = true;
+            adjacency[b * k + a] = true;
+            multiplicity[a * k + b] += 1;
+            if a != b {
+                multiplicity[b * k + a] += 1;
+            }
+        }
+        LabelConnectivityGraph { label_count: k, adjacency, multiplicity }
+    }
+
+    /// Number of labels (meta-nodes).
+    #[inline]
+    pub fn label_count(&self) -> usize {
+        self.label_count
+    }
+
+    /// Whether labels `a` and `b` are connected anywhere in the network.
+    #[inline]
+    pub fn connected(&self, a: Label, b: Label) -> bool {
+        self.adjacency[a.index() * self.label_count + b.index()]
+    }
+
+    /// Whether the network has any edge between two nodes of label `l`.
+    #[inline]
+    pub fn has_self_loop(&self, l: Label) -> bool {
+        self.connected(l, l)
+    }
+
+    /// Whether any label has a self loop. Decides which encoding-uniqueness
+    /// bound applies (paper §3.1: `emax = 4` with loops, `emax = 5` without).
+    pub fn has_any_self_loop(&self) -> bool {
+        (0..self.label_count).any(|l| self.adjacency[l * self.label_count + l])
+    }
+
+    /// The provably collision-free maximum subgraph edge count for networks
+    /// with this LCG (paper §3.1 "Limitations").
+    pub fn unique_encoding_emax(&self) -> usize {
+        if self.has_any_self_loop() {
+            4
+        } else {
+            5
+        }
+    }
+
+    /// Number of network edges between labels `a` and `b`.
+    #[inline]
+    pub fn edge_multiplicity(&self, a: Label, b: Label) -> u64 {
+        self.multiplicity[a.index() * self.label_count + b.index()]
+    }
+
+    /// Number of meta-edges (connected label pairs, counting self loops).
+    pub fn meta_edge_count(&self) -> usize {
+        let mut count = 0;
+        for a in 0..self.label_count {
+            for b in a..self.label_count {
+                if self.adjacency[a * self.label_count + b] {
+                    count += 1;
+                }
+            }
+        }
+        count
+    }
+
+    /// Density of the LCG: meta-edges over possible label pairs (incl.
+    /// self loops). LOAD's LCG is complete (density 1.0); IMDB's is a star.
+    pub fn density(&self) -> f64 {
+        let k = self.label_count;
+        if k == 0 {
+            return 0.0;
+        }
+        let possible = k * (k + 1) / 2;
+        self.meta_edge_count() as f64 / possible as f64
+    }
+
+    /// Whether the LCG is a star centred on `hub`: every other label connects
+    /// only to `hub`, and there are no self loops (IMDB's shape in Fig. 2).
+    pub fn is_star_on(&self, hub: Label) -> bool {
+        let k = self.label_count;
+        for a in 0..k {
+            for b in a..k {
+                let present = self.adjacency[a * k + b];
+                let allowed = (a == hub.index()) != (b == hub.index());
+                if present && !allowed {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Renders an ASCII adjacency summary using the graph's label names.
+    pub fn render(&self, graph: &HetGraph) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let names: Vec<&str> = graph
+            .labels()
+            .labels()
+            .map(|l| graph.labels().name(l).unwrap_or("?"))
+            .collect();
+        for a in 0..self.label_count {
+            for b in a..self.label_count {
+                let m = self.multiplicity[a * self.label_count + b];
+                if m > 0 {
+                    let _ = writeln!(out, "  {} -- {}  ({m} edges)", names[a], names[b]);
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::builder::GraphBuilder;
+    use crate::labels::{Label, LabelSet};
+
+    use super::*;
+
+    fn labels3() -> LabelSet {
+        LabelSet::from_names(["I", "A", "P"]).unwrap()
+    }
+
+    #[test]
+    fn detects_self_loops_from_citations() {
+        // P -- P edge (a citation) must appear as a self loop on P.
+        let labels = labels3();
+        let g = GraphBuilder::from_edges(
+            labels,
+            &[Label::new(1), Label::new(2), Label::new(2)],
+            &[(0, 1), (1, 2)],
+        )
+        .unwrap();
+        let lcg = LabelConnectivityGraph::of(&g);
+        assert!(lcg.has_self_loop(Label::new(2)));
+        assert!(!lcg.has_self_loop(Label::new(1)));
+        assert!(lcg.has_any_self_loop());
+        assert_eq!(lcg.unique_encoding_emax(), 4);
+    }
+
+    #[test]
+    fn loop_free_lcg_gets_emax_5() {
+        let labels = labels3();
+        let g = GraphBuilder::from_edges(
+            labels,
+            &[Label::new(0), Label::new(1), Label::new(2)],
+            &[(0, 1), (1, 2)],
+        )
+        .unwrap();
+        let lcg = LabelConnectivityGraph::of(&g);
+        assert!(!lcg.has_any_self_loop());
+        assert_eq!(lcg.unique_encoding_emax(), 5);
+    }
+
+    #[test]
+    fn multiplicity_counts_edges_per_pair() {
+        let labels = labels3();
+        let g = GraphBuilder::from_edges(
+            labels,
+            &[Label::new(0), Label::new(1), Label::new(1)],
+            &[(0, 1), (0, 2)],
+        )
+        .unwrap();
+        let lcg = LabelConnectivityGraph::of(&g);
+        assert_eq!(lcg.edge_multiplicity(Label::new(0), Label::new(1)), 2);
+        assert_eq!(lcg.edge_multiplicity(Label::new(1), Label::new(0)), 2);
+        assert_eq!(lcg.edge_multiplicity(Label::new(1), Label::new(1)), 0);
+    }
+
+    #[test]
+    fn star_detection() {
+        // Movie-like star: hub label 0 connects to 1 and 2, nothing else.
+        let labels = labels3();
+        let g = GraphBuilder::from_edges(
+            labels,
+            &[Label::new(0), Label::new(1), Label::new(2)],
+            &[(0, 1), (0, 2)],
+        )
+        .unwrap();
+        let lcg = LabelConnectivityGraph::of(&g);
+        assert!(lcg.is_star_on(Label::new(0)));
+        assert!(!lcg.is_star_on(Label::new(1)));
+        assert_eq!(lcg.meta_edge_count(), 2);
+    }
+
+    #[test]
+    fn density_of_complete_lcg() {
+        let labels = LabelSet::from_names(["a", "b"]).unwrap();
+        let g = GraphBuilder::from_edges(
+            labels,
+            &[Label::new(0), Label::new(0), Label::new(1), Label::new(1)],
+            &[(0, 1), (2, 3), (0, 2)],
+        )
+        .unwrap();
+        let lcg = LabelConnectivityGraph::of(&g);
+        // a-a, b-b, a-b all present; 3 of 3 possible pairs.
+        assert!((lcg.density() - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,53 @@
+//! Heterogeneous (node-labelled) graph substrate for the HSGF workspace.
+//!
+//! This crate provides the graph model of Spitz et al. (GRADES-NDA'18),
+//! *Heterogeneous Subgraph Features for Information Networks*: an undirected
+//! graph `G = (V, E, L)` without self loops, in which every node carries
+//! exactly one label from a small label set `L`.
+//!
+//! The central type is [`HetGraph`], a compressed-sparse-row (CSR) graph whose
+//! adjacency lists are sorted by `(label, node id)`. That ordering is a hard
+//! requirement of the census engine in `hsgf-core`: the *heterogeneous
+//! optimization heuristic* (paper §3.2) walks neighbours label-group by
+//! label-group, and [`HetGraph::neighbors_with_label`] must therefore return a
+//! contiguous slice.
+//!
+//! Supporting modules:
+//!
+//! * [`labels`] — label interning and the [`labels::LabelSet`] registry.
+//! * [`builder`] — incremental [`builder::GraphBuilder`] with edge
+//!   deduplication and self-loop rejection.
+//! * [`lcg`] — the *label connectivity graph* (paper Fig. 1A), used to decide
+//!   which collision bound (`emax = 5` vs `emax = 4`) applies.
+//! * [`stats`] — degree distributions and the percentile machinery behind the
+//!   `dmax` hub-cutoff heuristic (paper §4.3.4).
+//! * [`generators`] — domain-agnostic random-graph primitives (Erdős–Rényi,
+//!   preferential attachment, label-stratified block models) on which the
+//!   synthetic datasets in `hsgf-data` are built.
+//! * [`io`] — a plain-text interchange format for labelled graphs.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod builder;
+pub mod direction;
+pub mod generators;
+pub mod graph;
+pub mod io;
+pub mod labels;
+pub mod lcg;
+pub mod stats;
+pub mod traversal;
+
+mod error;
+
+pub use builder::GraphBuilder;
+pub use direction::{Direction, Orientation};
+pub use error::GraphError;
+pub use graph::{HetGraph, NeighborLabelRuns, NodeId};
+pub use labels::{Label, LabelSet};
+pub use lcg::LabelConnectivityGraph;
+pub use stats::DegreeStats;
+
+/// Convenience result alias used throughout the graph substrate.
+pub type Result<T> = std::result::Result<T, GraphError>;

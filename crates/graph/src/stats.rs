@@ -1,0 +1,180 @@
+//! Degree statistics and the percentile machinery behind `dmax`.
+//!
+//! Paper §4.3.4 controls the hub cutoff through percentiles: "the value of
+//! dmax is set to disable exploration beyond nodes with a degree greater
+//! than the maximum degree in the given percentile". [`DegreeStats`] computes
+//! those percentile degrees once per graph so experiment sweeps are cheap.
+
+use serde::{Deserialize, Serialize};
+
+use crate::graph::HetGraph;
+
+/// Precomputed degree distribution of a graph.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct DegreeStats {
+    /// All node degrees, sorted ascending.
+    sorted_degrees: Vec<u32>,
+    mean: f64,
+}
+
+impl DegreeStats {
+    /// Computes the degree distribution of `graph`.
+    pub fn of(graph: &HetGraph) -> Self {
+        let mut sorted_degrees: Vec<u32> =
+            graph.nodes().map(|v| graph.degree(v) as u32).collect();
+        sorted_degrees.sort_unstable();
+        let mean = if sorted_degrees.is_empty() {
+            0.0
+        } else {
+            sorted_degrees.iter().map(|&d| d as f64).sum::<f64>() / sorted_degrees.len() as f64
+        };
+        DegreeStats { sorted_degrees, mean }
+    }
+
+    /// Number of nodes observed.
+    pub fn node_count(&self) -> usize {
+        self.sorted_degrees.len()
+    }
+
+    /// Smallest degree, or 0 for an empty graph.
+    pub fn min(&self) -> u32 {
+        self.sorted_degrees.first().copied().unwrap_or(0)
+    }
+
+    /// Largest degree, or 0 for an empty graph.
+    pub fn max(&self) -> u32 {
+        self.sorted_degrees.last().copied().unwrap_or(0)
+    }
+
+    /// Mean degree.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Median degree (lower median for even counts).
+    pub fn median(&self) -> u32 {
+        if self.sorted_degrees.is_empty() {
+            return 0;
+        }
+        self.sorted_degrees[(self.sorted_degrees.len() - 1) / 2]
+    }
+
+    /// The maximum degree within the given percentile of nodes, i.e. the
+    /// smallest `d` such that at least `percentile`% of nodes have degree
+    /// ≤ `d`. This is exactly the paper's `dmax` parameterization: passing
+    /// `90.0` yields the Table 2 "90%" setting.
+    ///
+    /// `percentile` is clamped to `[0, 100]`; `100.0` returns the maximum
+    /// degree (equivalent to `dmax = ∞` for this graph).
+    pub fn degree_at_percentile(&self, percentile: f64) -> u32 {
+        if self.sorted_degrees.is_empty() {
+            return 0;
+        }
+        let p = percentile.clamp(0.0, 100.0) / 100.0;
+        let n = self.sorted_degrees.len();
+        // Smallest index covering ceil(p * n) nodes.
+        let rank = ((p * n as f64).ceil() as usize).clamp(1, n);
+        self.sorted_degrees[rank - 1]
+    }
+
+    /// Fraction of nodes with degree ≤ `d`.
+    pub fn cdf(&self, d: u32) -> f64 {
+        if self.sorted_degrees.is_empty() {
+            return 0.0;
+        }
+        let count = self.sorted_degrees.partition_point(|&x| x <= d);
+        count as f64 / self.sorted_degrees.len() as f64
+    }
+
+    /// Histogram of degrees as `(degree, node count)` pairs, ascending.
+    pub fn histogram(&self) -> Vec<(u32, usize)> {
+        let mut out: Vec<(u32, usize)> = Vec::new();
+        for &d in &self.sorted_degrees {
+            match out.last_mut() {
+                Some((deg, count)) if *deg == d => *count += 1,
+                _ => out.push((d, 1)),
+            }
+        }
+        out
+    }
+
+    /// A simple skewness measure: `max / mean`. Real-world networks in the
+    /// paper are heavily skewed (hubs); Erdős–Rényi controls are not.
+    pub fn hub_ratio(&self) -> f64 {
+        if self.mean == 0.0 {
+            0.0
+        } else {
+            self.max() as f64 / self.mean
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::builder::GraphBuilder;
+    use crate::labels::{Label, LabelSet};
+
+    use super::*;
+
+    /// Star with 5 leaves: degrees [1,1,1,1,1,5].
+    fn star6() -> HetGraph {
+        let labels = LabelSet::from_names(["hub", "leaf"]).unwrap();
+        let mut b = GraphBuilder::new(labels);
+        let hub = b.add_node_with(Label::new(0)).unwrap();
+        for _ in 0..5 {
+            let leaf = b.add_node_with(Label::new(1)).unwrap();
+            b.add_edge(hub, leaf).unwrap();
+        }
+        b.build()
+    }
+
+    #[test]
+    fn basic_moments() {
+        let s = DegreeStats::of(&star6());
+        assert_eq!(s.min(), 1);
+        assert_eq!(s.max(), 5);
+        assert!((s.mean() - 10.0 / 6.0).abs() < 1e-12);
+        assert_eq!(s.median(), 1);
+    }
+
+    #[test]
+    fn percentile_matches_paper_semantics() {
+        let s = DegreeStats::of(&star6());
+        // 5 of 6 nodes (83.3%) have degree 1; the 90th percentile must
+        // already include the hub.
+        assert_eq!(s.degree_at_percentile(80.0), 1);
+        assert_eq!(s.degree_at_percentile(90.0), 5);
+        assert_eq!(s.degree_at_percentile(100.0), 5);
+        assert_eq!(s.degree_at_percentile(0.0), 1);
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_complete() {
+        let s = DegreeStats::of(&star6());
+        assert!((s.cdf(1) - 5.0 / 6.0).abs() < 1e-12);
+        assert!((s.cdf(5) - 1.0).abs() < 1e-12);
+        assert_eq!(s.cdf(0), 0.0);
+    }
+
+    #[test]
+    fn histogram_counts() {
+        let s = DegreeStats::of(&star6());
+        assert_eq!(s.histogram(), vec![(1, 5), (5, 1)]);
+    }
+
+    #[test]
+    fn hub_ratio_flags_stars() {
+        let s = DegreeStats::of(&star6());
+        assert!(s.hub_ratio() > 2.0);
+    }
+
+    #[test]
+    fn empty_graph_is_safe() {
+        let labels = LabelSet::from_names(["x"]).unwrap();
+        let g = GraphBuilder::new(labels).build();
+        let s = DegreeStats::of(&g);
+        assert_eq!(s.max(), 0);
+        assert_eq!(s.degree_at_percentile(90.0), 0);
+        assert_eq!(s.mean(), 0.0);
+    }
+}

@@ -1,0 +1,143 @@
+//! Breadth-first traversal utilities: distances, connected components, and
+//! neighbourhood extraction. Used by dataset construction (e.g. the paper's
+//! "referenced papers with a distance of at most 2" subsets, §4.2.2) and
+//! generally handy for users bringing their own networks.
+
+use std::collections::VecDeque;
+
+use crate::graph::{HetGraph, NodeId};
+
+/// BFS distances from `source`; unreachable nodes get `u32::MAX`.
+pub fn bfs_distances(graph: &HetGraph, source: NodeId) -> Vec<u32> {
+    let mut dist = vec![u32::MAX; graph.node_count()];
+    dist[source.index()] = 0;
+    let mut queue = VecDeque::from([source]);
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u.index()];
+        for &w in graph.neighbors(u) {
+            if dist[w.index()] == u32::MAX {
+                dist[w.index()] = du + 1;
+                queue.push_back(w);
+            }
+        }
+    }
+    dist
+}
+
+/// All nodes within `radius` hops of `source` (including it), in BFS order.
+pub fn ball(graph: &HetGraph, source: NodeId, radius: u32) -> Vec<NodeId> {
+    let mut dist = vec![u32::MAX; graph.node_count()];
+    dist[source.index()] = 0;
+    let mut queue = VecDeque::from([source]);
+    let mut out = vec![source];
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u.index()];
+        if du == radius {
+            continue;
+        }
+        for &w in graph.neighbors(u) {
+            if dist[w.index()] == u32::MAX {
+                dist[w.index()] = du + 1;
+                out.push(w);
+                queue.push_back(w);
+            }
+        }
+    }
+    out
+}
+
+/// Connected-component id per node (ids are dense, ordered by the smallest
+/// node id in each component) and the number of components.
+pub fn connected_components(graph: &HetGraph) -> (Vec<u32>, usize) {
+    let n = graph.node_count();
+    let mut comp = vec![u32::MAX; n];
+    let mut next = 0u32;
+    let mut queue = VecDeque::new();
+    for start in 0..n as u32 {
+        if comp[start as usize] != u32::MAX {
+            continue;
+        }
+        comp[start as usize] = next;
+        queue.push_back(NodeId::new(start));
+        while let Some(u) = queue.pop_front() {
+            for &w in graph.neighbors(u) {
+                if comp[w.index()] == u32::MAX {
+                    comp[w.index()] = next;
+                    queue.push_back(w);
+                }
+            }
+        }
+        next += 1;
+    }
+    (comp, next as usize)
+}
+
+/// Size of the largest connected component.
+pub fn largest_component_size(graph: &HetGraph) -> usize {
+    let (comp, count) = connected_components(graph);
+    let mut sizes = vec![0usize; count];
+    for c in comp {
+        sizes[c as usize] += 1;
+    }
+    sizes.into_iter().max().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::builder::GraphBuilder;
+    use crate::labels::{Label, LabelSet};
+
+    use super::*;
+
+    /// Path 0-1-2-3 plus isolated pair 4-5.
+    fn fixture() -> HetGraph {
+        let labels = LabelSet::from_names(["x"]).unwrap();
+        GraphBuilder::from_edges(
+            labels,
+            &[Label::new(0); 6],
+            &[(0, 1), (1, 2), (2, 3), (4, 5)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn distances_and_unreachable() {
+        let g = fixture();
+        let d = bfs_distances(&g, NodeId::new(0));
+        assert_eq!(&d[..4], &[0, 1, 2, 3]);
+        assert_eq!(d[4], u32::MAX);
+        assert_eq!(d[5], u32::MAX);
+    }
+
+    #[test]
+    fn ball_respects_radius() {
+        let g = fixture();
+        let b0 = ball(&g, NodeId::new(1), 0);
+        assert_eq!(b0, vec![NodeId::new(1)]);
+        let b1 = ball(&g, NodeId::new(1), 1);
+        assert_eq!(b1.len(), 3);
+        let b9 = ball(&g, NodeId::new(1), 9);
+        assert_eq!(b9.len(), 4, "the isolated pair is never reached");
+    }
+
+    #[test]
+    fn components_are_dense_and_complete() {
+        let g = fixture();
+        let (comp, count) = connected_components(&g);
+        assert_eq!(count, 2);
+        assert_eq!(comp[0], comp[3]);
+        assert_eq!(comp[4], comp[5]);
+        assert_ne!(comp[0], comp[4]);
+        assert_eq!(largest_component_size(&g), 4);
+    }
+
+    #[test]
+    fn single_node_graph() {
+        let labels = LabelSet::from_names(["x"]).unwrap();
+        let mut b = GraphBuilder::new(labels);
+        b.add_node("x").unwrap();
+        let g = b.build();
+        assert_eq!(bfs_distances(&g, NodeId::new(0)), vec![0]);
+        assert_eq!(largest_component_size(&g), 1);
+    }
+}

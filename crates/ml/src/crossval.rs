@@ -1,0 +1,134 @@
+//! k-fold cross-validation and the regularization-strength tuning the
+//! paper applies to its logistic-regression classifiers
+//! (§4.3.3: "we tune the regularization strength and use L2
+//! regularization").
+
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::dataset::Dataset;
+use crate::logreg::{LogisticConfig, OneVsAllClassifier};
+use crate::metrics::macro_f1;
+
+/// Seeded k-fold split: returns `(train_rows, test_rows)` per fold.
+pub fn k_folds(n: usize, k: usize, seed: u64) -> Vec<(Vec<usize>, Vec<usize>)> {
+    assert!(k >= 2, "need at least 2 folds");
+    assert!(n >= k, "need at least one sample per fold");
+    let mut order: Vec<usize> = (0..n).collect();
+    let mut rng = SmallRng::seed_from_u64(seed);
+    order.shuffle(&mut rng);
+    (0..k)
+        .map(|fold| {
+            let lo = n * fold / k;
+            let hi = n * (fold + 1) / k;
+            let test: Vec<usize> = order[lo..hi].to_vec();
+            let train: Vec<usize> =
+                order[..lo].iter().chain(order[hi..].iter()).copied().collect();
+            (train, test)
+        })
+        .collect()
+}
+
+/// Cross-validated Macro-F1 of one-vs-all logistic regression at a given
+/// regularization strength `c`.
+pub fn cv_macro_f1(
+    features: &Dataset,
+    classes: &[usize],
+    c: f64,
+    folds: usize,
+    seed: u64,
+) -> f64 {
+    let config = LogisticConfig { c, max_iter: 200, tol: 1e-4 };
+    let splits = k_folds(features.len(), folds, seed);
+    let mut total = 0.0;
+    for (train_rows, test_rows) in &splits {
+        let train_x = features.select_rows(train_rows);
+        let test_x = features.select_rows(test_rows);
+        let train_y: Vec<usize> = train_rows.iter().map(|&i| classes[i]).collect();
+        let test_y: Vec<usize> = test_rows.iter().map(|&i| classes[i]).collect();
+        let clf = OneVsAllClassifier::fit(&train_x, &train_y, &config);
+        total += macro_f1(&clf.predict(&test_x), &test_y);
+    }
+    total / splits.len() as f64
+}
+
+/// Selects the best inverse regularization strength from `grid` by k-fold
+/// CV Macro-F1, the paper's §4.3.3 tuning step. Ties go to the smaller `c`
+/// (stronger regularization).
+pub fn tune_logistic_c(
+    features: &Dataset,
+    classes: &[usize],
+    grid: &[f64],
+    folds: usize,
+    seed: u64,
+) -> f64 {
+    assert!(!grid.is_empty(), "empty C grid");
+    let mut best = (grid[0], f64::NEG_INFINITY);
+    for &c in grid {
+        let score = cv_macro_f1(features, classes, c, folds, seed);
+        if score > best.1 + 1e-12 {
+            best = (c, score);
+        }
+    }
+    best.0
+}
+
+/// The default tuning grid (log-spaced, as is conventional).
+pub const DEFAULT_C_GRID: [f64; 5] = [0.01, 0.1, 1.0, 10.0, 100.0];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn folds_partition_all_rows() {
+        let folds = k_folds(23, 4, 7);
+        assert_eq!(folds.len(), 4);
+        let mut all_test: Vec<usize> = folds.iter().flat_map(|(_, t)| t.clone()).collect();
+        all_test.sort_unstable();
+        assert_eq!(all_test, (0..23).collect::<Vec<_>>());
+        for (train, test) in &folds {
+            assert_eq!(train.len() + test.len(), 23);
+            for t in test {
+                assert!(!train.contains(t));
+            }
+        }
+    }
+
+    #[test]
+    fn folds_are_deterministic() {
+        assert_eq!(k_folds(10, 3, 1), k_folds(10, 3, 1));
+    }
+
+    fn clustered(n: usize) -> (Dataset, Vec<usize>) {
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..n {
+            let class = i % 2;
+            x.push(class as f64 * 2.0 + ((i * 13 % 7) as f64) / 10.0);
+            y.push(class);
+        }
+        (Dataset::new(x, n, 1, vec![0.0; n]), y)
+    }
+
+    #[test]
+    fn cv_score_is_high_on_separable_data() {
+        let (data, classes) = clustered(40);
+        let score = cv_macro_f1(&data, &classes, 1.0, 4, 3);
+        assert!(score > 0.9, "score {score}");
+    }
+
+    #[test]
+    fn tuning_returns_a_grid_member() {
+        let (data, classes) = clustered(30);
+        let c = tune_logistic_c(&data, &classes, &DEFAULT_C_GRID, 3, 5);
+        assert!(DEFAULT_C_GRID.contains(&c));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 folds")]
+    fn one_fold_panics() {
+        let _ = k_folds(10, 1, 0);
+    }
+}

@@ -1,0 +1,223 @@
+//! Dense supervised datasets, splits, and standardization.
+
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::linalg::Mat;
+
+/// A dense design matrix with targets.
+#[derive(Clone, Debug)]
+pub struct Dataset {
+    /// `n × d` design matrix.
+    pub x: Mat,
+    /// Targets, length `n`.
+    pub y: Vec<f64>,
+}
+
+impl Dataset {
+    /// Builds a dataset from a flat row-major buffer.
+    pub fn new(x: Vec<f64>, n: usize, d: usize, y: Vec<f64>) -> Self {
+        assert_eq!(y.len(), n, "one target per row");
+        Dataset { x: Mat::from_vec(x, n, d), y }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.x.rows()
+    }
+
+    /// Whether the dataset has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.x.rows() == 0
+    }
+
+    /// Number of features.
+    pub fn dim(&self) -> usize {
+        self.x.cols()
+    }
+
+    /// Restriction to a subset of column indices.
+    pub fn select_columns(&self, cols: &[usize]) -> Dataset {
+        let n = self.len();
+        let mut data = Vec::with_capacity(n * cols.len());
+        for i in 0..n {
+            let row = self.x.row(i);
+            data.extend(cols.iter().map(|&c| row[c]));
+        }
+        Dataset { x: Mat::from_vec(data, n, cols.len()), y: self.y.clone() }
+    }
+
+    /// Restriction to a subset of row indices.
+    pub fn select_rows(&self, rows: &[usize]) -> Dataset {
+        let d = self.dim();
+        let mut data = Vec::with_capacity(rows.len() * d);
+        let mut y = Vec::with_capacity(rows.len());
+        for &r in rows {
+            data.extend_from_slice(self.x.row(r));
+            y.push(self.y[r]);
+        }
+        Dataset { x: Mat::from_vec(data, rows.len(), d), y }
+    }
+
+    /// Seeded random train/test split with `train_fraction` of rows in the
+    /// first part.
+    pub fn split(&self, train_fraction: f64, seed: u64) -> (Dataset, Dataset) {
+        let n = self.len();
+        let mut order: Vec<usize> = (0..n).collect();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        order.shuffle(&mut rng);
+        let cut = ((n as f64) * train_fraction).round() as usize;
+        let cut = cut.clamp(usize::from(n > 1), n.saturating_sub(usize::from(n > 1)));
+        (self.select_rows(&order[..cut]), self.select_rows(&order[cut..]))
+    }
+}
+
+/// Column-wise standardizer (zero mean, unit variance), fit on training
+/// data and applied to both splits.
+#[derive(Clone, Debug)]
+pub struct StandardScaler {
+    means: Vec<f64>,
+    /// Standard deviations, with zero-variance columns clamped to 1 so they
+    /// map to a constant 0 instead of NaN.
+    stds: Vec<f64>,
+}
+
+impl StandardScaler {
+    /// Fits means and standard deviations per column.
+    pub fn fit(x: &Mat) -> Self {
+        let (n, d) = (x.rows(), x.cols());
+        let mut means = vec![0.0; d];
+        for i in 0..n {
+            for (m, &v) in means.iter_mut().zip(x.row(i)) {
+                *m += v;
+            }
+        }
+        let n_f = (n.max(1)) as f64;
+        for m in &mut means {
+            *m /= n_f;
+        }
+        let mut vars = vec![0.0; d];
+        for i in 0..n {
+            for ((s, &v), &m) in vars.iter_mut().zip(x.row(i)).zip(&means) {
+                let c = v - m;
+                *s += c * c;
+            }
+        }
+        let stds = vars
+            .into_iter()
+            .map(|v| {
+                let s = (v / n_f).sqrt();
+                if s > 1e-12 {
+                    s
+                } else {
+                    1.0
+                }
+            })
+            .collect();
+        StandardScaler { means, stds }
+    }
+
+    /// Applies the transform, returning a new matrix.
+    pub fn transform(&self, x: &Mat) -> Mat {
+        assert_eq!(x.cols(), self.means.len());
+        let mut out = x.clone();
+        for i in 0..out.rows() {
+            let row = out.row_mut(i);
+            for ((v, &m), &s) in row.iter_mut().zip(&self.means).zip(&self.stds) {
+                *v = (*v - m) / s;
+            }
+        }
+        out
+    }
+
+    /// Fit and transform in one call.
+    pub fn fit_transform(x: &Mat) -> (Self, Mat) {
+        let scaler = Self::fit(x);
+        let t = scaler.transform(x);
+        (scaler, t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Dataset {
+        Dataset::new(
+            vec![1.0, 10.0, 2.0, 20.0, 3.0, 30.0, 4.0, 40.0],
+            4,
+            2,
+            vec![1.0, 2.0, 3.0, 4.0],
+        )
+    }
+
+    #[test]
+    fn select_columns_and_rows() {
+        let d = toy();
+        let c = d.select_columns(&[1]);
+        assert_eq!(c.dim(), 1);
+        assert_eq!(c.x.row(2), &[30.0]);
+        let r = d.select_rows(&[3, 0]);
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.x.row(0), &[4.0, 40.0]);
+        assert_eq!(r.y, vec![4.0, 1.0]);
+    }
+
+    #[test]
+    fn split_partitions_rows() {
+        let d = toy();
+        let (tr, te) = d.split(0.5, 7);
+        assert_eq!(tr.len() + te.len(), d.len());
+        assert_eq!(tr.len(), 2);
+        // The split must be a permutation: target multiset preserved.
+        let mut all: Vec<f64> = tr.y.iter().chain(te.y.iter()).copied().collect();
+        all.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(all, vec![1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn split_is_seed_deterministic() {
+        let d = toy();
+        let (a, _) = d.split(0.5, 42);
+        let (b, _) = d.split(0.5, 42);
+        assert_eq!(a.y, b.y);
+        let (c, _) = d.split(0.5, 43);
+        // Different seed usually differs; don't assert strictly but check
+        // shape stays right.
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn split_never_produces_empty_parts_for_n_ge_2() {
+        let d = toy();
+        let (tr, te) = d.split(0.0, 1);
+        assert!(tr.len() >= 1);
+        assert!(te.len() >= 1);
+        let (tr, te) = d.split(1.0, 1);
+        assert!(tr.len() >= 1);
+        assert!(te.len() >= 1);
+    }
+
+    #[test]
+    fn scaler_zero_mean_unit_variance() {
+        let d = toy();
+        let (_, t) = StandardScaler::fit_transform(&d.x);
+        for c in 0..2 {
+            let mean: f64 = (0..4).map(|i| t.row(i)[c]).sum::<f64>() / 4.0;
+            let var: f64 = (0..4).map(|i| t.row(i)[c] * t.row(i)[c]).sum::<f64>() / 4.0;
+            assert!(mean.abs() < 1e-12);
+            assert!((var - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn scaler_handles_constant_columns() {
+        let x = Mat::from_vec(vec![5.0, 1.0, 5.0, 2.0, 5.0, 3.0], 3, 2);
+        let (_, t) = StandardScaler::fit_transform(&x);
+        for i in 0..3 {
+            assert_eq!(t.row(i)[0], 0.0, "constant column maps to 0, not NaN");
+            assert!(t.row(i)[1].is_finite());
+        }
+    }
+}

@@ -1,0 +1,367 @@
+//! Minimal dense linear algebra: row-major matrices, Cholesky solves, and a
+//! Jacobi eigensolver for symmetric matrices.
+//!
+//! Sized for the workloads in this workspace — design matrices of a few
+//! thousand rows and at most a few hundred selected columns — where simple
+//! cache-friendly loops are entirely adequate.
+
+/// A dense row-major matrix.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Mat {
+    data: Vec<f64>,
+    rows: usize,
+    cols: usize,
+}
+
+impl Mat {
+    /// Creates a zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Mat { data: vec![0.0; rows * cols], rows, cols }
+    }
+
+    /// Wraps an existing row-major buffer.
+    ///
+    /// # Panics
+    /// If `data.len() != rows * cols`.
+    pub fn from_vec(data: Vec<f64>, rows: usize, cols: usize) -> Self {
+        assert_eq!(data.len(), rows * cols, "buffer size must match shape");
+        Mat { data, rows, cols }
+    }
+
+    /// The identity matrix of order `n`.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Mat::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Row `i` as a slice.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Mutable row `i`.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// The underlying row-major buffer.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Matrix–vector product `A x`.
+    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.cols);
+        self.data
+            .chunks_exact(self.cols)
+            .map(|row| dot(row, x))
+            .collect()
+    }
+
+    /// Transposed matrix–vector product `Aᵀ x`.
+    pub fn tr_matvec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.rows);
+        let mut out = vec![0.0; self.cols];
+        for (i, row) in self.data.chunks_exact(self.cols).enumerate() {
+            let xi = x[i];
+            if xi != 0.0 {
+                for (o, &a) in out.iter_mut().zip(row) {
+                    *o += a * xi;
+                }
+            }
+        }
+        out
+    }
+
+    /// The Gram matrix `AᵀA` (symmetric `cols × cols`).
+    pub fn gram(&self) -> Mat {
+        let d = self.cols;
+        let mut g = Mat::zeros(d, d);
+        for row in self.data.chunks_exact(d) {
+            for i in 0..d {
+                let ri = row[i];
+                if ri != 0.0 {
+                    for j in i..d {
+                        g[(i, j)] += ri * row[j];
+                    }
+                }
+            }
+        }
+        for i in 0..d {
+            for j in 0..i {
+                g[(i, j)] = g[(j, i)];
+            }
+        }
+        g
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for Mat {
+    type Output = f64;
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for Mat {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+/// Dot product.
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Cholesky factorization of a symmetric positive-definite matrix:
+/// returns lower-triangular `L` with `L Lᵀ = A`, or `None` when `A` is not
+/// (numerically) positive definite.
+pub fn cholesky(a: &Mat) -> Option<Mat> {
+    assert_eq!(a.rows(), a.cols(), "Cholesky needs a square matrix");
+    let n = a.rows();
+    let mut l = Mat::zeros(n, n);
+    for i in 0..n {
+        for j in 0..=i {
+            let mut sum = a[(i, j)];
+            for k in 0..j {
+                sum -= l[(i, k)] * l[(j, k)];
+            }
+            if i == j {
+                if sum <= 0.0 || !sum.is_finite() {
+                    return None;
+                }
+                l[(i, i)] = sum.sqrt();
+            } else {
+                l[(i, j)] = sum / l[(j, j)];
+            }
+        }
+    }
+    Some(l)
+}
+
+/// Solves `A x = b` for SPD `A` via Cholesky; adds escalating diagonal
+/// jitter when the factorization fails (up to `1e-4 · trace/n`), and
+/// returns `None` only if even that fails.
+pub fn solve_spd(a: &Mat, b: &[f64]) -> Option<Vec<f64>> {
+    let n = a.rows();
+    assert_eq!(b.len(), n);
+    let trace_mean =
+        (0..n).map(|i| a[(i, i)].abs()).sum::<f64>().max(f64::MIN_POSITIVE) / n as f64;
+    for attempt in 0..8 {
+        let mut aj = a.clone();
+        if attempt > 0 {
+            let jitter = trace_mean * 1e-10 * 10f64.powi(attempt);
+            for i in 0..n {
+                aj[(i, i)] += jitter;
+            }
+        }
+        if let Some(l) = cholesky(&aj) {
+            return Some(cholesky_solve(&l, b));
+        }
+    }
+    None
+}
+
+/// Solves `L Lᵀ x = b` given the Cholesky factor `L`.
+pub fn cholesky_solve(l: &Mat, b: &[f64]) -> Vec<f64> {
+    let n = l.rows();
+    // Forward substitution: L y = b.
+    let mut y = vec![0.0; n];
+    for i in 0..n {
+        let mut sum = b[i];
+        for k in 0..i {
+            sum -= l[(i, k)] * y[k];
+        }
+        y[i] = sum / l[(i, i)];
+    }
+    // Back substitution: Lᵀ x = y.
+    let mut x = vec![0.0; n];
+    for i in (0..n).rev() {
+        let mut sum = y[i];
+        for k in (i + 1)..n {
+            sum -= l[(k, i)] * x[k];
+        }
+        x[i] = sum / l[(i, i)];
+    }
+    x
+}
+
+/// Eigenvalues (ascending) of a symmetric matrix via the cyclic Jacobi
+/// method. Adequate for the `d ≤ a few hundred` Gram matrices used by the
+/// Bayesian ridge evidence updates.
+pub fn symmetric_eigenvalues(a: &Mat) -> Vec<f64> {
+    assert_eq!(a.rows(), a.cols());
+    let n = a.rows();
+    let mut m = a.clone();
+    let max_sweeps = 64;
+    for _ in 0..max_sweeps {
+        let mut off = 0.0;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                off += m[(i, j)] * m[(i, j)];
+            }
+        }
+        if off.sqrt() < 1e-12 * (1.0 + frobenius(&m)) {
+            break;
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = m[(p, q)];
+                if apq.abs() < 1e-300 {
+                    continue;
+                }
+                let app = m[(p, p)];
+                let aqq = m[(q, q)];
+                let theta = (aqq - app) / (2.0 * apq);
+                let t = theta.signum() / (theta.abs() + (theta * theta + 1.0).sqrt());
+                let c = 1.0 / (t * t + 1.0).sqrt();
+                let s = t * c;
+                // Rotate rows/cols p and q.
+                for k in 0..n {
+                    let akp = m[(k, p)];
+                    let akq = m[(k, q)];
+                    m[(k, p)] = c * akp - s * akq;
+                    m[(k, q)] = s * akp + c * akq;
+                }
+                for k in 0..n {
+                    let apk = m[(p, k)];
+                    let aqk = m[(q, k)];
+                    m[(p, k)] = c * apk - s * aqk;
+                    m[(q, k)] = s * apk + c * aqk;
+                }
+            }
+        }
+    }
+    let mut eig: Vec<f64> = (0..n).map(|i| m[(i, i)]).collect();
+    eig.sort_by(|a, b| a.partial_cmp(b).expect("eigenvalues are finite"));
+    eig
+}
+
+fn frobenius(m: &Mat) -> f64 {
+    m.as_slice().iter().map(|x| x * x).sum::<f64>().sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn approx(a: f64, b: f64, tol: f64) -> bool {
+        (a - b).abs() <= tol * (1.0 + a.abs().max(b.abs()))
+    }
+
+    #[test]
+    fn matvec_and_transpose() {
+        let a = Mat::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], 2, 3);
+        assert_eq!(a.matvec(&[1.0, 0.0, -1.0]), vec![-2.0, -2.0]);
+        assert_eq!(a.tr_matvec(&[1.0, 1.0]), vec![5.0, 7.0, 9.0]);
+    }
+
+    #[test]
+    fn gram_is_symmetric_and_correct() {
+        let a = Mat::from_vec(vec![1.0, 2.0, 3.0, 4.0], 2, 2);
+        let g = a.gram();
+        // AᵀA = [[10, 14], [14, 20]].
+        assert_eq!(g[(0, 0)], 10.0);
+        assert_eq!(g[(0, 1)], 14.0);
+        assert_eq!(g[(1, 0)], 14.0);
+        assert_eq!(g[(1, 1)], 20.0);
+    }
+
+    #[test]
+    fn cholesky_roundtrip() {
+        // SPD matrix.
+        let a = Mat::from_vec(vec![4.0, 2.0, 0.6, 2.0, 5.0, 1.5, 0.6, 1.5, 3.8], 3, 3);
+        let l = cholesky(&a).expect("SPD");
+        // L Lᵀ == A.
+        for i in 0..3 {
+            for j in 0..3 {
+                let mut s = 0.0;
+                for k in 0..3 {
+                    s += l[(i, k)] * l[(j, k)];
+                }
+                assert!(approx(s, a[(i, j)], 1e-12), "({i},{j}): {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn cholesky_rejects_indefinite() {
+        let a = Mat::from_vec(vec![1.0, 2.0, 2.0, 1.0], 2, 2);
+        assert!(cholesky(&a).is_none());
+    }
+
+    #[test]
+    fn solve_spd_recovers_solution() {
+        let a = Mat::from_vec(vec![4.0, 1.0, 1.0, 3.0], 2, 2);
+        let x_true = [0.5, -2.0];
+        let b = a.matvec(&x_true);
+        let x = solve_spd(&a, &b).expect("solvable");
+        assert!(approx(x[0], x_true[0], 1e-12));
+        assert!(approx(x[1], x_true[1], 1e-12));
+    }
+
+    #[test]
+    fn solve_spd_survives_semidefinite_with_jitter() {
+        // Rank-1 matrix: singular, but jitter makes it solvable.
+        let a = Mat::from_vec(vec![1.0, 1.0, 1.0, 1.0], 2, 2);
+        let x = solve_spd(&a, &[2.0, 2.0]);
+        assert!(x.is_some());
+        let x = x.unwrap();
+        // A x should be close to b in the least-squares sense.
+        let b = a.matvec(&x);
+        assert!(approx(b[0], 2.0, 1e-3));
+    }
+
+    #[test]
+    fn jacobi_eigenvalues_of_diagonal() {
+        let mut a = Mat::zeros(3, 3);
+        a[(0, 0)] = 3.0;
+        a[(1, 1)] = -1.0;
+        a[(2, 2)] = 7.0;
+        let e = symmetric_eigenvalues(&a);
+        assert!(approx(e[0], -1.0, 1e-12));
+        assert!(approx(e[1], 3.0, 1e-12));
+        assert!(approx(e[2], 7.0, 1e-12));
+    }
+
+    #[test]
+    fn jacobi_eigenvalues_known_matrix() {
+        // [[2, 1], [1, 2]] has eigenvalues 1 and 3.
+        let a = Mat::from_vec(vec![2.0, 1.0, 1.0, 2.0], 2, 2);
+        let e = symmetric_eigenvalues(&a);
+        assert!(approx(e[0], 1.0, 1e-10));
+        assert!(approx(e[1], 3.0, 1e-10));
+    }
+
+    #[test]
+    fn jacobi_trace_and_positivity_on_gram() {
+        let a = Mat::from_vec(vec![1.0, 2.0, 0.5, -1.0, 2.0, 0.0], 3, 2);
+        let g = a.gram();
+        let e = symmetric_eigenvalues(&g);
+        let trace = g[(0, 0)] + g[(1, 1)];
+        assert!(approx(e.iter().sum::<f64>(), trace, 1e-10));
+        assert!(e.iter().all(|&x| x > -1e-10), "Gram eigenvalues are non-negative");
+    }
+}

@@ -1,0 +1,139 @@
+//! Ordinary least squares linear regression (normal equations with a tiny
+//! ridge fallback for singular Gram matrices).
+
+use crate::dataset::Dataset;
+use crate::linalg::{dot, solve_spd};
+
+/// A fitted linear regression model `ŷ = w·x + b`.
+#[derive(Clone, Debug)]
+pub struct LinearRegression {
+    /// Feature weights.
+    pub weights: Vec<f64>,
+    /// Intercept.
+    pub intercept: f64,
+}
+
+impl LinearRegression {
+    /// Fits OLS coefficients by solving the normal equations on centred
+    /// data (centring makes the intercept exact and improves conditioning).
+    pub fn fit(data: &Dataset) -> Self {
+        let n = data.len();
+        let d = data.dim();
+        assert!(n > 0, "cannot fit on an empty dataset");
+        if d == 0 {
+            let mean = data.y.iter().sum::<f64>() / n as f64;
+            return LinearRegression { weights: Vec::new(), intercept: mean };
+        }
+        // Column means.
+        let mut x_mean = vec![0.0; d];
+        for i in 0..n {
+            for (m, &v) in x_mean.iter_mut().zip(data.x.row(i)) {
+                *m += v;
+            }
+        }
+        for m in &mut x_mean {
+            *m /= n as f64;
+        }
+        let y_mean = data.y.iter().sum::<f64>() / n as f64;
+        // Centred Gram and cross-covariance.
+        let mut gram = crate::linalg::Mat::zeros(d, d);
+        let mut xty = vec![0.0; d];
+        let mut row_c = vec![0.0; d];
+        for i in 0..n {
+            for ((c, &v), &m) in row_c.iter_mut().zip(data.x.row(i)).zip(&x_mean) {
+                *c = v - m;
+            }
+            let yc = data.y[i] - y_mean;
+            for a in 0..d {
+                let ra = row_c[a];
+                if ra != 0.0 {
+                    xty[a] += ra * yc;
+                    for b in a..d {
+                        gram[(a, b)] += ra * row_c[b];
+                    }
+                }
+            }
+        }
+        for a in 0..d {
+            for b in 0..a {
+                gram[(a, b)] = gram[(b, a)];
+            }
+        }
+        let weights = solve_spd(&gram, &xty).unwrap_or_else(|| vec![0.0; d]);
+        let intercept = y_mean - dot(&weights, &x_mean);
+        LinearRegression { weights, intercept }
+    }
+
+    /// Predicts one row.
+    pub fn predict_row(&self, row: &[f64]) -> f64 {
+        dot(&self.weights, row) + self.intercept
+    }
+
+    /// Predicts every row of a dataset's design matrix.
+    pub fn predict(&self, data: &Dataset) -> Vec<f64> {
+        (0..data.len()).map(|i| self.predict_row(data.x.row(i))).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovers_exact_linear_relationship() {
+        // y = 2 x0 - 3 x1 + 5.
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..20 {
+            let a = i as f64;
+            let b = (i * i % 7) as f64;
+            x.extend([a, b]);
+            y.push(2.0 * a - 3.0 * b + 5.0);
+        }
+        let data = Dataset::new(x, 20, 2, y);
+        let model = LinearRegression::fit(&data);
+        assert!((model.weights[0] - 2.0).abs() < 1e-8);
+        assert!((model.weights[1] + 3.0).abs() < 1e-8);
+        assert!((model.intercept - 5.0).abs() < 1e-8);
+        let preds = model.predict(&data);
+        for (p, t) in preds.iter().zip(&data.y) {
+            assert!((p - t).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn zero_features_predicts_mean() {
+        let data = Dataset::new(vec![], 3, 0, vec![1.0, 2.0, 6.0]);
+        let model = LinearRegression::fit(&data);
+        assert!((model.intercept - 3.0).abs() < 1e-12);
+        assert_eq!(model.predict_row(&[]), model.intercept);
+    }
+
+    #[test]
+    fn collinear_features_do_not_crash() {
+        // x1 = 2 x0 exactly: singular Gram, jittered solve must cope.
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..10 {
+            let a = i as f64;
+            x.extend([a, 2.0 * a]);
+            y.push(3.0 * a + 1.0);
+        }
+        let data = Dataset::new(x, 10, 2, y);
+        let model = LinearRegression::fit(&data);
+        let preds = model.predict(&data);
+        for (p, t) in preds.iter().zip(&data.y) {
+            assert!((p - t).abs() < 1e-3, "pred {p} vs {t}");
+        }
+    }
+
+    #[test]
+    fn constant_target_yields_zero_weights() {
+        let data = Dataset::new(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], 3, 2, vec![7.0; 3]);
+        let model = LinearRegression::fit(&data);
+        for w in &model.weights {
+            assert!(w.abs() < 1e-8);
+        }
+        assert!((model.intercept - 7.0).abs() < 1e-8);
+    }
+}

@@ -1,0 +1,276 @@
+//! L2-regularized logistic regression with a one-vs-all multiclass wrapper,
+//! matching the classifier setup of the paper's label-prediction evaluation
+//! (§4.3.3: "logistic regression … tune the regularization strength and use
+//! L2 regularization … one vs. all setting").
+//!
+//! Optimization: full-batch gradient descent with backtracking line search
+//! on the regularized cross-entropy. Robust and dependency-free; dataset
+//! sizes here (≤ a few thousand rows, ≤ a few thousand features) converge
+//! in well under the iteration cap.
+
+use crate::dataset::Dataset;
+use crate::linalg::dot;
+
+/// Binary logistic regression parameters.
+#[derive(Clone, Debug)]
+pub struct LogisticConfig {
+    /// Inverse regularization strength (sklearn's `C`); larger = weaker
+    /// regularization.
+    pub c: f64,
+    /// Maximum gradient-descent iterations.
+    pub max_iter: usize,
+    /// Stop when the gradient max-norm falls below this.
+    pub tol: f64,
+}
+
+impl Default for LogisticConfig {
+    fn default() -> Self {
+        LogisticConfig { c: 1.0, max_iter: 500, tol: 1e-5 }
+    }
+}
+
+/// A fitted binary logistic model `P(y=1|x) = σ(w·x + b)`.
+#[derive(Clone, Debug)]
+pub struct LogisticRegression {
+    /// Feature weights.
+    pub weights: Vec<f64>,
+    /// Intercept (unpenalized).
+    pub intercept: f64,
+}
+
+#[inline]
+fn sigmoid(z: f64) -> f64 {
+    if z >= 0.0 {
+        1.0 / (1.0 + (-z).exp())
+    } else {
+        let e = z.exp();
+        e / (1.0 + e)
+    }
+}
+
+impl LogisticRegression {
+    /// Fits on binary targets (`y ∈ {0, 1}`).
+    pub fn fit(data: &Dataset, config: &LogisticConfig) -> Self {
+        let n = data.len();
+        let d = data.dim();
+        assert!(n > 0, "cannot fit on an empty dataset");
+        debug_assert!(data.y.iter().all(|&y| y == 0.0 || y == 1.0), "targets must be 0/1");
+        let mut w = vec![0.0; d];
+        let mut b = 0.0;
+        // Regularization on the mean loss: penalty 1/(2 C n) ||w||².
+        let reg = 1.0 / (config.c * n as f64);
+        let mut probs = vec![0.0; n];
+        let loss = |w: &[f64], b: f64, probs: &mut [f64]| -> f64 {
+            let mut total = 0.0;
+            for i in 0..n {
+                let z = dot(w, data.x.row(i)) + b;
+                let p = sigmoid(z);
+                probs[i] = p;
+                let y = data.y[i];
+                // Numerically safe cross-entropy.
+                let eps = 1e-12;
+                total -= y * (p.max(eps)).ln() + (1.0 - y) * ((1.0 - p).max(eps)).ln();
+            }
+            total / n as f64 + 0.5 * reg * w.iter().map(|x| x * x).sum::<f64>()
+        };
+        let mut current = loss(&w, b, &mut probs);
+        let mut grad_w = vec![0.0; d];
+        let mut step = 1.0;
+        for _ in 0..config.max_iter {
+            // Gradient of the mean loss.
+            grad_w.iter_mut().for_each(|g| *g = 0.0);
+            let mut grad_b = 0.0;
+            for i in 0..n {
+                let err = probs[i] - data.y[i];
+                grad_b += err;
+                if err != 0.0 {
+                    for (g, &x) in grad_w.iter_mut().zip(data.x.row(i)) {
+                        *g += err * x;
+                    }
+                }
+            }
+            let inv_n = 1.0 / n as f64;
+            for (g, &wi) in grad_w.iter_mut().zip(&w) {
+                *g = *g * inv_n + reg * wi;
+            }
+            grad_b *= inv_n;
+            let gmax = grad_w
+                .iter()
+                .chain(std::iter::once(&grad_b))
+                .fold(0.0f64, |m, &g| m.max(g.abs()));
+            if gmax < config.tol {
+                break;
+            }
+            // Backtracking line search along the negative gradient.
+            let mut accepted = false;
+            for _ in 0..40 {
+                let cand_w: Vec<f64> =
+                    w.iter().zip(&grad_w).map(|(&wi, &g)| wi - step * g).collect();
+                let cand_b = b - step * grad_b;
+                let cand_loss = loss(&cand_w, cand_b, &mut probs);
+                if cand_loss <= current - 1e-4 * step * gmax * gmax {
+                    w = cand_w;
+                    b = cand_b;
+                    current = cand_loss;
+                    step *= 1.3; // gentle growth for the next iteration
+                    accepted = true;
+                    break;
+                }
+                step *= 0.5;
+            }
+            if !accepted {
+                break; // step underflow: converged as far as f64 allows
+            }
+        }
+        LogisticRegression { weights: w, intercept: b }
+    }
+
+    /// `P(y = 1 | row)`.
+    pub fn predict_proba_row(&self, row: &[f64]) -> f64 {
+        sigmoid(dot(&self.weights, row) + self.intercept)
+    }
+
+    /// Probabilities for every row.
+    pub fn predict_proba(&self, data: &Dataset) -> Vec<f64> {
+        (0..data.len()).map(|i| self.predict_proba_row(data.x.row(i))).collect()
+    }
+
+    /// Hard 0/1 predictions at threshold 0.5.
+    pub fn predict(&self, data: &Dataset) -> Vec<f64> {
+        self.predict_proba(data)
+            .into_iter()
+            .map(|p| if p >= 0.5 { 1.0 } else { 0.0 })
+            .collect()
+    }
+}
+
+/// One-vs-all multiclass wrapper: one binary classifier per class, predict
+/// the argmax probability (paper §4.3.3).
+#[derive(Clone, Debug)]
+pub struct OneVsAllClassifier {
+    models: Vec<LogisticRegression>,
+    /// The class ids, aligned with `models`.
+    pub classes: Vec<usize>,
+}
+
+impl OneVsAllClassifier {
+    /// Fits one binary model per distinct class in `labels`.
+    pub fn fit(x: &Dataset, labels: &[usize], config: &LogisticConfig) -> Self {
+        assert_eq!(x.len(), labels.len(), "one label per row");
+        let mut classes: Vec<usize> = labels.to_vec();
+        classes.sort_unstable();
+        classes.dedup();
+        let models = classes
+            .iter()
+            .map(|&c| {
+                let y: Vec<f64> =
+                    labels.iter().map(|&l| if l == c { 1.0 } else { 0.0 }).collect();
+                let binary = Dataset {
+                    x: x.x.clone(),
+                    y,
+                };
+                LogisticRegression::fit(&binary, config)
+            })
+            .collect();
+        OneVsAllClassifier { models, classes }
+    }
+
+    /// Predicts the class with the highest per-class probability per row.
+    pub fn predict(&self, x: &Dataset) -> Vec<usize> {
+        (0..x.len())
+            .map(|i| {
+                let row = x.x.row(i);
+                let mut best = (0usize, f64::NEG_INFINITY);
+                for (k, model) in self.models.iter().enumerate() {
+                    let p = model.predict_proba_row(row);
+                    if p > best.1 {
+                        best = (k, p);
+                    }
+                }
+                self.classes[best.0]
+            })
+            .collect()
+    }
+
+    /// Per-class probabilities for one row, aligned with `classes`.
+    pub fn predict_proba_row(&self, row: &[f64]) -> Vec<f64> {
+        self.models.iter().map(|m| m.predict_proba_row(row)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn separable() -> Dataset {
+        // y = 1 iff x0 > 0.
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..40 {
+            let v = (i as f64 - 19.5) / 5.0;
+            x.extend([v, ((i * 7) % 3) as f64]);
+            y.push(if v > 0.0 { 1.0 } else { 0.0 });
+        }
+        Dataset::new(x, 40, 2, y)
+    }
+
+    #[test]
+    fn separates_linearly_separable_data() {
+        let data = separable();
+        let model = LogisticRegression::fit(&data, &LogisticConfig::default());
+        let preds = model.predict(&data);
+        let correct =
+            preds.iter().zip(&data.y).filter(|(p, t)| (*p - **t).abs() < 0.5).count();
+        assert!(correct >= 38, "only {correct}/40 correct");
+        assert!(model.weights[0] > 0.5, "weights: {:?}", model.weights);
+    }
+
+    #[test]
+    fn stronger_regularization_shrinks_weights() {
+        let data = separable();
+        let strong =
+            LogisticRegression::fit(&data, &LogisticConfig { c: 0.01, ..Default::default() });
+        let weak =
+            LogisticRegression::fit(&data, &LogisticConfig { c: 100.0, ..Default::default() });
+        let ns: f64 = strong.weights.iter().map(|w| w * w).sum();
+        let nw: f64 = weak.weights.iter().map(|w| w * w).sum();
+        assert!(ns < nw, "strong {ns} vs weak {nw}");
+    }
+
+    #[test]
+    fn probabilities_are_valid_and_monotone() {
+        let data = separable();
+        let model = LogisticRegression::fit(&data, &LogisticConfig::default());
+        let p_low = model.predict_proba_row(&[-5.0, 0.0]);
+        let p_high = model.predict_proba_row(&[5.0, 0.0]);
+        assert!((0.0..=1.0).contains(&p_low));
+        assert!((0.0..=1.0).contains(&p_high));
+        assert!(p_high > p_low);
+    }
+
+    #[test]
+    fn one_vs_all_three_classes() {
+        // Three clusters on a line: class = 0 / 1 / 2.
+        let mut x = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..60 {
+            let class = i / 20;
+            let v = class as f64 * 4.0 + ((i % 20) as f64) / 10.0;
+            x.push(v);
+            labels.push(class);
+        }
+        let data = Dataset::new(x, 60, 1, vec![0.0; 60]);
+        let clf = OneVsAllClassifier::fit(&data, &labels, &LogisticConfig::default());
+        assert_eq!(clf.classes, vec![0, 1, 2]);
+        let preds = clf.predict(&data);
+        let correct = preds.iter().zip(&labels).filter(|(p, t)| p == t).count();
+        assert!(correct >= 54, "only {correct}/60 correct");
+    }
+
+    #[test]
+    fn sigmoid_is_stable_at_extremes() {
+        assert_eq!(sigmoid(1000.0), 1.0);
+        assert_eq!(sigmoid(-1000.0), 0.0);
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-15);
+    }
+}

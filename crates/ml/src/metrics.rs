@@ -1,0 +1,238 @@
+//! Evaluation metrics: NDCG@n for the rank-prediction task (paper Eq. 6)
+//! and Macro-F1 for label prediction (paper Eq. 7), plus confidence
+//! intervals for repeated runs.
+
+/// NDCG at `n` as defined in the paper (Eq. 6): items are ordered by the
+/// predicted scores; the DCG of the true relevances in that order is
+/// normalized by the ideal DCG of the true ranking. Discount is
+/// `1 / log2(position + 1)`, relevances enter linearly.
+///
+/// Returns 1.0 for degenerate inputs with no positive relevance.
+pub fn ndcg_at(predicted_scores: &[f64], true_relevance: &[f64], n: usize) -> f64 {
+    assert_eq!(predicted_scores.len(), true_relevance.len());
+    let count = predicted_scores.len();
+    let n = n.min(count);
+    if n == 0 {
+        return 1.0;
+    }
+    // total_cmp keeps the metric well-defined even if a degenerate model
+    // emits NaN (NaN orders below every finite score here).
+    let mut by_pred: Vec<usize> = (0..count).collect();
+    by_pred.sort_by(|&a, &b| {
+        predicted_scores[b].total_cmp(&predicted_scores[a]).then(a.cmp(&b))
+    });
+    let mut by_true: Vec<usize> = (0..count).collect();
+    by_true.sort_by(|&a, &b| {
+        true_relevance[b].total_cmp(&true_relevance[a]).then(a.cmp(&b))
+    });
+    let dcg: f64 = by_pred[..n]
+        .iter()
+        .enumerate()
+        .map(|(pos, &item)| true_relevance[item] / ((pos + 2) as f64).log2())
+        .sum();
+    let idcg: f64 = by_true[..n]
+        .iter()
+        .enumerate()
+        .map(|(pos, &item)| true_relevance[item] / ((pos + 2) as f64).log2())
+        .sum();
+    if idcg <= 0.0 {
+        1.0
+    } else {
+        dcg / idcg
+    }
+}
+
+/// Standard macro-averaged F1 over classes: per-class precision/recall from
+/// the multiclass confusion counts, averaged unweighted. This is the metric
+/// the node2vec / DeepPWalk evaluations report, which the paper mirrors for
+/// comparability (§4.3.1).
+pub fn macro_f1(predicted: &[usize], truth: &[usize]) -> f64 {
+    assert_eq!(predicted.len(), truth.len());
+    if predicted.is_empty() {
+        return 0.0;
+    }
+    let mut classes: Vec<usize> = truth.iter().chain(predicted.iter()).copied().collect();
+    classes.sort_unstable();
+    classes.dedup();
+    let mut f1_sum = 0.0;
+    for &c in &classes {
+        let tp = predicted
+            .iter()
+            .zip(truth)
+            .filter(|&(&p, &t)| p == c && t == c)
+            .count() as f64;
+        let fp = predicted
+            .iter()
+            .zip(truth)
+            .filter(|&(&p, &t)| p == c && t != c)
+            .count() as f64;
+        let fn_ = predicted
+            .iter()
+            .zip(truth)
+            .filter(|&(&p, &t)| p != c && t == c)
+            .count() as f64;
+        let prec = if tp + fp > 0.0 { tp / (tp + fp) } else { 0.0 };
+        let rec = if tp + fn_ > 0.0 { tp / (tp + fn_) } else { 0.0 };
+        f1_sum += if prec + rec > 0.0 { 2.0 * prec * rec / (prec + rec) } else { 0.0 };
+    }
+    f1_sum / classes.len() as f64
+}
+
+/// Fraction of exact matches.
+pub fn accuracy(predicted: &[usize], truth: &[usize]) -> f64 {
+    assert_eq!(predicted.len(), truth.len());
+    if predicted.is_empty() {
+        return 0.0;
+    }
+    let hits = predicted.iter().zip(truth).filter(|(p, t)| p == t).count();
+    hits as f64 / predicted.len() as f64
+}
+
+/// Mean and half-width of the 95% confidence interval of a sample
+/// (normal approximation: `1.96 · s / √n`).
+pub fn mean_ci95(samples: &[f64]) -> (f64, f64) {
+    if samples.is_empty() {
+        return (0.0, 0.0);
+    }
+    let n = samples.len() as f64;
+    let mean = samples.iter().sum::<f64>() / n;
+    if samples.len() < 2 {
+        return (mean, 0.0);
+    }
+    let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1.0);
+    (mean, 1.96 * (var / n).sqrt())
+}
+
+/// Mean squared error.
+pub fn mse(predicted: &[f64], truth: &[f64]) -> f64 {
+    assert_eq!(predicted.len(), truth.len());
+    if predicted.is_empty() {
+        return 0.0;
+    }
+    predicted.iter().zip(truth).map(|(p, t)| (p - t) * (p - t)).sum::<f64>()
+        / predicted.len() as f64
+}
+
+/// Coefficient of determination `R²`.
+pub fn r2(predicted: &[f64], truth: &[f64]) -> f64 {
+    assert_eq!(predicted.len(), truth.len());
+    let n = truth.len();
+    if n == 0 {
+        return 0.0;
+    }
+    let mean = truth.iter().sum::<f64>() / n as f64;
+    let ss_tot: f64 = truth.iter().map(|t| (t - mean) * (t - mean)).sum();
+    let ss_res: f64 = predicted.iter().zip(truth).map(|(p, t)| (p - t) * (p - t)).sum();
+    if ss_tot <= 0.0 {
+        if ss_res <= 1e-24 {
+            1.0
+        } else {
+            0.0
+        }
+    } else {
+        1.0 - ss_res / ss_tot
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_ranking_is_1() {
+        let rel = [10.0, 8.0, 5.0, 1.0];
+        let scores = [4.0, 3.0, 2.0, 1.0];
+        assert!((ndcg_at(&scores, &rel, 4) - 1.0).abs() < 1e-12);
+        assert!((ndcg_at(&scores, &rel, 2) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reversed_ranking_is_below_1() {
+        let rel = [10.0, 8.0, 5.0, 1.0];
+        let scores = [1.0, 2.0, 3.0, 4.0];
+        let v = ndcg_at(&scores, &rel, 4);
+        assert!(v < 1.0 && v > 0.0, "got {v}");
+    }
+
+    #[test]
+    fn ndcg_known_value() {
+        // Two items, reversed: DCG = 0/1 + 1/log2(3); IDCG = 1/1 + 0.
+        let rel = [0.0, 1.0];
+        let scores = [2.0, 1.0];
+        let expected = (1.0 / 3f64.log2()) / 1.0;
+        assert!((ndcg_at(&scores, &rel, 2) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ndcg_top_n_smaller_than_list() {
+        let rel = [3.0, 2.0, 1.0, 0.0];
+        let scores = [3.0, 2.0, 1.0, 0.0];
+        assert!((ndcg_at(&scores, &rel, 2) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ndcg_degenerate_all_zero_relevance() {
+        assert_eq!(ndcg_at(&[1.0, 2.0], &[0.0, 0.0], 2), 1.0);
+        assert_eq!(ndcg_at(&[], &[], 5), 1.0);
+    }
+
+    #[test]
+    fn ndcg_tolerates_nan_scores() {
+        // NaN sorts below every finite prediction under total_cmp's
+        // descending order here; the metric stays finite.
+        let rel = [3.0, 2.0, 1.0];
+        let v = ndcg_at(&[f64::NAN, 1.0, 2.0], &rel, 3);
+        assert!(v.is_finite());
+        assert!(v < 1.0);
+    }
+
+    #[test]
+    fn macro_f1_perfect_and_worst() {
+        let truth = [0, 0, 1, 1, 2, 2];
+        assert!((macro_f1(&truth, &truth) - 1.0).abs() < 1e-12);
+        let wrong = [1, 1, 2, 2, 0, 0];
+        assert_eq!(macro_f1(&wrong, &truth), 0.0);
+    }
+
+    #[test]
+    fn macro_f1_weighs_classes_equally() {
+        // Class 1 is rare; getting it wrong halves macro F1 even though
+        // accuracy stays high.
+        let truth = [0, 0, 0, 0, 0, 0, 0, 1];
+        let pred = [0, 0, 0, 0, 0, 0, 0, 0];
+        let f1 = macro_f1(&pred, &truth);
+        let acc = accuracy(&pred, &truth);
+        assert!(acc > 0.8);
+        assert!(f1 < 0.5, "macro F1 {f1} must punish the missed rare class");
+    }
+
+    #[test]
+    fn macro_f1_known_value() {
+        // truth:  [0, 0, 1, 1]; pred: [0, 1, 1, 1].
+        // class 0: tp=1 fp=0 fn=1 → P=1, R=0.5, F1=2/3.
+        // class 1: tp=2 fp=1 fn=0 → P=2/3, R=1, F1=0.8.
+        let truth = [0, 0, 1, 1];
+        let pred = [0, 1, 1, 1];
+        let expected = (2.0 / 3.0 + 0.8) / 2.0;
+        assert!((macro_f1(&pred, &truth) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ci95_shrinks_with_constant_samples() {
+        let (m, ci) = mean_ci95(&[2.0, 2.0, 2.0, 2.0]);
+        assert_eq!(m, 2.0);
+        assert_eq!(ci, 0.0);
+        let (m, ci) = mean_ci95(&[1.0, 3.0]);
+        assert_eq!(m, 2.0);
+        assert!(ci > 0.0);
+    }
+
+    #[test]
+    fn r2_and_mse_basics() {
+        let truth = [1.0, 2.0, 3.0];
+        assert_eq!(mse(&truth, &truth), 0.0);
+        assert!((r2(&truth, &truth) - 1.0).abs() < 1e-12);
+        let mean_pred = [2.0, 2.0, 2.0];
+        assert!(r2(&mean_pred, &truth).abs() < 1e-12, "predicting the mean gives R²=0");
+    }
+}

@@ -1,0 +1,255 @@
+//! Bayesian ridge regression via evidence maximization, mirroring the
+//! scikit-learn `BayesianRidge` defaults the paper relies on (§4.2.3).
+//!
+//! Model: `y ~ N(Xw, 1/α)`, `w ~ N(0, 1/λ)`. The noise precision `α` and
+//! weight precision `λ` are re-estimated by MacKay's fixed-point updates:
+//!
+//! ```text
+//! γ  = Σ_i α s_i / (λ + α s_i)        (s_i: eigenvalues of XᵀX, centred)
+//! λ  = (γ + 2 λ_1) / (‖w‖² + 2 λ_2)
+//! α  = (n − γ + 2 α_1) / (‖y − Xw‖² + 2 α_2)
+//! ```
+//!
+//! with tiny Gamma hyper-priors `α_1 = α_2 = λ_1 = λ_2 = 1e-6` as in
+//! scikit-learn. Data is centred internally; the intercept is exact.
+
+use crate::dataset::Dataset;
+use crate::linalg::{dot, solve_spd, symmetric_eigenvalues, Mat};
+
+/// Configuration for [`BayesianRidge::fit_with`].
+#[derive(Clone, Debug)]
+pub struct BayesianRidgeConfig {
+    /// Maximum fixed-point iterations (sklearn: 300).
+    pub max_iter: usize,
+    /// Convergence tolerance on the weight change (sklearn: 1e-3).
+    pub tol: f64,
+    /// Gamma prior parameters (sklearn: all 1e-6).
+    pub alpha_1: f64,
+    /// See `alpha_1`.
+    pub alpha_2: f64,
+    /// See `alpha_1`.
+    pub lambda_1: f64,
+    /// See `alpha_1`.
+    pub lambda_2: f64,
+}
+
+impl Default for BayesianRidgeConfig {
+    fn default() -> Self {
+        BayesianRidgeConfig {
+            max_iter: 300,
+            tol: 1e-3,
+            alpha_1: 1e-6,
+            alpha_2: 1e-6,
+            lambda_1: 1e-6,
+            lambda_2: 1e-6,
+        }
+    }
+}
+
+/// A fitted Bayesian ridge model.
+#[derive(Clone, Debug)]
+pub struct BayesianRidge {
+    /// Posterior mean weights.
+    pub weights: Vec<f64>,
+    /// Intercept.
+    pub intercept: f64,
+    /// Final noise precision.
+    pub alpha: f64,
+    /// Final weight precision.
+    pub lambda: f64,
+    /// Iterations until convergence.
+    pub iterations: usize,
+}
+
+impl BayesianRidge {
+    /// Fits with default (scikit-learn) hyperparameters.
+    pub fn fit(data: &Dataset) -> Self {
+        Self::fit_with(data, &BayesianRidgeConfig::default())
+    }
+
+    /// Fits with explicit hyperparameters.
+    pub fn fit_with(data: &Dataset, config: &BayesianRidgeConfig) -> Self {
+        let n = data.len();
+        let d = data.dim();
+        assert!(n > 0, "cannot fit on an empty dataset");
+        let y_mean = data.y.iter().sum::<f64>() / n as f64;
+        if d == 0 {
+            return BayesianRidge {
+                weights: Vec::new(),
+                intercept: y_mean,
+                alpha: 1.0,
+                lambda: 1.0,
+                iterations: 0,
+            };
+        }
+        // Centre the data.
+        let mut x_mean = vec![0.0; d];
+        for i in 0..n {
+            for (m, &v) in x_mean.iter_mut().zip(data.x.row(i)) {
+                *m += v;
+            }
+        }
+        for m in &mut x_mean {
+            *m /= n as f64;
+        }
+        let mut xc = Mat::zeros(n, d);
+        for i in 0..n {
+            let src = data.x.row(i);
+            let row = xc.row_mut(i);
+            for ((o, &v), &m) in row.iter_mut().zip(src).zip(&x_mean) {
+                *o = v - m;
+            }
+        }
+        let yc: Vec<f64> = data.y.iter().map(|&v| v - y_mean).collect();
+
+        let gram = xc.gram();
+        let xty = xc.tr_matvec(&yc);
+        let eig = symmetric_eigenvalues(&gram);
+        let y_var = yc.iter().map(|v| v * v).sum::<f64>() / n as f64;
+        let mut alpha = if y_var > 0.0 { 1.0 / y_var } else { 1.0 };
+        let mut lambda = 1.0;
+        let mut weights = vec![0.0; d];
+        let mut iterations = 0;
+        for iter in 0..config.max_iter {
+            iterations = iter + 1;
+            // Posterior mean: (λ/α I + XᵀX) w = Xᵀy.
+            let mut a = gram.clone();
+            let ridge = lambda / alpha;
+            for i in 0..d {
+                a[(i, i)] += ridge;
+            }
+            let new_weights = solve_spd(&a, &xty).unwrap_or_else(|| vec![0.0; d]);
+            // Effective number of parameters.
+            let gamma: f64 =
+                eig.iter().map(|&s| (alpha * s.max(0.0)) / (lambda + alpha * s.max(0.0))).sum();
+            // Residual sum of squares.
+            let pred = xc.matvec(&new_weights);
+            let rss: f64 = pred.iter().zip(&yc).map(|(p, t)| (p - t) * (p - t)).sum();
+            let wtw: f64 = new_weights.iter().map(|w| w * w).sum();
+            lambda = (gamma + 2.0 * config.lambda_1) / (wtw + 2.0 * config.lambda_2);
+            alpha = ((n as f64 - gamma) + 2.0 * config.alpha_1) / (rss + 2.0 * config.alpha_2);
+            // Numerical guard: a near-perfect fit drives rss → 0 and
+            // α → ∞ (and an all-zero solution drives λ likewise); clamp
+            // both precisions so the next solve stays finite, as sklearn's
+            // SVD formulation implicitly does.
+            alpha = alpha.clamp(1e-12, 1e12);
+            lambda = lambda.clamp(1e-12, 1e12);
+            let delta: f64 =
+                new_weights.iter().zip(&weights).map(|(a, b)| (a - b).abs()).sum();
+            weights = new_weights;
+            if !delta.is_finite() {
+                // Abandon a diverged iteration, keeping the last finite
+                // weights (possibly the zero vector from the first solve).
+                weights = weights.iter().map(|w| if w.is_finite() { *w } else { 0.0 }).collect();
+                break;
+            }
+            if delta < config.tol {
+                break;
+            }
+        }
+        let intercept = y_mean - dot(&weights, &x_mean);
+        BayesianRidge { weights, intercept, alpha, lambda, iterations }
+    }
+
+    /// Predicts one row.
+    pub fn predict_row(&self, row: &[f64]) -> f64 {
+        dot(&self.weights, row) + self.intercept
+    }
+
+    /// Predicts every row of a dataset's design matrix.
+    pub fn predict(&self, data: &Dataset) -> Vec<f64> {
+        (0..data.len()).map(|i| self.predict_row(data.x.row(i))).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    use super::*;
+
+    fn noisy_linear(seed: u64, n: usize, noise: f64) -> Dataset {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for _ in 0..n {
+            let a: f64 = rng.gen_range(-2.0..2.0);
+            let b: f64 = rng.gen_range(-2.0..2.0);
+            x.extend([a, b]);
+            y.push(1.5 * a - 0.5 * b + 2.0 + noise * rng.gen_range(-1.0..1.0));
+        }
+        Dataset::new(x, n, 2, y)
+    }
+
+    #[test]
+    fn recovers_coefficients_with_low_noise() {
+        let data = noisy_linear(3, 200, 0.01);
+        let model = BayesianRidge::fit(&data);
+        assert!((model.weights[0] - 1.5).abs() < 0.05, "{:?}", model.weights);
+        assert!((model.weights[1] + 0.5).abs() < 0.05);
+        assert!((model.intercept - 2.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn shrinks_under_heavy_noise() {
+        // With noise dominating, the prior should shrink weights toward 0
+        // relative to plain OLS.
+        let data = noisy_linear(5, 30, 20.0);
+        let ridge = BayesianRidge::fit(&data);
+        let ols = crate::linreg::LinearRegression::fit(&data);
+        let r_norm: f64 = ridge.weights.iter().map(|w| w * w).sum();
+        let o_norm: f64 = ols.weights.iter().map(|w| w * w).sum();
+        assert!(r_norm <= o_norm + 1e-9, "ridge {r_norm} vs ols {o_norm}");
+    }
+
+    #[test]
+    fn converges_and_reports_iterations() {
+        let data = noisy_linear(7, 100, 0.1);
+        let model = BayesianRidge::fit(&data);
+        assert!(model.iterations >= 1);
+        assert!(model.iterations <= 300);
+        assert!(model.alpha > 0.0);
+        assert!(model.lambda > 0.0);
+    }
+
+    #[test]
+    fn constant_target() {
+        let data = Dataset::new(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], 3, 2, vec![4.0; 3]);
+        let model = BayesianRidge::fit(&data);
+        for w in &model.weights {
+            assert!(w.abs() < 1e-6);
+        }
+        assert!((model.intercept - 4.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_features_predicts_mean() {
+        let data = Dataset::new(vec![], 4, 0, vec![1.0, 3.0, 5.0, 7.0]);
+        let model = BayesianRidge::fit(&data);
+        assert!((model.intercept - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exact_interpolation_stays_finite() {
+        // rss → 0 drives the noise precision toward ∞; the clamp must keep
+        // weights and predictions finite.
+        let n = 50;
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..n {
+            let a = i as f64;
+            x.extend([a, 2.0 * a + 1.0]);
+            y.push(3.0 * a); // exactly linear in the features
+        }
+        let data = Dataset::new(x, n, 2, y);
+        let model = BayesianRidge::fit(&data);
+        assert!(model.weights.iter().all(|w| w.is_finite()), "{:?}", model.weights);
+        assert!(model.intercept.is_finite());
+        let preds = model.predict(&data);
+        assert!(preds.iter().all(|p| p.is_finite()));
+        for (p, t) in preds.iter().zip(&data.y) {
+            assert!((p - t).abs() < 1e-3, "pred {p} vs {t}");
+        }
+    }
+}

@@ -1,0 +1,135 @@
+//! Univariate feature selection, mirroring scikit-learn's
+//! `SelectKBest(f_regression)` that the paper applies before linear
+//! regression / decision trees (top-5) and Bayesian ridge (top-60), §4.2.3.
+
+use crate::dataset::Dataset;
+
+/// F-statistic of a single feature against the target (the `f_regression`
+/// score): `F = r² (n − 2) / (1 − r²)` where `r` is the Pearson
+/// correlation. Constant features score 0.
+pub fn f_regression_score(x: &[f64], y: &[f64]) -> f64 {
+    let n = x.len();
+    debug_assert_eq!(n, y.len());
+    if n < 3 {
+        return 0.0;
+    }
+    let nf = n as f64;
+    let mx = x.iter().sum::<f64>() / nf;
+    let my = y.iter().sum::<f64>() / nf;
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for (&a, &b) in x.iter().zip(y) {
+        let dx = a - mx;
+        let dy = b - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if sxx <= 1e-24 || syy <= 1e-24 {
+        return 0.0;
+    }
+    let r2 = (sxy * sxy) / (sxx * syy);
+    let r2 = r2.min(1.0 - 1e-12);
+    r2 * (nf - 2.0) / (1.0 - r2)
+}
+
+/// Scores every feature with [`f_regression_score`].
+pub fn f_regression(data: &Dataset) -> Vec<f64> {
+    let n = data.len();
+    let d = data.dim();
+    let mut col = vec![0.0; n];
+    (0..d)
+        .map(|j| {
+            for (i, c) in col.iter_mut().enumerate() {
+                *c = data.x.row(i)[j];
+            }
+            f_regression_score(&col, &data.y)
+        })
+        .collect()
+}
+
+/// Indices of the `k` best features by score (descending), ties broken by
+/// index for determinism. Returns fewer than `k` only when `d < k`.
+pub fn select_k_best(scores: &[f64], k: usize) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| {
+        scores[b].partial_cmp(&scores[a]).expect("finite scores").then(a.cmp(&b))
+    });
+    order.truncate(k);
+    order.sort_unstable();
+    order
+}
+
+/// Convenience: keep the top-`k` features of a dataset by F score.
+/// Returns the reduced dataset and the kept column indices.
+pub fn select_k_best_columns(data: &Dataset, k: usize) -> (Dataset, Vec<usize>) {
+    let scores = f_regression(data);
+    let cols = select_k_best(&scores, k);
+    (data.select_columns(&cols), cols)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfectly_correlated_feature_scores_highest() {
+        let n = 30;
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..n {
+            let v = i as f64;
+            // Col 0: identical to y; col 1: weakly related; col 2: constant.
+            x.extend([v, ((i * 17) % 5) as f64, 3.0]);
+            y.push(v);
+        }
+        let data = Dataset::new(x, n, 3, y);
+        let scores = f_regression(&data);
+        assert!(scores[0] > scores[1] * 10.0, "{scores:?}");
+        assert_eq!(scores[2], 0.0);
+    }
+
+    #[test]
+    fn select_k_best_orders_and_truncates() {
+        let scores = [0.5, 9.0, 3.0, 9.0, 1.0];
+        assert_eq!(select_k_best(&scores, 2), vec![1, 3]);
+        assert_eq!(select_k_best(&scores, 3), vec![1, 2, 3]);
+        assert_eq!(select_k_best(&scores, 99), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn select_k_best_columns_reduces_dataset() {
+        let n = 20;
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..n {
+            let v = i as f64;
+            x.extend([1.0, v, -v]);
+            y.push(2.0 * v);
+        }
+        let data = Dataset::new(x, n, 3, y);
+        let (reduced, cols) = select_k_best_columns(&data, 2);
+        assert_eq!(reduced.dim(), 2);
+        assert_eq!(cols, vec![1, 2], "constant column dropped");
+    }
+
+    #[test]
+    fn negative_correlation_scores_like_positive() {
+        let n = 25;
+        let x1: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let x2: Vec<f64> = (0..n).map(|i| -(i as f64)).collect();
+        let y: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let s1 = f_regression_score(&x1, &y);
+        let s2 = f_regression_score(&x2, &y);
+        assert!((s1 - s2).abs() < 1e-6);
+        assert!(s1 > 100.0);
+    }
+
+    #[test]
+    fn tiny_inputs_are_safe() {
+        assert_eq!(f_regression_score(&[1.0], &[2.0]), 0.0);
+        assert_eq!(f_regression_score(&[1.0, 2.0], &[2.0, 3.0]), 0.0);
+        assert_eq!(select_k_best(&[], 3), Vec::<usize>::new());
+    }
+}

@@ -1,0 +1,432 @@
+//! CART regression trees (variance-reduction splits), the building block of
+//! the random forest.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+use crate::dataset::Dataset;
+
+/// Tree growth parameters. The defaults match scikit-learn's
+/// `DecisionTreeRegressor`: grow until pure or until splits stop reducing
+/// impurity, with at least 2 samples per split and 1 per leaf.
+#[derive(Clone, Debug)]
+pub struct TreeConfig {
+    /// Maximum depth; `None` = unbounded.
+    pub max_depth: Option<usize>,
+    /// Minimum samples required to attempt a split.
+    pub min_samples_split: usize,
+    /// Minimum samples in each resulting leaf.
+    pub min_samples_leaf: usize,
+    /// Number of candidate features considered per split; `None` = all.
+    /// The random forest sets this for feature bagging.
+    pub max_features: Option<usize>,
+}
+
+impl Default for TreeConfig {
+    fn default() -> Self {
+        TreeConfig {
+            max_depth: None,
+            min_samples_split: 2,
+            min_samples_leaf: 1,
+            max_features: None,
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+enum Node {
+    Leaf {
+        value: f64,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: usize,
+        right: usize,
+    },
+}
+
+/// A fitted regression tree.
+#[derive(Clone, Debug)]
+pub struct DecisionTreeRegressor {
+    nodes: Vec<Node>,
+    /// Total impurity decrease contributed by each feature (the raw
+    /// material of mean-decrease-impurity importances).
+    importance_raw: Vec<f64>,
+    dim: usize,
+}
+
+struct Builder<'a> {
+    data: &'a Dataset,
+    config: &'a TreeConfig,
+    nodes: Vec<Node>,
+    importance_raw: Vec<f64>,
+    rng: Option<&'a mut SmallRng>,
+    /// Scratch: sample indices, partitioned in place during growth.
+    order: Vec<usize>,
+    total_samples: f64,
+}
+
+impl DecisionTreeRegressor {
+    /// Fits a deterministic tree on all samples (no randomness).
+    pub fn fit(data: &Dataset, config: &TreeConfig) -> Self {
+        let indices: Vec<usize> = (0..data.len()).collect();
+        Self::fit_on(data, &indices, config, None)
+    }
+
+    /// Fits on an explicit multiset of sample indices (bootstrap support).
+    /// `rng` provides feature subsampling when `config.max_features` is set.
+    pub fn fit_on(
+        data: &Dataset,
+        indices: &[usize],
+        config: &TreeConfig,
+        rng: Option<&mut SmallRng>,
+    ) -> Self {
+        assert!(!indices.is_empty(), "cannot fit a tree on zero samples");
+        let mut builder = Builder {
+            data,
+            config,
+            nodes: Vec::new(),
+            importance_raw: vec![0.0; data.dim()],
+            rng,
+            order: indices.to_vec(),
+            total_samples: indices.len() as f64,
+        };
+        builder.grow_all(indices.len());
+        DecisionTreeRegressor {
+            nodes: builder.nodes,
+            importance_raw: builder.importance_raw,
+            dim: data.dim(),
+        }
+    }
+
+    /// Predicts one row.
+    pub fn predict_row(&self, row: &[f64]) -> f64 {
+        let mut at = 0usize;
+        loop {
+            match &self.nodes[at] {
+                Node::Leaf { value } => return *value,
+                Node::Split { feature, threshold, left, right } => {
+                    at = if row[*feature] <= *threshold { *left } else { *right };
+                }
+            }
+        }
+    }
+
+    /// Predicts every row of a dataset's design matrix.
+    pub fn predict(&self, data: &Dataset) -> Vec<f64> {
+        (0..data.len()).map(|i| self.predict_row(data.x.row(i))).collect()
+    }
+
+    /// Raw (unnormalized) impurity-decrease totals per feature.
+    pub fn importance_raw(&self) -> &[f64] {
+        &self.importance_raw
+    }
+
+    /// Normalized mean-decrease-impurity feature importances (sum to 1, or
+    /// all zeros for a stump).
+    pub fn feature_importances(&self) -> Vec<f64> {
+        let total: f64 = self.importance_raw.iter().sum();
+        if total <= 0.0 {
+            return vec![0.0; self.dim];
+        }
+        self.importance_raw.iter().map(|&v| v / total).collect()
+    }
+
+    /// Number of nodes in the tree.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Tree depth (0 for a single leaf). Iterative: trees can be deep on
+    /// pathological splits.
+    pub fn depth(&self) -> usize {
+        let mut max_depth = 0;
+        let mut stack = vec![(0usize, 0usize)];
+        while let Some((i, d)) = stack.pop() {
+            match &self.nodes[i] {
+                Node::Leaf { .. } => max_depth = max_depth.max(d),
+                Node::Split { left, right, .. } => {
+                    stack.push((*left, d + 1));
+                    stack.push((*right, d + 1));
+                }
+            }
+        }
+        max_depth
+    }
+}
+
+impl Builder<'_> {
+    /// Grows the whole tree iteratively with an explicit work stack —
+    /// pathological split chains can reach depth O(n), which would overflow
+    /// the call stack if grown recursively.
+    fn grow_all(&mut self, n: usize) {
+        // (node slot to fill, lo, hi, depth)
+        let root = self.push(Node::Leaf { value: 0.0 });
+        debug_assert_eq!(root, 0);
+        let mut stack: Vec<(usize, usize, usize, usize)> = vec![(root, 0, n, 0)];
+        while let Some((slot, lo, hi, depth)) = stack.pop() {
+            let count = hi - lo;
+            let mean = self.mean(lo, hi);
+            let depth_ok = self.config.max_depth.map_or(true, |m| depth < m);
+            let split = if count >= self.config.min_samples_split && depth_ok {
+                self.best_split(lo, hi)
+            } else {
+                None
+            };
+            match split {
+                None => self.nodes[slot] = Node::Leaf { value: mean },
+                Some(split) => {
+                    // Partition order[lo..hi] in place around the threshold.
+                    let mid = self.partition(lo, hi, split.feature, split.threshold);
+                    debug_assert!(mid > lo && mid < hi);
+                    if mid == lo || mid == hi {
+                        // Degenerate partition (should be unreachable with
+                        // the threshold guard): never loop on it.
+                        self.nodes[slot] = Node::Leaf { value: mean };
+                        continue;
+                    }
+                    // Weighted impurity decrease, normalized by total
+                    // samples (sklearn's convention).
+                    self.importance_raw[split.feature] +=
+                        split.impurity_decrease / self.total_samples;
+                    let left = self.push(Node::Leaf { value: 0.0 });
+                    let right = self.push(Node::Leaf { value: 0.0 });
+                    self.nodes[slot] = Node::Split {
+                        feature: split.feature,
+                        threshold: split.threshold,
+                        left,
+                        right,
+                    };
+                    stack.push((right, mid, hi, depth + 1));
+                    stack.push((left, lo, mid, depth + 1));
+                }
+            }
+        }
+    }
+
+    fn push(&mut self, node: Node) -> usize {
+        self.nodes.push(node);
+        self.nodes.len() - 1
+    }
+
+    fn mean(&self, lo: usize, hi: usize) -> f64 {
+        let sum: f64 = self.order[lo..hi].iter().map(|&i| self.data.y[i]).sum();
+        sum / (hi - lo) as f64
+    }
+
+    /// Considers every (sampled) feature and every threshold; returns the
+    /// split maximizing SSE reduction, or `None` when nothing reduces it.
+    fn best_split(&mut self, lo: usize, hi: usize) -> Option<BestSplit> {
+        let n = hi - lo;
+        let d = self.data.dim();
+        let min_leaf = self.config.min_samples_leaf;
+        let features: Vec<usize> = match (self.config.max_features, self.rng.as_deref_mut()) {
+            (Some(k), Some(rng)) if k < d => {
+                // Sample k distinct features.
+                let mut picked: Vec<usize> = Vec::with_capacity(k);
+                while picked.len() < k {
+                    let f = rng.gen_range(0..d);
+                    if !picked.contains(&f) {
+                        picked.push(f);
+                    }
+                }
+                picked
+            }
+            _ => (0..d).collect(),
+        };
+        let total_sum: f64 = self.order[lo..hi].iter().map(|&i| self.data.y[i]).sum();
+        let total_sq: f64 =
+            self.order[lo..hi].iter().map(|&i| self.data.y[i] * self.data.y[i]).sum();
+        let parent_sse = total_sq - total_sum * total_sum / n as f64;
+        let mut best: Option<BestSplit> = None;
+        // Scratch: (value, y) pairs, sorted per feature.
+        let mut pairs: Vec<(f64, f64)> = Vec::with_capacity(n);
+        for &f in &features {
+            pairs.clear();
+            pairs.extend(
+                self.order[lo..hi]
+                    .iter()
+                    .map(|&i| (self.data.x.row(i)[f], self.data.y[i])),
+            );
+            pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite features"));
+            let mut left_sum = 0.0;
+            let mut left_sq = 0.0;
+            for k in 0..n - 1 {
+                let (v, y) = pairs[k];
+                left_sum += y;
+                left_sq += y * y;
+                // Can only split between distinct feature values.
+                if v == pairs[k + 1].0 {
+                    continue;
+                }
+                let nl = k + 1;
+                let nr = n - nl;
+                if nl < min_leaf || nr < min_leaf {
+                    continue;
+                }
+                let right_sum = total_sum - left_sum;
+                let right_sq = total_sq - left_sq;
+                let sse = (left_sq - left_sum * left_sum / nl as f64)
+                    + (right_sq - right_sum * right_sum / nr as f64);
+                let decrease = parent_sse - sse;
+                if decrease > 1e-12
+                    && best.as_ref().map_or(true, |b| decrease > b.impurity_decrease)
+                {
+                    // The midpoint of two adjacent floats can round up to
+                    // the right value, which would send *every* sample left
+                    // and loop forever; fall back to the left value, which
+                    // always separates (x <= v keeps exactly nl samples).
+                    let next = pairs[k + 1].0;
+                    let mut threshold = 0.5 * (v + next);
+                    if threshold >= next {
+                        threshold = v;
+                    }
+                    best = Some(BestSplit {
+                        feature: f,
+                        threshold,
+                        impurity_decrease: decrease,
+                    });
+                }
+            }
+        }
+        best
+    }
+
+    /// Stable partition of `order[lo..hi]` by `x[feature] <= threshold`;
+    /// returns the boundary index.
+    fn partition(&mut self, lo: usize, hi: usize, feature: usize, threshold: f64) -> usize {
+        let mut left = Vec::with_capacity(hi - lo);
+        let mut right = Vec::with_capacity(hi - lo);
+        for &i in &self.order[lo..hi] {
+            if self.data.x.row(i)[feature] <= threshold {
+                left.push(i);
+            } else {
+                right.push(i);
+            }
+        }
+        let mid = lo + left.len();
+        self.order[lo..mid].copy_from_slice(&left);
+        self.order[mid..hi].copy_from_slice(&right);
+        mid
+    }
+}
+
+struct BestSplit {
+    feature: usize,
+    threshold: f64,
+    impurity_decrease: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfectly_separable_step_function() {
+        // y = 0 for x < 5, y = 10 for x >= 5.
+        let x: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let y: Vec<f64> = (0..10).map(|i| if i < 5 { 0.0 } else { 10.0 }).collect();
+        let data = Dataset::new(x, 10, 1, y);
+        let tree = DecisionTreeRegressor::fit(&data, &TreeConfig::default());
+        for i in 0..10 {
+            let pred = tree.predict_row(&[i as f64]);
+            let want = if i < 5 { 0.0 } else { 10.0 };
+            assert_eq!(pred, want, "at x={i}");
+        }
+    }
+
+    #[test]
+    fn fits_training_data_exactly_when_unbounded() {
+        // Distinct x ⇒ an unbounded CART can memorize the targets.
+        let x: Vec<f64> = (0..16).map(|i| i as f64).collect();
+        let y: Vec<f64> = (0..16).map(|i| ((i * 7) % 13) as f64).collect();
+        let data = Dataset::new(x, 16, 1, y.clone());
+        let tree = DecisionTreeRegressor::fit(&data, &TreeConfig::default());
+        let preds = tree.predict(&data);
+        assert_eq!(preds, y);
+    }
+
+    #[test]
+    fn max_depth_limits_depth() {
+        let x: Vec<f64> = (0..64).map(|i| i as f64).collect();
+        let y: Vec<f64> = (0..64).map(|i| (i % 9) as f64).collect();
+        let data = Dataset::new(x, 64, 1, y);
+        let config = TreeConfig { max_depth: Some(3), ..TreeConfig::default() };
+        let tree = DecisionTreeRegressor::fit(&data, &config);
+        assert!(tree.depth() <= 3);
+    }
+
+    #[test]
+    fn constant_target_is_a_single_leaf() {
+        let data = Dataset::new(vec![1.0, 2.0, 3.0, 4.0], 4, 1, vec![5.0; 4]);
+        let tree = DecisionTreeRegressor::fit(&data, &TreeConfig::default());
+        assert_eq!(tree.node_count(), 1);
+        assert_eq!(tree.predict_row(&[100.0]), 5.0);
+    }
+
+    #[test]
+    fn importance_concentrates_on_informative_feature() {
+        // Feature 0 fully determines y; feature 1 is noise-like.
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..40 {
+            x.extend([(i / 10) as f64, ((i * 17) % 5) as f64]);
+            y.push((i / 10) as f64 * 2.0);
+        }
+        let data = Dataset::new(x, 40, 2, y);
+        let tree = DecisionTreeRegressor::fit(&data, &TreeConfig::default());
+        let imp = tree.feature_importances();
+        assert!(imp[0] > 0.95, "importances: {imp:?}");
+        assert!((imp.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn min_samples_leaf_is_respected() {
+        let x: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let y: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let data = Dataset::new(x, 10, 1, y);
+        let config = TreeConfig { min_samples_leaf: 5, ..TreeConfig::default() };
+        let tree = DecisionTreeRegressor::fit(&data, &config);
+        // Only one split is possible: 5 | 5.
+        assert!(tree.depth() <= 1);
+    }
+
+    #[test]
+    fn adjacent_float_values_split_without_looping() {
+        // Two feature values one ULP apart: the naive midpoint rounds up to
+        // the larger value, which would make the partition a no-op and the
+        // builder loop forever (allocating nodes until OOM).
+        let lo = 1.0f64;
+        let hi = f64::from_bits(lo.to_bits() + 1);
+        let x = vec![lo, lo, hi, hi];
+        let y = vec![0.0, 0.0, 10.0, 10.0];
+        let data = Dataset::new(x, 4, 1, y);
+        let tree = DecisionTreeRegressor::fit(&data, &TreeConfig::default());
+        assert_eq!(tree.predict_row(&[lo]), 0.0);
+        assert_eq!(tree.predict_row(&[hi]), 10.0);
+        assert!(tree.node_count() <= 7);
+        // And every prediction stays finite.
+        assert!(tree.predict(&data).iter().all(|p| p.is_finite()));
+    }
+
+    #[test]
+    fn survives_pathological_chain_depth() {
+        // A target that forces one sample off per split: depth ~ n. The
+        // iterative builder must not overflow any stack.
+        let n = 4000;
+        let x: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let y: Vec<f64> = (0..n).map(|i| (i as f64).powf(1.001)).collect();
+        let data = Dataset::new(x, n, 1, y);
+        let tree = DecisionTreeRegressor::fit(&data, &TreeConfig::default());
+        assert!(tree.node_count() >= n, "memorizing tree expected");
+    }
+
+    #[test]
+    fn duplicate_feature_values_never_split_between_equals() {
+        // All x identical: no valid split exists.
+        let data = Dataset::new(vec![3.0; 8], 8, 1, (0..8).map(|i| i as f64).collect());
+        let tree = DecisionTreeRegressor::fit(&data, &TreeConfig::default());
+        assert_eq!(tree.node_count(), 1);
+    }
+}

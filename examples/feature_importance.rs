@@ -1,0 +1,63 @@
+//! Interpretability demo: which subgraph shapes predict institutional
+//! success? Trains a random forest on subgraph features and prints the
+//! most discriminative encodings, with a search for a concrete realization
+//! of each (the paper's Fig. 4 analysis).
+//!
+//! ```text
+//! cargo run --release -p hsgf --example feature_importance
+//! ```
+
+use hsgf::core::enumerate::find_realization;
+use hsgf::data::mag::{MagConfig, MagData, MAG_RANK_LABELS};
+use hsgf::data::Scale;
+use hsgf::eval::rank::{discriminative_subgraphs, RankTaskConfig};
+use hsgf::graph::LabelSet;
+
+fn main() {
+    let mut mag_config = MagConfig::at_scale(Scale::Tiny);
+    mag_config.conferences.truncate(2);
+    let data = MagData::generate(&mag_config);
+    let config = RankTaskConfig {
+        emax: 3,
+        embed_dim: 8,
+        embed_budget: 0.02,
+        forest_trees: 100,
+        ..RankTaskConfig::default()
+    };
+    let labels = LabelSet::from_names(MAG_RANK_LABELS).unwrap();
+    for conference in 0..data.config.conferences.len() {
+        println!("== {}", data.config.conferences[conference]);
+        let top = discriminative_subgraphs(&data, conference, &config, 3);
+        for (rank, d) in top.iter().enumerate() {
+            println!(
+                "  #{} importance {:.4}: {}",
+                rank + 1,
+                d.importance,
+                d.rendered
+            );
+            // Try to reconstruct a concrete subgraph with this encoding.
+            match find_realization(&d.encoding, d.encoding.label_count(), 200_000) {
+                Some(graph) => {
+                    let names: Vec<String> = graph
+                        .labels()
+                        .iter()
+                        .map(|&l| {
+                            labels
+                                .name(hsgf::graph::Label::new(l))
+                                .unwrap_or("mask")
+                                .chars()
+                                .next()
+                                .unwrap_or('?')
+                                .to_string()
+                        })
+                        .collect();
+                    println!("      realization: nodes [{}], edges {:?}", names.join(", "), graph.edges());
+                }
+                None => println!("      (no realization found within budget)"),
+            }
+        }
+    }
+    println!("\nReading: i=institution, a=author, p=paper; each node renders as its");
+    println!("label initial followed by its per-label neighbour counts inside the");
+    println!("subgraph — e.g. a101 is an author adjacent to one institution and one paper.");
+}

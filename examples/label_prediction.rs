@@ -1,0 +1,49 @@
+//! Label prediction on a star-structured movie network: extract subgraph
+//! features with the root label masked and predict node types with
+//! one-vs-all logistic regression — the paper's §4.3 task in one program.
+//!
+//! ```text
+//! cargo run --release -p hsgf --example label_prediction
+//! ```
+
+use hsgf::data::{ImdbConfig, ImdbData, Scale};
+use hsgf::eval::features::FeatureFamily;
+use hsgf::eval::label::{
+    evaluate_classification, extract_label_features, sample_labelled_nodes, LabelTaskConfig,
+};
+
+fn main() {
+    let data = ImdbData::generate(&ImdbConfig::at_scale(Scale::Tiny));
+    let graph = data.graph;
+    println!(
+        "IMDB-style network: {} nodes, {} edges, labels: {:?}",
+        graph.node_count(),
+        graph.edge_count(),
+        graph.labels().iter().map(|(_, n)| n).collect::<Vec<_>>()
+    );
+
+    let config = LabelTaskConfig {
+        nodes_per_label: 25,
+        emax: 3,
+        embed_dim: 16,
+        embed_budget: 0.05,
+        repeats: 5,
+        ..LabelTaskConfig::default()
+    };
+    let (nodes, classes) = sample_labelled_nodes(&graph, config.nodes_per_label, config.seed);
+    println!("sampled {} nodes across {} labels", nodes.len(), graph.label_count());
+
+    for family in FeatureFamily::LABEL_TASK {
+        let features = extract_label_features(&graph, &nodes, family, &config);
+        let point = evaluate_classification(&features, &classes, 0.7, config.repeats, 7);
+        println!(
+            "  {:>9}: macro F1 = {:.3} ± {:.3}  ({} features)",
+            family.name(),
+            point.mean,
+            point.ci95,
+            features.dim()
+        );
+    }
+    println!("\n(subgraph features mask the root's own label during extraction,");
+    println!(" so the classifier only sees the *neighbourhood's* label structure)");
+}

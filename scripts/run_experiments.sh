@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Regenerates every paper artifact into results/ (text tables).
+# Usage: scripts/run_experiments.sh [tiny|small|paper]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+SCALE="${1:-small}"
+mkdir -p results
+cargo build --release -p hsgf-bench
+
+run() {
+  local name="$1"; shift
+  echo "=== $name ($*)" >&2
+  ./target/release/"$name" "$@" | tee "results/$name.txt"
+}
+
+run exp_encoding_limits
+run exp_datasets        --scale "$SCALE"
+run exp_hash_collisions --scale tiny
+run exp_directed        --scale "$SCALE" --per-label 60
+run exp_multiplex       --scale "$SCALE" --per-label 60
+run exp_dmax            --scale "$SCALE" --per-label 60
+run exp_runtime         --scale "$SCALE" --per-label 60
+run exp_label           --scale "$SCALE" --per-label 80
+run exp_label_removal   --scale "$SCALE" --per-label 80
+run exp_importance      --scale "$SCALE"
+run exp_rank            --scale "$SCALE"
+echo "all experiments written to results/" >&2

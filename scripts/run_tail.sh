@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+set -uo pipefail
+cd "$(dirname "$0")/.."
+mkdir -p results
+run() { local name="$1"; shift; echo "=== $name ($*)" >&2; ./target/release/"$name" "$@" > "results/$name.txt" 2>>results/run.log; }
+run exp_dmax          --scale small --per-label 30 --emax 3 --repeats 3
+run exp_runtime       --scale small --per-label 40 --emax 3
+run exp_label         --scale small --per-label 50 --emax 3 --repeats 3
+run exp_label_removal --scale small --per-label 40 --emax 3 --repeats 3
+run exp_importance    --scale small --trees 120
+run exp_rank          --scale small --repeats 2
+echo "tail done" >&2

@@ -1,0 +1,142 @@
+//! Cross-crate property tests: invariants that span the graph substrate,
+//! the census engine, and the dataset generators.
+
+use hsgf::core::census::{CensusConfig, CensusEngine};
+use hsgf::core::hash::HashScheme;
+use hsgf::graph::{generators, GraphBuilder, HetGraph, Label, LabelSet, NodeId};
+use proptest::prelude::*;
+
+fn arbitrary_graph() -> impl Strategy<Value = HetGraph> {
+    (2usize..18, 1usize..4, 1u64..1000).prop_map(|(n, k, seed)| {
+        let names: Vec<String> = (0..k).map(|i| format!("l{i}")).collect();
+        let labels = LabelSet::from_names(names).unwrap();
+        let weights = vec![1.0; k];
+        generators::erdos_renyi(labels, &weights, n, 0.3, seed).unwrap()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Census totals are monotone in emax: every subgraph with ≤ e edges
+    /// is also counted at e+1.
+    #[test]
+    fn census_total_monotone_in_emax(graph in arbitrary_graph()) {
+        let root = NodeId::new(0);
+        let mut prev = 0u64;
+        for emax in 1..=4usize {
+            let engine =
+                CensusEngine::new(&graph, CensusConfig::default().with_emax(emax)).unwrap();
+            let mut scratch = engine.make_scratch();
+            let total: u64 =
+                engine.census_hashes(root, &mut scratch).unwrap().values().sum();
+            prop_assert!(total >= prev, "emax {emax}: {total} < {prev}");
+            prev = total;
+        }
+    }
+
+    /// Root masking changes encodings but never the number of counted
+    /// subgraphs.
+    #[test]
+    fn masking_preserves_totals(graph in arbitrary_graph()) {
+        let root = NodeId::new(1 % graph.node_count() as u32);
+        let plain = CensusEngine::new(&graph, CensusConfig::default().with_emax(3)).unwrap();
+        let masked = CensusEngine::new(
+            &graph,
+            CensusConfig::default().with_emax(3).with_mask_root_label(true),
+        )
+        .unwrap();
+        let mut s1 = plain.make_scratch();
+        let mut s2 = masked.make_scratch();
+        let t1: u64 = plain.census_encodings(root, &mut s1).unwrap().counts.values().sum();
+        let t2: u64 = masked.census_encodings(root, &mut s2).unwrap().counts.values().sum();
+        prop_assert_eq!(t1, t2);
+    }
+
+    /// The hash scheme never changes totals or the multiset of counts per
+    /// encoding (only the keys of the fast map).
+    #[test]
+    fn hash_scheme_is_count_invariant(graph in arbitrary_graph()) {
+        let root = NodeId::new(0);
+        let mut totals = Vec::new();
+        for scheme in [HashScheme::Mixed, HashScheme::Linear] {
+            let mut config = CensusConfig::default().with_emax(3);
+            config.hash_scheme = scheme;
+            let engine = CensusEngine::new(&graph, config).unwrap();
+            let mut scratch = engine.make_scratch();
+            let counts = engine.census_encodings(root, &mut scratch).unwrap().counts;
+            totals.push(counts);
+        }
+        prop_assert_eq!(&totals[0], &totals[1]);
+    }
+
+    /// Graph serialization round-trips arbitrary generated graphs.
+    #[test]
+    fn io_roundtrip(graph in arbitrary_graph()) {
+        let text = hsgf::graph::io::to_string(&graph);
+        let restored = hsgf::graph::io::from_str(&text).unwrap();
+        prop_assert_eq!(graph.node_count(), restored.node_count());
+        prop_assert_eq!(graph.edge_count(), restored.edge_count());
+        for v in graph.nodes() {
+            prop_assert_eq!(graph.label(v), restored.label(v));
+            prop_assert_eq!(graph.neighbors(v), restored.neighbors(v));
+        }
+    }
+
+    /// Builder + relabel keeps the adjacency sort invariant that the census
+    /// depends on.
+    #[test]
+    fn relabel_preserves_sort_invariant(graph in arbitrary_graph(), seed in 0u64..100) {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut labels = LabelSet::new();
+        for (_, name) in graph.labels().iter() {
+            labels.intern(name).unwrap();
+        }
+        let extra = labels.intern("extra").unwrap();
+        let new_labels: Vec<Label> = graph
+            .nodes()
+            .map(|v| if rng.gen_bool(0.3) { extra } else { graph.label(v) })
+            .collect();
+        let relabeled = graph.relabeled(labels, new_labels).unwrap();
+        for v in relabeled.nodes() {
+            let row = relabeled.neighbors(v);
+            for w in row.windows(2) {
+                let ka = (relabeled.label(w[0]), w[0]);
+                let kb = (relabeled.label(w[1]), w[1]);
+                prop_assert!(ka < kb, "row of {v} out of order");
+            }
+        }
+    }
+}
+
+/// Deterministic cross-crate check: builder-constructed and
+/// generator-constructed graphs agree on basic invariants.
+#[test]
+fn generated_graphs_satisfy_basic_invariants() {
+    let labels = LabelSet::from_names(["a", "b", "c"]).unwrap();
+    let graph = generators::barabasi_albert(labels, &[1.0, 2.0, 1.0], 200, 2, 9).unwrap();
+    // Degree sum = 2|E|.
+    let degree_sum: usize = graph.nodes().map(|v| graph.degree(v)).sum();
+    assert_eq!(degree_sum, 2 * graph.edge_count());
+    // Every neighbour relation is symmetric.
+    for v in graph.nodes() {
+        for &w in graph.neighbors(v) {
+            assert!(graph.neighbors(w).contains(&v));
+        }
+    }
+    // Rebuilding through the builder reproduces the graph.
+    let mut b = GraphBuilder::new(graph.labels().clone());
+    for v in graph.nodes() {
+        b.add_node_with(graph.label(v)).unwrap();
+    }
+    for (u, v) in graph.edges() {
+        b.add_edge(u, v).unwrap();
+    }
+    let rebuilt = b.build();
+    assert_eq!(rebuilt.edge_count(), graph.edge_count());
+    for v in graph.nodes() {
+        assert_eq!(graph.neighbors(v), rebuilt.neighbors(v));
+    }
+}

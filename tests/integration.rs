@@ -1,0 +1,129 @@
+//! Cross-crate integration tests: graph substrate → census engine →
+//! feature assembly → learners, exercised through the facade crate's
+//! public API only.
+
+use hsgf::core::census::{CensusConfig, CensusEngine};
+use hsgf::core::features::FeatureMatrix;
+use hsgf::core::parallel::{extract_censuses, extract_feature_matrix};
+use hsgf::data::{ImdbConfig, ImdbData, LoadConfig, LoadData, Scale};
+use hsgf::graph::{io, DegreeStats, GraphBuilder, LabelConnectivityGraph, NodeId};
+use hsgf::ml::dataset::Dataset;
+use hsgf::ml::logreg::{LogisticConfig, OneVsAllClassifier};
+use hsgf::ml::metrics::macro_f1;
+
+#[test]
+fn census_features_flow_into_classifier() {
+    let data = ImdbData::generate(&ImdbConfig::at_scale(Scale::Tiny));
+    let graph = data.graph;
+    // Sample a few nodes per label.
+    let mut nodes = Vec::new();
+    let mut classes = Vec::new();
+    for label in graph.labels().labels() {
+        for v in graph.nodes_with_label(label).take(12) {
+            nodes.push(v);
+            classes.push(label.index());
+        }
+    }
+    let config = CensusConfig::default().with_emax(3).with_mask_root_label(true);
+    let engine = CensusEngine::new(&graph, config).unwrap();
+    let matrix = extract_feature_matrix(&engine, &nodes, 4).unwrap().log1p();
+    assert_eq!(matrix.row_count(), nodes.len());
+    let d = matrix.feature_count();
+    assert!(d > 0);
+    let dataset = Dataset::new(matrix.to_dense(), nodes.len(), d, vec![0.0; nodes.len()]);
+    // Rows are label-ordered; interleave so every class appears in both
+    // splits, then train on two thirds.
+    let mut order: Vec<usize> = (0..nodes.len()).collect();
+    order.sort_by_key(|&i| (i % 3, i));
+    let cut = nodes.len() * 2 / 3;
+    let (train_rows, test_rows) = order.split_at(cut);
+    let train_y: Vec<usize> = train_rows.iter().map(|&i| classes[i]).collect();
+    let clf = OneVsAllClassifier::fit(
+        &dataset.select_rows(train_rows),
+        &train_y,
+        &LogisticConfig::default(),
+    );
+    let preds = clf.predict(&dataset.select_rows(test_rows));
+    let truth: Vec<usize> = test_rows.iter().map(|&i| classes[i]).collect();
+    let f1 = macro_f1(&preds, &truth);
+    assert!(f1 > 0.2, "pipeline should beat random guessing, got {f1}");
+}
+
+#[test]
+fn graph_io_roundtrip_preserves_census() {
+    let data = LoadData::generate(&LoadConfig::at_scale(Scale::Tiny));
+    let graph = data.graph;
+    let text = io::to_string(&graph);
+    let restored = io::from_str(&text).unwrap();
+    let config = CensusConfig::default().with_emax(3).with_dmax(Some(
+        DegreeStats::of(&graph).degree_at_percentile(90.0),
+    ));
+    let engine_a = CensusEngine::new(&graph, config.clone()).unwrap();
+    let engine_b = CensusEngine::new(&restored, config).unwrap();
+    let mut sa = engine_a.make_scratch();
+    let mut sb = engine_b.make_scratch();
+    for v in graph.nodes().step_by(17) {
+        let a = engine_a.census_encodings(v, &mut sa).unwrap().counts;
+        let b = engine_b.census_encodings(v, &mut sb).unwrap().counts;
+        assert_eq!(a, b, "census must survive serialization for {v}");
+    }
+}
+
+#[test]
+fn lcg_decides_encoding_bound_on_real_generators() {
+    // LOAD has a complete LCG with self loops → bound 4; IMDB is a
+    // loop-free star → bound 5.
+    let load = LoadData::generate(&LoadConfig::at_scale(Scale::Tiny)).graph;
+    assert_eq!(LabelConnectivityGraph::of(&load).unique_encoding_emax(), 4);
+    let imdb = ImdbData::generate(&ImdbConfig::at_scale(Scale::Tiny)).graph;
+    assert_eq!(LabelConnectivityGraph::of(&imdb).unique_encoding_emax(), 5);
+}
+
+#[test]
+fn feature_matrix_vocabulary_is_shared_across_roots() {
+    let mut b = GraphBuilder::with_label_names(["x", "y"]).unwrap();
+    let x1 = b.add_node("x").unwrap();
+    let y1 = b.add_node("y").unwrap();
+    let x2 = b.add_node("x").unwrap();
+    let y2 = b.add_node("y").unwrap();
+    b.add_edge(x1, y1).unwrap();
+    b.add_edge(x2, y2).unwrap();
+    let graph = b.build();
+    let engine = CensusEngine::new(&graph, CensusConfig::default()).unwrap();
+    let censuses = extract_censuses(&engine, &[x1, x2], 1).unwrap();
+    let matrix = FeatureMatrix::from_censuses(vec![x1, x2], censuses);
+    // Both roots see one identical x–y edge subgraph: a single shared
+    // feature with count 1 in each row.
+    assert_eq!(matrix.feature_count(), 1);
+    assert_eq!(matrix.value(0, 0), 1.0);
+    assert_eq!(matrix.value(1, 0), 1.0);
+}
+
+#[test]
+fn dmax_never_increases_counts() {
+    let data = LoadData::generate(&LoadConfig::at_scale(Scale::Tiny));
+    let graph = data.graph;
+    let stats = DegreeStats::of(&graph);
+    let roots: Vec<NodeId> = graph.nodes().step_by(29).collect();
+    let mut totals = Vec::new();
+    for pct in [80.0, 90.0, 100.0] {
+        let dmax =
+            if pct >= 100.0 { None } else { Some(stats.degree_at_percentile(pct)) };
+        let config = CensusConfig::default().with_emax(3).with_dmax(dmax);
+        let engine = CensusEngine::new(&graph, config).unwrap();
+        let mut scratch = engine.make_scratch();
+        let total: u64 = roots
+            .iter()
+            .map(|&v| {
+                engine
+                    .census_hashes(v, &mut scratch)
+                    .unwrap()
+                    .values()
+                    .sum::<u64>()
+            })
+            .sum();
+        totals.push(total);
+    }
+    assert!(totals[0] <= totals[1], "tighter dmax cannot add subgraphs: {totals:?}");
+    assert!(totals[1] <= totals[2], "tighter dmax cannot add subgraphs: {totals:?}");
+}
