@@ -3,7 +3,7 @@
 //! subgraph size), the heterogeneous grouping heuristic on/off (§3.2), and
 //! the dmax hub cutoff (§3.2 / §4.3.4).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hsgf_bench::runner::Runner;
 use hsgf_core::census::{CensusConfig, CensusEngine, CountingSink};
 use hsgf_data::{LoadConfig, LoadData, Scale};
 use hsgf_graph::{DegreeStats, NodeId};
@@ -21,66 +21,61 @@ fn run_census(graph: &hsgf_graph::HetGraph, config: CensusConfig, roots: &[NodeI
     let mut scratch = engine.make_scratch();
     let mut sink = CountingSink::default();
     for &root in roots {
-        engine.run(root, &mut scratch, &mut sink).expect("valid root");
+        engine
+            .run(root, &mut scratch, &mut sink)
+            .expect("valid root");
     }
     sink.total
 }
 
-fn emax_scaling(c: &mut Criterion) {
+fn emax_scaling(runner: &mut Runner) {
     let graph = bench_graph();
     let roots = roots(&graph);
     let dmax = Some(DegreeStats::of(&graph).degree_at_percentile(90.0));
-    let mut group = c.benchmark_group("census/emax");
+    let mut group = runner.group("census/emax");
     for emax in [2usize, 3, 4] {
-        group.bench_with_input(BenchmarkId::from_parameter(emax), &emax, |b, &emax| {
-            let config = CensusConfig::default().with_emax(emax).with_dmax(dmax);
-            b.iter(|| run_census(&graph, config.clone(), &roots));
-        });
+        let config = CensusConfig::default().with_emax(emax).with_dmax(dmax);
+        group.bench_function(emax, || run_census(&graph, config.clone(), &roots));
     }
     group.finish();
 }
 
-fn grouping_heuristic(c: &mut Criterion) {
+fn grouping_heuristic(runner: &mut Runner) {
     let graph = bench_graph();
     let roots = roots(&graph);
     let dmax = Some(DegreeStats::of(&graph).degree_at_percentile(90.0));
-    let mut group = c.benchmark_group("census/grouping");
+    let mut group = runner.group("census/grouping");
     for (name, grouping) in [("on", true), ("off", false)] {
-        group.bench_with_input(BenchmarkId::from_parameter(name), &grouping, |b, &g| {
-            let mut config = CensusConfig::default().with_emax(4).with_dmax(dmax);
-            config.group_by_label = g;
-            b.iter(|| run_census(&graph, config.clone(), &roots));
-        });
+        let mut config = CensusConfig::default().with_emax(4).with_dmax(dmax);
+        config.group_by_label = grouping;
+        group.bench_function(name, || run_census(&graph, config.clone(), &roots));
     }
     group.finish();
 }
 
-fn dmax_cutoff(c: &mut Criterion) {
+fn dmax_cutoff(runner: &mut Runner) {
     let graph = bench_graph();
     let roots = roots(&graph);
     let stats = DegreeStats::of(&graph);
-    let mut group = c.benchmark_group("census/dmax");
+    let mut group = runner.group("census/dmax");
     for pct in [80.0f64, 90.0, 95.0, 100.0] {
         let dmax = if pct >= 100.0 {
             None
         } else {
             Some(stats.degree_at_percentile(pct))
         };
-        group.bench_with_input(
-            BenchmarkId::from_parameter(format!("{pct:.0}pct")),
-            &dmax,
-            |b, &dmax| {
-                let config = CensusConfig::default().with_emax(3).with_dmax(dmax);
-                b.iter(|| run_census(&graph, config.clone(), &roots));
-            },
-        );
+        let config = CensusConfig::default().with_emax(3).with_dmax(dmax);
+        group.bench_function(format!("{pct:.0}pct"), || {
+            run_census(&graph, config.clone(), &roots)
+        });
     }
     group.finish();
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = emax_scaling, grouping_heuristic, dmax_cutoff
+fn main() {
+    let mut runner = Runner::new("census");
+    emax_scaling(&mut runner);
+    grouping_heuristic(&mut runner);
+    dmax_cutoff(&mut runner);
+    runner.finish();
 }
-criterion_main!(benches);

@@ -1,29 +1,22 @@
 //! Embedding-baseline microbenchmarks: walk generation and training cost
 //! per method (the Table 3 comparison at bench scale).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use hsgf_bench::runner::Runner;
 use hsgf_data::{ImdbConfig, ImdbData, Scale};
 use hsgf_embed::walks::{node2vec_walks, uniform_walks};
 use hsgf_embed::EmbeddingKind;
 
-fn bench(c: &mut Criterion) {
+fn main() {
+    let mut runner = Runner::new("embeddings");
     let graph = ImdbData::generate(&ImdbConfig::at_scale(Scale::Tiny)).graph;
-    c.bench_function("embed/uniform_walks", |b| {
-        b.iter(|| uniform_walks(&graph, 2, 20, 7))
-    });
-    c.bench_function("embed/node2vec_walks", |b| {
-        b.iter(|| node2vec_walks(&graph, 2, 20, 0.5, 2.0, 7))
+    runner.bench_function("embed/uniform_walks", || uniform_walks(&graph, 2, 20, 7));
+    runner.bench_function("embed/node2vec_walks", || {
+        node2vec_walks(&graph, 2, 20, 0.5, 2.0, 7)
     });
     for kind in EmbeddingKind::ALL {
-        c.bench_function(&format!("embed/train_{}", kind.name()), |b| {
-            b.iter(|| kind.train(&graph, 32, 0.05, 7))
+        runner.bench_function(&format!("embed/train_{}", kind.name()), || {
+            kind.train(&graph, 32, 0.05, 7)
         });
     }
+    runner.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench
-}
-criterion_main!(benches);

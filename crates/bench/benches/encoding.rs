@@ -2,7 +2,7 @@
 //! canonicalization, and exact isomorphism (the machinery the census
 //! avoids on its hot path).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use hsgf_bench::runner::Runner;
 use hsgf_core::sequence::Encoding;
 use hsgf_core::small::SmallGraph;
 use hsgf_graph::Label;
@@ -11,7 +11,10 @@ fn fixtures() -> Vec<(Vec<u8>, Vec<(u8, u8)>)> {
     vec![
         (vec![0, 1, 2], vec![(0, 1), (1, 2)]),
         (vec![0, 1, 0, 1], vec![(0, 1), (1, 2), (2, 3), (0, 3)]),
-        (vec![2, 1, 0, 1, 2], vec![(0, 1), (1, 2), (2, 3), (3, 4), (0, 4)]),
+        (
+            vec![2, 1, 0, 1, 2],
+            vec![(0, 1), (1, 2), (2, 3), (3, 4), (0, 4)],
+        ),
         (
             vec![0, 0, 1, 1, 2, 2],
             vec![(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (0, 5), (1, 4)],
@@ -19,46 +22,37 @@ fn fixtures() -> Vec<(Vec<u8>, Vec<(u8, u8)>)> {
     ]
 }
 
-fn encoding_build(c: &mut Criterion) {
+fn main() {
+    let mut runner = Runner::new("encoding");
     let fx = fixtures();
-    c.bench_function("encoding/of_subgraph", |b| {
-        b.iter(|| {
-            let mut acc = 0usize;
-            for (labels, edges) in &fx {
-                let labels: Vec<Label> = labels.iter().map(|&l| Label::new(l)).collect();
-                let enc = Encoding::of_subgraph(3, &labels, edges);
-                acc += enc.as_bytes().len();
-            }
-            acc
-        });
+    runner.bench_function("encoding/of_subgraph", || {
+        let mut acc = 0usize;
+        for (labels, edges) in &fx {
+            let labels: Vec<Label> = labels.iter().map(|&l| Label::new(l)).collect();
+            let enc = Encoding::of_subgraph(3, &labels, edges);
+            acc += enc.as_bytes().len();
+        }
+        acc
     });
+    let graphs: Vec<SmallGraph> = fx
+        .iter()
+        .map(|(l, e)| SmallGraph::new(l.clone(), e))
+        .collect();
+    runner.bench_function("encoding/canonical", || {
+        let mut acc = 0usize;
+        for g in &graphs {
+            acc += g.canonical().edge_count();
+        }
+        acc
+    });
+    runner.bench_function("encoding/isomorphism", || {
+        let mut acc = 0usize;
+        for g in &graphs {
+            for h in &graphs {
+                acc += usize::from(g.is_isomorphic(h));
+            }
+        }
+        acc
+    });
+    runner.finish();
 }
-
-fn canonicalization(c: &mut Criterion) {
-    let fx = fixtures();
-    let graphs: Vec<SmallGraph> =
-        fx.iter().map(|(l, e)| SmallGraph::new(l.clone(), e)).collect();
-    c.bench_function("encoding/canonical", |b| {
-        b.iter(|| {
-            let mut acc = 0usize;
-            for g in &graphs {
-                acc += g.canonical().edge_count();
-            }
-            acc
-        });
-    });
-    c.bench_function("encoding/isomorphism", |b| {
-        b.iter(|| {
-            let mut acc = 0usize;
-            for g in &graphs {
-                for h in &graphs {
-                    acc += usize::from(g.is_isomorphic(h));
-                }
-            }
-            acc
-        });
-    });
-}
-
-criterion_group!(benches, encoding_build, canonicalization);
-criterion_main!(benches);

@@ -3,7 +3,7 @@
 //! against the "materialize the encoding and hash its bytes" strategy the
 //! paper argues against.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hsgf_bench::runner::Runner;
 use hsgf_core::census::{CensusConfig, CensusEngine, CensusSink, SubgraphView};
 use hsgf_core::hash::{fnv1a_encoding_hash, HashScheme};
 use hsgf_data::{ImdbConfig, ImdbData, Scale};
@@ -27,49 +27,49 @@ struct EncodeHashSink {
 impl CensusSink for EncodeHashSink {
     fn record(&mut self, view: &SubgraphView<'_>, _hash: u64, multiplicity: u64) {
         let enc = view.encoding();
-        self.acc = self.acc.wrapping_add(fnv1a_encoding_hash(&enc).wrapping_mul(multiplicity));
+        self.acc = self
+            .acc
+            .wrapping_add(fnv1a_encoding_hash(&enc).wrapping_mul(multiplicity));
     }
 }
 
-fn bench(c: &mut Criterion) {
+fn main() {
+    let mut runner = Runner::new("hashing");
     let graph = ImdbData::generate(&ImdbConfig::at_scale(Scale::Tiny)).graph;
     let roots: Vec<NodeId> = graph.nodes().take(24).collect();
-    let mut group = c.benchmark_group("hashing");
-    for (name, scheme) in
-        [("rolling-mixed", HashScheme::Mixed), ("rolling-linear", HashScheme::Linear)]
-    {
-        group.bench_with_input(BenchmarkId::from_parameter(name), &scheme, |b, &scheme| {
-            let mut config = CensusConfig::default().with_emax(4);
-            config.hash_scheme = scheme;
-            let engine = CensusEngine::new(&graph, config).expect("valid");
-            let mut scratch = engine.make_scratch();
-            b.iter(|| {
-                let mut sink = RollingSink { acc: 0 };
-                for &root in &roots {
-                    engine.run(root, &mut scratch, &mut sink).expect("valid root");
-                }
-                sink.acc
-            });
-        });
-    }
-    group.bench_function("encode-and-fnv", |b| {
-        let config = CensusConfig::default().with_emax(4);
+    let mut group = runner.group("hashing");
+    for (name, scheme) in [
+        ("rolling-mixed", HashScheme::Mixed),
+        ("rolling-linear", HashScheme::Linear),
+    ] {
+        let mut config = CensusConfig::default().with_emax(4);
+        config.hash_scheme = scheme;
         let engine = CensusEngine::new(&graph, config).expect("valid");
         let mut scratch = engine.make_scratch();
-        b.iter(|| {
-            let mut sink = EncodeHashSink { acc: 0 };
+        group.bench_function(name, || {
+            let mut sink = RollingSink { acc: 0 };
             for &root in &roots {
-                engine.run(root, &mut scratch, &mut sink).expect("valid root");
+                engine
+                    .run(root, &mut scratch, &mut sink)
+                    .expect("valid root");
             }
             sink.acc
         });
-    });
+    }
+    {
+        let config = CensusConfig::default().with_emax(4);
+        let engine = CensusEngine::new(&graph, config).expect("valid");
+        let mut scratch = engine.make_scratch();
+        group.bench_function("encode-and-fnv", || {
+            let mut sink = EncodeHashSink { acc: 0 };
+            for &root in &roots {
+                engine
+                    .run(root, &mut scratch, &mut sink)
+                    .expect("valid root");
+            }
+            sink.acc
+        });
+    }
     group.finish();
+    runner.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench
-}
-criterion_main!(benches);

@@ -1,17 +1,16 @@
 //! ML-substrate microbenchmarks: the regressors and the classifier at the
 //! shapes the rank/label experiments actually use.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use hsgf_bench::runner::Runner;
+use hsgf_graph::rng::Rng;
 use hsgf_ml::dataset::Dataset;
 use hsgf_ml::forest::{ForestConfig, RandomForestRegressor};
 use hsgf_ml::logreg::{LogisticConfig, OneVsAllClassifier};
 use hsgf_ml::tree::TreeConfig;
 use hsgf_ml::{BayesianRidge, LinearRegression};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 
 fn synthetic(n: usize, d: usize, seed: u64) -> Dataset {
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rng = Rng::from_seed(seed);
     let mut x = Vec::with_capacity(n * d);
     let mut y = Vec::with_capacity(n);
     for _ in 0..n {
@@ -28,24 +27,27 @@ fn synthetic(n: usize, d: usize, seed: u64) -> Dataset {
     Dataset::new(x, n, d, y)
 }
 
-fn regressors(c: &mut Criterion) {
+fn regressors(runner: &mut Runner) {
     let data = synthetic(400, 60, 1);
-    c.bench_function("ml/ols_60d", |b| b.iter(|| LinearRegression::fit(&data)));
-    c.bench_function("ml/bayes_ridge_60d", |b| b.iter(|| BayesianRidge::fit(&data)));
+    runner.bench_function("ml/ols_60d", || LinearRegression::fit(&data));
+    runner.bench_function("ml/bayes_ridge_60d", || BayesianRidge::fit(&data));
     let forest_config = ForestConfig {
         n_estimators: 20,
-        tree: TreeConfig { max_features: Some(8), ..TreeConfig::default() },
+        tree: TreeConfig {
+            max_features: Some(8),
+            ..TreeConfig::default()
+        },
         ..ForestConfig::default()
     };
-    c.bench_function("ml/forest_20x400", |b| {
-        b.iter(|| RandomForestRegressor::fit(&data, &forest_config))
+    runner.bench_function("ml/forest_20x400", || {
+        RandomForestRegressor::fit(&data, &forest_config)
     });
 }
 
-fn classifier(c: &mut Criterion) {
+fn classifier(runner: &mut Runner) {
     let n = 300;
     let d = 40;
-    let mut rng = SmallRng::seed_from_u64(2);
+    let mut rng = Rng::from_seed(2);
     let mut x = Vec::with_capacity(n * d);
     let mut labels = Vec::with_capacity(n);
     for i in 0..n {
@@ -57,14 +59,14 @@ fn classifier(c: &mut Criterion) {
         labels.push(class);
     }
     let data = Dataset::new(x, n, d, vec![0.0; n]);
-    c.bench_function("ml/logreg_ova_3x300", |b| {
-        b.iter(|| OneVsAllClassifier::fit(&data, &labels, &LogisticConfig::default()))
+    runner.bench_function("ml/logreg_ova_3x300", || {
+        OneVsAllClassifier::fit(&data, &labels, &LogisticConfig::default())
     });
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = regressors, classifier
+fn main() {
+    let mut runner = Runner::new("ml");
+    regressors(&mut runner);
+    classifier(&mut runner);
+    runner.finish();
 }
-criterion_main!(benches);

@@ -1,40 +1,33 @@
 //! By-node parallel scaling (A4, paper §3.2 "Parallel Space Complexity"):
 //! extraction wall time vs. worker count.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hsgf_bench::runner::Runner;
 use hsgf_core::census::{CensusConfig, CensusEngine};
 use hsgf_core::parallel::extract_hash_censuses;
 use hsgf_data::{LoadConfig, LoadData, Scale};
 use hsgf_graph::{DegreeStats, NodeId};
 
-fn bench(c: &mut Criterion) {
+fn main() {
+    let mut runner = Runner::new("parallel");
     let graph = LoadData::generate(&LoadConfig::at_scale(Scale::Tiny)).graph;
     let dmax = Some(DegreeStats::of(&graph).degree_at_percentile(90.0));
     let config = CensusConfig::default().with_emax(3).with_dmax(dmax);
     let engine = CensusEngine::new(&graph, config).expect("valid");
     let roots: Vec<NodeId> = graph.nodes().step_by(2).collect();
-    let max_threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
-    let mut group = c.benchmark_group("parallel");
+    let max_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+    let mut group = runner.group("parallel");
+    let mut seen = Vec::new();
     for threads in [1usize, 2, 4, max_threads] {
-        if threads > max_threads {
+        if threads > max_threads || seen.contains(&threads) {
             continue;
         }
-        group.bench_with_input(
-            BenchmarkId::from_parameter(threads),
-            &threads,
-            |b, &threads| {
-                b.iter(|| {
-                    extract_hash_censuses(&engine, &roots, threads).expect("valid roots")
-                });
-            },
-        );
+        seen.push(threads);
+        group.bench_function(threads, || {
+            extract_hash_censuses(&engine, &roots, threads).expect("valid roots")
+        });
     }
     group.finish();
+    runner.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench
-}
-criterion_main!(benches);

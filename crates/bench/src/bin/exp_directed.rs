@@ -38,15 +38,18 @@ fn main() {
     };
     let (nodes, classes) = sample_labelled_nodes(&graph, base.nodes_per_label, base.seed);
     println!("== E9 — directed vs. undirected subgraph features (Macro F1, 70% training)");
-    let header: Vec<String> =
-        ["features", "macro F1"].iter().map(|s| s.to_string()).collect();
+    let header: Vec<String> = ["features", "macro F1"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
     let mut rows = Vec::new();
     for (name, directed) in [("undirected", false), ("directed", true)] {
-        let config = LabelTaskConfig { directed, ..base.clone() };
-        let features =
-            extract_label_features(&graph, &nodes, FeatureFamily::Subgraph, &config);
-        let point =
-            evaluate_classification(&features, &classes, 0.7, config.repeats, config.seed);
+        let config = LabelTaskConfig {
+            directed,
+            ..base.clone()
+        };
+        let features = extract_label_features(&graph, &nodes, FeatureFamily::Subgraph, &config);
+        let point = evaluate_classification(&features, &classes, 0.7, config.repeats, config.seed);
         rows.push(vec![name.to_string(), fmt_ci(point.mean, point.ci95)]);
     }
     print!("{}", render_table(&header, &rows));

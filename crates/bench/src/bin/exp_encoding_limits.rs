@@ -13,7 +13,10 @@ use hsgf_core::enumerate::{collision_report, enumerate_connected, EnumerationCon
 use hsgf_graph::LabelSet;
 
 fn report(title: &str, config: &EnumerationConfig) {
-    println!("== {title} (labels={}, max edges={})", config.label_count, config.max_edges);
+    println!(
+        "== {title} (labels={}, max edges={})",
+        config.label_count, config.max_edges
+    );
     let graphs = enumerate_connected(config);
     let report = collision_report(&graphs, config.label_count);
     println!("   non-isomorphic connected graphs: {}", graphs.len());
@@ -23,18 +26,34 @@ fn report(title: &str, config: &EnumerationConfig) {
             class.edges, class.graphs, class.distinct_encodings, class.colliding_pairs
         );
     }
-    println!("   => encodings unique up to {} edges", report.unique_up_to_edges());
+    println!(
+        "   => encodings unique up to {} edges",
+        report.unique_up_to_edges()
+    );
     if let Some(class) = report.classes.iter().find(|c| c.example.is_some()) {
         let (a, b) = class.example.as_ref().expect("checked");
-        let names: Vec<String> = (0..config.label_count).map(|i| format!("{}", (b'a' + i as u8) as char)).collect();
+        let names: Vec<String> = (0..config.label_count)
+            .map(|i| format!("{}", (b'a' + i as u8) as char))
+            .collect();
         let labels = LabelSet::from_names(names).expect("few labels");
         println!(
             "   smallest collision (Fig. 1C style): {} edges",
             class.edges
         );
-        println!("     graph A: labels {:?}, edges {:?}", a.labels(), a.edges());
-        println!("     graph B: labels {:?}, edges {:?}", b.labels(), b.edges());
-        println!("     shared encoding: {}", a.encoding(config.label_count).render(&labels));
+        println!(
+            "     graph A: labels {:?}, edges {:?}",
+            a.labels(),
+            a.edges()
+        );
+        println!(
+            "     graph B: labels {:?}, edges {:?}",
+            b.labels(),
+            b.edges()
+        );
+        println!(
+            "     shared encoding: {}",
+            a.encoding(config.label_count).render(&labels)
+        );
     }
     println!();
 }

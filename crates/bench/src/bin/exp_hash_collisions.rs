@@ -48,8 +48,9 @@ fn main() {
         let mut encodings: HashMap<hsgf_core::Encoding, ()> = HashMap::new();
         let step = (graph.node_count() / sample.max(1)).max(1);
         for v in (0..graph.node_count()).step_by(step) {
-            let census =
-                engine.census_encodings(NodeId::new(v as u32), &mut scratch).expect("valid");
+            let census = engine
+                .census_encodings(NodeId::new(v as u32), &mut scratch)
+                .expect("valid");
             for enc in census.counts.into_keys() {
                 encodings.insert(enc, ());
             }
@@ -64,7 +65,10 @@ fn main() {
             let distinct = seen.len();
             let lost = total - distinct;
             row.push(distinct.to_string());
-            row.push(format!("{lost} ({:.2}%)", 100.0 * lost as f64 / total.max(1) as f64));
+            row.push(format!(
+                "{lost} ({:.2}%)",
+                100.0 * lost as f64 / total.max(1) as f64
+            ));
         }
         rows.push(row);
     }

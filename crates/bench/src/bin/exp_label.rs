@@ -29,12 +29,17 @@ fn main() {
         vec![0.1, 0.3, 0.5, 0.7, 0.9]
     };
     for (name, graph) in label_datasets(args.scale()) {
-        eprintln!("label prediction on {name} ({} nodes)...", graph.node_count());
-        let sweep =
-            training_size_sweep(&graph, &config, &fractions, &FeatureFamily::LABEL_TASK);
+        eprintln!(
+            "label prediction on {name} ({} nodes)...",
+            graph.node_count()
+        );
+        let sweep = training_size_sweep(&graph, &config, &fractions, &FeatureFamily::LABEL_TASK);
         println!("== Figure 5 ({name}) — Macro F1 vs. training size");
-        let xs: Vec<String> =
-            sweep.fractions.iter().map(|f| format!("{:.0}%", f * 100.0)).collect();
+        let xs: Vec<String> = sweep
+            .fractions
+            .iter()
+            .map(|f| format!("{:.0}%", f * 100.0))
+            .collect();
         let series: Vec<(String, Vec<String>)> = sweep
             .results
             .iter()

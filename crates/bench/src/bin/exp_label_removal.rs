@@ -25,11 +25,13 @@ fn main() {
     let fractions: Vec<f64> = (0..=5).map(|i| i as f64 * 0.15).collect();
     for (name, graph) in label_datasets(args.scale()) {
         eprintln!("label removal on {name} ({} nodes)...", graph.node_count());
-        let sweep =
-            label_removal_sweep(&graph, &config, &fractions, &FeatureFamily::LABEL_TASK);
+        let sweep = label_removal_sweep(&graph, &config, &fractions, &FeatureFamily::LABEL_TASK);
         println!("== Figure 5 D-F ({name}) — Macro F1 vs. removed labels (90% training)");
-        let xs: Vec<String> =
-            sweep.fractions.iter().map(|f| format!("{:.0}%", f * 100.0)).collect();
+        let xs: Vec<String> = sweep
+            .fractions
+            .iter()
+            .map(|f| format!("{:.0}%", f * 100.0))
+            .collect();
         let series: Vec<(String, Vec<String>)> = sweep
             .results
             .iter()

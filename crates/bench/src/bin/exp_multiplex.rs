@@ -34,8 +34,10 @@ fn main() {
     let seed = args.get("seed", 0x317);
     let (nodes, classes) = sample_labelled_nodes(&graph, per_label, seed);
     println!("== E10 — edge-typed vs. plain subgraph features (Macro F1, 70% training)");
-    let header: Vec<String> =
-        ["features", "macro F1"].iter().map(|s| s.to_string()).collect();
+    let header: Vec<String> = ["features", "macro F1"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
     let mut rows = Vec::new();
     for (name, edge_typed) in [("untyped", false), ("edge-typed", true)] {
         let config = CensusConfig::default()

@@ -47,7 +47,9 @@ fn main() {
             .map(|(ci, conf)| {
                 let mut row = vec![conf.clone()];
                 row.extend(
-                    results.ndcg[ci][ri].iter().map(|cell| fmt_ci(cell.mean, cell.ci95)),
+                    results.ndcg[ci][ri]
+                        .iter()
+                        .map(|cell| fmt_ci(cell.mean, cell.ci95)),
                 );
                 row
             })

@@ -28,7 +28,11 @@ fn main() {
     .collect();
     let mut rows = Vec::new();
     for (name, graph) in label_datasets(args.scale()) {
-        eprintln!("timing {name} ({} nodes, {} edges)...", graph.node_count(), graph.edge_count());
+        eprintln!(
+            "timing {name} ({} nodes, {} edges)...",
+            graph.node_count(),
+            graph.edge_count()
+        );
         let report = runtime_report(&graph, &config);
         let mut row = vec![
             name.to_string(),

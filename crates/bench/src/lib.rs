@@ -1,8 +1,11 @@
 //! Shared plumbing for the experiment binaries: a tiny `--flag value`
-//! parser (no CLI dependency) and dataset construction helpers.
+//! parser (no CLI dependency), dataset construction helpers, and the
+//! in-repo wall-clock benchmark [`runner`] that replaces `criterion`.
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
+
+pub mod runner;
 
 use hsgf_data::{ImdbConfig, ImdbData, LoadConfig, LoadData, MagConfig, MagData, Scale};
 use hsgf_graph::HetGraph;
@@ -69,7 +72,11 @@ pub fn label_datasets(scale: Scale) -> Vec<(&'static str, HetGraph)> {
     let load = LoadData::generate(&LoadConfig::at_scale(scale));
     let imdb = ImdbData::generate(&ImdbConfig::at_scale(scale));
     let mag = MagData::generate(&MagConfig::at_scale(scale));
-    vec![("LOAD", load.graph), ("IMDB", imdb.graph), ("MAG", mag.label_graph())]
+    vec![
+        ("LOAD", load.graph),
+        ("IMDB", imdb.graph),
+        ("MAG", mag.label_graph()),
+    ]
 }
 
 /// The MAG corpus at a scale (rank-prediction substrate).

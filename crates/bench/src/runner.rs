@@ -1,0 +1,316 @@
+//! Minimal wall-clock benchmark runner — the in-repo replacement for
+//! `criterion`, so `cargo bench` works with zero external dependencies.
+//!
+//! Protocol per benchmark: a warmup phase, an iteration-count calibration
+//! so each sample runs long enough to dominate timer noise, then `samples`
+//! timed samples whose **median** is the headline number (robust to OS
+//! scheduling spikes, like criterion's default estimator). Results are
+//! printed as a table and written as JSON under `target/hsgf-bench/` for
+//! the experiment scripts to diff across commits.
+//!
+//! Environment knobs:
+//!
+//! * `HSGF_BENCH_SAMPLES` — timed samples per benchmark (default 10).
+//! * `HSGF_BENCH_WARMUP_MS` — warmup duration per benchmark (default 300).
+//! * `HSGF_BENCH_SAMPLE_MS` — target duration of one sample (default 50).
+//! * `HSGF_BENCH_FAST=1` — CI smoke mode: 3 samples, 10 ms budgets.
+
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+/// One benchmark's aggregated timings, in nanoseconds per iteration.
+#[derive(Clone, Debug)]
+pub struct Measurement {
+    /// Benchmark id (`group/name`).
+    pub name: String,
+    /// Median over samples — the headline statistic.
+    pub median_ns: f64,
+    /// Mean over samples.
+    pub mean_ns: f64,
+    /// Fastest sample.
+    pub min_ns: f64,
+    /// Slowest sample.
+    pub max_ns: f64,
+    /// Number of timed samples.
+    pub samples: usize,
+    /// Iterations per sample after calibration.
+    pub iters_per_sample: u64,
+}
+
+fn env_u64(key: &str, default: u64) -> u64 {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Timing configuration resolved from the environment.
+#[derive(Clone, Debug)]
+pub struct RunnerConfig {
+    /// Timed samples per benchmark.
+    pub samples: usize,
+    /// Warmup wall-clock budget.
+    pub warmup: Duration,
+    /// Target wall-clock duration of one sample.
+    pub sample_target: Duration,
+}
+
+impl Default for RunnerConfig {
+    fn default() -> Self {
+        if env_u64("HSGF_BENCH_FAST", 0) == 1 {
+            return RunnerConfig {
+                samples: env_u64("HSGF_BENCH_SAMPLES", 3) as usize,
+                warmup: Duration::from_millis(env_u64("HSGF_BENCH_WARMUP_MS", 10)),
+                sample_target: Duration::from_millis(env_u64("HSGF_BENCH_SAMPLE_MS", 10)),
+            };
+        }
+        RunnerConfig {
+            samples: env_u64("HSGF_BENCH_SAMPLES", 10) as usize,
+            warmup: Duration::from_millis(env_u64("HSGF_BENCH_WARMUP_MS", 300)),
+            sample_target: Duration::from_millis(env_u64("HSGF_BENCH_SAMPLE_MS", 50)),
+        }
+    }
+}
+
+/// Collects measurements for one benchmark suite (one `[[bench]] ` target).
+pub struct Runner {
+    suite: String,
+    config: RunnerConfig,
+    results: Vec<Measurement>,
+}
+
+impl Runner {
+    /// Creates a runner for the named suite with env-resolved settings.
+    pub fn new(suite: &str) -> Self {
+        Runner {
+            suite: suite.to_string(),
+            config: RunnerConfig::default(),
+            results: Vec::new(),
+        }
+    }
+
+    /// Benchmarks a closure under `name`. The closure's return value is
+    /// passed through [`black_box`] so the work is never optimized away.
+    pub fn bench_function<R>(&mut self, name: &str, mut routine: impl FnMut() -> R) {
+        // Warmup: also counts iterations for calibration.
+        let warmup_start = Instant::now();
+        let mut warmup_iters: u64 = 0;
+        while warmup_start.elapsed() < self.config.warmup || warmup_iters == 0 {
+            black_box(routine());
+            warmup_iters += 1;
+        }
+        let per_iter = warmup_start.elapsed().as_secs_f64() / warmup_iters as f64;
+        let iters = ((self.config.sample_target.as_secs_f64() / per_iter.max(1e-9)).ceil() as u64)
+            .clamp(1, 1_000_000_000);
+        let mut sample_ns = Vec::with_capacity(self.config.samples);
+        for _ in 0..self.config.samples.max(1) {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            sample_ns.push(start.elapsed().as_nanos() as f64 / iters as f64);
+        }
+        sample_ns.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        let n = sample_ns.len();
+        let median_ns = if n % 2 == 1 {
+            sample_ns[n / 2]
+        } else {
+            (sample_ns[n / 2 - 1] + sample_ns[n / 2]) / 2.0
+        };
+        let measurement = Measurement {
+            name: name.to_string(),
+            median_ns,
+            mean_ns: sample_ns.iter().sum::<f64>() / n as f64,
+            min_ns: sample_ns[0],
+            max_ns: sample_ns[n - 1],
+            samples: n,
+            iters_per_sample: iters,
+        };
+        println!(
+            "{:<40} median {:>12}  (min {}, max {}, {} samples × {} iters)",
+            measurement.name,
+            format_ns(measurement.median_ns),
+            format_ns(measurement.min_ns),
+            format_ns(measurement.max_ns),
+            measurement.samples,
+            measurement.iters_per_sample,
+        );
+        self.results.push(measurement);
+    }
+
+    /// Starts a named group; benchmark ids become `group/name`.
+    pub fn group(&mut self, prefix: &str) -> Group<'_> {
+        Group {
+            runner: self,
+            prefix: prefix.to_string(),
+        }
+    }
+
+    /// Prints the summary and writes `target/hsgf-bench/<suite>.json`.
+    /// Call at the end of `main`.
+    pub fn finish(self) {
+        let json = self.to_json();
+        let dir = target_dir().join("hsgf-bench");
+        let path = dir.join(format!("{}.json", self.suite));
+        let write = std::fs::create_dir_all(&dir)
+            .and_then(|_| std::fs::File::create(&path))
+            .and_then(|mut f| f.write_all(json.as_bytes()));
+        match write {
+            Ok(()) => println!("\n{} benchmarks -> {}", self.results.len(), path.display()),
+            Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+        }
+    }
+
+    /// The suite's results as a JSON document (hand-rolled; the workspace
+    /// carries no serialization dependency).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        let _ = writeln!(out, "  \"suite\": \"{}\",", escape_json(&self.suite));
+        let _ = writeln!(out, "  \"benchmarks\": [");
+        for (i, m) in self.results.iter().enumerate() {
+            let comma = if i + 1 < self.results.len() { "," } else { "" };
+            let _ = writeln!(
+                out,
+                "    {{\"name\": \"{}\", \"median_ns\": {:.1}, \"mean_ns\": {:.1}, \
+                 \"min_ns\": {:.1}, \"max_ns\": {:.1}, \"samples\": {}, \"iters\": {}}}{comma}",
+                escape_json(&m.name),
+                m.median_ns,
+                m.mean_ns,
+                m.min_ns,
+                m.max_ns,
+                m.samples,
+                m.iters_per_sample,
+            );
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Measurements collected so far (for tests and custom reporting).
+    pub fn results(&self) -> &[Measurement] {
+        &self.results
+    }
+}
+
+/// A prefix scope over a [`Runner`]; mirrors criterion's `benchmark_group`.
+pub struct Group<'a> {
+    runner: &'a mut Runner,
+    prefix: String,
+}
+
+impl Group<'_> {
+    /// Benchmarks `routine` as `prefix/name`.
+    pub fn bench_function<R>(&mut self, name: impl std::fmt::Display, routine: impl FnMut() -> R) {
+        let id = format!("{}/{}", self.prefix, name);
+        self.runner.bench_function(&id, routine);
+    }
+
+    /// Ends the group (drop would do; kept for call-site symmetry).
+    pub fn finish(self) {}
+}
+
+/// The cargo target directory. `cargo bench` runs with the package's
+/// manifest dir as cwd, so a relative `target/` would land inside
+/// `crates/bench/`; instead honour `CARGO_TARGET_DIR` or walk up from the
+/// bench executable (which lives under `<target>/release/deps/`).
+fn target_dir() -> std::path::PathBuf {
+    if let Ok(dir) = std::env::var("CARGO_TARGET_DIR") {
+        return std::path::PathBuf::from(dir);
+    }
+    if let Ok(exe) = std::env::current_exe() {
+        let mut dir = exe.as_path();
+        while let Some(parent) = dir.parent() {
+            if parent.file_name().is_some_and(|n| n == "target") {
+                return parent.to_path_buf();
+            }
+            dir = parent;
+        }
+    }
+    std::path::PathBuf::from("target")
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast_config() -> RunnerConfig {
+        RunnerConfig {
+            samples: 3,
+            warmup: Duration::from_millis(1),
+            sample_target: Duration::from_millis(1),
+        }
+    }
+
+    #[test]
+    fn measures_and_orders_statistics() {
+        let mut runner = Runner::new("test-suite");
+        runner.config = fast_config();
+        runner.bench_function("noop", || 1 + 1);
+        let m = &runner.results()[0];
+        assert_eq!(m.name, "noop");
+        assert!(m.min_ns <= m.median_ns && m.median_ns <= m.max_ns);
+        assert!(m.min_ns > 0.0);
+        assert_eq!(m.samples, 3);
+    }
+
+    #[test]
+    fn groups_prefix_names() {
+        let mut runner = Runner::new("test-suite");
+        runner.config = fast_config();
+        let mut g = runner.group("census");
+        g.bench_function("emax2", || 0u64);
+        g.bench_function(3, || 0u64);
+        g.finish();
+        let names: Vec<&str> = runner.results().iter().map(|m| m.name.as_str()).collect();
+        assert_eq!(names, vec!["census/emax2", "census/3"]);
+    }
+
+    #[test]
+    fn json_is_well_formed_enough() {
+        let mut runner = Runner::new("suite \"q\"");
+        runner.config = fast_config();
+        runner.bench_function("a", || ());
+        let json = runner.to_json();
+        assert!(json.contains("\"suite\": \"suite \\\"q\\\"\""));
+        assert!(json.contains("\"median_ns\""));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn escape_handles_control_chars() {
+        assert_eq!(escape_json("a\nb"), "a\\nb");
+        assert_eq!(escape_json("t\u{1}"), "t\\u0001");
+    }
+}

@@ -21,7 +21,9 @@ use hsgf_core::export;
 use hsgf_core::features::FeatureMatrix;
 use hsgf_core::parallel::extract_censuses;
 use hsgf_core::sampling;
-use hsgf_data::{FlowConfig, FlowData, ImdbConfig, ImdbData, LoadConfig, LoadData, MagConfig, MagData, Scale};
+use hsgf_data::{
+    FlowConfig, FlowData, ImdbConfig, ImdbData, LoadConfig, LoadData, MagConfig, MagData, Scale,
+};
 use hsgf_graph::{DegreeStats, HetGraph, LabelConnectivityGraph, NodeId};
 
 /// A parsed `--key value` / `--flag` command line.
@@ -70,7 +72,11 @@ impl Options {
 
     /// Optional string value.
     pub fn get_opt(&self, key: &str) -> Option<&str> {
-        self.pairs.iter().rev().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+        self.pairs
+            .iter()
+            .rev()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
     }
 
     /// Bare-flag check.
@@ -168,7 +174,11 @@ pub fn info<W: Write>(graph: &HetGraph, mut out: W) -> Result<(), CliError> {
         graph.node_count(),
         graph.edge_count(),
         graph.label_count(),
-        if graph.has_directions() { " (directed edges present)" } else { "" }
+        if graph.has_directions() {
+            " (directed edges present)"
+        } else {
+            ""
+        }
     )?;
     let hist = graph.label_histogram();
     for (label, name) in graph.labels().iter() {
@@ -214,7 +224,9 @@ impl RootSpec {
                 .map_err(|_| CliError::Usage(format!("bad sample count in {s:?}")))?;
             return Ok(RootSpec::Sample(k.max(1)));
         }
-        Err(CliError::Usage(format!("bad --roots value {s:?}; expected all or sample:K")))
+        Err(CliError::Usage(format!(
+            "bad --roots value {s:?}; expected all or sample:K"
+        )))
     }
 }
 
@@ -265,7 +277,11 @@ pub fn extract(graph: &HetGraph, params: &ExtractParams) -> Result<FeatureMatrix
 /// Full dispatch: interprets `options` and writes human output to `out`.
 /// Returns the process exit code.
 pub fn run<W: Write>(options: &Options, mut out: W) -> Result<(), CliError> {
-    let sub = options.positional.first().map(String::as_str).unwrap_or("help");
+    let sub = options
+        .positional
+        .first()
+        .map(String::as_str)
+        .unwrap_or("help");
     match sub {
         "help" => {
             writeln!(out, "{USAGE}")?;
@@ -309,7 +325,9 @@ pub fn run<W: Write>(options: &Options, mut out: W) -> Result<(), CliError> {
                 min_df: options.get("min-df", 1),
                 threads: options.get(
                     "threads",
-                    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
+                    std::thread::available_parallelism()
+                        .map(|n| n.get())
+                        .unwrap_or(4),
                 ),
             };
             let matrix = extract(&graph, &params)?;
@@ -340,7 +358,9 @@ mod tests {
 
     #[test]
     fn parse_splits_positional_pairs_flags() {
-        let o = opts(&["extract", "g.txt", "--emax", "5", "--mask", "--roots", "sample:3"]);
+        let o = opts(&[
+            "extract", "g.txt", "--emax", "5", "--mask", "--roots", "sample:3",
+        ]);
         assert_eq!(o.positional, vec!["extract", "g.txt"]);
         assert_eq!(o.get("emax", 0usize), 5);
         assert!(o.flag("mask"));
@@ -353,7 +373,10 @@ mod tests {
             let g = generate(name, Scale::Tiny).unwrap();
             assert!(g.node_count() > 0, "{name}");
         }
-        assert!(matches!(generate("nope", Scale::Tiny), Err(CliError::Usage(_))));
+        assert!(matches!(
+            generate("nope", Scale::Tiny),
+            Err(CliError::Usage(_))
+        ));
     }
 
     #[test]
@@ -370,7 +393,10 @@ mod tests {
     #[test]
     fn root_spec_parsing() {
         assert!(matches!(RootSpec::parse("all").unwrap(), RootSpec::All));
-        assert!(matches!(RootSpec::parse("sample:7").unwrap(), RootSpec::Sample(7)));
+        assert!(matches!(
+            RootSpec::parse("sample:7").unwrap(),
+            RootSpec::Sample(7)
+        ));
         assert!(RootSpec::parse("everything").is_err());
         assert!(RootSpec::parse("sample:x").is_err());
     }
@@ -397,7 +423,10 @@ mod tests {
         let mut buf = Vec::new();
         run(&opts(&["help"]), &mut buf).unwrap();
         assert!(String::from_utf8(buf).unwrap().contains("USAGE"));
-        assert!(matches!(run(&opts(&["bogus"]), Vec::new()), Err(CliError::Usage(_))));
+        assert!(matches!(
+            run(&opts(&["bogus"]), Vec::new()),
+            Err(CliError::Usage(_))
+        ));
     }
 
     #[test]

@@ -35,11 +35,9 @@
 use std::collections::HashMap;
 use std::fmt;
 
-use hsgf_graph::{HetGraph, NodeId, Orientation};
-use serde::{Deserialize, Serialize};
-
 use crate::hash::{mix, HashScheme, LabelBases};
 use crate::sequence::Encoding;
+use hsgf_graph::{HetGraph, NodeId, Orientation};
 
 /// Hard upper bound on `emax`: per-node neighbour counts must fit `u8` and
 /// the exclusion recursion depth equals `emax`. The paper uses 5 and 6.
@@ -75,7 +73,7 @@ impl fmt::Display for CensusError {
 impl std::error::Error for CensusError {}
 
 /// Census parameters. Mirrors the paper's knobs.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct CensusConfig {
     /// Maximum number of edges per subgraph (paper: 5 for label prediction,
     /// 6 for rank prediction).
@@ -259,10 +257,21 @@ impl<'g> CensusEngine<'g> {
             return Err(CensusError::InvalidEmax { emax: config.emax });
         }
         let alphabet = graph.label_count() + usize::from(config.mask_root_label);
-        let type_count = if config.edge_typed { graph.edge_type_count() } else { 1 };
+        let type_count = if config.edge_typed {
+            graph.edge_type_count()
+        } else {
+            1
+        };
         let cols = alphabet * if config.directed { 3 } else { 1 } * type_count;
         let bases = LabelBases::with_max_exponent(alphabet, cols, config.hash_seed);
-        Ok(CensusEngine { graph, config, bases, alphabet, cols, type_count })
+        Ok(CensusEngine {
+            graph,
+            config,
+            bases,
+            alphabet,
+            cols,
+            type_count,
+        })
     }
 
     /// The engine's configuration.
@@ -283,7 +292,9 @@ impl<'g> CensusEngine<'g> {
 
     /// The mask label id, if masking is enabled.
     pub fn mask_label(&self) -> Option<u8> {
-        self.config.mask_root_label.then_some(self.graph.label_count() as u8)
+        self.config
+            .mask_root_label
+            .then_some(self.graph.label_count() as u8)
     }
 
     /// Allocates a scratch sized for this graph.
@@ -320,7 +331,9 @@ impl<'g> CensusEngine<'g> {
         root: NodeId,
         scratch: &mut CensusScratch,
     ) -> Result<HashMap<u64, u64>, CensusError> {
-        let mut sink = HashSink { counts: HashMap::new() };
+        let mut sink = HashSink {
+            counts: HashMap::new(),
+        };
         self.run(root, scratch, &mut sink)?;
         Ok(sink.counts)
     }
@@ -332,9 +345,16 @@ impl<'g> CensusEngine<'g> {
         root: NodeId,
         scratch: &mut CensusScratch,
     ) -> Result<EncodedCensus, CensusError> {
-        let mut sink = EncodingSink { counts: HashMap::new(), by_hash: HashMap::new(), collisions: 0 };
+        let mut sink = EncodingSink {
+            counts: HashMap::new(),
+            by_hash: HashMap::new(),
+            collisions: 0,
+        };
         self.run(root, scratch, &mut sink)?;
-        Ok(EncodedCensus { counts: sink.counts, hash_collisions: sink.collisions })
+        Ok(EncodedCensus {
+            counts: sink.counts,
+            hash_collisions: sink.collisions,
+        })
     }
 
     /// Runs the census with a caller-provided sink.
@@ -388,7 +408,11 @@ impl<'g> CensusEngine<'g> {
         for (&x, &e) in nbrs.iter().zip(ids) {
             if !scratch.edge_seen[e as usize] {
                 scratch.edge_seen[e as usize] = true;
-                scratch.ext.push(Candidate { edge: e, from: w, to: x });
+                scratch.ext.push(Candidate {
+                    edge: e,
+                    from: w,
+                    to: x,
+                });
             }
         }
     }
@@ -509,7 +533,10 @@ impl<'g> CensusEngine<'g> {
         }
         scratch.sub_edge_count -= 1;
         if node_was_new {
-            debug_assert_eq!(rv_to_new, lb as u64, "leaving node must revert to label term");
+            debug_assert_eq!(
+                rv_to_new, lb as u64,
+                "leaving node must revert to label term"
+            );
             let popped = scratch.sub_nodes.pop();
             debug_assert_eq!(popped, Some(cand.to));
             scratch.in_sub[cand.to.index()] = false;
@@ -659,9 +686,8 @@ impl CensusSink for CountingSink {
 mod tests {
     use std::collections::HashMap;
 
+    use hsgf_graph::rng::Rng;
     use hsgf_graph::{generators, GraphBuilder, Label, LabelSet};
-    use rand::rngs::SmallRng;
-    use rand::{Rng, SeedableRng};
 
     use crate::reference::naive_census;
 
@@ -679,7 +705,7 @@ mod tests {
 
     /// Random small labelled graph for oracle comparisons.
     fn random_graph(seed: u64, n: usize, p: f64, labels: usize) -> HetGraph {
-        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut rng = Rng::from_seed(seed);
         let names: Vec<String> = (0..labels).map(|i| format!("l{i}")).collect();
         let mut b = GraphBuilder::with_label_names(names).unwrap();
         for _ in 0..n {
@@ -708,7 +734,8 @@ mod tests {
                 let expected = naive_census(&g, NodeId::new(0), &config);
                 let actual = engine_census(&g, NodeId::new(0), config);
                 assert_eq!(
-                    expected, actual,
+                    expected,
+                    actual,
                     "mismatch: seed={seed} emax={emax} edges={:?}",
                     g.edges().collect::<Vec<_>>()
                 );
@@ -739,7 +766,9 @@ mod tests {
             if g.edge_count() == 0 || g.edge_count() > 18 {
                 continue;
             }
-            let config = CensusConfig::default().with_emax(3).with_mask_root_label(true);
+            let config = CensusConfig::default()
+                .with_emax(3)
+                .with_mask_root_label(true);
             let expected = naive_census(&g, NodeId::new(2), &config);
             let actual = engine_census(&g, NodeId::new(2), config);
             assert_eq!(expected, actual, "mismatch: seed={seed}");
@@ -784,12 +813,16 @@ mod tests {
         let g = random_graph(11, 12, 0.25, 3);
         let engine = CensusEngine::new(&g, CensusConfig::default().with_emax(3)).unwrap();
         let mut scratch = engine.make_scratch();
-        let first = engine.census_encodings(NodeId::new(0), &mut scratch).unwrap();
+        let first = engine
+            .census_encodings(NodeId::new(0), &mut scratch)
+            .unwrap();
         // Interleave other roots, then repeat the first: identical results.
         for root in g.nodes() {
             let _ = engine.census_encodings(root, &mut scratch).unwrap();
         }
-        let again = engine.census_encodings(NodeId::new(0), &mut scratch).unwrap();
+        let again = engine
+            .census_encodings(NodeId::new(0), &mut scratch)
+            .unwrap();
         assert_eq!(first.counts, again.counts);
     }
 
@@ -826,7 +859,11 @@ mod tests {
         let counts = engine_census(&g, NodeId::new(0), CensusConfig::default().with_emax(3));
         let total: u64 = counts.values().sum();
         assert_eq!(total, 3);
-        assert_eq!(counts.len(), 3, "all three prefixes have distinct encodings");
+        assert_eq!(
+            counts.len(),
+            3,
+            "all three prefixes have distinct encodings"
+        );
         // Root = b: {ab}, {bc}, {ab,bc}, {bc,cd}, {ab,bc,cd} -> 5.
         let counts = engine_census(&g, NodeId::new(1), CensusConfig::default().with_emax(3));
         let total: u64 = counts.values().sum();
@@ -880,7 +917,7 @@ mod tests {
 
     /// Random small graph where ~half the edges carry a direction.
     fn random_directed_graph(seed: u64, n: usize, p: f64, labels: usize) -> HetGraph {
-        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut rng = Rng::from_seed(seed);
         let names: Vec<String> = (0..labels).map(|i| format!("l{i}")).collect();
         let mut b = GraphBuilder::with_label_names(names).unwrap();
         for _ in 0..n {
@@ -947,8 +984,11 @@ mod tests {
         let g = random_graph(55, 8, 0.35, 2);
         let root = NodeId::new(0);
         let undirected = engine_census(&g, root, CensusConfig::default().with_emax(3));
-        let directed =
-            engine_census(&g, root, CensusConfig::default().with_emax(3).with_directed(true));
+        let directed = engine_census(
+            &g,
+            root,
+            CensusConfig::default().with_emax(3).with_directed(true),
+        );
         let mut a: Vec<u64> = undirected.values().copied().collect();
         let mut b: Vec<u64> = directed.values().copied().collect();
         a.sort_unstable();
@@ -972,7 +1012,7 @@ mod tests {
 
     /// Random small graph with typed (and possibly directed) edges.
     fn random_typed_graph(seed: u64, n: usize, p: f64, labels: usize, types: u8) -> HetGraph {
-        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut rng = Rng::from_seed(seed);
         let names: Vec<String> = (0..labels).map(|i| format!("l{i}")).collect();
         let mut b = GraphBuilder::with_label_names(names).unwrap();
         for _ in 0..n {
@@ -982,9 +1022,10 @@ mod tests {
         for u in 0..n as u32 {
             for v in (u + 1)..n as u32 {
                 if rng.gen_bool(p) {
-                    let ty = rng.gen_range(0..types);
+                    let ty = rng.gen_range(0u8..types);
                     if rng.gen_bool(0.5) {
-                        b.add_edge_typed(NodeId::new(u), NodeId::new(v), ty).unwrap();
+                        b.add_edge_typed(NodeId::new(u), NodeId::new(v), ty)
+                            .unwrap();
                     } else {
                         b.add_arc_typed(NodeId::new(u), NodeId::new(v), ty).unwrap();
                     }
@@ -1069,7 +1110,10 @@ mod tests {
                 .rows()
                 .filter(|r| r[1..].iter().map(|&t| t as usize).sum::<usize>() > 1)
                 .count();
-            assert!(high_degree_rows <= 1, "non-star subgraph slipped through: {enc:?}");
+            assert!(
+                high_degree_rows <= 1,
+                "non-star subgraph slipped through: {enc:?}"
+            );
         }
     }
 }

@@ -32,7 +32,11 @@ pub struct EnumerationConfig {
 impl EnumerationConfig {
     /// All label pairs allowed (LCG complete, with self loops).
     pub fn unrestricted(label_count: usize, max_edges: usize) -> Self {
-        EnumerationConfig { label_count, max_edges, allowed_pairs: None }
+        EnumerationConfig {
+            label_count,
+            max_edges,
+            allowed_pairs: None,
+        }
     }
 
     /// Forbids same-label edges only (loop-free LCG, complete otherwise).
@@ -40,7 +44,11 @@ impl EnumerationConfig {
         let allowed = (0..label_count)
             .map(|a| (0..label_count).map(|b| a != b).collect())
             .collect();
-        EnumerationConfig { label_count, max_edges, allowed_pairs: Some(allowed) }
+        EnumerationConfig {
+            label_count,
+            max_edges,
+            allowed_pairs: Some(allowed),
+        }
     }
 
     fn pair_allowed(&self, a: u8, b: u8) -> bool {
@@ -177,7 +185,10 @@ pub fn collision_report(graphs: &[SmallGraph], label_count: usize) -> CollisionR
     for g in graphs {
         let e = g.edge_count();
         classes[e].graphs += 1;
-        by_encoding[e].entry(g.encoding(label_count)).or_default().push(g);
+        by_encoding[e]
+            .entry(g.encoding(label_count))
+            .or_default()
+            .push(g);
     }
     for (e, map) in by_encoding.iter().enumerate() {
         classes[e].distinct_encodings = map.len();
@@ -340,7 +351,10 @@ mod tests {
         let class5 = &report.classes[5];
         assert!(class5.colliding_pairs > 0);
         let (a, b) = class5.example.as_ref().unwrap();
-        assert!(!a.is_isomorphic(b), "collision witnesses must be non-isomorphic");
+        assert!(
+            !a.is_isomorphic(b),
+            "collision witnesses must be non-isomorphic"
+        );
         assert_eq!(a.encoding(1), b.encoding(1));
     }
 

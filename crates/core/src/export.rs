@@ -1,12 +1,15 @@
-//! Feature-matrix export: CSV for downstream tooling and a compact text
-//! vocabulary listing. The paper's original pipeline handed features to
-//! Python/scikit-learn; these writers keep that workflow available.
+//! Feature-matrix export: CSV and JSON for downstream tooling, a TSV
+//! vocabulary listing, and JSON summaries of graph statistics. The paper's
+//! original pipeline handed features to Python/scikit-learn; these writers
+//! keep that workflow available. All serialization is hand-rolled via
+//! [`crate::json`] — the workspace carries no serde.
 
 use std::io::Write;
 
-use hsgf_graph::LabelSet;
+use hsgf_graph::{DegreeStats, HetGraph, LabelConnectivityGraph, LabelSet};
 
 use crate::features::FeatureMatrix;
+use crate::json::{JsonArray, JsonObject};
 
 /// Writes the matrix as CSV: a header row of rendered encodings (using the
 /// given label names) followed by one dense row per root. The first column
@@ -75,6 +78,94 @@ pub fn to_csv_string(matrix: &FeatureMatrix, labels: &LabelSet) -> String {
     String::from_utf8(buf).expect("CSV is UTF-8")
 }
 
+/// Renders the matrix as a JSON document: the vocabulary (rendered
+/// encodings in feature order) plus one sparse row per root as
+/// `{"node": id, "features": [[index, value], ...]}`.
+pub fn matrix_to_json(matrix: &FeatureMatrix, labels: &LabelSet) -> String {
+    let mut vocab = JsonArray::new();
+    for (_, encoding) in matrix.space().iter() {
+        vocab.push_str(&encoding.render(labels));
+    }
+    let mut rows = JsonArray::new();
+    for (i, root) in matrix.roots().iter().enumerate() {
+        let mut features = JsonArray::new();
+        for &(f, v) in matrix.row(i) {
+            let mut pair = JsonArray::new();
+            pair.push_uint(f as u64);
+            pair.push_num(v);
+            features.push_raw(&pair.finish());
+        }
+        let row = JsonObject::new()
+            .uint("node", root.raw() as u64)
+            .raw("features", &features.finish())
+            .finish();
+        rows.push_raw(&row);
+    }
+    JsonObject::new()
+        .uint("rows", matrix.row_count() as u64)
+        .uint("features", matrix.feature_count() as u64)
+        .raw("vocabulary", &vocab.finish())
+        .raw("matrix", &rows.finish())
+        .finish()
+}
+
+/// Writes [`matrix_to_json`] output to `out`.
+pub fn write_json<W: Write>(
+    matrix: &FeatureMatrix,
+    labels: &LabelSet,
+    mut out: W,
+) -> std::io::Result<()> {
+    out.write_all(matrix_to_json(matrix, labels).as_bytes())
+}
+
+/// Renders a graph's degree statistics as JSON (the summary the old serde
+/// derive on [`DegreeStats`] was meant to provide).
+pub fn degree_stats_to_json(stats: &DegreeStats) -> String {
+    let mut histogram = JsonArray::new();
+    for (degree, count) in stats.histogram() {
+        let mut pair = JsonArray::new();
+        pair.push_uint(degree as u64);
+        pair.push_uint(count as u64);
+        histogram.push_raw(&pair.finish());
+    }
+    JsonObject::new()
+        .uint("nodes", stats.node_count() as u64)
+        .uint("min_degree", stats.min() as u64)
+        .uint("max_degree", stats.max() as u64)
+        .num("mean_degree", stats.mean())
+        .uint("median_degree", stats.median() as u64)
+        .uint("degree_p90", stats.degree_at_percentile(90.0) as u64)
+        .num("hub_ratio", stats.hub_ratio())
+        .raw("histogram", &histogram.finish())
+        .finish()
+}
+
+/// Renders a graph-level summary (counts, degree statistics, and the label
+/// connectivity structure that decides the collision-free `emax` bound) as
+/// JSON — the one-stop dataset characterization the experiments log.
+pub fn graph_summary_to_json(graph: &HetGraph) -> String {
+    let stats = DegreeStats::of(graph);
+    let lcg = LabelConnectivityGraph::of(graph);
+    let mut label_names = JsonArray::new();
+    for l in graph.labels().labels() {
+        label_names.push_str(graph.labels().name(l).unwrap_or("?"));
+    }
+    let lcg_json = JsonObject::new()
+        .uint("labels", lcg.label_count() as u64)
+        .uint("meta_edges", lcg.meta_edge_count() as u64)
+        .num("density", lcg.density())
+        .bool("has_self_loop", lcg.has_any_self_loop())
+        .uint("unique_encoding_emax", lcg.unique_encoding_emax() as u64)
+        .finish();
+    JsonObject::new()
+        .uint("nodes", graph.node_count() as u64)
+        .uint("edges", graph.edge_count() as u64)
+        .raw("labels", &label_names.finish())
+        .raw("degrees", &degree_stats_to_json(&stats))
+        .raw("lcg", &lcg_json)
+        .finish()
+}
+
 #[cfg(test)]
 mod tests {
     use std::collections::HashMap;
@@ -135,5 +226,42 @@ mod tests {
         let text = String::from_utf8(buf).unwrap();
         assert_eq!(text.lines().count(), 1 + matrix.feature_count());
         assert!(text.contains("doc_freq"));
+    }
+
+    #[test]
+    fn matrix_json_carries_vocabulary_and_sparse_rows() {
+        let (matrix, labels) = sample();
+        let json = matrix_to_json(&matrix, &labels);
+        assert!(json.contains("\"rows\":2"));
+        assert!(json.contains(&format!("\"features\":{}", matrix.feature_count())));
+        assert!(json.contains("\"node\":3"));
+        assert!(json.contains("\"node\":8"));
+        // Balanced delimiters is a cheap well-formedness proxy.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        let mut buf = Vec::new();
+        write_json(&matrix, &labels, &mut buf).unwrap();
+        assert_eq!(String::from_utf8(buf).unwrap(), json);
+    }
+
+    #[test]
+    fn graph_summary_json_reports_structure() {
+        use hsgf_graph::GraphBuilder;
+        let mut b = GraphBuilder::with_label_names(["a", "b"]).unwrap();
+        let n0 = b.add_node("a").unwrap();
+        let n1 = b.add_node("b").unwrap();
+        let n2 = b.add_node("b").unwrap();
+        b.add_edge(n0, n1).unwrap();
+        b.add_edge(n1, n2).unwrap();
+        let g = b.build();
+        let json = graph_summary_to_json(&g);
+        assert!(json.contains("\"nodes\":3"));
+        assert!(json.contains("\"edges\":2"));
+        assert!(json.contains("\"labels\":[\"a\",\"b\"]"));
+        // b--b edge means a self loop on the LCG, so emax bound is 4.
+        assert!(json.contains("\"has_self_loop\":true"));
+        assert!(json.contains("\"unique_encoding_emax\":4"));
+        assert!(json.contains("\"max_degree\":2"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
 }

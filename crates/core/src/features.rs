@@ -89,15 +89,17 @@ impl FeatureMatrix {
     /// assert_eq!(m.feature_count(), 1);
     /// assert_eq!(m.value(0, m.space().get(&edge).unwrap()), 3.0);
     /// ```
-    pub fn from_censuses(
-        roots: Vec<NodeId>,
-        censuses: Vec<HashMap<Encoding, u64>>,
-    ) -> Self {
+    pub fn from_censuses(roots: Vec<NodeId>, censuses: Vec<HashMap<Encoding, u64>>) -> Self {
         assert_eq!(roots.len(), censuses.len(), "one census per root");
         let mut space = FeatureSpace::new();
         let mut rows = Vec::with_capacity(censuses.len());
         for census in censuses {
-            let mut row: Vec<(u32, f64)> = census
+            // HashMap iteration order is randomized per process; intern in
+            // encoding-byte order so feature indices — and everything
+            // derived from them — are a pure function of the censuses.
+            let mut entries: Vec<(Encoding, u64)> = census.into_iter().collect();
+            entries.sort_unstable_by(|a, b| a.0.as_bytes().cmp(b.0.as_bytes()));
+            let mut row: Vec<(u32, f64)> = entries
                 .into_iter()
                 .map(|(enc, count)| (space.intern(enc), count as f64))
                 .collect();
@@ -175,7 +177,11 @@ impl FeatureMatrix {
                 new_row
             })
             .collect();
-        FeatureMatrix { space, rows, roots: self.roots.clone() }
+        FeatureMatrix {
+            space,
+            rows,
+            roots: self.roots.clone(),
+        }
     }
 
     /// Keeps only the `k` features with the highest document frequency
@@ -208,7 +214,11 @@ impl FeatureMatrix {
                 new_row
             })
             .collect();
-        FeatureMatrix { space, rows, roots: self.roots.clone() }
+        FeatureMatrix {
+            space,
+            rows,
+            roots: self.roots.clone(),
+        }
     }
 
     /// Applies `ln(1 + x)` to every value. Census counts grow roughly
@@ -220,7 +230,11 @@ impl FeatureMatrix {
             .iter()
             .map(|row| row.iter().map(|&(i, v)| (i, v.ln_1p())).collect())
             .collect();
-        FeatureMatrix { space: self.space.clone(), rows, roots: self.roots.clone() }
+        FeatureMatrix {
+            space: self.space.clone(),
+            rows,
+            roots: self.roots.clone(),
+        }
     }
 
     /// Exports a dense row-major matrix (`row_count × feature_count`).

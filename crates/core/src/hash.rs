@@ -24,12 +24,10 @@
 //!   invariant, still O(1) to update per affected node (subtract the old
 //!   mixed value, add the new one), and collision-resistant in practice.
 
-use serde::{Deserialize, Serialize};
-
 use crate::sequence::Encoding;
 
 /// How row values are combined into the subgraph hash.
-#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub enum HashScheme {
     /// `Σ_v mix(rv(s_v))` — collision-resistant rolling hash (default).
     Mixed,
@@ -207,7 +205,10 @@ mod tests {
             .wrapping_sub(mix(rv1_before))
             .wrapping_add(mix(rv1_after))
             .wrapping_add(mix(rv2));
-        assert_eq!(h_incremental, bases.hash_encoding(&after, HashScheme::Mixed));
+        assert_eq!(
+            h_incremental,
+            bases.hash_encoding(&after, HashScheme::Mixed)
+        );
     }
 
     #[test]
@@ -272,7 +273,10 @@ mod tests {
         let b = enc(3, &[1, 2, 2], &[(1, 0), (0, 2)]);
         assert_eq!(a, b);
         for scheme in [HashScheme::Mixed, HashScheme::Linear] {
-            assert_eq!(bases.hash_encoding(&a, scheme), bases.hash_encoding(&b, scheme));
+            assert_eq!(
+                bases.hash_encoding(&a, scheme),
+                bases.hash_encoding(&b, scheme)
+            );
         }
     }
 

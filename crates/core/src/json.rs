@@ -1,0 +1,242 @@
+//! A minimal hand-rolled JSON writer — the in-repo replacement for the
+//! `serde` derives the workspace used to carry. Only what the exporters
+//! need: objects, arrays, strings, numbers, booleans, correct escaping.
+//!
+//! Values are appended in call order; the builders insert commas and the
+//! closing delimiter, so the output is always syntactically valid JSON as
+//! long as every builder is `finish`ed.
+
+use std::fmt::Write as _;
+
+/// Escapes a string for inclusion inside JSON quotes.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders an `f64` as a JSON number token. Non-finite values (which JSON
+/// cannot represent) become `null`; integral values drop the fraction.
+pub fn number(v: f64) -> String {
+    if !v.is_finite() {
+        "null".to_string()
+    } else if v.fract() == 0.0 && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Incremental JSON object builder.
+pub struct JsonObject {
+    buf: String,
+    first: bool,
+}
+
+impl JsonObject {
+    /// Starts an empty object.
+    pub fn new() -> Self {
+        JsonObject {
+            buf: String::from("{"),
+            first: true,
+        }
+    }
+
+    fn key(&mut self, key: &str) {
+        if !self.first {
+            self.buf.push(',');
+        }
+        self.first = false;
+        let _ = write!(self.buf, "\"{}\":", escape(key));
+    }
+
+    /// Adds a string field.
+    pub fn str(mut self, key: &str, value: &str) -> Self {
+        self.key(key);
+        let _ = write!(self.buf, "\"{}\"", escape(value));
+        self
+    }
+
+    /// Adds an integer field.
+    pub fn int(mut self, key: &str, value: i64) -> Self {
+        self.key(key);
+        let _ = write!(self.buf, "{value}");
+        self
+    }
+
+    /// Adds an unsigned integer field.
+    pub fn uint(mut self, key: &str, value: u64) -> Self {
+        self.key(key);
+        let _ = write!(self.buf, "{value}");
+        self
+    }
+
+    /// Adds a floating-point field (`null` for non-finite values).
+    pub fn num(mut self, key: &str, value: f64) -> Self {
+        self.key(key);
+        self.buf.push_str(&number(value));
+        self
+    }
+
+    /// Adds a boolean field.
+    pub fn bool(mut self, key: &str, value: bool) -> Self {
+        self.key(key);
+        self.buf.push_str(if value { "true" } else { "false" });
+        self
+    }
+
+    /// Adds a pre-rendered JSON value (a nested object or array) verbatim.
+    pub fn raw(mut self, key: &str, json: &str) -> Self {
+        self.key(key);
+        self.buf.push_str(json);
+        self
+    }
+
+    /// Closes the object and returns the JSON text.
+    pub fn finish(mut self) -> String {
+        self.buf.push('}');
+        self.buf
+    }
+}
+
+impl Default for JsonObject {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Incremental JSON array builder.
+pub struct JsonArray {
+    buf: String,
+    first: bool,
+}
+
+impl JsonArray {
+    /// Starts an empty array.
+    pub fn new() -> Self {
+        JsonArray {
+            buf: String::from("["),
+            first: true,
+        }
+    }
+
+    fn sep(&mut self) {
+        if !self.first {
+            self.buf.push(',');
+        }
+        self.first = false;
+    }
+
+    /// Appends a pre-rendered JSON value verbatim.
+    pub fn push_raw(&mut self, json: &str) {
+        self.sep();
+        self.buf.push_str(json);
+    }
+
+    /// Appends a string element.
+    pub fn push_str(&mut self, value: &str) {
+        self.sep();
+        let _ = write!(self.buf, "\"{}\"", escape(value));
+    }
+
+    /// Appends an unsigned integer element.
+    pub fn push_uint(&mut self, value: u64) {
+        self.sep();
+        let _ = write!(self.buf, "{value}");
+    }
+
+    /// Appends a floating-point element (`null` for non-finite values).
+    pub fn push_num(&mut self, value: f64) {
+        self.sep();
+        self.buf.push_str(&number(value));
+    }
+
+    /// Closes the array and returns the JSON text.
+    pub fn finish(mut self) -> String {
+        self.buf.push(']');
+        self.buf
+    }
+}
+
+impl Default for JsonArray {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Renders a slice of `f64` as a JSON array in one call.
+pub fn number_array(values: &[f64]) -> String {
+    let mut arr = JsonArray::new();
+    for &v in values {
+        arr.push_num(v);
+    }
+    arr.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_specials() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn numbers_render_compactly() {
+        assert_eq!(number(3.0), "3");
+        assert_eq!(number(-2.5), "-2.5");
+        assert_eq!(number(f64::NAN), "null");
+        assert_eq!(number(f64::INFINITY), "null");
+    }
+
+    #[test]
+    fn object_builds_valid_json() {
+        let json = JsonObject::new()
+            .str("name", "a\"b")
+            .int("n", -3)
+            .uint("m", 7)
+            .num("x", 1.5)
+            .bool("flag", true)
+            .raw("nested", "[1,2]")
+            .finish();
+        assert_eq!(
+            json,
+            "{\"name\":\"a\\\"b\",\"n\":-3,\"m\":7,\"x\":1.5,\"flag\":true,\"nested\":[1,2]}"
+        );
+    }
+
+    #[test]
+    fn empty_object_and_array() {
+        assert_eq!(JsonObject::new().finish(), "{}");
+        assert_eq!(JsonArray::new().finish(), "[]");
+    }
+
+    #[test]
+    fn array_mixes_elements() {
+        let mut arr = JsonArray::new();
+        arr.push_uint(1);
+        arr.push_str("two");
+        arr.push_num(3.5);
+        arr.push_raw("{\"k\":0}");
+        assert_eq!(arr.finish(), "[1,\"two\",3.5,{\"k\":0}]");
+    }
+
+    #[test]
+    fn number_array_renders() {
+        assert_eq!(number_array(&[1.0, 2.5, f64::NAN]), "[1,2.5,null]");
+    }
+}

@@ -56,7 +56,9 @@ pub mod enumerate;
 pub mod export;
 pub mod features;
 pub mod hash;
+pub mod json;
 pub mod parallel;
+pub mod prop;
 pub mod reference;
 pub mod sampling;
 pub mod sequence;

@@ -9,9 +9,9 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 use hsgf_graph::NodeId;
-use parking_lot::Mutex;
 
 use crate::census::{CensusEngine, CensusError};
 use crate::features::FeatureMatrix;
@@ -44,16 +44,23 @@ pub fn extract_censuses(
                     if i >= roots.len() {
                         break;
                     }
-                    let result =
-                        engine.census_encodings(roots[i], &mut scratch).map(|c| c.counts);
-                    *slots[i].lock() = Some(result);
+                    let result = engine
+                        .census_encodings(roots[i], &mut scratch)
+                        .map(|c| c.counts);
+                    *slots[i]
+                        .lock()
+                        .expect("census worker never panics holding the lock") = Some(result);
                 }
             });
         }
     });
     slots
         .into_iter()
-        .map(|slot| slot.into_inner().expect("every slot is filled before scope ends"))
+        .map(|slot| {
+            slot.into_inner()
+                .expect("no worker panicked")
+                .expect("every slot is filled before scope ends")
+        })
         .collect()
 }
 
@@ -65,7 +72,10 @@ pub fn extract_hash_censuses(
 ) -> Result<Vec<HashMap<u64, u64>>, CensusError> {
     if threads <= 1 {
         let mut scratch = engine.make_scratch();
-        return roots.iter().map(|&r| engine.census_hashes(r, &mut scratch)).collect();
+        return roots
+            .iter()
+            .map(|&r| engine.census_hashes(r, &mut scratch))
+            .collect();
     }
     let cursor = AtomicUsize::new(0);
     let slots: Vec<Mutex<Option<Result<HashMap<u64, u64>, CensusError>>>> =
@@ -79,14 +89,21 @@ pub fn extract_hash_censuses(
                     if i >= roots.len() {
                         break;
                     }
-                    *slots[i].lock() = Some(engine.census_hashes(roots[i], &mut scratch));
+                    *slots[i]
+                        .lock()
+                        .expect("census worker never panics holding the lock") =
+                        Some(engine.census_hashes(roots[i], &mut scratch));
                 }
             });
         }
     });
     slots
         .into_iter()
-        .map(|slot| slot.into_inner().expect("every slot is filled before scope ends"))
+        .map(|slot| {
+            slot.into_inner()
+                .expect("no worker panicked")
+                .expect("every slot is filled before scope ends")
+        })
         .collect()
 }
 

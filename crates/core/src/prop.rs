@@ -1,0 +1,223 @@
+//! A minimal property-testing harness — the in-repo replacement for
+//! `proptest`, so the randomized invariant tests run with zero external
+//! dependencies.
+//!
+//! Model: a *generator* is a function `(rng, max_size) -> T` that builds a
+//! random case no larger than `max_size`; a *property* maps `&T` to
+//! `Ok(())` or `Err(description)`. [`check`] runs `cases` generated inputs.
+//! On failure it **shrinks by halving** the size bound — regenerating from
+//! the same seed under caps `max_size/2, /4, …, 1` — and reports the
+//! smallest still-failing case along with its seed, so the exact failure
+//! replays with `HSGF_PROP_SEED=<seed>`.
+//!
+//! Environment knobs:
+//!
+//! * `HSGF_PROP_CASES` — cases per property (default 48).
+//! * `HSGF_PROP_SEED` — base seed; case 0 uses it verbatim, so setting it
+//!   to a reported failure seed replays that case first.
+
+use hsgf_graph::rng::{splitmix64, Rng};
+
+/// Harness settings, resolved from the environment by default.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Number of generated cases per property.
+    pub cases: usize,
+    /// Base seed; per-case seeds are derived from it (case 0 uses it
+    /// verbatim for replayability).
+    pub seed: u64,
+    /// Upper bound passed to the generator for full-size cases.
+    pub max_size: usize,
+}
+
+fn env_u64(key: &str) -> Option<u64> {
+    std::env::var(key).ok().and_then(|v| v.parse().ok())
+}
+
+impl Config {
+    /// Defaults with `HSGF_PROP_CASES` / `HSGF_PROP_SEED` overrides.
+    pub fn from_env() -> Self {
+        Config {
+            cases: env_u64("HSGF_PROP_CASES")
+                .map(|v| v as usize)
+                .unwrap_or(48)
+                .max(1),
+            seed: env_u64("HSGF_PROP_SEED").unwrap_or(0x4853_4746), // "HSGF"
+            max_size: 32,
+        }
+    }
+
+    /// Same settings with a different size bound.
+    pub fn with_max_size(mut self, max_size: usize) -> Self {
+        self.max_size = max_size.max(1);
+        self
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self::from_env()
+    }
+}
+
+/// Runs `property` against `cases` inputs drawn from `generate`. Panics
+/// with the failing seed, the (shrunk) case, and the property's message on
+/// the first failure; returns normally if every case passes.
+///
+/// `generate` must be deterministic in `(rng, max_size)` — shrinking
+/// regenerates from the same seed under smaller bounds.
+pub fn check<T: std::fmt::Debug>(
+    name: &str,
+    config: &Config,
+    generate: impl Fn(&mut Rng, usize) -> T,
+    mut property: impl FnMut(&T) -> Result<(), String>,
+) {
+    let mut state = config.seed;
+    for case in 0..config.cases {
+        let case_seed = if case == 0 {
+            config.seed
+        } else {
+            splitmix64(&mut state)
+        };
+        let mut rng = Rng::from_seed(case_seed);
+        let value = generate(&mut rng, config.max_size);
+        if let Err(message) = property(&value) {
+            let (small, small_size, small_msg) =
+                shrink(config.max_size, case_seed, &generate, &mut property).unwrap_or((
+                    value,
+                    config.max_size,
+                    message,
+                ));
+            panic!(
+                "property '{name}' failed (case {case}/{total}).\n\
+                 replay with: HSGF_PROP_SEED={case_seed}\n\
+                 smallest failing case (size bound {small_size}): {small:?}\n\
+                 failure: {small_msg}",
+                total = config.cases,
+            );
+        }
+    }
+}
+
+/// Halving shrink: regenerate under caps `max/2, /4, …, 1` from the same
+/// seed and keep the smallest bound that still fails.
+fn shrink<T: std::fmt::Debug>(
+    max_size: usize,
+    seed: u64,
+    generate: &impl Fn(&mut Rng, usize) -> T,
+    property: &mut impl FnMut(&T) -> Result<(), String>,
+) -> Option<(T, usize, String)> {
+    let mut best: Option<(T, usize, String)> = None;
+    let mut size = max_size;
+    while size > 1 {
+        size /= 2;
+        let mut rng = Rng::from_seed(seed);
+        let value = generate(&mut rng, size);
+        match property(&value) {
+            Err(message) => best = Some((value, size, message)),
+            // Smaller cases pass: the halving ladder stops here.
+            Ok(()) => break,
+        }
+    }
+    best
+}
+
+/// `assert!`-style helper for property bodies: builds the `Err` branch
+/// from a condition and a formatted message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err(format!($($fmt)+));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    use super::*;
+
+    fn tiny_config() -> Config {
+        Config {
+            cases: 20,
+            seed: 7,
+            max_size: 32,
+        }
+    }
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let mut seen = 0usize;
+        check(
+            "sorted-after-sort",
+            &tiny_config(),
+            |rng, max| {
+                let n = rng.gen_range(0..max + 1);
+                (0..n).map(|_| rng.next_u64()).collect::<Vec<_>>()
+            },
+            |v| {
+                seen += 1;
+                let mut s = v.clone();
+                s.sort_unstable();
+                prop_assert!(s.len() == v.len(), "sort changed length");
+                Ok(())
+            },
+        );
+        assert_eq!(seen, 20);
+    }
+
+    #[test]
+    fn failing_property_reports_seed_and_shrinks() {
+        let config = tiny_config();
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            check(
+                "vectors-are-short",
+                &config,
+                |rng, max| {
+                    let n = rng.gen_range(0..max + 1);
+                    vec![0u8; n]
+                },
+                |v| {
+                    prop_assert!(v.len() < 3, "length {} not < 3", v.len());
+                    Ok(())
+                },
+            );
+        }));
+        let err = result.expect_err("property must fail");
+        let msg = err
+            .downcast_ref::<String>()
+            .expect("panic carries a String");
+        assert!(msg.contains("HSGF_PROP_SEED="), "no replay seed in: {msg}");
+        assert!(msg.contains("vectors-are-short"));
+        // The halving shrink must have reduced the size bound below full.
+        assert!(msg.contains("size bound"), "no shrink report in: {msg}");
+    }
+
+    #[test]
+    fn replay_seed_reproduces_case_zero() {
+        // Whatever case 0 generates under a seed, a fresh run with that
+        // seed as base generates it again.
+        let config = Config {
+            cases: 1,
+            seed: 12345,
+            max_size: 16,
+        };
+        let gen = |rng: &mut Rng, max: usize| {
+            let n = rng.gen_range(1..max + 1);
+            (0..n).map(|_| rng.next_u64()).collect::<Vec<_>>()
+        };
+        let mut first: Option<Vec<u64>> = None;
+        check("capture", &config, gen, |v| {
+            first = Some(v.clone());
+            Ok(())
+        });
+        let mut second: Option<Vec<u64>> = None;
+        check("capture-again", &config, gen, |v| {
+            second = Some(v.clone());
+            Ok(())
+        });
+        assert_eq!(first.expect("ran"), second.expect("ran"));
+    }
+}

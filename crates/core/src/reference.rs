@@ -150,7 +150,11 @@ fn encode_subset(
         Some(m) if n == root => m,
         _ => graph.label(n).raw(),
     };
-    let type_count = if edge_typed { graph.edge_type_count() } else { 1 };
+    let type_count = if edge_typed {
+        graph.edge_type_count()
+    } else {
+        1
+    };
     let cols = alphabet * if directed { 3 } else { 1 } * type_count;
     let col = |label: u8, o: Orientation, ty: usize| -> usize {
         let block = if directed { o.block() } else { 0 };
@@ -251,7 +255,9 @@ mod tests {
         let masked = naive_census(
             &g,
             NodeId::new(0),
-            &CensusConfig::default().with_emax(2).with_mask_root_label(true),
+            &CensusConfig::default()
+                .with_emax(2)
+                .with_mask_root_label(true),
         );
         let t1: u64 = plain.values().sum();
         let t2: u64 = masked.values().sum();

@@ -10,11 +10,7 @@ use hsgf_graph::{DegreeStats, HetGraph, NodeId};
 /// percentile of the graph's degree distribution — the paper's "extract
 /// features only up to the 95% mark" strategy. `percentile >= 100` keeps
 /// everything.
-pub fn cap_root_degrees(
-    graph: &HetGraph,
-    roots: &[NodeId],
-    percentile: f64,
-) -> Vec<NodeId> {
+pub fn cap_root_degrees(graph: &HetGraph, roots: &[NodeId], percentile: f64) -> Vec<NodeId> {
     if percentile >= 100.0 {
         return roots.to_vec();
     }

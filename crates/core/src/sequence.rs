@@ -16,15 +16,13 @@
 use std::fmt;
 
 use hsgf_graph::{Label, LabelSet};
-use serde::{Deserialize, Serialize};
-
 /// A pseudo-canonical encoding of a small labelled subgraph.
 ///
 /// Stored as the flat byte matrix of sorted characteristic-sequence rows;
 /// each row is `1 + label_count` bytes: `[λ(v), t_1, …, t_k]`. Node-local
 /// neighbour counts fit in a `u8` because subgraphs carry at most
 /// [`crate::census::MAX_EMAX`] edges.
-#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Encoding {
     bytes: Vec<u8>,
     row_len: u8,
@@ -68,7 +66,10 @@ impl Encoding {
     /// Builds an encoding from a pre-filled row matrix, sorting the rows
     /// into the canonical descending order.
     pub(crate) fn from_unsorted_rows(rows: Vec<u8>, row_len: u8) -> Self {
-        let mut enc = Encoding { bytes: rows, row_len };
+        let mut enc = Encoding {
+            bytes: rows,
+            row_len,
+        };
         enc.sort_rows();
         enc
     }

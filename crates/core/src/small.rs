@@ -39,7 +39,10 @@ impl SmallGraph {
     /// out-of-range node, or an edge is a self loop.
     pub fn new(labels: Vec<u8>, edges: &[(u8, u8)]) -> Self {
         let n = labels.len();
-        assert!(n <= MAX_SMALL_NODES, "SmallGraph supports at most {MAX_SMALL_NODES} nodes");
+        assert!(
+            n <= MAX_SMALL_NODES,
+            "SmallGraph supports at most {MAX_SMALL_NODES} nodes"
+        );
         let mut adj = 0u64;
         for &(u, v) in edges {
             let (u, v) = (u as usize, v as usize);
@@ -95,7 +98,9 @@ impl SmallGraph {
 
     /// Degree of node `i`.
     pub fn degree(&self, i: usize) -> usize {
-        (0..self.node_count()).filter(|&j| self.has_edge(i, j)).count()
+        (0..self.node_count())
+            .filter(|&j| self.has_edge(i, j))
+            .count()
     }
 
     /// Whether the graph is connected (single-node graphs are connected;
@@ -300,8 +305,14 @@ mod tests {
     fn non_isomorphic_same_degree_sequence() {
         // Both C5 + one chord variants are the same graph up to rotation —
         // a sanity check that canonicalization sees through relabelling.
-        let a = SmallGraph::new(vec![0; 5], &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0), (0, 2)]);
-        let b = SmallGraph::new(vec![0; 5], &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0), (1, 3)]);
+        let a = SmallGraph::new(
+            vec![0; 5],
+            &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0), (0, 2)],
+        );
+        let b = SmallGraph::new(
+            vec![0; 5],
+            &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0), (1, 3)],
+        );
         assert!(a.is_isomorphic(&b));
         // A genuinely non-isomorphic pair with identical degree sequences
         // [1,2,2,2,2,3]: C5 with a pendant leaf vs C4 with a 2-path tail.

@@ -1,194 +1,288 @@
-//! Property-based validation of the census engine and encoding machinery.
+//! Property-based validation of the census engine and encoding machinery,
+//! running on the in-repo [`hsgf_core::prop`] harness.
 
 use std::collections::HashMap;
 
 use hsgf_core::census::{CensusConfig, CensusEngine};
 use hsgf_core::hash::{fnv1a_encoding_hash, HashScheme, LabelBases};
+use hsgf_core::prop::{check, Config};
+use hsgf_core::prop_assert;
 use hsgf_core::reference::naive_census;
 use hsgf_core::sequence::Encoding;
 use hsgf_core::small::SmallGraph;
+use hsgf_graph::rng::Rng;
 use hsgf_graph::{GraphBuilder, HetGraph, Label, LabelSet, NodeId};
-use proptest::prelude::*;
 
-/// Strategy: a random small labelled graph as (label count, labels, edges).
+/// Generator: a random small labelled graph as (label count, labels,
+/// deduplicated undirected edges). `max_size` caps the node count so the
+/// harness's halving shrink produces genuinely smaller graphs.
 fn small_labelled_graph(
+    rng: &mut Rng,
+    max_size: usize,
     max_nodes: usize,
     max_labels: usize,
-) -> impl Strategy<Value = (usize, Vec<u8>, Vec<(u8, u8)>)> {
-    (2usize..=max_nodes, 1usize..=max_labels).prop_flat_map(move |(n, k)| {
-        let labels = proptest::collection::vec(0u8..k as u8, n);
-        let edges = proptest::collection::vec((0u8..n as u8, 0u8..n as u8), 0..=(n * 2)); // dedup below
-        (Just(k), labels, edges).prop_map(|(k, labels, raw_edges)| {
-            let mut edges: Vec<(u8, u8)> = raw_edges
-                .into_iter()
-                .filter(|&(u, v)| u != v)
-                .map(|(u, v)| if u < v { (u, v) } else { (v, u) })
-                .collect();
-            edges.sort_unstable();
-            edges.dedup();
-            (k, labels, edges)
+) -> (usize, Vec<u8>, Vec<(u8, u8)>) {
+    let hi = max_nodes.min(max_size).max(2);
+    let n = rng.gen_range(2usize..=hi);
+    let k = rng.gen_range(1usize..=max_labels);
+    let labels: Vec<u8> = (0..n).map(|_| rng.gen_range(0..k) as u8).collect();
+    let attempts = rng.gen_range(0usize..=n * 2);
+    let mut edges: Vec<(u8, u8)> = (0..attempts)
+        .filter_map(|_| {
+            let u = rng.gen_range(0..n) as u8;
+            let v = rng.gen_range(0..n) as u8;
+            if u == v {
+                None
+            } else {
+                Some(if u < v { (u, v) } else { (v, u) })
+            }
         })
-    })
+        .collect();
+    edges.sort_unstable();
+    edges.dedup();
+    (k, labels, edges)
 }
 
 fn build_graph(k: usize, labels: &[u8], edges: &[(u8, u8)]) -> HetGraph {
     let names: Vec<String> = (0..k).map(|i| format!("l{i}")).collect();
     let set = LabelSet::from_names(names).unwrap();
     let node_labels: Vec<Label> = labels.iter().map(|&l| Label::new(l)).collect();
-    let edges32: Vec<(u32, u32)> =
-        edges.iter().map(|&(u, v)| (u as u32, v as u32)).collect();
+    let edges32: Vec<(u32, u32)> = edges.iter().map(|&(u, v)| (u as u32, v as u32)).collect();
     GraphBuilder::from_edges(set, &node_labels, &edges32).unwrap()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// The optimized engine must agree with the brute-force oracle for all
-    /// configurations of emax / dmax / masking.
-    #[test]
-    fn engine_equals_oracle(
-        (k, labels, edges) in small_labelled_graph(7, 3),
-        emax in 1usize..=4,
-        dmax in prop_oneof![Just(None), (1u32..4).prop_map(Some)],
-        mask in any::<bool>(),
-        root_pick in 0usize..7,
-    ) {
-        prop_assume!(!edges.is_empty() && edges.len() <= 14);
-        let graph = build_graph(k, &labels, &edges);
-        let root = NodeId::new((root_pick % labels.len()) as u32);
-        let mut config = CensusConfig::default()
-            .with_emax(emax)
-            .with_dmax(dmax)
-            .with_mask_root_label(mask);
-        config.group_by_label = true;
-        let expected = naive_census(&graph, root, &config);
-        let engine = CensusEngine::new(&graph, config).unwrap();
-        let mut scratch = engine.make_scratch();
-        let actual = engine.census_encodings(root, &mut scratch).unwrap().counts;
-        prop_assert_eq!(expected, actual);
-    }
-
-    /// The rolling hash maintained incrementally by the engine must equal
-    /// the from-scratch hash of the encoding for every recorded subgraph.
-    #[test]
-    fn incremental_hash_equals_full_rehash(
-        (k, labels, edges) in small_labelled_graph(8, 3),
-        scheme in prop_oneof![Just(HashScheme::Mixed), Just(HashScheme::Linear)],
-    ) {
-        prop_assume!(!edges.is_empty() && edges.len() <= 14);
-        let graph = build_graph(k, &labels, &edges);
-        let mut config = CensusConfig::default().with_emax(3);
-        config.hash_scheme = scheme;
-        let bases = LabelBases::new(graph.label_count(), config.hash_seed);
-        let engine = CensusEngine::new(&graph, config).unwrap();
-        let mut scratch = engine.make_scratch();
-
-        struct Checker<'a> {
-            bases: &'a LabelBases,
-            scheme: HashScheme,
-            failures: usize,
-        }
-        impl hsgf_core::census::CensusSink for Checker<'_> {
-            fn record(
-                &mut self,
-                view: &hsgf_core::census::SubgraphView<'_>,
-                hash: u64,
-                _multiplicity: u64,
-            ) {
-                let full = self.bases.hash_encoding(&view.encoding(), self.scheme);
-                if full != hash {
-                    self.failures += 1;
-                }
+/// The optimized engine must agree with the brute-force oracle for all
+/// configurations of emax / dmax / masking.
+#[test]
+fn engine_equals_oracle() {
+    check(
+        "engine_equals_oracle",
+        &Config::from_env(),
+        |rng, max_size| {
+            let (k, labels, edges) = small_labelled_graph(rng, max_size, 7, 3);
+            let emax = rng.gen_range(1usize..=4);
+            let dmax = if rng.gen_bool(0.5) {
+                None
+            } else {
+                Some(rng.gen_range(1u32..4))
+            };
+            let mask = rng.gen_bool(0.5);
+            let root_pick = rng.gen_range(0usize..7);
+            (k, labels, edges, emax, dmax, mask, root_pick)
+        },
+        |(k, labels, edges, emax, dmax, mask, root_pick)| {
+            if edges.is_empty() || edges.len() > 14 {
+                return Ok(());
             }
-        }
-        let mut checker = Checker { bases: &bases, scheme, failures: 0 };
-        engine.run(NodeId::new(0), &mut scratch, &mut checker).unwrap();
-        prop_assert_eq!(checker.failures, 0);
-    }
-
-    /// Grouping on/off and hash scheme never change encoding-keyed results.
-    #[test]
-    fn census_invariant_to_internal_options(
-        (k, labels, edges) in small_labelled_graph(8, 3),
-    ) {
-        prop_assume!(!edges.is_empty());
-        let graph = build_graph(k, &labels, &edges);
-        let root = NodeId::new(0);
-        let mut configs = Vec::new();
-        for group in [false, true] {
-            for scheme in [HashScheme::Mixed, HashScheme::Linear] {
-                let mut c = CensusConfig::default().with_emax(3);
-                c.group_by_label = group;
-                c.hash_scheme = scheme;
-                configs.push(c);
-            }
-        }
-        let mut results: Vec<HashMap<Encoding, u64>> = Vec::new();
-        for config in configs {
+            let graph = build_graph(*k, labels, edges);
+            let root = NodeId::new((root_pick % labels.len()) as u32);
+            let mut config = CensusConfig::default()
+                .with_emax(*emax)
+                .with_dmax(*dmax)
+                .with_mask_root_label(*mask);
+            config.group_by_label = true;
+            let expected = naive_census(&graph, root, &config);
             let engine = CensusEngine::new(&graph, config).unwrap();
             let mut scratch = engine.make_scratch();
-            results.push(engine.census_encodings(root, &mut scratch).unwrap().counts);
-        }
-        for w in results.windows(2) {
-            prop_assert_eq!(&w[0], &w[1]);
-        }
-    }
+            let actual = engine.census_encodings(root, &mut scratch).unwrap().counts;
+            prop_assert!(expected == actual, "engine diverged from oracle");
+            Ok(())
+        },
+    );
+}
 
-    /// Encoding equality must be implied by isomorphism for small graphs
-    /// (the encoding is an isomorphism invariant).
-    #[test]
-    fn encoding_is_isomorphism_invariant(
-        (k, labels, edges) in small_labelled_graph(6, 3),
-        perm_seed in any::<u64>(),
-    ) {
-        prop_assume!(!edges.is_empty());
-        let g = SmallGraph::new(labels.clone(), &edges);
-        // Derive a deterministic permutation from the seed.
-        let n = labels.len();
-        let mut perm: Vec<usize> = (0..n).collect();
-        let mut state = perm_seed;
-        for i in (1..n).rev() {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
-            let j = (state >> 33) as usize % (i + 1);
-            perm.swap(i, j);
-        }
-        let h = g.permuted(&perm);
-        prop_assert!(g.is_isomorphic(&h));
-        prop_assert_eq!(g.encoding(k), h.encoding(k));
-        prop_assert_eq!(g.canonical(), h.canonical());
-    }
+/// The rolling hash maintained incrementally by the engine must equal the
+/// from-scratch hash of the encoding for every recorded subgraph.
+#[test]
+fn incremental_hash_equals_full_rehash() {
+    check(
+        "incremental_hash_equals_full_rehash",
+        &Config::from_env(),
+        |rng, max_size| {
+            let case = small_labelled_graph(rng, max_size, 8, 3);
+            let scheme = if rng.gen_bool(0.5) {
+                HashScheme::Mixed
+            } else {
+                HashScheme::Linear
+            };
+            (case, scheme)
+        },
+        |((k, labels, edges), scheme)| {
+            if edges.is_empty() || edges.len() > 14 {
+                return Ok(());
+            }
+            let graph = build_graph(*k, labels, edges);
+            let mut config = CensusConfig::default().with_emax(3);
+            config.hash_scheme = *scheme;
+            let bases = LabelBases::new(graph.label_count(), config.hash_seed);
+            let engine = CensusEngine::new(&graph, config).unwrap();
+            let mut scratch = engine.make_scratch();
 
-    /// Canonicalization is idempotent and label-multiset preserving.
-    #[test]
-    fn canonical_idempotent(
-        (_k, labels, edges) in small_labelled_graph(6, 3),
-    ) {
-        let g = SmallGraph::new(labels.clone(), &edges);
-        let c = g.canonical();
-        prop_assert_eq!(c.canonical(), c.clone());
-        let mut l1 = labels;
-        l1.sort_unstable();
-        let l2 = c.labels().to_vec();
-        prop_assert_eq!(l1, l2);
-        prop_assert_eq!(g.edge_count(), c.edge_count());
-    }
+            struct Checker<'a> {
+                bases: &'a LabelBases,
+                scheme: HashScheme,
+                failures: usize,
+            }
+            impl hsgf_core::census::CensusSink for Checker<'_> {
+                fn record(
+                    &mut self,
+                    view: &hsgf_core::census::SubgraphView<'_>,
+                    hash: u64,
+                    _multiplicity: u64,
+                ) {
+                    let full = self.bases.hash_encoding(&view.encoding(), self.scheme);
+                    if full != hash {
+                        self.failures += 1;
+                    }
+                }
+            }
+            let mut checker = Checker {
+                bases: &bases,
+                scheme: *scheme,
+                failures: 0,
+            };
+            engine
+                .run(NodeId::new(0), &mut scratch, &mut checker)
+                .unwrap();
+            prop_assert!(
+                checker.failures == 0,
+                "{} incremental hash mismatches",
+                checker.failures
+            );
+            Ok(())
+        },
+    );
+}
 
-    /// Distinct encodings get distinct FNV hashes in small samples (smoke
-    /// guard against degenerate byte serialization).
-    #[test]
-    fn encoding_bytes_identify_encoding(
-        (k, labels, edges) in small_labelled_graph(6, 3),
-        (k2, labels2, edges2) in small_labelled_graph(6, 3),
-    ) {
-        prop_assume!(k == k2);
-        let a = SmallGraph::new(labels, &edges).encoding(k);
-        let b = SmallGraph::new(labels2, &edges2).encoding(k2);
-        prop_assert_eq!(a == b, a.as_bytes() == b.as_bytes());
-        if a != b && a.node_count() == b.node_count() {
-            // Same length, different content ⇒ different FNV with
-            // overwhelming probability; equality here would signal broken
-            // serialization rather than a genuine 64-bit collision.
-            prop_assert_ne!(fnv1a_encoding_hash(&a), fnv1a_encoding_hash(&b));
-        }
-    }
+/// Grouping on/off and hash scheme never change encoding-keyed results.
+#[test]
+fn census_invariant_to_internal_options() {
+    check(
+        "census_invariant_to_internal_options",
+        &Config::from_env(),
+        |rng, max_size| small_labelled_graph(rng, max_size, 8, 3),
+        |(k, labels, edges)| {
+            if edges.is_empty() {
+                return Ok(());
+            }
+            let graph = build_graph(*k, labels, edges);
+            let root = NodeId::new(0);
+            let mut configs = Vec::new();
+            for group in [false, true] {
+                for scheme in [HashScheme::Mixed, HashScheme::Linear] {
+                    let mut c = CensusConfig::default().with_emax(3);
+                    c.group_by_label = group;
+                    c.hash_scheme = scheme;
+                    configs.push(c);
+                }
+            }
+            let mut results: Vec<HashMap<Encoding, u64>> = Vec::new();
+            for config in configs {
+                let engine = CensusEngine::new(&graph, config).unwrap();
+                let mut scratch = engine.make_scratch();
+                results.push(engine.census_encodings(root, &mut scratch).unwrap().counts);
+            }
+            for w in results.windows(2) {
+                prop_assert!(w[0] == w[1], "internal option changed the census");
+            }
+            Ok(())
+        },
+    );
+}
+
+/// Encoding equality must be implied by isomorphism for small graphs
+/// (the encoding is an isomorphism invariant).
+#[test]
+fn encoding_is_isomorphism_invariant() {
+    check(
+        "encoding_is_isomorphism_invariant",
+        &Config::from_env(),
+        |rng, max_size| {
+            let case = small_labelled_graph(rng, max_size, 6, 3);
+            (case, rng.next_u64())
+        },
+        |((k, labels, edges), perm_seed)| {
+            if edges.is_empty() {
+                return Ok(());
+            }
+            let g = SmallGraph::new(labels.clone(), edges);
+            // Derive a deterministic permutation from the seed.
+            let n = labels.len();
+            let mut perm: Vec<usize> = (0..n).collect();
+            let mut state = *perm_seed;
+            for i in (1..n).rev() {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                let j = (state >> 33) as usize % (i + 1);
+                perm.swap(i, j);
+            }
+            let h = g.permuted(&perm);
+            prop_assert!(g.is_isomorphic(&h), "permuted copy not isomorphic");
+            prop_assert!(
+                g.encoding(*k) == h.encoding(*k),
+                "encodings differ under relabeling"
+            );
+            prop_assert!(g.canonical() == h.canonical(), "canonical forms differ");
+            Ok(())
+        },
+    );
+}
+
+/// Canonicalization is idempotent and label-multiset preserving.
+#[test]
+fn canonical_idempotent() {
+    check(
+        "canonical_idempotent",
+        &Config::from_env(),
+        |rng, max_size| small_labelled_graph(rng, max_size, 6, 3),
+        |(_k, labels, edges)| {
+            let g = SmallGraph::new(labels.clone(), edges);
+            let c = g.canonical();
+            prop_assert!(c.canonical() == c, "canonical not idempotent");
+            let mut l1 = labels.clone();
+            l1.sort_unstable();
+            let l2 = c.labels().to_vec();
+            prop_assert!(l1 == l2, "canonical changed the label multiset");
+            prop_assert!(
+                g.edge_count() == c.edge_count(),
+                "canonical changed edge count"
+            );
+            Ok(())
+        },
+    );
+}
+
+/// Distinct encodings get distinct FNV hashes in small samples (smoke
+/// guard against degenerate byte serialization).
+#[test]
+fn encoding_bytes_identify_encoding() {
+    check(
+        "encoding_bytes_identify_encoding",
+        &Config::from_env(),
+        |rng, max_size| {
+            let a = small_labelled_graph(rng, max_size, 6, 3);
+            let b = small_labelled_graph(rng, max_size, 6, 3);
+            (a, b)
+        },
+        |((k, labels, edges), (k2, labels2, edges2))| {
+            if k != k2 {
+                return Ok(());
+            }
+            let a = SmallGraph::new(labels.clone(), edges).encoding(*k);
+            let b = SmallGraph::new(labels2.clone(), edges2).encoding(*k2);
+            prop_assert!(
+                (a == b) == (a.as_bytes() == b.as_bytes()),
+                "encoding equality disagrees with byte equality"
+            );
+            if a != b && a.node_count() == b.node_count() {
+                // Same length, different content ⇒ different FNV with
+                // overwhelming probability; equality here would signal broken
+                // serialization rather than a genuine 64-bit collision.
+                prop_assert!(
+                    fnv1a_encoding_hash(&a) != fnv1a_encoding_hash(&b),
+                    "distinct encodings share an FNV hash"
+                );
+            }
+            Ok(())
+        },
+    );
 }

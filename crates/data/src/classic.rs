@@ -36,7 +36,14 @@ pub fn feature_names() -> Vec<String> {
     names.push("avg_keywords".into());
     names.push("avg_title_words".into());
     names.push("avg_title_chars".into());
-    for class in ["noun", "verb", "adjective", "adverb", "number", "punctuation"] {
+    for class in [
+        "noun",
+        "verb",
+        "adjective",
+        "adverb",
+        "number",
+        "punctuation",
+    ] {
         names.push(format!("frac_{class}"));
     }
     names.push("distinct_word_fraction".into());
@@ -95,8 +102,7 @@ pub fn classic_features(data: &MagData, conference: usize, target_year: u32) -> 
     }
 
     // The global top title words of this conference in the window.
-    let mut word_counts: std::collections::HashMap<u32, usize> =
-        std::collections::HashMap::new();
+    let mut word_counts: std::collections::HashMap<u32, usize> = std::collections::HashMap::new();
     for paper in &data.papers {
         if paper.conference == Some(conference) && window_years.contains(&paper.year) {
             for &w in &paper.title {
@@ -135,11 +141,7 @@ pub fn classic_features(data: &MagData, conference: usize, target_year: u32) -> 
         distinct.sort_unstable();
         distinct.dedup();
         let distinct_frac = distinct.len() as f64 / n_title.max(1.0);
-        let top_hits: f64 = paper
-            .title
-            .iter()
-            .filter(|w| top_words.contains(w))
-            .count() as f64;
+        let top_hits: f64 = paper.title.iter().filter(|w| top_words.contains(w)).count() as f64;
         let last_author = *paper.authors.last().expect("papers have authors");
         for &i in &insts {
             let row = &mut out[i * d..(i + 1) * d];
@@ -148,7 +150,7 @@ pub fn classic_features(data: &MagData, conference: usize, target_year: u32) -> 
                 row[base] += 1.0; // full papers
             }
             row[base + 1] += 1.0; // all papers
-            // Authors of this institution on the paper.
+                                  // Authors of this institution on the paper.
             let inst_authors = paper
                 .authors
                 .iter()
@@ -174,8 +176,7 @@ pub fn classic_features(data: &MagData, conference: usize, target_year: u32) -> 
             row[base + 16] += distinct_frac;
             row[base + 17] += 1.0 - distinct_frac;
             for (k, w) in top_words.iter().enumerate() {
-                row[base + 18 + k] +=
-                    paper.title.iter().filter(|&x| x == w).count() as f64;
+                row[base + 18 + k] += paper.title.iter().filter(|&x| x == w).count() as f64;
             }
             let _ = top_hits;
         }
@@ -267,7 +268,10 @@ mod tests {
             }
         }
         let total: f64 = (0..data.config.institutions).map(|i| x[i * d + base]).sum();
-        assert!((total - expected).abs() < 1e-9, "total {total} vs {expected}");
+        assert!(
+            (total - expected).abs() < 1e-9,
+            "total {total} vs {expected}"
+        );
     }
 
     #[test]

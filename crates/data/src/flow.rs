@@ -10,9 +10,8 @@
 //! accuracy above the source/sink coin-flip therefore measures exactly what
 //! the directed characteristic sequence adds.
 
+use hsgf_graph::rng::Rng;
 use hsgf_graph::{generators::zipf_index, GraphBuilder, HetGraph, Label, LabelSet, NodeId};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 
 use crate::Scale;
 
@@ -42,7 +41,13 @@ impl FlowConfig {
             Scale::Small => (400, 1_200),
             Scale::Paper => (4_000, 12_000),
         };
-        FlowConfig { hubs, sources, arcs: (2, 6), hub_popularity: 0.9, seed: 0xF10 }
+        FlowConfig {
+            hubs,
+            sources,
+            arcs: (2, 6),
+            hub_popularity: 0.9,
+            seed: 0xF10,
+        }
     }
 }
 
@@ -55,7 +60,7 @@ pub struct FlowData {
 impl FlowData {
     /// Generates a flow network.
     pub fn generate(config: &FlowConfig) -> Self {
-        let mut rng = SmallRng::seed_from_u64(config.seed);
+        let mut rng = Rng::from_seed(config.seed);
         let labels = LabelSet::from_names(FLOW_LABELS).expect("static names");
         let mut b = GraphBuilder::new(labels);
         b.add_nodes(Label::new(0), config.hubs).expect("fits");
@@ -69,7 +74,11 @@ impl FlowData {
         for k in 0..config.sources as u32 {
             let n_arcs = rng.gen_range(config.arcs.0..=config.arcs.1);
             for side in 0..2u32 {
-                let node = if side == 0 { src_base + k } else { sink_base + k };
+                let node = if side == 0 {
+                    src_base + k
+                } else {
+                    sink_base + k
+                };
                 let mut picked: Vec<u32> = Vec::with_capacity(n_arcs);
                 let mut guard = 0;
                 while picked.len() < n_arcs && guard < 20 * n_arcs {
@@ -145,12 +154,19 @@ mod tests {
     fn sources_and_sinks_have_matching_degree_distributions() {
         let data = tiny();
         let g = &data.graph;
-        let mut src: Vec<usize> =
-            g.nodes_with_label(Label::new(1)).map(|v| g.degree(v)).collect();
-        let mut snk: Vec<usize> =
-            g.nodes_with_label(Label::new(2)).map(|v| g.degree(v)).collect();
+        let mut src: Vec<usize> = g
+            .nodes_with_label(Label::new(1))
+            .map(|v| g.degree(v))
+            .collect();
+        let mut snk: Vec<usize> = g
+            .nodes_with_label(Label::new(2))
+            .map(|v| g.degree(v))
+            .collect();
         src.sort_unstable();
         snk.sort_unstable();
-        assert_eq!(src, snk, "paired construction must match degree laws exactly");
+        assert_eq!(
+            src, snk,
+            "paired construction must match degree laws exactly"
+        );
     }
 }

@@ -15,15 +15,15 @@
 //! rooted subgraph census is informative about its label even with the
 //! root's own label masked.
 
+use hsgf_graph::rng::Rng;
 use hsgf_graph::{generators::zipf_index, GraphBuilder, HetGraph, Label, LabelSet, NodeId};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 
 use crate::Scale;
 
 /// Label names in fixed order; `movie` is the star hub.
-pub const IMDB_LABELS: [&str; 6] =
-    ["movie", "actor", "director", "writer", "composer", "keyword"];
+pub const IMDB_LABELS: [&str; 6] = [
+    "movie", "actor", "director", "writer", "composer", "keyword",
+];
 
 /// IMDB generator parameters.
 #[derive(Clone, Debug)]
@@ -69,16 +69,20 @@ pub struct ImdbData {
 impl ImdbData {
     /// Generates an IMDB-style network.
     pub fn generate(config: &ImdbConfig) -> Self {
-        let mut rng = SmallRng::seed_from_u64(config.seed);
+        let mut rng = Rng::from_seed(config.seed);
         let labels = LabelSet::from_names(IMDB_LABELS).expect("static names");
         let mut builder = GraphBuilder::new(labels);
         let mut label_offsets = [0u32; 6];
-        builder.add_nodes(Label::new(0), config.movies).expect("movies fit");
+        builder
+            .add_nodes(Label::new(0), config.movies)
+            .expect("movies fit");
         let mut next = config.movies as u32;
         for (role, &pool) in config.pools.iter().enumerate() {
             label_offsets[role + 1] = next;
             if pool > 0 {
-                builder.add_nodes(Label::new(role as u8 + 1), pool).expect("pool fits");
+                builder
+                    .add_nodes(Label::new(role as u8 + 1), pool)
+                    .expect("pool fits");
             }
             next += pool as u32;
         }
@@ -90,8 +94,7 @@ impl ImdbData {
                 let mut guard = 0;
                 while picked.len() < count && guard < 20 * count {
                     guard += 1;
-                    let idx =
-                        zipf_index(&mut rng, config.pools[role], config.popularity[role]);
+                    let idx = zipf_index(&mut rng, config.pools[role], config.popularity[role]);
                     let node = label_offsets[role + 1] + idx as u32;
                     if !picked.contains(&node) {
                         picked.push(node);
@@ -102,7 +105,10 @@ impl ImdbData {
                 }
             }
         }
-        ImdbData { graph: builder.build(), label_offsets }
+        ImdbData {
+            graph: builder.build(),
+            label_offsets,
+        }
     }
 }
 
@@ -127,7 +133,10 @@ mod tests {
     fn lcg_is_a_loop_free_star_on_movies() {
         let data = tiny();
         let lcg = LabelConnectivityGraph::of(&data.graph);
-        assert!(lcg.is_star_on(Label::new(0)), "LCG must be a star on `movie`");
+        assert!(
+            lcg.is_star_on(Label::new(0)),
+            "LCG must be a star on `movie`"
+        );
         assert!(!lcg.has_any_self_loop());
         assert_eq!(lcg.unique_encoding_emax(), 5);
     }

@@ -28,10 +28,10 @@ pub mod mag;
 pub mod multiplex;
 
 pub use flow::{FlowConfig, FlowData};
-pub use multiplex::{MultiplexConfig, MultiplexData};
 pub use imdb::{ImdbConfig, ImdbData};
 pub use load::{LoadConfig, LoadData};
 pub use mag::{MagConfig, MagData};
+pub use multiplex::{MultiplexConfig, MultiplexData};
 
 /// Size presets shared by the generators so tests, default experiment runs,
 /// and paper-scale runs stay consistent.

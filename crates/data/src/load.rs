@@ -14,10 +14,8 @@
 //! matching the degree-profile asymmetries that make labels predictable
 //! from local topology alone.
 
+use hsgf_graph::rng::{Rng, WeightedIndex};
 use hsgf_graph::{generators::zipf_index, GraphBuilder, HetGraph, Label, LabelSet, NodeId};
-use rand::distributions::{Distribution, WeightedIndex};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 
 use crate::Scale;
 
@@ -74,7 +72,7 @@ pub const LOAD_LABELS: [&str; 4] = ["location", "organization", "actor", "date"]
 impl LoadData {
     /// Generates a LOAD-style network.
     pub fn generate(config: &LoadConfig) -> Self {
-        let mut rng = SmallRng::seed_from_u64(config.seed);
+        let mut rng = Rng::from_seed(config.seed);
         let labels = LabelSet::from_names(LOAD_LABELS).expect("static names");
         let mut builder = GraphBuilder::new(labels);
         let mut label_offsets = [0u32; 4];
@@ -82,7 +80,9 @@ impl LoadData {
         for l in 0..4 {
             label_offsets[l] = next;
             if config.entities[l] > 0 {
-                builder.add_nodes(Label::new(l as u8), config.entities[l]).expect("label fits");
+                builder
+                    .add_nodes(Label::new(l as u8), config.entities[l])
+                    .expect("label fits");
             }
             next += config.entities[l] as u32;
         }
@@ -112,14 +112,18 @@ impl LoadData {
                     window_len[l] = len;
                     window_start[l] = rng.gen_range(0..n.saturating_sub(len).max(1));
                 }
-                Topic { label_weights: w, window_start, window_len }
+                Topic {
+                    label_weights: w,
+                    window_start,
+                    window_len,
+                }
             })
             .collect();
         let mut sentence: Vec<u32> = Vec::with_capacity(8);
         for _ in 0..config.sentences {
             let topic = &topics[rng.gen_range(0..topics.len())];
             let dist = WeightedIndex::new(topic.label_weights).expect("positive weights");
-            let mentions = rng.gen_range(2..=7);
+            let mentions = rng.gen_range(2usize..=7);
             sentence.clear();
             for _ in 0..mentions {
                 let l = dist.sample(&mut rng);
@@ -147,7 +151,10 @@ impl LoadData {
                 }
             }
         }
-        LoadData { graph: builder.build(), label_offsets }
+        LoadData {
+            graph: builder.build(),
+            label_offsets,
+        }
     }
 }
 
@@ -176,9 +183,16 @@ mod tests {
         // The real LOAD LCG is complete incl. all self loops (paper Fig. 2).
         let data = tiny();
         let lcg = LabelConnectivityGraph::of(&data.graph);
-        assert!((lcg.density() - 1.0).abs() < 1e-9, "density {}", lcg.density());
+        assert!(
+            (lcg.density() - 1.0).abs() < 1e-9,
+            "density {}",
+            lcg.density()
+        );
         for l in 0..4 {
-            assert!(lcg.has_self_loop(Label::new(l)), "label {l} needs a self loop");
+            assert!(
+                lcg.has_self_loop(Label::new(l)),
+                "label {l} needs a self loop"
+            );
         }
         assert_eq!(lcg.unique_encoding_emax(), 4);
     }
@@ -194,7 +208,10 @@ mod tests {
         // actors (many, long tail).
         let mean_deg = |label: u8| -> f64 {
             let nodes: Vec<_> = data.graph.nodes_with_label(Label::new(label)).collect();
-            nodes.iter().map(|&v| data.graph.degree(v) as f64).sum::<f64>()
+            nodes
+                .iter()
+                .map(|&v| data.graph.degree(v) as f64)
+                .sum::<f64>()
                 / nodes.len() as f64
         };
         assert!(

@@ -22,10 +22,8 @@
 //! that shapes the topology, the task "predict relevance from topology"
 //! stays meaningful.
 
+use hsgf_graph::rng::{Rng, WeightedIndex};
 use hsgf_graph::{GraphBuilder, HetGraph, Label, LabelSet, NodeId};
-use rand::distributions::{Distribution, WeightedIndex};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 
 use crate::Scale;
 
@@ -141,13 +139,19 @@ pub struct MagData {
 pub const MAG_RANK_LABELS: [&str; 3] = ["institution", "author", "paper"];
 
 /// Labels of the label-prediction network (paper Fig. 2 right).
-pub const MAG_LABEL_LABELS: [&str; 6] =
-    ["author", "institution", "conference", "journal", "field", "paper"];
+pub const MAG_LABEL_LABELS: [&str; 6] = [
+    "author",
+    "institution",
+    "conference",
+    "journal",
+    "field",
+    "paper",
+];
 
 impl MagData {
     /// Generates the corpus.
     pub fn generate(config: &MagConfig) -> Self {
-        let mut rng = SmallRng::seed_from_u64(config.seed);
+        let mut rng = Rng::from_seed(config.seed);
         let config = config.clone();
         // Institutional prestige: Zipf-like with noise.
         let prestige: Vec<f64> = (0..config.institutions)
@@ -168,7 +172,10 @@ impl MagData {
                     institutions.push(second);
                 }
                 let skill = prestige[first] * rng.gen_range(0.5..1.5) + rng.gen_range(0.0..0.05);
-                Author { institutions, skill }
+                Author {
+                    institutions,
+                    skill,
+                }
             })
             .collect();
         let author_skill: Vec<f64> = authors.iter().map(|a| a.skill).collect();
@@ -222,7 +229,12 @@ impl MagData {
                 }
             }
         }
-        MagData { config, prestige, authors, papers }
+        MagData {
+            config,
+            prestige,
+            authors,
+            papers,
+        }
     }
 
     /// The KDD-Cup relevance of every institution for one conference and
@@ -276,8 +288,7 @@ impl MagData {
             let mut next = Vec::new();
             for &p in &frontier {
                 for &c in &self.papers[p].citations {
-                    if paper_nodes[c].is_none() && !include.contains(&c) && !next.contains(&c)
-                    {
+                    if paper_nodes[c].is_none() && !include.contains(&c) && !next.contains(&c) {
                         next.push(c);
                     }
                 }
@@ -346,7 +357,9 @@ impl MagData {
             .collect();
         for (a, author) in self.authors.iter().enumerate() {
             for &i in &author.institutions {
-                builder.add_edge(author_nodes[a], inst_nodes[i]).expect("nodes exist");
+                builder
+                    .add_edge(author_nodes[a], inst_nodes[i])
+                    .expect("nodes exist");
             }
         }
         let paper_nodes: Vec<NodeId> = self
@@ -385,8 +398,8 @@ impl MagData {
 /// Stronger leads collaborate across institutions more often (the latent
 /// signal behind the paper's Fig. 4 observation).
 fn sample_team(
-    rng: &mut SmallRng,
-    lead_dist: &WeightedIndex<f64>,
+    rng: &mut Rng,
+    lead_dist: &WeightedIndex,
     authors: &[Author],
     min_size: usize,
     max_size: usize,
@@ -431,7 +444,7 @@ fn sample_team(
 
 #[allow(clippy::too_many_arguments)]
 fn make_paper(
-    rng: &mut SmallRng,
+    rng: &mut Rng,
     config: &MagConfig,
     conference: Option<usize>,
     journal: Option<usize>,
@@ -442,7 +455,7 @@ fn make_paper(
     vocab_band: (u32, u32),
 ) -> Paper {
     // Citations: recency-weighted sample of earlier papers.
-    let n_cites = rng.gen_range(2..=9).min(earlier.len());
+    let n_cites = rng.gen_range(2usize..=9).min(earlier.len());
     let mut citations = Vec::with_capacity(n_cites);
     let mut guard = 0;
     while citations.len() < n_cites && guard < 20 * n_cites {
@@ -456,7 +469,7 @@ fn make_paper(
         }
     }
     // Title: conference band words mixed with global Zipf words.
-    let title_len = rng.gen_range(4..=12);
+    let title_len = rng.gen_range(4usize..=12);
     let title: Vec<u32> = (0..title_len)
         .map(|_| {
             if rng.gen_bool(0.35) {
@@ -466,7 +479,7 @@ fn make_paper(
             }
         })
         .collect();
-    let n_fields = rng.gen_range(1..=3).min(config.fields.max(1));
+    let n_fields = rng.gen_range(1usize..=3).min(config.fields.max(1));
     let mut fields = Vec::with_capacity(n_fields);
     // Conference-correlated fields.
     let base_field = conference.unwrap_or(0) * 3 % config.fields.max(1);
@@ -493,7 +506,7 @@ fn make_paper(
         authors: team,
         citations,
         title,
-        keywords: rng.gen_range(3..=8),
+        keywords: rng.gen_range(3usize..=8),
         fields,
     }
 }
@@ -514,8 +527,7 @@ mod tests {
         let c = &data.config;
         let years = (c.last_year - c.first_year + 1) as usize;
         let expected = years
-            * (c.external_papers_per_year
-                + c.conferences.len() * (c.full_papers + c.short_papers));
+            * (c.external_papers_per_year + c.conferences.len() * (c.full_papers + c.short_papers));
         assert_eq!(data.papers.len(), expected);
         assert_eq!(data.authors.len(), c.authors);
     }
@@ -555,7 +567,9 @@ mod tests {
         let k = data.config.institutions / 3;
         let mut by_prestige: Vec<usize> = (0..data.config.institutions).collect();
         by_prestige.sort_by(|&a, &b| {
-            data.prestige[b].partial_cmp(&data.prestige[a]).expect("finite")
+            data.prestige[b]
+                .partial_cmp(&data.prestige[a])
+                .expect("finite")
         });
         let top: f64 = by_prestige[..k].iter().map(|&i| total[i]).sum();
         let bottom: f64 = by_prestige[data.config.institutions - k..]
@@ -598,7 +612,10 @@ mod tests {
         let lcg = LabelConnectivityGraph::of(&graph);
         assert!(lcg.connected(Label::new(0), Label::new(1)));
         assert!(lcg.connected(Label::new(1), Label::new(2)));
-        assert!(lcg.has_self_loop(Label::new(2)), "citations are P–P self loops");
+        assert!(
+            lcg.has_self_loop(Label::new(2)),
+            "citations are P–P self loops"
+        );
         assert!(!lcg.connected(Label::new(0), Label::new(2)));
         assert!(!lcg.has_self_loop(Label::new(0)));
         assert!(!lcg.has_self_loop(Label::new(1)));

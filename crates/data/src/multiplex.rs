@@ -10,9 +10,8 @@
 //! characteristic sequence can. Analogous in spirit to `flow` for the
 //! directed extension.
 
+use hsgf_graph::rng::Rng;
 use hsgf_graph::{generators::zipf_index, GraphBuilder, HetGraph, Label, LabelSet, NodeId};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 
 use crate::Scale;
 
@@ -68,23 +67,32 @@ pub struct MultiplexData {
 impl MultiplexData {
     /// Generates a multiplex affiliation network.
     pub fn generate(config: &MultiplexConfig) -> Self {
-        let mut rng = SmallRng::seed_from_u64(config.seed);
+        let mut rng = Rng::from_seed(config.seed);
         let labels = LabelSet::from_names(MULTIPLEX_LABELS).expect("static names");
         let mut b = GraphBuilder::new(labels);
         b.add_nodes(Label::new(0), config.groups).expect("fits");
         let org_base = config.groups as u32;
-        b.add_nodes(Label::new(1), config.persons_per_class).expect("fits");
+        b.add_nodes(Label::new(1), config.persons_per_class)
+            .expect("fits");
         let part_base = org_base + config.persons_per_class as u32;
-        b.add_nodes(Label::new(2), config.persons_per_class).expect("fits");
+        b.add_nodes(Label::new(2), config.persons_per_class)
+            .expect("fits");
         // Paired construction: the k-th organizer and the k-th participant
         // join the same number of groups from the same popularity law;
         // only the edge-type mix differs.
         for k in 0..config.persons_per_class as u32 {
             let n_groups = rng.gen_range(config.memberships.0..=config.memberships.1);
             for side in 0..2u32 {
-                let person = if side == 0 { org_base + k } else { part_base + k };
-                let admin_prob =
-                    if side == 0 { config.admin_bias } else { 1.0 - config.admin_bias };
+                let person = if side == 0 {
+                    org_base + k
+                } else {
+                    part_base + k
+                };
+                let admin_prob = if side == 0 {
+                    config.admin_bias
+                } else {
+                    1.0 - config.admin_bias
+                };
                 let mut picked: Vec<u32> = Vec::with_capacity(n_groups);
                 let mut guard = 0;
                 while picked.len() < n_groups && guard < 20 * n_groups {
@@ -149,8 +157,14 @@ mod tests {
     fn classes_match_on_degrees() {
         let data = tiny();
         let g = &data.graph;
-        let mut a: Vec<usize> = g.nodes_with_label(Label::new(1)).map(|v| g.degree(v)).collect();
-        let mut b: Vec<usize> = g.nodes_with_label(Label::new(2)).map(|v| g.degree(v)).collect();
+        let mut a: Vec<usize> = g
+            .nodes_with_label(Label::new(1))
+            .map(|v| g.degree(v))
+            .collect();
+        let mut b: Vec<usize> = g
+            .nodes_with_label(Label::new(2))
+            .map(|v| g.degree(v))
+            .collect();
         a.sort_unstable();
         b.sort_unstable();
         assert_eq!(a, b);

@@ -2,8 +2,7 @@
 //! LINE's edge sampling and the unigram^0.75 negative-sampling noise
 //! distribution shared by all three embedding baselines.
 
-use rand::rngs::SmallRng;
-use rand::Rng;
+use hsgf_graph::rng::Rng;
 
 /// A prepared alias table over `0..weights.len()`.
 #[derive(Clone, Debug)]
@@ -19,7 +18,10 @@ impl AliasTable {
     /// # Panics
     /// If `weights` is empty, contains a negative/NaN value, or sums to 0.
     pub fn new(weights: &[f64]) -> Self {
-        assert!(!weights.is_empty(), "alias table needs at least one outcome");
+        assert!(
+            !weights.is_empty(),
+            "alias table needs at least one outcome"
+        );
         let total: f64 = weights.iter().sum();
         assert!(
             total > 0.0 && total.is_finite(),
@@ -62,9 +64,9 @@ impl AliasTable {
 
     /// Draws one index in O(1).
     #[inline]
-    pub fn sample(&self, rng: &mut SmallRng) -> usize {
+    pub fn sample(&self, rng: &mut Rng) -> usize {
         let i = rng.gen_range(0..self.prob.len());
-        if rng.gen::<f64>() < self.prob[i] {
+        if rng.gen_f64() < self.prob[i] {
             i
         } else {
             self.alias[i]
@@ -84,14 +86,12 @@ impl AliasTable {
 
 #[cfg(test)]
 mod tests {
-    use rand::SeedableRng;
-
     use super::*;
 
     #[test]
     fn uniform_weights_sample_uniformly() {
         let table = AliasTable::new(&[1.0; 4]);
-        let mut rng = SmallRng::seed_from_u64(1);
+        let mut rng = Rng::from_seed(1);
         let mut counts = [0usize; 4];
         let n = 40_000;
         for _ in 0..n {
@@ -109,7 +109,7 @@ mod tests {
     #[test]
     fn skewed_weights_respect_proportions() {
         let table = AliasTable::new(&[8.0, 1.0, 1.0]);
-        let mut rng = SmallRng::seed_from_u64(2);
+        let mut rng = Rng::from_seed(2);
         let mut counts = [0usize; 3];
         let n = 50_000;
         for _ in 0..n {
@@ -122,7 +122,7 @@ mod tests {
     #[test]
     fn zero_weight_outcomes_never_sampled() {
         let table = AliasTable::new(&[1.0, 0.0, 1.0]);
-        let mut rng = SmallRng::seed_from_u64(3);
+        let mut rng = Rng::from_seed(3);
         for _ in 0..10_000 {
             assert_ne!(table.sample(&mut rng), 1);
         }
@@ -131,7 +131,7 @@ mod tests {
     #[test]
     fn singleton_table() {
         let table = AliasTable::new(&[5.0]);
-        let mut rng = SmallRng::seed_from_u64(4);
+        let mut rng = Rng::from_seed(4);
         assert_eq!(table.sample(&mut rng), 0);
     }
 

@@ -68,7 +68,12 @@ mod tests {
         let config = DeepWalkConfig {
             walks_per_node: 20,
             walk_length: 20,
-            sgns: SgnsConfig { dim: 16, window: 4, epochs: 3, ..Default::default() },
+            sgns: SgnsConfig {
+                dim: 16,
+                window: 4,
+                epochs: 3,
+                ..Default::default()
+            },
         };
         let emb = deepwalk(&g, &config);
         let within = (emb.cosine(1, 2) + emb.cosine(3, 4) + emb.cosine(6, 7)) / 3.0;
@@ -82,7 +87,10 @@ mod tests {
         let config = DeepWalkConfig {
             walks_per_node: 2,
             walk_length: 5,
-            sgns: SgnsConfig { dim: 8, ..Default::default() },
+            sgns: SgnsConfig {
+                dim: 8,
+                ..Default::default()
+            },
         };
         let emb = deepwalk(&g, &config);
         assert_eq!(emb.vectors.len(), 10 * 8);

@@ -85,8 +85,11 @@ pub enum EmbeddingKind {
 
 impl EmbeddingKind {
     /// All baselines, in the paper's presentation order.
-    pub const ALL: [EmbeddingKind; 3] =
-        [EmbeddingKind::Node2Vec, EmbeddingKind::DeepWalk, EmbeddingKind::Line];
+    pub const ALL: [EmbeddingKind; 3] = [
+        EmbeddingKind::Node2Vec,
+        EmbeddingKind::DeepWalk,
+        EmbeddingKind::Line,
+    ];
 
     /// Display name used in tables and figures.
     pub fn name(self) -> &'static str {
@@ -114,7 +117,11 @@ impl EmbeddingKind {
                 let config = DeepWalkConfig {
                     walks_per_node: scale(10),
                     walk_length: scale(80),
-                    sgns: SgnsConfig { dim, seed, ..SgnsConfig::default() },
+                    sgns: SgnsConfig {
+                        dim,
+                        seed,
+                        ..SgnsConfig::default()
+                    },
                 };
                 deepwalk(graph, &config)
             }
@@ -122,7 +129,11 @@ impl EmbeddingKind {
                 let config = Node2VecConfig {
                     walks_per_node: scale(10),
                     walk_length: scale(80),
-                    sgns: SgnsConfig { dim, seed, ..SgnsConfig::default() },
+                    sgns: SgnsConfig {
+                        dim,
+                        seed,
+                        ..SgnsConfig::default()
+                    },
                     ..Node2VecConfig::default()
                 };
                 node2vec(graph, &config)
@@ -146,7 +157,10 @@ mod tests {
 
     #[test]
     fn embedding_accessors() {
-        let emb = Embedding { dim: 2, vectors: vec![1.0, 0.0, 0.0, 1.0, 1.0, 1.0] };
+        let emb = Embedding {
+            dim: 2,
+            vectors: vec![1.0, 0.0, 0.0, 1.0, 1.0, 1.0],
+        };
         assert_eq!(emb.node_count(), 3);
         assert_eq!(emb.row(1), &[0.0, 1.0]);
         assert!((emb.cosine(0, 1)).abs() < 1e-9);

@@ -4,9 +4,8 @@
 //! §4.2.2 description), the final representation concatenates the
 //! first-order and second-order embeddings.
 
+use hsgf_graph::rng::Rng;
 use hsgf_graph::HetGraph;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 
 use crate::alias::AliasTable;
 use crate::Embedding;
@@ -50,7 +49,10 @@ pub fn line(graph: &HetGraph, config: &LineConfig) -> Embedding {
         vectors[v * half * 2..v * half * 2 + half].copy_from_slice(first.row(v));
         vectors[v * half * 2 + half..(v + 1) * half * 2].copy_from_slice(second.row(v));
     }
-    Embedding { dim: half * 2, vectors }
+    Embedding {
+        dim: half * 2,
+        vectors,
+    }
 }
 
 #[derive(Copy, Clone, PartialEq)]
@@ -62,24 +64,37 @@ enum Order {
 fn train_order(graph: &HetGraph, dim: usize, config: &LineConfig, order: Order) -> Embedding {
     let n = graph.node_count();
     let edges: Vec<(u32, u32)> = graph.edges().map(|(u, v)| (u.raw(), v.raw())).collect();
-    let mut rng = SmallRng::seed_from_u64(
-        config.seed ^ if order == Order::First { 0x11AE } else { 0x22BE },
+    let mut rng = Rng::from_seed(
+        config.seed
+            ^ if order == Order::First {
+                0x11AE
+            } else {
+                0x22BE
+            },
     );
     let mut vertex = vec![0.0f32; n * dim];
     for v in vertex.iter_mut() {
-        *v = (rng.gen::<f32>() - 0.5) / dim as f32;
+        *v = (rng.gen_f32() - 0.5) / dim as f32;
     }
     // Second order uses separate context vectors; first order is symmetric
     // (contexts are the vertex vectors themselves).
-    let mut context = if order == Order::Second { vec![0.0f32; n * dim] } else { Vec::new() };
+    let mut context = if order == Order::Second {
+        vec![0.0f32; n * dim]
+    } else {
+        Vec::new()
+    };
 
     if edges.is_empty() {
-        return Embedding { dim, vectors: vertex.into_iter().map(f64::from).collect() };
+        return Embedding {
+            dim,
+            vectors: vertex.into_iter().map(f64::from).collect(),
+        };
     }
     // Uniform edge sampling (our graphs are unweighted) and degree^0.75
     // negative noise.
-    let noise_weights: Vec<f64> =
-        (0..n).map(|v| (graph.degree(hsgf_graph::NodeId::new(v as u32)) as f64 + 1.0).powf(0.75)).collect();
+    let noise_weights: Vec<f64> = (0..n)
+        .map(|v| (graph.degree(hsgf_graph::NodeId::new(v as u32)) as f64 + 1.0).powf(0.75))
+        .collect();
     let noise = AliasTable::new(&noise_weights);
     let total = edges.len() * config.samples_per_edge;
     let lr0 = config.learning_rate;
@@ -89,7 +104,7 @@ fn train_order(graph: &HetGraph, dim: usize, config: &LineConfig, order: Order) 
         let lr = (lr0 * (1.0 - step as f64 / total as f64)).max(lr0 * 1e-4) as f32;
         let (mut u, mut v) = edges[rng.gen_range(0..edges.len())];
         // Undirected edge: pick a random direction per sample.
-        if rng.gen::<bool>() {
+        if rng.gen_bool(0.5) {
             std::mem::swap(&mut u, &mut v);
         }
         let ui = u as usize * dim;
@@ -114,7 +129,11 @@ fn train_order(graph: &HetGraph, dim: usize, config: &LineConfig, order: Order) 
             } else {
                 &mut vertex[ti..ti + dim]
             };
-            let dot: f32 = u_vec.iter().zip(target_vec.iter()).map(|(a, b)| a * b).sum();
+            let dot: f32 = u_vec
+                .iter()
+                .zip(target_vec.iter())
+                .map(|(a, b)| a * b)
+                .sum();
             let pred = 1.0 / (1.0 + (-dot).exp());
             let g = (label - pred) * lr;
             for j in 0..dim {
@@ -126,7 +145,10 @@ fn train_order(graph: &HetGraph, dim: usize, config: &LineConfig, order: Order) 
             vertex[ui + j] += grad[j];
         }
     }
-    Embedding { dim, vectors: vertex.into_iter().map(f64::from).collect() }
+    Embedding {
+        dim,
+        vectors: vertex.into_iter().map(f64::from).collect(),
+    }
 }
 
 #[cfg(test)]
@@ -151,7 +173,11 @@ mod tests {
     #[test]
     fn dimension_is_split_and_concatenated() {
         let g = barbell();
-        let config = LineConfig { dim: 16, samples_per_edge: 10, ..Default::default() };
+        let config = LineConfig {
+            dim: 16,
+            samples_per_edge: 10,
+            ..Default::default()
+        };
         let emb = line(&g, &config);
         assert_eq!(emb.dim, 16);
         assert_eq!(emb.vectors.len(), 10 * 16);
@@ -161,7 +187,11 @@ mod tests {
     #[test]
     fn first_order_proximity_clusters_cliques() {
         let g = barbell();
-        let config = LineConfig { dim: 16, samples_per_edge: 400, ..Default::default() };
+        let config = LineConfig {
+            dim: 16,
+            samples_per_edge: 400,
+            ..Default::default()
+        };
         let emb = line(&g, &config);
         let within = (emb.cosine(1, 2) + emb.cosine(6, 7)) / 2.0;
         let across = (emb.cosine(1, 6) + emb.cosine(2, 7)) / 2.0;
@@ -171,7 +201,11 @@ mod tests {
     #[test]
     fn deterministic_per_seed() {
         let g = barbell();
-        let config = LineConfig { dim: 8, samples_per_edge: 5, ..Default::default() };
+        let config = LineConfig {
+            dim: 8,
+            samples_per_edge: 5,
+            ..Default::default()
+        };
         let a = line(&g, &config);
         let b = line(&g, &config);
         assert_eq!(a.vectors, b.vectors);
@@ -181,7 +215,10 @@ mod tests {
     fn edgeless_graph_is_safe() {
         let labels = LabelSet::from_names(["x"]).unwrap();
         let g = GraphBuilder::from_edges(labels, &[Label::new(0); 3], &[]).unwrap();
-        let config = LineConfig { dim: 8, ..Default::default() };
+        let config = LineConfig {
+            dim: 8,
+            ..Default::default()
+        };
         let emb = line(&g, &config);
         assert_eq!(emb.vectors.len(), 3 * 8);
     }

@@ -66,7 +66,11 @@ mod tests {
         let config = Node2VecConfig {
             walks_per_node: 5,
             walk_length: 10,
-            sgns: SgnsConfig { dim: 8, window: 3, ..Default::default() },
+            sgns: SgnsConfig {
+                dim: 8,
+                window: 3,
+                ..Default::default()
+            },
             ..Default::default()
         };
         let emb = node2vec(&g, &config);
@@ -80,7 +84,12 @@ mod tests {
         let config = Node2VecConfig {
             walks_per_node: 30,
             walk_length: 15,
-            sgns: SgnsConfig { dim: 16, window: 3, epochs: 3, ..Default::default() },
+            sgns: SgnsConfig {
+                dim: 16,
+                window: 3,
+                epochs: 3,
+                ..Default::default()
+            },
             ..Default::default()
         };
         let emb = node2vec(&g, &config);
@@ -95,10 +104,17 @@ mod tests {
         let base = Node2VecConfig {
             walks_per_node: 5,
             walk_length: 12,
-            sgns: SgnsConfig { dim: 8, ..Default::default() },
+            sgns: SgnsConfig {
+                dim: 8,
+                ..Default::default()
+            },
             ..Default::default()
         };
-        let bfsish = Node2VecConfig { p: 0.25, q: 4.0, ..base.clone() };
+        let bfsish = Node2VecConfig {
+            p: 0.25,
+            q: 4.0,
+            ..base.clone()
+        };
         let a = node2vec(&g, &base);
         let b = node2vec(&g, &bfsish);
         assert_ne!(a.vectors, b.vectors);

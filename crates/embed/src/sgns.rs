@@ -2,8 +2,7 @@
 //! trainer behind DeepWalk and node2vec (both reduce node embedding to
 //! word2vec on walk "sentences"; Mikolov et al. 2013).
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use hsgf_graph::rng::Rng;
 
 use crate::alias::AliasTable;
 use crate::Embedding;
@@ -44,7 +43,7 @@ impl Default for SgnsConfig {
 pub fn train_sgns(walks: &[Vec<u32>], vocab_size: usize, config: &SgnsConfig) -> Embedding {
     assert!(vocab_size > 0, "empty vocabulary");
     let d = config.dim;
-    let mut rng = SmallRng::seed_from_u64(config.seed);
+    let mut rng = Rng::from_seed(config.seed);
     // Unigram^0.75 noise distribution over corpus frequencies.
     let mut freq = vec![0.0f64; vocab_size];
     for walk in walks {
@@ -58,7 +57,7 @@ pub fn train_sgns(walks: &[Vec<u32>], vocab_size: usize, config: &SgnsConfig) ->
     // word2vec-style init: input uniform small, output zero.
     let mut input = vec![0.0f32; vocab_size * d];
     for v in input.iter_mut() {
-        *v = (rng.gen::<f32>() - 0.5) / d as f32;
+        *v = (rng.gen_f32() - 0.5) / d as f32;
     }
     let mut output = vec![0.0f32; vocab_size * d];
 
@@ -135,7 +134,12 @@ mod tests {
             walks.push((0..12).map(|_| next(5)).collect::<Vec<u32>>());
             walks.push((0..12).map(|_| 5 + next(5)).collect::<Vec<u32>>());
         }
-        let config = SgnsConfig { dim: 16, window: 4, epochs: 2, ..Default::default() };
+        let config = SgnsConfig {
+            dim: 16,
+            window: 4,
+            epochs: 2,
+            ..Default::default()
+        };
         let emb = train_sgns(&walks, 10, &config);
         let cos = |a: usize, b: usize| -> f64 {
             let (va, vb) = (emb.row(a), emb.row(b));
@@ -155,7 +159,12 @@ mod tests {
     #[test]
     fn shapes_and_determinism() {
         let walks = vec![vec![0, 1, 2], vec![2, 1, 0]];
-        let config = SgnsConfig { dim: 8, window: 2, epochs: 1, ..Default::default() };
+        let config = SgnsConfig {
+            dim: 8,
+            window: 2,
+            epochs: 1,
+            ..Default::default()
+        };
         let e1 = train_sgns(&walks, 3, &config);
         let e2 = train_sgns(&walks, 3, &config);
         assert_eq!(e1.dim, 8);
@@ -166,10 +175,17 @@ mod tests {
     #[test]
     fn tokens_absent_from_corpus_keep_init_scale() {
         let walks = vec![vec![0, 1], vec![1, 0]];
-        let config = SgnsConfig { dim: 4, window: 2, ..Default::default() };
+        let config = SgnsConfig {
+            dim: 4,
+            window: 2,
+            ..Default::default()
+        };
         let emb = train_sgns(&walks, 5, &config);
         // Token 4 never appears: its vector stays at the small init scale.
         let norm: f64 = emb.row(4).iter().map(|x| x * x).sum::<f64>().sqrt();
-        assert!(norm < 0.5, "untouched vector should stay small, norm={norm}");
+        assert!(
+            norm < 0.5,
+            "untouched vector should stay small, norm={norm}"
+        );
     }
 }

@@ -1,10 +1,8 @@
 //! Random-walk corpora: uniform first-order walks (DeepWalk) and the
 //! p/q-biased second-order walks of node2vec.
 
+use hsgf_graph::rng::Rng;
 use hsgf_graph::{HetGraph, NodeId};
-use rand::rngs::SmallRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
 
 /// Generates `walks_per_node` uniform random walks of `walk_length` nodes
 /// from every node (DeepWalk's corpus; Perozzi et al. 2014). Nodes with no
@@ -15,12 +13,12 @@ pub fn uniform_walks(
     walk_length: usize,
     seed: u64,
 ) -> Vec<Vec<u32>> {
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rng = Rng::from_seed(seed);
     let mut starts: Vec<u32> = (0..graph.node_count() as u32).collect();
     let mut walks = Vec::with_capacity(graph.node_count() * walks_per_node);
     for _ in 0..walks_per_node {
         // DeepWalk shuffles the start order each pass.
-        starts.shuffle(&mut rng);
+        rng.shuffle(&mut starts);
         for &s in &starts {
             let mut walk = Vec::with_capacity(walk_length);
             walk.push(s);
@@ -53,14 +51,14 @@ pub fn node2vec_walks(
     seed: u64,
 ) -> Vec<Vec<u32>> {
     assert!(p > 0.0 && q > 0.0, "p and q must be positive");
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rng = Rng::from_seed(seed);
     let mut starts: Vec<u32> = (0..graph.node_count() as u32).collect();
     let mut walks = Vec::with_capacity(graph.node_count() * walks_per_node);
     let w_return = 1.0 / p;
     let w_out = 1.0 / q;
     let w_max = w_return.max(1.0).max(w_out);
     for _ in 0..walks_per_node {
-        starts.shuffle(&mut rng);
+        rng.shuffle(&mut starts);
         for &s in &starts {
             let mut walk = Vec::with_capacity(walk_length);
             walk.push(s);
@@ -84,7 +82,7 @@ pub fn node2vec_walks(
                             } else {
                                 w_out
                             };
-                            if rng.gen::<f64>() * w_max <= w {
+                            if rng.gen_f64() * w_max <= w {
                                 break cand;
                             }
                         }

@@ -65,7 +65,9 @@ impl Default for SubgraphFeatureConfig {
 
 /// A sensible worker count for the current machine.
 pub fn default_threads() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
 }
 
 /// Resolves a `dmax` percentile (e.g. 90.0) into a concrete degree bound
@@ -85,10 +87,9 @@ pub fn subgraph_features(
     roots: &[NodeId],
     config: &SubgraphFeatureConfig,
 ) -> FeatureMatrix {
-    let engine = CensusEngine::new(graph, config.census.clone())
-        .expect("config validated by caller");
-    let censuses =
-        extract_censuses(&engine, roots, config.threads).expect("roots are valid nodes");
+    let engine =
+        CensusEngine::new(graph, config.census.clone()).expect("config validated by caller");
+    let censuses = extract_censuses(&engine, roots, config.threads).expect("roots are valid nodes");
     let mut matrix = FeatureMatrix::from_censuses(roots.to_vec(), censuses);
     if config.min_df > 1 {
         matrix = matrix.filter_min_df(config.min_df);

@@ -6,13 +6,11 @@ use std::time::Instant;
 
 use hsgf_core::census::{CensusConfig, CensusEngine};
 use hsgf_embed::EmbeddingKind;
+use hsgf_graph::rng::Rng;
 use hsgf_graph::{HetGraph, Label, LabelSet, NodeId};
 use hsgf_ml::dataset::{Dataset, StandardScaler};
 use hsgf_ml::logreg::{LogisticConfig, OneVsAllClassifier};
 use hsgf_ml::metrics::{macro_f1, mean_ci95};
-use rand::rngs::SmallRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
 
 use crate::features::{
     dmax_from_percentile, embedding_features, subgraph_features, FeatureFamily,
@@ -77,7 +75,7 @@ pub fn sample_labelled_nodes_capped(
     degree_cap: Option<u32>,
     seed: u64,
 ) -> (Vec<NodeId>, Vec<usize>) {
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rng = Rng::from_seed(seed);
     let mut nodes = Vec::new();
     let mut classes = Vec::new();
     for label in graph.labels().labels() {
@@ -85,7 +83,7 @@ pub fn sample_labelled_nodes_capped(
             .nodes_with_label(label)
             .filter(|&v| degree_cap.map_or(true, |cap| graph.degree(v) as u32 <= cap))
             .collect();
-        pool.shuffle(&mut rng);
+        rng.shuffle(&mut pool);
         pool.truncate(per_label);
         for v in pool {
             nodes.push(v);
@@ -195,10 +193,10 @@ pub fn evaluate_classification_with(
     assert_eq!(features.len(), classes.len());
     let n = features.len();
     let mut scores = Vec::with_capacity(repeats);
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rng = Rng::from_seed(seed);
     for _ in 0..repeats.max(1) {
         let mut order: Vec<usize> = (0..n).collect();
-        order.shuffle(&mut rng);
+        rng.shuffle(&mut order);
         let cut = ((n as f64) * train_fraction).round() as usize;
         let cut = cut.clamp(1, n - 1);
         let (train_rows, test_rows) = order.split_at(cut);
@@ -209,7 +207,11 @@ pub fn evaluate_classification_with(
         let clf = OneVsAllClassifier::fit(
             &train_x,
             &train_y,
-            &LogisticConfig { c, max_iter: 200, tol: 1e-4 },
+            &LogisticConfig {
+                c,
+                max_iter: 200,
+                tol: 1e-4,
+            },
         );
         let preds = clf.predict(&test_x);
         scores.push(macro_f1(&preds, &test_y));
@@ -233,8 +235,8 @@ pub fn evaluate_classification_tuned(
     // the evaluation test rows of the first repeat.
     let n = features.len();
     let mut order: Vec<usize> = (0..n).collect();
-    let mut rng = SmallRng::seed_from_u64(seed ^ 0x7u64);
-    order.shuffle(&mut rng);
+    let mut rng = Rng::from_seed(seed ^ 0x7u64);
+    rng.shuffle(&mut order);
     let cut = (((n as f64) * train_fraction).round() as usize).clamp(2, n - 1);
     let tune_rows = &order[..cut];
     let tune_x = features.select_rows(tune_rows);
@@ -280,7 +282,10 @@ pub fn training_size_sweep(
             (family, points)
         })
         .collect();
-    TrainingSizeSweep { fractions: fractions.to_vec(), results }
+    TrainingSizeSweep {
+        fractions: fractions.to_vec(),
+        results,
+    }
 }
 
 /// Returns a copy of `graph` with a fraction of node labels replaced by an
@@ -288,7 +293,7 @@ pub fn training_size_sweep(
 /// their *true* labels as prediction targets; only the graph's label
 /// information degrades.
 pub fn remove_labels(graph: &HetGraph, fraction: f64, seed: u64) -> HetGraph {
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rng = Rng::from_seed(seed);
     let mut labels = LabelSet::new();
     for (_, name) in graph.labels().iter() {
         labels.intern(name).expect("capacity");
@@ -296,9 +301,17 @@ pub fn remove_labels(graph: &HetGraph, fraction: f64, seed: u64) -> HetGraph {
     let unlabeled = labels.intern("unlabeled").expect("capacity");
     let node_labels: Vec<Label> = graph
         .nodes()
-        .map(|v| if rng.gen_bool(fraction) { unlabeled } else { graph.label(v) })
+        .map(|v| {
+            if rng.gen_bool(fraction) {
+                unlabeled
+            } else {
+                graph.label(v)
+            }
+        })
         .collect();
-    graph.relabeled(labels, node_labels).expect("labels in range")
+    graph
+        .relabeled(labels, node_labels)
+        .expect("labels in range")
 }
 
 /// Fig. 5D–F: Macro-F1 per family per removed-label fraction, at a fixed
@@ -328,8 +341,7 @@ pub fn label_removal_sweep(
                     .iter()
                     .map(|&f| {
                         let degraded = remove_labels(graph, f, config.seed ^ 0xDE1);
-                        let features =
-                            extract_label_features(&degraded, &nodes, family, config);
+                        let features = extract_label_features(&degraded, &nodes, family, config);
                         evaluate_classification(
                             &features,
                             &classes,
@@ -354,7 +366,10 @@ pub fn label_removal_sweep(
             (family, points)
         })
         .collect();
-    LabelRemovalSweep { fractions: fractions.to_vec(), results }
+    LabelRemovalSweep {
+        fractions: fractions.to_vec(),
+        results,
+    }
 }
 
 /// Table 2: Macro-F1 of subgraph features per `dmax` percentile.
@@ -466,8 +481,7 @@ mod tests {
             ..LabelTaskConfig::default()
         };
         let (nodes, classes) = task_sample(&graph, &config);
-        let features =
-            extract_label_features(&graph, &nodes, FeatureFamily::Subgraph, &config);
+        let features = extract_label_features(&graph, &nodes, FeatureFamily::Subgraph, &config);
         let (c, point) = evaluate_classification_tuned(&features, &classes, 0.7, 2, 3);
         assert!(hsgf_ml::crossval::DEFAULT_C_GRID.contains(&c));
         assert!((0.0..=1.0).contains(&point.mean));
@@ -509,10 +523,8 @@ mod tests {
     fn subgraph_features_beat_chance_on_imdb_tiny() {
         let graph = tiny_graph();
         let config = tiny_config();
-        let (nodes, classes) =
-            sample_labelled_nodes(&graph, config.nodes_per_label, config.seed);
-        let features =
-            extract_label_features(&graph, &nodes, FeatureFamily::Subgraph, &config);
+        let (nodes, classes) = sample_labelled_nodes(&graph, config.nodes_per_label, config.seed);
+        let features = extract_label_features(&graph, &nodes, FeatureFamily::Subgraph, &config);
         let point = evaluate_classification(&features, &classes, 0.7, 5, 3);
         // 6 classes ⇒ chance macro-F1 ≈ 0.17.
         assert!(point.mean > 0.3, "macro F1 {}", point.mean);

@@ -17,13 +17,12 @@ use hsgf_core::sequence::Encoding;
 use hsgf_data::classic::classic_features;
 use hsgf_data::mag::MagData;
 use hsgf_embed::EmbeddingKind;
+use hsgf_graph::rng::Rng;
 use hsgf_ml::dataset::{Dataset, StandardScaler};
 use hsgf_ml::forest::{ForestConfig, RandomForestRegressor};
 use hsgf_ml::metrics::{mean_ci95, ndcg_at};
 use hsgf_ml::tree::TreeConfig;
 use hsgf_ml::RegressorKind;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 
 use crate::features::SubgraphFeatureConfig;
 
@@ -199,7 +198,12 @@ fn conference_features(
     };
     let mut embeddings: HashMap<EmbeddingKind, Vec<f64>> = EmbeddingKind::ALL
         .iter()
-        .map(|&k| (k, Vec::with_capacity(years.len() * n_inst * config.embed_dim)))
+        .map(|&k| {
+            (
+                k,
+                Vec::with_capacity(years.len() * n_inst * config.embed_dim),
+            )
+        })
         .collect();
     for &y in &years {
         let (graph, inst_nodes) = data.rank_graph(conference, y - 1);
@@ -214,10 +218,12 @@ fn conference_features(
         // share ids 0..n_inst across years, and the seed is fixed, so the
         // per-year spaces are as aligned as the method permits.
         for &kind in &EmbeddingKind::ALL {
-            let embedding =
-                kind.train(&graph, config.embed_dim, config.embed_budget, config.seed);
+            let embedding = kind.train(&graph, config.embed_dim, config.embed_budget, config.seed);
             let ids: Vec<u32> = inst_nodes.iter().map(|n| n.raw()).collect();
-            embeddings.get_mut(&kind).expect("prefilled").extend(embedding.features_for(&ids));
+            embeddings
+                .get_mut(&kind)
+                .expect("prefilled")
+                .extend(embedding.features_for(&ids));
         }
     }
     let mut subgraph_matrix = FeatureMatrix::from_censuses(roots, censuses);
@@ -247,7 +253,13 @@ fn conference_features(
     for (kind, x) in embeddings {
         sets.insert(RankFeatureSet::Embedding(kind), (x, config.embed_dim));
     }
-    ConferenceFeatures { years, institutions: n_inst, targets, sets, subgraph_matrix }
+    ConferenceFeatures {
+        years,
+        institutions: n_inst,
+        targets,
+        sets,
+        subgraph_matrix,
+    }
 }
 
 /// Fits `kind` on (optionally bootstrap-resampled) training rows and
@@ -258,7 +270,7 @@ fn fit_and_score(
     train: &Dataset,
     test: &Dataset,
     config: &RankTaskConfig,
-    rng: &mut SmallRng,
+    rng: &mut Rng,
     bootstrap: bool,
 ) -> f64 {
     let train_view: Dataset = if bootstrap {
@@ -282,22 +294,30 @@ fn fit_and_score(
                 &train_sel,
                 &ForestConfig {
                     n_estimators: config.forest_trees,
-                    tree: TreeConfig { max_features, ..TreeConfig::default() },
+                    tree: TreeConfig {
+                        max_features,
+                        ..TreeConfig::default()
+                    },
                     bootstrap: true,
-                    seed: rng.gen(),
+                    seed: rng.next_u64(),
                 },
             );
             forest.predict(&test_sel)
         }
-        other => other.fit_predict(&train_view, test, rng.gen()),
+        other => other.fit_predict(&train_view, test, rng.next_u64()),
     };
     if preds.iter().any(|p| !p.is_finite()) {
         // A numerically degenerate fit (e.g. evidence maximization hitting
         // a perfect interpolation) must not poison the grid: rank such
         // predictions last and say so.
-        eprintln!("warning: {} produced non-finite predictions; ranking them last", kind.name());
-        let sanitized: Vec<f64> =
-            preds.iter().map(|p| if p.is_finite() { *p } else { f64::NEG_INFINITY }).collect();
+        eprintln!(
+            "warning: {} produced non-finite predictions; ranking them last",
+            kind.name()
+        );
+        let sanitized: Vec<f64> = preds
+            .iter()
+            .map(|p| if p.is_finite() { *p } else { f64::NEG_INFINITY })
+            .collect();
         return ndcg_at(&sanitized, &test.y, 20);
     }
     ndcg_at(&preds, &test.y, 20)
@@ -311,7 +331,13 @@ pub fn run_rank_task(data: &MagData, config: &RankTaskConfig) -> RankResults {
         let rows = features.years.len() * features.institutions;
         let test_start = rows - features.institutions;
         let mut conf_grid = vec![
-            vec![RankCell { mean: 0.0, ci95: 0.0 }; RankFeatureSet::ALL.len()];
+            vec![
+                RankCell {
+                    mean: 0.0,
+                    ci95: 0.0
+                };
+                RankFeatureSet::ALL.len()
+            ];
             RegressorKind::ALL.len()
         ];
         for (fi, &set) in RankFeatureSet::ALL.iter().enumerate() {
@@ -323,16 +349,20 @@ pub fn run_rank_task(data: &MagData, config: &RankTaskConfig) -> RankResults {
             let test_raw = full.select_rows(&test_rows);
             // Standardize on the training years only.
             let scaler = StandardScaler::fit(&train_raw.x);
-            let train = Dataset { x: scaler.transform(&train_raw.x), y: train_raw.y };
-            let test = Dataset { x: scaler.transform(&test_raw.x), y: test_raw.y };
+            let train = Dataset {
+                x: scaler.transform(&train_raw.x),
+                y: train_raw.y,
+            };
+            let test = Dataset {
+                x: scaler.transform(&test_raw.x),
+                y: test_raw.y,
+            };
             for (ri, &kind) in RegressorKind::ALL.iter().enumerate() {
-                let mut rng = SmallRng::seed_from_u64(
+                let mut rng = Rng::from_seed(
                     config.seed ^ ((conference as u64) << 32) ^ ((ri as u64) << 16) ^ fi as u64,
                 );
                 let scores: Vec<f64> = (0..config.bootstrap_repeats.max(1))
-                    .map(|rep| {
-                        fit_and_score(kind, &train, &test, config, &mut rng, rep > 0)
-                    })
+                    .map(|rep| fit_and_score(kind, &train, &test, config, &mut rng, rep > 0))
                     .collect();
                 let (mean, ci95) = mean_ci95(&scores);
                 conf_grid[ri][fi] = RankCell { mean, ci95 };
@@ -340,7 +370,10 @@ pub fn run_rank_task(data: &MagData, config: &RankTaskConfig) -> RankResults {
         }
         ndcg.push(conf_grid);
     }
-    RankResults { conferences: data.config.conferences.clone(), ndcg }
+    RankResults {
+        conferences: data.config.conferences.clone(),
+        ndcg,
+    }
 }
 
 /// One discriminative subgraph of Fig. 4.
@@ -364,7 +397,10 @@ pub fn discriminative_subgraphs(
     let features = conference_features(data, conference, config);
     let rows = features.years.len() * features.institutions;
     let test_start = rows - features.institutions;
-    let (x, d) = features.sets.get(&RankFeatureSet::Subgraph).expect("extracted");
+    let (x, d) = features
+        .sets
+        .get(&RankFeatureSet::Subgraph)
+        .expect("extracted");
     let full = Dataset::new(x.clone(), rows, *d, features.targets.clone());
     let train_rows: Vec<usize> = (0..test_start).collect();
     let train = full.select_rows(&train_rows);
@@ -377,7 +413,10 @@ pub fn discriminative_subgraphs(
         &train,
         &ForestConfig {
             n_estimators: config.forest_trees.max(300),
-            tree: TreeConfig { max_features, ..TreeConfig::default() },
+            tree: TreeConfig {
+                max_features,
+                ..TreeConfig::default()
+            },
             bootstrap: true,
             seed: config.seed,
         },
@@ -385,17 +424,24 @@ pub fn discriminative_subgraphs(
     let importances = forest.feature_importances();
     let mut order: Vec<usize> = (0..importances.len()).collect();
     order.sort_by(|&a, &b| {
-        importances[b].partial_cmp(&importances[a]).expect("finite").then(a.cmp(&b))
+        importances[b]
+            .partial_cmp(&importances[a])
+            .expect("finite")
+            .then(a.cmp(&b))
     });
-    let labels = hsgf_graph::LabelSet::from_names(hsgf_data::mag::MAG_RANK_LABELS)
-        .expect("static names");
+    let labels =
+        hsgf_graph::LabelSet::from_names(hsgf_data::mag::MAG_RANK_LABELS).expect("static names");
     order
         .into_iter()
         .take(top_k)
         .map(|idx| {
             let encoding = features.subgraph_matrix.space().key(idx as u32).clone();
             let rendered = encoding.render(&labels);
-            DiscriminativeSubgraph { encoding, rendered, importance: importances[idx] }
+            DiscriminativeSubgraph {
+                encoding,
+                rendered,
+                importance: importances[idx],
+            }
         })
         .collect()
 }
@@ -488,9 +534,18 @@ mod tests {
     #[test]
     fn best_feature_set_picks_argmax() {
         let row = vec![
-            RankCell { mean: 0.2, ci95: 0.0 },
-            RankCell { mean: 0.9, ci95: 0.0 },
-            RankCell { mean: 0.5, ci95: 0.0 },
+            RankCell {
+                mean: 0.2,
+                ci95: 0.0,
+            },
+            RankCell {
+                mean: 0.9,
+                ci95: 0.0,
+            },
+            RankCell {
+                mean: 0.5,
+                ci95: 0.0,
+            },
         ];
         assert_eq!(best_feature_set(&row), 1);
     }

@@ -54,11 +54,7 @@ pub fn fmt_secs(s: f64) -> String {
 
 /// Renders an ASCII line series (one row per x value) — the text stand-in
 /// for the paper's figures.
-pub fn render_series(
-    x_label: &str,
-    xs: &[String],
-    series: &[(String, Vec<String>)],
-) -> String {
+pub fn render_series(x_label: &str, xs: &[String], series: &[(String, Vec<String>)]) -> String {
     let mut header = vec![x_label.to_string()];
     header.extend(series.iter().map(|(name, _)| name.clone()));
     let rows: Vec<Vec<String>> = xs

@@ -25,7 +25,12 @@ pub struct GraphBuilder {
 impl GraphBuilder {
     /// Creates a builder over a fixed label set.
     pub fn new(labels: LabelSet) -> Self {
-        GraphBuilder { labels, node_labels: Vec::new(), edges: Vec::new(), edge_type_count: 1 }
+        GraphBuilder {
+            labels,
+            node_labels: Vec::new(),
+            edges: Vec::new(),
+            edge_type_count: 1,
+        }
     }
 
     /// Creates a builder, interning the given label names in order.
@@ -103,13 +108,21 @@ impl GraphBuilder {
     /// `u → v` and `v → u` (or mixing with an undirected insertion of the
     /// same pair) merges to an undirected edge.
     pub fn add_arc(&mut self, u: NodeId, v: NodeId) -> crate::Result<()> {
-        let dir = if u < v { Direction::LowToHigh } else { Direction::HighToLow };
+        let dir = if u < v {
+            Direction::LowToHigh
+        } else {
+            Direction::HighToLow
+        };
         self.push_edge(u, v, dir, 0)
     }
 
     /// Adds a directed edge `u → v` carrying an edge type.
     pub fn add_arc_typed(&mut self, u: NodeId, v: NodeId, edge_type: u8) -> crate::Result<()> {
-        let dir = if u < v { Direction::LowToHigh } else { Direction::HighToLow };
+        let dir = if u < v {
+            Direction::LowToHigh
+        } else {
+            Direction::HighToLow
+        };
         self.push_edge(u, v, dir, edge_type)
     }
 
@@ -126,7 +139,10 @@ impl GraphBuilder {
         let n = self.node_labels.len();
         for w in [u, v] {
             if w.index() >= n {
-                return Err(GraphError::UnknownNode { node: w.raw(), node_count: n });
+                return Err(GraphError::UnknownNode {
+                    node: w.raw(),
+                    node_count: n,
+                });
             }
         }
         let (a, b) = if u < v { (u, v) } else { (v, u) };
@@ -141,8 +157,7 @@ impl GraphBuilder {
         // Deduplicate edges (already normalized to u < v), merging the
         // direction assertions of duplicates.
         self.edges.sort_unstable_by_key(|&(u, v, _, _)| (u, v));
-        let mut merged: Vec<(NodeId, NodeId, Direction, u8)> =
-            Vec::with_capacity(self.edges.len());
+        let mut merged: Vec<(NodeId, NodeId, Direction, u8)> = Vec::with_capacity(self.edges.len());
         for &(u, v, dir, ty) in &self.edges {
             match merged.last_mut() {
                 Some((lu, lv, ldir, lty)) if *lu == u && *lv == v => {
@@ -242,7 +257,10 @@ mod tests {
         let mut b = GraphBuilder::with_label_names(["x"]).unwrap();
         let v = b.add_node("x").unwrap();
         let ghost = NodeId::new(17);
-        assert!(matches!(b.add_edge(v, ghost), Err(GraphError::UnknownNode { .. })));
+        assert!(matches!(
+            b.add_edge(v, ghost),
+            Err(GraphError::UnknownNode { .. })
+        ));
     }
 
     #[test]
@@ -305,8 +323,14 @@ mod tests {
         // Orientation is endpoint-relative.
         let idx = g.neighbors(a).iter().position(|&x| x == c).unwrap();
         let eid = g.incident_edge_ids(a)[idx];
-        assert_eq!(g.orientation(a, c, eid), crate::direction::Orientation::Outgoing);
-        assert_eq!(g.orientation(c, a, eid), crate::direction::Orientation::Incoming);
+        assert_eq!(
+            g.orientation(a, c, eid),
+            crate::direction::Orientation::Outgoing
+        );
+        assert_eq!(
+            g.orientation(c, a, eid),
+            crate::direction::Orientation::Incoming
+        );
     }
 
     #[test]

@@ -8,10 +8,8 @@
 //! direction), while the directed encoding in `hsgf-core` consults the
 //! direction of each edge it adds.
 
-use serde::{Deserialize, Serialize};
-
 /// Direction of one edge, relative to an ordered node pair.
-#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub enum Direction {
     /// No direction (or both directions asserted).
     Symmetric,

@@ -54,14 +54,20 @@ impl fmt::Display for GraphError {
                 write!(f, "self loop on node {node} is not allowed")
             }
             GraphError::UnknownNode { node, node_count } => {
-                write!(f, "node id {node} out of range (graph has {node_count} nodes)")
+                write!(
+                    f,
+                    "node id {node} out of range (graph has {node_count} nodes)"
+                )
             }
             GraphError::TooManyLabels { max } => {
                 write!(f, "label registry full: at most {max} labels are supported")
             }
             GraphError::UnknownLabel { name } => write!(f, "unknown label name {name:?}"),
             GraphError::LabelOutOfRange { label, label_count } => {
-                write!(f, "label id {label} out of range (label set has {label_count} labels)")
+                write!(
+                    f,
+                    "label id {label} out of range (label set has {label_count} labels)"
+                )
             }
             GraphError::TooManyNodes => write!(f, "node count exceeds u32 id space"),
             GraphError::Parse { line, message } => {

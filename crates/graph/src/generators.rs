@@ -5,14 +5,10 @@
 //! deterministic given a seed, so every experiment in the workspace is
 //! reproducible bit-for-bit.
 
-use rand::distributions::{Distribution, WeightedIndex};
-use rand::rngs::SmallRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
-
 use crate::builder::GraphBuilder;
 use crate::graph::{HetGraph, NodeId};
 use crate::labels::{Label, LabelSet};
+use crate::rng::{Rng, WeightedIndex};
 
 /// Labelled Erdős–Rényi `G(n, p)`: node labels drawn from the given
 /// proportions, every pair connected independently with probability `p`.
@@ -27,7 +23,7 @@ pub fn erdos_renyi(
     seed: u64,
 ) -> crate::Result<HetGraph> {
     assert_eq!(labels.len(), label_weights.len(), "one weight per label");
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rng = Rng::from_seed(seed);
     let dist = WeightedIndex::new(label_weights).expect("weights must be positive");
     let mut b = GraphBuilder::new(labels);
     for _ in 0..n {
@@ -60,7 +56,7 @@ pub fn barabasi_albert(
     assert_eq!(labels.len(), label_weights.len(), "one weight per label");
     assert!(m >= 1, "attachment count must be positive");
     assert!(n > m, "need more nodes than the attachment count");
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rng = Rng::from_seed(seed);
     let dist = WeightedIndex::new(label_weights).expect("weights must be positive");
     let mut b = GraphBuilder::new(labels);
     for _ in 0..n {
@@ -113,7 +109,7 @@ pub fn label_block_model(
     let k = labels.len();
     assert_eq!(label_sizes.len(), k);
     assert_eq!(block_p.len(), k);
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rng = Rng::from_seed(seed);
     let mut b = GraphBuilder::new(labels);
     let mut ranges: Vec<(u32, u32)> = Vec::with_capacity(k);
     let mut next = 0u32;
@@ -141,7 +137,7 @@ pub fn label_block_model(
 /// Geometric-skip sampling of Bernoulli(p) edges over a (possibly diagonal)
 /// rectangular block of the adjacency matrix.
 fn sample_block_edges(
-    rng: &mut SmallRng,
+    rng: &mut Rng,
     b: &mut GraphBuilder,
     p: f64,
     (alo, ahi): (u32, u32),
@@ -150,7 +146,11 @@ fn sample_block_edges(
 ) -> crate::Result<()> {
     let rows = (ahi - alo) as u64;
     let cols = (bhi - blo) as u64;
-    let total: u64 = if diagonal { rows * (rows.saturating_sub(1)) / 2 } else { rows * cols };
+    let total: u64 = if diagonal {
+        rows * (rows.saturating_sub(1)) / 2
+    } else {
+        rows * cols
+    };
     if total == 0 {
         return Ok(());
     }
@@ -193,8 +193,11 @@ fn unrank(idx: u64, rows: u64, cols: u64, alo: u32, blo: u32, diagonal: bool) ->
         let n = rows;
         // Find i such that cum(i) <= idx < cum(i+1) where
         // cum(i) = i*n - i(i+1)/2.
-        let fi = n as f64 - 0.5
-            - (((n as f64 - 0.5) * (n as f64 - 0.5)) - 2.0 * idx as f64).max(0.0).sqrt();
+        let fi = n as f64
+            - 0.5
+            - (((n as f64 - 0.5) * (n as f64 - 0.5)) - 2.0 * idx as f64)
+                .max(0.0)
+                .sqrt();
         let mut i = fi.floor() as u64;
         let cum = |i: u64| i * n - i * (i + 1) / 2;
         while i + 1 < n && cum(i + 1) <= idx {
@@ -214,13 +217,16 @@ fn unrank(idx: u64, rows: u64, cols: u64, alo: u32, blo: u32, diagonal: bool) ->
 
 /// Samples `count` distinct nodes uniformly from a slice (without
 /// replacement); helper shared by dataset generators.
-pub fn sample_distinct<T: Copy>(rng: &mut SmallRng, pool: &[T], count: usize) -> Vec<T> {
-    pool.choose_multiple(rng, count.min(pool.len())).copied().collect()
+pub fn sample_distinct<T: Copy>(rng: &mut Rng, pool: &[T], count: usize) -> Vec<T> {
+    rng.sample_indices(pool.len(), count)
+        .into_iter()
+        .map(|i| pool[i])
+        .collect()
 }
 
 /// Draws an index from a Zipf-like distribution over `n` items with
 /// exponent `s` (popularity skew used by the LOAD and IMDB generators).
-pub fn zipf_index(rng: &mut SmallRng, n: usize, s: f64) -> usize {
+pub fn zipf_index(rng: &mut Rng, n: usize, s: f64) -> usize {
     debug_assert!(n > 0);
     // Inverse-CDF on the continuous approximation, then clamp.
     let u: f64 = rng.gen_range(0.0f64..1.0);
@@ -278,13 +284,8 @@ mod tests {
     #[test]
     fn block_model_respects_zero_blocks() {
         let labels = two_labels();
-        let g = label_block_model(
-            labels,
-            &[50, 50],
-            &[vec![0.0, 0.2], vec![0.2, 0.0]],
-            11,
-        )
-        .unwrap();
+        let g =
+            label_block_model(labels, &[50, 50], &[vec![0.0, 0.2], vec![0.2, 0.0]], 11).unwrap();
         // No intra-label edges at all.
         for (u, v) in g.edges() {
             assert_ne!(g.label(u), g.label(v));
@@ -296,7 +297,11 @@ mod tests {
     fn block_model_diagonal_block() {
         let labels = LabelSet::from_names(["only"]).unwrap();
         let g = label_block_model(labels, &[40], &[vec![1.0]], 5).unwrap();
-        assert_eq!(g.edge_count(), 40 * 39 / 2, "p=1 diagonal block is a clique");
+        assert_eq!(
+            g.edge_count(),
+            40 * 39 / 2,
+            "p=1 diagonal block is a clique"
+        );
     }
 
     #[test]
@@ -315,7 +320,7 @@ mod tests {
 
     #[test]
     fn zipf_prefers_small_indices() {
-        let mut rng = SmallRng::seed_from_u64(9);
+        let mut rng = Rng::from_seed(9);
         let n = 1000;
         let mut counts = vec![0usize; n];
         for _ in 0..20_000 {
@@ -323,12 +328,15 @@ mod tests {
         }
         let head: usize = counts[..10].iter().sum();
         let tail: usize = counts[n - 10..].iter().sum();
-        assert!(head > 10 * (tail + 1), "head {head} should dwarf tail {tail}");
+        assert!(
+            head > 10 * (tail + 1),
+            "head {head} should dwarf tail {tail}"
+        );
     }
 
     #[test]
     fn zipf_stays_in_range() {
-        let mut rng = SmallRng::seed_from_u64(10);
+        let mut rng = Rng::from_seed(10);
         for s in [0.5, 1.0, 1.5, 2.5] {
             for n in [1usize, 2, 7, 100] {
                 for _ in 0..200 {

@@ -2,14 +2,12 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::direction::{Direction, Orientation};
 use crate::labels::{Label, LabelSet};
 use crate::GraphError;
 
 /// A compact node identifier (index into the graph's node arrays).
-#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Serialize, Deserialize)]
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
 pub struct NodeId(u32);
 
 impl NodeId {
@@ -49,7 +47,7 @@ impl fmt::Display for NodeId {
 /// * membership tests within a run can binary-search.
 ///
 /// Construct one through [`crate::GraphBuilder`].
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct HetGraph {
     labels: LabelSet,
     node_labels: Vec<Label>,
@@ -268,7 +266,11 @@ impl HetGraph {
     /// Iterates `(label, neighbour run)` pairs for `v`, skipping empty runs.
     #[inline]
     pub fn neighbor_label_runs(&self, v: NodeId) -> NeighborLabelRuns<'_> {
-        NeighborLabelRuns { graph: self, node: v, next_label: 0 }
+        NeighborLabelRuns {
+            graph: self,
+            node: v,
+            next_label: 0,
+        }
     }
 
     /// Whether `u` and `v` are adjacent (binary search in the label run of
@@ -278,8 +280,14 @@ impl HetGraph {
             return false;
         }
         // Search the smaller endpoint's run for cache friendliness.
-        let (a, b) = if self.degree(u) <= self.degree(v) { (u, v) } else { (v, u) };
-        self.neighbors_with_label(a, self.label(b)).binary_search(&b).is_ok()
+        let (a, b) = if self.degree(u) <= self.degree(v) {
+            (u, v)
+        } else {
+            (v, u)
+        };
+        self.neighbors_with_label(a, self.label(b))
+            .binary_search(&b)
+            .is_ok()
     }
 
     /// Iterates all node ids `0..V`.
@@ -295,7 +303,11 @@ impl HetGraph {
     /// Iterates every undirected edge once, as `(u, v)` with `u < v`.
     pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
         self.nodes().flat_map(move |u| {
-            self.neighbors(u).iter().copied().filter(move |&v| u < v).map(move |v| (u, v))
+            self.neighbors(u)
+                .iter()
+                .copied()
+                .filter(move |&v| u < v)
+                .map(move |v| (u, v))
         })
     }
 
@@ -313,7 +325,10 @@ impl HetGraph {
         if v.index() < self.node_count() {
             Ok(())
         } else {
-            Err(GraphError::UnknownNode { node: v.raw(), node_count: self.node_count() })
+            Err(GraphError::UnknownNode {
+                node: v.raw(),
+                node_count: self.node_count(),
+            })
         }
     }
 }
@@ -379,8 +394,11 @@ mod tests {
         assert!(g.neighbors_with_label(i, Label::new(0)).is_empty());
         assert_eq!(g.neighbors_with_label(i, Label::new(1)).len(), 2);
         assert!(g.neighbors_with_label(i, Label::new(2)).is_empty());
-        let total: usize =
-            g.labels().labels().map(|l| g.neighbors_with_label(i, l).len()).sum();
+        let total: usize = g
+            .labels()
+            .labels()
+            .map(|l| g.neighbors_with_label(i, l).len())
+            .sum();
         assert_eq!(total, g.degree(i));
     }
 
@@ -439,7 +457,10 @@ mod tests {
                 assert_eq!(g.incident_edge_ids(w)[widx], id);
             }
         }
-        assert!(seen.iter().all(|&c| c == 2), "each edge id seen once per direction");
+        assert!(
+            seen.iter().all(|&c| c == 2),
+            "each edge id seen once per direction"
+        );
     }
 
     #[test]

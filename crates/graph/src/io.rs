@@ -113,9 +113,10 @@ pub fn read_graph<R: BufRead>(input: R) -> crate::Result<HetGraph> {
             }
         }
     }
-    builder
-        .map(GraphBuilder::build)
-        .ok_or(GraphError::Parse { line: 0, message: "empty input".to_owned() })
+    builder.map(GraphBuilder::build).ok_or(GraphError::Parse {
+        line: 0,
+        message: "empty input".to_owned(),
+    })
 }
 
 fn parse_field<T: std::str::FromStr>(
@@ -124,9 +125,15 @@ fn parse_field<T: std::str::FromStr>(
     what: &str,
 ) -> crate::Result<T> {
     field
-        .ok_or_else(|| GraphError::Parse { line, message: format!("missing {what}") })?
+        .ok_or_else(|| GraphError::Parse {
+            line,
+            message: format!("missing {what}"),
+        })?
         .parse()
-        .map_err(|_| GraphError::Parse { line, message: format!("malformed {what}") })
+        .map_err(|_| GraphError::Parse {
+            line,
+            message: format!("malformed {what}"),
+        })
 }
 
 /// Serializes `graph` to an owned string (convenience over [`write_graph`]).
@@ -169,8 +176,14 @@ mod tests {
             assert_eq!(g.label(v), g2.label(v));
         }
         assert_eq!(
-            g.labels().iter().map(|(_, n)| n.to_owned()).collect::<Vec<_>>(),
-            g2.labels().iter().map(|(_, n)| n.to_owned()).collect::<Vec<_>>()
+            g.labels()
+                .iter()
+                .map(|(_, n)| n.to_owned())
+                .collect::<Vec<_>>(),
+            g2.labels()
+                .iter()
+                .map(|(_, n)| n.to_owned())
+                .collect::<Vec<_>>()
         );
     }
 
@@ -234,7 +247,10 @@ mod tests {
 
     #[test]
     fn rejects_node_before_labels() {
-        assert!(matches!(from_str("node 0\n"), Err(GraphError::Parse { line: 1, .. })));
+        assert!(matches!(
+            from_str("node 0\n"),
+            Err(GraphError::Parse { line: 1, .. })
+        ));
     }
 
     #[test]

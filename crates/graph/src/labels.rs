@@ -9,8 +9,6 @@
 use std::collections::HashMap;
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::GraphError;
 
 /// Maximum number of distinct labels supported by the substrate.
@@ -21,7 +19,7 @@ use crate::GraphError;
 pub const MAX_LABELS: usize = 64;
 
 /// A compact node-label identifier (index into a [`LabelSet`]).
-#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Serialize, Deserialize)]
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
 pub struct Label(u8);
 
 impl Label {
@@ -59,10 +57,9 @@ impl fmt::Display for Label {
 /// The *fixed ordering of labels* required by the characteristic sequence
 /// (paper §3.1, "for some fixed ordering of labels l = 1, …, |L|") is the
 /// insertion order of this set.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct LabelSet {
     names: Vec<String>,
-    #[serde(skip)]
     index: HashMap<String, Label>,
 }
 
@@ -107,7 +104,9 @@ impl LabelSet {
         self.index
             .get(name)
             .copied()
-            .ok_or_else(|| GraphError::UnknownLabel { name: name.to_owned() })
+            .ok_or_else(|| GraphError::UnknownLabel {
+                name: name.to_owned(),
+            })
     }
 
     /// Returns the name of a label id, if in range.
@@ -173,14 +172,21 @@ mod tests {
         let collected: Vec<_> = set.iter().map(|(l, n)| (l.index(), n.to_owned())).collect();
         assert_eq!(
             collected,
-            vec![(0, "x".to_owned()), (1, "y".to_owned()), (2, "z".to_owned())]
+            vec![
+                (0, "x".to_owned()),
+                (1, "y".to_owned()),
+                (2, "z".to_owned())
+            ]
         );
     }
 
     #[test]
     fn lookup_errors_on_unknown() {
         let set = LabelSet::from_names(["x"]).unwrap();
-        assert!(matches!(set.get("nope"), Err(GraphError::UnknownLabel { .. })));
+        assert!(matches!(
+            set.get("nope"),
+            Err(GraphError::UnknownLabel { .. })
+        ));
     }
 
     #[test]

@@ -11,13 +11,11 @@
 //! * Fig. 2 characterizes each evaluation dataset by the *shape* of its LCG
 //!   (densely interconnected for LOAD vs star-like for IMDB).
 
-use serde::{Deserialize, Serialize};
-
 use crate::graph::HetGraph;
 use crate::labels::Label;
 
 /// Adjacency structure over labels, with self loops.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct LabelConnectivityGraph {
     label_count: usize,
     /// Row-major `label_count × label_count` symmetric edge-presence matrix;
@@ -42,7 +40,11 @@ impl LabelConnectivityGraph {
                 multiplicity[b * k + a] += 1;
             }
         }
-        LabelConnectivityGraph { label_count: k, adjacency, multiplicity }
+        LabelConnectivityGraph {
+            label_count: k,
+            adjacency,
+            multiplicity,
+        }
     }
 
     /// Number of labels (meta-nodes).

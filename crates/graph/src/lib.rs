@@ -25,6 +25,8 @@
 //!   preferential attachment, label-stratified block models) on which the
 //!   synthetic datasets in `hsgf-data` are built.
 //! * [`io`] — a plain-text interchange format for labelled graphs.
+//! * [`rng`] — the workspace's in-repo deterministic PRNG (SplitMix64-seeded
+//!   Xoshiro256++); the whole build is hermetic, so no `rand` dependency.
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
@@ -36,6 +38,7 @@ pub mod graph;
 pub mod io;
 pub mod labels;
 pub mod lcg;
+pub mod rng;
 pub mod stats;
 pub mod traversal;
 
@@ -47,6 +50,7 @@ pub use error::GraphError;
 pub use graph::{HetGraph, NeighborLabelRuns, NodeId};
 pub use labels::{Label, LabelSet};
 pub use lcg::LabelConnectivityGraph;
+pub use rng::Rng;
 pub use stats::DegreeStats;
 
 /// Convenience result alias used throughout the graph substrate.

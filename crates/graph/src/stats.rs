@@ -5,12 +5,10 @@
 //! than the maximum degree in the given percentile". [`DegreeStats`] computes
 //! those percentile degrees once per graph so experiment sweeps are cheap.
 
-use serde::{Deserialize, Serialize};
-
 use crate::graph::HetGraph;
 
 /// Precomputed degree distribution of a graph.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct DegreeStats {
     /// All node degrees, sorted ascending.
     sorted_degrees: Vec<u32>,
@@ -20,15 +18,17 @@ pub struct DegreeStats {
 impl DegreeStats {
     /// Computes the degree distribution of `graph`.
     pub fn of(graph: &HetGraph) -> Self {
-        let mut sorted_degrees: Vec<u32> =
-            graph.nodes().map(|v| graph.degree(v) as u32).collect();
+        let mut sorted_degrees: Vec<u32> = graph.nodes().map(|v| graph.degree(v) as u32).collect();
         sorted_degrees.sort_unstable();
         let mean = if sorted_degrees.is_empty() {
             0.0
         } else {
             sorted_degrees.iter().map(|&d| d as f64).sum::<f64>() / sorted_degrees.len() as f64
         };
-        DegreeStats { sorted_degrees, mean }
+        DegreeStats {
+            sorted_degrees,
+            mean,
+        }
     }
 
     /// Number of nodes observed.

@@ -3,9 +3,7 @@
 //! (§4.3.3: "we tune the regularization strength and use L2
 //! regularization").
 
-use rand::rngs::SmallRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use hsgf_graph::rng::Rng;
 
 use crate::dataset::Dataset;
 use crate::logreg::{LogisticConfig, OneVsAllClassifier};
@@ -16,15 +14,18 @@ pub fn k_folds(n: usize, k: usize, seed: u64) -> Vec<(Vec<usize>, Vec<usize>)> {
     assert!(k >= 2, "need at least 2 folds");
     assert!(n >= k, "need at least one sample per fold");
     let mut order: Vec<usize> = (0..n).collect();
-    let mut rng = SmallRng::seed_from_u64(seed);
-    order.shuffle(&mut rng);
+    let mut rng = Rng::from_seed(seed);
+    rng.shuffle(&mut order);
     (0..k)
         .map(|fold| {
             let lo = n * fold / k;
             let hi = n * (fold + 1) / k;
             let test: Vec<usize> = order[lo..hi].to_vec();
-            let train: Vec<usize> =
-                order[..lo].iter().chain(order[hi..].iter()).copied().collect();
+            let train: Vec<usize> = order[..lo]
+                .iter()
+                .chain(order[hi..].iter())
+                .copied()
+                .collect();
             (train, test)
         })
         .collect()
@@ -32,14 +33,12 @@ pub fn k_folds(n: usize, k: usize, seed: u64) -> Vec<(Vec<usize>, Vec<usize>)> {
 
 /// Cross-validated Macro-F1 of one-vs-all logistic regression at a given
 /// regularization strength `c`.
-pub fn cv_macro_f1(
-    features: &Dataset,
-    classes: &[usize],
-    c: f64,
-    folds: usize,
-    seed: u64,
-) -> f64 {
-    let config = LogisticConfig { c, max_iter: 200, tol: 1e-4 };
+pub fn cv_macro_f1(features: &Dataset, classes: &[usize], c: f64, folds: usize, seed: u64) -> f64 {
+    let config = LogisticConfig {
+        c,
+        max_iter: 200,
+        tol: 1e-4,
+    };
     let splits = k_folds(features.len(), folds, seed);
     let mut total = 0.0;
     for (train_rows, test_rows) in &splits {

@@ -1,8 +1,6 @@
 //! Dense supervised datasets, splits, and standardization.
 
-use rand::rngs::SmallRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use hsgf_graph::rng::Rng;
 
 use crate::linalg::Mat;
 
@@ -19,7 +17,10 @@ impl Dataset {
     /// Builds a dataset from a flat row-major buffer.
     pub fn new(x: Vec<f64>, n: usize, d: usize, y: Vec<f64>) -> Self {
         assert_eq!(y.len(), n, "one target per row");
-        Dataset { x: Mat::from_vec(x, n, d), y }
+        Dataset {
+            x: Mat::from_vec(x, n, d),
+            y,
+        }
     }
 
     /// Number of rows.
@@ -45,7 +46,10 @@ impl Dataset {
             let row = self.x.row(i);
             data.extend(cols.iter().map(|&c| row[c]));
         }
-        Dataset { x: Mat::from_vec(data, n, cols.len()), y: self.y.clone() }
+        Dataset {
+            x: Mat::from_vec(data, n, cols.len()),
+            y: self.y.clone(),
+        }
     }
 
     /// Restriction to a subset of row indices.
@@ -57,7 +61,10 @@ impl Dataset {
             data.extend_from_slice(self.x.row(r));
             y.push(self.y[r]);
         }
-        Dataset { x: Mat::from_vec(data, rows.len(), d), y }
+        Dataset {
+            x: Mat::from_vec(data, rows.len(), d),
+            y,
+        }
     }
 
     /// Seeded random train/test split with `train_fraction` of rows in the
@@ -65,11 +72,14 @@ impl Dataset {
     pub fn split(&self, train_fraction: f64, seed: u64) -> (Dataset, Dataset) {
         let n = self.len();
         let mut order: Vec<usize> = (0..n).collect();
-        let mut rng = SmallRng::seed_from_u64(seed);
-        order.shuffle(&mut rng);
+        let mut rng = Rng::from_seed(seed);
+        rng.shuffle(&mut order);
         let cut = ((n as f64) * train_fraction).round() as usize;
         let cut = cut.clamp(usize::from(n > 1), n.saturating_sub(usize::from(n > 1)));
-        (self.select_rows(&order[..cut]), self.select_rows(&order[cut..]))
+        (
+            self.select_rows(&order[..cut]),
+            self.select_rows(&order[cut..]),
+        )
     }
 }
 

@@ -4,8 +4,7 @@
 //! "to obtain meaningful results that we can use in the feature importance
 //! analysis", §4.2.3).
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use hsgf_graph::rng::Rng;
 
 use crate::dataset::Dataset;
 use crate::tree::{DecisionTreeRegressor, TreeConfig};
@@ -49,7 +48,7 @@ impl RandomForestRegressor {
         assert!(!data.is_empty(), "cannot fit on an empty dataset");
         assert!(config.n_estimators > 0, "need at least one tree");
         let n = data.len();
-        let mut rng = SmallRng::seed_from_u64(config.seed);
+        let mut rng = Rng::from_seed(config.seed);
         let trees = (0..config.n_estimators)
             .map(|_| {
                 let indices: Vec<usize> = if config.bootstrap {
@@ -57,11 +56,14 @@ impl RandomForestRegressor {
                 } else {
                     (0..n).collect()
                 };
-                let mut tree_rng = SmallRng::seed_from_u64(rng.gen());
+                let mut tree_rng = Rng::from_seed(rng.next_u64());
                 DecisionTreeRegressor::fit_on(data, &indices, &config.tree, Some(&mut tree_rng))
             })
             .collect();
-        RandomForestRegressor { trees, dim: data.dim() }
+        RandomForestRegressor {
+            trees,
+            dim: data.dim(),
+        }
     }
 
     /// Predicts one row (mean over trees).
@@ -72,7 +74,9 @@ impl RandomForestRegressor {
 
     /// Predicts every row of a dataset's design matrix.
     pub fn predict(&self, data: &Dataset) -> Vec<f64> {
-        (0..data.len()).map(|i| self.predict_row(data.x.row(i))).collect()
+        (0..data.len())
+            .map(|i| self.predict_row(data.x.row(i)))
+            .collect()
     }
 
     /// Mean-decrease-impurity importances, averaged over trees and
@@ -110,7 +114,9 @@ mod tests {
     use super::*;
 
     fn stepped_dataset(n: usize) -> Dataset {
-        let x: Vec<f64> = (0..n).flat_map(|i| [i as f64, ((i * 13) % 7) as f64]).collect();
+        let x: Vec<f64> = (0..n)
+            .flat_map(|i| [i as f64, ((i * 13) % 7) as f64])
+            .collect();
         let y: Vec<f64> = (0..n).map(|i| if i < n / 2 { 1.0 } else { 3.0 }).collect();
         Dataset::new(x, n, 2, y)
     }
@@ -118,7 +124,10 @@ mod tests {
     #[test]
     fn forest_learns_step_function() {
         let data = stepped_dataset(40);
-        let config = ForestConfig { n_estimators: 25, ..ForestConfig::default() };
+        let config = ForestConfig {
+            n_estimators: 25,
+            ..ForestConfig::default()
+        };
         let forest = RandomForestRegressor::fit(&data, &config);
         assert!(forest.predict_row(&[2.0, 0.0]) < 1.6);
         assert!(forest.predict_row(&[35.0, 0.0]) > 2.4);
@@ -127,7 +136,11 @@ mod tests {
     #[test]
     fn deterministic_per_seed() {
         let data = stepped_dataset(30);
-        let config = ForestConfig { n_estimators: 10, seed: 5, ..ForestConfig::default() };
+        let config = ForestConfig {
+            n_estimators: 10,
+            seed: 5,
+            ..ForestConfig::default()
+        };
         let f1 = RandomForestRegressor::fit(&data, &config);
         let f2 = RandomForestRegressor::fit(&data, &config);
         let p1 = f1.predict(&data);
@@ -138,7 +151,10 @@ mod tests {
     #[test]
     fn importances_identify_signal_feature() {
         let data = stepped_dataset(60);
-        let config = ForestConfig { n_estimators: 30, ..ForestConfig::default() };
+        let config = ForestConfig {
+            n_estimators: 30,
+            ..ForestConfig::default()
+        };
         let forest = RandomForestRegressor::fit(&data, &config);
         let imp = forest.feature_importances();
         assert!(imp[0] > imp[1] * 3.0, "importances: {imp:?}");
@@ -148,7 +164,10 @@ mod tests {
     #[test]
     fn bootstrap_trees_differ_but_agree_on_signal() {
         let data = stepped_dataset(50);
-        let config = ForestConfig { n_estimators: 12, ..ForestConfig::default() };
+        let config = ForestConfig {
+            n_estimators: 12,
+            ..ForestConfig::default()
+        };
         let forest = RandomForestRegressor::fit(&data, &config);
         assert_eq!(forest.len(), 12);
         // Ensemble mean stays within the target range.
@@ -163,7 +182,10 @@ mod tests {
         let data = stepped_dataset(40);
         let config = ForestConfig {
             n_estimators: 8,
-            tree: TreeConfig { max_features: Some(1), ..TreeConfig::default() },
+            tree: TreeConfig {
+                max_features: Some(1),
+                ..TreeConfig::default()
+            },
             ..ForestConfig::default()
         };
         let forest = RandomForestRegressor::fit(&data, &config);

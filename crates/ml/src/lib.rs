@@ -100,7 +100,10 @@ impl RegressorKind {
                 DecisionTreeRegressor::fit(&train, &TreeConfig::default()).predict(&test)
             }
             RegressorKind::RandomForest => {
-                let config = ForestConfig { seed, ..ForestConfig::default() };
+                let config = ForestConfig {
+                    seed,
+                    ..ForestConfig::default()
+                };
                 RandomForestRegressor::fit(&train, &config).predict(&test)
             }
             RegressorKind::BayesianRidge => BayesianRidge::fit(&train).predict(&test),

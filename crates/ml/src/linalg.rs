@@ -16,7 +16,11 @@ pub struct Mat {
 impl Mat {
     /// Creates a zero matrix.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Mat { data: vec![0.0; rows * cols], rows, cols }
+        Mat {
+            data: vec![0.0; rows * cols],
+            rows,
+            cols,
+        }
     }
 
     /// Wraps an existing row-major buffer.
@@ -167,8 +171,11 @@ pub fn cholesky(a: &Mat) -> Option<Mat> {
 pub fn solve_spd(a: &Mat, b: &[f64]) -> Option<Vec<f64>> {
     let n = a.rows();
     assert_eq!(b.len(), n);
-    let trace_mean =
-        (0..n).map(|i| a[(i, i)].abs()).sum::<f64>().max(f64::MIN_POSITIVE) / n as f64;
+    let trace_mean = (0..n)
+        .map(|i| a[(i, i)].abs())
+        .sum::<f64>()
+        .max(f64::MIN_POSITIVE)
+        / n as f64;
     for attempt in 0..8 {
         let mut aj = a.clone();
         if attempt > 0 {
@@ -362,6 +369,9 @@ mod tests {
         let e = symmetric_eigenvalues(&g);
         let trace = g[(0, 0)] + g[(1, 1)];
         assert!(approx(e.iter().sum::<f64>(), trace, 1e-10));
-        assert!(e.iter().all(|&x| x > -1e-10), "Gram eigenvalues are non-negative");
+        assert!(
+            e.iter().all(|&x| x > -1e-10),
+            "Gram eigenvalues are non-negative"
+        );
     }
 }

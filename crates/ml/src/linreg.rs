@@ -22,7 +22,10 @@ impl LinearRegression {
         assert!(n > 0, "cannot fit on an empty dataset");
         if d == 0 {
             let mean = data.y.iter().sum::<f64>() / n as f64;
-            return LinearRegression { weights: Vec::new(), intercept: mean };
+            return LinearRegression {
+                weights: Vec::new(),
+                intercept: mean,
+            };
         }
         // Column means.
         let mut x_mean = vec![0.0; d];
@@ -71,7 +74,9 @@ impl LinearRegression {
 
     /// Predicts every row of a dataset's design matrix.
     pub fn predict(&self, data: &Dataset) -> Vec<f64> {
-        (0..data.len()).map(|i| self.predict_row(data.x.row(i))).collect()
+        (0..data.len())
+            .map(|i| self.predict_row(data.x.row(i)))
+            .collect()
     }
 }
 

@@ -25,7 +25,11 @@ pub struct LogisticConfig {
 
 impl Default for LogisticConfig {
     fn default() -> Self {
-        LogisticConfig { c: 1.0, max_iter: 500, tol: 1e-5 }
+        LogisticConfig {
+            c: 1.0,
+            max_iter: 500,
+            tol: 1e-5,
+        }
     }
 }
 
@@ -54,7 +58,10 @@ impl LogisticRegression {
         let n = data.len();
         let d = data.dim();
         assert!(n > 0, "cannot fit on an empty dataset");
-        debug_assert!(data.y.iter().all(|&y| y == 0.0 || y == 1.0), "targets must be 0/1");
+        debug_assert!(
+            data.y.iter().all(|&y| y == 0.0 || y == 1.0),
+            "targets must be 0/1"
+        );
         let mut w = vec![0.0; d];
         let mut b = 0.0;
         // Regularization on the mean loss: penalty 1/(2 C n) ||w||².
@@ -104,8 +111,11 @@ impl LogisticRegression {
             // Backtracking line search along the negative gradient.
             let mut accepted = false;
             for _ in 0..40 {
-                let cand_w: Vec<f64> =
-                    w.iter().zip(&grad_w).map(|(&wi, &g)| wi - step * g).collect();
+                let cand_w: Vec<f64> = w
+                    .iter()
+                    .zip(&grad_w)
+                    .map(|(&wi, &g)| wi - step * g)
+                    .collect();
                 let cand_b = b - step * grad_b;
                 let cand_loss = loss(&cand_w, cand_b, &mut probs);
                 if cand_loss <= current - 1e-4 * step * gmax * gmax {
@@ -122,7 +132,10 @@ impl LogisticRegression {
                 break; // step underflow: converged as far as f64 allows
             }
         }
-        LogisticRegression { weights: w, intercept: b }
+        LogisticRegression {
+            weights: w,
+            intercept: b,
+        }
     }
 
     /// `P(y = 1 | row)`.
@@ -132,7 +145,9 @@ impl LogisticRegression {
 
     /// Probabilities for every row.
     pub fn predict_proba(&self, data: &Dataset) -> Vec<f64> {
-        (0..data.len()).map(|i| self.predict_proba_row(data.x.row(i))).collect()
+        (0..data.len())
+            .map(|i| self.predict_proba_row(data.x.row(i)))
+            .collect()
     }
 
     /// Hard 0/1 predictions at threshold 0.5.
@@ -163,12 +178,11 @@ impl OneVsAllClassifier {
         let models = classes
             .iter()
             .map(|&c| {
-                let y: Vec<f64> =
-                    labels.iter().map(|&l| if l == c { 1.0 } else { 0.0 }).collect();
-                let binary = Dataset {
-                    x: x.x.clone(),
-                    y,
-                };
+                let y: Vec<f64> = labels
+                    .iter()
+                    .map(|&l| if l == c { 1.0 } else { 0.0 })
+                    .collect();
+                let binary = Dataset { x: x.x.clone(), y };
                 LogisticRegression::fit(&binary, config)
             })
             .collect();
@@ -194,7 +208,10 @@ impl OneVsAllClassifier {
 
     /// Per-class probabilities for one row, aligned with `classes`.
     pub fn predict_proba_row(&self, row: &[f64]) -> Vec<f64> {
-        self.models.iter().map(|m| m.predict_proba_row(row)).collect()
+        self.models
+            .iter()
+            .map(|m| m.predict_proba_row(row))
+            .collect()
     }
 }
 
@@ -219,8 +236,11 @@ mod tests {
         let data = separable();
         let model = LogisticRegression::fit(&data, &LogisticConfig::default());
         let preds = model.predict(&data);
-        let correct =
-            preds.iter().zip(&data.y).filter(|(p, t)| (*p - **t).abs() < 0.5).count();
+        let correct = preds
+            .iter()
+            .zip(&data.y)
+            .filter(|(p, t)| (*p - **t).abs() < 0.5)
+            .count();
         assert!(correct >= 38, "only {correct}/40 correct");
         assert!(model.weights[0] > 0.5, "weights: {:?}", model.weights);
     }
@@ -228,10 +248,20 @@ mod tests {
     #[test]
     fn stronger_regularization_shrinks_weights() {
         let data = separable();
-        let strong =
-            LogisticRegression::fit(&data, &LogisticConfig { c: 0.01, ..Default::default() });
-        let weak =
-            LogisticRegression::fit(&data, &LogisticConfig { c: 100.0, ..Default::default() });
+        let strong = LogisticRegression::fit(
+            &data,
+            &LogisticConfig {
+                c: 0.01,
+                ..Default::default()
+            },
+        );
+        let weak = LogisticRegression::fit(
+            &data,
+            &LogisticConfig {
+                c: 100.0,
+                ..Default::default()
+            },
+        );
         let ns: f64 = strong.weights.iter().map(|w| w * w).sum();
         let nw: f64 = weak.weights.iter().map(|w| w * w).sum();
         assert!(ns < nw, "strong {ns} vs weak {nw}");

@@ -19,11 +19,15 @@ pub fn ndcg_at(predicted_scores: &[f64], true_relevance: &[f64], n: usize) -> f6
     // emits NaN (NaN orders below every finite score here).
     let mut by_pred: Vec<usize> = (0..count).collect();
     by_pred.sort_by(|&a, &b| {
-        predicted_scores[b].total_cmp(&predicted_scores[a]).then(a.cmp(&b))
+        predicted_scores[b]
+            .total_cmp(&predicted_scores[a])
+            .then(a.cmp(&b))
     });
     let mut by_true: Vec<usize> = (0..count).collect();
     by_true.sort_by(|&a, &b| {
-        true_relevance[b].total_cmp(&true_relevance[a]).then(a.cmp(&b))
+        true_relevance[b]
+            .total_cmp(&true_relevance[a])
+            .then(a.cmp(&b))
     });
     let dcg: f64 = by_pred[..n]
         .iter()
@@ -73,7 +77,11 @@ pub fn macro_f1(predicted: &[usize], truth: &[usize]) -> f64 {
             .count() as f64;
         let prec = if tp + fp > 0.0 { tp / (tp + fp) } else { 0.0 };
         let rec = if tp + fn_ > 0.0 { tp / (tp + fn_) } else { 0.0 };
-        f1_sum += if prec + rec > 0.0 { 2.0 * prec * rec / (prec + rec) } else { 0.0 };
+        f1_sum += if prec + rec > 0.0 {
+            2.0 * prec * rec / (prec + rec)
+        } else {
+            0.0
+        };
     }
     f1_sum / classes.len() as f64
 }
@@ -109,7 +117,11 @@ pub fn mse(predicted: &[f64], truth: &[f64]) -> f64 {
     if predicted.is_empty() {
         return 0.0;
     }
-    predicted.iter().zip(truth).map(|(p, t)| (p - t) * (p - t)).sum::<f64>()
+    predicted
+        .iter()
+        .zip(truth)
+        .map(|(p, t)| (p - t) * (p - t))
+        .sum::<f64>()
         / predicted.len() as f64
 }
 
@@ -122,7 +134,11 @@ pub fn r2(predicted: &[f64], truth: &[f64]) -> f64 {
     }
     let mean = truth.iter().sum::<f64>() / n as f64;
     let ss_tot: f64 = truth.iter().map(|t| (t - mean) * (t - mean)).sum();
-    let ss_res: f64 = predicted.iter().zip(truth).map(|(p, t)| (p - t) * (p - t)).sum();
+    let ss_res: f64 = predicted
+        .iter()
+        .zip(truth)
+        .map(|(p, t)| (p - t) * (p - t))
+        .sum();
     if ss_tot <= 0.0 {
         if ss_res <= 1e-24 {
             1.0
@@ -233,6 +249,9 @@ mod tests {
         assert_eq!(mse(&truth, &truth), 0.0);
         assert!((r2(&truth, &truth) - 1.0).abs() < 1e-12);
         let mean_pred = [2.0, 2.0, 2.0];
-        assert!(r2(&mean_pred, &truth).abs() < 1e-12, "predicting the mean gives R²=0");
+        assert!(
+            r2(&mean_pred, &truth).abs() < 1e-12,
+            "predicting the mean gives R²=0"
+        );
     }
 }

@@ -120,8 +120,10 @@ impl BayesianRidge {
             }
             let new_weights = solve_spd(&a, &xty).unwrap_or_else(|| vec![0.0; d]);
             // Effective number of parameters.
-            let gamma: f64 =
-                eig.iter().map(|&s| (alpha * s.max(0.0)) / (lambda + alpha * s.max(0.0))).sum();
+            let gamma: f64 = eig
+                .iter()
+                .map(|&s| (alpha * s.max(0.0)) / (lambda + alpha * s.max(0.0)))
+                .sum();
             // Residual sum of squares.
             let pred = xc.matvec(&new_weights);
             let rss: f64 = pred.iter().zip(&yc).map(|(p, t)| (p - t) * (p - t)).sum();
@@ -134,13 +136,19 @@ impl BayesianRidge {
             // SVD formulation implicitly does.
             alpha = alpha.clamp(1e-12, 1e12);
             lambda = lambda.clamp(1e-12, 1e12);
-            let delta: f64 =
-                new_weights.iter().zip(&weights).map(|(a, b)| (a - b).abs()).sum();
+            let delta: f64 = new_weights
+                .iter()
+                .zip(&weights)
+                .map(|(a, b)| (a - b).abs())
+                .sum();
             weights = new_weights;
             if !delta.is_finite() {
                 // Abandon a diverged iteration, keeping the last finite
                 // weights (possibly the zero vector from the first solve).
-                weights = weights.iter().map(|w| if w.is_finite() { *w } else { 0.0 }).collect();
+                weights = weights
+                    .iter()
+                    .map(|w| if w.is_finite() { *w } else { 0.0 })
+                    .collect();
                 break;
             }
             if delta < config.tol {
@@ -148,7 +156,13 @@ impl BayesianRidge {
             }
         }
         let intercept = y_mean - dot(&weights, &x_mean);
-        BayesianRidge { weights, intercept, alpha, lambda, iterations }
+        BayesianRidge {
+            weights,
+            intercept,
+            alpha,
+            lambda,
+            iterations,
+        }
     }
 
     /// Predicts one row.
@@ -158,19 +172,20 @@ impl BayesianRidge {
 
     /// Predicts every row of a dataset's design matrix.
     pub fn predict(&self, data: &Dataset) -> Vec<f64> {
-        (0..data.len()).map(|i| self.predict_row(data.x.row(i))).collect()
+        (0..data.len())
+            .map(|i| self.predict_row(data.x.row(i)))
+            .collect()
     }
 }
 
 #[cfg(test)]
 mod tests {
-    use rand::rngs::SmallRng;
-    use rand::{Rng, SeedableRng};
+    use hsgf_graph::rng::Rng;
 
     use super::*;
 
     fn noisy_linear(seed: u64, n: usize, noise: f64) -> Dataset {
-        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut rng = Rng::from_seed(seed);
         let mut x = Vec::new();
         let mut y = Vec::new();
         for _ in 0..n {
@@ -244,7 +259,11 @@ mod tests {
         }
         let data = Dataset::new(x, n, 2, y);
         let model = BayesianRidge::fit(&data);
-        assert!(model.weights.iter().all(|w| w.is_finite()), "{:?}", model.weights);
+        assert!(
+            model.weights.iter().all(|w| w.is_finite()),
+            "{:?}",
+            model.weights
+        );
         assert!(model.intercept.is_finite());
         let preds = model.predict(&data);
         assert!(preds.iter().all(|p| p.is_finite()));

@@ -54,7 +54,10 @@ pub fn f_regression(data: &Dataset) -> Vec<f64> {
 pub fn select_k_best(scores: &[f64], k: usize) -> Vec<usize> {
     let mut order: Vec<usize> = (0..scores.len()).collect();
     order.sort_by(|&a, &b| {
-        scores[b].partial_cmp(&scores[a]).expect("finite scores").then(a.cmp(&b))
+        scores[b]
+            .partial_cmp(&scores[a])
+            .expect("finite scores")
+            .then(a.cmp(&b))
     });
     order.truncate(k);
     order.sort_unstable();

@@ -1,8 +1,7 @@
 //! CART regression trees (variance-reduction splits), the building block of
 //! the random forest.
 
-use rand::rngs::SmallRng;
-use rand::Rng;
+use hsgf_graph::rng::Rng;
 
 use crate::dataset::Dataset;
 
@@ -61,7 +60,7 @@ struct Builder<'a> {
     config: &'a TreeConfig,
     nodes: Vec<Node>,
     importance_raw: Vec<f64>,
-    rng: Option<&'a mut SmallRng>,
+    rng: Option<&'a mut Rng>,
     /// Scratch: sample indices, partitioned in place during growth.
     order: Vec<usize>,
     total_samples: f64,
@@ -80,7 +79,7 @@ impl DecisionTreeRegressor {
         data: &Dataset,
         indices: &[usize],
         config: &TreeConfig,
-        rng: Option<&mut SmallRng>,
+        rng: Option<&mut Rng>,
     ) -> Self {
         assert!(!indices.is_empty(), "cannot fit a tree on zero samples");
         let mut builder = Builder {
@@ -106,8 +105,17 @@ impl DecisionTreeRegressor {
         loop {
             match &self.nodes[at] {
                 Node::Leaf { value } => return *value,
-                Node::Split { feature, threshold, left, right } => {
-                    at = if row[*feature] <= *threshold { *left } else { *right };
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    at = if row[*feature] <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
                 }
             }
         }
@@ -115,7 +123,9 @@ impl DecisionTreeRegressor {
 
     /// Predicts every row of a dataset's design matrix.
     pub fn predict(&self, data: &Dataset) -> Vec<f64> {
-        (0..data.len()).map(|i| self.predict_row(data.x.row(i))).collect()
+        (0..data.len())
+            .map(|i| self.predict_row(data.x.row(i)))
+            .collect()
     }
 
     /// Raw (unnormalized) impurity-decrease totals per feature.
@@ -236,8 +246,10 @@ impl Builder<'_> {
             _ => (0..d).collect(),
         };
         let total_sum: f64 = self.order[lo..hi].iter().map(|&i| self.data.y[i]).sum();
-        let total_sq: f64 =
-            self.order[lo..hi].iter().map(|&i| self.data.y[i] * self.data.y[i]).sum();
+        let total_sq: f64 = self.order[lo..hi]
+            .iter()
+            .map(|&i| self.data.y[i] * self.data.y[i])
+            .sum();
         let parent_sse = total_sq - total_sum * total_sum / n as f64;
         let mut best: Option<BestSplit> = None;
         // Scratch: (value, y) pairs, sorted per feature.
@@ -271,7 +283,9 @@ impl Builder<'_> {
                     + (right_sq - right_sum * right_sum / nr as f64);
                 let decrease = parent_sse - sse;
                 if decrease > 1e-12
-                    && best.as_ref().map_or(true, |b| decrease > b.impurity_decrease)
+                    && best
+                        .as_ref()
+                        .map_or(true, |b| decrease > b.impurity_decrease)
                 {
                     // The midpoint of two adjacent floats can round up to
                     // the right value, which would send *every* sample left
@@ -352,7 +366,10 @@ mod tests {
         let x: Vec<f64> = (0..64).map(|i| i as f64).collect();
         let y: Vec<f64> = (0..64).map(|i| (i % 9) as f64).collect();
         let data = Dataset::new(x, 64, 1, y);
-        let config = TreeConfig { max_depth: Some(3), ..TreeConfig::default() };
+        let config = TreeConfig {
+            max_depth: Some(3),
+            ..TreeConfig::default()
+        };
         let tree = DecisionTreeRegressor::fit(&data, &config);
         assert!(tree.depth() <= 3);
     }
@@ -386,7 +403,10 @@ mod tests {
         let x: Vec<f64> = (0..10).map(|i| i as f64).collect();
         let y: Vec<f64> = (0..10).map(|i| i as f64).collect();
         let data = Dataset::new(x, 10, 1, y);
-        let config = TreeConfig { min_samples_leaf: 5, ..TreeConfig::default() };
+        let config = TreeConfig {
+            min_samples_leaf: 5,
+            ..TreeConfig::default()
+        };
         let tree = DecisionTreeRegressor::fit(&data, &config);
         // Only one split is possible: 5 | 5.
         assert!(tree.depth() <= 1);

@@ -51,7 +51,11 @@ fn main() {
                                 .to_string()
                         })
                         .collect();
-                    println!("      realization: nodes [{}], edges {:?}", names.join(", "), graph.edges());
+                    println!(
+                        "      realization: nodes [{}], edges {:?}",
+                        names.join(", "),
+                        graph.edges()
+                    );
                 }
                 None => println!("      (no realization found within budget)"),
             }

@@ -31,7 +31,11 @@ fn main() {
         ..LabelTaskConfig::default()
     };
     let (nodes, classes) = sample_labelled_nodes(&graph, config.nodes_per_label, config.seed);
-    println!("sampled {} nodes across {} labels", nodes.len(), graph.label_count());
+    println!(
+        "sampled {} nodes across {} labels",
+        nodes.len(),
+        graph.label_count()
+    );
 
     for family in FeatureFamily::LABEL_TASK {
         let features = extract_label_features(&graph, &nodes, family, &config);

@@ -23,8 +23,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     mag_config.conferences.truncate(1);
     let data = MagData::generate(&mag_config);
     let conference = 0;
-    let years: Vec<u32> =
-        (data.config.first_year + 1..=data.config.last_year).collect();
+    let years: Vec<u32> = (data.config.first_year + 1..=data.config.last_year).collect();
     let n_inst = data.config.institutions;
     println!(
         "corpus: {} institutions, {} authors, {} papers; predicting {} from {}–{}",

@@ -50,6 +50,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             encoding.edge_count()
         );
     }
-    println!("\ntotal rooted subgraphs: {}", census.counts.values().sum::<u64>());
+    println!(
+        "\ntotal rooted subgraphs: {}",
+        census.counts.values().sum::<u64>()
+    );
     Ok(())
 }

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Offline CI gate: build, test, and format-check the whole workspace with
+# no registry access. Exits nonzero on the first failure.
+#
+# The workspace is hermetic (path-only dependencies), so `--offline` must
+# always succeed; a failure here means an external dependency crept back in.
+#
+# Environment:
+#   HSGF_PROP_CASES   property-test cases per property (default 48)
+#   HSGF_BENCH_FAST=1 set automatically for the bench smoke step
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release --offline"
+cargo build --release --offline --workspace
+
+echo "==> cargo test -q --offline"
+cargo test -q --offline --workspace
+
+echo "==> bench smoke (HSGF_BENCH_FAST=1)"
+HSGF_BENCH_FAST=1 cargo bench --offline -p hsgf-bench --bench encoding -- >/dev/null
+
+if cargo fmt --version >/dev/null 2>&1; then
+    echo "==> cargo fmt --check"
+    cargo fmt --all --check
+else
+    echo "==> cargo fmt unavailable; skipping format check"
+fi
+
+echo "CI OK"

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/census-df9a0650e19333c6.d: crates/bench/benches/census.rs
+
+/root/repo/target/debug/deps/census-df9a0650e19333c6: crates/bench/benches/census.rs
+
+crates/bench/benches/census.rs:

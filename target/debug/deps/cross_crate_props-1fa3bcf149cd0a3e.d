@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cross_crate_props-1fa3bcf149cd0a3e.d: crates/hsgf/../../tests/cross_crate_props.rs
+
+/root/repo/target/debug/deps/cross_crate_props-1fa3bcf149cd0a3e: crates/hsgf/../../tests/cross_crate_props.rs
+
+crates/hsgf/../../tests/cross_crate_props.rs:

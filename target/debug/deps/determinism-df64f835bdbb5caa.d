@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-df64f835bdbb5caa.d: crates/hsgf/../../tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-df64f835bdbb5caa: crates/hsgf/../../tests/determinism.rs
+
+crates/hsgf/../../tests/determinism.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/embeddings-bfc825b589d07e0f.d: crates/bench/benches/embeddings.rs
+
+/root/repo/target/debug/deps/embeddings-bfc825b589d07e0f: crates/bench/benches/embeddings.rs
+
+crates/bench/benches/embeddings.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/encoding-3b84fe49f34678dd.d: crates/bench/benches/encoding.rs
+
+/root/repo/target/debug/deps/encoding-3b84fe49f34678dd: crates/bench/benches/encoding.rs
+
+crates/bench/benches/encoding.rs:

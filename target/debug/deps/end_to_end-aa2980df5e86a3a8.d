@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-aa2980df5e86a3a8.d: crates/hsgf/../../tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-aa2980df5e86a3a8: crates/hsgf/../../tests/end_to_end.rs
+
+crates/hsgf/../../tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_datasets-e36aa4a434442155.d: crates/bench/src/bin/exp_datasets.rs
+
+/root/repo/target/debug/deps/exp_datasets-e36aa4a434442155: crates/bench/src/bin/exp_datasets.rs
+
+crates/bench/src/bin/exp_datasets.rs:

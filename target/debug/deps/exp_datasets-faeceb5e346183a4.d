@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_datasets-faeceb5e346183a4.d: crates/bench/src/bin/exp_datasets.rs
+
+/root/repo/target/debug/deps/exp_datasets-faeceb5e346183a4: crates/bench/src/bin/exp_datasets.rs
+
+crates/bench/src/bin/exp_datasets.rs:

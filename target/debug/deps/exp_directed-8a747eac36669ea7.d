@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_directed-8a747eac36669ea7.d: crates/bench/src/bin/exp_directed.rs
+
+/root/repo/target/debug/deps/exp_directed-8a747eac36669ea7: crates/bench/src/bin/exp_directed.rs
+
+crates/bench/src/bin/exp_directed.rs:

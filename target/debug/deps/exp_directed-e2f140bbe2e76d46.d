@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_directed-e2f140bbe2e76d46.d: crates/bench/src/bin/exp_directed.rs
+
+/root/repo/target/debug/deps/exp_directed-e2f140bbe2e76d46: crates/bench/src/bin/exp_directed.rs
+
+crates/bench/src/bin/exp_directed.rs:

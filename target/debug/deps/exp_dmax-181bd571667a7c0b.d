@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_dmax-181bd571667a7c0b.d: crates/bench/src/bin/exp_dmax.rs
+
+/root/repo/target/debug/deps/exp_dmax-181bd571667a7c0b: crates/bench/src/bin/exp_dmax.rs
+
+crates/bench/src/bin/exp_dmax.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_dmax-2fc6e822a176a7cc.d: crates/bench/src/bin/exp_dmax.rs
+
+/root/repo/target/debug/deps/exp_dmax-2fc6e822a176a7cc: crates/bench/src/bin/exp_dmax.rs
+
+crates/bench/src/bin/exp_dmax.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_encoding_limits-728fe8178847a4fd.d: crates/bench/src/bin/exp_encoding_limits.rs
+
+/root/repo/target/debug/deps/exp_encoding_limits-728fe8178847a4fd: crates/bench/src/bin/exp_encoding_limits.rs
+
+crates/bench/src/bin/exp_encoding_limits.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_encoding_limits-90781c2e27d71973.d: crates/bench/src/bin/exp_encoding_limits.rs
+
+/root/repo/target/debug/deps/exp_encoding_limits-90781c2e27d71973: crates/bench/src/bin/exp_encoding_limits.rs
+
+crates/bench/src/bin/exp_encoding_limits.rs:

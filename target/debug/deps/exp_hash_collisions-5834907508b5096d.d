@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_hash_collisions-5834907508b5096d.d: crates/bench/src/bin/exp_hash_collisions.rs
+
+/root/repo/target/debug/deps/exp_hash_collisions-5834907508b5096d: crates/bench/src/bin/exp_hash_collisions.rs
+
+crates/bench/src/bin/exp_hash_collisions.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_hash_collisions-81366a3bd14bd28e.d: crates/bench/src/bin/exp_hash_collisions.rs
+
+/root/repo/target/debug/deps/exp_hash_collisions-81366a3bd14bd28e: crates/bench/src/bin/exp_hash_collisions.rs
+
+crates/bench/src/bin/exp_hash_collisions.rs:

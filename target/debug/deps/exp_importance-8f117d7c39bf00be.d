@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_importance-8f117d7c39bf00be.d: crates/bench/src/bin/exp_importance.rs
+
+/root/repo/target/debug/deps/exp_importance-8f117d7c39bf00be: crates/bench/src/bin/exp_importance.rs
+
+crates/bench/src/bin/exp_importance.rs:

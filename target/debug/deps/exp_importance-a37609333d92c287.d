@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_importance-a37609333d92c287.d: crates/bench/src/bin/exp_importance.rs
+
+/root/repo/target/debug/deps/exp_importance-a37609333d92c287: crates/bench/src/bin/exp_importance.rs
+
+crates/bench/src/bin/exp_importance.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_label-81ce702cc1bd0ec9.d: crates/bench/src/bin/exp_label.rs
+
+/root/repo/target/debug/deps/exp_label-81ce702cc1bd0ec9: crates/bench/src/bin/exp_label.rs
+
+crates/bench/src/bin/exp_label.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_label-9291cbaa3045658d.d: crates/bench/src/bin/exp_label.rs
+
+/root/repo/target/debug/deps/exp_label-9291cbaa3045658d: crates/bench/src/bin/exp_label.rs
+
+crates/bench/src/bin/exp_label.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_label_removal-0411bcc5fdd9a726.d: crates/bench/src/bin/exp_label_removal.rs
+
+/root/repo/target/debug/deps/exp_label_removal-0411bcc5fdd9a726: crates/bench/src/bin/exp_label_removal.rs
+
+crates/bench/src/bin/exp_label_removal.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_label_removal-0e7ed9b0f4910ed9.d: crates/bench/src/bin/exp_label_removal.rs
+
+/root/repo/target/debug/deps/exp_label_removal-0e7ed9b0f4910ed9: crates/bench/src/bin/exp_label_removal.rs
+
+crates/bench/src/bin/exp_label_removal.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_multiplex-8db2e46cb537d4ef.d: crates/bench/src/bin/exp_multiplex.rs
+
+/root/repo/target/debug/deps/exp_multiplex-8db2e46cb537d4ef: crates/bench/src/bin/exp_multiplex.rs
+
+crates/bench/src/bin/exp_multiplex.rs:

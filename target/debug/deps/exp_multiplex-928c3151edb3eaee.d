@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_multiplex-928c3151edb3eaee.d: crates/bench/src/bin/exp_multiplex.rs
+
+/root/repo/target/debug/deps/exp_multiplex-928c3151edb3eaee: crates/bench/src/bin/exp_multiplex.rs
+
+crates/bench/src/bin/exp_multiplex.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_rank-639e5b1cd000feb9.d: crates/bench/src/bin/exp_rank.rs
+
+/root/repo/target/debug/deps/exp_rank-639e5b1cd000feb9: crates/bench/src/bin/exp_rank.rs
+
+crates/bench/src/bin/exp_rank.rs:

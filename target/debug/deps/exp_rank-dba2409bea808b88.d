@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_rank-dba2409bea808b88.d: crates/bench/src/bin/exp_rank.rs
+
+/root/repo/target/debug/deps/exp_rank-dba2409bea808b88: crates/bench/src/bin/exp_rank.rs
+
+crates/bench/src/bin/exp_rank.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_runtime-bdcb2601f99c326b.d: crates/bench/src/bin/exp_runtime.rs
+
+/root/repo/target/debug/deps/exp_runtime-bdcb2601f99c326b: crates/bench/src/bin/exp_runtime.rs
+
+crates/bench/src/bin/exp_runtime.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_runtime-bea6cbc5d296beb9.d: crates/bench/src/bin/exp_runtime.rs
+
+/root/repo/target/debug/deps/exp_runtime-bea6cbc5d296beb9: crates/bench/src/bin/exp_runtime.rs
+
+crates/bench/src/bin/exp_runtime.rs:

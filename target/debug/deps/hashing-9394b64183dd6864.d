@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hashing-9394b64183dd6864.d: crates/bench/benches/hashing.rs
+
+/root/repo/target/debug/deps/hashing-9394b64183dd6864: crates/bench/benches/hashing.rs
+
+crates/bench/benches/hashing.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/hsgf-1fc8c09d17f9f60e.d: crates/hsgf/src/lib.rs
+
+/root/repo/target/debug/deps/libhsgf-1fc8c09d17f9f60e.rlib: crates/hsgf/src/lib.rs
+
+/root/repo/target/debug/deps/libhsgf-1fc8c09d17f9f60e.rmeta: crates/hsgf/src/lib.rs
+
+crates/hsgf/src/lib.rs:

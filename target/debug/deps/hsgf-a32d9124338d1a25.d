@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hsgf-a32d9124338d1a25.d: crates/hsgf/src/lib.rs
+
+/root/repo/target/debug/deps/hsgf-a32d9124338d1a25: crates/hsgf/src/lib.rs
+
+crates/hsgf/src/lib.rs:

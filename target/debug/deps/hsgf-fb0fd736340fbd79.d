@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hsgf-fb0fd736340fbd79.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/hsgf-fb0fd736340fbd79: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/hsgf_bench-1a5be596382ffb1f.d: crates/bench/src/lib.rs crates/bench/src/runner.rs
+
+/root/repo/target/debug/deps/hsgf_bench-1a5be596382ffb1f: crates/bench/src/lib.rs crates/bench/src/runner.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/runner.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/hsgf_bench-d4dc2b636d2cb7dc.d: crates/bench/src/lib.rs crates/bench/src/runner.rs
+
+/root/repo/target/debug/deps/libhsgf_bench-d4dc2b636d2cb7dc.rlib: crates/bench/src/lib.rs crates/bench/src/runner.rs
+
+/root/repo/target/debug/deps/libhsgf_bench-d4dc2b636d2cb7dc.rmeta: crates/bench/src/lib.rs crates/bench/src/runner.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/runner.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hsgf_cli-da07090f3ece77b6.d: crates/cli/src/lib.rs
+
+/root/repo/target/debug/deps/hsgf_cli-da07090f3ece77b6: crates/cli/src/lib.rs
+
+crates/cli/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/hsgf_cli-f5cb61c05ecd4715.d: crates/cli/src/lib.rs
+
+/root/repo/target/debug/deps/libhsgf_cli-f5cb61c05ecd4715.rlib: crates/cli/src/lib.rs
+
+/root/repo/target/debug/deps/libhsgf_cli-f5cb61c05ecd4715.rmeta: crates/cli/src/lib.rs
+
+crates/cli/src/lib.rs:

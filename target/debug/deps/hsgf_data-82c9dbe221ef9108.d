@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/hsgf_data-82c9dbe221ef9108.d: crates/data/src/lib.rs crates/data/src/classic.rs crates/data/src/flow.rs crates/data/src/imdb.rs crates/data/src/load.rs crates/data/src/mag.rs crates/data/src/multiplex.rs
+
+/root/repo/target/debug/deps/libhsgf_data-82c9dbe221ef9108.rlib: crates/data/src/lib.rs crates/data/src/classic.rs crates/data/src/flow.rs crates/data/src/imdb.rs crates/data/src/load.rs crates/data/src/mag.rs crates/data/src/multiplex.rs
+
+/root/repo/target/debug/deps/libhsgf_data-82c9dbe221ef9108.rmeta: crates/data/src/lib.rs crates/data/src/classic.rs crates/data/src/flow.rs crates/data/src/imdb.rs crates/data/src/load.rs crates/data/src/mag.rs crates/data/src/multiplex.rs
+
+crates/data/src/lib.rs:
+crates/data/src/classic.rs:
+crates/data/src/flow.rs:
+crates/data/src/imdb.rs:
+crates/data/src/load.rs:
+crates/data/src/mag.rs:
+crates/data/src/multiplex.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/hsgf_data-de97a66f4838dab0.d: crates/data/src/lib.rs crates/data/src/classic.rs crates/data/src/flow.rs crates/data/src/imdb.rs crates/data/src/load.rs crates/data/src/mag.rs crates/data/src/multiplex.rs
+
+/root/repo/target/debug/deps/hsgf_data-de97a66f4838dab0: crates/data/src/lib.rs crates/data/src/classic.rs crates/data/src/flow.rs crates/data/src/imdb.rs crates/data/src/load.rs crates/data/src/mag.rs crates/data/src/multiplex.rs
+
+crates/data/src/lib.rs:
+crates/data/src/classic.rs:
+crates/data/src/flow.rs:
+crates/data/src/imdb.rs:
+crates/data/src/load.rs:
+crates/data/src/mag.rs:
+crates/data/src/multiplex.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/hsgf_embed-a119e74f6235c790.d: crates/embed/src/lib.rs crates/embed/src/alias.rs crates/embed/src/deepwalk.rs crates/embed/src/line.rs crates/embed/src/node2vec.rs crates/embed/src/sgns.rs crates/embed/src/walks.rs
+
+/root/repo/target/debug/deps/libhsgf_embed-a119e74f6235c790.rlib: crates/embed/src/lib.rs crates/embed/src/alias.rs crates/embed/src/deepwalk.rs crates/embed/src/line.rs crates/embed/src/node2vec.rs crates/embed/src/sgns.rs crates/embed/src/walks.rs
+
+/root/repo/target/debug/deps/libhsgf_embed-a119e74f6235c790.rmeta: crates/embed/src/lib.rs crates/embed/src/alias.rs crates/embed/src/deepwalk.rs crates/embed/src/line.rs crates/embed/src/node2vec.rs crates/embed/src/sgns.rs crates/embed/src/walks.rs
+
+crates/embed/src/lib.rs:
+crates/embed/src/alias.rs:
+crates/embed/src/deepwalk.rs:
+crates/embed/src/line.rs:
+crates/embed/src/node2vec.rs:
+crates/embed/src/sgns.rs:
+crates/embed/src/walks.rs:

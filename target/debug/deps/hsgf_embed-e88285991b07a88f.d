@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/hsgf_embed-e88285991b07a88f.d: crates/embed/src/lib.rs crates/embed/src/alias.rs crates/embed/src/deepwalk.rs crates/embed/src/line.rs crates/embed/src/node2vec.rs crates/embed/src/sgns.rs crates/embed/src/walks.rs
+
+/root/repo/target/debug/deps/hsgf_embed-e88285991b07a88f: crates/embed/src/lib.rs crates/embed/src/alias.rs crates/embed/src/deepwalk.rs crates/embed/src/line.rs crates/embed/src/node2vec.rs crates/embed/src/sgns.rs crates/embed/src/walks.rs
+
+crates/embed/src/lib.rs:
+crates/embed/src/alias.rs:
+crates/embed/src/deepwalk.rs:
+crates/embed/src/line.rs:
+crates/embed/src/node2vec.rs:
+crates/embed/src/sgns.rs:
+crates/embed/src/walks.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hsgf_eval-56ee228ef498c429.d: crates/eval/src/lib.rs crates/eval/src/features.rs crates/eval/src/label.rs crates/eval/src/rank.rs crates/eval/src/report.rs
+
+/root/repo/target/debug/deps/hsgf_eval-56ee228ef498c429: crates/eval/src/lib.rs crates/eval/src/features.rs crates/eval/src/label.rs crates/eval/src/rank.rs crates/eval/src/report.rs
+
+crates/eval/src/lib.rs:
+crates/eval/src/features.rs:
+crates/eval/src/label.rs:
+crates/eval/src/rank.rs:
+crates/eval/src/report.rs:

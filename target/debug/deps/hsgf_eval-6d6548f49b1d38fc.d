@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/hsgf_eval-6d6548f49b1d38fc.d: crates/eval/src/lib.rs crates/eval/src/features.rs crates/eval/src/label.rs crates/eval/src/rank.rs crates/eval/src/report.rs
+
+/root/repo/target/debug/deps/libhsgf_eval-6d6548f49b1d38fc.rlib: crates/eval/src/lib.rs crates/eval/src/features.rs crates/eval/src/label.rs crates/eval/src/rank.rs crates/eval/src/report.rs
+
+/root/repo/target/debug/deps/libhsgf_eval-6d6548f49b1d38fc.rmeta: crates/eval/src/lib.rs crates/eval/src/features.rs crates/eval/src/label.rs crates/eval/src/rank.rs crates/eval/src/report.rs
+
+crates/eval/src/lib.rs:
+crates/eval/src/features.rs:
+crates/eval/src/label.rs:
+crates/eval/src/rank.rs:
+crates/eval/src/report.rs:

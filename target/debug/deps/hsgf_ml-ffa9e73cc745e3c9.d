@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/hsgf_ml-ffa9e73cc745e3c9.d: crates/ml/src/lib.rs crates/ml/src/crossval.rs crates/ml/src/dataset.rs crates/ml/src/forest.rs crates/ml/src/linalg.rs crates/ml/src/linreg.rs crates/ml/src/logreg.rs crates/ml/src/metrics.rs crates/ml/src/ridge.rs crates/ml/src/select.rs crates/ml/src/tree.rs
+
+/root/repo/target/debug/deps/hsgf_ml-ffa9e73cc745e3c9: crates/ml/src/lib.rs crates/ml/src/crossval.rs crates/ml/src/dataset.rs crates/ml/src/forest.rs crates/ml/src/linalg.rs crates/ml/src/linreg.rs crates/ml/src/logreg.rs crates/ml/src/metrics.rs crates/ml/src/ridge.rs crates/ml/src/select.rs crates/ml/src/tree.rs
+
+crates/ml/src/lib.rs:
+crates/ml/src/crossval.rs:
+crates/ml/src/dataset.rs:
+crates/ml/src/forest.rs:
+crates/ml/src/linalg.rs:
+crates/ml/src/linreg.rs:
+crates/ml/src/logreg.rs:
+crates/ml/src/metrics.rs:
+crates/ml/src/ridge.rs:
+crates/ml/src/select.rs:
+crates/ml/src/tree.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration-f0ffb206d35db8d3.d: crates/hsgf/../../tests/integration.rs
+
+/root/repo/target/debug/deps/integration-f0ffb206d35db8d3: crates/hsgf/../../tests/integration.rs
+
+crates/hsgf/../../tests/integration.rs:

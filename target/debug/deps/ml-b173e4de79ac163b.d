@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ml-b173e4de79ac163b.d: crates/bench/benches/ml.rs
+
+/root/repo/target/debug/deps/ml-b173e4de79ac163b: crates/bench/benches/ml.rs
+
+crates/bench/benches/ml.rs:

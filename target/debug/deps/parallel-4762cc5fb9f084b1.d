@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parallel-4762cc5fb9f084b1.d: crates/bench/benches/parallel.rs
+
+/root/repo/target/debug/deps/parallel-4762cc5fb9f084b1: crates/bench/benches/parallel.rs
+
+crates/bench/benches/parallel.rs:

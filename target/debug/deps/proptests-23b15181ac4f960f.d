@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-23b15181ac4f960f.d: crates/core/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-23b15181ac4f960f: crates/core/tests/proptests.rs
+
+crates/core/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/feature_importance-27a6a61e031dd015.d: crates/hsgf/../../examples/feature_importance.rs
+
+/root/repo/target/debug/examples/feature_importance-27a6a61e031dd015: crates/hsgf/../../examples/feature_importance.rs
+
+crates/hsgf/../../examples/feature_importance.rs:

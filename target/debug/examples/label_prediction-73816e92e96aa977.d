@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/label_prediction-73816e92e96aa977.d: crates/hsgf/../../examples/label_prediction.rs
+
+/root/repo/target/debug/examples/label_prediction-73816e92e96aa977: crates/hsgf/../../examples/label_prediction.rs
+
+crates/hsgf/../../examples/label_prediction.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/publication_ranking-7f378a7ac5a65fff.d: crates/hsgf/../../examples/publication_ranking.rs
+
+/root/repo/target/debug/examples/publication_ranking-7f378a7ac5a65fff: crates/hsgf/../../examples/publication_ranking.rs
+
+crates/hsgf/../../examples/publication_ranking.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-c711fd473eb858af.d: crates/hsgf/../../examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-c711fd473eb858af: crates/hsgf/../../examples/quickstart.rs
+
+crates/hsgf/../../examples/quickstart.rs:

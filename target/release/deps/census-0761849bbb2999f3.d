@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/census-0761849bbb2999f3.d: crates/bench/benches/census.rs
+
+/root/repo/target/release/deps/census-0761849bbb2999f3: crates/bench/benches/census.rs
+
+crates/bench/benches/census.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/embeddings-62b252e188a906b8.d: crates/bench/benches/embeddings.rs
+
+/root/repo/target/release/deps/embeddings-62b252e188a906b8: crates/bench/benches/embeddings.rs
+
+crates/bench/benches/embeddings.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/encoding-6439edfe57f83d46.d: crates/bench/benches/encoding.rs
+
+/root/repo/target/release/deps/encoding-6439edfe57f83d46: crates/bench/benches/encoding.rs
+
+crates/bench/benches/encoding.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_datasets-2cb85b7e052ae511.d: crates/bench/src/bin/exp_datasets.rs
+
+/root/repo/target/release/deps/exp_datasets-2cb85b7e052ae511: crates/bench/src/bin/exp_datasets.rs
+
+crates/bench/src/bin/exp_datasets.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_datasets-f2d6db96f4e327a3.d: crates/bench/src/bin/exp_datasets.rs
+
+/root/repo/target/release/deps/exp_datasets-f2d6db96f4e327a3: crates/bench/src/bin/exp_datasets.rs
+
+crates/bench/src/bin/exp_datasets.rs:

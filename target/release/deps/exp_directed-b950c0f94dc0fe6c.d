@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_directed-b950c0f94dc0fe6c.d: crates/bench/src/bin/exp_directed.rs
+
+/root/repo/target/release/deps/exp_directed-b950c0f94dc0fe6c: crates/bench/src/bin/exp_directed.rs
+
+crates/bench/src/bin/exp_directed.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_directed-d91aac9c271ca828.d: crates/bench/src/bin/exp_directed.rs
+
+/root/repo/target/release/deps/exp_directed-d91aac9c271ca828: crates/bench/src/bin/exp_directed.rs
+
+crates/bench/src/bin/exp_directed.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_dmax-6f670af028f0e653.d: crates/bench/src/bin/exp_dmax.rs
+
+/root/repo/target/release/deps/exp_dmax-6f670af028f0e653: crates/bench/src/bin/exp_dmax.rs
+
+crates/bench/src/bin/exp_dmax.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_dmax-c2ac00389252a12f.d: crates/bench/src/bin/exp_dmax.rs
+
+/root/repo/target/release/deps/exp_dmax-c2ac00389252a12f: crates/bench/src/bin/exp_dmax.rs
+
+crates/bench/src/bin/exp_dmax.rs:

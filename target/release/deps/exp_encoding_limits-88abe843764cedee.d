@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_encoding_limits-88abe843764cedee.d: crates/bench/src/bin/exp_encoding_limits.rs
+
+/root/repo/target/release/deps/exp_encoding_limits-88abe843764cedee: crates/bench/src/bin/exp_encoding_limits.rs
+
+crates/bench/src/bin/exp_encoding_limits.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_encoding_limits-8ba458ac9b437788.d: crates/bench/src/bin/exp_encoding_limits.rs
+
+/root/repo/target/release/deps/exp_encoding_limits-8ba458ac9b437788: crates/bench/src/bin/exp_encoding_limits.rs
+
+crates/bench/src/bin/exp_encoding_limits.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_hash_collisions-fc53faef01679069.d: crates/bench/src/bin/exp_hash_collisions.rs
+
+/root/repo/target/release/deps/exp_hash_collisions-fc53faef01679069: crates/bench/src/bin/exp_hash_collisions.rs
+
+crates/bench/src/bin/exp_hash_collisions.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_importance-24cd128e6ead287d.d: crates/bench/src/bin/exp_importance.rs
+
+/root/repo/target/release/deps/exp_importance-24cd128e6ead287d: crates/bench/src/bin/exp_importance.rs
+
+crates/bench/src/bin/exp_importance.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_importance-9c1e145305229c8b.d: crates/bench/src/bin/exp_importance.rs
+
+/root/repo/target/release/deps/exp_importance-9c1e145305229c8b: crates/bench/src/bin/exp_importance.rs
+
+crates/bench/src/bin/exp_importance.rs:

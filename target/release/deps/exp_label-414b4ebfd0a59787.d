@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_label-414b4ebfd0a59787.d: crates/bench/src/bin/exp_label.rs
+
+/root/repo/target/release/deps/exp_label-414b4ebfd0a59787: crates/bench/src/bin/exp_label.rs
+
+crates/bench/src/bin/exp_label.rs:

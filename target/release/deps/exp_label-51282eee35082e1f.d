@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_label-51282eee35082e1f.d: crates/bench/src/bin/exp_label.rs
+
+/root/repo/target/release/deps/exp_label-51282eee35082e1f: crates/bench/src/bin/exp_label.rs
+
+crates/bench/src/bin/exp_label.rs:

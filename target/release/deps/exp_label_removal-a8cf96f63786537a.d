@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_label_removal-a8cf96f63786537a.d: crates/bench/src/bin/exp_label_removal.rs
+
+/root/repo/target/release/deps/exp_label_removal-a8cf96f63786537a: crates/bench/src/bin/exp_label_removal.rs
+
+crates/bench/src/bin/exp_label_removal.rs:

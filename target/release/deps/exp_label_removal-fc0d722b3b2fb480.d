@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_label_removal-fc0d722b3b2fb480.d: crates/bench/src/bin/exp_label_removal.rs
+
+/root/repo/target/release/deps/exp_label_removal-fc0d722b3b2fb480: crates/bench/src/bin/exp_label_removal.rs
+
+crates/bench/src/bin/exp_label_removal.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_multiplex-5e1dd42937564a2f.d: crates/bench/src/bin/exp_multiplex.rs
+
+/root/repo/target/release/deps/exp_multiplex-5e1dd42937564a2f: crates/bench/src/bin/exp_multiplex.rs
+
+crates/bench/src/bin/exp_multiplex.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_multiplex-eb850bb1812637ff.d: crates/bench/src/bin/exp_multiplex.rs
+
+/root/repo/target/release/deps/exp_multiplex-eb850bb1812637ff: crates/bench/src/bin/exp_multiplex.rs
+
+crates/bench/src/bin/exp_multiplex.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_rank-7a99a740407516f0.d: crates/bench/src/bin/exp_rank.rs
+
+/root/repo/target/release/deps/exp_rank-7a99a740407516f0: crates/bench/src/bin/exp_rank.rs
+
+crates/bench/src/bin/exp_rank.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_rank-83644b0107b099ad.d: crates/bench/src/bin/exp_rank.rs
+
+/root/repo/target/release/deps/exp_rank-83644b0107b099ad: crates/bench/src/bin/exp_rank.rs
+
+crates/bench/src/bin/exp_rank.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_runtime-00e6b619b8d49bb7.d: crates/bench/src/bin/exp_runtime.rs
+
+/root/repo/target/release/deps/exp_runtime-00e6b619b8d49bb7: crates/bench/src/bin/exp_runtime.rs
+
+crates/bench/src/bin/exp_runtime.rs:

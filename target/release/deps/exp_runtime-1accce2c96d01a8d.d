@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_runtime-1accce2c96d01a8d.d: crates/bench/src/bin/exp_runtime.rs
+
+/root/repo/target/release/deps/exp_runtime-1accce2c96d01a8d: crates/bench/src/bin/exp_runtime.rs
+
+crates/bench/src/bin/exp_runtime.rs:

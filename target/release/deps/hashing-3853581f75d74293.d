@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/hashing-3853581f75d74293.d: crates/bench/benches/hashing.rs
+
+/root/repo/target/release/deps/hashing-3853581f75d74293: crates/bench/benches/hashing.rs
+
+crates/bench/benches/hashing.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/hsgf-56b2ad82813060c1.d: crates/hsgf/src/lib.rs
+
+/root/repo/target/release/deps/libhsgf-56b2ad82813060c1.rlib: crates/hsgf/src/lib.rs
+
+/root/repo/target/release/deps/libhsgf-56b2ad82813060c1.rmeta: crates/hsgf/src/lib.rs
+
+crates/hsgf/src/lib.rs:

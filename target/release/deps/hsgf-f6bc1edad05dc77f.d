@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/hsgf-f6bc1edad05dc77f.d: crates/cli/src/main.rs
+
+/root/repo/target/release/deps/hsgf-f6bc1edad05dc77f: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

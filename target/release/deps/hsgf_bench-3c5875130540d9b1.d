@@ -1,0 +1,6 @@
+/root/repo/target/release/deps/hsgf_bench-3c5875130540d9b1.d: crates/bench/src/lib.rs crates/bench/src/runner.rs
+
+/root/repo/target/release/deps/hsgf_bench-3c5875130540d9b1: crates/bench/src/lib.rs crates/bench/src/runner.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/runner.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/hsgf_bench-68613ed27130d449.d: crates/bench/src/lib.rs crates/bench/src/runner.rs
+
+/root/repo/target/release/deps/libhsgf_bench-68613ed27130d449.rlib: crates/bench/src/lib.rs crates/bench/src/runner.rs
+
+/root/repo/target/release/deps/libhsgf_bench-68613ed27130d449.rmeta: crates/bench/src/lib.rs crates/bench/src/runner.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/runner.rs:

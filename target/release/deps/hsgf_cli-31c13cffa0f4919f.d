@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/hsgf_cli-31c13cffa0f4919f.d: crates/cli/src/lib.rs
+
+/root/repo/target/release/deps/libhsgf_cli-31c13cffa0f4919f.rlib: crates/cli/src/lib.rs
+
+/root/repo/target/release/deps/libhsgf_cli-31c13cffa0f4919f.rmeta: crates/cli/src/lib.rs
+
+crates/cli/src/lib.rs:

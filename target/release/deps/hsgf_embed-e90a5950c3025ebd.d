@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/hsgf_embed-e90a5950c3025ebd.d: crates/embed/src/lib.rs crates/embed/src/alias.rs crates/embed/src/deepwalk.rs crates/embed/src/line.rs crates/embed/src/node2vec.rs crates/embed/src/sgns.rs crates/embed/src/walks.rs
+
+/root/repo/target/release/deps/libhsgf_embed-e90a5950c3025ebd.rlib: crates/embed/src/lib.rs crates/embed/src/alias.rs crates/embed/src/deepwalk.rs crates/embed/src/line.rs crates/embed/src/node2vec.rs crates/embed/src/sgns.rs crates/embed/src/walks.rs
+
+/root/repo/target/release/deps/libhsgf_embed-e90a5950c3025ebd.rmeta: crates/embed/src/lib.rs crates/embed/src/alias.rs crates/embed/src/deepwalk.rs crates/embed/src/line.rs crates/embed/src/node2vec.rs crates/embed/src/sgns.rs crates/embed/src/walks.rs
+
+crates/embed/src/lib.rs:
+crates/embed/src/alias.rs:
+crates/embed/src/deepwalk.rs:
+crates/embed/src/line.rs:
+crates/embed/src/node2vec.rs:
+crates/embed/src/sgns.rs:
+crates/embed/src/walks.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/hsgf_eval-b7fb652ba5402e8b.d: crates/eval/src/lib.rs crates/eval/src/features.rs crates/eval/src/label.rs crates/eval/src/rank.rs crates/eval/src/report.rs
+
+/root/repo/target/release/deps/libhsgf_eval-b7fb652ba5402e8b.rlib: crates/eval/src/lib.rs crates/eval/src/features.rs crates/eval/src/label.rs crates/eval/src/rank.rs crates/eval/src/report.rs
+
+/root/repo/target/release/deps/libhsgf_eval-b7fb652ba5402e8b.rmeta: crates/eval/src/lib.rs crates/eval/src/features.rs crates/eval/src/label.rs crates/eval/src/rank.rs crates/eval/src/report.rs
+
+crates/eval/src/lib.rs:
+crates/eval/src/features.rs:
+crates/eval/src/label.rs:
+crates/eval/src/rank.rs:
+crates/eval/src/report.rs:

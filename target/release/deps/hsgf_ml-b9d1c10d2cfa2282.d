@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/hsgf_ml-b9d1c10d2cfa2282.d: crates/ml/src/lib.rs crates/ml/src/crossval.rs crates/ml/src/dataset.rs crates/ml/src/forest.rs crates/ml/src/linalg.rs crates/ml/src/linreg.rs crates/ml/src/logreg.rs crates/ml/src/metrics.rs crates/ml/src/ridge.rs crates/ml/src/select.rs crates/ml/src/tree.rs
+
+/root/repo/target/release/deps/libhsgf_ml-b9d1c10d2cfa2282.rlib: crates/ml/src/lib.rs crates/ml/src/crossval.rs crates/ml/src/dataset.rs crates/ml/src/forest.rs crates/ml/src/linalg.rs crates/ml/src/linreg.rs crates/ml/src/logreg.rs crates/ml/src/metrics.rs crates/ml/src/ridge.rs crates/ml/src/select.rs crates/ml/src/tree.rs
+
+/root/repo/target/release/deps/libhsgf_ml-b9d1c10d2cfa2282.rmeta: crates/ml/src/lib.rs crates/ml/src/crossval.rs crates/ml/src/dataset.rs crates/ml/src/forest.rs crates/ml/src/linalg.rs crates/ml/src/linreg.rs crates/ml/src/logreg.rs crates/ml/src/metrics.rs crates/ml/src/ridge.rs crates/ml/src/select.rs crates/ml/src/tree.rs
+
+crates/ml/src/lib.rs:
+crates/ml/src/crossval.rs:
+crates/ml/src/dataset.rs:
+crates/ml/src/forest.rs:
+crates/ml/src/linalg.rs:
+crates/ml/src/linreg.rs:
+crates/ml/src/logreg.rs:
+crates/ml/src/metrics.rs:
+crates/ml/src/ridge.rs:
+crates/ml/src/select.rs:
+crates/ml/src/tree.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ml-5802a825c86d4a63.d: crates/bench/benches/ml.rs
+
+/root/repo/target/release/deps/ml-5802a825c86d4a63: crates/bench/benches/ml.rs
+
+crates/bench/benches/ml.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/parallel-c21499da3241525d.d: crates/bench/benches/parallel.rs
+
+/root/repo/target/release/deps/parallel-c21499da3241525d: crates/bench/benches/parallel.rs
+
+crates/bench/benches/parallel.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-17d8572c1f4d845d.d: crates/hsgf/../../examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-17d8572c1f4d845d: crates/hsgf/../../examples/quickstart.rs
+
+crates/hsgf/../../examples/quickstart.rs:

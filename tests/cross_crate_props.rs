@@ -1,114 +1,188 @@
 //! Cross-crate property tests: invariants that span the graph substrate,
-//! the census engine, and the dataset generators.
+//! the census engine, and the dataset generators. Runs on the in-repo
+//! [`hsgf::core::prop`] harness.
 
 use hsgf::core::census::{CensusConfig, CensusEngine};
 use hsgf::core::hash::HashScheme;
+use hsgf::core::prop::{check, Config};
+use hsgf::core::prop_assert;
+use hsgf::graph::rng::Rng;
 use hsgf::graph::{generators, GraphBuilder, HetGraph, Label, LabelSet, NodeId};
-use proptest::prelude::*;
 
-fn arbitrary_graph() -> impl Strategy<Value = HetGraph> {
-    (2usize..18, 1usize..4, 1u64..1000).prop_map(|(n, k, seed)| {
-        let names: Vec<String> = (0..k).map(|i| format!("l{i}")).collect();
-        let labels = LabelSet::from_names(names).unwrap();
-        let weights = vec![1.0; k];
-        generators::erdos_renyi(labels, &weights, n, 0.3, seed).unwrap()
-    })
+/// Generator: an Erdős–Rényi heterogeneous graph with up to `max_size`
+/// (capped at 17) nodes and 1–3 labels.
+fn arbitrary_graph(rng: &mut Rng, max_size: usize) -> HetGraph {
+    let hi = max_size.min(17).max(2);
+    let n = rng.gen_range(2usize..=hi);
+    let k = rng.gen_range(1usize..=3);
+    let seed = rng.gen_range(1u64..1000);
+    let names: Vec<String> = (0..k).map(|i| format!("l{i}")).collect();
+    let labels = LabelSet::from_names(names).unwrap();
+    let weights = vec![1.0; k];
+    generators::erdos_renyi(labels, &weights, n, 0.3, seed).unwrap()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Census totals are monotone in emax: every subgraph with ≤ e edges
-    /// is also counted at e+1.
-    #[test]
-    fn census_total_monotone_in_emax(graph in arbitrary_graph()) {
-        let root = NodeId::new(0);
-        let mut prev = 0u64;
-        for emax in 1..=4usize {
-            let engine =
-                CensusEngine::new(&graph, CensusConfig::default().with_emax(emax)).unwrap();
-            let mut scratch = engine.make_scratch();
-            let total: u64 =
-                engine.census_hashes(root, &mut scratch).unwrap().values().sum();
-            prop_assert!(total >= prev, "emax {emax}: {total} < {prev}");
-            prev = total;
-        }
-    }
-
-    /// Root masking changes encodings but never the number of counted
-    /// subgraphs.
-    #[test]
-    fn masking_preserves_totals(graph in arbitrary_graph()) {
-        let root = NodeId::new(1 % graph.node_count() as u32);
-        let plain = CensusEngine::new(&graph, CensusConfig::default().with_emax(3)).unwrap();
-        let masked = CensusEngine::new(
-            &graph,
-            CensusConfig::default().with_emax(3).with_mask_root_label(true),
-        )
-        .unwrap();
-        let mut s1 = plain.make_scratch();
-        let mut s2 = masked.make_scratch();
-        let t1: u64 = plain.census_encodings(root, &mut s1).unwrap().counts.values().sum();
-        let t2: u64 = masked.census_encodings(root, &mut s2).unwrap().counts.values().sum();
-        prop_assert_eq!(t1, t2);
-    }
-
-    /// The hash scheme never changes totals or the multiset of counts per
-    /// encoding (only the keys of the fast map).
-    #[test]
-    fn hash_scheme_is_count_invariant(graph in arbitrary_graph()) {
-        let root = NodeId::new(0);
-        let mut totals = Vec::new();
-        for scheme in [HashScheme::Mixed, HashScheme::Linear] {
-            let mut config = CensusConfig::default().with_emax(3);
-            config.hash_scheme = scheme;
-            let engine = CensusEngine::new(&graph, config).unwrap();
-            let mut scratch = engine.make_scratch();
-            let counts = engine.census_encodings(root, &mut scratch).unwrap().counts;
-            totals.push(counts);
-        }
-        prop_assert_eq!(&totals[0], &totals[1]);
-    }
-
-    /// Graph serialization round-trips arbitrary generated graphs.
-    #[test]
-    fn io_roundtrip(graph in arbitrary_graph()) {
-        let text = hsgf::graph::io::to_string(&graph);
-        let restored = hsgf::graph::io::from_str(&text).unwrap();
-        prop_assert_eq!(graph.node_count(), restored.node_count());
-        prop_assert_eq!(graph.edge_count(), restored.edge_count());
-        for v in graph.nodes() {
-            prop_assert_eq!(graph.label(v), restored.label(v));
-            prop_assert_eq!(graph.neighbors(v), restored.neighbors(v));
-        }
-    }
-
-    /// Builder + relabel keeps the adjacency sort invariant that the census
-    /// depends on.
-    #[test]
-    fn relabel_preserves_sort_invariant(graph in arbitrary_graph(), seed in 0u64..100) {
-        use rand::rngs::SmallRng;
-        use rand::{Rng, SeedableRng};
-        let mut rng = SmallRng::seed_from_u64(seed);
-        let mut labels = LabelSet::new();
-        for (_, name) in graph.labels().iter() {
-            labels.intern(name).unwrap();
-        }
-        let extra = labels.intern("extra").unwrap();
-        let new_labels: Vec<Label> = graph
-            .nodes()
-            .map(|v| if rng.gen_bool(0.3) { extra } else { graph.label(v) })
-            .collect();
-        let relabeled = graph.relabeled(labels, new_labels).unwrap();
-        for v in relabeled.nodes() {
-            let row = relabeled.neighbors(v);
-            for w in row.windows(2) {
-                let ka = (relabeled.label(w[0]), w[0]);
-                let kb = (relabeled.label(w[1]), w[1]);
-                prop_assert!(ka < kb, "row of {v} out of order");
+/// Census totals are monotone in emax: every subgraph with ≤ e edges is
+/// also counted at e+1.
+#[test]
+fn census_total_monotone_in_emax() {
+    check(
+        "census_total_monotone_in_emax",
+        &Config::from_env(),
+        arbitrary_graph,
+        |graph| {
+            let root = NodeId::new(0);
+            let mut prev = 0u64;
+            for emax in 1..=4usize {
+                let engine =
+                    CensusEngine::new(graph, CensusConfig::default().with_emax(emax)).unwrap();
+                let mut scratch = engine.make_scratch();
+                let total: u64 = engine
+                    .census_hashes(root, &mut scratch)
+                    .unwrap()
+                    .values()
+                    .sum();
+                prop_assert!(total >= prev, "emax {emax}: {total} < {prev}");
+                prev = total;
             }
-        }
-    }
+            Ok(())
+        },
+    );
+}
+
+/// Root masking changes encodings but never the number of counted
+/// subgraphs.
+#[test]
+fn masking_preserves_totals() {
+    check(
+        "masking_preserves_totals",
+        &Config::from_env(),
+        arbitrary_graph,
+        |graph| {
+            let root = NodeId::new(1 % graph.node_count() as u32);
+            let plain = CensusEngine::new(graph, CensusConfig::default().with_emax(3)).unwrap();
+            let masked = CensusEngine::new(
+                graph,
+                CensusConfig::default()
+                    .with_emax(3)
+                    .with_mask_root_label(true),
+            )
+            .unwrap();
+            let mut s1 = plain.make_scratch();
+            let mut s2 = masked.make_scratch();
+            let t1: u64 = plain
+                .census_encodings(root, &mut s1)
+                .unwrap()
+                .counts
+                .values()
+                .sum();
+            let t2: u64 = masked
+                .census_encodings(root, &mut s2)
+                .unwrap()
+                .counts
+                .values()
+                .sum();
+            prop_assert!(t1 == t2, "masking changed the total: {t1} vs {t2}");
+            Ok(())
+        },
+    );
+}
+
+/// The hash scheme never changes totals or the multiset of counts per
+/// encoding (only the keys of the fast map).
+#[test]
+fn hash_scheme_is_count_invariant() {
+    check(
+        "hash_scheme_is_count_invariant",
+        &Config::from_env(),
+        arbitrary_graph,
+        |graph| {
+            let root = NodeId::new(0);
+            let mut totals = Vec::new();
+            for scheme in [HashScheme::Mixed, HashScheme::Linear] {
+                let mut config = CensusConfig::default().with_emax(3);
+                config.hash_scheme = scheme;
+                let engine = CensusEngine::new(graph, config).unwrap();
+                let mut scratch = engine.make_scratch();
+                let counts = engine.census_encodings(root, &mut scratch).unwrap().counts;
+                totals.push(counts);
+            }
+            prop_assert!(totals[0] == totals[1], "hash scheme changed the census");
+            Ok(())
+        },
+    );
+}
+
+/// Graph serialization round-trips arbitrary generated graphs.
+#[test]
+fn io_roundtrip() {
+    check(
+        "io_roundtrip",
+        &Config::from_env(),
+        arbitrary_graph,
+        |graph| {
+            let text = hsgf::graph::io::to_string(graph);
+            let restored = hsgf::graph::io::from_str(&text).unwrap();
+            prop_assert!(
+                graph.node_count() == restored.node_count(),
+                "node count changed"
+            );
+            prop_assert!(
+                graph.edge_count() == restored.edge_count(),
+                "edge count changed"
+            );
+            for v in graph.nodes() {
+                prop_assert!(
+                    graph.label(v) == restored.label(v),
+                    "label of {v:?} changed"
+                );
+                prop_assert!(
+                    graph.neighbors(v) == restored.neighbors(v),
+                    "row of {v:?} changed"
+                );
+            }
+            Ok(())
+        },
+    );
+}
+
+/// Builder + relabel keeps the adjacency sort invariant that the census
+/// depends on.
+#[test]
+fn relabel_preserves_sort_invariant() {
+    check(
+        "relabel_preserves_sort_invariant",
+        &Config::from_env(),
+        |rng, max_size| (arbitrary_graph(rng, max_size), rng.gen_range(0u64..100)),
+        |(graph, seed)| {
+            let mut rng = Rng::from_seed(*seed);
+            let mut labels = LabelSet::new();
+            for (_, name) in graph.labels().iter() {
+                labels.intern(name).unwrap();
+            }
+            let extra = labels.intern("extra").unwrap();
+            let new_labels: Vec<Label> = graph
+                .nodes()
+                .map(|v| {
+                    if rng.gen_bool(0.3) {
+                        extra
+                    } else {
+                        graph.label(v)
+                    }
+                })
+                .collect();
+            let relabeled = graph.relabeled(labels, new_labels).unwrap();
+            for v in relabeled.nodes() {
+                let row = relabeled.neighbors(v);
+                for w in row.windows(2) {
+                    let ka = (relabeled.label(w[0]), w[0]);
+                    let kb = (relabeled.label(w[1]), w[1]);
+                    prop_assert!(ka < kb, "row of {v:?} out of order");
+                }
+            }
+            Ok(())
+        },
+    );
 }
 
 /// Deterministic cross-crate check: builder-constructed and

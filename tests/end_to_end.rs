@@ -1,6 +1,10 @@
 //! End-to-end smoke tests for the experiment harness: each paper artifact
 //! regenerates at miniature scale through the same code paths the full
 //! binaries use.
+//!
+//! The slowest sweeps are `#[ignore]`d to keep the default suite fast; run
+//! them with `cargo test --test end_to_end -- --ignored` (or
+//! `--include-ignored` for everything).
 
 use hsgf::data::mag::{MagConfig, MagData};
 use hsgf::data::{ImdbConfig, ImdbData, LoadConfig, LoadData, Scale};
@@ -57,6 +61,7 @@ fn e3_e4_rank_task_miniature() {
 }
 
 #[test]
+#[ignore = "slowest sweep; run with -- --ignored"]
 fn e5_dmax_sweep_miniature() {
     let graph = ImdbData::generate(&ImdbConfig::at_scale(Scale::Tiny)).graph;
     let rows = dmax_sweep(&graph, &tiny_label_config(), &[90.0, 96.0, 100.0]);
@@ -101,14 +106,14 @@ fn e7_training_size_sweep_miniature() {
 }
 
 #[test]
+#[ignore = "slowest sweep; run with -- --ignored"]
 fn e8_label_removal_sweep_miniature() {
     let graph = ImdbData::generate(&ImdbConfig::at_scale(Scale::Tiny)).graph;
     let families = [
         FeatureFamily::Subgraph,
         FeatureFamily::Embedding(hsgf::embed::EmbeddingKind::Line),
     ];
-    let sweep =
-        label_removal_sweep(&graph, &tiny_label_config(), &[0.0, 0.5], &families);
+    let sweep = label_removal_sweep(&graph, &tiny_label_config(), &[0.0, 0.5], &families);
     // Embeddings are label-invariant: identical points at every fraction.
     let (family, points) = &sweep.results[1];
     assert_eq!(family.name(), "LINE");

@@ -24,7 +24,9 @@ fn census_features_flow_into_classifier() {
             classes.push(label.index());
         }
     }
-    let config = CensusConfig::default().with_emax(3).with_mask_root_label(true);
+    let config = CensusConfig::default()
+        .with_emax(3)
+        .with_mask_root_label(true);
     let engine = CensusEngine::new(&graph, config).unwrap();
     let matrix = extract_feature_matrix(&engine, &nodes, 4).unwrap().log1p();
     assert_eq!(matrix.row_count(), nodes.len());
@@ -55,9 +57,9 @@ fn graph_io_roundtrip_preserves_census() {
     let graph = data.graph;
     let text = io::to_string(&graph);
     let restored = io::from_str(&text).unwrap();
-    let config = CensusConfig::default().with_emax(3).with_dmax(Some(
-        DegreeStats::of(&graph).degree_at_percentile(90.0),
-    ));
+    let config = CensusConfig::default()
+        .with_emax(3)
+        .with_dmax(Some(DegreeStats::of(&graph).degree_at_percentile(90.0)));
     let engine_a = CensusEngine::new(&graph, config.clone()).unwrap();
     let engine_b = CensusEngine::new(&restored, config).unwrap();
     let mut sa = engine_a.make_scratch();
@@ -107,8 +109,11 @@ fn dmax_never_increases_counts() {
     let roots: Vec<NodeId> = graph.nodes().step_by(29).collect();
     let mut totals = Vec::new();
     for pct in [80.0, 90.0, 100.0] {
-        let dmax =
-            if pct >= 100.0 { None } else { Some(stats.degree_at_percentile(pct)) };
+        let dmax = if pct >= 100.0 {
+            None
+        } else {
+            Some(stats.degree_at_percentile(pct))
+        };
         let config = CensusConfig::default().with_emax(3).with_dmax(dmax);
         let engine = CensusEngine::new(&graph, config).unwrap();
         let mut scratch = engine.make_scratch();
@@ -124,6 +129,12 @@ fn dmax_never_increases_counts() {
             .sum();
         totals.push(total);
     }
-    assert!(totals[0] <= totals[1], "tighter dmax cannot add subgraphs: {totals:?}");
-    assert!(totals[1] <= totals[2], "tighter dmax cannot add subgraphs: {totals:?}");
+    assert!(
+        totals[0] <= totals[1],
+        "tighter dmax cannot add subgraphs: {totals:?}"
+    );
+    assert!(
+        totals[1] <= totals[2],
+        "tighter dmax cannot add subgraphs: {totals:?}"
+    );
 }
