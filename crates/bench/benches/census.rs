@@ -5,6 +5,7 @@
 
 use hsgf_bench::runner::Runner;
 use hsgf_core::census::{CensusConfig, CensusEngine, CountingSink};
+use hsgf_core::CensusBudget;
 use hsgf_data::{LoadConfig, LoadData, Scale};
 use hsgf_graph::{DegreeStats, NodeId};
 
@@ -72,10 +73,44 @@ fn dmax_cutoff(runner: &mut Runner) {
     group.finish();
 }
 
+/// Budget-governance overhead: the budgeted engine path with no limits set
+/// must stay within noise of the plain path (the accounting is a counter
+/// decrement per record plus an amortized clock poll), and a tripping cap
+/// shows the cost floor of an aborted census.
+fn budget_overhead(runner: &mut Runner) {
+    let graph = bench_graph();
+    let roots = roots(&graph);
+    let dmax = Some(DegreeStats::of(&graph).degree_at_percentile(90.0));
+    let config = CensusConfig::default().with_emax(3).with_dmax(dmax);
+    let mut group = runner.group("census/budget");
+    group.bench_function("plain", || run_census(&graph, config.clone(), &roots));
+    let run_budgeted = |budget: &CensusBudget| {
+        let engine = CensusEngine::new(&graph, config.clone()).expect("valid config");
+        let mut scratch = engine.make_scratch();
+        let mut sink = CountingSink::default();
+        for &root in &roots {
+            let mut local = CountingSink::default();
+            match engine.run_budgeted(root, &mut scratch, &mut local, budget, None) {
+                Ok(()) | Err(hsgf_core::census::CensusError::BudgetExhausted { .. }) => {
+                    sink.total += local.total;
+                }
+                Err(e) => panic!("unexpected census error: {e}"),
+            }
+        }
+        sink.total
+    };
+    let unlimited = CensusBudget::unlimited();
+    group.bench_function("unlimited", || run_budgeted(&unlimited));
+    let capped = CensusBudget::unlimited().with_max_subgraphs(500);
+    group.bench_function("cap500", || run_budgeted(&capped));
+    group.finish();
+}
+
 fn main() {
     let mut runner = Runner::new("census");
     emax_scaling(&mut runner);
     grouping_heuristic(&mut runner);
     dmax_cutoff(&mut runner);
+    budget_overhead(&mut runner);
     runner.finish();
 }

@@ -4,6 +4,7 @@
 use hsgf_bench::runner::Runner;
 use hsgf_core::census::{CensusConfig, CensusEngine};
 use hsgf_core::parallel::extract_hash_censuses;
+use hsgf_core::supervisor::{ExtractionPolicy, Supervisor};
 use hsgf_data::{LoadConfig, LoadData, Scale};
 use hsgf_graph::{DegreeStats, NodeId};
 
@@ -12,20 +13,36 @@ fn main() {
     let graph = LoadData::generate(&LoadConfig::at_scale(Scale::Tiny)).graph;
     let dmax = Some(DegreeStats::of(&graph).degree_at_percentile(90.0));
     let config = CensusConfig::default().with_emax(3).with_dmax(dmax);
-    let engine = CensusEngine::new(&graph, config).expect("valid");
+    let engine = CensusEngine::new(&graph, config.clone()).expect("valid");
     let roots: Vec<NodeId> = graph.nodes().step_by(2).collect();
     let max_threads = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(4);
-    let mut group = runner.group("parallel");
-    let mut seen = Vec::new();
-    for threads in [1usize, 2, 4, max_threads] {
-        if threads > max_threads || seen.contains(&threads) {
-            continue;
+    let threads_axis = {
+        let mut seen = Vec::new();
+        for threads in [1usize, 2, 4, max_threads] {
+            if threads <= max_threads && !seen.contains(&threads) {
+                seen.push(threads);
+            }
         }
-        seen.push(threads);
+        seen
+    };
+    let mut group = runner.group("parallel");
+    for &threads in &threads_axis {
         group.bench_function(threads, || {
             extract_hash_censuses(&engine, &roots, threads).expect("valid roots")
+        });
+    }
+    group.finish();
+    // Supervised extraction (panic isolation + per-root outcomes) over the
+    // same roots: measures the fault-tolerance overhead vs. the plain path.
+    let supervisor = Supervisor::new(&graph, config, ExtractionPolicy::default()).expect("valid");
+    let mut group = runner.group("parallel/supervised");
+    for &threads in &threads_axis {
+        group.bench_function(threads, || {
+            let partial = supervisor.extract(&roots, threads);
+            assert!(partial.is_complete());
+            partial.matrix.nnz()
         });
     }
     group.finish();

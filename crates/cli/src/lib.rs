@@ -6,10 +6,15 @@
 //! * `info <graph>` — node/edge/label statistics and the label
 //!   connectivity graph.
 //! * `extract <graph>` — run the subgraph census over roots and emit a
-//!   feature CSV (plus an optional vocabulary listing).
+//!   feature CSV (plus an optional vocabulary listing). With budget flags
+//!   the census runs under the fault-tolerant supervisor: over-budget roots
+//!   degrade down a deterministic ladder (or fail cleanly), a per-root
+//!   outcome summary is reported, and a partial run exits with code 3.
 //!
 //! Everything here is plain functions over `io::Write` so the binary stays
-//! a thin shell and the behaviour is unit-testable.
+//! a thin shell and the behaviour is unit-testable. [`run`] returns the
+//! process exit code: 0 for a complete run, [`EXIT_PARTIAL`] when some root
+//! was degraded, failed, or cancelled; the binary maps `Err` to exit 2.
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
@@ -21,10 +26,15 @@ use hsgf_core::export;
 use hsgf_core::features::FeatureMatrix;
 use hsgf_core::parallel::extract_censuses;
 use hsgf_core::sampling;
+use hsgf_core::supervisor::{ExtractionPolicy, PartialExtraction, RootOutcome, Supervisor};
 use hsgf_data::{
     FlowConfig, FlowData, ImdbConfig, ImdbData, LoadConfig, LoadData, MagConfig, MagData, Scale,
 };
 use hsgf_graph::{DegreeStats, HetGraph, LabelConnectivityGraph, NodeId};
+
+/// Exit code of a run that completed but produced degraded, failed, or
+/// cancelled roots (exit 0 = fully exact, exit 2 = hard error).
+pub const EXIT_PARTIAL: i32 = 3;
 
 /// A parsed `--key value` / `--flag` command line.
 #[derive(Debug, Default)]
@@ -60,14 +70,22 @@ impl Options {
         out
     }
 
-    /// Typed lookup with default.
-    pub fn get<T: std::str::FromStr>(&self, key: &str, default: T) -> T {
-        self.pairs
-            .iter()
-            .rev()
-            .find(|(k, _)| k == key)
-            .and_then(|(_, v)| v.parse().ok())
-            .unwrap_or(default)
+    /// Typed lookup: `Ok(None)` when absent, `Err(BadValue)` when present
+    /// but unparseable. A malformed value must never be silently replaced
+    /// by a default.
+    pub fn get_parsed<T: std::str::FromStr>(&self, key: &str) -> Result<Option<T>, CliError> {
+        match self.get_opt(key) {
+            None => Ok(None),
+            Some(v) => v.parse().map(Some).map_err(|_| CliError::BadValue {
+                key: key.to_string(),
+                value: v.to_string(),
+            }),
+        }
+    }
+
+    /// Typed lookup with default; errors on a present-but-malformed value.
+    pub fn get_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, CliError> {
+        Ok(self.get_parsed(key)?.unwrap_or(default))
     }
 
     /// Optional string value.
@@ -84,12 +102,16 @@ impl Options {
         self.flags.iter().any(|f| f == key)
     }
 
-    /// The `--scale` preset.
-    pub fn scale(&self) -> Scale {
-        match self.get::<String>("scale", "small".into()).as_str() {
-            "tiny" => Scale::Tiny,
-            "paper" => Scale::Paper,
-            _ => Scale::Small,
+    /// The `--scale` preset. Unknown values are an error, not `Small`.
+    pub fn scale(&self) -> Result<Scale, CliError> {
+        match self.get_opt("scale") {
+            None | Some("small") => Ok(Scale::Small),
+            Some("tiny") => Ok(Scale::Tiny),
+            Some("paper") => Ok(Scale::Paper),
+            Some(other) => Err(CliError::BadValue {
+                key: "scale".to_string(),
+                value: other.to_string(),
+            }),
         }
     }
 }
@@ -99,6 +121,13 @@ impl Options {
 pub enum CliError {
     /// Unknown subcommand or malformed usage.
     Usage(String),
+    /// A `--key value` pair whose value failed to parse.
+    BadValue {
+        /// The option name (without `--`).
+        key: String,
+        /// The rejected value.
+        value: String,
+    },
     /// Graph-layer failure.
     Graph(hsgf_graph::GraphError),
     /// Census-layer failure.
@@ -111,6 +140,9 @@ impl std::fmt::Display for CliError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             CliError::Usage(msg) => write!(f, "usage error: {msg}"),
+            CliError::BadValue { key, value } => {
+                write!(f, "bad value for --{key}: {value:?}")
+            }
             CliError::Graph(e) => write!(f, "graph error: {e}"),
             CliError::Census(e) => write!(f, "census error: {e}"),
             CliError::Io(e) => write!(f, "io error: {e}"),
@@ -145,11 +177,19 @@ USAGE:
   hsgf info <GRAPH>
   hsgf extract <GRAPH> [--emax N] [--dmax-pct P] [--mask] [--directed]
                [--roots all|sample:K] [--min-df N] [--threads T]
-               [--out FILE] [--vocab FILE]
+               [--budget-subgraphs N] [--budget-frontier N] [--deadline-ms MS]
+               [--degrade] [--out FILE] [--vocab FILE]
   hsgf help
 
 GRAPH files use the hsgf-graph v1 text format (see `hsgf generate`).
-`extract` writes one dense CSV row of subgraph-feature counts per root.";
+`extract` writes one dense CSV row of subgraph-feature counts per root.
+
+Budgets bound each root's census: --budget-subgraphs caps discovered
+subgraphs (deterministic), --budget-frontier caps scratch growth,
+--deadline-ms is a per-root wall-clock cutoff. With --degrade, over-budget
+roots retry down a deterministic ladder (tightened dmax, then reduced emax)
+instead of failing. A run with any non-exact root prints a per-root outcome
+summary and exits with code 3 (0 = fully exact, 2 = hard error).";
 
 /// Generates a named synthetic dataset.
 pub fn generate(dataset: &str, scale: Scale) -> Result<HetGraph, CliError> {
@@ -246,37 +286,128 @@ pub struct ExtractParams {
     pub min_df: u32,
     /// Worker threads.
     pub threads: usize,
+    /// Per-root resource policy. An unbounded policy with `degrade` off
+    /// takes the plain (non-supervised) extraction path.
+    pub policy: ExtractionPolicy,
 }
 
-/// Runs the census and returns the assembled feature matrix.
-pub fn extract(graph: &HetGraph, params: &ExtractParams) -> Result<FeatureMatrix, CliError> {
-    let dmax = if params.dmax_percentile >= 100.0 {
-        None
-    } else {
-        Some(DegreeStats::of(graph).degree_at_percentile(params.dmax_percentile))
-    };
-    let config = CensusConfig::default()
-        .with_emax(params.emax)
-        .with_dmax(dmax)
-        .with_mask_root_label(params.mask)
-        .with_directed(params.directed);
-    let engine = CensusEngine::new(graph, config)?;
-    let all: Vec<NodeId> = graph.nodes().collect();
-    let roots = match params.roots {
-        RootSpec::All => all,
-        RootSpec::Sample(k) => sampling::stride_sample(&all, k),
-    };
-    let censuses = extract_censuses(&engine, &roots, params.threads)?;
-    let mut matrix = FeatureMatrix::from_censuses(roots, censuses);
-    if params.min_df > 1 {
-        matrix = matrix.filter_min_df(params.min_df);
+impl ExtractParams {
+    fn census_config(&self, graph: &HetGraph) -> CensusConfig {
+        let dmax = if self.dmax_percentile >= 100.0 {
+            None
+        } else {
+            Some(DegreeStats::of(graph).degree_at_percentile(self.dmax_percentile))
+        };
+        CensusConfig::default()
+            .with_emax(self.emax)
+            .with_dmax(dmax)
+            .with_mask_root_label(self.mask)
+            .with_directed(self.directed)
     }
-    Ok(matrix)
+
+    fn select_roots(&self, graph: &HetGraph) -> Vec<NodeId> {
+        let all: Vec<NodeId> = graph.nodes().collect();
+        match self.roots {
+            RootSpec::All => all,
+            RootSpec::Sample(k) => sampling::stride_sample(&all, k),
+        }
+    }
+}
+
+/// Runs the census and returns the assembled matrix with per-root outcomes.
+/// Without budgets (and without `--degrade`) every outcome is `Exact` and
+/// any census failure is a hard error; under a policy, failures are per-root
+/// outcomes and the call itself succeeds.
+pub fn extract(graph: &HetGraph, params: &ExtractParams) -> Result<PartialExtraction, CliError> {
+    let config = params.census_config(graph);
+    let roots = params.select_roots(graph);
+    let mut partial = if params.policy.is_bounded() || params.policy.degrade {
+        let supervisor = Supervisor::new(graph, config, params.policy.clone())?;
+        supervisor.extract(&roots, params.threads)
+    } else {
+        let engine = CensusEngine::new(graph, config)?;
+        let censuses = extract_censuses(&engine, &roots, params.threads)?;
+        let outcomes = vec![RootOutcome::Exact; roots.len()];
+        PartialExtraction {
+            matrix: FeatureMatrix::from_censuses(roots, censuses),
+            outcomes,
+        }
+    };
+    if params.min_df > 1 {
+        partial.matrix = partial.matrix.filter_min_df(params.min_df);
+    }
+    Ok(partial)
+}
+
+/// Writes the per-root outcome summary of a supervised extraction: one
+/// aggregate line, plus one line per anomalous (non-exact) root.
+pub fn write_outcome_summary<W: Write>(
+    partial: &PartialExtraction,
+    mut out: W,
+) -> Result<(), CliError> {
+    let (exact, degraded, failed, cancelled) = partial.tally();
+    writeln!(
+        out,
+        "roots: {exact} exact, {degraded} degraded, {failed} failed, {cancelled} cancelled"
+    )?;
+    for (root, outcome) in partial.anomalies() {
+        match outcome {
+            RootOutcome::Exact => {}
+            RootOutcome::Degraded {
+                dmax,
+                emax,
+                attempts,
+            } => {
+                let dmax = dmax.map_or("inf".to_string(), |d| d.to_string());
+                writeln!(
+                    out,
+                    "  root {}: degraded to dmax={dmax} emax={emax} after {attempts} attempts",
+                    root.raw()
+                )?;
+            }
+            RootOutcome::Failed { error } => {
+                writeln!(out, "  root {}: failed: {error}", root.raw())?;
+            }
+            RootOutcome::Cancelled => {
+                writeln!(out, "  root {}: cancelled", root.raw())?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Builds [`ExtractParams`] from parsed options (strict: malformed values
+/// error instead of falling back to defaults).
+fn extract_params(options: &Options) -> Result<ExtractParams, CliError> {
+    let policy = ExtractionPolicy {
+        max_subgraphs: options.get_parsed("budget-subgraphs")?,
+        max_frontier: options.get_parsed("budget-frontier")?,
+        root_timeout: options
+            .get_parsed::<u64>("deadline-ms")?
+            .map(std::time::Duration::from_millis),
+        degrade: options.flag("degrade"),
+    };
+    Ok(ExtractParams {
+        emax: options.get_or("emax", 4)?,
+        dmax_percentile: options.get_or("dmax-pct", 90.0)?,
+        mask: options.flag("mask"),
+        directed: options.flag("directed"),
+        roots: RootSpec::parse(&options.get_or::<String>("roots", "all".into())?)?,
+        min_df: options.get_or("min-df", 1)?,
+        threads: options.get_or(
+            "threads",
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4),
+        )?,
+        policy,
+    })
 }
 
 /// Full dispatch: interprets `options` and writes human output to `out`.
-/// Returns the process exit code.
-pub fn run<W: Write>(options: &Options, mut out: W) -> Result<(), CliError> {
+/// Returns the process exit code — 0 for a complete run, [`EXIT_PARTIAL`]
+/// when an extraction finished with non-exact roots.
+pub fn run<W: Write>(options: &Options, mut out: W) -> Result<i32, CliError> {
     let sub = options
         .positional
         .first()
@@ -285,20 +416,20 @@ pub fn run<W: Write>(options: &Options, mut out: W) -> Result<(), CliError> {
     match sub {
         "help" => {
             writeln!(out, "{USAGE}")?;
-            Ok(())
+            Ok(0)
         }
         "generate" => {
             let dataset = options
                 .positional
                 .get(1)
                 .ok_or_else(|| CliError::Usage("generate needs a dataset name".into()))?;
-            let graph = generate(dataset, options.scale())?;
+            let graph = generate(dataset, options.scale()?)?;
             let text = hsgf_graph::io::to_string(&graph);
             match options.get_opt("out") {
                 Some(path) => std::fs::write(path, text)?,
                 None => out.write_all(text.as_bytes())?,
             }
-            Ok(())
+            Ok(0)
         }
         "info" => {
             let path = options
@@ -307,7 +438,8 @@ pub fn run<W: Write>(options: &Options, mut out: W) -> Result<(), CliError> {
                 .ok_or_else(|| CliError::Usage("info needs a graph file".into()))?;
             let text = std::fs::read_to_string(path)?;
             let graph = hsgf_graph::io::from_str(&text)?;
-            info(&graph, out)
+            info(&graph, out)?;
+            Ok(0)
         }
         "extract" => {
             let path = options
@@ -316,33 +448,39 @@ pub fn run<W: Write>(options: &Options, mut out: W) -> Result<(), CliError> {
                 .ok_or_else(|| CliError::Usage("extract needs a graph file".into()))?;
             let text = std::fs::read_to_string(path)?;
             let graph = hsgf_graph::io::from_str(&text)?;
-            let params = ExtractParams {
-                emax: options.get("emax", 4),
-                dmax_percentile: options.get("dmax-pct", 90.0),
-                mask: options.flag("mask"),
-                directed: options.flag("directed"),
-                roots: RootSpec::parse(&options.get::<String>("roots", "all".into()))?,
-                min_df: options.get("min-df", 1),
-                threads: options.get(
-                    "threads",
-                    std::thread::available_parallelism()
-                        .map(|n| n.get())
-                        .unwrap_or(4),
-                ),
-            };
-            let matrix = extract(&graph, &params)?;
+            let params = extract_params(options)?;
+            let partial = extract(&graph, &params)?;
             if let Some(vocab_path) = options.get_opt("vocab") {
                 let mut f = std::fs::File::create(vocab_path)?;
-                export::write_vocabulary(&matrix, graph.labels(), &mut f)?;
+                export::write_vocabulary(&partial.matrix, graph.labels(), &mut f)?;
             }
+            // Ungoverned runs are all-exact by construction; only budgeted
+            // (or incomplete) runs carry outcome information worth printing.
+            let summarize =
+                params.policy.is_bounded() || params.policy.degrade || !partial.is_complete();
             match options.get_opt("out") {
                 Some(path) => {
                     let mut f = std::fs::File::create(path)?;
-                    export::write_csv(&matrix, graph.labels(), &mut f)?;
+                    export::write_csv(&partial.matrix, graph.labels(), &mut f)?;
+                    if summarize {
+                        // The CSV went to a file, so the summary can share
+                        // the main output stream.
+                        write_outcome_summary(&partial, &mut out)?;
+                    }
                 }
-                None => export::write_csv(&matrix, graph.labels(), &mut out)?,
+                None => {
+                    export::write_csv(&partial.matrix, graph.labels(), &mut out)?;
+                    if summarize {
+                        // CSV on stdout: keep the summary off the data stream.
+                        write_outcome_summary(&partial, std::io::stderr().lock())?;
+                    }
+                }
             }
-            Ok(())
+            Ok(if partial.is_complete() {
+                0
+            } else {
+                EXIT_PARTIAL
+            })
         }
         other => Err(CliError::Usage(format!("unknown subcommand {other:?}"))),
     }
@@ -356,15 +494,48 @@ mod tests {
         Options::parse(args.iter().map(|s| s.to_string()))
     }
 
+    fn plain_params(emax: usize, roots: RootSpec, threads: usize) -> ExtractParams {
+        ExtractParams {
+            emax,
+            dmax_percentile: 100.0,
+            mask: false,
+            directed: false,
+            roots,
+            min_df: 1,
+            threads,
+            policy: ExtractionPolicy::default(),
+        }
+    }
+
     #[test]
     fn parse_splits_positional_pairs_flags() {
         let o = opts(&[
             "extract", "g.txt", "--emax", "5", "--mask", "--roots", "sample:3",
         ]);
         assert_eq!(o.positional, vec!["extract", "g.txt"]);
-        assert_eq!(o.get("emax", 0usize), 5);
+        assert_eq!(o.get_or("emax", 0usize).unwrap(), 5);
         assert!(o.flag("mask"));
-        assert_eq!(o.get::<String>("roots", String::new()), "sample:3");
+        assert_eq!(
+            o.get_or::<String>("roots", String::new()).unwrap(),
+            "sample:3"
+        );
+    }
+
+    #[test]
+    fn malformed_values_error_instead_of_defaulting() {
+        let o = opts(&["extract", "g.txt", "--emax", "lots"]);
+        assert!(matches!(
+            o.get_or("emax", 4usize),
+            Err(CliError::BadValue { key, value }) if key == "emax" && value == "lots"
+        ));
+        let o = opts(&["generate", "load", "--scale", "huge"]);
+        assert!(matches!(
+            o.scale(),
+            Err(CliError::BadValue { key, .. }) if key == "scale"
+        ));
+        // Absent keys still default.
+        assert_eq!(opts(&["x"]).get_or("emax", 4usize).unwrap(), 4);
+        assert!(matches!(opts(&["x"]).scale(), Ok(Scale::Small)));
     }
 
     #[test]
@@ -404,29 +575,85 @@ mod tests {
     #[test]
     fn extract_smoke() {
         let g = generate("flow", Scale::Tiny).unwrap();
-        let params = ExtractParams {
-            emax: 2,
-            dmax_percentile: 100.0,
-            mask: true,
-            directed: true,
-            roots: RootSpec::Sample(5),
-            min_df: 1,
-            threads: 2,
+        let mut params = plain_params(2, RootSpec::Sample(5), 2);
+        params.mask = true;
+        params.directed = true;
+        let p = extract(&g, &params).unwrap();
+        assert!(p.is_complete());
+        assert!(p.matrix.row_count() > 0);
+        assert!(p.matrix.feature_count() > 0);
+    }
+
+    #[test]
+    fn budgeted_extract_reports_outcomes() {
+        let g = generate("imdb", Scale::Tiny).unwrap();
+        let mut params = plain_params(3, RootSpec::Sample(7), 2);
+        params.policy = ExtractionPolicy {
+            max_subgraphs: Some(5),
+            degrade: true,
+            ..ExtractionPolicy::default()
         };
-        let m = extract(&g, &params).unwrap();
-        assert!(m.row_count() > 0);
-        assert!(m.feature_count() > 0);
+        let p = extract(&g, &params).unwrap();
+        assert_eq!(p.outcomes.len(), p.matrix.row_count());
+        let mut buf = Vec::new();
+        write_outcome_summary(&p, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.starts_with("roots:"), "summary: {text}");
+        // A 5-subgraph budget is tight enough that some root cannot be
+        // exact even after degradation.
+        assert!(!p.is_complete(), "summary: {text}");
     }
 
     #[test]
     fn run_help_and_unknown() {
         let mut buf = Vec::new();
-        run(&opts(&["help"]), &mut buf).unwrap();
+        assert_eq!(run(&opts(&["help"]), &mut buf).unwrap(), 0);
         assert!(String::from_utf8(buf).unwrap().contains("USAGE"));
         assert!(matches!(
             run(&opts(&["bogus"]), Vec::new()),
             Err(CliError::Usage(_))
         ));
+    }
+
+    #[test]
+    fn run_rejects_malformed_budget_values() {
+        let err = run(
+            &opts(&["extract", "/nonexistent", "--budget-subgraphs", "many"]),
+            Vec::new(),
+        );
+        // The bad flag must be reported; file IO comes later. (The path is
+        // read first in `run`, so use an existing file.)
+        let dir = std::env::temp_dir().join(format!("hsgf-cli-badval-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let graph_path = dir.join("g.txt");
+        run(
+            &opts(&[
+                "generate",
+                "flow",
+                "--scale",
+                "tiny",
+                "--out",
+                graph_path.to_str().unwrap(),
+            ]),
+            Vec::new(),
+        )
+        .unwrap();
+        let err2 = run(
+            &opts(&[
+                "extract",
+                graph_path.to_str().unwrap(),
+                "--budget-subgraphs",
+                "many",
+            ]),
+            Vec::new(),
+        );
+        assert!(matches!(
+            err2,
+            Err(CliError::BadValue { key, .. }) if key == "budget-subgraphs"
+        ));
+        // Nonexistent file is an IO error, not a panic.
+        assert!(matches!(err, Err(CliError::Io(_))));
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]
@@ -447,26 +674,81 @@ mod tests {
         )
         .unwrap();
         let mut buf = Vec::new();
-        run(&opts(&["info", graph_path.to_str().unwrap()]), &mut buf).unwrap();
+        assert_eq!(
+            run(&opts(&["info", graph_path.to_str().unwrap()]), &mut buf).unwrap(),
+            0
+        );
         assert!(String::from_utf8(buf).unwrap().contains("movie"));
         let csv_path = dir.join("features.csv");
+        assert_eq!(
+            run(
+                &opts(&[
+                    "extract",
+                    graph_path.to_str().unwrap(),
+                    "--emax",
+                    "2",
+                    "--roots",
+                    "sample:11",
+                    "--out",
+                    csv_path.to_str().unwrap(),
+                ]),
+                Vec::new(),
+            )
+            .unwrap(),
+            0
+        );
+        let csv = std::fs::read_to_string(&csv_path).unwrap();
+        assert!(csv.starts_with("node,"));
+        assert!(csv.lines().count() > 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn run_budgeted_extract_exits_partial() {
+        let dir = std::env::temp_dir().join(format!("hsgf-cli-partial-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let graph_path = dir.join("g.txt");
         run(
             &opts(&[
-                "extract",
-                graph_path.to_str().unwrap(),
-                "--emax",
-                "2",
-                "--roots",
-                "sample:11",
+                "generate",
+                "imdb",
+                "--scale",
+                "tiny",
                 "--out",
-                csv_path.to_str().unwrap(),
+                graph_path.to_str().unwrap(),
             ]),
             Vec::new(),
         )
         .unwrap();
+        let csv_path = dir.join("features.csv");
+        let mut buf = Vec::new();
+        let code = run(
+            &opts(&[
+                "extract",
+                graph_path.to_str().unwrap(),
+                "--emax",
+                "3",
+                "--roots",
+                "sample:7",
+                "--budget-subgraphs",
+                "5",
+                "--degrade",
+                "--out",
+                csv_path.to_str().unwrap(),
+            ]),
+            &mut buf,
+        )
+        .unwrap();
+        assert_eq!(code, EXIT_PARTIAL);
+        let summary = String::from_utf8(buf).unwrap();
+        assert!(summary.contains("roots:"), "summary: {summary}");
+        assert!(
+            summary.contains("degraded") || summary.contains("failed"),
+            "summary: {summary}"
+        );
+        // The CSV still contains every root's row.
         let csv = std::fs::read_to_string(&csv_path).unwrap();
         assert!(csv.starts_with("node,"));
-        assert!(csv.lines().count() > 2);
         std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -1,11 +1,17 @@
 //! The `hsgf` command-line tool. See `hsgf help`.
+//!
+//! Exit codes: 0 = success, 2 = hard error, 3 = extraction completed with
+//! degraded, failed, or cancelled roots (see `hsgf help`).
 
 fn main() {
     let options = hsgf_cli::Options::parse(std::env::args().skip(1));
     let stdout = std::io::stdout();
-    if let Err(e) = hsgf_cli::run(&options, stdout.lock()) {
-        eprintln!("{e}");
-        eprintln!("{}", hsgf_cli::USAGE);
-        std::process::exit(2);
+    match hsgf_cli::run(&options, stdout.lock()) {
+        Ok(code) => std::process::exit(code),
+        Err(e) => {
+            eprintln!("{e}");
+            eprintln!("{}", hsgf_cli::USAGE);
+            std::process::exit(2);
+        }
     }
 }

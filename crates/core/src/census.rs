@@ -35,6 +35,7 @@
 use std::collections::HashMap;
 use std::fmt;
 
+use crate::budget::{BudgetKind, BudgetState, CancelToken, CensusBudget, Stop};
 use crate::hash::{mix, HashScheme, LabelBases};
 use crate::sequence::Encoding;
 use hsgf_graph::{HetGraph, NodeId, Orientation};
@@ -57,6 +58,29 @@ pub enum CensusError {
         /// The rejected root.
         root: u32,
     },
+    /// A per-root resource budget ran out before the census finished
+    /// (see [`CensusBudget`]). The census unwinds cleanly; the scratch is
+    /// immediately reusable, e.g. for a degraded retry.
+    BudgetExhausted {
+        /// The root whose census was aborted.
+        root: u32,
+        /// The budget dimension that ran out.
+        kind: BudgetKind,
+    },
+    /// Cooperative cancellation was observed mid-census
+    /// (see [`CancelToken`]).
+    Cancelled {
+        /// The root whose census was aborted.
+        root: u32,
+    },
+    /// A census worker panicked while processing a root. The panic was
+    /// isolated: other roots' results are unaffected.
+    WorkerPanicked {
+        /// The root being processed when the worker panicked.
+        root: u32,
+        /// The panic payload, when it was a string.
+        message: String,
+    },
 }
 
 impl fmt::Display for CensusError {
@@ -66,6 +90,15 @@ impl fmt::Display for CensusError {
                 write!(f, "emax must be in 1..={MAX_EMAX}, got {emax}")
             }
             CensusError::UnknownRoot { root } => write!(f, "root node {root} not in graph"),
+            CensusError::BudgetExhausted { root, kind } => {
+                write!(f, "census of root {root} exceeded its {kind} budget")
+            }
+            CensusError::Cancelled { root } => {
+                write!(f, "census of root {root} was cancelled")
+            }
+            CensusError::WorkerPanicked { root, message } => {
+                write!(f, "census worker panicked on root {root}: {message}")
+            }
         }
     }
 }
@@ -331,10 +364,21 @@ impl<'g> CensusEngine<'g> {
         root: NodeId,
         scratch: &mut CensusScratch,
     ) -> Result<HashMap<u64, u64>, CensusError> {
+        self.census_hashes_budgeted(root, scratch, &CensusBudget::unlimited(), None)
+    }
+
+    /// Budget-governed variant of [`CensusEngine::census_hashes`].
+    pub fn census_hashes_budgeted(
+        &self,
+        root: NodeId,
+        scratch: &mut CensusScratch,
+        budget: &CensusBudget,
+        cancel: Option<&CancelToken>,
+    ) -> Result<HashMap<u64, u64>, CensusError> {
         let mut sink = HashSink {
             counts: HashMap::new(),
         };
-        self.run(root, scratch, &mut sink)?;
+        self.run_budgeted(root, scratch, &mut sink, budget, cancel)?;
         Ok(sink.counts)
     }
 
@@ -345,12 +389,23 @@ impl<'g> CensusEngine<'g> {
         root: NodeId,
         scratch: &mut CensusScratch,
     ) -> Result<EncodedCensus, CensusError> {
+        self.census_encodings_budgeted(root, scratch, &CensusBudget::unlimited(), None)
+    }
+
+    /// Budget-governed variant of [`CensusEngine::census_encodings`].
+    pub fn census_encodings_budgeted(
+        &self,
+        root: NodeId,
+        scratch: &mut CensusScratch,
+        budget: &CensusBudget,
+        cancel: Option<&CancelToken>,
+    ) -> Result<EncodedCensus, CensusError> {
         let mut sink = EncodingSink {
             counts: HashMap::new(),
             by_hash: HashMap::new(),
             collisions: 0,
         };
-        self.run(root, scratch, &mut sink)?;
+        self.run_budgeted(root, scratch, &mut sink, budget, cancel)?;
         Ok(EncodedCensus {
             counts: sink.counts,
             hash_collisions: sink.collisions,
@@ -364,8 +419,30 @@ impl<'g> CensusEngine<'g> {
         scratch: &mut CensusScratch,
         sink: &mut S,
     ) -> Result<(), CensusError> {
+        self.run_budgeted(root, scratch, sink, &CensusBudget::unlimited(), None)
+    }
+
+    /// Runs the census with a caller-provided sink under a resource budget
+    /// and optional cancellation token.
+    ///
+    /// On [`CensusError::BudgetExhausted`] / [`CensusError::Cancelled`] the
+    /// enumeration aborts *cleanly*: every incremental bookkeeping change is
+    /// unwound, so `scratch` is immediately reusable for another root or a
+    /// degraded retry. Records already pushed into `sink` before the abort
+    /// are the sink owner's to discard (the `census_*` wrappers do).
+    pub fn run_budgeted<S: CensusSink>(
+        &self,
+        root: NodeId,
+        scratch: &mut CensusScratch,
+        sink: &mut S,
+        budget: &CensusBudget,
+        cancel: Option<&CancelToken>,
+    ) -> Result<(), CensusError> {
         if root.index() >= self.graph.node_count() {
             return Err(CensusError::UnknownRoot { root: root.raw() });
+        }
+        if cancel.is_some_and(CancelToken::is_cancelled) {
+            return Err(CensusError::Cancelled { root: root.raw() });
         }
         debug_assert!(scratch.in_sub.len() == self.graph.node_count());
         scratch.root = root;
@@ -385,8 +462,12 @@ impl<'g> CensusEngine<'g> {
         debug_assert_eq!(mark, 0);
         // The degree constraint never applies to the root (paper §4.3.5).
         self.push_candidates(scratch, root);
-        self.explore(scratch, sink);
-        // Unwind root state.
+        let mut state = BudgetState::new(budget, cancel);
+        let outcome = state
+            .check_frontier(scratch.ext.len())
+            .and_then(|()| self.explore(scratch, sink, &mut state));
+        // Unwind root state (whether the DFS completed or aborted early —
+        // `explore` restores all deeper bookkeeping on its way out).
         while scratch.ext.len() > mark {
             let c = scratch.ext.pop().expect("len checked");
             scratch.edge_seen[c.edge as usize] = false;
@@ -398,7 +479,14 @@ impl<'g> CensusEngine<'g> {
         scratch.hash = 0;
         debug_assert!(scratch.sub_nodes.is_empty());
         debug_assert!(scratch.processed.is_empty());
-        Ok(())
+        match outcome {
+            Ok(()) => Ok(()),
+            Err(Stop::Budget(kind)) => Err(CensusError::BudgetExhausted {
+                root: root.raw(),
+                kind,
+            }),
+            Err(Stop::Cancelled) => Err(CensusError::Cancelled { root: root.raw() }),
+        }
     }
 
     /// Pushes every unseen edge incident to `w` as a candidate.
@@ -543,25 +631,36 @@ impl<'g> CensusEngine<'g> {
         }
     }
 
-    /// The recursive exclusion-discipline exploration.
-    fn explore<S: CensusSink>(&self, scratch: &mut CensusScratch, sink: &mut S) {
+    /// The recursive exclusion-discipline exploration. Returns early (with
+    /// all bookkeeping restored) when the budget or cancel token trips.
+    fn explore<S: CensusSink>(
+        &self,
+        scratch: &mut CensusScratch,
+        sink: &mut S,
+        state: &mut BudgetState<'_>,
+    ) -> Result<(), Stop> {
         let processed_mark = scratch.processed.len();
+        let mut outcome = Ok(());
         while let Some(cand) = scratch.ext.pop() {
             let was_outside = !scratch.in_sub[cand.to.index()];
             let node_was_new = self.add_edge(scratch, cand);
             debug_assert_eq!(was_outside, node_was_new);
             let hash = scratch.hash;
-            if scratch.sub_edge_count < self.config.emax {
+            let step = if scratch.sub_edge_count < self.config.emax {
                 sink.record(&self.view(scratch), hash, 1);
                 let mark = scratch.ext.len();
-                if node_was_new && self.may_expand(cand.to) {
-                    self.push_candidates(scratch, cand.to);
-                }
-                self.explore(scratch, sink);
+                let step = state.on_record(1).and_then(|()| {
+                    if node_was_new && self.may_expand(cand.to) {
+                        self.push_candidates(scratch, cand.to);
+                    }
+                    state.check_frontier(scratch.ext.len())?;
+                    self.explore(scratch, sink, state)
+                });
                 while scratch.ext.len() > mark {
                     let c = scratch.ext.pop().expect("len checked");
                     scratch.edge_seen[c.edge as usize] = false;
                 }
+                step
             } else {
                 // Final level: heterogeneous grouping. Consecutive
                 // candidates attaching a new node of the same label to the
@@ -589,15 +688,21 @@ impl<'g> CensusEngine<'g> {
                     }
                 }
                 sink.record(&self.view(scratch), hash, multiplicity);
-            }
+                state.on_record(multiplicity)
+            };
             self.remove_edge(scratch, cand, node_was_new);
             scratch.processed.push(cand);
+            if let Err(stop) = step {
+                outcome = Err(stop);
+                break;
+            }
         }
         // Restore this call's processed candidates for the parent.
         while scratch.processed.len() > processed_mark {
             let c = scratch.processed.pop().expect("len checked");
             scratch.ext.push(c);
         }
+        outcome
     }
 
     /// Whether the census may expand through `w` (degree heuristic).
@@ -1088,6 +1193,110 @@ mod tests {
             let a = engine_census(&g, NodeId::new(0), with);
             let b = engine_census(&g, NodeId::new(0), without);
             assert_eq!(a, b, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn subgraph_budget_aborts_and_scratch_stays_reusable() {
+        let g = random_graph(21, 12, 0.4, 3);
+        let engine = CensusEngine::new(&g, CensusConfig::default().with_emax(4)).unwrap();
+        let mut scratch = engine.make_scratch();
+        let root = NodeId::new(0);
+        let full = engine.census_encodings(root, &mut scratch).unwrap();
+        let total: u64 = full.counts.values().sum();
+        assert!(total > 4, "graph too sparse for the test");
+        // A budget below the true total must abort...
+        let tight = crate::budget::CensusBudget::unlimited().with_max_subgraphs(total - 1);
+        let err = engine
+            .census_encodings_budgeted(root, &mut scratch, &tight, None)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            CensusError::BudgetExhausted {
+                root: 0,
+                kind: crate::budget::BudgetKind::Subgraphs
+            }
+        ));
+        // ...and leave the scratch clean: the next unbudgeted census on the
+        // same scratch is byte-identical to the first.
+        let again = engine.census_encodings(root, &mut scratch).unwrap();
+        assert_eq!(full.counts, again.counts);
+        // An exactly-sufficient budget succeeds.
+        let exact = crate::budget::CensusBudget::unlimited().with_max_subgraphs(total);
+        let ok = engine
+            .census_encodings_budgeted(root, &mut scratch, &exact, None)
+            .unwrap();
+        assert_eq!(ok.counts, full.counts);
+    }
+
+    #[test]
+    fn frontier_budget_aborts_on_hubs() {
+        let labels = LabelSet::from_names(["c", "l"]).unwrap();
+        let mut b = GraphBuilder::new(labels);
+        let c = b.add_node_with(Label::new(0)).unwrap();
+        for _ in 0..200 {
+            let leaf = b.add_node_with(Label::new(1)).unwrap();
+            b.add_edge(c, leaf).unwrap();
+        }
+        let g = b.build();
+        let engine = CensusEngine::new(&g, CensusConfig::default().with_emax(3)).unwrap();
+        let mut scratch = engine.make_scratch();
+        let tight = crate::budget::CensusBudget::unlimited().with_max_frontier(50);
+        let err = engine
+            .census_encodings_budgeted(c, &mut scratch, &tight, None)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            CensusError::BudgetExhausted {
+                kind: crate::budget::BudgetKind::Frontier,
+                ..
+            }
+        ));
+        // A frontier cap above the hub degree changes nothing.
+        let loose = crate::budget::CensusBudget::unlimited().with_max_frontier(500);
+        let ok = engine
+            .census_encodings_budgeted(c, &mut scratch, &loose, None)
+            .unwrap();
+        let full = engine.census_encodings(c, &mut scratch).unwrap();
+        assert_eq!(ok.counts, full.counts);
+    }
+
+    #[test]
+    fn pre_cancelled_token_aborts_immediately() {
+        let g = random_graph(5, 8, 0.4, 2);
+        let engine = CensusEngine::new(&g, CensusConfig::default()).unwrap();
+        let mut scratch = engine.make_scratch();
+        let token = crate::budget::CancelToken::new();
+        token.cancel();
+        let err = engine
+            .census_encodings_budgeted(
+                NodeId::new(0),
+                &mut scratch,
+                &crate::budget::CensusBudget::unlimited(),
+                Some(&token),
+            )
+            .unwrap_err();
+        assert!(matches!(err, CensusError::Cancelled { root: 0 }));
+        // The scratch is still clean for subsequent censuses.
+        assert!(engine
+            .census_encodings(NodeId::new(0), &mut scratch)
+            .is_ok());
+    }
+
+    #[test]
+    fn budgeted_census_is_deterministic() {
+        let g = random_graph(33, 14, 0.35, 3);
+        let engine = CensusEngine::new(&g, CensusConfig::default().with_emax(4)).unwrap();
+        let mut scratch = engine.make_scratch();
+        let budget = crate::budget::CensusBudget::unlimited().with_max_subgraphs(100);
+        for root in g.nodes().take(5) {
+            let a = engine.census_encodings_budgeted(root, &mut scratch, &budget, None);
+            let b = engine.census_encodings_budgeted(root, &mut scratch, &budget, None);
+            match (a, b) {
+                (Ok(x), Ok(y)) => assert_eq!(x.counts, y.counts),
+                (Err(x), Err(y)) => assert_eq!(x, y),
+                (x, y) => panic!("nondeterministic budget outcome: {x:?} vs {y:?}"),
+            }
         }
     }
 

@@ -13,6 +13,7 @@
 use std::collections::HashMap;
 use std::collections::HashSet;
 
+use crate::budget::{BudgetKind, BudgetState, CancelToken, CensusBudget, Stop};
 use crate::sequence::Encoding;
 use crate::small::SmallGraph;
 
@@ -59,37 +60,116 @@ impl EnumerationConfig {
     }
 }
 
+/// Why a budgeted enumeration returned.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum EnumerationStatus {
+    /// Every canonical form within `max_edges` was produced.
+    Complete,
+    /// A budget dimension ran out; the graph list is a prefix of the full
+    /// enumeration's discovery order (deterministic for the subgraph cap).
+    Truncated(BudgetKind),
+    /// The cancel token fired mid-enumeration.
+    Cancelled,
+}
+
+/// Result of [`enumerate_connected_budgeted`].
+#[derive(Clone, Debug)]
+pub struct EnumerationOutcome {
+    /// The canonical forms discovered, ordered by `(edge_count, node_count)`
+    /// then canonical order (complete within that ordering only when
+    /// `status` is [`EnumerationStatus::Complete`]).
+    pub graphs: Vec<SmallGraph>,
+    /// How the enumeration concluded.
+    pub status: EnumerationStatus,
+}
+
+impl EnumerationOutcome {
+    /// Whether the enumeration ran to completion.
+    pub fn is_complete(&self) -> bool {
+        self.status == EnumerationStatus::Complete
+    }
+}
+
 /// Enumerates every connected labelled graph with between 1 and
 /// `config.max_edges` edges (plus the single-node graphs), up to
 /// isomorphism. Returned graphs are canonical forms, ordered by
 /// `(edge_count, node_count)` then canonical order.
 pub fn enumerate_connected(config: &EnumerationConfig) -> Vec<SmallGraph> {
+    enumerate_connected_budgeted(config, &CensusBudget::unlimited(), None).graphs
+}
+
+/// [`enumerate_connected`] under a resource budget with cooperative
+/// cancellation. The budget dimensions map naturally: `max_subgraphs` caps
+/// the number of distinct canonical forms produced, `max_frontier` caps the
+/// breadth-first frontier between edge levels, and `deadline`/`cancel` are
+/// polled inside the inner successor loop. Enumeration stops cleanly at the
+/// first exhausted dimension and reports what was found so far.
+pub fn enumerate_connected_budgeted(
+    config: &EnumerationConfig,
+    budget: &CensusBudget,
+    cancel: Option<&CancelToken>,
+) -> EnumerationOutcome {
+    let mut state = BudgetState::new(budget, cancel);
+    let mut status = EnumerationStatus::Complete;
     let mut all: HashSet<SmallGraph> = HashSet::new();
     let mut frontier: Vec<SmallGraph> = Vec::new();
-    for l in 0..config.label_count as u8 {
-        let g = SmallGraph::new(vec![l], &[]).canonical();
-        if all.insert(g.clone()) {
-            frontier.push(g);
+    'grow: {
+        if cancel.is_some_and(CancelToken::is_cancelled) {
+            status = EnumerationStatus::Cancelled;
+            break 'grow;
         }
-    }
-    for _edges in 1..=config.max_edges {
-        let mut next: Vec<SmallGraph> = Vec::new();
-        for g in &frontier {
-            for succ in successors(g, config) {
-                if all.insert(succ.clone()) {
-                    next.push(succ);
+        for l in 0..config.label_count as u8 {
+            let g = SmallGraph::new(vec![l], &[]).canonical();
+            if !all.contains(&g) {
+                if let Err(stop) = state.on_record(1) {
+                    status = stop_status(stop);
+                    break 'grow;
                 }
+                all.insert(g.clone());
+                frontier.push(g);
             }
         }
-        frontier = next;
+        for _edges in 1..=config.max_edges {
+            // Per-level cancellation check: the in-loop poll is amortized
+            // over 1024 records, too coarse for small enumerations.
+            if cancel.is_some_and(CancelToken::is_cancelled) {
+                status = EnumerationStatus::Cancelled;
+                break 'grow;
+            }
+            let mut next: Vec<SmallGraph> = Vec::new();
+            for g in &frontier {
+                for succ in successors(g, config) {
+                    if !all.contains(&succ) {
+                        if let Err(stop) = state.on_record(1) {
+                            status = stop_status(stop);
+                            break 'grow;
+                        }
+                        all.insert(succ.clone());
+                        next.push(succ);
+                    }
+                }
+            }
+            if let Err(stop) = state.check_frontier(next.len()) {
+                status = stop_status(stop);
+                break 'grow;
+            }
+            frontier = next;
+        }
     }
-    let mut out: Vec<SmallGraph> = all.into_iter().collect();
-    out.sort_by(|a, b| {
+    let mut graphs: Vec<SmallGraph> = all.into_iter().collect();
+    graphs.sort_by(|a, b| {
         (a.edge_count(), a.node_count())
             .cmp(&(b.edge_count(), b.node_count()))
             .then_with(|| a.cmp(b))
     });
-    out
+    EnumerationOutcome { graphs, status }
+}
+
+fn stop_status(stop: Stop) -> EnumerationStatus {
+    match stop {
+        Stop::Budget(kind) => EnumerationStatus::Truncated(kind),
+        Stop::Cancelled => EnumerationStatus::Cancelled,
+    }
 }
 
 /// All canonical one-edge extensions of `g`: close a missing pair, or attach
@@ -370,5 +450,41 @@ mod tests {
     fn realization_respects_budget() {
         let target = SmallGraph::new(vec![0; 5], &[(0, 1), (1, 2), (2, 3), (3, 4)]).encoding(1);
         assert!(find_realization(&target, 1, 1).is_none());
+    }
+
+    #[test]
+    fn unlimited_budget_matches_plain_enumeration() {
+        let config = EnumerationConfig::unrestricted(2, 3);
+        let plain = enumerate_connected(&config);
+        let outcome = enumerate_connected_budgeted(&config, &CensusBudget::unlimited(), None);
+        assert!(outcome.is_complete());
+        assert_eq!(outcome.graphs, plain);
+    }
+
+    #[test]
+    fn graph_cap_truncates_deterministically() {
+        let config = EnumerationConfig::unrestricted(2, 4);
+        let full = enumerate_connected(&config).len();
+        let cap = (full / 2) as u64;
+        let budget = CensusBudget::unlimited().with_max_subgraphs(cap);
+        let a = enumerate_connected_budgeted(&config, &budget, None);
+        let b = enumerate_connected_budgeted(&config, &budget, None);
+        assert_eq!(
+            a.status,
+            EnumerationStatus::Truncated(BudgetKind::Subgraphs)
+        );
+        assert_eq!(a.graphs.len(), cap as usize, "cap must be exact");
+        assert_eq!(a.graphs, b.graphs, "truncation must be deterministic");
+    }
+
+    #[test]
+    fn cancelled_token_stops_enumeration_early() {
+        let token = CancelToken::new();
+        token.cancel();
+        let config = EnumerationConfig::unrestricted(2, 4);
+        let outcome =
+            enumerate_connected_budgeted(&config, &CensusBudget::unlimited(), Some(&token));
+        assert_eq!(outcome.status, EnumerationStatus::Cancelled);
+        assert!(outcome.graphs.len() < enumerate_connected(&config).len());
     }
 }

@@ -221,6 +221,44 @@ impl FeatureMatrix {
         }
     }
 
+    /// Keeps only the rows where `keep` is `true` (parallel to the root
+    /// list), dropping features that no longer occur in any surviving row
+    /// and reindexing the vocabulary. Used by the extraction supervisor to
+    /// derive an exact-rows-only matrix from a partial extraction.
+    pub fn retain_rows(&self, keep: &[bool]) -> FeatureMatrix {
+        assert_eq!(keep.len(), self.rows.len(), "one flag per row");
+        let mut df = vec![false; self.feature_count()];
+        for (row, &k) in self.rows.iter().zip(keep) {
+            if k {
+                for &(idx, _) in row {
+                    df[idx as usize] = true;
+                }
+            }
+        }
+        let mut space = FeatureSpace::new();
+        let mut remap: Vec<Option<u32>> = vec![None; self.feature_count()];
+        for (old_idx, enc) in self.space.iter() {
+            if df[old_idx as usize] {
+                remap[old_idx as usize] = Some(space.intern(enc.clone()));
+            }
+        }
+        let mut rows = Vec::new();
+        let mut roots = Vec::new();
+        for ((row, root), &k) in self.rows.iter().zip(&self.roots).zip(keep) {
+            if !k {
+                continue;
+            }
+            let mut new_row: Vec<(u32, f64)> = row
+                .iter()
+                .filter_map(|&(idx, v)| remap[idx as usize].map(|ni| (ni, v)))
+                .collect();
+            new_row.sort_unstable_by_key(|&(i, _)| i);
+            rows.push(new_row);
+            roots.push(*root);
+        }
+        FeatureMatrix { space, rows, roots }
+    }
+
     /// Applies `ln(1 + x)` to every value. Census counts grow roughly
     /// exponentially with `emax`; compressing them stabilizes linear and
     /// ridge models without affecting tree-based ones (monotone transform).
@@ -359,5 +397,25 @@ mod tests {
     #[should_panic(expected = "one census per root")]
     fn mismatched_lengths_panic() {
         let _ = FeatureMatrix::from_censuses(vec![NodeId::new(0)], vec![]);
+    }
+
+    #[test]
+    fn retain_rows_drops_rows_and_orphan_features() {
+        let m = sample_matrix();
+        let kept = m.retain_rows(&[false, true]);
+        assert_eq!(kept.row_count(), 1);
+        assert_eq!(kept.roots(), &[NodeId::new(1)]);
+        // e2 only occurred in the dropped row; it must leave the vocabulary.
+        let e2 = enc(&[0, 0], &[(0, 1)]);
+        assert!(kept.space().get(&e2).is_none());
+        assert_eq!(kept.feature_count(), 2);
+        let e1 = enc(&[0, 1], &[(0, 1)]);
+        let e3 = enc(&[0, 1, 1], &[(0, 1), (0, 2)]);
+        assert_eq!(kept.value(0, kept.space().get(&e1).unwrap()), 2.0);
+        assert_eq!(kept.value(0, kept.space().get(&e3).unwrap()), 5.0);
+        // Keeping everything is a structural no-op.
+        let all = m.retain_rows(&[true, true]);
+        assert_eq!(all.row_count(), 2);
+        assert_eq!(all.feature_count(), m.feature_count());
     }
 }

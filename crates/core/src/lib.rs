@@ -43,6 +43,11 @@
 //!   Definition").
 //! * [`parallel`] — by-node parallel extraction (paper §3.2 "Parallel Space
 //!   Complexity").
+//! * [`budget`] — per-root resource budgets (subgraph / frontier / deadline)
+//!   and cooperative cancellation for the census.
+//! * [`supervisor`] — fault-tolerant extraction: panic isolation per root, a
+//!   deterministic degradation ladder (tightened `dmax`, then reduced
+//!   `emax`), and per-root outcome reporting.
 //! * [`small`] / [`enumerate`] — exact isomorphism and exhaustive
 //!   enumeration machinery used to *validate* the encoding and reproduce
 //!   the collision bounds of §3.1 (experiment E1).
@@ -51,6 +56,7 @@
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod budget;
 pub mod census;
 pub mod enumerate;
 pub mod export;
@@ -63,13 +69,19 @@ pub mod reference;
 pub mod sampling;
 pub mod sequence;
 pub mod small;
+pub mod supervisor;
 
+pub use budget::{BudgetKind, CancelToken, CensusBudget};
 pub use census::{
     CensusConfig, CensusEngine, CensusError, CensusScratch, CensusSink, CountingSink,
     EncodedCensus, SubgraphView, MAX_EMAX,
 };
-pub use enumerate::{collision_report, enumerate_connected, CollisionReport, EnumerationConfig};
+pub use enumerate::{
+    collision_report, enumerate_connected, enumerate_connected_budgeted, CollisionReport,
+    EnumerationConfig, EnumerationOutcome, EnumerationStatus,
+};
 pub use features::{FeatureMatrix, FeatureSpace};
 pub use hash::LabelBases;
 pub use sequence::Encoding;
 pub use small::SmallGraph;
+pub use supervisor::{ChaosHook, ExtractionPolicy, PartialExtraction, RootOutcome, Supervisor};

@@ -6,16 +6,121 @@
 //! are handed out through an atomic cursor so skewed per-root costs balance
 //! dynamically — important because extraction time correlates with the
 //! (skewed) degree distribution (paper Table 3).
+//!
+//! # Fault posture
+//!
+//! Every per-root census runs inside a panic-isolation boundary: a panic in
+//! census code is caught, the worker's scratch is discarded (its invariants
+//! can no longer be trusted), and the root is reported as
+//! [`CensusError::WorkerPanicked`]. A worker failure therefore surfaces as
+//! an ordinary `Err` from these functions — never as a propagated panic or
+//! a poisoned `Mutex` in the caller. These helpers remain all-or-nothing
+//! (the first error aborts the run's *result*, though finished slots are
+//! simply dropped); for partial results, per-root budgets, degradation, and
+//! outcome reporting use [`crate::supervisor::Supervisor`].
 
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 use hsgf_graph::NodeId;
 
-use crate::census::{CensusEngine, CensusError};
+use crate::census::{CensusEngine, CensusError, CensusScratch};
 use crate::features::FeatureMatrix;
 use crate::sequence::Encoding;
+
+/// Runs `work` for one root inside the panic-isolation boundary. On panic
+/// the scratch is discarded (the next root gets a fresh one) and the panic
+/// is converted into [`CensusError::WorkerPanicked`].
+fn isolated<T>(
+    engine: &CensusEngine<'_>,
+    root: NodeId,
+    holder: &mut Option<CensusScratch>,
+    work: impl FnOnce(&mut CensusScratch) -> Result<T, CensusError>,
+) -> Result<T, CensusError> {
+    let scratch = holder.get_or_insert_with(|| engine.make_scratch());
+    match catch_unwind(AssertUnwindSafe(|| work(scratch))) {
+        Ok(result) => result,
+        Err(payload) => {
+            *holder = None;
+            let message = if let Some(s) = payload.downcast_ref::<&str>() {
+                (*s).to_owned()
+            } else if let Some(s) = payload.downcast_ref::<String>() {
+                s.clone()
+            } else {
+                "non-string panic payload".to_owned()
+            };
+            Err(CensusError::WorkerPanicked {
+                root: root.raw(),
+                message,
+            })
+        }
+    }
+}
+
+/// Shared scheduler: runs `work(engine, root, scratch)` for every root with
+/// `threads` workers and collects results in root order, short-circuiting on
+/// the first error. Worker panics and mutex poisoning are contained (see the
+/// module docs).
+fn run_per_root<T, F>(
+    engine: &CensusEngine<'_>,
+    roots: &[NodeId],
+    threads: usize,
+    work: F,
+) -> Result<Vec<T>, CensusError>
+where
+    T: Send,
+    F: Fn(&CensusEngine<'_>, NodeId, &mut CensusScratch) -> Result<T, CensusError> + Sync,
+{
+    if threads <= 1 {
+        let mut holder = None;
+        return roots
+            .iter()
+            .map(|&r| isolated(engine, r, &mut holder, |scratch| work(engine, r, scratch)))
+            .collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<Result<T, CensusError>>>> =
+        roots.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| {
+                let mut holder = None;
+                loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= roots.len() {
+                        break;
+                    }
+                    let root = roots[i];
+                    let result = isolated(engine, root, &mut holder, |scratch| {
+                        work(engine, root, scratch)
+                    });
+                    // The census already ran (and any panic was caught), so
+                    // the critical section is a plain store; recover from
+                    // poisoning anyway rather than propagate it.
+                    *slots[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(result);
+                }
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .zip(roots)
+        .map(|(slot, &root)| {
+            slot.into_inner()
+                .unwrap_or_else(|e| e.into_inner())
+                .unwrap_or_else(|| {
+                    // Unreachable with in-loop isolation, but an unfilled
+                    // slot must degrade to an error, not a caller panic.
+                    Err(CensusError::WorkerPanicked {
+                        root: root.raw(),
+                        message: "worker terminated without reporting".to_owned(),
+                    })
+                })
+        })
+        .collect()
+}
 
 /// Extracts encoding-keyed censuses for every root, using `threads` workers
 /// (0 or 1 runs inline on the caller's thread). Results are returned in
@@ -25,43 +130,9 @@ pub fn extract_censuses(
     roots: &[NodeId],
     threads: usize,
 ) -> Result<Vec<HashMap<Encoding, u64>>, CensusError> {
-    if threads <= 1 {
-        let mut scratch = engine.make_scratch();
-        return roots
-            .iter()
-            .map(|&r| engine.census_encodings(r, &mut scratch).map(|c| c.counts))
-            .collect();
-    }
-    let cursor = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<Result<HashMap<Encoding, u64>, CensusError>>>> =
-        roots.iter().map(|_| Mutex::new(None)).collect();
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| {
-                let mut scratch = engine.make_scratch();
-                loop {
-                    let i = cursor.fetch_add(1, Ordering::Relaxed);
-                    if i >= roots.len() {
-                        break;
-                    }
-                    let result = engine
-                        .census_encodings(roots[i], &mut scratch)
-                        .map(|c| c.counts);
-                    *slots[i]
-                        .lock()
-                        .expect("census worker never panics holding the lock") = Some(result);
-                }
-            });
-        }
-    });
-    slots
-        .into_iter()
-        .map(|slot| {
-            slot.into_inner()
-                .expect("no worker panicked")
-                .expect("every slot is filled before scope ends")
-        })
-        .collect()
+    run_per_root(engine, roots, threads, |engine, root, scratch| {
+        engine.census_encodings(root, scratch).map(|c| c.counts)
+    })
 }
 
 /// Extracts hash-keyed censuses for every root (the paper's fast mode).
@@ -70,41 +141,9 @@ pub fn extract_hash_censuses(
     roots: &[NodeId],
     threads: usize,
 ) -> Result<Vec<HashMap<u64, u64>>, CensusError> {
-    if threads <= 1 {
-        let mut scratch = engine.make_scratch();
-        return roots
-            .iter()
-            .map(|&r| engine.census_hashes(r, &mut scratch))
-            .collect();
-    }
-    let cursor = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<Result<HashMap<u64, u64>, CensusError>>>> =
-        roots.iter().map(|_| Mutex::new(None)).collect();
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| {
-                let mut scratch = engine.make_scratch();
-                loop {
-                    let i = cursor.fetch_add(1, Ordering::Relaxed);
-                    if i >= roots.len() {
-                        break;
-                    }
-                    *slots[i]
-                        .lock()
-                        .expect("census worker never panics holding the lock") =
-                        Some(engine.census_hashes(roots[i], &mut scratch));
-                }
-            });
-        }
-    });
-    slots
-        .into_iter()
-        .map(|slot| {
-            slot.into_inner()
-                .expect("no worker panicked")
-                .expect("every slot is filled before scope ends")
-        })
-        .collect()
+    run_per_root(engine, roots, threads, |engine, root, scratch| {
+        engine.census_hashes(root, scratch)
+    })
 }
 
 /// One-call convenience: parallel census for `roots` assembled into a
@@ -174,5 +213,60 @@ mod tests {
         let engine = CensusEngine::new(&graph, CensusConfig::default()).unwrap();
         let bad = NodeId::new(10_000);
         assert!(extract_censuses(&engine, &[bad], 2).is_err());
+    }
+
+    #[test]
+    fn worker_panic_becomes_error_not_caller_panic() {
+        let graph = test_graph();
+        let engine = CensusEngine::new(&graph, CensusConfig::default().with_emax(2)).unwrap();
+        let roots: Vec<NodeId> = graph.nodes().take(6).collect();
+        let boom = roots[3];
+        // Simulate a faulting census through the shared scheduler, in both
+        // the sequential and the parallel path.
+        for threads in [1, 3] {
+            let result = run_per_root(&engine, &roots, threads, |engine, root, scratch| {
+                if root == boom {
+                    panic!("injected fault");
+                }
+                engine.census_encodings(root, scratch).map(|c| c.counts)
+            });
+            match result {
+                Err(CensusError::WorkerPanicked { root, message }) => {
+                    assert_eq!(root, boom.raw());
+                    assert!(message.contains("injected fault"));
+                }
+                other => panic!("expected WorkerPanicked, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_survives_panic_isolation() {
+        // After a caught panic the worker gets a fresh scratch; subsequent
+        // roots must produce correct censuses.
+        let graph = test_graph();
+        let engine = CensusEngine::new(&graph, CensusConfig::default().with_emax(3)).unwrap();
+        let roots: Vec<NodeId> = graph.nodes().take(8).collect();
+        let clean = extract_censuses(&engine, &roots, 1).unwrap();
+        let boom = roots[0];
+        let mut holder = None;
+        let faulted: Vec<_> = roots
+            .iter()
+            .map(|&r| {
+                isolated(&engine, r, &mut holder, |scratch| {
+                    if r == boom {
+                        panic!("first root crashes");
+                    }
+                    engine.census_encodings(r, scratch).map(|c| c.counts)
+                })
+            })
+            .collect();
+        assert!(matches!(
+            faulted[0],
+            Err(CensusError::WorkerPanicked { .. })
+        ));
+        for i in 1..roots.len() {
+            assert_eq!(faulted[i].as_ref().unwrap(), &clean[i]);
+        }
     }
 }

@@ -1,0 +1,613 @@
+//! Fault-tolerant, budget-governed feature extraction.
+//!
+//! The plain [`crate::parallel`] helpers are all-or-nothing: one bad root
+//! fails the whole run. This module adds the production posture the north
+//! star asks for — a *supervisor* that runs the census per root under a
+//! [`CensusBudget`], isolates panics with `catch_unwind`, retries
+//! over-budget roots down a **deterministic degradation ladder** (tightened
+//! `dmax`, then reduced `emax`), and reports a per-root [`RootOutcome`]
+//! instead of sinking everyone else's finished work.
+//!
+//! # Degradation semantics
+//!
+//! Every ladder step keeps the label alphabet, hash seed, masking, and
+//! direction/type modes of the base configuration, so an encoding discovered
+//! under a degraded configuration is byte-identical to the same subgraph's
+//! encoding under the base configuration. A `Degraded` row is therefore
+//! *comparable but truncated*: it contains a subset of the counts an exact
+//! census would produce (hub expansions and large subgraphs are missing),
+//! never differently-keyed features. Downstream consumers that require exact
+//! comparability can drop non-exact rows via
+//! [`PartialExtraction::exact_matrix`].
+//!
+//! Given identical inputs, the ladder and the per-root outcomes are pure
+//! functions of `(graph, config, policy)` — independent of thread count and
+//! scheduling — as long as the policy uses only deterministic budget
+//! dimensions (subgraph and frontier caps). Wall-clock deadlines are
+//! supported but inherently nondeterministic.
+
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+use hsgf_graph::{HetGraph, NodeId};
+
+use crate::budget::{CancelToken, CensusBudget};
+use crate::census::{CensusConfig, CensusEngine, CensusError, CensusScratch};
+use crate::features::FeatureMatrix;
+use crate::sequence::Encoding;
+
+/// How one root's census concluded.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RootOutcome {
+    /// The census completed under the base configuration.
+    Exact,
+    /// The base census exceeded its budget; a ladder step completed instead.
+    Degraded {
+        /// The `dmax` of the completing ladder step.
+        dmax: Option<u32>,
+        /// The `emax` of the completing ladder step.
+        emax: usize,
+        /// Total census attempts for this root (base attempt included).
+        attempts: u32,
+    },
+    /// No configuration completed; the row is empty.
+    Failed {
+        /// The terminal error (budget exhaustion of the last ladder step,
+        /// an isolated worker panic, or an invalid root).
+        error: CensusError,
+    },
+    /// The run was cancelled before (or while) this root was processed.
+    Cancelled,
+}
+
+impl RootOutcome {
+    /// Whether the root produced a usable (exact or degraded) row.
+    pub fn has_row(&self) -> bool {
+        matches!(self, RootOutcome::Exact | RootOutcome::Degraded { .. })
+    }
+}
+
+/// Resource policy applied to every root of a supervised extraction.
+#[derive(Clone, Debug, Default)]
+pub struct ExtractionPolicy {
+    /// Per-attempt cap on discovered subgraphs (deterministic).
+    pub max_subgraphs: Option<u64>,
+    /// Per-attempt cap on the extension-stack length (deterministic).
+    pub max_frontier: Option<usize>,
+    /// Per-attempt wall-clock deadline (nondeterministic; prefer
+    /// `max_subgraphs` when reproducibility matters).
+    pub root_timeout: Option<Duration>,
+    /// Retry over-budget roots down the degradation ladder instead of
+    /// failing them outright.
+    pub degrade: bool,
+}
+
+impl ExtractionPolicy {
+    /// Whether any budget dimension is set.
+    pub fn is_bounded(&self) -> bool {
+        self.max_subgraphs.is_some() || self.max_frontier.is_some() || self.root_timeout.is_some()
+    }
+
+    /// The budget for one census attempt (the deadline clock starts now).
+    fn attempt_budget(&self) -> CensusBudget {
+        let mut budget = CensusBudget {
+            max_subgraphs: self.max_subgraphs,
+            max_frontier: self.max_frontier,
+            deadline: None,
+        };
+        if let Some(timeout) = self.root_timeout {
+            budget = budget.with_timeout(timeout);
+        }
+        budget
+    }
+}
+
+/// The degradation ladder for `base`: successively cheaper configurations
+/// tried (in order) when a root exceeds its budget. Deterministic — a pure
+/// function of the base configuration:
+///
+/// 1. tighten `dmax` to 16, then to 4 (steps that would not tighten are
+///    skipped);
+/// 2. with `dmax` at the tightest value, reduce `emax` one step at a time
+///    down to 2.
+///
+/// Encoding-affecting knobs (alphabet, masking, direction/type modes, hash
+/// seed) are never touched, so degraded censuses stay feature-comparable.
+pub fn degrade_ladder(base: &CensusConfig) -> Vec<CensusConfig> {
+    let mut steps = Vec::new();
+    let base_dmax = base.dmax.unwrap_or(u32::MAX);
+    for dmax in [16u32, 4] {
+        if dmax < base_dmax {
+            steps.push(base.clone().with_dmax(Some(dmax)));
+        }
+    }
+    let tight_dmax = base_dmax.min(4);
+    let mut emax = base.emax;
+    while emax > 2 {
+        emax -= 1;
+        steps.push(base.clone().with_emax(emax).with_dmax(Some(tight_dmax)));
+    }
+    steps
+}
+
+/// Fault-injection hook for chaos testing the supervisor. Implementations
+/// may panic (simulating a crashing root) or return a synthetic error; both
+/// happen inside the supervisor's isolation boundary, exactly where a real
+/// census fault would.
+pub trait ChaosHook: Sync {
+    /// Called before census `attempt` (0 = base configuration) of `root`.
+    /// Returning `Some(error)` aborts the attempt with that error.
+    fn inject(&self, root: NodeId, attempt: usize) -> Option<CensusError>;
+}
+
+/// The result of a supervised extraction: a feature matrix over every root
+/// (failed/cancelled roots keep an all-zero row so row indices always align
+/// with the root list) plus one [`RootOutcome`] per root.
+#[derive(Clone, Debug)]
+pub struct PartialExtraction {
+    /// Feature matrix in root order. Rows of non-`has_row` roots are empty.
+    pub matrix: FeatureMatrix,
+    /// Per-root outcome, parallel to `matrix.roots()`.
+    pub outcomes: Vec<RootOutcome>,
+}
+
+impl PartialExtraction {
+    /// Whether every root completed exactly.
+    pub fn is_complete(&self) -> bool {
+        self.outcomes.iter().all(|o| *o == RootOutcome::Exact)
+    }
+
+    /// `(exact, degraded, failed, cancelled)` root counts.
+    pub fn tally(&self) -> (usize, usize, usize, usize) {
+        let mut t = (0, 0, 0, 0);
+        for o in &self.outcomes {
+            match o {
+                RootOutcome::Exact => t.0 += 1,
+                RootOutcome::Degraded { .. } => t.1 += 1,
+                RootOutcome::Failed { .. } => t.2 += 1,
+                RootOutcome::Cancelled => t.3 += 1,
+            }
+        }
+        t
+    }
+
+    /// The sub-matrix of exactly-extracted roots only (strict feature
+    /// comparability; see the module docs on degradation semantics).
+    pub fn exact_matrix(&self) -> FeatureMatrix {
+        let keep: Vec<bool> = self
+            .outcomes
+            .iter()
+            .map(|o| *o == RootOutcome::Exact)
+            .collect();
+        self.matrix.retain_rows(&keep)
+    }
+
+    /// Iterates `(root, outcome)` pairs for non-exact roots (the anomaly
+    /// report).
+    pub fn anomalies(&self) -> impl Iterator<Item = (NodeId, &RootOutcome)> {
+        self.matrix
+            .roots()
+            .iter()
+            .copied()
+            .zip(self.outcomes.iter())
+            .filter(|(_, o)| **o != RootOutcome::Exact)
+    }
+}
+
+/// The per-root census result a worker hands back: the counts (when a row
+/// was produced) and how it went.
+type RootResult = (Option<HashMap<Encoding, u64>>, RootOutcome);
+
+/// Budget-governed, fault-tolerant census supervisor over one graph.
+pub struct Supervisor<'g> {
+    /// Engine per ladder rung; index 0 is the base configuration.
+    engines: Vec<CensusEngine<'g>>,
+    policy: ExtractionPolicy,
+}
+
+impl<'g> Supervisor<'g> {
+    /// Creates a supervisor. The ladder is materialized eagerly so an
+    /// invalid configuration fails here, not mid-extraction.
+    pub fn new(
+        graph: &'g HetGraph,
+        config: CensusConfig,
+        policy: ExtractionPolicy,
+    ) -> Result<Self, CensusError> {
+        let mut configs = vec![config.clone()];
+        if policy.degrade {
+            configs.extend(degrade_ladder(&config));
+        }
+        let engines = configs
+            .into_iter()
+            .map(|c| CensusEngine::new(graph, c))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Supervisor { engines, policy })
+    }
+
+    /// The base-configuration engine.
+    pub fn base_engine(&self) -> &CensusEngine<'g> {
+        &self.engines[0]
+    }
+
+    /// Number of configurations that may be attempted per root (base + the
+    /// degradation ladder when enabled).
+    pub fn ladder_len(&self) -> usize {
+        self.engines.len()
+    }
+
+    /// Extracts censuses for `roots` with `threads` workers (0 or 1 runs on
+    /// the caller's thread). Never fails as a whole: each root's fate is
+    /// reported in [`PartialExtraction::outcomes`].
+    pub fn extract(&self, roots: &[NodeId], threads: usize) -> PartialExtraction {
+        self.extract_with(roots, threads, None, None)
+    }
+
+    /// [`Supervisor::extract`] with an optional cooperative cancellation
+    /// token and an optional fault-injection hook (chaos testing).
+    pub fn extract_with(
+        &self,
+        roots: &[NodeId],
+        threads: usize,
+        cancel: Option<&CancelToken>,
+        chaos: Option<&dyn ChaosHook>,
+    ) -> PartialExtraction {
+        let results = if threads <= 1 {
+            let mut holder = None;
+            roots
+                .iter()
+                .map(|&root| self.census_root(root, &mut holder, cancel, chaos))
+                .collect()
+        } else {
+            self.extract_parallel(roots, threads, cancel, chaos)
+        };
+        self.assemble(roots, results)
+    }
+
+    fn extract_parallel(
+        &self,
+        roots: &[NodeId],
+        threads: usize,
+        cancel: Option<&CancelToken>,
+        chaos: Option<&dyn ChaosHook>,
+    ) -> Vec<RootResult> {
+        let cursor = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<RootResult>>> =
+            roots.iter().map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| {
+                    let mut holder = None;
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= roots.len() {
+                            break;
+                        }
+                        let result = self.census_root(roots[i], &mut holder, cancel, chaos);
+                        // The result is computed before the lock is taken,
+                        // and `census_root` never panics (faults are caught
+                        // inside), so the lock cannot be poisoned by census
+                        // work; recover anyway rather than propagate.
+                        *slots[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(result);
+                    }
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .zip(roots)
+            .map(|(slot, &root)| {
+                slot.into_inner()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .unwrap_or_else(|| {
+                        // A worker died between claiming the slot and
+                        // filling it. With in-loop isolation this should be
+                        // unreachable, but a lost root must never sink the
+                        // run — report it and move on.
+                        (
+                            None,
+                            RootOutcome::Failed {
+                                error: CensusError::WorkerPanicked {
+                                    root: root.raw(),
+                                    message: "worker terminated without reporting".to_owned(),
+                                },
+                            },
+                        )
+                    })
+            })
+            .collect()
+    }
+
+    /// Runs one root down the ladder inside the panic-isolation boundary.
+    /// `holder` carries the worker's reusable scratch; it is discarded after
+    /// a panic (its invariants can no longer be trusted).
+    fn census_root(
+        &self,
+        root: NodeId,
+        holder: &mut Option<CensusScratch>,
+        cancel: Option<&CancelToken>,
+        chaos: Option<&dyn ChaosHook>,
+    ) -> RootResult {
+        for (attempt, engine) in self.engines.iter().enumerate() {
+            if cancel.is_some_and(CancelToken::is_cancelled) {
+                return (None, RootOutcome::Cancelled);
+            }
+            let budget = self.policy.attempt_budget();
+            // Ladder steps only shrink emax/dmax, never the alphabet or
+            // column layout, so one scratch fits every engine.
+            let scratch = holder.get_or_insert_with(|| self.engines[0].make_scratch());
+            let attempt_run = catch_unwind(AssertUnwindSafe(|| {
+                if let Some(error) = chaos.and_then(|hook| hook.inject(root, attempt)) {
+                    return Err(error);
+                }
+                engine.census_encodings_budgeted(root, scratch, &budget, cancel)
+            }));
+            match attempt_run {
+                Ok(Ok(census)) => {
+                    let outcome = if attempt == 0 {
+                        RootOutcome::Exact
+                    } else {
+                        RootOutcome::Degraded {
+                            dmax: engine.config().dmax,
+                            emax: engine.config().emax,
+                            attempts: attempt as u32 + 1,
+                        }
+                    };
+                    return (Some(census.counts), outcome);
+                }
+                Ok(Err(CensusError::BudgetExhausted { .. }))
+                    if attempt + 1 < self.engines.len() =>
+                {
+                    continue;
+                }
+                Ok(Err(CensusError::Cancelled { .. })) => {
+                    return (None, RootOutcome::Cancelled);
+                }
+                Ok(Err(error)) => return (None, RootOutcome::Failed { error }),
+                Err(payload) => {
+                    // The scratch may hold arbitrary partial state: drop it
+                    // so the next root starts from a fresh one.
+                    *holder = None;
+                    return (
+                        None,
+                        RootOutcome::Failed {
+                            error: CensusError::WorkerPanicked {
+                                root: root.raw(),
+                                message: panic_message(payload.as_ref()),
+                            },
+                        },
+                    );
+                }
+            }
+        }
+        unreachable!("the final ladder attempt always returns");
+    }
+
+    fn assemble(&self, roots: &[NodeId], results: Vec<RootResult>) -> PartialExtraction {
+        let mut censuses = Vec::with_capacity(results.len());
+        let mut outcomes = Vec::with_capacity(results.len());
+        for (counts, outcome) in results {
+            censuses.push(counts.unwrap_or_default());
+            outcomes.push(outcome);
+        }
+        PartialExtraction {
+            matrix: FeatureMatrix::from_censuses(roots.to_vec(), censuses),
+            outcomes,
+        }
+    }
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use hsgf_graph::{generators, LabelSet};
+
+    use super::*;
+
+    fn test_graph() -> HetGraph {
+        let labels = LabelSet::from_names(["a", "b", "c"]).unwrap();
+        generators::barabasi_albert(labels, &[1.0, 1.0, 1.0], 150, 3, 23).unwrap()
+    }
+
+    /// A row's counts keyed by encoding bytes, sorted — interning order
+    /// differs between runs that saw different encoding sets, so rows are
+    /// compared in this space-independent form. Census counts are integral.
+    fn row_census(p: &PartialExtraction, i: usize) -> Vec<(Vec<u8>, u64)> {
+        let mut row: Vec<(Vec<u8>, u64)> = p
+            .matrix
+            .row(i)
+            .iter()
+            .map(|&(f, v)| (p.matrix.space().key(f).as_bytes().to_vec(), v as u64))
+            .collect();
+        row.sort();
+        row
+    }
+
+    #[test]
+    fn unbounded_supervisor_matches_plain_extraction() {
+        let graph = test_graph();
+        let config = CensusConfig::default().with_emax(3);
+        let sup = Supervisor::new(&graph, config.clone(), ExtractionPolicy::default()).unwrap();
+        let roots: Vec<NodeId> = graph.nodes().step_by(9).collect();
+        let partial = sup.extract(&roots, 3);
+        assert!(partial.is_complete());
+        let engine = CensusEngine::new(&graph, config).unwrap();
+        let plain = crate::parallel::extract_feature_matrix(&engine, &roots, 1).unwrap();
+        assert_eq!(partial.matrix.row_count(), plain.row_count());
+        for i in 0..roots.len() {
+            let mut b: Vec<(Vec<u8>, u64)> = plain
+                .row(i)
+                .iter()
+                .map(|&(f, v)| (plain.space().key(f).as_bytes().to_vec(), v as u64))
+                .collect();
+            b.sort();
+            assert_eq!(row_census(&partial, i), b, "row {i} differs");
+        }
+    }
+
+    #[test]
+    fn ladder_is_deterministic_and_strictly_cheaper() {
+        let shape = |cfgs: &[CensusConfig]| -> Vec<(usize, Option<u32>)> {
+            cfgs.iter().map(|c| (c.emax, c.dmax)).collect()
+        };
+        let base = CensusConfig::default().with_emax(5);
+        let ladder = degrade_ladder(&base);
+        assert_eq!(shape(&ladder), shape(&degrade_ladder(&base)));
+        assert!(!ladder.is_empty());
+        let mut prev = (base.emax, base.dmax.unwrap_or(u32::MAX));
+        for step in &ladder {
+            let cur = (step.emax, step.dmax.unwrap_or(u32::MAX));
+            assert!(
+                cur < prev,
+                "ladder must strictly tighten: {prev:?} -> {cur:?}"
+            );
+            assert_eq!(step.hash_seed, base.hash_seed);
+            assert_eq!(step.mask_root_label, base.mask_root_label);
+            prev = cur;
+        }
+        // An already-tight base yields a short (possibly empty) ladder.
+        let tight = CensusConfig::default().with_emax(2).with_dmax(Some(3));
+        assert!(degrade_ladder(&tight).is_empty());
+    }
+
+    #[test]
+    fn over_budget_root_degrades_deterministically() {
+        let graph = test_graph();
+        // Find the busiest root so the budget reliably trips.
+        let engine = CensusEngine::new(&graph, CensusConfig::default().with_emax(4)).unwrap();
+        let mut scratch = engine.make_scratch();
+        let mut worst = (NodeId::new(0), 0u64);
+        for v in graph.nodes() {
+            let total: u64 = engine
+                .census_encodings(v, &mut scratch)
+                .unwrap()
+                .counts
+                .values()
+                .sum();
+            if total > worst.1 {
+                worst = (v, total);
+            }
+        }
+        let policy = ExtractionPolicy {
+            max_subgraphs: Some(worst.1 / 2),
+            degrade: true,
+            ..ExtractionPolicy::default()
+        };
+        let sup = Supervisor::new(&graph, CensusConfig::default().with_emax(4), policy).unwrap();
+        let a = sup.extract(&[worst.0], 1);
+        let b = sup.extract(&[worst.0], 4);
+        assert!(matches!(
+            a.outcomes[0],
+            RootOutcome::Degraded { .. } | RootOutcome::Failed { .. }
+        ));
+        assert_eq!(a.outcomes, b.outcomes, "outcomes depend on thread count");
+        assert_eq!(row_census(&a, 0), row_census(&b, 0));
+    }
+
+    #[test]
+    fn without_degrade_over_budget_root_fails() {
+        let graph = test_graph();
+        let policy = ExtractionPolicy {
+            max_subgraphs: Some(1),
+            degrade: false,
+            ..ExtractionPolicy::default()
+        };
+        let sup = Supervisor::new(&graph, CensusConfig::default().with_emax(4), policy).unwrap();
+        let roots: Vec<NodeId> = graph.nodes().take(4).collect();
+        let partial = sup.extract(&roots, 2);
+        let (_, _, failed, _) = partial.tally();
+        assert!(failed > 0);
+        for (_, outcome) in partial.anomalies() {
+            assert!(matches!(
+                outcome,
+                RootOutcome::Failed {
+                    error: CensusError::BudgetExhausted { .. }
+                }
+            ));
+        }
+    }
+
+    struct PanicOn(u32);
+    impl ChaosHook for PanicOn {
+        fn inject(&self, root: NodeId, _attempt: usize) -> Option<CensusError> {
+            if root.raw() == self.0 {
+                panic!("chaos: injected fault on root {}", self.0);
+            }
+            None
+        }
+    }
+
+    #[test]
+    fn injected_panic_is_isolated_and_other_rows_survive() {
+        let graph = test_graph();
+        let sup = Supervisor::new(
+            &graph,
+            CensusConfig::default().with_emax(3),
+            ExtractionPolicy::default(),
+        )
+        .unwrap();
+        let roots: Vec<NodeId> = graph.nodes().take(20).collect();
+        let chaos = PanicOn(roots[7].raw());
+        let faulted = sup.extract_with(&roots, 4, None, Some(&chaos));
+        let clean = sup.extract(&roots, 1);
+        let (exact, _, failed, _) = faulted.tally();
+        assert_eq!(failed, 1);
+        assert_eq!(exact, roots.len() - 1);
+        assert!(matches!(
+            &faulted.outcomes[7],
+            RootOutcome::Failed {
+                error: CensusError::WorkerPanicked { message, .. }
+            } if message.contains("chaos")
+        ));
+        for i in 0..roots.len() {
+            if i == 7 {
+                assert!(faulted.matrix.row(i).is_empty());
+            } else {
+                assert_eq!(row_census(&faulted, i), row_census(&clean, i));
+            }
+        }
+        // The exact-only matrix drops exactly the faulted row.
+        assert_eq!(faulted.exact_matrix().row_count(), roots.len() - 1);
+    }
+
+    #[test]
+    fn cancellation_keeps_finished_work() {
+        let graph = test_graph();
+        let sup = Supervisor::new(
+            &graph,
+            CensusConfig::default().with_emax(3),
+            ExtractionPolicy::default(),
+        )
+        .unwrap();
+        let roots: Vec<NodeId> = graph.nodes().collect();
+        struct CancelAfter<'a>(&'a CancelToken, u32);
+        impl ChaosHook for CancelAfter<'_> {
+            fn inject(&self, root: NodeId, _attempt: usize) -> Option<CensusError> {
+                if root.raw() >= self.1 {
+                    self.0.cancel();
+                }
+                None
+            }
+        }
+        let token = CancelToken::new();
+        let chaos = CancelAfter(&token, roots[roots.len() / 2].raw());
+        let partial = sup.extract_with(&roots, 1, Some(&token), Some(&chaos));
+        let (exact, _, failed, cancelled) = partial.tally();
+        assert_eq!(failed, 0);
+        assert!(exact > 0, "work finished before the cancel must survive");
+        assert!(cancelled > 0, "roots after the cancel must be marked");
+        assert_eq!(exact + cancelled, roots.len());
+    }
+}

@@ -120,7 +120,14 @@ impl LoadData {
             })
             .collect();
         let mut sentence: Vec<u32> = Vec::with_capacity(8);
-        for _ in 0..config.sentences {
+        // With no topics there is nothing to sample sentences from: degrade
+        // to a node-only graph instead of panicking on an empty range.
+        let sentences = if topics.is_empty() {
+            0
+        } else {
+            config.sentences
+        };
+        for _ in 0..sentences {
             let topic = &topics[rng.gen_range(0..topics.len())];
             let dist = WeightedIndex::new(topic.label_weights).expect("positive weights");
             let mentions = rng.gen_range(2usize..=7);
@@ -230,6 +237,52 @@ mod tests {
         let ea: Vec<_> = a.graph.edges().collect();
         let eb: Vec<_> = b.graph.edges().collect();
         assert_eq!(ea, eb);
+    }
+
+    #[test]
+    fn degenerate_configs_never_panic() {
+        // Every pathological knob setting must degrade gracefully: the
+        // generator's contract is a (possibly empty) graph, never a panic.
+        let base = LoadConfig::at_scale(Scale::Tiny);
+
+        // No sentences: nodes only.
+        let no_sentences = LoadData::generate(&LoadConfig {
+            sentences: 0,
+            ..base.clone()
+        });
+        assert_eq!(no_sentences.graph.node_count(), 200);
+        assert_eq!(no_sentences.graph.edge_count(), 0);
+
+        // No topics: nothing to sample sentences from.
+        let no_topics = LoadData::generate(&LoadConfig {
+            topics: 0,
+            ..base.clone()
+        });
+        assert_eq!(no_topics.graph.edge_count(), 0);
+
+        // One label empty: its mentions are skipped, the rest connect.
+        let no_dates = LoadData::generate(&LoadConfig {
+            entities: [60, 40, 80, 0],
+            ..base.clone()
+        });
+        assert_eq!(no_dates.graph.node_count(), 180);
+        assert!(no_dates.graph.edge_count() > 0);
+
+        // All labels empty: a completely empty graph.
+        let empty = LoadData::generate(&LoadConfig {
+            entities: [0, 0, 0, 0],
+            ..base.clone()
+        });
+        assert_eq!(empty.graph.node_count(), 0);
+        assert_eq!(empty.graph.edge_count(), 0);
+
+        // Single entity per label: cliques collapse to at most a K4.
+        let singletons = LoadData::generate(&LoadConfig {
+            entities: [1, 1, 1, 1],
+            ..base
+        });
+        assert_eq!(singletons.graph.node_count(), 4);
+        assert!(singletons.graph.edge_count() <= 6);
     }
 
     #[test]

@@ -74,7 +74,7 @@ pub fn read_graph<R: BufRead>(input: R) -> crate::Result<HetGraph> {
         let keyword = parts.next().expect("non-empty line has a first token");
         match keyword {
             "labels" => {
-                let labels = LabelSet::from_names(parts)?;
+                let labels = LabelSet::from_names(parts).map_err(|e| at_line(lineno, e))?;
                 builder = Some(GraphBuilder::new(labels));
             }
             "node" => {
@@ -83,7 +83,8 @@ pub fn read_graph<R: BufRead>(input: R) -> crate::Result<HetGraph> {
                     message: "node before labels".to_owned(),
                 })?;
                 let idx: u8 = parse_field(parts.next(), lineno, "label index")?;
-                b.add_node_with(Label::new(idx))?;
+                b.add_node_with(Label::new(idx))
+                    .map_err(|e| at_line(lineno, e))?;
             }
             "edge" | "arc" => {
                 let b = builder.as_mut().ok_or_else(|| GraphError::Parse {
@@ -99,11 +100,12 @@ pub fn read_graph<R: BufRead>(input: R) -> crate::Result<HetGraph> {
                     })?,
                     None => 0,
                 };
-                if keyword == "arc" {
-                    b.add_arc_typed(NodeId::new(u), NodeId::new(v), ty)?;
+                let added = if keyword == "arc" {
+                    b.add_arc_typed(NodeId::new(u), NodeId::new(v), ty)
                 } else {
-                    b.add_edge_typed(NodeId::new(u), NodeId::new(v), ty)?;
-                }
+                    b.add_edge_typed(NodeId::new(u), NodeId::new(v), ty)
+                };
+                added.map_err(|e| at_line(lineno, e))?;
             }
             other => {
                 return Err(GraphError::Parse {
@@ -117,6 +119,16 @@ pub fn read_graph<R: BufRead>(input: R) -> crate::Result<HetGraph> {
         line: 0,
         message: "empty input".to_owned(),
     })
+}
+
+/// Wraps a builder/label-set error with the input line that triggered it, so
+/// a garbage label index or out-of-range node id is reported as a parse
+/// error at its source line instead of a context-free structural error.
+fn at_line(line: usize, error: GraphError) -> GraphError {
+    GraphError::Parse {
+        line,
+        message: error.to_string(),
+    }
 }
 
 fn parse_field<T: std::str::FromStr>(
@@ -256,5 +268,71 @@ mod tests {
     #[test]
     fn rejects_empty_input() {
         assert!(from_str("# nothing\n").is_err());
+    }
+
+    #[test]
+    fn truncated_lines_error_with_position() {
+        // Cut off mid-declaration at every level of the format.
+        for (text, bad_line) in [
+            ("labels x\nnode\n", 2),           // node without label index
+            ("labels x\nnode 0\nedge 0\n", 3), // edge missing target
+            ("labels x\nnode 0\narc\n", 3),    // arc missing both endpoints
+        ] {
+            match from_str(text) {
+                Err(GraphError::Parse { line, .. }) => assert_eq!(line, bad_line, "{text:?}"),
+                other => panic!("{text:?}: expected parse error, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn garbage_label_index_is_a_line_anchored_error() {
+        // Label index 7 with a 2-label alphabet: out of range, reported at
+        // the offending line, never a panic.
+        match from_str("labels x y\nnode 7\n") {
+            Err(GraphError::Parse { line, message }) => {
+                assert_eq!(line, 2);
+                assert!(message.contains("label"), "message: {message}");
+            }
+            other => panic!("expected parse error, got {other:?}"),
+        }
+        // Non-numeric label index.
+        assert!(matches!(
+            from_str("labels x\nnode banana\n"),
+            Err(GraphError::Parse { line: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn out_of_range_node_ids_are_line_anchored_errors() {
+        // Edge endpoint 5 with only 2 nodes declared.
+        match from_str("labels x\nnode 0\nnode 0\nedge 0 5\n") {
+            Err(GraphError::Parse { line, message }) => {
+                assert_eq!(line, 4);
+                assert!(message.contains('5'), "message: {message}");
+            }
+            other => panic!("expected parse error, got {other:?}"),
+        }
+        // Same for arcs, and for a numeric id too large for u32.
+        assert!(matches!(
+            from_str("labels x\nnode 0\narc 9 0\n"),
+            Err(GraphError::Parse { line: 3, .. })
+        ));
+        assert!(matches!(
+            from_str("labels x\nnode 0\nnode 0\nedge 0 99999999999999999999\n"),
+            Err(GraphError::Parse { line: 4, .. })
+        ));
+    }
+
+    #[test]
+    fn self_loops_and_bad_edge_types_are_rejected() {
+        assert!(matches!(
+            from_str("labels x\nnode 0\nedge 0 0\n"),
+            Err(GraphError::Parse { line: 3, .. })
+        ));
+        assert!(matches!(
+            from_str("labels x\nnode 0\nnode 0\nedge 0 1 fast\n"),
+            Err(GraphError::Parse { line: 4, .. })
+        ));
     }
 }

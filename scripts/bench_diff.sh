@@ -1,0 +1,122 @@
+#!/usr/bin/env bash
+# Cross-commit benchmark regression diff.
+#
+# Compares the wall-clock bench results in target/hsgf-bench/*.json between
+# two states:
+#
+#   bench_diff.sh baseline            snapshot current results as baseline
+#   bench_diff.sh                     diff current results against baseline
+#   bench_diff.sh REF                 bench REF and HEAD, then diff
+#
+# The one-line-per-benchmark JSON emitted by hsgf-bench's runner is parsed
+# with awk (the workspace is hermetic: no jq). Regressions beyond the
+# threshold are listed and exit nonzero so CI can gate on them.
+#
+# Environment:
+#   HSGF_BENCH_DIR        results dir    (default target/hsgf-bench)
+#   HSGF_BENCH_BASELINE   baseline dir   (default target/hsgf-bench-baseline)
+#   HSGF_BENCH_THRESHOLD  % slowdown that counts as a regression (default 10)
+#   HSGF_BENCH_FAST       forwarded to cargo bench when a REF is given
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BENCH_DIR="${HSGF_BENCH_DIR:-target/hsgf-bench}"
+BASELINE_DIR="${HSGF_BENCH_BASELINE:-target/hsgf-bench-baseline}"
+THRESHOLD="${HSGF_BENCH_THRESHOLD:-10}"
+
+snapshot_baseline() {
+    if [ ! -d "$BENCH_DIR" ] || ! ls "$BENCH_DIR"/*.json >/dev/null 2>&1; then
+        echo "no results in $BENCH_DIR; run 'cargo bench --offline -p hsgf-bench' first" >&2
+        exit 1
+    fi
+    rm -rf "$BASELINE_DIR"
+    mkdir -p "$BASELINE_DIR"
+    cp "$BENCH_DIR"/*.json "$BASELINE_DIR"/
+    echo "baseline: $(ls "$BASELINE_DIR" | wc -l | tr -d ' ') suites snapshotted to $BASELINE_DIR"
+}
+
+run_benches() {
+    echo "==> cargo bench --offline -p hsgf-bench"
+    cargo bench --offline -p hsgf-bench >/dev/null
+}
+
+# Prints "name median_ns" pairs from one suite JSON.
+extract() {
+    awk -F'"' '
+        /"name":/ {
+            name = $4
+            if (match($0, /"median_ns": *[0-9.]+/)) {
+                v = substr($0, RSTART, RLENGTH)
+                sub(/"median_ns": */, "", v)
+                print name, v
+            }
+        }' "$1"
+}
+
+diff_results() {
+    if ! ls "$BASELINE_DIR"/*.json >/dev/null 2>&1; then
+        echo "no baseline in $BASELINE_DIR; run '$0 baseline' on the reference commit first" >&2
+        exit 1
+    fi
+    if ! ls "$BENCH_DIR"/*.json >/dev/null 2>&1; then
+        echo "no current results in $BENCH_DIR; run 'cargo bench --offline -p hsgf-bench'" >&2
+        exit 1
+    fi
+    tmp_base="$(mktemp)"
+    tmp_cur="$(mktemp)"
+    trap 'rm -f "${tmp_base:-}" "${tmp_cur:-}"' EXIT
+    for f in "$BASELINE_DIR"/*.json; do extract "$f"; done | sort > "$tmp_base"
+    for f in "$BENCH_DIR"/*.json; do extract "$f"; done | sort > "$tmp_cur"
+
+    local status=0
+    join "$tmp_base" "$tmp_cur" | awk -v threshold="$THRESHOLD" '
+        {
+            name = $1; base = $2; cur = $3
+            delta = (cur - base) / base * 100.0
+            marker = "  "
+            if (delta >= threshold)  { marker = "▲▲"; regressions++ }
+            else if (delta <= -threshold) { marker = "▼▼" }
+            printf "%s %-44s %12.1f ns -> %12.1f ns  %+7.1f%%\n", marker, name, base, cur, delta
+        }
+        END {
+            if (regressions > 0) {
+                printf "\n%d benchmark(s) regressed beyond %s%%\n", regressions, threshold
+                exit 1
+            }
+            print "\nno regressions beyond " threshold "%"
+        }' || status=$?
+    # Benchmarks present on only one side are informational, never a gate.
+    comm -13 <(cut -d' ' -f1 "$tmp_base") <(cut -d' ' -f1 "$tmp_cur") \
+        | sed 's/^/new benchmark: /'
+    comm -23 <(cut -d' ' -f1 "$tmp_base") <(cut -d' ' -f1 "$tmp_cur") \
+        | sed 's/^/removed benchmark: /'
+    return $status
+}
+
+case "${1:-diff}" in
+    baseline)
+        snapshot_baseline
+        ;;
+    diff)
+        diff_results
+        ;;
+    *)
+        # A git ref: bench it, snapshot, return to HEAD, bench again, diff.
+        REF="$1"
+        CURRENT="$(git rev-parse --abbrev-ref HEAD)"
+        [ "$CURRENT" = "HEAD" ] && CURRENT="$(git rev-parse HEAD)"
+        if ! git diff --quiet || ! git diff --cached --quiet; then
+            echo "working tree dirty; commit or stash before cross-commit diffing" >&2
+            exit 1
+        fi
+        echo "==> benching baseline at $REF"
+        git checkout -q "$REF"
+        run_benches
+        snapshot_baseline
+        echo "==> returning to $CURRENT"
+        git checkout -q "$CURRENT"
+        run_benches
+        diff_results
+        ;;
+esac

@@ -18,6 +18,9 @@ cargo build --release --offline --workspace
 echo "==> cargo test -q --offline"
 cargo test -q --offline --workspace
 
+echo "==> chaos tests (fault-injected extraction must lose no finished work)"
+cargo test -q --offline -p hsgf --test robustness
+
 echo "==> bench smoke (HSGF_BENCH_FAST=1)"
 HSGF_BENCH_FAST=1 cargo bench --offline -p hsgf-bench --bench encoding -- >/dev/null
 

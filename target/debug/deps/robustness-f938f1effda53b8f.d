@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/robustness-f938f1effda53b8f.d: crates/hsgf/../../tests/robustness.rs
+
+/root/repo/target/debug/deps/robustness-f938f1effda53b8f: crates/hsgf/../../tests/robustness.rs
+
+crates/hsgf/../../tests/robustness.rs:

@@ -1,0 +1,229 @@
+//! Fault-injection ("chaos") tests for the budgeted, fault-tolerant
+//! extraction supervisor — the acceptance criteria of the robustness work:
+//!
+//! * with an injected panicking root and an injected over-budget root among
+//!   100 roots, extraction completes, every healthy root's census is
+//!   byte-identical to an unfaulted run, and the two anomalies are reported
+//!   in the per-root outcomes;
+//! * the degradation ladder's output is deterministic across runs and
+//!   thread counts;
+//! * no finished work is ever lost to a fault.
+
+use hsgf::core::census::CensusError;
+use hsgf::core::supervisor::{
+    ChaosHook, ExtractionPolicy, PartialExtraction, RootOutcome, Supervisor,
+};
+use hsgf::core::CensusConfig;
+use hsgf::data::{ImdbConfig, ImdbData, Scale};
+use hsgf::graph::{HetGraph, NodeId};
+
+fn chaos_graph() -> HetGraph {
+    ImdbData::generate(&ImdbConfig::at_scale(Scale::Tiny)).graph
+}
+
+fn hundred_roots(graph: &HetGraph) -> Vec<NodeId> {
+    let roots: Vec<NodeId> = graph.nodes().take(100).collect();
+    assert_eq!(roots.len(), 100, "test graph must have at least 100 nodes");
+    roots
+}
+
+/// A row's census keyed by encoding bytes, independent of feature-interning
+/// order (which legitimately differs between runs that saw different
+/// encoding sets).
+fn row_census(p: &PartialExtraction, i: usize) -> Vec<(Vec<u8>, u64)> {
+    let mut row: Vec<(Vec<u8>, u64)> = p
+        .matrix
+        .row(i)
+        .iter()
+        .map(|&(f, v)| (p.matrix.space().key(f).as_bytes().to_vec(), v as u64))
+        .collect();
+    row.sort();
+    row
+}
+
+/// Injects a panic on one root and a synthetic budget exhaustion on another
+/// (first attempt only, so the degradation ladder can rescue it).
+struct TwoFaults {
+    panic_root: u32,
+    budget_root: u32,
+}
+
+impl ChaosHook for TwoFaults {
+    fn inject(&self, root: NodeId, attempt: usize) -> Option<CensusError> {
+        if root.raw() == self.panic_root {
+            panic!("chaos: root {} crashes", self.panic_root);
+        }
+        if root.raw() == self.budget_root && attempt == 0 {
+            return Some(CensusError::BudgetExhausted {
+                root: root.raw(),
+                kind: hsgf::core::BudgetKind::Subgraphs,
+            });
+        }
+        None
+    }
+}
+
+#[test]
+fn two_faults_among_100_roots_lose_nothing() {
+    let graph = chaos_graph();
+    let roots = hundred_roots(&graph);
+    let config = CensusConfig::default().with_emax(3);
+    let policy = ExtractionPolicy {
+        degrade: true,
+        ..ExtractionPolicy::default()
+    };
+    let supervisor = Supervisor::new(&graph, config, policy).unwrap();
+
+    let chaos = TwoFaults {
+        panic_root: roots[13].raw(),
+        budget_root: roots[77].raw(),
+    };
+    let faulted = supervisor.extract_with(&roots, 4, None, Some(&chaos));
+    let clean = supervisor.extract(&roots, 1);
+
+    // The run completed and reports exactly the two anomalies.
+    let (exact, degraded, failed, cancelled) = faulted.tally();
+    assert_eq!(exact, 98, "outcomes: {:?}", faulted.tally());
+    assert_eq!(degraded, 1);
+    assert_eq!(failed, 1);
+    assert_eq!(cancelled, 0);
+    assert!(matches!(
+        &faulted.outcomes[13],
+        RootOutcome::Failed {
+            error: CensusError::WorkerPanicked { message, .. }
+        } if message.contains("chaos")
+    ));
+    assert!(matches!(
+        &faulted.outcomes[77],
+        RootOutcome::Degraded { attempts, .. } if *attempts >= 2
+    ));
+
+    // Every healthy root's census is byte-identical to the unfaulted run.
+    assert!(clean.is_complete());
+    for i in 0..roots.len() {
+        if i == 13 {
+            assert!(faulted.matrix.row(i).is_empty(), "failed row must be empty");
+        } else if i != 77 {
+            assert_eq!(
+                row_census(&faulted, i),
+                row_census(&clean, i),
+                "root {} drifted under chaos",
+                roots[i].raw()
+            );
+        }
+    }
+
+    // The anomaly report names exactly the two faulted roots.
+    let anomalous: Vec<u32> = faulted.anomalies().map(|(r, _)| r.raw()).collect();
+    assert_eq!(anomalous, vec![chaos.panic_root, chaos.budget_root]);
+
+    // The exact-only matrix drops exactly the two anomalous rows.
+    assert_eq!(faulted.exact_matrix().row_count(), 98);
+}
+
+#[test]
+fn degradation_ladder_is_deterministic_across_runs_and_threads() {
+    let graph = chaos_graph();
+    let roots = hundred_roots(&graph);
+    let config = CensusConfig::default().with_emax(3);
+    // A deterministic budget (subgraph cap) tight enough to force real
+    // degradation on busy roots, loose enough that many stay exact.
+    let policy = ExtractionPolicy {
+        max_subgraphs: Some(2_000),
+        degrade: true,
+        ..ExtractionPolicy::default()
+    };
+    let supervisor = Supervisor::new(&graph, config, policy).unwrap();
+
+    let reference = supervisor.extract(&roots, 1);
+    let (exact, degraded, failed, _) = reference.tally();
+    assert!(
+        degraded + failed > 0,
+        "budget never tripped — tighten the cap (exact={exact})"
+    );
+    assert!(exact > 0, "budget too tight — every root degraded");
+
+    for threads in [1, 2, 4] {
+        for rerun in 0..2 {
+            let run = supervisor.extract(&roots, threads);
+            assert_eq!(
+                run.outcomes, reference.outcomes,
+                "outcomes drifted (threads={threads}, rerun={rerun})"
+            );
+            for i in 0..roots.len() {
+                assert_eq!(
+                    row_census(&run, i),
+                    row_census(&reference, i),
+                    "row {i} drifted (threads={threads}, rerun={rerun})"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn cancellation_preserves_finished_work() {
+    let graph = chaos_graph();
+    let roots = hundred_roots(&graph);
+    let supervisor = Supervisor::new(
+        &graph,
+        CensusConfig::default().with_emax(3),
+        ExtractionPolicy::default(),
+    )
+    .unwrap();
+
+    // Cancel once the second half of the root list is reached (sequential
+    // scheduling makes the cut deterministic).
+    struct CancelAt<'a> {
+        token: &'a hsgf::core::CancelToken,
+        after: u32,
+    }
+    impl ChaosHook for CancelAt<'_> {
+        fn inject(&self, root: NodeId, _attempt: usize) -> Option<CensusError> {
+            if root.raw() >= self.after {
+                self.token.cancel();
+            }
+            None
+        }
+    }
+    let token = hsgf::core::CancelToken::new();
+    let chaos = CancelAt {
+        token: &token,
+        after: roots[50].raw(),
+    };
+    let partial = supervisor.extract_with(&roots, 1, Some(&token), Some(&chaos));
+    let (exact, degraded, failed, cancelled) = partial.tally();
+    assert_eq!(degraded + failed, 0);
+    assert_eq!(exact + cancelled, 100);
+    assert!(exact >= 50, "pre-cancel work lost: only {exact} exact");
+    assert!(cancelled > 0, "cancellation never observed");
+
+    // Finished rows match an uncancelled run byte for byte.
+    let clean = supervisor.extract(&roots, 1);
+    for (i, outcome) in partial.outcomes.iter().enumerate() {
+        if *outcome == RootOutcome::Exact {
+            assert_eq!(row_census(&partial, i), row_census(&clean, i));
+        } else {
+            assert!(partial.matrix.row(i).is_empty());
+        }
+    }
+}
+
+#[test]
+fn plain_parallel_extraction_contains_panics() {
+    // The non-supervised helpers must also never poison or panic the
+    // caller: an invalid root among valid ones surfaces as Err, and the
+    // call can be repeated safely.
+    let graph = chaos_graph();
+    let engine =
+        hsgf::core::CensusEngine::new(&graph, CensusConfig::default().with_emax(2)).unwrap();
+    let mut roots: Vec<NodeId> = graph.nodes().take(20).collect();
+    roots.push(NodeId::new(u32::MAX));
+    for _ in 0..2 {
+        let result = hsgf::core::parallel::extract_censuses(&engine, &roots, 4);
+        assert!(result.is_err());
+    }
+    roots.pop();
+    let ok = hsgf::core::parallel::extract_censuses(&engine, &roots, 4).unwrap();
+    assert_eq!(ok.len(), 20);
+}
