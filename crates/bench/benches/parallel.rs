@@ -3,10 +3,49 @@
 
 use hsgf_bench::runner::Runner;
 use hsgf_core::census::{CensusConfig, CensusEngine};
-use hsgf_core::parallel::extract_hash_censuses;
+use hsgf_core::parallel::{
+    extract_hash_censuses, extract_hash_censuses_stats, extract_hash_censuses_with,
+};
+use hsgf_core::steal::SchedulerKind;
 use hsgf_core::supervisor::{ExtractionPolicy, Supervisor};
 use hsgf_data::{LoadConfig, LoadData, Scale};
-use hsgf_graph::{DegreeStats, NodeId};
+use hsgf_graph::{DegreeStats, GraphBuilder, HetGraph, Label, NodeId};
+
+/// A hub-skewed graph: a few very wide hubs whose rooted censuses dwarf the
+/// rest, plus mixed-label spokes with a ring so subtrees are non-trivial.
+/// The worst case for static per-root scheduling — one worker inherits a
+/// hub and the others idle — and the motivating case for work stealing.
+fn hub_skewed_graph(hubs: usize, spokes_per_hub: usize) -> HetGraph {
+    let mut b = GraphBuilder::with_label_names(["hub", "x", "y", "z"]).expect("labels");
+    let mut all_spokes = Vec::new();
+    for _ in 0..hubs {
+        let hub = b.add_node_with(Label::new(0)).expect("node");
+        let spokes: Vec<NodeId> = (0..spokes_per_hub)
+            .map(|i| {
+                b.add_node_with(Label::new(1 + (i % 3) as u8))
+                    .expect("node")
+            })
+            .collect();
+        for &s in &spokes {
+            b.add_edge(hub, s).expect("edge");
+        }
+        for w in spokes.windows(2) {
+            b.add_edge(w[0], w[1]).expect("edge");
+        }
+        all_spokes.extend(spokes);
+    }
+    // A sparse tail of leaf pairs so most roots are cheap.
+    for i in 0..(hubs * spokes_per_hub) {
+        let a = b
+            .add_node_with(Label::new(1 + (i % 3) as u8))
+            .expect("node");
+        let c = b
+            .add_node_with(Label::new(1 + ((i + 1) % 3) as u8))
+            .expect("node");
+        b.add_edge(a, c).expect("edge");
+    }
+    b.build()
+}
 
 fn main() {
     let mut runner = Runner::new("parallel");
@@ -46,5 +85,138 @@ fn main() {
         });
     }
     group.finish();
+    // Scheduler comparison (cursor vs. work stealing) at full parallelism,
+    // on a balanced graph (stealing should roughly tie) and a hub-skewed
+    // one (stealing should win by splitting the hubs into shards). On a
+    // single-core host both schedulers serialise onto the one CPU and tie;
+    // set HSGF_BENCH_THREADS to the worker count to model instead.
+    let bench_threads = std::env::var("HSGF_BENCH_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(max_threads);
+    let mut group = runner.group("parallel/stealing");
+    for scheduler in [SchedulerKind::Cursor, SchedulerKind::Stealing] {
+        group.bench_function(format!("balanced/{scheduler}"), || {
+            extract_hash_censuses_with(&engine, &roots, bench_threads, scheduler)
+                .expect("valid roots")
+        });
+    }
+    let skewed = hub_skewed_graph(1, 256);
+    let skew_config = CensusConfig::default().with_emax(3);
+    let skew_engine = CensusEngine::new(&skewed, skew_config).expect("valid");
+    let skew_roots: Vec<NodeId> = skewed.nodes().collect();
+    for scheduler in [SchedulerKind::Cursor, SchedulerKind::Stealing] {
+        group.bench_function(format!("hub-skewed/{scheduler}"), || {
+            extract_hash_censuses_with(&skew_engine, &skew_roots, bench_threads, scheduler)
+                .expect("valid roots")
+        });
+    }
+    group.finish();
+
+    // Makespan model: the wall clock a multi-core host would see is the
+    // busiest worker's serial task list. Build each scheduler's assignment
+    // for MODEL_WORKERS workers from real measured per-task times (greedy
+    // earliest-free-worker, the behaviour of both dynamic schedulers), then
+    // *execute* the critical worker's tasks serially inside the benched
+    // closure. Cursor's unit of work is a whole root, so its makespan is
+    // floored by the hub root; stealing splits wide roots into shards and
+    // spreads them. This measures scheduling quality independently of how
+    // many physical cores the bench host has.
+    const MODEL_WORKERS: usize = 8;
+    const SPLIT_WIDTH: usize = 48; // keep in sync with hsgf_core::parallel
+    let mut scratch = skew_engine.make_scratch();
+    let time_of = |f: &mut dyn FnMut()| {
+        let start = std::time::Instant::now();
+        f();
+        start.elapsed().as_secs_f64()
+    };
+    // Task set per scheduler: (cost, execute-closure-input) where a task is
+    // either a whole root or one shard of a wide root.
+    #[derive(Clone, Copy)]
+    enum Task {
+        Root(NodeId),
+        Shard(NodeId, usize, usize),
+    }
+    let run_task = |engine: &CensusEngine, scratch: &mut hsgf_core::CensusScratch, t: Task| match t
+    {
+        Task::Root(r) => {
+            engine.census_hashes(r, scratch).expect("valid root");
+        }
+        Task::Shard(r, lo, hi) => {
+            engine
+                .census_hashes_shard(
+                    r,
+                    scratch,
+                    (lo, hi),
+                    &hsgf_core::CensusBudget::unlimited(),
+                    None,
+                    None,
+                )
+                .expect("valid shard");
+        }
+    };
+    let mut cursor_tasks: Vec<(f64, Task)> = Vec::new();
+    let mut stealing_tasks: Vec<(f64, Task)> = Vec::new();
+    for &root in &skew_roots {
+        let t = Task::Root(root);
+        let cost = time_of(&mut || run_task(&skew_engine, &mut scratch, t));
+        cursor_tasks.push((cost, t));
+        let width = skew_engine.root_width(root);
+        if width >= SPLIT_WIDTH {
+            let parts = (MODEL_WORKERS * 2).min(width);
+            let chunk = width.div_ceil(parts);
+            for k in 0..parts {
+                let lo = k * chunk;
+                let hi = if k + 1 == parts {
+                    usize::MAX
+                } else {
+                    lo + chunk
+                };
+                let t = Task::Shard(root, lo, hi);
+                let cost = time_of(&mut || run_task(&skew_engine, &mut scratch, t));
+                stealing_tasks.push((cost, t));
+            }
+        } else {
+            stealing_tasks.push((cost, t));
+        }
+    }
+    // Greedy earliest-free-worker assignment, heaviest tasks first (the
+    // steal pool seeds hub roots first for the same reason); returns the
+    // busiest worker's tasks.
+    let critical_worker = |tasks: &[(f64, Task)]| -> Vec<Task> {
+        let mut order: Vec<usize> = (0..tasks.len()).collect();
+        order.sort_by(|&a, &b| tasks[b].0.total_cmp(&tasks[a].0));
+        let mut load = [0.0f64; MODEL_WORKERS];
+        let mut assigned: Vec<Vec<Task>> = vec![Vec::new(); MODEL_WORKERS];
+        for i in order {
+            let w = (0..MODEL_WORKERS)
+                .min_by(|&a, &b| load[a].total_cmp(&load[b]))
+                .expect("nonempty");
+            load[w] += tasks[i].0;
+            assigned[w].push(tasks[i].1);
+        }
+        let w = (0..MODEL_WORKERS)
+            .max_by(|&a, &b| load[a].total_cmp(&load[b]))
+            .expect("nonempty");
+        assigned[w].clone()
+    };
+    let cursor_critical = critical_worker(&cursor_tasks);
+    let stealing_critical = critical_worker(&stealing_tasks);
+    let mut group = runner.group("parallel/stealing/makespan8");
+    group.bench_function("cursor", || {
+        for &t in &cursor_critical {
+            run_task(&skew_engine, &mut scratch, t);
+        }
+    });
+    group.bench_function("stealing", || {
+        for &t in &stealing_critical {
+            run_task(&skew_engine, &mut scratch, t);
+        }
+    });
+    group.finish();
+    let counter_threads = bench_threads.max(MODEL_WORKERS);
+    let (_, stats) = extract_hash_censuses_stats(&skew_engine, &skew_roots, counter_threads)
+        .expect("valid roots");
+    eprintln!("stealing counters (hub-skewed, {counter_threads} workers): {stats}");
     runner.finish();
 }

@@ -24,8 +24,9 @@ use std::io::Write;
 use hsgf_core::census::{CensusConfig, CensusEngine};
 use hsgf_core::export;
 use hsgf_core::features::FeatureMatrix;
-use hsgf_core::parallel::extract_censuses;
+use hsgf_core::parallel::extract_censuses_with;
 use hsgf_core::sampling;
+use hsgf_core::steal::SchedulerKind;
 use hsgf_core::supervisor::{ExtractionPolicy, PartialExtraction, RootOutcome, Supervisor};
 use hsgf_data::{
     FlowConfig, FlowData, ImdbConfig, ImdbData, LoadConfig, LoadData, MagConfig, MagData, Scale,
@@ -174,15 +175,21 @@ hsgf — heterogeneous subgraph features for information networks
 
 USAGE:
   hsgf generate <load|imdb|mag|flow> [--scale tiny|small|paper] [--out FILE]
-  hsgf info <GRAPH>
+  hsgf info <GRAPH> [--json]
   hsgf extract <GRAPH> [--emax N] [--dmax-pct P] [--mask] [--directed]
                [--roots all|sample:K] [--min-df N] [--threads T]
+               [--scheduler cursor|stealing]
                [--budget-subgraphs N] [--budget-frontier N] [--deadline-ms MS]
                [--degrade] [--out FILE] [--vocab FILE]
   hsgf help
 
 GRAPH files use the hsgf-graph v1 text format (see `hsgf generate`).
-`extract` writes one dense CSV row of subgraph-feature counts per root.
+`extract` writes one dense CSV row of subgraph-feature counts per root;
+an --out path ending in .json writes the matrix as JSON instead. The
+--scheduler flag picks how roots are spread over threads: `cursor` (the
+default) hands out whole roots from a shared cursor, `stealing` uses
+per-worker deques with work stealing and splits wide hub roots into
+shards — the output is bit-for-bit identical either way.
 
 Budgets bound each root's census: --budget-subgraphs caps discovered
 subgraphs (deterministic), --budget-frontier caps scratch growth,
@@ -286,6 +293,8 @@ pub struct ExtractParams {
     pub min_df: u32,
     /// Worker threads.
     pub threads: usize,
+    /// How roots are distributed over worker threads.
+    pub scheduler: SchedulerKind,
     /// Per-root resource policy. An unbounded policy with `degrade` off
     /// takes the plain (non-supervised) extraction path.
     pub policy: ExtractionPolicy,
@@ -323,10 +332,10 @@ pub fn extract(graph: &HetGraph, params: &ExtractParams) -> Result<PartialExtrac
     let roots = params.select_roots(graph);
     let mut partial = if params.policy.is_bounded() || params.policy.degrade {
         let supervisor = Supervisor::new(graph, config, params.policy.clone())?;
-        supervisor.extract(&roots, params.threads)
+        supervisor.extract_scheduled(&roots, params.threads, params.scheduler)
     } else {
         let engine = CensusEngine::new(graph, config)?;
-        let censuses = extract_censuses(&engine, &roots, params.threads)?;
+        let censuses = extract_censuses_with(&engine, &roots, params.threads, params.scheduler)?;
         let outcomes = vec![RootOutcome::Exact; roots.len()];
         PartialExtraction {
             matrix: FeatureMatrix::from_censuses(roots, censuses),
@@ -400,6 +409,7 @@ fn extract_params(options: &Options) -> Result<ExtractParams, CliError> {
                 .map(|n| n.get())
                 .unwrap_or(4),
         )?,
+        scheduler: options.get_or("scheduler", SchedulerKind::Cursor)?,
         policy,
     })
 }
@@ -438,7 +448,11 @@ pub fn run<W: Write>(options: &Options, mut out: W) -> Result<i32, CliError> {
                 .ok_or_else(|| CliError::Usage("info needs a graph file".into()))?;
             let text = std::fs::read_to_string(path)?;
             let graph = hsgf_graph::io::from_str(&text)?;
-            info(&graph, out)?;
+            if options.flag("json") {
+                writeln!(out, "{}", export::graph_summary_to_json(&graph))?;
+            } else {
+                info(&graph, out)?;
+            }
             Ok(0)
         }
         "extract" => {
@@ -461,7 +475,11 @@ pub fn run<W: Write>(options: &Options, mut out: W) -> Result<i32, CliError> {
             match options.get_opt("out") {
                 Some(path) => {
                     let mut f = std::fs::File::create(path)?;
-                    export::write_csv(&partial.matrix, graph.labels(), &mut f)?;
+                    if path.ends_with(".json") {
+                        export::write_json(&partial.matrix, graph.labels(), &mut f)?;
+                    } else {
+                        export::write_csv(&partial.matrix, graph.labels(), &mut f)?;
+                    }
                     if summarize {
                         // The CSV went to a file, so the summary can share
                         // the main output stream.
@@ -503,6 +521,7 @@ mod tests {
             roots,
             min_df: 1,
             threads,
+            scheduler: SchedulerKind::Cursor,
             policy: ExtractionPolicy::default(),
         }
     }
@@ -700,6 +719,100 @@ mod tests {
         let csv = std::fs::read_to_string(&csv_path).unwrap();
         assert!(csv.starts_with("node,"));
         assert!(csv.lines().count() > 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn scheduler_flag_parses_strictly() {
+        let o = opts(&["extract", "g.txt", "--scheduler", "stealing"]);
+        assert_eq!(
+            o.get_or("scheduler", SchedulerKind::Cursor).unwrap(),
+            SchedulerKind::Stealing
+        );
+        assert_eq!(
+            opts(&["extract", "g.txt"])
+                .get_or("scheduler", SchedulerKind::Cursor)
+                .unwrap(),
+            SchedulerKind::Cursor
+        );
+        let o = opts(&["extract", "g.txt", "--scheduler", "greedy"]);
+        assert!(matches!(
+            o.get_or("scheduler", SchedulerKind::Cursor),
+            Err(CliError::BadValue { key, value }) if key == "scheduler" && value == "greedy"
+        ));
+    }
+
+    #[test]
+    fn stealing_extract_matches_cursor_extract() {
+        let g = generate("imdb", Scale::Tiny).unwrap();
+        let mut cursor_params = plain_params(3, RootSpec::Sample(5), 4);
+        let mut stealing_params = plain_params(3, RootSpec::Sample(5), 4);
+        stealing_params.scheduler = SchedulerKind::Stealing;
+        cursor_params.mask = true;
+        stealing_params.mask = true;
+        let a = extract(&g, &cursor_params).unwrap();
+        let b = extract(&g, &stealing_params).unwrap();
+        assert_eq!(
+            export::to_csv_string(&a.matrix, g.labels()),
+            export::to_csv_string(&b.matrix, g.labels()),
+            "schedulers must produce identical output"
+        );
+    }
+
+    #[test]
+    fn run_info_json_and_json_export() {
+        let dir = std::env::temp_dir().join(format!("hsgf-cli-json-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let graph_path = dir.join("g.txt");
+        run(
+            &opts(&[
+                "generate",
+                "flow",
+                "--scale",
+                "tiny",
+                "--out",
+                graph_path.to_str().unwrap(),
+            ]),
+            Vec::new(),
+        )
+        .unwrap();
+        let mut buf = Vec::new();
+        assert_eq!(
+            run(
+                &opts(&["info", graph_path.to_str().unwrap(), "--json"]),
+                &mut buf
+            )
+            .unwrap(),
+            0
+        );
+        let summary = String::from_utf8(buf).unwrap();
+        assert!(summary.trim_start().starts_with('{'), "json: {summary}");
+        assert!(summary.contains("\"nodes\""), "json: {summary}");
+
+        let json_path = dir.join("features.json");
+        assert_eq!(
+            run(
+                &opts(&[
+                    "extract",
+                    graph_path.to_str().unwrap(),
+                    "--emax",
+                    "2",
+                    "--scheduler",
+                    "stealing",
+                    "--out",
+                    json_path.to_str().unwrap(),
+                ]),
+                Vec::new(),
+            )
+            .unwrap(),
+            0
+        );
+        let json = std::fs::read_to_string(&json_path).unwrap();
+        assert!(json.trim_start().starts_with('{'), "json: {json}");
+        assert!(
+            json.contains("\"rows\"") || json.contains("\"roots\""),
+            "json: {json}"
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 

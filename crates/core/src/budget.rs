@@ -25,7 +25,7 @@
 //! [`crate::supervisor`]).
 
 use std::fmt;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -121,6 +121,53 @@ impl CancelToken {
     }
 }
 
+/// A subgraph-count budget shared by several census runs — the shards of
+/// one split hub root (see [`crate::steal`]). Each shard charges discovered
+/// subgraphs against the same atomic counter, so the *total* across shards
+/// is capped exactly like a sequential run's: exhaustion depends only on
+/// the root's true subgraph count versus the cap, never on how the shards
+/// were scheduled. (Which shard *observes* the exhaustion is scheduling-
+/// dependent; callers that need the canonical error re-run the root
+/// sequentially — see [`crate::supervisor`].)
+#[derive(Debug)]
+pub struct SharedBudget {
+    /// Remaining subgraphs; `u64::MAX` is the unlimited sentinel.
+    remaining: AtomicU64,
+}
+
+impl SharedBudget {
+    /// Creates a shared counter with `max_subgraphs` capacity (`None` for
+    /// unlimited).
+    pub fn new(max_subgraphs: Option<u64>) -> Self {
+        SharedBudget {
+            remaining: AtomicU64::new(max_subgraphs.unwrap_or(u64::MAX)),
+        }
+    }
+
+    /// Atomically charges `multiplicity` subgraphs; returns `false` when
+    /// the shared cap cannot cover the charge.
+    pub fn try_consume(&self, multiplicity: u64) -> bool {
+        let mut current = self.remaining.load(Ordering::Relaxed);
+        loop {
+            if current == u64::MAX {
+                return true; // unlimited
+            }
+            if current < multiplicity {
+                return false;
+            }
+            match self.remaining.compare_exchange_weak(
+                current,
+                current - multiplicity,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return true,
+                Err(observed) => current = observed,
+            }
+        }
+    }
+}
+
 /// Deadline/cancellation checks are amortized over this many records so the
 /// hot enumeration loop does not read the clock per subgraph.
 const CHECK_INTERVAL_MASK: u32 = 0x3FF;
@@ -139,6 +186,9 @@ pub(crate) enum Stop {
 pub(crate) struct BudgetState<'a> {
     /// Discovered subgraphs still allowed; `u64::MAX` when unlimited.
     remaining: u64,
+    /// When set, subgraph accounting routes to this shared counter instead
+    /// of `remaining` (the cap spans all shards of one split root).
+    shared: Option<&'a SharedBudget>,
     /// Extension-stack cap; `usize::MAX` when unlimited.
     max_frontier: usize,
     deadline: Option<Instant>,
@@ -151,6 +201,7 @@ impl<'a> BudgetState<'a> {
     pub(crate) fn new(budget: &CensusBudget, cancel: Option<&'a CancelToken>) -> Self {
         BudgetState {
             remaining: budget.max_subgraphs.unwrap_or(u64::MAX),
+            shared: None,
             max_frontier: budget.max_frontier.unwrap_or(usize::MAX),
             deadline: budget.deadline,
             cancel,
@@ -158,14 +209,27 @@ impl<'a> BudgetState<'a> {
         }
     }
 
+    /// Routes subgraph accounting to `shared` (the per-run cap in `budget`
+    /// is ignored; the shared counter was built from it by the caller).
+    pub(crate) fn with_shared(mut self, shared: Option<&'a SharedBudget>) -> Self {
+        self.shared = shared;
+        self
+    }
+
     /// Charges `multiplicity` discovered subgraphs against the budget and
     /// periodically polls the deadline and cancel token.
     #[inline]
     pub(crate) fn on_record(&mut self, multiplicity: u64) -> Result<(), Stop> {
-        if self.remaining < multiplicity {
-            return Err(Stop::Budget(BudgetKind::Subgraphs));
+        if let Some(shared) = self.shared {
+            if !shared.try_consume(multiplicity) {
+                return Err(Stop::Budget(BudgetKind::Subgraphs));
+            }
+        } else {
+            if self.remaining < multiplicity {
+                return Err(Stop::Budget(BudgetKind::Subgraphs));
+            }
+            self.remaining -= multiplicity;
         }
-        self.remaining -= multiplicity;
         self.tick = self.tick.wrapping_add(1);
         if self.tick & CHECK_INTERVAL_MASK == 0 {
             self.poll()?;
@@ -257,6 +321,40 @@ mod tests {
             }
         }
         assert!(saw_deadline, "expired deadline never observed");
+    }
+
+    #[test]
+    fn shared_budget_caps_total_across_states() {
+        // Two "shards" drawing on one counter: the total is capped, not
+        // the per-shard count.
+        let shared = SharedBudget::new(Some(10));
+        let budget = CensusBudget::unlimited().with_max_subgraphs(10);
+        let mut a = BudgetState::new(&budget, None).with_shared(Some(&shared));
+        let mut b = BudgetState::new(&budget, None).with_shared(Some(&shared));
+        for _ in 0..5 {
+            a.on_record(1).unwrap();
+            b.on_record(1).unwrap();
+        }
+        assert_eq!(a.on_record(1), Err(Stop::Budget(BudgetKind::Subgraphs)));
+        assert_eq!(b.on_record(1), Err(Stop::Budget(BudgetKind::Subgraphs)));
+    }
+
+    #[test]
+    fn shared_budget_unlimited_sentinel_never_trips() {
+        let shared = SharedBudget::new(None);
+        for _ in 0..1000 {
+            assert!(shared.try_consume(u64::MAX / 2));
+        }
+    }
+
+    #[test]
+    fn shared_budget_rejects_overdraw_exactly() {
+        let shared = SharedBudget::new(Some(7));
+        assert!(shared.try_consume(7));
+        assert!(!shared.try_consume(1));
+        let fresh = SharedBudget::new(Some(7));
+        assert!(!fresh.try_consume(8));
+        assert!(fresh.try_consume(7));
     }
 
     #[test]

@@ -35,7 +35,7 @@
 use std::collections::HashMap;
 use std::fmt;
 
-use crate::budget::{BudgetKind, BudgetState, CancelToken, CensusBudget, Stop};
+use crate::budget::{BudgetKind, BudgetState, CancelToken, CensusBudget, SharedBudget, Stop};
 use crate::hash::{mix, HashScheme, LabelBases};
 use crate::sequence::Encoding;
 use hsgf_graph::{HetGraph, NodeId, Orientation};
@@ -412,6 +412,74 @@ impl<'g> CensusEngine<'g> {
         })
     }
 
+    /// One shard of `root`'s census, keyed by the canonical encoding: only
+    /// the subtrees of top-level candidates with pop index in
+    /// `range = [lo, hi)` are enumerated (an `hi` past the frontier is
+    /// simply exhaustive). Summing the count maps of shards covering a
+    /// partition of `[0, root_width(root))` reproduces
+    /// [`CensusEngine::census_encodings`] exactly — this is how the
+    /// stealing scheduler spreads one hub root over idle workers.
+    ///
+    /// `shared`, when set, pools the subgraph cap across sibling shards so
+    /// total-budget exhaustion matches the sequential run's; `budget`'s own
+    /// subgraph cap is ignored in that case. Callers must not shard when
+    /// `emax == 1` (top-level grouping) — the engine additionally
+    /// suppresses grouping in that configuration so results stay correct
+    /// even then.
+    pub fn census_encodings_shard(
+        &self,
+        root: NodeId,
+        scratch: &mut CensusScratch,
+        range: (usize, usize),
+        budget: &CensusBudget,
+        cancel: Option<&CancelToken>,
+        shared: Option<&SharedBudget>,
+    ) -> Result<EncodedCensus, CensusError> {
+        let mut sink = EncodingSink {
+            counts: HashMap::new(),
+            by_hash: HashMap::new(),
+            collisions: 0,
+        };
+        self.run_governed(
+            root,
+            scratch,
+            &mut sink,
+            budget,
+            cancel,
+            shared,
+            Some(range),
+        )?;
+        Ok(EncodedCensus {
+            counts: sink.counts,
+            hash_collisions: sink.collisions,
+        })
+    }
+
+    /// Hash-keyed variant of [`CensusEngine::census_encodings_shard`].
+    pub fn census_hashes_shard(
+        &self,
+        root: NodeId,
+        scratch: &mut CensusScratch,
+        range: (usize, usize),
+        budget: &CensusBudget,
+        cancel: Option<&CancelToken>,
+        shared: Option<&SharedBudget>,
+    ) -> Result<HashMap<u64, u64>, CensusError> {
+        let mut sink = HashSink {
+            counts: HashMap::new(),
+        };
+        self.run_governed(
+            root,
+            scratch,
+            &mut sink,
+            budget,
+            cancel,
+            shared,
+            Some(range),
+        )?;
+        Ok(sink.counts)
+    }
+
     /// Runs the census with a caller-provided sink.
     pub fn run<S: CensusSink>(
         &self,
@@ -438,6 +506,31 @@ impl<'g> CensusEngine<'g> {
         budget: &CensusBudget,
         cancel: Option<&CancelToken>,
     ) -> Result<(), CensusError> {
+        self.run_governed(root, scratch, sink, budget, cancel, None, None)
+    }
+
+    /// Number of top-level DFS candidates for `root` (its degree): the unit
+    /// the stealing scheduler shards hub roots over, and the estimate it
+    /// compares against its split threshold.
+    pub fn root_width(&self, root: NodeId) -> usize {
+        self.graph.degree(root)
+    }
+
+    /// The full governed census: the sequential path plus the two
+    /// scheduler-facing extensions — a [`SharedBudget`] that pools the
+    /// subgraph cap across the shards of one root, and a shard range
+    /// restricting this run to top-level candidates with pop index in
+    /// `[lo, hi)` (see [`CensusEngine::census_encodings_shard`]).
+    fn run_governed<S: CensusSink>(
+        &self,
+        root: NodeId,
+        scratch: &mut CensusScratch,
+        sink: &mut S,
+        budget: &CensusBudget,
+        cancel: Option<&CancelToken>,
+        shared: Option<&SharedBudget>,
+        shard: Option<(usize, usize)>,
+    ) -> Result<(), CensusError> {
         if root.index() >= self.graph.node_count() {
             return Err(CensusError::UnknownRoot { root: root.raw() });
         }
@@ -462,10 +555,10 @@ impl<'g> CensusEngine<'g> {
         debug_assert_eq!(mark, 0);
         // The degree constraint never applies to the root (paper §4.3.5).
         self.push_candidates(scratch, root);
-        let mut state = BudgetState::new(budget, cancel);
+        let mut state = BudgetState::new(budget, cancel).with_shared(shared);
         let outcome = state
             .check_frontier(scratch.ext.len())
-            .and_then(|()| self.explore(scratch, sink, &mut state));
+            .and_then(|()| self.explore_top(scratch, sink, &mut state, shard));
         // Unwind root state (whether the DFS completed or aborted early —
         // `explore` restores all deeper bookkeeping on its way out).
         while scratch.ext.len() > mark {
@@ -631,6 +724,55 @@ impl<'g> CensusEngine<'g> {
         }
     }
 
+    /// The top-level candidate loop, shard-aware. With a shard range
+    /// `[lo, hi)` only candidates whose *pop index* falls inside the range
+    /// are explored; out-of-range candidates move straight to the
+    /// processed stack. Their `edge_seen` marks stay set, so the exclusion
+    /// state — and therefore every in-range subtree, extension-stack
+    /// length included — is byte-identical to the sequential run's at the
+    /// same point. The union of the shard censuses over a partition of
+    /// `[0, root_width)` equals the whole census exactly.
+    fn explore_top<S: CensusSink>(
+        &self,
+        scratch: &mut CensusScratch,
+        sink: &mut S,
+        state: &mut BudgetState<'_>,
+        shard: Option<(usize, usize)>,
+    ) -> Result<(), Stop> {
+        let Some((lo, hi)) = shard else {
+            return self.explore(scratch, sink, state);
+        };
+        // Grouping at the top level only happens when emax == 1 and would
+        // pull candidates across the shard boundary. Callers gate
+        // splitting to emax >= 2; suppressing it here is defence in depth
+        // (counts are unchanged either way — grouping is a bulk-counting
+        // shortcut, not a semantic change).
+        let allow_group = self.config.emax >= 2;
+        let processed_mark = scratch.processed.len();
+        let mut outcome = Ok(());
+        let mut pop_index = 0usize;
+        while let Some(cand) = scratch.ext.pop() {
+            let step = if pop_index >= lo && pop_index < hi {
+                self.explore_candidate(scratch, sink, state, cand, allow_group)
+            } else {
+                // Skipped: exclude the edge without exploring, exactly as
+                // if a sibling shard had finished this subtree.
+                scratch.processed.push(cand);
+                Ok(())
+            };
+            pop_index += 1;
+            if let Err(stop) = step {
+                outcome = Err(stop);
+                break;
+            }
+        }
+        while scratch.processed.len() > processed_mark {
+            let c = scratch.processed.pop().expect("len checked");
+            scratch.ext.push(c);
+        }
+        outcome
+    }
+
     /// The recursive exclusion-discipline exploration. Returns early (with
     /// all bookkeeping restored) when the budget or cancel token trips.
     fn explore<S: CensusSink>(
@@ -642,57 +784,7 @@ impl<'g> CensusEngine<'g> {
         let processed_mark = scratch.processed.len();
         let mut outcome = Ok(());
         while let Some(cand) = scratch.ext.pop() {
-            let was_outside = !scratch.in_sub[cand.to.index()];
-            let node_was_new = self.add_edge(scratch, cand);
-            debug_assert_eq!(was_outside, node_was_new);
-            let hash = scratch.hash;
-            let step = if scratch.sub_edge_count < self.config.emax {
-                sink.record(&self.view(scratch), hash, 1);
-                let mark = scratch.ext.len();
-                let step = state.on_record(1).and_then(|()| {
-                    if node_was_new && self.may_expand(cand.to) {
-                        self.push_candidates(scratch, cand.to);
-                    }
-                    state.check_frontier(scratch.ext.len())?;
-                    self.explore(scratch, sink, state)
-                });
-                while scratch.ext.len() > mark {
-                    let c = scratch.ext.pop().expect("len checked");
-                    scratch.edge_seen[c.edge as usize] = false;
-                }
-                step
-            } else {
-                // Final level: heterogeneous grouping. Consecutive
-                // candidates attaching a new node of the same label to the
-                // same subgraph node produce identical subgraph encodings
-                // and are counted in bulk.
-                let mut multiplicity = 1u64;
-                if self.config.group_by_label && node_was_new {
-                    let group_label = self.graph.label(cand.to);
-                    let group_orient = self.orientations(cand).0;
-                    let group_type = self.graph.edge_type(cand.edge);
-                    while let Some(&next) = scratch.ext.last() {
-                        if next.from == cand.from
-                            && !scratch.in_sub[next.to.index()]
-                            && self.graph.label(next.to) == group_label
-                            && self.orientations(next).0 == group_orient
-                            && (!self.config.edge_typed
-                                || self.graph.edge_type(next.edge) == group_type)
-                        {
-                            scratch.ext.pop();
-                            scratch.processed.push(next);
-                            multiplicity += 1;
-                        } else {
-                            break;
-                        }
-                    }
-                }
-                sink.record(&self.view(scratch), hash, multiplicity);
-                state.on_record(multiplicity)
-            };
-            self.remove_edge(scratch, cand, node_was_new);
-            scratch.processed.push(cand);
-            if let Err(stop) = step {
+            if let Err(stop) = self.explore_candidate(scratch, sink, state, cand, true) {
                 outcome = Err(stop);
                 break;
             }
@@ -703,6 +795,80 @@ impl<'g> CensusEngine<'g> {
             scratch.ext.push(c);
         }
         outcome
+    }
+
+    /// Explores every extension containing the already-popped candidate
+    /// `cand`, then excludes its edge (moves it to the processed stack).
+    /// One iteration of the classic exclusion-discipline loop, factored
+    /// out so [`CensusEngine::explore_top`] can drive it per shard.
+    fn explore_candidate<S: CensusSink>(
+        &self,
+        scratch: &mut CensusScratch,
+        sink: &mut S,
+        state: &mut BudgetState<'_>,
+        cand: Candidate,
+        allow_group: bool,
+    ) -> Result<(), Stop> {
+        let was_outside = !scratch.in_sub[cand.to.index()];
+        let node_was_new = self.add_edge(scratch, cand);
+        debug_assert_eq!(was_outside, node_was_new);
+        let hash = scratch.hash;
+        let mut grouped = 0usize;
+        let step = if scratch.sub_edge_count < self.config.emax {
+            sink.record(&self.view(scratch), hash, 1);
+            let mark = scratch.ext.len();
+            let step = state.on_record(1).and_then(|()| {
+                if node_was_new && self.may_expand(cand.to) {
+                    self.push_candidates(scratch, cand.to);
+                }
+                state.check_frontier(scratch.ext.len())?;
+                self.explore(scratch, sink, state)
+            });
+            while scratch.ext.len() > mark {
+                let c = scratch.ext.pop().expect("len checked");
+                scratch.edge_seen[c.edge as usize] = false;
+            }
+            step
+        } else {
+            // Final level: heterogeneous grouping. Consecutive
+            // candidates attaching a new node of the same label to the
+            // same subgraph node produce identical subgraph encodings
+            // and are counted in bulk. Followers are only *peeked* here;
+            // they move to the processed stack after the leader, below.
+            if allow_group && self.config.group_by_label && node_was_new {
+                let group_label = self.graph.label(cand.to);
+                let group_orient = self.orientations(cand).0;
+                let group_type = self.graph.edge_type(cand.edge);
+                for &next in scratch.ext.iter().rev() {
+                    if next.from == cand.from
+                        && !scratch.in_sub[next.to.index()]
+                        && self.graph.label(next.to) == group_label
+                        && self.orientations(next).0 == group_orient
+                        && (!self.config.edge_typed
+                            || self.graph.edge_type(next.edge) == group_type)
+                    {
+                        grouped += 1;
+                    } else {
+                        break;
+                    }
+                }
+            }
+            let multiplicity = 1 + grouped as u64;
+            sink.record(&self.view(scratch), hash, multiplicity);
+            state.on_record(multiplicity)
+        };
+        self.remove_edge(scratch, cand, node_was_new);
+        // The processed stack must stay in exact pop order — leader first,
+        // then its grouped followers — so that every restore (popping
+        // processed back onto `ext`) rebuilds the original extension order.
+        // Shard scheduling keys on top-level pop indices, so a reordered
+        // restore would make shards disagree with the sequential run.
+        scratch.processed.push(cand);
+        for _ in 0..grouped {
+            let f = scratch.ext.pop().expect("peeked followers still on ext");
+            scratch.processed.push(f);
+        }
+        step
     }
 
     /// Whether the census may expand through `w` (degree heuristic).
@@ -1298,6 +1464,202 @@ mod tests {
                 (x, y) => panic!("nondeterministic budget outcome: {x:?} vs {y:?}"),
             }
         }
+    }
+
+    /// Splits `[0, width)` into `parts` contiguous ranges, last open-ended.
+    fn equal_ranges(width: usize, parts: usize) -> Vec<(usize, usize)> {
+        let parts = parts.min(width).max(1);
+        let chunk = width.div_ceil(parts);
+        (0..parts)
+            .map(|k| {
+                let lo = k * chunk;
+                let hi = if k + 1 == parts {
+                    usize::MAX
+                } else {
+                    lo + chunk
+                };
+                (lo, hi)
+            })
+            .collect()
+    }
+
+    fn merge_counts(parts: Vec<HashMap<Encoding, u64>>) -> HashMap<Encoding, u64> {
+        let mut merged = HashMap::new();
+        for part in parts {
+            for (enc, n) in part {
+                *merged.entry(enc).or_insert(0) += n;
+            }
+        }
+        merged
+    }
+
+    #[test]
+    fn shard_union_equals_whole_census() {
+        for seed in 800..812u64 {
+            let g = random_graph(seed, 14, 0.3, 3);
+            let engine = CensusEngine::new(&g, CensusConfig::default().with_emax(3)).unwrap();
+            let mut scratch = engine.make_scratch();
+            for root in g.nodes().take(4) {
+                let whole = engine.census_encodings(root, &mut scratch).unwrap().counts;
+                let width = engine.root_width(root);
+                for parts in [1usize, 2, 3, 7] {
+                    let shards: Vec<_> = equal_ranges(width.max(1), parts)
+                        .into_iter()
+                        .map(|range| {
+                            engine
+                                .census_encodings_shard(
+                                    root,
+                                    &mut scratch,
+                                    range,
+                                    &CensusBudget::unlimited(),
+                                    None,
+                                    None,
+                                )
+                                .unwrap()
+                                .counts
+                        })
+                        .collect();
+                    assert_eq!(
+                        merge_counts(shards),
+                        whole,
+                        "seed={seed} root={root:?} parts={parts}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn shard_union_matches_whole_under_dmax_directed_and_types() {
+        for seed in 900..906u64 {
+            let g = random_typed_graph(seed, 12, 0.35, 2, 2);
+            let config = CensusConfig::default()
+                .with_emax(3)
+                .with_dmax(Some(4))
+                .with_directed(true)
+                .with_edge_typed(true);
+            let engine = CensusEngine::new(&g, config).unwrap();
+            let mut scratch = engine.make_scratch();
+            let root = NodeId::new(0);
+            let whole = engine.census_encodings(root, &mut scratch).unwrap().counts;
+            let width = engine.root_width(root);
+            let shards: Vec<_> = equal_ranges(width.max(1), 3)
+                .into_iter()
+                .map(|range| {
+                    engine
+                        .census_encodings_shard(
+                            root,
+                            &mut scratch,
+                            range,
+                            &CensusBudget::unlimited(),
+                            None,
+                            None,
+                        )
+                        .unwrap()
+                        .counts
+                })
+                .collect();
+            assert_eq!(merge_counts(shards), whole, "seed={seed}");
+        }
+    }
+
+    #[test]
+    fn shard_hash_union_matches_whole() {
+        let g = random_graph(42, 16, 0.3, 3);
+        let engine = CensusEngine::new(&g, CensusConfig::default().with_emax(4)).unwrap();
+        let mut scratch = engine.make_scratch();
+        let root = NodeId::new(1);
+        let whole = engine.census_hashes(root, &mut scratch).unwrap();
+        let width = engine.root_width(root);
+        let mut merged: HashMap<u64, u64> = HashMap::new();
+        for range in equal_ranges(width.max(1), 4) {
+            let part = engine
+                .census_hashes_shard(
+                    root,
+                    &mut scratch,
+                    range,
+                    &CensusBudget::unlimited(),
+                    None,
+                    None,
+                )
+                .unwrap();
+            for (h, n) in part {
+                *merged.entry(h).or_insert(0) += n;
+            }
+        }
+        assert_eq!(merged, whole);
+    }
+
+    #[test]
+    fn shared_budget_across_shards_trips_like_sequential() {
+        let g = random_graph(21, 12, 0.4, 3);
+        let engine = CensusEngine::new(&g, CensusConfig::default().with_emax(4)).unwrap();
+        let mut scratch = engine.make_scratch();
+        let root = NodeId::new(0);
+        let full = engine.census_encodings(root, &mut scratch).unwrap();
+        let total: u64 = full.counts.values().sum();
+        assert!(total > 4, "graph too sparse for the test");
+        let width = engine.root_width(root);
+        let budget = CensusBudget::unlimited();
+        // A pooled cap below the true total must trip in some shard...
+        let under = crate::budget::SharedBudget::new(Some(total - 1));
+        let mut tripped = false;
+        for range in equal_ranges(width.max(1), 3) {
+            if engine
+                .census_encodings_shard(root, &mut scratch, range, &budget, None, Some(&under))
+                .is_err()
+            {
+                tripped = true;
+            }
+        }
+        assert!(tripped, "pooled under-budget never exhausted");
+        // ...while an exactly-sufficient pooled cap completes every shard
+        // with the whole census as the union.
+        let exact = crate::budget::SharedBudget::new(Some(total));
+        let shards: Vec<_> = equal_ranges(width.max(1), 3)
+            .into_iter()
+            .map(|range| {
+                engine
+                    .census_encodings_shard(root, &mut scratch, range, &budget, None, Some(&exact))
+                    .unwrap()
+                    .counts
+            })
+            .collect();
+        assert_eq!(merge_counts(shards), full.counts);
+    }
+
+    #[test]
+    fn emax_one_sharding_stays_correct_via_group_suppression() {
+        // Defence-in-depth check: even though schedulers never shard at
+        // emax == 1, the engine must produce correct per-shard counts.
+        let labels = LabelSet::from_names(["c", "l"]).unwrap();
+        let mut b = GraphBuilder::new(labels);
+        let c = b.add_node_with(Label::new(0)).unwrap();
+        for _ in 0..9 {
+            let leaf = b.add_node_with(Label::new(1)).unwrap();
+            b.add_edge(c, leaf).unwrap();
+        }
+        let g = b.build();
+        let engine = CensusEngine::new(&g, CensusConfig::default().with_emax(1)).unwrap();
+        let mut scratch = engine.make_scratch();
+        let whole = engine.census_encodings(c, &mut scratch).unwrap().counts;
+        let shards: Vec<_> = equal_ranges(engine.root_width(c), 4)
+            .into_iter()
+            .map(|range| {
+                engine
+                    .census_encodings_shard(
+                        c,
+                        &mut scratch,
+                        range,
+                        &CensusBudget::unlimited(),
+                        None,
+                        None,
+                    )
+                    .unwrap()
+                    .counts
+            })
+            .collect();
+        assert_eq!(merge_counts(shards), whole);
     }
 
     #[test]

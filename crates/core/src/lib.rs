@@ -43,6 +43,9 @@
 //!   Definition").
 //! * [`parallel`] — by-node parallel extraction (paper §3.2 "Parallel Space
 //!   Complexity").
+//! * [`steal`] — the work-stealing scheduler (per-worker deques, hub-root
+//!   splitting) selectable via [`SchedulerKind`] wherever extraction takes
+//!   a thread count.
 //! * [`budget`] — per-root resource budgets (subgraph / frontier / deadline)
 //!   and cooperative cancellation for the census.
 //! * [`supervisor`] — fault-tolerant extraction: panic isolation per root, a
@@ -69,9 +72,10 @@ pub mod reference;
 pub mod sampling;
 pub mod sequence;
 pub mod small;
+pub mod steal;
 pub mod supervisor;
 
-pub use budget::{BudgetKind, CancelToken, CensusBudget};
+pub use budget::{BudgetKind, CancelToken, CensusBudget, SharedBudget};
 pub use census::{
     CensusConfig, CensusEngine, CensusError, CensusScratch, CensusSink, CountingSink,
     EncodedCensus, SubgraphView, MAX_EMAX,
@@ -84,4 +88,5 @@ pub use features::{FeatureMatrix, FeatureSpace};
 pub use hash::LabelBases;
 pub use sequence::Encoding;
 pub use small::SmallGraph;
+pub use steal::{SchedulerKind, StealStats};
 pub use supervisor::{ChaosHook, ExtractionPolicy, PartialExtraction, RootOutcome, Supervisor};

@@ -3,21 +3,30 @@
 //!
 //! The census is embarrassingly parallel over root nodes: the graph is
 //! shared read-only, each worker owns one scratch (`O(V)` memory), and roots
-//! are handed out through an atomic cursor so skewed per-root costs balance
-//! dynamically — important because extraction time correlates with the
-//! (skewed) degree distribution (paper Table 3).
+//! are distributed by one of two schedulers (see [`SchedulerKind`]):
+//!
+//! * **Cursor** — an atomic counter hands out whole roots; lowest overhead,
+//!   but one hub root can dominate a run while other workers idle.
+//! * **Stealing** — per-worker deques with work stealing
+//!   ([`crate::steal`]); hub roots whose frontier is wide enough are
+//!   additionally split into shards over their top-level DFS candidates
+//!   (see [`CensusEngine::census_encodings_shard`]), so a single
+//!   pathological root spreads across every idle worker. Shard censuses
+//!   merge by commutative count summation, so the output is bit-for-bit
+//!   identical to the cursor scheduler and to the sequential path.
 //!
 //! # Fault posture
 //!
-//! Every per-root census runs inside a panic-isolation boundary: a panic in
-//! census code is caught, the worker's scratch is discarded (its invariants
-//! can no longer be trusted), and the root is reported as
-//! [`CensusError::WorkerPanicked`]. A worker failure therefore surfaces as
-//! an ordinary `Err` from these functions — never as a propagated panic or
-//! a poisoned `Mutex` in the caller. These helpers remain all-or-nothing
-//! (the first error aborts the run's *result*, though finished slots are
-//! simply dropped); for partial results, per-root budgets, degradation, and
-//! outcome reporting use [`crate::supervisor::Supervisor`].
+//! Every per-root census (and every shard) runs inside a panic-isolation
+//! boundary: a panic in census code is caught, the worker's scratch is
+//! discarded (its invariants can no longer be trusted), and the root is
+//! reported as [`CensusError::WorkerPanicked`]. A worker failure therefore
+//! surfaces as an ordinary `Err` from these functions — never as a
+//! propagated panic or a poisoned `Mutex` in the caller. These helpers
+//! remain all-or-nothing (the first error aborts the run's *result*, though
+//! finished slots are simply dropped); for partial results, per-root
+//! budgets, degradation, and outcome reporting use
+//! [`crate::supervisor::Supervisor`].
 
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -26,9 +35,46 @@ use std::sync::Mutex;
 
 use hsgf_graph::NodeId;
 
+use crate::budget::CensusBudget;
 use crate::census::{CensusEngine, CensusError, CensusScratch};
 use crate::features::FeatureMatrix;
 use crate::sequence::Encoding;
+use crate::steal::{run_stealing, SchedulerKind, StealStats};
+
+/// Hub roots with at least this many top-level DFS candidates are split
+/// into stealable shards by the stealing scheduler (when `emax >= 2` and
+/// more than one worker is available). Below this width the split overhead
+/// (extra scratch passes over the root's frontier) outweighs the balance
+/// gain.
+pub(crate) const SPLIT_WIDTH: usize = 48;
+
+/// Renders a panic payload for error reporting: the string payloads that
+/// `panic!("...")` produces verbatim, the `Debug` form of common primitive
+/// payloads, and the payload's `TypeId` as a last resort — structured
+/// chaos-test payloads must stay diagnosable instead of collapsing to one
+/// fixed string.
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    macro_rules! try_downcast {
+        ($($ty:ty),+ $(,)?) => {
+            $(
+                if let Some(v) = payload.downcast_ref::<$ty>() {
+                    return format!(
+                        "non-string panic payload ({}: {v:?})",
+                        stringify!($ty)
+                    );
+                }
+            )+
+        };
+    }
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        return (*s).to_owned();
+    }
+    if let Some(s) = payload.downcast_ref::<String>() {
+        return s.clone();
+    }
+    try_downcast!(i32, u32, i64, u64, usize, isize, bool, char, f64);
+    format!("non-string panic payload (type id {:?})", payload.type_id())
+}
 
 /// Runs `work` for one root inside the panic-isolation boundary. On panic
 /// the scratch is discarded (the next root gets a fresh one) and the panic
@@ -44,25 +90,19 @@ fn isolated<T>(
         Ok(result) => result,
         Err(payload) => {
             *holder = None;
-            let message = if let Some(s) = payload.downcast_ref::<&str>() {
-                (*s).to_owned()
-            } else if let Some(s) = payload.downcast_ref::<String>() {
-                s.clone()
-            } else {
-                "non-string panic payload".to_owned()
-            };
             Err(CensusError::WorkerPanicked {
                 root: root.raw(),
-                message,
+                message: panic_message(payload.as_ref()),
             })
         }
     }
 }
 
-/// Shared scheduler: runs `work(engine, root, scratch)` for every root with
-/// `threads` workers and collects results in root order, short-circuiting on
-/// the first error. Worker panics and mutex poisoning are contained (see the
-/// module docs).
+/// Shared cursor scheduler: runs `work(engine, root, scratch)` for every
+/// root with up to `threads` workers (clamped to the root count — tiny
+/// extractions must not pay spawn/teardown for workers with nothing to do)
+/// and collects results in root order, short-circuiting on the first error.
+/// Worker panics and mutex poisoning are contained (see the module docs).
 fn run_per_root<T, F>(
     engine: &CensusEngine<'_>,
     roots: &[NodeId],
@@ -73,6 +113,7 @@ where
     T: Send,
     F: Fn(&CensusEngine<'_>, NodeId, &mut CensusScratch) -> Result<T, CensusError> + Sync,
 {
+    let threads = threads.min(roots.len());
     if threads <= 1 {
         let mut holder = None;
         return roots
@@ -104,6 +145,15 @@ where
             });
         }
     });
+    collect_slots(slots, roots)
+}
+
+/// Drains per-root result slots into root order, short-circuiting on the
+/// first error and degrading unfilled slots to errors instead of panics.
+fn collect_slots<T>(
+    slots: Vec<Mutex<Option<Result<T, CensusError>>>>,
+    roots: &[NodeId],
+) -> Result<Vec<T>, CensusError> {
     slots
         .into_iter()
         .zip(roots)
@@ -122,6 +172,261 @@ where
         .collect()
 }
 
+/// A census result type the stealing scheduler can split into top-level
+/// shards and merge back. Merging is commutative count summation, so the
+/// merged value is independent of shard execution order.
+trait ShardableCensus: Sized + Send {
+    /// The full census of one root (what the cursor scheduler runs).
+    fn census_whole(
+        engine: &CensusEngine<'_>,
+        root: NodeId,
+        scratch: &mut CensusScratch,
+    ) -> Result<Self, CensusError>;
+
+    /// One shard of a split root's census.
+    fn census_shard(
+        engine: &CensusEngine<'_>,
+        root: NodeId,
+        scratch: &mut CensusScratch,
+        range: (usize, usize),
+    ) -> Result<Self, CensusError>;
+
+    /// Merges completed shard censuses (commutative sums).
+    fn merge_shards(parts: Vec<Self>) -> Self;
+}
+
+impl ShardableCensus for HashMap<Encoding, u64> {
+    fn census_whole(
+        engine: &CensusEngine<'_>,
+        root: NodeId,
+        scratch: &mut CensusScratch,
+    ) -> Result<Self, CensusError> {
+        engine.census_encodings(root, scratch).map(|c| c.counts)
+    }
+
+    fn census_shard(
+        engine: &CensusEngine<'_>,
+        root: NodeId,
+        scratch: &mut CensusScratch,
+        range: (usize, usize),
+    ) -> Result<Self, CensusError> {
+        engine
+            .census_encodings_shard(root, scratch, range, &CensusBudget::unlimited(), None, None)
+            .map(|c| c.counts)
+    }
+
+    fn merge_shards(parts: Vec<Self>) -> Self {
+        let mut merged = HashMap::new();
+        for part in parts {
+            for (key, n) in part {
+                *merged.entry(key).or_insert(0) += n;
+            }
+        }
+        merged
+    }
+}
+
+impl ShardableCensus for HashMap<u64, u64> {
+    fn census_whole(
+        engine: &CensusEngine<'_>,
+        root: NodeId,
+        scratch: &mut CensusScratch,
+    ) -> Result<Self, CensusError> {
+        engine.census_hashes(root, scratch)
+    }
+
+    fn census_shard(
+        engine: &CensusEngine<'_>,
+        root: NodeId,
+        scratch: &mut CensusScratch,
+        range: (usize, usize),
+    ) -> Result<Self, CensusError> {
+        engine.census_hashes_shard(root, scratch, range, &CensusBudget::unlimited(), None, None)
+    }
+
+    fn merge_shards(parts: Vec<Self>) -> Self {
+        let mut merged = HashMap::new();
+        for part in parts {
+            for (key, n) in part {
+                *merged.entry(key).or_insert(0) += n;
+            }
+        }
+        merged
+    }
+}
+
+/// A unit of stealing-scheduler work: a whole root, or one shard of a
+/// split hub root. Indices are into the caller's `roots` slice.
+#[derive(Copy, Clone, Debug)]
+enum StealTask {
+    Root(usize),
+    Shard {
+        slot: usize,
+        shard: usize,
+        lo: usize,
+        hi: usize,
+    },
+}
+
+/// Merge bookkeeping for one split root: shard results by shard index plus
+/// an outstanding count; the worker finishing the last shard assembles the
+/// final per-root result.
+struct ShardMerge<W> {
+    parts: Vec<Option<Result<W, CensusError>>>,
+    remaining: usize,
+}
+
+/// Partitions the pop-index range `[0, width)` into at most `parts`
+/// contiguous shards of roughly equal *work*, not equal size: under the
+/// exclusion discipline, the candidate popped first still has the whole
+/// remaining frontier available to extend through, so subtree cost decays
+/// with pop index — approximated here as `(width - i)^2`. The last shard
+/// is open-ended (`hi = usize::MAX`) so the union always covers the
+/// frontier even if the width estimate is off.
+pub(crate) fn plan_shards(width: usize, parts: usize) -> Vec<(usize, usize)> {
+    let parts = parts.min(width).max(1);
+    let weight = |i: usize| ((width - i) as u128).pow(2);
+    let total: u128 = (0..width).map(weight).sum();
+    let mut shards = Vec::with_capacity(parts);
+    let mut lo = 0usize;
+    let mut acc: u128 = 0;
+    for i in 0..width {
+        acc += weight(i);
+        let filled = shards.len() + 1;
+        if filled < parts && acc * (parts as u128) >= total * (filled as u128) {
+            shards.push((lo, i + 1));
+            lo = i + 1;
+        }
+    }
+    shards.push((lo, usize::MAX));
+    shards
+}
+
+/// The stealing scheduler: seeds the pool with whole roots (hubs first, so
+/// the FIFO steal end surfaces the heaviest work). A worker that claims a
+/// root wide enough to split spawns its shards back into the pool instead
+/// of enumerating it alone; the shard tasks are then stolen by idle
+/// workers. Per-root results are collected exactly as the cursor path
+/// does; the pool's counters are returned alongside.
+fn run_per_root_stealing<W: ShardableCensus>(
+    engine: &CensusEngine<'_>,
+    roots: &[NodeId],
+    threads: usize,
+) -> Result<(Vec<W>, StealStats), CensusError> {
+    if threads <= 1 || roots.len() <= 1 {
+        let mut holder = None;
+        let results: Result<Vec<W>, CensusError> = roots
+            .iter()
+            .map(|&r| isolated(engine, r, &mut holder, |s| W::census_whole(engine, r, s)))
+            .collect();
+        return results.map(|v| (v, StealStats::default()));
+    }
+    // Splitting at emax == 1 would interact with top-level grouping (see
+    // census_encodings_shard); such censuses are cheap anyway. The shard
+    // plan per root is deterministic, so the merge tables can be sized
+    // before the pool starts.
+    let splittable = engine.config().emax >= 2;
+    let plan_for = |i: usize| -> Option<Vec<(usize, usize)>> {
+        let width = engine.root_width(roots[i]);
+        (splittable && width >= SPLIT_WIDTH).then(|| plan_shards(width, (threads * 2).min(width)))
+    };
+    let plans: Vec<Option<Vec<(usize, usize)>>> = (0..roots.len()).map(plan_for).collect();
+    let merges: Vec<Mutex<ShardMerge<W>>> = plans
+        .iter()
+        .map(|plan| {
+            let n = plan.as_ref().map_or(0, Vec::len);
+            Mutex::new(ShardMerge {
+                parts: (0..n).map(|_| None).collect(),
+                remaining: n,
+            })
+        })
+        .collect();
+    let slots: Vec<Mutex<Option<Result<W, CensusError>>>> =
+        roots.iter().map(|_| Mutex::new(None)).collect();
+    // Seed whole roots hubs-first so the FIFO steal end of each deque
+    // surfaces (and splits) the heaviest work early.
+    let mut order: Vec<usize> = (0..roots.len()).collect();
+    order.sort_by_key(|&i| std::cmp::Reverse(engine.root_width(roots[i])));
+    let tasks: Vec<StealTask> = order.into_iter().map(StealTask::Root).collect();
+    // Clamp workers to the root count as the cursor path does — unless a
+    // root will split, in which case the full thread complement stays (one
+    // hub root may carry the whole run).
+    let workers = if plans.iter().any(Option::is_some) {
+        threads
+    } else {
+        threads.min(tasks.len())
+    }
+    .max(1);
+    let stats = run_stealing(
+        workers,
+        tasks,
+        || None,
+        |holder: &mut Option<CensusScratch>, task, worker, pool| match task {
+            StealTask::Root(i) => {
+                if let Some(ranges) = &plans[i] {
+                    // Hub root: fan its shards back into the pool. The
+                    // spawning worker's own deque gets them, so it starts
+                    // on one immediately while thieves take the rest.
+                    pool.note_split();
+                    for (k, &(lo, hi)) in ranges.iter().enumerate() {
+                        pool.spawn(
+                            worker,
+                            StealTask::Shard {
+                                slot: i,
+                                shard: k,
+                                lo,
+                                hi,
+                            },
+                        );
+                    }
+                    return;
+                }
+                let root = roots[i];
+                let result = isolated(engine, root, holder, |s| W::census_whole(engine, root, s));
+                *slots[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(result);
+            }
+            StealTask::Shard {
+                slot,
+                shard,
+                lo,
+                hi,
+            } => {
+                let root = roots[slot];
+                let result = isolated(engine, root, holder, |s| {
+                    W::census_shard(engine, root, s, (lo, hi))
+                });
+                let mut merge = merges[slot].lock().unwrap_or_else(|e| e.into_inner());
+                merge.parts[shard] = Some(result);
+                merge.remaining -= 1;
+                if merge.remaining == 0 {
+                    let parts = std::mem::take(&mut merge.parts);
+                    drop(merge);
+                    // Deterministic error selection: the error of the
+                    // smallest shard index wins, mirroring the sequential
+                    // run's first-error ordering over top-level candidates.
+                    let mut datas = Vec::with_capacity(parts.len());
+                    let mut first_err = None;
+                    for part in parts {
+                        match part.expect("every shard reported before merge") {
+                            Ok(d) => datas.push(d),
+                            Err(e) => {
+                                first_err = Some(e);
+                                break;
+                            }
+                        }
+                    }
+                    let outcome = match first_err {
+                        Some(e) => Err(e),
+                        None => Ok(W::merge_shards(datas)),
+                    };
+                    *slots[slot].lock().unwrap_or_else(|e| e.into_inner()) = Some(outcome);
+                }
+            }
+        },
+    );
+    collect_slots(slots, roots).map(|v| (v, stats))
+}
+
 /// Extracts encoding-keyed censuses for every root, using `threads` workers
 /// (0 or 1 runs inline on the caller's thread). Results are returned in
 /// root order.
@@ -130,9 +435,24 @@ pub fn extract_censuses(
     roots: &[NodeId],
     threads: usize,
 ) -> Result<Vec<HashMap<Encoding, u64>>, CensusError> {
-    run_per_root(engine, roots, threads, |engine, root, scratch| {
-        engine.census_encodings(root, scratch).map(|c| c.counts)
-    })
+    extract_censuses_with(engine, roots, threads, SchedulerKind::Cursor)
+}
+
+/// [`extract_censuses`] with an explicit scheduler choice. Both schedulers
+/// produce identical results; [`SchedulerKind::Stealing`] balances skewed
+/// per-root costs by stealing and by splitting hub roots.
+pub fn extract_censuses_with(
+    engine: &CensusEngine<'_>,
+    roots: &[NodeId],
+    threads: usize,
+    scheduler: SchedulerKind,
+) -> Result<Vec<HashMap<Encoding, u64>>, CensusError> {
+    match scheduler {
+        SchedulerKind::Cursor => run_per_root(engine, roots, threads, |engine, root, scratch| {
+            engine.census_encodings(root, scratch).map(|c| c.counts)
+        }),
+        SchedulerKind::Stealing => run_per_root_stealing(engine, roots, threads).map(|(v, _)| v),
+    }
 }
 
 /// Extracts hash-keyed censuses for every root (the paper's fast mode).
@@ -141,9 +461,33 @@ pub fn extract_hash_censuses(
     roots: &[NodeId],
     threads: usize,
 ) -> Result<Vec<HashMap<u64, u64>>, CensusError> {
-    run_per_root(engine, roots, threads, |engine, root, scratch| {
-        engine.census_hashes(root, scratch)
-    })
+    extract_hash_censuses_with(engine, roots, threads, SchedulerKind::Cursor)
+}
+
+/// [`extract_hash_censuses`] with an explicit scheduler choice.
+pub fn extract_hash_censuses_with(
+    engine: &CensusEngine<'_>,
+    roots: &[NodeId],
+    threads: usize,
+    scheduler: SchedulerKind,
+) -> Result<Vec<HashMap<u64, u64>>, CensusError> {
+    match scheduler {
+        SchedulerKind::Cursor => run_per_root(engine, roots, threads, |engine, root, scratch| {
+            engine.census_hashes(root, scratch)
+        }),
+        SchedulerKind::Stealing => run_per_root_stealing(engine, roots, threads).map(|(v, _)| v),
+    }
+}
+
+/// Stealing-scheduler hash extraction that also reports the scheduler's
+/// steal/park/split counters — the benches use this to show where the
+/// balancing work went.
+pub fn extract_hash_censuses_stats(
+    engine: &CensusEngine<'_>,
+    roots: &[NodeId],
+    threads: usize,
+) -> Result<(Vec<HashMap<u64, u64>>, StealStats), CensusError> {
+    run_per_root_stealing(engine, roots, threads)
 }
 
 /// One-call convenience: parallel census for `roots` assembled into a
@@ -153,13 +497,23 @@ pub fn extract_feature_matrix(
     roots: &[NodeId],
     threads: usize,
 ) -> Result<FeatureMatrix, CensusError> {
-    let censuses = extract_censuses(engine, roots, threads)?;
+    extract_feature_matrix_with(engine, roots, threads, SchedulerKind::Cursor)
+}
+
+/// [`extract_feature_matrix`] with an explicit scheduler choice.
+pub fn extract_feature_matrix_with(
+    engine: &CensusEngine<'_>,
+    roots: &[NodeId],
+    threads: usize,
+    scheduler: SchedulerKind,
+) -> Result<FeatureMatrix, CensusError> {
+    let censuses = extract_censuses_with(engine, roots, threads, scheduler)?;
     Ok(FeatureMatrix::from_censuses(roots.to_vec(), censuses))
 }
 
 #[cfg(test)]
 mod tests {
-    use hsgf_graph::{generators, LabelSet};
+    use hsgf_graph::{generators, GraphBuilder, Label, LabelSet};
 
     use crate::census::CensusConfig;
 
@@ -168,6 +522,26 @@ mod tests {
     fn test_graph() -> hsgf_graph::HetGraph {
         let labels = LabelSet::from_names(["a", "b", "c"]).unwrap();
         generators::barabasi_albert(labels, &[1.0, 1.0, 1.0], 120, 2, 17).unwrap()
+    }
+
+    /// A star hub wide enough to trip the split threshold, with
+    /// mixed-label spokes joined by a ring so the grouping heuristic does
+    /// not trivialise the hub's census.
+    fn hub_graph(spokes: usize) -> hsgf_graph::HetGraph {
+        let labels = LabelSet::from_names(["hub", "x", "y", "z"]).unwrap();
+        let mut b = GraphBuilder::new(labels);
+        let hub = b.add_node_with(Label::new(0)).unwrap();
+        let mut spoke_ids = Vec::new();
+        for i in 0..spokes {
+            let s = b.add_node_with(Label::new(1 + (i % 3) as u8)).unwrap();
+            b.add_edge(hub, s).unwrap();
+            spoke_ids.push(s);
+        }
+        for i in 0..spokes {
+            b.add_edge(spoke_ids[i], spoke_ids[(i + 1) % spokes])
+                .unwrap();
+        }
+        b.build()
     }
 
     #[test]
@@ -194,6 +568,77 @@ mod tests {
     }
 
     #[test]
+    fn stealing_matches_cursor_on_balanced_graph() {
+        let graph = test_graph();
+        let engine = CensusEngine::new(&graph, CensusConfig::default().with_emax(3)).unwrap();
+        let roots: Vec<NodeId> = graph.nodes().step_by(5).collect();
+        let cursor = extract_censuses_with(&engine, &roots, 4, SchedulerKind::Cursor).unwrap();
+        for threads in [1, 2, 8] {
+            let stealing =
+                extract_censuses_with(&engine, &roots, threads, SchedulerKind::Stealing).unwrap();
+            assert_eq!(cursor, stealing, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn stealing_splits_hub_root_and_matches_sequential() {
+        let graph = hub_graph(SPLIT_WIDTH + 16);
+        let engine = CensusEngine::new(&graph, CensusConfig::default().with_emax(3)).unwrap();
+        let roots: Vec<NodeId> = graph.nodes().collect();
+        let seq = extract_hash_censuses(&engine, &roots, 1).unwrap();
+        let (stolen, stats) = extract_hash_censuses_stats(&engine, &roots, 4).unwrap();
+        assert_eq!(seq, stolen);
+        assert!(stats.splits >= 1, "hub root was not split: {stats:?}");
+        assert!(
+            stats.tasks > roots.len() as u64,
+            "shards did not add tasks: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn stealing_feature_matrix_is_bit_identical_to_cursor() {
+        let graph = hub_graph(SPLIT_WIDTH + 5);
+        let engine = CensusEngine::new(&graph, CensusConfig::default().with_emax(3)).unwrap();
+        let roots: Vec<NodeId> = graph.nodes().collect();
+        let cursor =
+            extract_feature_matrix_with(&engine, &roots, 4, SchedulerKind::Cursor).unwrap();
+        let stealing =
+            extract_feature_matrix_with(&engine, &roots, 4, SchedulerKind::Stealing).unwrap();
+        assert_eq!(cursor.roots(), stealing.roots());
+        assert_eq!(cursor.feature_count(), stealing.feature_count());
+        for i in 0..cursor.row_count() {
+            assert_eq!(cursor.row(i), stealing.row(i), "row {i}");
+        }
+    }
+
+    #[test]
+    fn plan_shards_partitions_the_frontier() {
+        for width in [1usize, 2, 5, 48, 100, 257] {
+            for parts in [1usize, 2, 4, 8, 100] {
+                let shards = plan_shards(width, parts);
+                assert!(!shards.is_empty());
+                assert_eq!(shards[0].0, 0);
+                for w in shards.windows(2) {
+                    assert_eq!(w[0].1, w[1].0, "contiguous: {shards:?}");
+                    assert!(w[0].0 < w[0].1, "non-empty: {shards:?}");
+                }
+                let last = shards.last().unwrap();
+                assert!(last.0 <= width && last.1 == usize::MAX, "{shards:?}");
+                assert!(shards.len() <= parts.min(width).max(1));
+            }
+        }
+        // Quadratic weighting front-loads narrow shards: the first shard
+        // of a wide split must be smaller than the last one's span.
+        let shards = plan_shards(100, 4);
+        let first_span = shards[0].1 - shards[0].0;
+        let last_span = 100 - shards.last().unwrap().0;
+        assert!(
+            first_span < last_span,
+            "expected decreasing weight per index: {shards:?}"
+        );
+    }
+
+    #[test]
     fn feature_matrix_rows_align_with_roots() {
         let graph = test_graph();
         let engine = CensusEngine::new(&graph, CensusConfig::default().with_emax(2)).unwrap();
@@ -213,6 +658,21 @@ mod tests {
         let engine = CensusEngine::new(&graph, CensusConfig::default()).unwrap();
         let bad = NodeId::new(10_000);
         assert!(extract_censuses(&engine, &[bad], 2).is_err());
+        assert!(extract_censuses_with(&engine, &[bad], 2, SchedulerKind::Stealing).is_err());
+    }
+
+    #[test]
+    fn more_threads_than_roots_is_clamped_not_wasted() {
+        let graph = test_graph();
+        let engine = CensusEngine::new(&graph, CensusConfig::default().with_emax(2)).unwrap();
+        let roots: Vec<NodeId> = graph.nodes().take(3).collect();
+        let seq = extract_censuses(&engine, &roots, 1).unwrap();
+        for scheduler in [SchedulerKind::Cursor, SchedulerKind::Stealing] {
+            let wide = extract_censuses_with(&engine, &roots, 64, scheduler).unwrap();
+            assert_eq!(seq, wide, "{scheduler}");
+        }
+        // Empty root sets are a no-op under any thread count.
+        assert!(extract_censuses(&engine, &[], 8).unwrap().is_empty());
     }
 
     #[test]
@@ -237,6 +697,41 @@ mod tests {
                 }
                 other => panic!("expected WorkerPanicked, got {other:?}"),
             }
+        }
+    }
+
+    #[test]
+    fn panic_payload_keeps_type_information() {
+        assert_eq!(panic_message(&"plain"), "plain");
+        assert_eq!(panic_message(&"owned".to_owned()), "owned");
+        let as_int = panic_message(&42i32);
+        assert!(as_int.contains("i32") && as_int.contains("42"), "{as_int}");
+        let as_bool = panic_message(&true);
+        assert!(as_bool.contains("bool"), "{as_bool}");
+        // Exotic payloads at least carry their TypeId.
+        let exotic = panic_message(&vec![1u8, 2]);
+        assert!(exotic.contains("type id"), "{exotic}");
+    }
+
+    #[test]
+    fn structured_panic_payload_is_diagnosable_end_to_end() {
+        let graph = test_graph();
+        let engine = CensusEngine::new(&graph, CensusConfig::default().with_emax(2)).unwrap();
+        let roots: Vec<NodeId> = graph.nodes().take(2).collect();
+        let result = run_per_root(&engine, &roots, 1, |_, root, _| {
+            if root == roots[0] {
+                std::panic::panic_any(1234u64);
+            }
+            Ok(HashMap::<Encoding, u64>::new())
+        });
+        match result {
+            Err(CensusError::WorkerPanicked { message, .. }) => {
+                assert!(
+                    message.contains("u64") && message.contains("1234"),
+                    "payload lost: {message}"
+                );
+            }
+            other => panic!("expected WorkerPanicked, got {other:?}"),
         }
     }
 

@@ -18,8 +18,17 @@ pub fn cap_root_degrees(graph: &HetGraph, roots: &[NodeId], percentile: f64) -> 
     roots
         .iter()
         .copied()
-        .filter(|&v| graph.degree(v) as u32 <= cap)
+        .filter(|&v| degree_within_cap(graph.degree(v), cap))
         .collect()
+}
+
+/// Whether a root of the given degree survives a percentile cap. Compared
+/// in `usize` by widening the cap: narrowing the degree (`degree as u32`)
+/// would wrap for degrees above `u32::MAX` and let extreme hubs slip
+/// through the very filter meant to exclude them.
+#[inline]
+fn degree_within_cap(degree: usize, cap: u32) -> bool {
+    degree <= cap as usize
 }
 
 /// Deterministically subsamples every `stride`-th root after sorting by
@@ -83,6 +92,20 @@ mod tests {
         assert!(!capped.contains(&NodeId::new(0)));
         let all = cap_root_degrees(&g, &roots, 100.0);
         assert_eq!(all.len(), roots.len());
+    }
+
+    #[test]
+    fn cap_comparison_widens_instead_of_truncating() {
+        // Degrees beyond u32::MAX cannot be built in a test graph, so the
+        // comparison itself is the regression surface: a truncating
+        // `degree as u32` would wrap `u32::MAX as usize + 1` to 0 and
+        // wrongly admit the hub.
+        let giant = u32::MAX as usize + 1;
+        assert!(!degree_within_cap(giant, 1000));
+        assert!(!degree_within_cap(giant, u32::MAX));
+        assert!(degree_within_cap(u32::MAX as usize, u32::MAX));
+        assert!(degree_within_cap(0, 0));
+        assert!(!degree_within_cap(1, 0));
     }
 
     #[test]

@@ -34,10 +34,12 @@ use std::time::Duration;
 
 use hsgf_graph::{HetGraph, NodeId};
 
-use crate::budget::{CancelToken, CensusBudget};
+use crate::budget::{CancelToken, CensusBudget, SharedBudget};
 use crate::census::{CensusConfig, CensusEngine, CensusError, CensusScratch};
 use crate::features::FeatureMatrix;
+use crate::parallel::{panic_message, plan_shards, SPLIT_WIDTH};
 use crate::sequence::Encoding;
+use crate::steal::{run_stealing, SchedulerKind};
 
 /// How one root's census concluded.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -242,17 +244,44 @@ impl<'g> Supervisor<'g> {
     /// the caller's thread). Never fails as a whole: each root's fate is
     /// reported in [`PartialExtraction::outcomes`].
     pub fn extract(&self, roots: &[NodeId], threads: usize) -> PartialExtraction {
-        self.extract_with(roots, threads, None, None)
+        self.extract_with(roots, threads, None, None, SchedulerKind::Cursor)
     }
 
-    /// [`Supervisor::extract`] with an optional cooperative cancellation
-    /// token and an optional fault-injection hook (chaos testing).
+    /// [`Supervisor::extract`] with an explicit scheduler choice. Outcomes
+    /// and matrix rows are identical for every scheduler (see
+    /// [`Supervisor::extract_with`] for how the stealing path guarantees
+    /// this); [`SchedulerKind::Stealing`] additionally balances skewed
+    /// per-root costs across workers.
+    pub fn extract_scheduled(
+        &self,
+        roots: &[NodeId],
+        threads: usize,
+        scheduler: SchedulerKind,
+    ) -> PartialExtraction {
+        self.extract_with(roots, threads, None, None, scheduler)
+    }
+
+    /// The full-form extraction: optional cooperative cancellation token,
+    /// optional fault-injection hook (chaos testing), and scheduler choice.
+    ///
+    /// Under [`SchedulerKind::Stealing`], wide hub roots have their *base*
+    /// census attempt split into shards drawing on one [`SharedBudget`], so
+    /// exhaustion still depends only on the root's true subgraph count. If
+    /// every shard completes, the merged census is bit-for-bit the
+    /// sequential base census and the outcome is `Exact`. If *any* shard
+    /// stops (budget, cancellation, panic), all shard work is discarded and
+    /// the root is re-run through the ordinary sequential ladder
+    /// ([`Supervisor::census_root`]) for the canonical outcome — so
+    /// [`PartialExtraction`] is independent of scheduler and thread count.
+    /// Roots are never sharded while a chaos hook is installed (hooks
+    /// model per-root faults, not per-shard ones).
     pub fn extract_with(
         &self,
         roots: &[NodeId],
         threads: usize,
         cancel: Option<&CancelToken>,
         chaos: Option<&dyn ChaosHook>,
+        scheduler: SchedulerKind,
     ) -> PartialExtraction {
         let results = if threads <= 1 {
             let mut holder = None;
@@ -261,7 +290,10 @@ impl<'g> Supervisor<'g> {
                 .map(|&root| self.census_root(root, &mut holder, cancel, chaos))
                 .collect()
         } else {
-            self.extract_parallel(roots, threads, cancel, chaos)
+            match scheduler {
+                SchedulerKind::Cursor => self.extract_parallel(roots, threads, cancel, chaos),
+                SchedulerKind::Stealing => self.extract_stealing(roots, threads, cancel, chaos),
+            }
         };
         self.assemble(roots, results)
     }
@@ -273,6 +305,9 @@ impl<'g> Supervisor<'g> {
         cancel: Option<&CancelToken>,
         chaos: Option<&dyn ChaosHook>,
     ) -> Vec<RootResult> {
+        // Tiny extractions must not pay spawn/teardown for workers that
+        // would immediately exit.
+        let threads = threads.min(roots.len());
         let cursor = AtomicUsize::new(0);
         let slots: Vec<Mutex<Option<RootResult>>> =
             roots.iter().map(|_| Mutex::new(None)).collect();
@@ -306,6 +341,188 @@ impl<'g> Supervisor<'g> {
                         // filling it. With in-loop isolation this should be
                         // unreachable, but a lost root must never sink the
                         // run — report it and move on.
+                        (
+                            None,
+                            RootOutcome::Failed {
+                                error: CensusError::WorkerPanicked {
+                                    root: root.raw(),
+                                    message: "worker terminated without reporting".to_owned(),
+                                },
+                            },
+                        )
+                    })
+            })
+            .collect()
+    }
+
+    /// The stealing-scheduler extraction. Whole roots are pool tasks; a
+    /// worker claiming a wide hub root (frontier width at least
+    /// [`SPLIT_WIDTH`], `emax >= 2`, no chaos hook) spawns shard tasks for
+    /// its base attempt instead, each charging subgraphs against one
+    /// [`SharedBudget`]. All-shards-success merges to the exact base
+    /// census; any shard failure falls back to the sequential ladder for
+    /// the canonical outcome (see [`Supervisor::extract_with`]).
+    fn extract_stealing(
+        &self,
+        roots: &[NodeId],
+        threads: usize,
+        cancel: Option<&CancelToken>,
+        chaos: Option<&dyn ChaosHook>,
+    ) -> Vec<RootResult> {
+        /// A pool task: one root, or one shard of a split root's base
+        /// attempt. Indices are into `roots`.
+        #[derive(Copy, Clone)]
+        enum Task {
+            Root(usize),
+            Shard {
+                slot: usize,
+                shard: usize,
+                lo: usize,
+                hi: usize,
+            },
+        }
+        /// Merge bookkeeping for one split root's base attempt.
+        struct Merge {
+            parts: Vec<Option<Result<HashMap<Encoding, u64>, CensusError>>>,
+            remaining: usize,
+        }
+        let base = self.base_engine();
+        let splittable = chaos.is_none() && base.config().emax >= 2;
+        let plans: Vec<Option<Vec<(usize, usize)>>> = (0..roots.len())
+            .map(|i| {
+                let width = base.root_width(roots[i]);
+                (splittable && width >= SPLIT_WIDTH)
+                    .then(|| plan_shards(width, (threads * 2).min(width)))
+            })
+            .collect();
+        // One pooled subgraph counter and one attempt budget per root,
+        // pre-built so every shard of a root observes the same cap and the
+        // same deadline instant (as the sequential base attempt would).
+        let shareds: Vec<SharedBudget> = (0..roots.len())
+            .map(|_| SharedBudget::new(self.policy.max_subgraphs))
+            .collect();
+        let budgets: Vec<CensusBudget> = (0..roots.len())
+            .map(|_| self.policy.attempt_budget())
+            .collect();
+        let merges: Vec<Mutex<Merge>> = plans
+            .iter()
+            .map(|plan| {
+                let n = plan.as_ref().map_or(0, Vec::len);
+                Mutex::new(Merge {
+                    parts: (0..n).map(|_| None).collect(),
+                    remaining: n,
+                })
+            })
+            .collect();
+        let slots: Vec<Mutex<Option<RootResult>>> =
+            roots.iter().map(|_| Mutex::new(None)).collect();
+        let mut order: Vec<usize> = (0..roots.len()).collect();
+        order.sort_by_key(|&i| std::cmp::Reverse(base.root_width(roots[i])));
+        let tasks: Vec<Task> = order.into_iter().map(Task::Root).collect();
+        let workers = if plans.iter().any(Option::is_some) {
+            threads
+        } else {
+            threads.min(tasks.len())
+        }
+        .max(1);
+        run_stealing(
+            workers,
+            tasks,
+            || None,
+            |holder: &mut Option<CensusScratch>, task, worker, pool| match task {
+                Task::Root(i) => {
+                    if let Some(ranges) = &plans[i] {
+                        pool.note_split();
+                        for (k, &(lo, hi)) in ranges.iter().enumerate() {
+                            pool.spawn(
+                                worker,
+                                Task::Shard {
+                                    slot: i,
+                                    shard: k,
+                                    lo,
+                                    hi,
+                                },
+                            );
+                        }
+                        return;
+                    }
+                    let result = self.census_root(roots[i], holder, cancel, chaos);
+                    *slots[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(result);
+                }
+                Task::Shard {
+                    slot,
+                    shard,
+                    lo,
+                    hi,
+                } => {
+                    let root = roots[slot];
+                    let scratch = holder.get_or_insert_with(|| self.engines[0].make_scratch());
+                    let attempt = catch_unwind(AssertUnwindSafe(|| {
+                        base.census_encodings_shard(
+                            root,
+                            scratch,
+                            (lo, hi),
+                            &budgets[slot],
+                            cancel,
+                            Some(&shareds[slot]),
+                        )
+                    }));
+                    let result = match attempt {
+                        Ok(r) => r.map(|c| c.counts),
+                        Err(payload) => {
+                            *holder = None;
+                            Err(CensusError::WorkerPanicked {
+                                root: root.raw(),
+                                message: panic_message(payload.as_ref()),
+                            })
+                        }
+                    };
+                    let mut merge = merges[slot].lock().unwrap_or_else(|e| e.into_inner());
+                    merge.parts[shard] = Some(result);
+                    merge.remaining -= 1;
+                    if merge.remaining > 0 {
+                        return;
+                    }
+                    let parts = std::mem::take(&mut merge.parts);
+                    drop(merge);
+                    let mut counts: HashMap<Encoding, u64> = HashMap::new();
+                    let mut failed = false;
+                    for part in parts {
+                        match part.expect("every shard reported before merge") {
+                            Ok(shard_counts) => {
+                                for (enc, n) in shard_counts {
+                                    *counts.entry(enc).or_insert(0) += n;
+                                }
+                            }
+                            Err(_) => {
+                                failed = true;
+                                break;
+                            }
+                        }
+                    }
+                    let result = if failed {
+                        // Canonical-outcome fallback: any shard stop means
+                        // the base attempt did not complete as sharded;
+                        // the sequential ladder decides what this root
+                        // really gets (Degraded / Failed / Cancelled —
+                        // bounded work, since each attempt aborts at its
+                        // budget). This keeps outcomes independent of
+                        // scheduler and thread count.
+                        self.census_root(root, holder, cancel, chaos)
+                    } else {
+                        (Some(counts), RootOutcome::Exact)
+                    };
+                    *slots[slot].lock().unwrap_or_else(|e| e.into_inner()) = Some(result);
+                }
+            },
+        );
+        slots
+            .into_iter()
+            .zip(roots)
+            .map(|(slot, &root)| {
+                slot.into_inner()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .unwrap_or_else(|| {
                         (
                             None,
                             RootOutcome::Failed {
@@ -396,17 +613,6 @@ impl<'g> Supervisor<'g> {
             matrix: FeatureMatrix::from_censuses(roots.to_vec(), censuses),
             outcomes,
         }
-    }
-}
-
-/// Best-effort extraction of a panic payload's message.
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
-    if let Some(s) = payload.downcast_ref::<&str>() {
-        (*s).to_owned()
-    } else if let Some(s) = payload.downcast_ref::<String>() {
-        s.clone()
-    } else {
-        "non-string panic payload".to_owned()
     }
 }
 
@@ -560,7 +766,7 @@ mod tests {
         .unwrap();
         let roots: Vec<NodeId> = graph.nodes().take(20).collect();
         let chaos = PanicOn(roots[7].raw());
-        let faulted = sup.extract_with(&roots, 4, None, Some(&chaos));
+        let faulted = sup.extract_with(&roots, 4, None, Some(&chaos), SchedulerKind::Cursor);
         let clean = sup.extract(&roots, 1);
         let (exact, _, failed, _) = faulted.tally();
         assert_eq!(failed, 1);
@@ -580,6 +786,94 @@ mod tests {
         }
         // The exact-only matrix drops exactly the faulted row.
         assert_eq!(faulted.exact_matrix().row_count(), roots.len() - 1);
+    }
+
+    /// A star hub wide enough to split, with mixed-label spokes on a ring.
+    fn hub_graph(spokes: usize) -> HetGraph {
+        use hsgf_graph::{GraphBuilder, Label};
+        let labels = LabelSet::from_names(["hub", "x", "y", "z"]).unwrap();
+        let mut b = GraphBuilder::new(labels);
+        let hub = b.add_node_with(Label::new(0)).unwrap();
+        let mut spoke_ids = Vec::new();
+        for i in 0..spokes {
+            let s = b.add_node_with(Label::new(1 + (i % 3) as u8)).unwrap();
+            b.add_edge(hub, s).unwrap();
+            spoke_ids.push(s);
+        }
+        for i in 0..spokes {
+            b.add_edge(spoke_ids[i], spoke_ids[(i + 1) % spokes])
+                .unwrap();
+        }
+        b.build()
+    }
+
+    #[test]
+    fn stealing_supervisor_matches_cursor_exactly() {
+        let graph = hub_graph(SPLIT_WIDTH + 12);
+        let sup = Supervisor::new(
+            &graph,
+            CensusConfig::default().with_emax(3),
+            ExtractionPolicy::default(),
+        )
+        .unwrap();
+        let roots: Vec<NodeId> = graph.nodes().collect();
+        let cursor = sup.extract_scheduled(&roots, 4, SchedulerKind::Cursor);
+        let stealing = sup.extract_scheduled(&roots, 4, SchedulerKind::Stealing);
+        assert_eq!(cursor.outcomes, stealing.outcomes);
+        assert!(stealing.is_complete());
+        for i in 0..roots.len() {
+            assert_eq!(row_census(&cursor, i), row_census(&stealing, i), "row {i}");
+        }
+    }
+
+    #[test]
+    fn stealing_supervisor_outcomes_survive_tight_budgets() {
+        // The hub root exceeds the subgraph cap; leaf roots fit. Sharded
+        // base attempts must exhaust the pooled cap and fall back to the
+        // sequential ladder, reproducing cursor outcomes exactly.
+        let graph = hub_graph(SPLIT_WIDTH + 12);
+        let policy = ExtractionPolicy {
+            max_subgraphs: Some(2_000),
+            degrade: true,
+            ..ExtractionPolicy::default()
+        };
+        let sup = Supervisor::new(&graph, CensusConfig::default().with_emax(3), policy).unwrap();
+        let roots: Vec<NodeId> = graph.nodes().collect();
+        let reference = sup.extract(&roots, 1);
+        let (_, degraded, _, _) = reference.tally();
+        assert!(degraded > 0, "budget never tripped — test graph too small");
+        for threads in [2, 8] {
+            let stealing = sup.extract_scheduled(&roots, threads, SchedulerKind::Stealing);
+            assert_eq!(reference.outcomes, stealing.outcomes, "threads={threads}");
+            for i in 0..roots.len() {
+                assert_eq!(
+                    row_census(&reference, i),
+                    row_census(&stealing, i),
+                    "threads={threads} row {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn stealing_supervisor_with_chaos_matches_cursor() {
+        // Chaos hooks suppress sharding; injected faults must land on the
+        // same roots with the same outcomes under both schedulers.
+        let graph = test_graph();
+        let sup = Supervisor::new(
+            &graph,
+            CensusConfig::default().with_emax(3),
+            ExtractionPolicy::default(),
+        )
+        .unwrap();
+        let roots: Vec<NodeId> = graph.nodes().take(20).collect();
+        let chaos = PanicOn(roots[7].raw());
+        let cursor = sup.extract_with(&roots, 4, None, Some(&chaos), SchedulerKind::Cursor);
+        let stealing = sup.extract_with(&roots, 4, None, Some(&chaos), SchedulerKind::Stealing);
+        assert_eq!(cursor.outcomes, stealing.outcomes);
+        for i in 0..roots.len() {
+            assert_eq!(row_census(&cursor, i), row_census(&stealing, i), "row {i}");
+        }
     }
 
     #[test]
@@ -603,7 +897,8 @@ mod tests {
         }
         let token = CancelToken::new();
         let chaos = CancelAfter(&token, roots[roots.len() / 2].raw());
-        let partial = sup.extract_with(&roots, 1, Some(&token), Some(&chaos));
+        let partial =
+            sup.extract_with(&roots, 1, Some(&token), Some(&chaos), SchedulerKind::Cursor);
         let (exact, _, failed, cancelled) = partial.tally();
         assert_eq!(failed, 0);
         assert!(exact > 0, "work finished before the cancel must survive");

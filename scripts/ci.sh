@@ -24,6 +24,19 @@ cargo test -q --offline -p hsgf --test robustness
 echo "==> bench smoke (HSGF_BENCH_FAST=1)"
 HSGF_BENCH_FAST=1 cargo bench --offline -p hsgf-bench --bench encoding -- >/dev/null
 
+echo "==> scheduler smoke (stealing output must be byte-identical to cursor)"
+SMOKE_DIR="$(mktemp -d)"
+trap 'rm -rf "$SMOKE_DIR"' EXIT
+HSGF="target/release/hsgf"
+"$HSGF" generate imdb --scale tiny --out "$SMOKE_DIR/g.txt"
+"$HSGF" info "$SMOKE_DIR/g.txt" --json | grep -q '"nodes"'
+"$HSGF" extract "$SMOKE_DIR/g.txt" --emax 3 --roots sample:5 --threads 4 \
+    --scheduler cursor --out "$SMOKE_DIR/cursor.json"
+"$HSGF" extract "$SMOKE_DIR/g.txt" --emax 3 --roots sample:5 --threads 4 \
+    --scheduler stealing --out "$SMOKE_DIR/stealing.json"
+cmp "$SMOKE_DIR/cursor.json" "$SMOKE_DIR/stealing.json"
+echo "    cursor == stealing ($(wc -c < "$SMOKE_DIR/cursor.json" | tr -d ' ') bytes)"
+
 if cargo fmt --version >/dev/null 2>&1; then
     echo "==> cargo fmt --check"
     cargo fmt --all --check

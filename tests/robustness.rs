@@ -13,7 +13,7 @@ use hsgf::core::census::CensusError;
 use hsgf::core::supervisor::{
     ChaosHook, ExtractionPolicy, PartialExtraction, RootOutcome, Supervisor,
 };
-use hsgf::core::CensusConfig;
+use hsgf::core::{CensusConfig, SchedulerKind};
 use hsgf::data::{ImdbConfig, ImdbData, Scale};
 use hsgf::graph::{HetGraph, NodeId};
 
@@ -78,7 +78,7 @@ fn two_faults_among_100_roots_lose_nothing() {
         panic_root: roots[13].raw(),
         budget_root: roots[77].raw(),
     };
-    let faulted = supervisor.extract_with(&roots, 4, None, Some(&chaos));
+    let faulted = supervisor.extract_with(&roots, 4, None, Some(&chaos), SchedulerKind::Cursor);
     let clean = supervisor.extract(&roots, 1);
 
     // The run completed and reports exactly the two anomalies.
@@ -191,7 +191,8 @@ fn cancellation_preserves_finished_work() {
         token: &token,
         after: roots[50].raw(),
     };
-    let partial = supervisor.extract_with(&roots, 1, Some(&token), Some(&chaos));
+    let partial =
+        supervisor.extract_with(&roots, 1, Some(&token), Some(&chaos), SchedulerKind::Cursor);
     let (exact, degraded, failed, cancelled) = partial.tally();
     assert_eq!(degraded + failed, 0);
     assert_eq!(exact + cancelled, 100);
@@ -226,4 +227,132 @@ fn plain_parallel_extraction_contains_panics() {
     roots.pop();
     let ok = hsgf::core::parallel::extract_censuses(&engine, &roots, 4).unwrap();
     assert_eq!(ok.len(), 20);
+}
+
+/// A star whose hub is wide enough to trigger intra-root shard splitting
+/// (the stealing scheduler splits roots of width >= 48), with mixed spoke
+/// labels and a ring among the spokes so subtrees are non-trivial.
+fn skewed_star() -> HetGraph {
+    use hsgf::graph::{GraphBuilder, Label};
+    let mut b = GraphBuilder::with_label_names(["hub", "x", "y", "z"]).unwrap();
+    let hub = b.add_node_with(Label::new(0)).unwrap();
+    let spokes: Vec<NodeId> = (0..64)
+        .map(|i| b.add_node_with(Label::new(1 + (i % 3) as u8)).unwrap())
+        .collect();
+    for &s in &spokes {
+        b.add_edge(hub, s).unwrap();
+    }
+    for w in spokes.windows(2) {
+        b.add_edge(w[0], w[1]).unwrap();
+    }
+    b.build()
+}
+
+#[test]
+fn stealing_matrix_is_bit_identical_across_thread_counts() {
+    // The work-stealing scheduler must be a pure scheduling change: the
+    // feature matrix it produces is bit-for-bit the cursor scheduler's,
+    // on both a realistic graph and a hub-skewed star that forces
+    // intra-root splitting, at every thread count.
+    for graph in [chaos_graph(), skewed_star()] {
+        let engine =
+            hsgf::core::CensusEngine::new(&graph, CensusConfig::default().with_emax(3)).unwrap();
+        let roots: Vec<NodeId> = graph.nodes().take(40).collect();
+        let reference = hsgf::core::parallel::extract_feature_matrix_with(
+            &engine,
+            &roots,
+            1,
+            SchedulerKind::Cursor,
+        )
+        .unwrap();
+        for threads in [1usize, 2, 8] {
+            for scheduler in [SchedulerKind::Cursor, SchedulerKind::Stealing] {
+                let run = hsgf::core::parallel::extract_feature_matrix_with(
+                    &engine, &roots, threads, scheduler,
+                )
+                .unwrap();
+                let same_space = run
+                    .space()
+                    .iter()
+                    .zip(reference.space().iter())
+                    .all(|((i, a), (j, b))| i == j && a == b);
+                assert!(
+                    same_space && run.space().len() == reference.space().len(),
+                    "feature space drifted (threads={threads}, scheduler={scheduler})"
+                );
+                assert_eq!(
+                    run.to_dense(),
+                    reference.to_dense(),
+                    "matrix drifted (threads={threads}, scheduler={scheduler})"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn stealing_supervisor_outcomes_match_cursor_under_tight_budget() {
+    // Under a budget tight enough to degrade busy roots, the per-root
+    // outcomes and every row must be independent of scheduler and thread
+    // count — the stealing path pools the subgraph cap across a root's
+    // shards and falls back to the sequential ladder on any shard fault.
+    let graph = chaos_graph();
+    let roots = hundred_roots(&graph);
+    let policy = ExtractionPolicy {
+        max_subgraphs: Some(2_000),
+        degrade: true,
+        ..ExtractionPolicy::default()
+    };
+    let supervisor = Supervisor::new(&graph, CensusConfig::default().with_emax(3), policy).unwrap();
+    let reference = supervisor.extract(&roots, 1);
+    let (_, degraded, failed, _) = reference.tally();
+    assert!(degraded + failed > 0, "budget never tripped");
+    for threads in [2usize, 8] {
+        let run = supervisor.extract_scheduled(&roots, threads, SchedulerKind::Stealing);
+        assert_eq!(
+            run.outcomes, reference.outcomes,
+            "outcomes drifted under stealing (threads={threads})"
+        );
+        for i in 0..roots.len() {
+            assert_eq!(
+                row_census(&run, i),
+                row_census(&reference, i),
+                "row {i} drifted under stealing (threads={threads})"
+            );
+        }
+    }
+}
+
+#[test]
+fn stealing_supervisor_contains_injected_panics_like_cursor() {
+    // Chaos-injected panics must surface as the same per-root outcomes
+    // regardless of scheduler (chaos disables shard splitting, so the
+    // panic is attributed to exactly one root either way).
+    let graph = chaos_graph();
+    let roots = hundred_roots(&graph);
+    let policy = ExtractionPolicy {
+        degrade: true,
+        ..ExtractionPolicy::default()
+    };
+    let supervisor = Supervisor::new(&graph, CensusConfig::default().with_emax(3), policy).unwrap();
+    let chaos = TwoFaults {
+        panic_root: roots[13].raw(),
+        budget_root: roots[77].raw(),
+    };
+    let cursor = supervisor.extract_with(&roots, 4, None, Some(&chaos), SchedulerKind::Cursor);
+    for threads in [1usize, 2, 8] {
+        let stolen =
+            supervisor.extract_with(&roots, threads, None, Some(&chaos), SchedulerKind::Stealing);
+        assert_eq!(
+            stolen.outcomes, cursor.outcomes,
+            "chaos outcomes drifted (threads={threads})"
+        );
+        for i in 0..roots.len() {
+            assert_eq!(
+                row_census(&stolen, i),
+                row_census(&cursor, i),
+                "row {i} drifted under chaos + stealing (threads={threads})"
+            );
+        }
+    }
 }
