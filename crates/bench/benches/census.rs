@@ -106,11 +106,33 @@ fn budget_overhead(runner: &mut Runner) {
     group.finish();
 }
 
+/// One observed pass over the bench workload, attached to the suite JSON so
+/// `scripts/bench_diff.sh` can flag counter drift (a behaviour change)
+/// separately from timing drift (noise or perf).
+fn attach_metrics(runner: &mut Runner) {
+    let graph = bench_graph();
+    let roots = roots(&graph);
+    let dmax = Some(DegreeStats::of(&graph).degree_at_percentile(90.0));
+    let config = CensusConfig::default().with_emax(3).with_dmax(dmax);
+    let obs = hsgf_core::Obs::enabled();
+    let engine = CensusEngine::new(&graph, config)
+        .expect("valid config")
+        .with_obs(obs.clone());
+    let mut scratch = engine.make_scratch();
+    for &root in &roots {
+        engine
+            .census_hashes(root, &mut scratch)
+            .expect("valid root");
+    }
+    runner.attach("obs_metrics", obs.snapshot().to_json());
+}
+
 fn main() {
     let mut runner = Runner::new("census");
     emax_scaling(&mut runner);
     grouping_heuristic(&mut runner);
     dmax_cutoff(&mut runner);
     budget_overhead(&mut runner);
+    attach_metrics(&mut runner);
     runner.finish();
 }

@@ -1,0 +1,69 @@
+//! Observability overhead guard: the census with a disabled (default)
+//! [`hsgf_core::Obs`] handle must stay within noise of itself before the
+//! obs layer existed — the hot path counts into plain per-scratch `u64`s
+//! and the per-run flush is a no-op when the handle is disabled. The
+//! enabled path is benched alongside to show the real (small) cost of the
+//! sharded registry, and micro-benches isolate the per-call cost of the
+//! handle itself.
+
+use hsgf_bench::runner::Runner;
+use hsgf_core::census::{CensusConfig, CensusEngine};
+use hsgf_core::{Metric, Obs};
+use hsgf_data::{LoadConfig, LoadData, Scale};
+use hsgf_graph::{DegreeStats, NodeId};
+
+fn main() {
+    let mut runner = Runner::new("obs");
+    let graph = LoadData::generate(&LoadConfig::at_scale(Scale::Tiny)).graph;
+    let roots: Vec<NodeId> = graph.nodes().step_by(13).take(12).collect();
+    let dmax = Some(DegreeStats::of(&graph).degree_at_percentile(90.0));
+    let config = CensusConfig::default().with_emax(3).with_dmax(dmax);
+
+    let run_with = |obs: Obs| {
+        let engine = CensusEngine::new(&graph, config.clone())
+            .expect("valid config")
+            .with_obs(obs);
+        let mut scratch = engine.make_scratch();
+        let mut total = 0u64;
+        for &root in &roots {
+            let counts = engine
+                .census_hashes(root, &mut scratch)
+                .expect("valid root");
+            total += counts.values().sum::<u64>();
+        }
+        total
+    };
+
+    let mut group = runner.group("obs/census");
+    group.bench_function("disabled", || run_with(Obs::disabled()));
+    group.bench_function("enabled", || run_with(Obs::enabled()));
+    group.finish();
+
+    // Per-call handle overhead in isolation. The disabled case is the one
+    // every non-observed run pays on flush boundaries.
+    let disabled = Obs::disabled();
+    let enabled = Obs::enabled();
+    let mut group = runner.group("obs/incr");
+    group.bench_function("disabled", || {
+        disabled.incr(Metric::SubgraphsEnumerated);
+    });
+    group.bench_function("enabled", || {
+        enabled.incr(Metric::SubgraphsEnumerated);
+    });
+    group.finish();
+
+    // A snapshot of the enabled census run rides along so bench diffs can
+    // check the counters stayed identical while timings moved.
+    let obs = Obs::enabled();
+    let engine = CensusEngine::new(&graph, config.clone())
+        .expect("valid config")
+        .with_obs(obs.clone());
+    let mut scratch = engine.make_scratch();
+    for &root in &roots {
+        engine
+            .census_hashes(root, &mut scratch)
+            .expect("valid root");
+    }
+    runner.attach("obs_metrics", obs.snapshot().to_json());
+    runner.finish();
+}

@@ -215,8 +215,16 @@ fn main() {
     });
     group.finish();
     let counter_threads = bench_threads.max(MODEL_WORKERS);
-    let (_, stats) = extract_hash_censuses_stats(&skew_engine, &skew_roots, counter_threads)
+    // Run the counted extraction through an observed engine: the printed
+    // StealStats now come from the same registry as the attached snapshot,
+    // so results/stealing_bench.md is reproducible from the suite JSON.
+    let obs = hsgf_core::Obs::enabled();
+    let counted_engine = CensusEngine::new(&skewed, CensusConfig::default().with_emax(3))
+        .expect("valid")
+        .with_obs(obs.clone());
+    let (_, stats) = extract_hash_censuses_stats(&counted_engine, &skew_roots, counter_threads)
         .expect("valid roots");
     eprintln!("stealing counters (hub-skewed, {counter_threads} workers): {stats}");
+    runner.attach("obs_metrics", obs.snapshot().to_json());
     runner.finish();
 }

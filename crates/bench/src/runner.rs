@@ -79,6 +79,7 @@ pub struct Runner {
     suite: String,
     config: RunnerConfig,
     results: Vec<Measurement>,
+    attachments: Vec<(String, String)>,
 }
 
 impl Runner {
@@ -88,7 +89,18 @@ impl Runner {
             suite: suite.to_string(),
             config: RunnerConfig::default(),
             results: Vec::new(),
+            attachments: Vec::new(),
         }
+    }
+
+    /// Attaches a pre-rendered JSON document under `key` in the suite's
+    /// output (e.g. an `hsgf_core::obs` metrics snapshot), so the
+    /// experiment scripts can diff counters alongside timings. The value
+    /// must be valid JSON — it is embedded verbatim. A repeated key
+    /// replaces the earlier attachment.
+    pub fn attach(&mut self, key: &str, json_value: String) {
+        self.attachments.retain(|(k, _)| k != key);
+        self.attachments.push((key.to_string(), json_value));
     }
 
     /// Benchmarks a closure under `name`. The closure's return value is
@@ -184,7 +196,20 @@ impl Runner {
                 m.iters_per_sample,
             );
         }
-        out.push_str("  ]\n}\n");
+        if self.attachments.is_empty() {
+            out.push_str("  ]\n}\n");
+        } else {
+            out.push_str("  ],\n  \"attachments\": {\n");
+            for (i, (key, value)) in self.attachments.iter().enumerate() {
+                let comma = if i + 1 < self.attachments.len() {
+                    ","
+                } else {
+                    ""
+                };
+                let _ = writeln!(out, "    \"{}\": {value}{comma}", escape_json(key));
+            }
+            out.push_str("  }\n}\n");
+        }
         out
     }
 
@@ -305,6 +330,22 @@ mod tests {
         let json = runner.to_json();
         assert!(json.contains("\"suite\": \"suite \\\"q\\\"\""));
         assert!(json.contains("\"median_ns\""));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn attachments_embed_as_json_members() {
+        let mut runner = Runner::new("suite");
+        runner.config = fast_config();
+        runner.bench_function("a", || ());
+        runner.attach("metrics", "{\"x\": 1}".to_string());
+        runner.attach("metrics", "{\"x\": 2}".to_string()); // replaces
+        runner.attach("other", "[1, 2]".to_string());
+        let json = runner.to_json();
+        assert!(json.contains("\"attachments\""), "{json}");
+        assert!(json.contains("\"metrics\": {\"x\": 2}"), "{json}");
+        assert!(!json.contains("{\"x\": 1}"), "{json}");
+        assert!(json.contains("\"other\": [1, 2]"), "{json}");
         assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
 

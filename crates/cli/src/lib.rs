@@ -24,6 +24,8 @@ use std::io::Write;
 use hsgf_core::census::{CensusConfig, CensusEngine};
 use hsgf_core::export;
 use hsgf_core::features::FeatureMatrix;
+use hsgf_core::json;
+use hsgf_core::obs::{self, Metric, MetricsSnapshot, Obs};
 use hsgf_core::parallel::extract_censuses_with;
 use hsgf_core::sampling;
 use hsgf_core::steal::SchedulerKind;
@@ -181,6 +183,8 @@ USAGE:
                [--scheduler cursor|stealing]
                [--budget-subgraphs N] [--budget-frontier N] [--deadline-ms MS]
                [--degrade] [--out FILE] [--vocab FILE]
+               [--metrics-out FILE] [--trace-out FILE]
+  hsgf obs-validate <METRICS> [--trace FILE] [--against METRICS2]
   hsgf help
 
 GRAPH files use the hsgf-graph v1 text format (see `hsgf generate`).
@@ -196,7 +200,16 @@ subgraphs (deterministic), --budget-frontier caps scratch growth,
 --deadline-ms is a per-root wall-clock cutoff. With --degrade, over-budget
 roots retry down a deterministic ladder (tightened dmax, then reduced emax)
 instead of failing. A run with any non-exact root prints a per-root outcome
-summary and exits with code 3 (0 = fully exact, 2 = hard error).";
+summary and exits with code 3 (0 = fully exact, 2 = hard error).
+
+Observability: --metrics-out writes a metrics snapshot (JSON) of the run's
+census counters; --trace-out writes per-phase and per-root spans in Chrome
+trace format (load in chrome://tracing or Perfetto). Either flag also prints
+a summary table to stderr. The snapshot's \"counters\" section is
+deterministic — identical across thread counts and schedulers — while
+\"runtime\" and \"durations\" vary run to run. `obs-validate` checks the
+schema of saved files and, with --against, that two snapshots' deterministic
+counters agree.";
 
 /// Generates a named synthetic dataset.
 pub fn generate(dataset: &str, scale: Scale) -> Result<HetGraph, CliError> {
@@ -231,13 +244,11 @@ pub fn info<W: Write>(graph: &HetGraph, mut out: W) -> Result<(), CliError> {
     for (label, name) in graph.labels().iter() {
         writeln!(out, "  {name:>16}: {:>8} nodes", hist[label.index()])?;
     }
+    let (p50, p90, p99, max) = stats.percentile_summary();
     writeln!(
         out,
-        "degrees: mean {:.1}, median {}, max {}, p90 {}, hub ratio {:.1}",
+        "degrees: mean {:.1}, p50 {p50}, p90 {p90}, p99 {p99}, max {max}, hub ratio {:.1}",
         stats.mean(),
-        stats.median(),
-        stats.max(),
-        stats.degree_at_percentile(90.0),
         stats.hub_ratio()
     )?;
     writeln!(
@@ -298,6 +309,9 @@ pub struct ExtractParams {
     /// Per-root resource policy. An unbounded policy with `degrade` off
     /// takes the plain (non-supervised) extraction path.
     pub policy: ExtractionPolicy,
+    /// Observability handle the census emits into (no-op by default;
+    /// enabled by `--metrics-out` / `--trace-out`).
+    pub obs: Obs,
 }
 
 impl ExtractParams {
@@ -331,14 +345,20 @@ pub fn extract(graph: &HetGraph, params: &ExtractParams) -> Result<PartialExtrac
     let config = params.census_config(graph);
     let roots = params.select_roots(graph);
     let mut partial = if params.policy.is_bounded() || params.policy.degrade {
-        let supervisor = Supervisor::new(graph, config, params.policy.clone())?;
+        let supervisor =
+            Supervisor::new(graph, config, params.policy.clone())?.with_obs(params.obs.clone());
         supervisor.extract_scheduled(&roots, params.threads, params.scheduler)
     } else {
-        let engine = CensusEngine::new(graph, config)?;
+        let engine = CensusEngine::new(graph, config)?.with_obs(params.obs.clone());
         let censuses = extract_censuses_with(&engine, &roots, params.threads, params.scheduler)?;
+        // The plain path succeeds only when every root is exact; mirror the
+        // supervisor's outcome accounting so the metrics agree.
+        params.obs.add(Metric::RootsExact, roots.len() as u64);
         let outcomes = vec![RootOutcome::Exact; roots.len()];
         PartialExtraction {
-            matrix: FeatureMatrix::from_censuses(roots, censuses),
+            matrix: params.obs.phase("feature-matrix", || {
+                FeatureMatrix::from_censuses(roots, censuses)
+            }),
             outcomes,
         }
     };
@@ -385,6 +405,49 @@ pub fn write_outcome_summary<W: Write>(
     Ok(())
 }
 
+/// Writes the stderr-facing metrics summary table of an observed run: the
+/// deterministic census counters, the runtime/scheduler counters, and the
+/// phase timings, aligned for human scanning.
+pub fn write_obs_summary<W: Write>(snap: &MetricsSnapshot, mut out: W) -> Result<(), CliError> {
+    writeln!(out, "metrics summary")?;
+    writeln!(out, "  counters (deterministic)")?;
+    for metric in Metric::ALL {
+        if metric.deterministic() {
+            writeln!(out, "    {:<24} {:>12}", metric.name(), snap.get(metric))?;
+        }
+    }
+    writeln!(
+        out,
+        "    {:<24} {:>12}",
+        "frontier_peak", snap.frontier_peak
+    )?;
+    writeln!(out, "  runtime")?;
+    for metric in Metric::ALL {
+        if !metric.deterministic() {
+            writeln!(out, "    {:<24} {:>12}", metric.name(), snap.get(metric))?;
+        }
+    }
+    if !snap.phase_us.is_empty() {
+        writeln!(out, "  phases")?;
+        for (name, us) in &snap.phase_us {
+            writeln!(out, "    {:<24} {:>9}.{:03} ms", name, us / 1000, us % 1000)?;
+        }
+    }
+    if !snap.slowest_roots.is_empty() {
+        writeln!(out, "  slowest roots")?;
+        for (root, us) in &snap.slowest_roots {
+            writeln!(
+                out,
+                "    root {:<19} {:>9}.{:03} ms",
+                root,
+                us / 1000,
+                us % 1000
+            )?;
+        }
+    }
+    Ok(())
+}
+
 /// Builds [`ExtractParams`] from parsed options (strict: malformed values
 /// error instead of falling back to defaults).
 fn extract_params(options: &Options) -> Result<ExtractParams, CliError> {
@@ -411,6 +474,7 @@ fn extract_params(options: &Options) -> Result<ExtractParams, CliError> {
         )?,
         scheduler: options.get_or("scheduler", SchedulerKind::Cursor)?,
         policy,
+        obs: Obs::disabled(),
     })
 }
 
@@ -460,14 +524,27 @@ pub fn run<W: Write>(options: &Options, mut out: W) -> Result<i32, CliError> {
                 .positional
                 .get(1)
                 .ok_or_else(|| CliError::Usage("extract needs a graph file".into()))?;
-            let text = std::fs::read_to_string(path)?;
-            let graph = hsgf_graph::io::from_str(&text)?;
-            let params = extract_params(options)?;
-            let partial = extract(&graph, &params)?;
-            if let Some(vocab_path) = options.get_opt("vocab") {
-                let mut f = std::fs::File::create(vocab_path)?;
-                export::write_vocabulary(&partial.matrix, graph.labels(), &mut f)?;
-            }
+            let metrics_out = options.get_opt("metrics-out").map(str::to_owned);
+            let trace_out = options.get_opt("trace-out").map(str::to_owned);
+            let obs = if metrics_out.is_some() || trace_out.is_some() {
+                Obs::enabled()
+            } else {
+                Obs::disabled()
+            };
+            let graph = obs.phase("load", || -> Result<HetGraph, CliError> {
+                let text = std::fs::read_to_string(path)?;
+                Ok(hsgf_graph::io::from_str(&text)?)
+            })?;
+            let mut params = extract_params(options)?;
+            params.obs = obs.clone();
+            let partial = obs.phase("extract", || extract(&graph, &params))?;
+            obs.phase("eval", || -> Result<(), CliError> {
+                if let Some(vocab_path) = options.get_opt("vocab") {
+                    let mut f = std::fs::File::create(vocab_path)?;
+                    export::write_vocabulary(&partial.matrix, graph.labels(), &mut f)?;
+                }
+                Ok(())
+            })?;
             // Ungoverned runs are all-exact by construction; only budgeted
             // (or incomplete) runs carry outcome information worth printing.
             let summarize =
@@ -494,11 +571,50 @@ pub fn run<W: Write>(options: &Options, mut out: W) -> Result<i32, CliError> {
                     }
                 }
             }
+            if obs.is_enabled() {
+                let snap = obs.snapshot();
+                if let Some(path) = &metrics_out {
+                    std::fs::write(path, snap.to_json())?;
+                }
+                if let Some(path) = &trace_out {
+                    std::fs::write(path, obs.trace_json())?;
+                }
+                write_obs_summary(&snap, std::io::stderr().lock())?;
+            }
             Ok(if partial.is_complete() {
                 0
             } else {
                 EXIT_PARTIAL
             })
+        }
+        "obs-validate" => {
+            let path = options
+                .positional
+                .get(1)
+                .ok_or_else(|| CliError::Usage("obs-validate needs a metrics file".into()))?;
+            let metrics = json::parse(&std::fs::read_to_string(path)?)
+                .map_err(|e| CliError::Usage(format!("{path}: not JSON: {e}")))?;
+            obs::validate_metrics_json(&metrics)
+                .map_err(|e| CliError::Usage(format!("{path}: {e}")))?;
+            writeln!(out, "{path}: metrics schema ok")?;
+            if let Some(trace_path) = options.get_opt("trace") {
+                let trace = json::parse(&std::fs::read_to_string(trace_path)?)
+                    .map_err(|e| CliError::Usage(format!("{trace_path}: not JSON: {e}")))?;
+                obs::validate_trace_json(&trace)
+                    .map_err(|e| CliError::Usage(format!("{trace_path}: {e}")))?;
+                writeln!(out, "{trace_path}: trace schema ok")?;
+            }
+            if let Some(other_path) = options.get_opt("against") {
+                let other = json::parse(&std::fs::read_to_string(other_path)?)
+                    .map_err(|e| CliError::Usage(format!("{other_path}: not JSON: {e}")))?;
+                obs::compare_deterministic_counters(&metrics, &other).map_err(|e| {
+                    CliError::Usage(format!(
+                        "deterministic counters differ ({path} vs {other_path}): {e}"
+                    ))
+                })?;
+                writeln!(out, "deterministic counters match {other_path}")?;
+            }
+            Ok(0)
         }
         other => Err(CliError::Usage(format!("unknown subcommand {other:?}"))),
     }
@@ -523,6 +639,7 @@ mod tests {
             threads,
             scheduler: SchedulerKind::Cursor,
             policy: ExtractionPolicy::default(),
+            obs: Obs::disabled(),
         }
     }
 
@@ -814,6 +931,100 @@ mod tests {
             "json: {json}"
         );
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn run_extract_writes_and_validates_observability_files() {
+        let dir = std::env::temp_dir().join(format!("hsgf-cli-obs-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let graph_path = dir.join("g.txt");
+        run(
+            &opts(&[
+                "generate",
+                "flow",
+                "--scale",
+                "tiny",
+                "--out",
+                graph_path.to_str().unwrap(),
+            ]),
+            Vec::new(),
+        )
+        .unwrap();
+        let metrics_path = dir.join("metrics.json");
+        let trace_path = dir.join("trace.json");
+        let csv_path = dir.join("features.csv");
+        assert_eq!(
+            run(
+                &opts(&[
+                    "extract",
+                    graph_path.to_str().unwrap(),
+                    "--emax",
+                    "2",
+                    "--threads",
+                    "2",
+                    "--out",
+                    csv_path.to_str().unwrap(),
+                    "--metrics-out",
+                    metrics_path.to_str().unwrap(),
+                    "--trace-out",
+                    trace_path.to_str().unwrap(),
+                ]),
+                Vec::new(),
+            )
+            .unwrap(),
+            0
+        );
+        let metrics = json::parse(&std::fs::read_to_string(&metrics_path).unwrap()).unwrap();
+        obs::validate_metrics_json(&metrics).unwrap();
+        let trace = json::parse(&std::fs::read_to_string(&trace_path).unwrap()).unwrap();
+        obs::validate_trace_json(&trace).unwrap();
+        // The trace carries the three pipeline phases.
+        let rendered = std::fs::read_to_string(&trace_path).unwrap();
+        for phase in ["load", "extract", "eval"] {
+            assert!(rendered.contains(&format!("\"{phase}\"")), "{rendered}");
+        }
+        // The snapshot saw real census work.
+        let counters = metrics.get("counters").unwrap();
+        let subgraphs = counters
+            .get("subgraphs_enumerated")
+            .and_then(|v| v.as_f64())
+            .unwrap();
+        assert!(subgraphs > 0.0, "no subgraphs counted");
+        // obs-validate accepts the pair and the self-comparison.
+        let mut buf = Vec::new();
+        assert_eq!(
+            run(
+                &opts(&[
+                    "obs-validate",
+                    metrics_path.to_str().unwrap(),
+                    "--trace",
+                    trace_path.to_str().unwrap(),
+                    "--against",
+                    metrics_path.to_str().unwrap(),
+                ]),
+                &mut buf,
+            )
+            .unwrap(),
+            0
+        );
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("metrics schema ok"), "{text}");
+        assert!(text.contains("trace schema ok"), "{text}");
+        assert!(text.contains("counters match"), "{text}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn obs_summary_table_lists_counters() {
+        let obs = Obs::enabled();
+        obs.add(Metric::RootsExact, 3);
+        obs.phase("extract", || ());
+        let mut buf = Vec::new();
+        write_obs_summary(&obs.snapshot(), &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("counters (deterministic)"), "{text}");
+        assert!(text.contains("roots_exact"), "{text}");
+        assert!(text.contains("extract"), "{text}");
     }
 
     #[test]

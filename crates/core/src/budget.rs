@@ -195,6 +195,8 @@ pub(crate) struct BudgetState<'a> {
     cancel: Option<&'a CancelToken>,
     /// Record counter for amortized deadline/cancel polling.
     tick: u32,
+    /// Polls executed (reported as the `budget_polls` runtime metric).
+    polls: u64,
 }
 
 impl<'a> BudgetState<'a> {
@@ -206,6 +208,7 @@ impl<'a> BudgetState<'a> {
             deadline: budget.deadline,
             cancel,
             tick: 0,
+            polls: 0,
         }
     }
 
@@ -246,8 +249,14 @@ impl<'a> BudgetState<'a> {
         Ok(())
     }
 
+    /// Number of amortized polls executed so far.
+    pub(crate) fn polls(&self) -> u64 {
+        self.polls
+    }
+
     /// The amortized wall-clock / cancellation poll.
-    fn poll(&self) -> Result<(), Stop> {
+    fn poll(&mut self) -> Result<(), Stop> {
+        self.polls += 1;
         if self.cancel.is_some_and(CancelToken::is_cancelled) {
             return Err(Stop::Cancelled);
         }

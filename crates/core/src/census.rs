@@ -37,6 +37,7 @@ use std::fmt;
 
 use crate::budget::{BudgetKind, BudgetState, CancelToken, CensusBudget, SharedBudget, Stop};
 use crate::hash::{mix, HashScheme, LabelBases};
+use crate::obs::{CensusCounters, Metric, Obs};
 use crate::sequence::Encoding;
 use hsgf_graph::{HetGraph, NodeId, Orientation};
 
@@ -223,6 +224,12 @@ pub struct CensusScratch {
     hash: u64,
     /// Root of the census currently in progress.
     root: NodeId,
+    /// Cumulative plain observability counters (no atomics on the hot
+    /// path); see [`crate::obs`]. Flushed as per-run deltas.
+    counters: CensusCounters,
+    /// Delta of the most recent governed run (set on every exit, complete
+    /// or aborted). Shard callers read this to merge split-root counters.
+    pub(crate) last_delta: CensusCounters,
 }
 
 /// Read-only view of the current subgraph handed to census sinks.
@@ -281,6 +288,8 @@ pub struct CensusEngine<'g> {
     cols: usize,
     /// Number of edge types consulted (1 when `edge_typed` is off).
     type_count: usize,
+    /// Telemetry sink; defaults to the disabled (no-op) handle.
+    obs: Obs,
 }
 
 impl<'g> CensusEngine<'g> {
@@ -304,7 +313,25 @@ impl<'g> CensusEngine<'g> {
             alphabet,
             cols,
             type_count,
+            obs: Obs::default(),
         })
+    }
+
+    /// Attaches an observability handle (builder style). Completed census
+    /// runs flush their counters into it; the default handle is a no-op.
+    pub fn with_obs(mut self, obs: Obs) -> Self {
+        self.obs = obs;
+        self
+    }
+
+    /// Replaces the engine's observability handle in place.
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.obs = obs;
+    }
+
+    /// The engine's observability handle.
+    pub fn obs(&self) -> &Obs {
+        &self.obs
     }
 
     /// The engine's configuration.
@@ -344,6 +371,8 @@ impl<'g> CensusEngine<'g> {
             sub_edge_count: 0,
             hash: 0,
             root: NodeId::new(0),
+            counters: CensusCounters::default(),
+            last_delta: CensusCounters::default(),
         }
     }
 
@@ -405,7 +434,11 @@ impl<'g> CensusEngine<'g> {
             by_hash: HashMap::new(),
             collisions: 0,
         };
-        self.run_budgeted(root, scratch, &mut sink, budget, cancel)?;
+        // Calls run_governed (not run_budgeted) so the sink's collision
+        // count lands in the delta before the whole-run flush.
+        self.run_governed(root, scratch, &mut sink, budget, cancel, None, None)?;
+        scratch.last_delta.hash_collisions = sink.collisions;
+        self.flush_whole(scratch);
         Ok(EncodedCensus {
             counts: sink.counts,
             hash_collisions: sink.collisions,
@@ -449,6 +482,11 @@ impl<'g> CensusEngine<'g> {
             shared,
             Some(range),
         )?;
+        // No registry flush here: shard deltas (readable via
+        // `scratch.last_delta`) are only merged once every sibling shard of
+        // the root completes, which keeps the deterministic counters
+        // scheduler-independent under budgets.
+        scratch.last_delta.hash_collisions = sink.collisions;
         Ok(EncodedCensus {
             counts: sink.counts,
             hash_collisions: sink.collisions,
@@ -506,7 +544,18 @@ impl<'g> CensusEngine<'g> {
         budget: &CensusBudget,
         cancel: Option<&CancelToken>,
     ) -> Result<(), CensusError> {
-        self.run_governed(root, scratch, sink, budget, cancel, None, None)
+        self.run_governed(root, scratch, sink, budget, cancel, None, None)?;
+        self.flush_whole(scratch);
+        Ok(())
+    }
+
+    /// Flushes a completed whole (unsharded) run's counters into the
+    /// engine's [`Obs`] handle, including the per-root size histogram
+    /// sample. Shard runs skip this; their deltas flush at the merge point.
+    fn flush_whole(&self, scratch: &CensusScratch) {
+        self.obs.record_census(&scratch.last_delta);
+        self.obs
+            .observe_root_subgraphs(scratch.last_delta.subgraphs);
     }
 
     /// Number of top-level DFS candidates for `root` (its degree): the unit
@@ -538,6 +587,11 @@ impl<'g> CensusEngine<'g> {
             return Err(CensusError::Cancelled { root: root.raw() });
         }
         debug_assert!(scratch.in_sub.len() == self.graph.node_count());
+        // Observability: counters are cumulative across runs, so capture
+        // the entry values and flush deltas. The frontier peak is a max,
+        // not a sum — reset it so the delta is this run's own peak.
+        let counters_before = scratch.counters;
+        scratch.counters.frontier_peak = 0;
         scratch.root = root;
         scratch.in_sub[root.index()] = true;
         scratch.sub_nodes.push(root);
@@ -554,7 +608,14 @@ impl<'g> CensusEngine<'g> {
         let mark = scratch.ext.len();
         debug_assert_eq!(mark, 0);
         // The degree constraint never applies to the root (paper §4.3.5).
+        let pushes_at_root = scratch.counters.frontier_pushes;
         self.push_candidates(scratch, root);
+        // Every shard of a split root re-pushes the root's candidates;
+        // credit them to the first shard only so shard deltas sum to the
+        // sequential run's frontier-push count exactly.
+        if shard.is_some_and(|(lo, _)| lo != 0) {
+            scratch.counters.frontier_pushes = pushes_at_root;
+        }
         let mut state = BudgetState::new(budget, cancel).with_shared(shared);
         let outcome = state
             .check_frontier(scratch.ext.len())
@@ -572,13 +633,28 @@ impl<'g> CensusEngine<'g> {
         scratch.hash = 0;
         debug_assert!(scratch.sub_nodes.is_empty());
         debug_assert!(scratch.processed.is_empty());
+        scratch.last_delta = scratch.counters.delta_since(&counters_before);
+        // Poll counts and stop outcomes land in the runtime (non-
+        // deterministic) section directly; they are recorded for aborted
+        // runs too, unlike the census delta.
+        self.obs.add(Metric::BudgetPolls, state.polls());
         match outcome {
             Ok(()) => Ok(()),
-            Err(Stop::Budget(kind)) => Err(CensusError::BudgetExhausted {
-                root: root.raw(),
-                kind,
-            }),
-            Err(Stop::Cancelled) => Err(CensusError::Cancelled { root: root.raw() }),
+            Err(Stop::Budget(kind)) => {
+                self.obs.incr(match kind {
+                    BudgetKind::Subgraphs => Metric::BudgetStopSubgraphs,
+                    BudgetKind::Frontier => Metric::BudgetStopFrontier,
+                    BudgetKind::Deadline => Metric::BudgetStopDeadline,
+                });
+                Err(CensusError::BudgetExhausted {
+                    root: root.raw(),
+                    kind,
+                })
+            }
+            Err(Stop::Cancelled) => {
+                self.obs.incr(Metric::BudgetStopCancelled);
+                Err(CensusError::Cancelled { root: root.raw() })
+            }
         }
     }
 
@@ -586,6 +662,7 @@ impl<'g> CensusEngine<'g> {
     fn push_candidates(&self, scratch: &mut CensusScratch, w: NodeId) {
         let nbrs = self.graph.neighbors(w);
         let ids = self.graph.incident_edge_ids(w);
+        let before = scratch.ext.len();
         for (&x, &e) in nbrs.iter().zip(ids) {
             if !scratch.edge_seen[e as usize] {
                 scratch.edge_seen[e as usize] = true;
@@ -596,6 +673,9 @@ impl<'g> CensusEngine<'g> {
                 });
             }
         }
+        scratch.counters.frontier_pushes += (scratch.ext.len() - before) as u64;
+        scratch.counters.frontier_peak =
+            scratch.counters.frontier_peak.max(scratch.ext.len() as u64);
     }
 
     /// Column index of a neighbour with label `l` seen through
@@ -816,10 +896,15 @@ impl<'g> CensusEngine<'g> {
         let mut grouped = 0usize;
         let step = if scratch.sub_edge_count < self.config.emax {
             sink.record(&self.view(scratch), hash, 1);
+            scratch.counters.subgraphs += 1;
             let mark = scratch.ext.len();
             let step = state.on_record(1).and_then(|()| {
-                if node_was_new && self.may_expand(cand.to) {
-                    self.push_candidates(scratch, cand.to);
+                if node_was_new {
+                    if self.may_expand(cand.to) {
+                        self.push_candidates(scratch, cand.to);
+                    } else {
+                        scratch.counters.dmax_skips += 1;
+                    }
                 }
                 state.check_frontier(scratch.ext.len())?;
                 self.explore(scratch, sink, state)
@@ -855,6 +940,12 @@ impl<'g> CensusEngine<'g> {
             }
             let multiplicity = 1 + grouped as u64;
             sink.record(&self.view(scratch), hash, multiplicity);
+            scratch.counters.subgraphs += multiplicity;
+            if grouped > 0 {
+                scratch.counters.grouping_fast_path += grouped as u64;
+            } else {
+                scratch.counters.grouping_fallback += 1;
+            }
             state.on_record(multiplicity)
         };
         self.remove_edge(scratch, cand, node_was_new);

@@ -128,13 +128,16 @@ pub fn degree_stats_to_json(stats: &DegreeStats) -> String {
         pair.push_uint(count as u64);
         histogram.push_raw(&pair.finish());
     }
+    let (p50, p90, p99, max) = stats.percentile_summary();
     JsonObject::new()
         .uint("nodes", stats.node_count() as u64)
         .uint("min_degree", stats.min() as u64)
-        .uint("max_degree", stats.max() as u64)
+        .uint("max_degree", max as u64)
         .num("mean_degree", stats.mean())
         .uint("median_degree", stats.median() as u64)
-        .uint("degree_p90", stats.degree_at_percentile(90.0) as u64)
+        .uint("degree_p50", p50 as u64)
+        .uint("degree_p90", p90 as u64)
+        .uint("degree_p99", p99 as u64)
         .num("hub_ratio", stats.hub_ratio())
         .raw("histogram", &histogram.finish())
         .finish()

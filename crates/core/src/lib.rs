@@ -66,6 +66,7 @@ pub mod export;
 pub mod features;
 pub mod hash;
 pub mod json;
+pub mod obs;
 pub mod parallel;
 pub mod prop;
 pub mod reference;
@@ -86,6 +87,7 @@ pub use enumerate::{
 };
 pub use features::{FeatureMatrix, FeatureSpace};
 pub use hash::LabelBases;
+pub use obs::{CensusCounters, Metric, MetricsSnapshot, Obs};
 pub use sequence::Encoding;
 pub use small::SmallGraph;
 pub use steal::{SchedulerKind, StealStats};

@@ -1,0 +1,1157 @@
+//! Unified observability for the census pipeline: a sharded metrics
+//! registry plus span tracing, threaded through [`crate::census`],
+//! [`crate::supervisor`], [`crate::parallel`], and [`crate::steal`].
+//!
+//! The paper's efficiency claims rest on internals that are invisible at
+//! runtime — rolling-hash collision behaviour beyond the provably-safe
+//! `emax <= 5` regime (Spitz et al. §4), the savings from heterogeneous
+//! grouping and the `dmax` constraint, and enumeration skew across roots.
+//! This module makes them first-class outputs.
+//!
+//! # Architecture
+//!
+//! * **[`Obs`] handle** — a cheaply clonable handle that is either
+//!   *disabled* (the default: every method is a branch on `None` and
+//!   returns immediately, so instrumented code pays nothing) or *enabled*
+//!   (backed by one shared [`ObsInner`]).
+//! * **Sharded registry** — [`SHARD_COUNT`] shards, each a [`CounterSet`]
+//!   of relaxed `AtomicU64`s plus two fixed-bucket log2 histograms and a
+//!   max-merged frontier-peak gauge. A thread picks its shard by hashing
+//!   its `ThreadId`, so concurrent workers rarely contend on a cache line;
+//!   [`Obs::snapshot`] merges shards with commutative sums (max for the
+//!   gauge), so the merged totals are independent of which thread ran what.
+//! * **Hot-path discipline** — the census inner loop never touches an
+//!   atomic. Per-subgraph events accumulate in the plain-`u64`
+//!   [`CensusCounters`] embedded in the census scratch and are flushed into
+//!   a registry shard **once per completed census run** (aborted runs flush
+//!   nothing, which is what keeps the deterministic section deterministic —
+//!   see below).
+//! * **Span tracing** — per-phase spans (load / extract / feature-matrix /
+//!   eval) in a small side list and per-root spans in a bounded
+//!   drop-oldest ring buffer, exported together as Chrome trace format
+//!   (`chrome://tracing` / Perfetto) by [`Obs::trace_json`]. The same data
+//!   yields the top-K slowest-roots report in the snapshot.
+//!
+//! # Determinism
+//!
+//! A snapshot has three sections. The `counters` section is **bit-identical
+//! across schedulers and thread counts** for the same extraction: every
+//! count in it is derived from *completed* census runs whose exclusion
+//! state is byte-identical to the sequential path (shard splitting is
+//! gated to `emax >= 2`, so grouping — a final-level mechanism — never
+//! crosses a shard boundary, and the root-level frontier push is credited
+//! to the first shard only). The `runtime` section (budget polls, steal
+//! counters, degrade attempts) depends on scheduling and is excluded from
+//! determinism comparisons, as is the `durations` section (wall-clock).
+
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::Instant;
+
+use crate::json::{JsonArray, JsonObject, JsonValue};
+use crate::steal::StealStats;
+
+/// Every scalar counter the registry tracks. The discriminant doubles as
+/// the index into a [`CounterSet`].
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Metric {
+    /// Subgraphs enumerated (multiplicity-weighted: grouped followers
+    /// count individually). Deterministic.
+    SubgraphsEnumerated,
+    /// Candidates pushed onto the DFS frontier. Deterministic (the
+    /// root-level push of a split root is credited to its first shard).
+    FrontierPushes,
+    /// Final-level subgraphs counted in bulk by heterogeneous grouping
+    /// (the followers absorbed into a leader's multiplicity). Deterministic.
+    GroupingFastPathHits,
+    /// Final-level subgraphs recorded individually — the per-neighbour
+    /// fallback when grouping is disabled or no follower shares the
+    /// leader's label. Deterministic.
+    GroupingFallbackRecords,
+    /// Frontier candidates whose endpoint was admitted but not expanded
+    /// because its degree exceeds `dmax`. Deterministic.
+    DmaxSkips,
+    /// Encoding-hash collisions detected against the exact
+    /// characteristic-sequence path (distinct encodings sharing a rolling
+    /// hash within one sink). Deterministic whenever zero; a collision
+    /// split across shards of one root can be missed, see DESIGN.md §8.
+    HashCollisions,
+    /// Roots whose census completed exactly. Deterministic.
+    RootsExact,
+    /// Roots that completed on a degrade-ladder rung. Deterministic.
+    RootsDegraded,
+    /// Roots that failed every attempt. Deterministic.
+    RootsFailed,
+    /// Roots cancelled before completion. Deterministic.
+    RootsCancelled,
+    /// Amortized budget polls executed (one per `CHECK_INTERVAL_MASK + 1`
+    /// records). Runtime: shards tick their own intervals.
+    BudgetPolls,
+    /// Census runs stopped by the subgraph budget. Runtime.
+    BudgetStopSubgraphs,
+    /// Census runs stopped by the frontier cap. Runtime.
+    BudgetStopFrontier,
+    /// Census runs stopped by the deadline. Runtime.
+    BudgetStopDeadline,
+    /// Census runs stopped by cancellation. Runtime.
+    BudgetStopCancelled,
+    /// Degrade-ladder transitions (retries past a root's base attempt).
+    /// Runtime: the stealing scheduler re-runs the ladder after a shard
+    /// failure.
+    DegradeAttempts,
+    /// Steal-pool tasks executed (roots plus shards). Runtime.
+    StealTasks,
+    /// Steal-pool tasks taken from another worker's deque. Runtime.
+    StealSteals,
+    /// Steal-pool worker parks after a fully empty scan. Runtime.
+    StealParks,
+    /// Hub roots split into stealable shards. Runtime.
+    StealSplits,
+}
+
+impl Metric {
+    /// Number of metrics (the length of a [`CounterSet`]).
+    pub const COUNT: usize = 20;
+
+    /// Every metric, in declaration (and JSON emission) order.
+    pub const ALL: [Metric; Metric::COUNT] = [
+        Metric::SubgraphsEnumerated,
+        Metric::FrontierPushes,
+        Metric::GroupingFastPathHits,
+        Metric::GroupingFallbackRecords,
+        Metric::DmaxSkips,
+        Metric::HashCollisions,
+        Metric::RootsExact,
+        Metric::RootsDegraded,
+        Metric::RootsFailed,
+        Metric::RootsCancelled,
+        Metric::BudgetPolls,
+        Metric::BudgetStopSubgraphs,
+        Metric::BudgetStopFrontier,
+        Metric::BudgetStopDeadline,
+        Metric::BudgetStopCancelled,
+        Metric::DegradeAttempts,
+        Metric::StealTasks,
+        Metric::StealSteals,
+        Metric::StealParks,
+        Metric::StealSplits,
+    ];
+
+    /// The metric's snake_case name, used as its JSON key.
+    pub fn name(self) -> &'static str {
+        match self {
+            Metric::SubgraphsEnumerated => "subgraphs_enumerated",
+            Metric::FrontierPushes => "frontier_pushes",
+            Metric::GroupingFastPathHits => "grouping_fast_path_hits",
+            Metric::GroupingFallbackRecords => "grouping_fallback_records",
+            Metric::DmaxSkips => "dmax_skips",
+            Metric::HashCollisions => "hash_collisions",
+            Metric::RootsExact => "roots_exact",
+            Metric::RootsDegraded => "roots_degraded",
+            Metric::RootsFailed => "roots_failed",
+            Metric::RootsCancelled => "roots_cancelled",
+            Metric::BudgetPolls => "budget_polls",
+            Metric::BudgetStopSubgraphs => "budget_stop_subgraphs",
+            Metric::BudgetStopFrontier => "budget_stop_frontier",
+            Metric::BudgetStopDeadline => "budget_stop_deadline",
+            Metric::BudgetStopCancelled => "budget_stop_cancelled",
+            Metric::DegradeAttempts => "degrade_attempts",
+            Metric::StealTasks => "steal_tasks",
+            Metric::StealSteals => "steal_steals",
+            Metric::StealParks => "steal_parks",
+            Metric::StealSplits => "steal_splits",
+        }
+    }
+
+    /// Whether the metric belongs to the deterministic `counters` section
+    /// (bit-identical across schedulers and thread counts) rather than the
+    /// scheduling-dependent `runtime` section.
+    pub fn deterministic(self) -> bool {
+        matches!(
+            self,
+            Metric::SubgraphsEnumerated
+                | Metric::FrontierPushes
+                | Metric::GroupingFastPathHits
+                | Metric::GroupingFallbackRecords
+                | Metric::DmaxSkips
+                | Metric::HashCollisions
+                | Metric::RootsExact
+                | Metric::RootsDegraded
+                | Metric::RootsFailed
+                | Metric::RootsCancelled
+        )
+    }
+}
+
+/// A fixed array of relaxed atomic counters, one per [`Metric`]. The
+/// registry's shards are made of these, and the steal pool embeds one
+/// directly (its tasks/steals/parks/splits land in the same storage the
+/// registry merges).
+pub struct CounterSet {
+    values: [AtomicU64; Metric::COUNT],
+}
+
+impl CounterSet {
+    /// An all-zero counter set.
+    pub fn new() -> Self {
+        CounterSet {
+            values: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    /// Adds `n` to `metric` (relaxed; totals are read only at snapshot).
+    pub fn add(&self, metric: Metric, n: u64) {
+        if n != 0 {
+            self.values[metric as usize].fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Adds 1 to `metric`.
+    pub fn incr(&self, metric: Metric) {
+        self.add(metric, 1);
+    }
+
+    /// Current value of `metric`.
+    pub fn get(&self, metric: Metric) -> u64 {
+        self.values[metric as usize].load(Ordering::Relaxed)
+    }
+
+    /// Adds every counter in `self` into `target`.
+    pub fn merge_into(&self, target: &CounterSet) {
+        for metric in Metric::ALL {
+            target.add(metric, self.get(metric));
+        }
+    }
+
+    /// The scheduler-counter view of this set, reproducing the
+    /// `results/stealing_bench.md` numbers from a snapshotted registry.
+    pub fn steal_stats(&self) -> StealStats {
+        StealStats {
+            tasks: self.get(Metric::StealTasks),
+            steals: self.get(Metric::StealSteals),
+            parks: self.get(Metric::StealParks),
+            splits: self.get(Metric::StealSplits),
+        }
+    }
+}
+
+impl Default for CounterSet {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Buckets per log2 histogram: bucket `b > 0` holds values `v` with
+/// `floor(log2(v)) == b - 1` (i.e. `2^(b-1) <= v < 2^b`); bucket 0 holds
+/// zero.
+pub const HIST_BUCKETS: usize = 64;
+
+/// Maps a value to its log2 bucket index (see [`HIST_BUCKETS`]).
+pub fn log2_bucket(value: u64) -> usize {
+    if value == 0 {
+        0
+    } else {
+        (64 - value.leading_zeros() as usize).min(HIST_BUCKETS - 1)
+    }
+}
+
+/// A fixed-bucket log2 histogram of atomics (one per registry shard).
+struct AtomicHistogram {
+    buckets: [AtomicU64; HIST_BUCKETS],
+}
+
+impl AtomicHistogram {
+    fn new() -> Self {
+        AtomicHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    fn observe(&self, value: u64) {
+        self.buckets[log2_bucket(value)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn add_to(&self, totals: &mut [u64; HIST_BUCKETS]) {
+        for (t, b) in totals.iter_mut().zip(self.buckets.iter()) {
+            *t += b.load(Ordering::Relaxed);
+        }
+    }
+}
+
+/// Plain (non-atomic) per-census counters embedded in the census scratch.
+/// The enumeration inner loop bumps these; a completed run's delta is
+/// flushed into the registry in one step. `frontier_peak` merges by max,
+/// everything else by sum.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct CensusCounters {
+    /// Subgraphs enumerated (multiplicity-weighted).
+    pub subgraphs: u64,
+    /// Candidates pushed onto the DFS frontier.
+    pub frontier_pushes: u64,
+    /// High-water mark of the frontier length (max-merged gauge).
+    pub frontier_peak: u64,
+    /// Final-level subgraphs bulk-counted by grouping.
+    pub grouping_fast_path: u64,
+    /// Final-level subgraphs recorded individually.
+    pub grouping_fallback: u64,
+    /// Admitted-but-not-expanded candidates (degree above `dmax`).
+    pub dmax_skips: u64,
+    /// Hash collisions the encoding sink detected.
+    pub hash_collisions: u64,
+}
+
+impl CensusCounters {
+    /// The delta accumulated since `before` was captured from the same
+    /// counter set. `frontier_peak` is not differenced — callers reset it
+    /// at run entry, so the current value *is* the per-run peak.
+    pub fn delta_since(&self, before: &CensusCounters) -> CensusCounters {
+        CensusCounters {
+            subgraphs: self.subgraphs - before.subgraphs,
+            frontier_pushes: self.frontier_pushes - before.frontier_pushes,
+            frontier_peak: self.frontier_peak,
+            grouping_fast_path: self.grouping_fast_path - before.grouping_fast_path,
+            grouping_fallback: self.grouping_fallback - before.grouping_fallback,
+            dmax_skips: self.dmax_skips - before.dmax_skips,
+            hash_collisions: self.hash_collisions - before.hash_collisions,
+        }
+    }
+
+    /// Folds another delta into this one: sums, except `frontier_peak`
+    /// which takes the max. Used when summing shard deltas of a split root.
+    pub fn absorb(&mut self, other: &CensusCounters) {
+        self.subgraphs += other.subgraphs;
+        self.frontier_pushes += other.frontier_pushes;
+        self.frontier_peak = self.frontier_peak.max(other.frontier_peak);
+        self.grouping_fast_path += other.grouping_fast_path;
+        self.grouping_fallback += other.grouping_fallback;
+        self.dmax_skips += other.dmax_skips;
+        self.hash_collisions += other.hash_collisions;
+    }
+}
+
+/// Shards in the registry. A power of two so the thread-hash mask is
+/// cheap; more shards than typical worker counts keeps collisions rare.
+const SHARD_COUNT: usize = 16;
+
+/// Default capacity of the per-root span ring buffer.
+const DEFAULT_TRACE_CAPACITY: usize = 16_384;
+
+/// How many roots the slowest-roots report keeps.
+const SLOWEST_ROOTS: usize = 10;
+
+/// One registry shard: counters plus histograms plus the peak gauge.
+struct Shard {
+    counters: CounterSet,
+    frontier_peak: AtomicU64,
+    root_subgraphs: AtomicHistogram,
+    root_micros: AtomicHistogram,
+}
+
+impl Shard {
+    fn new() -> Self {
+        Shard {
+            counters: CounterSet::new(),
+            frontier_peak: AtomicU64::new(0),
+            root_subgraphs: AtomicHistogram::new(),
+            root_micros: AtomicHistogram::new(),
+        }
+    }
+}
+
+/// A completed span. Phases carry a static name; root spans carry the
+/// root's node id (rendered as `root <id>` at export time, so the ring
+/// buffer stores no strings).
+#[derive(Copy, Clone, Debug)]
+enum SpanKind {
+    Phase(&'static str),
+    Root(u32),
+}
+
+#[derive(Copy, Clone, Debug)]
+struct SpanRecord {
+    kind: SpanKind,
+    start_us: u64,
+    dur_us: u64,
+    tid: u64,
+}
+
+/// Bounded drop-oldest ring buffer of root spans.
+struct TraceRing {
+    spans: Vec<SpanRecord>,
+    capacity: usize,
+    /// Overwrite position once full.
+    next: usize,
+    dropped: u64,
+}
+
+impl TraceRing {
+    fn new(capacity: usize) -> Self {
+        TraceRing {
+            spans: Vec::new(),
+            capacity: capacity.max(1),
+            next: 0,
+            dropped: 0,
+        }
+    }
+
+    fn push(&mut self, span: SpanRecord) {
+        if self.spans.len() < self.capacity {
+            self.spans.push(span);
+        } else {
+            self.spans[self.next] = span;
+            self.next = (self.next + 1) % self.capacity;
+            self.dropped += 1;
+        }
+    }
+}
+
+/// Shared state behind an enabled [`Obs`] handle.
+struct ObsInner {
+    /// All span timestamps are microseconds since this instant.
+    epoch: Instant,
+    shards: Vec<Shard>,
+    /// Phase spans are few and must survive ring wrap, so they live in
+    /// their own list.
+    phases: Mutex<Vec<SpanRecord>>,
+    trace: Mutex<TraceRing>,
+}
+
+fn lock<'a, T>(m: &'a Mutex<T>) -> MutexGuard<'a, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+impl ObsInner {
+    fn new(trace_capacity: usize) -> Self {
+        ObsInner {
+            epoch: Instant::now(),
+            shards: (0..SHARD_COUNT).map(|_| Shard::new()).collect(),
+            phases: Mutex::new(Vec::new()),
+            trace: Mutex::new(TraceRing::new(trace_capacity)),
+        }
+    }
+
+    /// The current thread's shard, chosen by hashing its `ThreadId`. Any
+    /// assignment is correct (snapshots merge commutatively); hashing just
+    /// spreads workers across cache lines without a registration step.
+    fn shard(&self) -> &Shard {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        std::thread::current().id().hash(&mut h);
+        &self.shards[(h.finish() as usize) & (SHARD_COUNT - 1)]
+    }
+
+    fn micros_since_epoch(&self, t: Instant) -> u64 {
+        t.duration_since(self.epoch).as_micros() as u64
+    }
+}
+
+/// Handle the pipeline emits telemetry into. `Obs::default()` (or
+/// [`Obs::disabled`]) is a no-op: every method short-circuits on the
+/// missing inner state, so instrumented code costs one branch. Clones
+/// share the same registry and trace buffer.
+#[derive(Clone, Default)]
+pub struct Obs {
+    inner: Option<Arc<ObsInner>>,
+}
+
+impl Obs {
+    /// The no-op handle (same as `Obs::default()`).
+    pub fn disabled() -> Self {
+        Obs { inner: None }
+    }
+
+    /// An enabled handle with the default trace-ring capacity.
+    pub fn enabled() -> Self {
+        Obs::with_trace_capacity(DEFAULT_TRACE_CAPACITY)
+    }
+
+    /// An enabled handle whose per-root span ring holds at most
+    /// `trace_capacity` spans (oldest dropped first; the drop count is
+    /// reported in the snapshot).
+    pub fn with_trace_capacity(trace_capacity: usize) -> Self {
+        Obs {
+            inner: Some(Arc::new(ObsInner::new(trace_capacity))),
+        }
+    }
+
+    /// Whether this handle records anything.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Adds `n` to `metric` in the current thread's shard.
+    pub fn add(&self, metric: Metric, n: u64) {
+        if let Some(inner) = &self.inner {
+            inner.shard().counters.add(metric, n);
+        }
+    }
+
+    /// Adds 1 to `metric` in the current thread's shard.
+    pub fn incr(&self, metric: Metric) {
+        self.add(metric, 1);
+    }
+
+    /// Flushes a completed census run's delta into the registry. Callers
+    /// must only pass deltas of runs that ran to completion — aborted
+    /// attempts would make the deterministic section scheduler-dependent.
+    pub fn record_census(&self, delta: &CensusCounters) {
+        if let Some(inner) = &self.inner {
+            let shard = inner.shard();
+            shard
+                .counters
+                .add(Metric::SubgraphsEnumerated, delta.subgraphs);
+            shard
+                .counters
+                .add(Metric::FrontierPushes, delta.frontier_pushes);
+            shard
+                .counters
+                .add(Metric::GroupingFastPathHits, delta.grouping_fast_path);
+            shard
+                .counters
+                .add(Metric::GroupingFallbackRecords, delta.grouping_fallback);
+            shard.counters.add(Metric::DmaxSkips, delta.dmax_skips);
+            shard
+                .counters
+                .add(Metric::HashCollisions, delta.hash_collisions);
+            shard
+                .frontier_peak
+                .fetch_max(delta.frontier_peak, Ordering::Relaxed);
+        }
+    }
+
+    /// Observes one root's total subgraph count in the deterministic
+    /// per-root size histogram. Called once per root (at the whole-census
+    /// flush, or at the merge point of a split root).
+    pub fn observe_root_subgraphs(&self, total: u64) {
+        if let Some(inner) = &self.inner {
+            inner.shard().root_subgraphs.observe(total);
+        }
+    }
+
+    /// Merges a detached [`CounterSet`] (e.g. the steal pool's) into the
+    /// registry.
+    pub fn merge_counters(&self, set: &CounterSet) {
+        if let Some(inner) = &self.inner {
+            set.merge_into(&inner.shard().counters);
+        }
+    }
+
+    /// Starts a per-root timer. `None` when disabled, so the disabled path
+    /// never reads the clock.
+    pub fn root_timer(&self) -> Option<Instant> {
+        self.inner.as_ref().map(|_| Instant::now())
+    }
+
+    /// Records a per-root span (and its duration histogram sample) from a
+    /// timer produced by [`Obs::root_timer`]. `tid` is the worker ordinal,
+    /// shown as the thread lane in the Chrome trace.
+    pub fn record_root(&self, root: u32, tid: u64, started: Option<Instant>) {
+        if let (Some(inner), Some(t0)) = (&self.inner, started) {
+            let dur_us = t0.elapsed().as_micros() as u64;
+            inner.shard().root_micros.observe(dur_us);
+            lock(&inner.trace).push(SpanRecord {
+                kind: SpanKind::Root(root),
+                start_us: inner.micros_since_epoch(t0),
+                dur_us,
+                tid,
+            });
+        }
+    }
+
+    /// Runs `f` inside a named phase span (load / extract / feature-matrix
+    /// / eval). When disabled this is exactly `f()`.
+    pub fn phase<R>(&self, name: &'static str, f: impl FnOnce() -> R) -> R {
+        match &self.inner {
+            None => f(),
+            Some(inner) => {
+                let t0 = Instant::now();
+                let result = f();
+                lock(&inner.phases).push(SpanRecord {
+                    kind: SpanKind::Phase(name),
+                    start_us: inner.micros_since_epoch(t0),
+                    dur_us: t0.elapsed().as_micros() as u64,
+                    tid: 0,
+                });
+                result
+            }
+        }
+    }
+
+    /// The top-`k` slowest roots as `(root, total_micros)`, slowest first.
+    /// Spans of one root (shards of a split hub) are summed. Only the
+    /// spans still in the ring are considered.
+    pub fn slowest_roots(&self, k: usize) -> Vec<(u32, u64)> {
+        let Some(inner) = &self.inner else {
+            return Vec::new();
+        };
+        let mut by_root: HashMap<u32, u64> = HashMap::new();
+        for span in &lock(&inner.trace).spans {
+            if let SpanKind::Root(root) = span.kind {
+                *by_root.entry(root).or_insert(0) += span.dur_us;
+            }
+        }
+        let mut roots: Vec<(u32, u64)> = by_root.into_iter().collect();
+        // Slowest first; ties broken by root id for a stable report.
+        roots.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        roots.truncate(k);
+        roots
+    }
+
+    /// Merges every shard into a point-in-time [`MetricsSnapshot`].
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let mut snap = MetricsSnapshot::default();
+        let Some(inner) = &self.inner else {
+            return snap;
+        };
+        for shard in &inner.shards {
+            for metric in Metric::ALL {
+                snap.values[metric as usize] += shard.counters.get(metric);
+            }
+            snap.frontier_peak = snap
+                .frontier_peak
+                .max(shard.frontier_peak.load(Ordering::Relaxed));
+            shard.root_subgraphs.add_to(&mut snap.root_subgraphs_log2);
+            shard.root_micros.add_to(&mut snap.root_micros_log2);
+        }
+        for span in lock(&inner.phases).iter() {
+            if let SpanKind::Phase(name) = span.kind {
+                snap.phase_us.push((name, span.dur_us));
+            }
+        }
+        snap.slowest_roots = self.slowest_roots(SLOWEST_ROOTS);
+        snap.trace_spans_dropped = lock(&inner.trace).dropped;
+        snap
+    }
+
+    /// Exports every captured span as Chrome trace format — an object with
+    /// a `traceEvents` array of complete (`"ph":"X"`) events, loadable in
+    /// `chrome://tracing` and Perfetto. Timestamps and durations are in
+    /// microseconds since the handle was created.
+    pub fn trace_json(&self) -> String {
+        let mut events = JsonArray::new();
+        if let Some(inner) = &self.inner {
+            for span in lock(&inner.phases).iter() {
+                events.push_raw(&span_event(span));
+            }
+            for span in lock(&inner.trace).spans.iter() {
+                events.push_raw(&span_event(span));
+            }
+        }
+        JsonObject::new()
+            .raw("traceEvents", &events.finish())
+            .str("displayTimeUnit", "ms")
+            .finish()
+    }
+}
+
+/// Renders one span as a Chrome-trace complete event.
+fn span_event(span: &SpanRecord) -> String {
+    let (name, cat) = match span.kind {
+        SpanKind::Phase(name) => (name.to_string(), "phase"),
+        SpanKind::Root(root) => (format!("root {root}"), "root"),
+    };
+    JsonObject::new()
+        .str("name", &name)
+        .str("cat", cat)
+        .str("ph", "X")
+        .uint("ts", span.start_us)
+        .uint("dur", span.dur_us)
+        .uint("pid", 1)
+        .uint("tid", span.tid)
+        .finish()
+}
+
+/// A point-in-time merge of the registry plus the duration reports.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MetricsSnapshot {
+    values: [u64; Metric::COUNT],
+    /// Frontier-length high-water mark (max across shards).
+    pub frontier_peak: u64,
+    /// Log2 histogram of per-root subgraph totals (deterministic).
+    pub root_subgraphs_log2: [u64; HIST_BUCKETS],
+    /// Log2 histogram of per-root census wall-clock in µs (runtime).
+    pub root_micros_log2: [u64; HIST_BUCKETS],
+    /// Completed phase spans as `(name, micros)`, in completion order.
+    pub phase_us: Vec<(&'static str, u64)>,
+    /// Top-K slowest roots as `(root, total_micros)`, slowest first.
+    pub slowest_roots: Vec<(u32, u64)>,
+    /// Root spans evicted from the ring buffer.
+    pub trace_spans_dropped: u64,
+}
+
+impl Default for MetricsSnapshot {
+    fn default() -> Self {
+        MetricsSnapshot {
+            values: [0; Metric::COUNT],
+            frontier_peak: 0,
+            root_subgraphs_log2: [0; HIST_BUCKETS],
+            root_micros_log2: [0; HIST_BUCKETS],
+            phase_us: Vec::new(),
+            slowest_roots: Vec::new(),
+            trace_spans_dropped: 0,
+        }
+    }
+}
+
+impl MetricsSnapshot {
+    /// The merged value of one metric.
+    pub fn get(&self, metric: Metric) -> u64 {
+        self.values[metric as usize]
+    }
+
+    /// The scheduler-counter view, reproducing `results/stealing_bench.md`
+    /// numbers from a snapshot.
+    pub fn steal_stats(&self) -> StealStats {
+        StealStats {
+            tasks: self.get(Metric::StealTasks),
+            steals: self.get(Metric::StealSteals),
+            parks: self.get(Metric::StealParks),
+            splits: self.get(Metric::StealSplits),
+        }
+    }
+
+    /// The deterministic `counters` section as a JSON object — the part of
+    /// the snapshot that is bit-identical across schedulers and thread
+    /// counts, used by determinism tests and `hsgf obs-validate --against`.
+    pub fn deterministic_json(&self) -> String {
+        let mut obj = JsonObject::new();
+        for metric in Metric::ALL {
+            if metric.deterministic() {
+                obj = obj.uint(metric.name(), self.get(metric));
+            }
+        }
+        let mut hist = JsonArray::new();
+        for &bucket in &self.root_subgraphs_log2 {
+            hist.push_uint(bucket);
+        }
+        obj.uint("frontier_peak", self.frontier_peak)
+            .raw("root_subgraphs_log2", &hist.finish())
+            .finish()
+    }
+
+    /// The full snapshot as JSON: `{"version", "counters", "runtime",
+    /// "durations"}` (see DESIGN.md §8 for the schema).
+    pub fn to_json(&self) -> String {
+        let mut runtime = JsonObject::new();
+        for metric in Metric::ALL {
+            if !metric.deterministic() {
+                runtime = runtime.uint(metric.name(), self.get(metric));
+            }
+        }
+        let mut micros_hist = JsonArray::new();
+        for &bucket in &self.root_micros_log2 {
+            micros_hist.push_uint(bucket);
+        }
+        let runtime = runtime
+            .raw("root_micros_log2", &micros_hist.finish())
+            .uint("trace_spans_dropped", self.trace_spans_dropped)
+            .finish();
+
+        let mut phases = JsonObject::new();
+        for &(name, us) in &self.phase_us {
+            phases = phases.uint(name, us);
+        }
+        let mut slowest = JsonArray::new();
+        for &(root, us) in &self.slowest_roots {
+            slowest.push_raw(
+                &JsonObject::new()
+                    .uint("root", root as u64)
+                    .uint("micros", us)
+                    .finish(),
+            );
+        }
+        let durations = JsonObject::new()
+            .raw("phases", &phases.finish())
+            .raw("slowest_roots", &slowest.finish())
+            .finish();
+
+        JsonObject::new()
+            .uint("version", 1)
+            .raw("counters", &self.deterministic_json())
+            .raw("runtime", &runtime)
+            .raw("durations", &durations)
+            .finish()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Schema validation — the small in-repo checker `hsgf obs-validate` and
+// scripts/ci.sh run over --metrics-out / --trace-out files.
+// ---------------------------------------------------------------------------
+
+fn expect_object<'a>(
+    value: &'a JsonValue,
+    what: &str,
+) -> Result<&'a [(String, JsonValue)], String> {
+    value
+        .as_object()
+        .ok_or_else(|| format!("{what}: expected a JSON object"))
+}
+
+fn expect_count(section: &JsonValue, key: &str, what: &str) -> Result<u64, String> {
+    let v = section
+        .get(key)
+        .ok_or_else(|| format!("{what}: missing key {key:?}"))?;
+    let n = v
+        .as_f64()
+        .ok_or_else(|| format!("{what}.{key}: expected a number"))?;
+    if !(n.fract() == 0.0 && n >= 0.0) {
+        return Err(format!(
+            "{what}.{key}: expected a non-negative integer, got {n}"
+        ));
+    }
+    Ok(n as u64)
+}
+
+fn expect_hist(section: &JsonValue, key: &str, what: &str) -> Result<(), String> {
+    let arr = section
+        .get(key)
+        .and_then(|v| v.as_array())
+        .ok_or_else(|| format!("{what}: missing array {key:?}"))?;
+    if arr.len() != HIST_BUCKETS {
+        return Err(format!(
+            "{what}.{key}: expected {HIST_BUCKETS} buckets, got {}",
+            arr.len()
+        ));
+    }
+    if arr.iter().any(|v| v.as_f64().is_none()) {
+        return Err(format!("{what}.{key}: non-numeric bucket"));
+    }
+    Ok(())
+}
+
+/// Validates a `--metrics-out` document against the snapshot schema
+/// (version, every counter key in both sections, 64-bucket histograms, a
+/// well-formed `durations` section). Returns the first problem found.
+pub fn validate_metrics_json(value: &JsonValue) -> Result<(), String> {
+    expect_object(value, "metrics")?;
+    let version = expect_count(value, "version", "metrics")?;
+    if version != 1 {
+        return Err(format!("metrics.version: expected 1, got {version}"));
+    }
+    let counters = value
+        .get("counters")
+        .ok_or("metrics: missing \"counters\" section")?;
+    expect_object(counters, "counters")?;
+    let runtime = value
+        .get("runtime")
+        .ok_or("metrics: missing \"runtime\" section")?;
+    expect_object(runtime, "runtime")?;
+    for metric in Metric::ALL {
+        let (section, what) = if metric.deterministic() {
+            (counters, "counters")
+        } else {
+            (runtime, "runtime")
+        };
+        expect_count(section, metric.name(), what)?;
+    }
+    expect_count(counters, "frontier_peak", "counters")?;
+    expect_hist(counters, "root_subgraphs_log2", "counters")?;
+    expect_hist(runtime, "root_micros_log2", "runtime")?;
+    expect_count(runtime, "trace_spans_dropped", "runtime")?;
+    let durations = value
+        .get("durations")
+        .ok_or("metrics: missing \"durations\" section")?;
+    expect_object(
+        durations
+            .get("phases")
+            .ok_or("durations: missing \"phases\"")?,
+        "durations.phases",
+    )?;
+    let slowest = durations
+        .get("slowest_roots")
+        .and_then(|v| v.as_array())
+        .ok_or("durations: missing array \"slowest_roots\"")?;
+    for entry in slowest {
+        expect_count(entry, "root", "slowest_roots entry")?;
+        expect_count(entry, "micros", "slowest_roots entry")?;
+    }
+    Ok(())
+}
+
+/// Validates a `--trace-out` document as Chrome trace format: an object
+/// with a `traceEvents` array of complete events carrying the fields the
+/// trace viewer requires.
+pub fn validate_trace_json(value: &JsonValue) -> Result<(), String> {
+    expect_object(value, "trace")?;
+    let events = value
+        .get("traceEvents")
+        .and_then(|v| v.as_array())
+        .ok_or("trace: missing array \"traceEvents\"")?;
+    for (i, event) in events.iter().enumerate() {
+        let what = format!("traceEvents[{i}]");
+        expect_object(event, &what)?;
+        for key in ["name", "ph", "cat"] {
+            if event.get(key).and_then(|v| v.as_str()).is_none() {
+                return Err(format!("{what}: missing string {key:?}"));
+            }
+        }
+        if event.get("ph").and_then(|v| v.as_str()) != Some("X") {
+            return Err(format!("{what}: expected a complete event (ph == \"X\")"));
+        }
+        for key in ["ts", "dur", "pid", "tid"] {
+            expect_count(event, key, &what)?;
+        }
+    }
+    Ok(())
+}
+
+/// Compares the deterministic `counters` sections of two metrics
+/// documents, listing every differing key. Used by
+/// `hsgf obs-validate --against` and the CI cursor-vs-stealing diff.
+pub fn compare_deterministic_counters(a: &JsonValue, b: &JsonValue) -> Result<(), String> {
+    let ca = a
+        .get("counters")
+        .ok_or("left metrics: missing \"counters\"")?;
+    let cb = b
+        .get("counters")
+        .ok_or("right metrics: missing \"counters\"")?;
+    let mut diffs = Vec::new();
+    for metric in Metric::ALL.iter().filter(|m| m.deterministic()) {
+        let va = expect_count(ca, metric.name(), "left counters")?;
+        let vb = expect_count(cb, metric.name(), "right counters")?;
+        if va != vb {
+            diffs.push(format!("{}: {va} != {vb}", metric.name()));
+        }
+    }
+    let pa = expect_count(ca, "frontier_peak", "left counters")?;
+    let pb = expect_count(cb, "frontier_peak", "right counters")?;
+    if pa != pb {
+        diffs.push(format!("frontier_peak: {pa} != {pb}"));
+    }
+    let ha = ca.get("root_subgraphs_log2").and_then(|v| v.as_array());
+    let hb = cb.get("root_subgraphs_log2").and_then(|v| v.as_array());
+    if ha.map(render_hist) != hb.map(render_hist) {
+        diffs.push("root_subgraphs_log2: histograms differ".to_string());
+    }
+    if diffs.is_empty() {
+        Ok(())
+    } else {
+        Err(format!(
+            "deterministic counters differ: {}",
+            diffs.join(", ")
+        ))
+    }
+}
+
+fn render_hist(buckets: &Vec<JsonValue>) -> Vec<String> {
+    buckets
+        .iter()
+        .map(|v| v.as_f64().map(|n| n.to_string()).unwrap_or_default())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+
+    #[test]
+    fn disabled_handle_records_nothing() {
+        let obs = Obs::disabled();
+        obs.incr(Metric::StealTasks);
+        obs.record_census(&CensusCounters {
+            subgraphs: 9,
+            ..CensusCounters::default()
+        });
+        obs.observe_root_subgraphs(100);
+        obs.record_root(1, 0, obs.root_timer());
+        assert!(!obs.is_enabled());
+        assert!(obs.root_timer().is_none());
+        let snap = obs.snapshot();
+        assert_eq!(snap.get(Metric::SubgraphsEnumerated), 0);
+        assert_eq!(snap.get(Metric::StealTasks), 0);
+        assert_eq!(snap.root_subgraphs_log2.iter().sum::<u64>(), 0);
+    }
+
+    #[test]
+    fn counters_merge_across_threads() {
+        let obs = Obs::enabled();
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let obs = obs.clone();
+                scope.spawn(move || {
+                    for _ in 0..1000 {
+                        obs.incr(Metric::FrontierPushes);
+                    }
+                    obs.add(Metric::SubgraphsEnumerated, 5);
+                });
+            }
+        });
+        let snap = obs.snapshot();
+        assert_eq!(snap.get(Metric::FrontierPushes), 8000);
+        assert_eq!(snap.get(Metric::SubgraphsEnumerated), 40);
+    }
+
+    #[test]
+    fn census_delta_flush_and_peak_gauge() {
+        let obs = Obs::enabled();
+        obs.record_census(&CensusCounters {
+            subgraphs: 10,
+            frontier_pushes: 4,
+            frontier_peak: 7,
+            grouping_fast_path: 3,
+            grouping_fallback: 2,
+            dmax_skips: 1,
+            hash_collisions: 0,
+        });
+        obs.record_census(&CensusCounters {
+            subgraphs: 1,
+            frontier_peak: 5,
+            ..CensusCounters::default()
+        });
+        let snap = obs.snapshot();
+        assert_eq!(snap.get(Metric::SubgraphsEnumerated), 11);
+        assert_eq!(snap.get(Metric::GroupingFastPathHits), 3);
+        assert_eq!(snap.frontier_peak, 7, "gauge merges by max");
+    }
+
+    #[test]
+    fn log2_buckets_are_correct() {
+        assert_eq!(log2_bucket(0), 0);
+        assert_eq!(log2_bucket(1), 1);
+        assert_eq!(log2_bucket(2), 2);
+        assert_eq!(log2_bucket(3), 2);
+        assert_eq!(log2_bucket(4), 3);
+        assert_eq!(log2_bucket(1023), 10);
+        assert_eq!(log2_bucket(1024), 11);
+        assert_eq!(log2_bucket(u64::MAX), HIST_BUCKETS - 1);
+    }
+
+    #[test]
+    fn census_counters_absorb_sums_and_maxes() {
+        let mut a = CensusCounters {
+            subgraphs: 1,
+            frontier_pushes: 2,
+            frontier_peak: 9,
+            grouping_fast_path: 1,
+            grouping_fallback: 1,
+            dmax_skips: 0,
+            hash_collisions: 1,
+        };
+        a.absorb(&CensusCounters {
+            subgraphs: 10,
+            frontier_pushes: 1,
+            frontier_peak: 4,
+            grouping_fast_path: 0,
+            grouping_fallback: 2,
+            dmax_skips: 3,
+            hash_collisions: 0,
+        });
+        assert_eq!(a.subgraphs, 11);
+        assert_eq!(a.frontier_peak, 9);
+        assert_eq!(a.dmax_skips, 3);
+        assert_eq!(a.hash_collisions, 1);
+    }
+
+    #[test]
+    fn steal_stats_reproducible_from_counter_set_and_snapshot() {
+        let set = CounterSet::new();
+        set.add(Metric::StealTasks, 785);
+        set.add(Metric::StealSteals, 43);
+        set.add(Metric::StealParks, 7);
+        set.add(Metric::StealSplits, 1);
+        let stats = set.steal_stats();
+        assert_eq!(stats.to_string(), "785 tasks, 43 steals, 7 parks, 1 splits");
+
+        let obs = Obs::enabled();
+        obs.merge_counters(&set);
+        assert_eq!(obs.snapshot().steal_stats(), stats);
+    }
+
+    #[test]
+    fn trace_ring_drops_oldest() {
+        let obs = Obs::with_trace_capacity(4);
+        for root in 0..10u32 {
+            obs.record_root(root, 0, obs.root_timer());
+        }
+        let snap = obs.snapshot();
+        assert_eq!(snap.trace_spans_dropped, 6);
+        // Only the 4 newest roots remain in the slowest report.
+        assert_eq!(snap.slowest_roots.len(), 4);
+        for (root, _) in &snap.slowest_roots {
+            assert!(*root >= 6, "old span survived the ring: root {root}");
+        }
+    }
+
+    #[test]
+    fn slowest_roots_aggregates_shard_spans() {
+        let obs = Obs::enabled();
+        let t = Instant::now();
+        // Two spans for root 3, one for root 5; durations are near-zero
+        // but the aggregation and ordering logic is what matters.
+        obs.record_root(3, 0, Some(t));
+        obs.record_root(3, 1, Some(t));
+        obs.record_root(5, 0, Some(t));
+        let slowest = obs.slowest_roots(10);
+        assert_eq!(slowest.len(), 2);
+        let roots: Vec<u32> = slowest.iter().map(|(r, _)| *r).collect();
+        assert!(roots.contains(&3) && roots.contains(&5));
+    }
+
+    #[test]
+    fn snapshot_json_passes_own_schema_checker() {
+        let obs = Obs::enabled();
+        obs.phase("load", || {});
+        obs.record_census(&CensusCounters {
+            subgraphs: 123,
+            frontier_pushes: 45,
+            frontier_peak: 6,
+            grouping_fast_path: 70,
+            grouping_fallback: 53,
+            dmax_skips: 2,
+            hash_collisions: 0,
+        });
+        obs.observe_root_subgraphs(123);
+        obs.record_root(17, 2, obs.root_timer());
+        obs.incr(Metric::BudgetPolls);
+        obs.incr(Metric::RootsExact);
+
+        let metrics = parse(&obs.snapshot().to_json()).expect("metrics JSON parses");
+        validate_metrics_json(&metrics).expect("metrics JSON validates");
+
+        let trace = parse(&obs.trace_json()).expect("trace JSON parses");
+        validate_trace_json(&trace).expect("trace JSON validates");
+    }
+
+    #[test]
+    fn deterministic_comparison_flags_mismatches() {
+        let a = Obs::enabled();
+        let b = Obs::enabled();
+        a.incr(Metric::RootsExact);
+        b.incr(Metric::RootsExact);
+        let ja = parse(&a.snapshot().to_json()).unwrap();
+        let jb = parse(&b.snapshot().to_json()).unwrap();
+        compare_deterministic_counters(&ja, &jb).expect("identical runs compare equal");
+
+        b.add(Metric::SubgraphsEnumerated, 1);
+        let jb = parse(&b.snapshot().to_json()).unwrap();
+        let err = compare_deterministic_counters(&ja, &jb).unwrap_err();
+        assert!(err.contains("subgraphs_enumerated"), "{err}");
+    }
+
+    #[test]
+    fn runtime_metrics_do_not_leak_into_deterministic_section() {
+        let obs = Obs::enabled();
+        obs.add(Metric::StealTasks, 99);
+        obs.add(Metric::BudgetPolls, 7);
+        let det = obs.snapshot().deterministic_json();
+        assert!(!det.contains("steal_tasks"));
+        assert!(!det.contains("budget_polls"));
+        let parsed = parse(&det).unwrap();
+        assert_eq!(
+            parsed.get("subgraphs_enumerated").and_then(|v| v.as_f64()),
+            Some(0.0)
+        );
+    }
+
+    #[test]
+    fn metric_names_are_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for metric in Metric::ALL {
+            assert!(seen.insert(metric.name()), "duplicate {}", metric.name());
+        }
+        assert_eq!(seen.len(), Metric::COUNT);
+    }
+}

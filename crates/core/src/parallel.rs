@@ -38,6 +38,7 @@ use hsgf_graph::NodeId;
 use crate::budget::CensusBudget;
 use crate::census::{CensusEngine, CensusError, CensusScratch};
 use crate::features::FeatureMatrix;
+use crate::obs::CensusCounters;
 use crate::sequence::Encoding;
 use crate::steal::{run_stealing, SchedulerKind, StealStats};
 
@@ -114,19 +115,28 @@ where
     F: Fn(&CensusEngine<'_>, NodeId, &mut CensusScratch) -> Result<T, CensusError> + Sync,
 {
     let threads = threads.min(roots.len());
+    let obs = engine.obs();
     if threads <= 1 {
         let mut holder = None;
         return roots
             .iter()
-            .map(|&r| isolated(engine, r, &mut holder, |scratch| work(engine, r, scratch)))
+            .map(|&r| {
+                let timer = obs.root_timer();
+                let result = isolated(engine, r, &mut holder, |scratch| work(engine, r, scratch));
+                obs.record_root(r.raw(), 0, timer);
+                result
+            })
             .collect();
     }
     let cursor = AtomicUsize::new(0);
     let slots: Vec<Mutex<Option<Result<T, CensusError>>>> =
         roots.iter().map(|_| Mutex::new(None)).collect();
     std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| {
+        for worker in 0..threads {
+            let cursor = &cursor;
+            let slots = &slots;
+            let work = &work;
+            scope.spawn(move || {
                 let mut holder = None;
                 loop {
                     let i = cursor.fetch_add(1, Ordering::Relaxed);
@@ -134,9 +144,11 @@ where
                         break;
                     }
                     let root = roots[i];
+                    let timer = obs.root_timer();
                     let result = isolated(engine, root, &mut holder, |scratch| {
                         work(engine, root, scratch)
                     });
+                    obs.record_root(root.raw(), worker as u64, timer);
                     // The census already ran (and any panic was caught), so
                     // the critical section is a plain store; recover from
                     // poisoning anyway rather than propagate it.
@@ -183,13 +195,16 @@ trait ShardableCensus: Sized + Send {
         scratch: &mut CensusScratch,
     ) -> Result<Self, CensusError>;
 
-    /// One shard of a split root's census.
+    /// One shard of a split root's census, paired with the shard's
+    /// deterministic counter delta (flushed into the engine's [`crate::obs::Obs`]
+    /// only once *all* shards of the root complete, so aborted splits leak
+    /// no partial counts).
     fn census_shard(
         engine: &CensusEngine<'_>,
         root: NodeId,
         scratch: &mut CensusScratch,
         range: (usize, usize),
-    ) -> Result<Self, CensusError>;
+    ) -> Result<(Self, CensusCounters), CensusError>;
 
     /// Merges completed shard censuses (commutative sums).
     fn merge_shards(parts: Vec<Self>) -> Self;
@@ -209,10 +224,11 @@ impl ShardableCensus for HashMap<Encoding, u64> {
         root: NodeId,
         scratch: &mut CensusScratch,
         range: (usize, usize),
-    ) -> Result<Self, CensusError> {
-        engine
+    ) -> Result<(Self, CensusCounters), CensusError> {
+        let counts = engine
             .census_encodings_shard(root, scratch, range, &CensusBudget::unlimited(), None, None)
-            .map(|c| c.counts)
+            .map(|c| c.counts)?;
+        Ok((counts, scratch.last_delta))
     }
 
     fn merge_shards(parts: Vec<Self>) -> Self {
@@ -240,8 +256,16 @@ impl ShardableCensus for HashMap<u64, u64> {
         root: NodeId,
         scratch: &mut CensusScratch,
         range: (usize, usize),
-    ) -> Result<Self, CensusError> {
-        engine.census_hashes_shard(root, scratch, range, &CensusBudget::unlimited(), None, None)
+    ) -> Result<(Self, CensusCounters), CensusError> {
+        let counts = engine.census_hashes_shard(
+            root,
+            scratch,
+            range,
+            &CensusBudget::unlimited(),
+            None,
+            None,
+        )?;
+        Ok((counts, scratch.last_delta))
     }
 
     fn merge_shards(parts: Vec<Self>) -> Self {
@@ -272,7 +296,7 @@ enum StealTask {
 /// an outstanding count; the worker finishing the last shard assembles the
 /// final per-root result.
 struct ShardMerge<W> {
-    parts: Vec<Option<Result<W, CensusError>>>,
+    parts: Vec<Option<Result<(W, CensusCounters), CensusError>>>,
     remaining: usize,
 }
 
@@ -313,11 +337,17 @@ fn run_per_root_stealing<W: ShardableCensus>(
     roots: &[NodeId],
     threads: usize,
 ) -> Result<(Vec<W>, StealStats), CensusError> {
+    let obs = engine.obs();
     if threads <= 1 || roots.len() <= 1 {
         let mut holder = None;
         let results: Result<Vec<W>, CensusError> = roots
             .iter()
-            .map(|&r| isolated(engine, r, &mut holder, |s| W::census_whole(engine, r, s)))
+            .map(|&r| {
+                let timer = obs.root_timer();
+                let result = isolated(engine, r, &mut holder, |s| W::census_whole(engine, r, s));
+                obs.record_root(r.raw(), 0, timer);
+                result
+            })
             .collect();
         return results.map(|v| (v, StealStats::default()));
     }
@@ -360,6 +390,7 @@ fn run_per_root_stealing<W: ShardableCensus>(
     let stats = run_stealing(
         workers,
         tasks,
+        obs,
         || None,
         |holder: &mut Option<CensusScratch>, task, worker, pool| match task {
             StealTask::Root(i) => {
@@ -382,7 +413,9 @@ fn run_per_root_stealing<W: ShardableCensus>(
                     return;
                 }
                 let root = roots[i];
+                let timer = obs.root_timer();
                 let result = isolated(engine, root, holder, |s| W::census_whole(engine, root, s));
+                obs.record_root(root.raw(), worker as u64, timer);
                 *slots[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(result);
             }
             StealTask::Shard {
@@ -392,9 +425,11 @@ fn run_per_root_stealing<W: ShardableCensus>(
                 hi,
             } => {
                 let root = roots[slot];
+                let timer = obs.root_timer();
                 let result = isolated(engine, root, holder, |s| {
                     W::census_shard(engine, root, s, (lo, hi))
                 });
+                obs.record_root(root.raw(), worker as u64, timer);
                 let mut merge = merges[slot].lock().unwrap_or_else(|e| e.into_inner());
                 merge.parts[shard] = Some(result);
                 merge.remaining -= 1;
@@ -405,10 +440,14 @@ fn run_per_root_stealing<W: ShardableCensus>(
                     // smallest shard index wins, mirroring the sequential
                     // run's first-error ordering over top-level candidates.
                     let mut datas = Vec::with_capacity(parts.len());
+                    let mut delta = CensusCounters::default();
                     let mut first_err = None;
                     for part in parts {
                         match part.expect("every shard reported before merge") {
-                            Ok(d) => datas.push(d),
+                            Ok((d, c)) => {
+                                delta.absorb(&c);
+                                datas.push(d);
+                            }
                             Err(e) => {
                                 first_err = Some(e);
                                 break;
@@ -417,7 +456,14 @@ fn run_per_root_stealing<W: ShardableCensus>(
                     }
                     let outcome = match first_err {
                         Some(e) => Err(e),
-                        None => Ok(W::merge_shards(datas)),
+                        None => {
+                            // All shards finished cleanly: the summed delta
+                            // equals the sequential whole-root delta, so it
+                            // is safe to flush into the metrics registry.
+                            obs.record_census(&delta);
+                            obs.observe_root_subgraphs(delta.subgraphs);
+                            Ok(W::merge_shards(datas))
+                        }
                     };
                     *slots[slot].lock().unwrap_or_else(|e| e.into_inner()) = Some(outcome);
                 }

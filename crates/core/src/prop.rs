@@ -10,6 +10,14 @@
 //! smallest still-failing case along with its seed, so the exact failure
 //! replays with `HSGF_PROP_SEED=<seed>`.
 //!
+//! [`check_structural`] layers *structural shrinking* on top: a caller
+//! supplied `steps` function enumerates strictly-smaller mutations of a
+//! failing case (for graphs, [`graph_shrink_steps`] drops one edge or one
+//! node per candidate), and the harness greedily descends through failing
+//! candidates until none fail. Halving alone can only shrink along the
+//! generator's size parameter; structural steps reach counterexamples the
+//! generator would never emit at a smaller size.
+//!
 //! Environment knobs:
 //!
 //! * `HSGF_PROP_CASES` — cases per property (default 48).
@@ -17,6 +25,7 @@
 //!   to a reported failure seed replays that case first.
 
 use hsgf_graph::rng::{splitmix64, Rng};
+use hsgf_graph::{Direction, GraphBuilder, HetGraph};
 
 /// Harness settings, resolved from the environment by default.
 #[derive(Clone, Debug)]
@@ -97,6 +106,141 @@ pub fn check<T: std::fmt::Debug>(
             );
         }
     }
+}
+
+/// Like [`check`], but with structural shrinking: when a case fails, the
+/// harness first runs the halving shrink, then repeatedly applies `steps`
+/// — which must return strictly-smaller candidate mutations of its input —
+/// and descends into the first candidate that still fails, until every
+/// candidate passes or [`MAX_STRUCTURAL_STEPS`] descents have been taken.
+/// The panic reports the structurally minimal case and how many structural
+/// steps the descent took.
+///
+/// Termination relies on `steps` returning *smaller* values only; the step
+/// cap is a backstop against a `steps` that violates that contract.
+pub fn check_structural<T: std::fmt::Debug>(
+    name: &str,
+    config: &Config,
+    generate: impl Fn(&mut Rng, usize) -> T,
+    steps: impl Fn(&T) -> Vec<T>,
+    mut property: impl FnMut(&T) -> Result<(), String>,
+) {
+    let mut state = config.seed;
+    for case in 0..config.cases {
+        let case_seed = if case == 0 {
+            config.seed
+        } else {
+            splitmix64(&mut state)
+        };
+        let mut rng = Rng::from_seed(case_seed);
+        let value = generate(&mut rng, config.max_size);
+        if let Err(message) = property(&value) {
+            let (halved, small_size, halved_msg) =
+                shrink(config.max_size, case_seed, &generate, &mut property).unwrap_or((
+                    value,
+                    config.max_size,
+                    message,
+                ));
+            let (small, taken, small_msg) =
+                shrink_structural(halved, halved_msg, &steps, &mut property);
+            panic!(
+                "property '{name}' failed (case {case}/{total}).\n\
+                 replay with: HSGF_PROP_SEED={case_seed}\n\
+                 smallest failing case (size bound {small_size}, \
+                 {taken} structural step(s)): {small:?}\n\
+                 failure: {small_msg}",
+                total = config.cases,
+            );
+        }
+    }
+}
+
+/// Upper bound on structural-shrink descents per failure; a backstop for
+/// `steps` implementations that do not strictly shrink.
+pub const MAX_STRUCTURAL_STEPS: usize = 512;
+
+/// Greedy structural descent: take the first failing candidate each round
+/// until no candidate fails (a local minimum) or the step cap is hit.
+fn shrink_structural<T>(
+    mut value: T,
+    mut message: String,
+    steps: &impl Fn(&T) -> Vec<T>,
+    property: &mut impl FnMut(&T) -> Result<(), String>,
+) -> (T, usize, String) {
+    let mut taken = 0usize;
+    'descend: while taken < MAX_STRUCTURAL_STEPS {
+        for candidate in steps(&value) {
+            if let Err(m) = property(&candidate) {
+                value = candidate;
+                message = m;
+                taken += 1;
+                continue 'descend;
+            }
+        }
+        break;
+    }
+    (value, taken, message)
+}
+
+/// Structural shrink candidates for a heterogeneous graph: one copy per
+/// dropped undirected edge, then one per dropped node (with its incident
+/// edges). Node labels, edge directions, and edge types all survive the
+/// rebuild, so a shrunk counterexample exercises the same heterogeneous
+/// machinery as the original. Intended as the `steps` argument of
+/// [`check_structural`] for graph-valued properties.
+pub fn graph_shrink_steps(graph: &HetGraph) -> Vec<HetGraph> {
+    let mut out = Vec::with_capacity(graph.edge_count() + graph.node_count());
+    for drop_edge in 0..graph.edge_count() as u32 {
+        out.push(rebuild_without(graph, Some(drop_edge), None));
+    }
+    for drop_node in graph.nodes() {
+        out.push(rebuild_without(graph, None, Some(drop_node)));
+    }
+    out
+}
+
+/// Rebuilds `graph` minus one edge and/or one node, remapping node ids
+/// densely (the remap is monotone, so relative id order — and therefore
+/// stored [`Direction`]s — stay meaningful).
+fn rebuild_without(
+    graph: &HetGraph,
+    drop_edge: Option<u32>,
+    drop_node: Option<hsgf_graph::NodeId>,
+) -> HetGraph {
+    let mut builder = GraphBuilder::new(graph.labels().clone());
+    let mut remap = Vec::with_capacity(graph.node_count());
+    for v in graph.nodes() {
+        if Some(v) == drop_node {
+            remap.push(None);
+        } else {
+            let mapped = builder
+                .add_node_with(graph.label(v))
+                .expect("label comes from the same LabelSet");
+            remap.push(Some(mapped));
+        }
+    }
+    for u in graph.nodes() {
+        for (&v, &id) in graph.neighbors(u).iter().zip(graph.incident_edge_ids(u)) {
+            // Each undirected edge appears in both endpoint lists; keep the
+            // u < v copy only.
+            if u >= v || Some(id) == drop_edge {
+                continue;
+            }
+            let (Some(a), Some(b)) = (remap[u.index()], remap[v.index()]) else {
+                continue;
+            };
+            let edge_type = graph.edge_type(id);
+            // a < b holds because the remap is monotone, so the original
+            // low/high orientation translates directly.
+            match graph.edge_direction(id) {
+                Direction::Symmetric => builder.add_edge_typed(a, b, edge_type),
+                Direction::LowToHigh => builder.add_arc_typed(a, b, edge_type),
+                Direction::HighToLow => builder.add_arc_typed(b, a, edge_type),
+            }
+            .expect("endpoints were just added");
+        }
+    }
+    builder.build()
 }
 
 /// Halving shrink: regenerate under caps `max/2, /4, …, 1` from the same
@@ -193,6 +337,132 @@ mod tests {
         assert!(msg.contains("vectors-are-short"));
         // The halving shrink must have reduced the size bound below full.
         assert!(msg.contains("size bound"), "no shrink report in: {msg}");
+    }
+
+    #[test]
+    fn graph_shrink_steps_drop_one_edge_or_node_and_keep_metadata() {
+        use hsgf_graph::{Label, LabelSet};
+        let labels = LabelSet::from_names(["a", "b"]).unwrap();
+        let mut b = GraphBuilder::new(labels);
+        let n0 = b.add_node_with(Label::new(0)).unwrap();
+        let n1 = b.add_node_with(Label::new(1)).unwrap();
+        let n2 = b.add_node_with(Label::new(1)).unwrap();
+        b.add_arc_typed(n0, n1, 2).unwrap();
+        b.add_edge_typed(n1, n2, 1).unwrap();
+        let g = b.build();
+
+        let candidates = graph_shrink_steps(&g);
+        assert_eq!(candidates.len(), g.edge_count() + g.node_count());
+        // Edge-drop candidates lose exactly one edge, keep all nodes.
+        for c in &candidates[..g.edge_count()] {
+            assert_eq!(c.node_count(), 3);
+            assert_eq!(c.edge_count(), 1);
+        }
+        // Node-drop candidates lose the node and its incident edges.
+        let without_n1 = &candidates[g.edge_count() + n1.index()];
+        assert_eq!(without_n1.node_count(), 2);
+        assert_eq!(without_n1.edge_count(), 0);
+        // Dropping the leaf n2 keeps the directed typed arc intact.
+        let without_n2 = &candidates[g.edge_count() + n2.index()];
+        assert_eq!(without_n2.node_count(), 2);
+        assert_eq!(without_n2.edge_count(), 1);
+        assert_eq!(without_n2.edge_direction(0), Direction::LowToHigh);
+        assert_eq!(without_n2.edge_type(0), 2);
+        assert_eq!(without_n2.label(hsgf_graph::NodeId::new(1)), Label::new(1));
+    }
+
+    #[test]
+    fn structural_shrink_reaches_minimal_counterexample() {
+        use hsgf_graph::{Label, LabelSet};
+        // Generator: a path of `size` nodes plus random chords. Any path of
+        // length ≥ 2 violates the property below, but halving alone can only
+        // shrink the *size bound* — it still regenerates chords. Structural
+        // shrinking must prune all the way down to a bare 3-node path.
+        let generate = |rng: &mut Rng, max: usize| {
+            let n = max.max(3);
+            let labels = LabelSet::from_names(["x"]).unwrap();
+            let mut b = GraphBuilder::new(labels);
+            let nodes: Vec<_> = (0..n)
+                .map(|_| b.add_node_with(Label::new(0)).unwrap())
+                .collect();
+            for w in nodes.windows(2) {
+                b.add_edge(w[0], w[1]).unwrap();
+            }
+            for _ in 0..n / 2 {
+                let u = rng.gen_range(0..n);
+                let v = rng.gen_range(0..n);
+                if u != v {
+                    b.add_edge(nodes[u.min(v)], nodes[u.max(v)]).unwrap();
+                }
+            }
+            b.build()
+        };
+        let mut last_fail: Option<(usize, usize)> = None;
+        let config = Config {
+            cases: 1,
+            seed: 11,
+            max_size: 32,
+        };
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            check_structural(
+                "no-degree-2-node",
+                &config,
+                generate,
+                |g: &HetGraph| graph_shrink_steps(g),
+                |g| {
+                    let bad = g.nodes().any(|v| g.degree(v) >= 2);
+                    if bad {
+                        last_fail = Some((g.node_count(), g.edge_count()));
+                        return Err("found a degree-2 node".into());
+                    }
+                    Ok(())
+                },
+            );
+        }));
+        let err = result.expect_err("property must fail");
+        let msg = err
+            .downcast_ref::<String>()
+            .expect("panic carries a String");
+        assert!(msg.contains("structural step(s)"), "no step report: {msg}");
+        assert!(msg.contains("HSGF_PROP_SEED="), "no replay seed: {msg}");
+        // The minimal graph with a degree-2 node is a 3-node path; greedy
+        // descent must land exactly there — something the size-bound
+        // shrinker cannot do, since the generator never emits it verbatim.
+        assert_eq!(
+            last_fail,
+            Some((3, 2)),
+            "structural shrink stopped early: {msg}"
+        );
+    }
+
+    #[test]
+    fn structural_shrink_stops_when_no_candidate_fails() {
+        // `steps` that produces only passing candidates: the descent must
+        // stop immediately and report zero structural steps.
+        let config = Config {
+            cases: 1,
+            seed: 3,
+            max_size: 8,
+        };
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            check_structural(
+                "always-fails-at-origin",
+                &config,
+                |_rng, _max| 10u32,
+                |_v| vec![0u32],
+                |v| {
+                    prop_assert!(*v == 0, "nonzero {v}");
+                    Ok(())
+                },
+            );
+        }));
+        let err = result.expect_err("property must fail");
+        let msg = err
+            .downcast_ref::<String>()
+            .expect("panic carries a String");
+        // The only candidate (0) passes, so no descent happens at all.
+        assert!(msg.contains("0 structural step(s)"), "wrong steps: {msg}");
+        assert!(msg.contains(": 10"), "value should stay 10: {msg}");
     }
 
     #[test]

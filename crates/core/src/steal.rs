@@ -41,8 +41,10 @@
 //! the sequential path.
 
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex, MutexGuard};
+
+use crate::obs::{CounterSet, Metric, Obs};
 
 /// Which scheduler [`crate::parallel`] and [`crate::supervisor`] use to
 /// distribute per-root census work across threads.
@@ -123,10 +125,10 @@ pub(crate) struct StealPool<T> {
     wakeup: Condvar,
     /// Tasks spawned but not yet completed.
     pending: AtomicUsize,
-    tasks: AtomicU64,
-    steals: AtomicU64,
-    parks: AtomicU64,
-    splits: AtomicU64,
+    /// Scheduler counters, in registry storage ([`crate::obs::Metric`]
+    /// indexed) so a run can merge them straight into an [`Obs`] handle —
+    /// the pool keeps no bookkeeping of its own.
+    counters: CounterSet,
 }
 
 /// Recovers a poisoned deque guard. Task values are plain data and every
@@ -157,10 +159,7 @@ impl<T: Send> StealPool<T> {
             }),
             wakeup: Condvar::new(),
             pending: AtomicUsize::new(pending),
-            tasks: AtomicU64::new(0),
-            steals: AtomicU64::new(0),
-            parks: AtomicU64::new(0),
-            splits: AtomicU64::new(0),
+            counters: CounterSet::new(),
         }
     }
 
@@ -178,7 +177,7 @@ impl<T: Send> StealPool<T> {
 
     /// Records that a hub root was split into shards (observability only).
     pub(crate) fn note_split(&self) {
-        self.splits.fetch_add(1, Ordering::Relaxed);
+        self.counters.incr(Metric::StealSplits);
     }
 
     /// Marks one task finished; the last completion releases every parked
@@ -207,15 +206,15 @@ impl<T: Send> StealPool<T> {
                 sync.epoch
             };
             if let Some(task) = lock_deque(&self.deques[worker]).pop_back() {
-                self.tasks.fetch_add(1, Ordering::Relaxed);
+                self.counters.incr(Metric::StealTasks);
                 return Some(task);
             }
             let n = self.deques.len();
             for offset in 1..n {
                 let victim = (worker + offset) % n;
                 if let Some(task) = lock_deque(&self.deques[victim]).pop_front() {
-                    self.steals.fetch_add(1, Ordering::Relaxed);
-                    self.tasks.fetch_add(1, Ordering::Relaxed);
+                    self.counters.incr(Metric::StealSteals);
+                    self.counters.incr(Metric::StealTasks);
                     return Some(task);
                 }
             }
@@ -229,7 +228,7 @@ impl<T: Send> StealPool<T> {
                 // else).
                 continue;
             }
-            self.parks.fetch_add(1, Ordering::Relaxed);
+            self.counters.incr(Metric::StealParks);
             // Spawners bump the epoch and notify under `sync`, so no task
             // published after the epoch check can be missed by this wait.
             let _guard = self.wakeup.wait(sync).unwrap_or_else(|e| e.into_inner());
@@ -238,19 +237,15 @@ impl<T: Send> StealPool<T> {
 
     /// Snapshot of the pool's counters.
     pub(crate) fn stats(&self) -> StealStats {
-        StealStats {
-            tasks: self.tasks.load(Ordering::Relaxed),
-            steals: self.steals.load(Ordering::Relaxed),
-            parks: self.parks.load(Ordering::Relaxed),
-            splits: self.splits.load(Ordering::Relaxed),
-        }
+        self.counters.steal_stats()
     }
 }
 
 /// Runs `initial` tasks (plus any they spawn) to completion on `threads`
 /// workers. Each worker gets a private context from `make_ctx` (the census
 /// scratch holder); `step` executes one task and may spawn follow-up tasks
-/// through the pool handle. Returns the pool's counters.
+/// through the pool handle. The pool's counters are merged into `obs`
+/// (a no-op for a disabled handle) and returned as [`StealStats`].
 ///
 /// `step` must not panic: census faults are expected to be caught inside it
 /// (the isolation boundary of [`crate::parallel`]). If it panics anyway the
@@ -261,6 +256,7 @@ impl<T: Send> StealPool<T> {
 pub(crate) fn run_stealing<T, C, F, G>(
     threads: usize,
     initial: Vec<T>,
+    obs: &Obs,
     make_ctx: G,
     step: F,
 ) -> StealStats
@@ -286,6 +282,7 @@ where
             });
         }
     });
+    obs.merge_counters(&pool.counters);
     pool.stats()
 }
 
@@ -307,7 +304,13 @@ mod tests {
 
     #[test]
     fn empty_pool_terminates_immediately() {
-        let stats = run_stealing(4, Vec::<usize>::new(), || (), |_, _, _, _| {});
+        let stats = run_stealing(
+            4,
+            Vec::<usize>::new(),
+            &Obs::disabled(),
+            || (),
+            |_, _, _, _| {},
+        );
         assert_eq!(stats.tasks, 0);
     }
 
@@ -315,9 +318,11 @@ mod tests {
     fn every_task_runs_exactly_once() {
         let n = 1000usize;
         let hits: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+        let obs = Obs::enabled();
         let stats = run_stealing(
             8,
             (0..n).collect(),
+            &obs,
             || (),
             |_, task: usize, _, _| {
                 hits[task].fetch_add(1, Ordering::Relaxed);
@@ -336,6 +341,7 @@ mod tests {
         let stats = run_stealing(
             4,
             vec![0u32; 10],
+            &Obs::disabled(),
             || (),
             |_, task: u32, worker, pool| {
                 executed.fetch_add(1, Ordering::Relaxed);
@@ -359,6 +365,7 @@ mod tests {
         let stats = run_stealing(
             4,
             vec![u32::MAX],
+            &Obs::disabled(),
             || (),
             |_, task: u32, worker, pool| {
                 if task == u32::MAX {
@@ -386,6 +393,7 @@ mod tests {
         run_stealing(
             3,
             (0..300usize).collect(),
+            &Obs::disabled(),
             || 0u64,
             |ctx: &mut u64, _task, _, _| {
                 *ctx += 1;
@@ -397,6 +405,7 @@ mod tests {
         let stats = run_stealing(
             3,
             (0..300usize).collect(),
+            &Obs::disabled(),
             || 0u64,
             |ctx: &mut u64, task, _, _| {
                 *ctx += 1;

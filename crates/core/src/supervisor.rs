@@ -37,6 +37,7 @@ use hsgf_graph::{HetGraph, NodeId};
 use crate::budget::{CancelToken, CensusBudget, SharedBudget};
 use crate::census::{CensusConfig, CensusEngine, CensusError, CensusScratch};
 use crate::features::FeatureMatrix;
+use crate::obs::{CensusCounters, Metric, Obs};
 use crate::parallel::{panic_message, plan_shards, SPLIT_WIDTH};
 use crate::sequence::Encoding;
 use crate::steal::{run_stealing, SchedulerKind};
@@ -208,6 +209,10 @@ pub struct Supervisor<'g> {
     /// Engine per ladder rung; index 0 is the base configuration.
     engines: Vec<CensusEngine<'g>>,
     policy: ExtractionPolicy,
+    /// Shared observability handle (no-op by default); every ladder engine
+    /// holds a clone, so completed censuses on any rung flush into the same
+    /// registry.
+    obs: Obs,
 }
 
 impl<'g> Supervisor<'g> {
@@ -226,7 +231,21 @@ impl<'g> Supervisor<'g> {
             .into_iter()
             .map(|c| CensusEngine::new(graph, c))
             .collect::<Result<Vec<_>, _>>()?;
-        Ok(Supervisor { engines, policy })
+        Ok(Supervisor {
+            engines,
+            policy,
+            obs: Obs::disabled(),
+        })
+    }
+
+    /// Attaches an observability handle: every ladder engine (and the
+    /// supervisor's own outcome/phase instrumentation) emits into `obs`.
+    pub fn with_obs(mut self, obs: Obs) -> Self {
+        for engine in &mut self.engines {
+            engine.set_obs(obs.clone());
+        }
+        self.obs = obs;
+        self
     }
 
     /// The base-configuration engine.
@@ -287,7 +306,12 @@ impl<'g> Supervisor<'g> {
             let mut holder = None;
             roots
                 .iter()
-                .map(|&root| self.census_root(root, &mut holder, cancel, chaos))
+                .map(|&root| {
+                    let timer = self.obs.root_timer();
+                    let result = self.census_root(root, &mut holder, cancel, chaos);
+                    self.obs.record_root(root.raw(), 0, timer);
+                    result
+                })
                 .collect()
         } else {
             match scheduler {
@@ -312,15 +336,19 @@ impl<'g> Supervisor<'g> {
         let slots: Vec<Mutex<Option<RootResult>>> =
             roots.iter().map(|_| Mutex::new(None)).collect();
         std::thread::scope(|scope| {
-            for _ in 0..threads {
-                scope.spawn(|| {
+            for worker in 0..threads {
+                let cursor = &cursor;
+                let slots = &slots;
+                scope.spawn(move || {
                     let mut holder = None;
                     loop {
                         let i = cursor.fetch_add(1, Ordering::Relaxed);
                         if i >= roots.len() {
                             break;
                         }
+                        let timer = self.obs.root_timer();
                         let result = self.census_root(roots[i], &mut holder, cancel, chaos);
+                        self.obs.record_root(roots[i].raw(), worker as u64, timer);
                         // The result is computed before the lock is taken,
                         // and `census_root` never panics (faults are caught
                         // inside), so the lock cannot be poisoned by census
@@ -381,9 +409,13 @@ impl<'g> Supervisor<'g> {
                 hi: usize,
             },
         }
-        /// Merge bookkeeping for one split root's base attempt.
+        /// Merge bookkeeping for one split root's base attempt. Each part
+        /// carries the shard's deterministic counter delta; the deltas are
+        /// flushed into the metrics registry only when every shard
+        /// completes (a failed split flushes nothing — the sequential
+        /// ladder fallback produces the canonical counts instead).
         struct Merge {
-            parts: Vec<Option<Result<HashMap<Encoding, u64>, CensusError>>>,
+            parts: Vec<Option<Result<(HashMap<Encoding, u64>, CensusCounters), CensusError>>>,
             remaining: usize,
         }
         let base = self.base_engine();
@@ -428,6 +460,7 @@ impl<'g> Supervisor<'g> {
         run_stealing(
             workers,
             tasks,
+            &self.obs,
             || None,
             |holder: &mut Option<CensusScratch>, task, worker, pool| match task {
                 Task::Root(i) => {
@@ -446,7 +479,9 @@ impl<'g> Supervisor<'g> {
                         }
                         return;
                     }
+                    let timer = self.obs.root_timer();
                     let result = self.census_root(roots[i], holder, cancel, chaos);
+                    self.obs.record_root(roots[i].raw(), worker as u64, timer);
                     *slots[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(result);
                 }
                 Task::Shard {
@@ -456,6 +491,7 @@ impl<'g> Supervisor<'g> {
                     hi,
                 } => {
                     let root = roots[slot];
+                    let timer = self.obs.root_timer();
                     let scratch = holder.get_or_insert_with(|| self.engines[0].make_scratch());
                     let attempt = catch_unwind(AssertUnwindSafe(|| {
                         base.census_encodings_shard(
@@ -468,7 +504,10 @@ impl<'g> Supervisor<'g> {
                         )
                     }));
                     let result = match attempt {
-                        Ok(r) => r.map(|c| c.counts),
+                        Ok(r) => r.map(|c| {
+                            let delta = holder.as_ref().map(|s| s.last_delta).unwrap_or_default();
+                            (c.counts, delta)
+                        }),
                         Err(payload) => {
                             *holder = None;
                             Err(CensusError::WorkerPanicked {
@@ -477,6 +516,7 @@ impl<'g> Supervisor<'g> {
                             })
                         }
                     };
+                    self.obs.record_root(root.raw(), worker as u64, timer);
                     let mut merge = merges[slot].lock().unwrap_or_else(|e| e.into_inner());
                     merge.parts[shard] = Some(result);
                     merge.remaining -= 1;
@@ -486,10 +526,12 @@ impl<'g> Supervisor<'g> {
                     let parts = std::mem::take(&mut merge.parts);
                     drop(merge);
                     let mut counts: HashMap<Encoding, u64> = HashMap::new();
+                    let mut delta = CensusCounters::default();
                     let mut failed = false;
                     for part in parts {
                         match part.expect("every shard reported before merge") {
-                            Ok(shard_counts) => {
+                            Ok((shard_counts, shard_delta)) => {
+                                delta.absorb(&shard_delta);
                                 for (enc, n) in shard_counts {
                                     *counts.entry(enc).or_insert(0) += n;
                                 }
@@ -507,9 +549,13 @@ impl<'g> Supervisor<'g> {
                         // really gets (Degraded / Failed / Cancelled —
                         // bounded work, since each attempt aborts at its
                         // budget). This keeps outcomes independent of
-                        // scheduler and thread count.
+                        // scheduler and thread count. No shard delta is
+                        // flushed — the fallback's completing attempt
+                        // produces the canonical counts.
                         self.census_root(root, holder, cancel, chaos)
                     } else {
+                        self.obs.record_census(&delta);
+                        self.obs.observe_root_subgraphs(delta.subgraphs);
                         (Some(counts), RootOutcome::Exact)
                     };
                     *slots[slot].lock().unwrap_or_else(|e| e.into_inner()) = Some(result);
@@ -577,6 +623,7 @@ impl<'g> Supervisor<'g> {
                 Ok(Err(CensusError::BudgetExhausted { .. }))
                     if attempt + 1 < self.engines.len() =>
                 {
+                    self.obs.incr(Metric::DegradeAttempts);
                     continue;
                 }
                 Ok(Err(CensusError::Cancelled { .. })) => {
@@ -606,13 +653,20 @@ impl<'g> Supervisor<'g> {
         let mut censuses = Vec::with_capacity(results.len());
         let mut outcomes = Vec::with_capacity(results.len());
         for (counts, outcome) in results {
+            let metric = match &outcome {
+                RootOutcome::Exact => Metric::RootsExact,
+                RootOutcome::Degraded { .. } => Metric::RootsDegraded,
+                RootOutcome::Failed { .. } => Metric::RootsFailed,
+                RootOutcome::Cancelled => Metric::RootsCancelled,
+            };
+            self.obs.incr(metric);
             censuses.push(counts.unwrap_or_default());
             outcomes.push(outcome);
         }
-        PartialExtraction {
-            matrix: FeatureMatrix::from_censuses(roots.to_vec(), censuses),
-            outcomes,
-        }
+        let matrix = self.obs.phase("feature-matrix", || {
+            FeatureMatrix::from_censuses(roots.to_vec(), censuses)
+        });
+        PartialExtraction { matrix, outcomes }
     }
 }
 

@@ -77,6 +77,19 @@ impl DegreeStats {
         self.sorted_degrees[rank - 1]
     }
 
+    /// The standard percentile summary `(p50, p90, p99, max)` — the degree
+    /// spread the dataset characterizations report. Each entry is
+    /// [`DegreeStats::degree_at_percentile`] at that percentile; `max` is
+    /// the true maximum.
+    pub fn percentile_summary(&self) -> (u32, u32, u32, u32) {
+        (
+            self.degree_at_percentile(50.0),
+            self.degree_at_percentile(90.0),
+            self.degree_at_percentile(99.0),
+            self.max(),
+        )
+    }
+
     /// Fraction of nodes with degree ≤ `d`.
     pub fn cdf(&self, d: u32) -> f64 {
         if self.sorted_degrees.is_empty() {
@@ -146,6 +159,14 @@ mod tests {
         assert_eq!(s.degree_at_percentile(90.0), 5);
         assert_eq!(s.degree_at_percentile(100.0), 5);
         assert_eq!(s.degree_at_percentile(0.0), 1);
+    }
+
+    #[test]
+    fn percentile_summary_is_ordered() {
+        let s = DegreeStats::of(&star6());
+        let (p50, p90, p99, max) = s.percentile_summary();
+        assert_eq!((p50, p90, p99, max), (1, 5, 5, 5));
+        assert!(p50 <= p90 && p90 <= p99 && p99 <= max);
     }
 
     #[test]

@@ -41,6 +41,29 @@ run_benches() {
     cargo bench --offline -p hsgf-bench >/dev/null
 }
 
+# Prints "counter value" pairs from a suite JSON's attached obs metrics
+# snapshot (the deterministic "counters" section only). Histograms come out
+# as their whole bracketed array with spaces stripped, so each value stays a
+# single join(1) field.
+extract_counters() {
+    awk '
+        /"obs_metrics":/ {
+            if (match($0, /"counters": *\{[^}]*\}/)) {
+                c = substr($0, RSTART, RLENGTH)
+                while (match(c, /"[a-z_0-9]+": *([0-9]+|\[[^]]*\])/)) {
+                    pair = substr(c, RSTART, RLENGTH)
+                    c = substr(c, RSTART + RLENGTH)
+                    key = pair
+                    sub(/^"/, "", key); sub(/":.*/, "", key)
+                    val = pair
+                    sub(/^"[a-z_0-9]+": */, "", val)
+                    gsub(/[ \t]/, "", val)
+                    print key, val
+                }
+            }
+        }' "$1"
+}
+
 # Prints "name median_ns" pairs from one suite JSON.
 extract() {
     awk -F'"' '
@@ -91,6 +114,29 @@ diff_results() {
         | sed 's/^/new benchmark: /'
     comm -23 <(cut -d' ' -f1 "$tmp_base") <(cut -d' ' -f1 "$tmp_cur") \
         | sed 's/^/removed benchmark: /'
+
+    # Deterministic census counters (attached obs snapshots): these must be
+    # bit-identical across commits unless the census behaviour intentionally
+    # changed — a drift here is a semantics change, not a perf change.
+    tmp_base_c="$(mktemp)"
+    tmp_cur_c="$(mktemp)"
+    trap 'rm -f "${tmp_base:-}" "${tmp_cur:-}" "${tmp_base_c:-}" "${tmp_cur_c:-}"' EXIT
+    for f in "$BASELINE_DIR"/*.json; do
+        s="$(basename "$f" .json)"
+        extract_counters "$f" | sed "s/^/$s./"
+    done | sort > "$tmp_base_c"
+    for f in "$BENCH_DIR"/*.json; do
+        s="$(basename "$f" .json)"
+        extract_counters "$f" | sed "s/^/$s./"
+    done | sort > "$tmp_cur_c"
+    if [ -s "$tmp_base_c" ] || [ -s "$tmp_cur_c" ]; then
+        join "$tmp_base_c" "$tmp_cur_c" | awk '
+            $2 != $3 { printf "counter drift: %s  %s -> %s\n", $1, $2, $3; drift++ }
+            END {
+                if (drift > 0) { printf "%d deterministic counter(s) drifted\n", drift; exit 1 }
+                print "deterministic counters: identical"
+            }' || status=1
+    fi
     return $status
 }
 

@@ -37,6 +37,20 @@ HSGF="target/release/hsgf"
 cmp "$SMOKE_DIR/cursor.json" "$SMOKE_DIR/stealing.json"
 echo "    cursor == stealing ($(wc -c < "$SMOKE_DIR/cursor.json" | tr -d ' ') bytes)"
 
+echo "==> observability smoke (snapshots validate; counters scheduler-independent)"
+"$HSGF" extract "$SMOKE_DIR/g.txt" --emax 3 --roots sample:5 --threads 4 \
+    --scheduler cursor --out "$SMOKE_DIR/c2.csv" \
+    --metrics-out "$SMOKE_DIR/cursor-metrics.json" \
+    --trace-out "$SMOKE_DIR/trace.json" 2>/dev/null
+"$HSGF" extract "$SMOKE_DIR/g.txt" --emax 3 --roots sample:5 --threads 4 \
+    --scheduler stealing --out "$SMOKE_DIR/s2.csv" \
+    --metrics-out "$SMOKE_DIR/stealing-metrics.json" 2>/dev/null
+# The flags must not change the extraction itself.
+cmp "$SMOKE_DIR/c2.csv" "$SMOKE_DIR/s2.csv"
+"$HSGF" obs-validate "$SMOKE_DIR/cursor-metrics.json" \
+    --trace "$SMOKE_DIR/trace.json" \
+    --against "$SMOKE_DIR/stealing-metrics.json"
+
 if cargo fmt --version >/dev/null 2>&1; then
     echo "==> cargo fmt --check"
     cargo fmt --all --check

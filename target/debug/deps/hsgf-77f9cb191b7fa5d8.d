@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hsgf-77f9cb191b7fa5d8.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/hsgf-77f9cb191b7fa5d8: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

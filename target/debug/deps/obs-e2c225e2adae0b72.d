@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/obs-e2c225e2adae0b72.d: crates/bench/benches/obs.rs
+
+/root/repo/target/debug/deps/obs-e2c225e2adae0b72: crates/bench/benches/obs.rs
+
+crates/bench/benches/obs.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/observability-ada8844b49939572.d: crates/hsgf/../../tests/observability.rs
+
+/root/repo/target/debug/deps/observability-ada8844b49939572: crates/hsgf/../../tests/observability.rs
+
+crates/hsgf/../../tests/observability.rs:

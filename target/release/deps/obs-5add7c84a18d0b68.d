@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/obs-5add7c84a18d0b68.d: crates/bench/benches/obs.rs
+
+/root/repo/target/release/deps/obs-5add7c84a18d0b68: crates/bench/benches/obs.rs
+
+crates/bench/benches/obs.rs:

@@ -1,0 +1,143 @@
+//! Observability invariants: the deterministic counter section of a
+//! metrics snapshot is a pure function of the workload — bit-identical
+//! across thread counts and schedulers, for both the raw parallel
+//! extractors and the budget-governed supervisor. Snapshots and traces
+//! must validate against the in-repo schema checkers, and the disabled
+//! handle must stay completely inert.
+
+use hsgf::core::census::{CensusConfig, CensusEngine};
+use hsgf::core::json;
+use hsgf::core::obs::{
+    compare_deterministic_counters, validate_metrics_json, validate_trace_json, Metric, Obs,
+};
+use hsgf::core::parallel::extract_censuses_with;
+use hsgf::core::steal::SchedulerKind;
+use hsgf::core::supervisor::{ExtractionPolicy, Supervisor};
+use hsgf::data::{LoadConfig, LoadData, Scale};
+use hsgf::graph::NodeId;
+
+fn test_graph() -> hsgf::graph::HetGraph {
+    LoadData::generate(&LoadConfig::at_scale(Scale::Tiny)).graph
+}
+
+fn test_roots(graph: &hsgf::graph::HetGraph) -> Vec<NodeId> {
+    graph.nodes().step_by(13).collect()
+}
+
+const SCHEDULERS: [SchedulerKind; 2] = [SchedulerKind::Cursor, SchedulerKind::Stealing];
+const THREADS: [usize; 3] = [1, 2, 8];
+
+#[test]
+fn deterministic_counters_identical_across_threads_and_schedulers() {
+    let graph = test_graph();
+    let roots = test_roots(&graph);
+    let config = CensusConfig::default().with_emax(3);
+    let mut snapshots = Vec::new();
+    for scheduler in SCHEDULERS {
+        for threads in THREADS {
+            let obs = Obs::enabled();
+            let engine = CensusEngine::new(&graph, config.clone())
+                .unwrap()
+                .with_obs(obs.clone());
+            extract_censuses_with(&engine, &roots, threads, scheduler).unwrap();
+            let snap = obs.snapshot();
+            assert!(
+                snap.get(Metric::SubgraphsEnumerated) > 0,
+                "{scheduler:?}/{threads}: no subgraphs counted"
+            );
+            snapshots.push((scheduler, threads, snap.deterministic_json()));
+        }
+    }
+    let (s0, t0, reference) = &snapshots[0];
+    for (scheduler, threads, json) in &snapshots[1..] {
+        assert_eq!(
+            json, reference,
+            "deterministic counters drifted: {scheduler:?}/{threads} \
+             vs {s0:?}/{t0}"
+        );
+    }
+}
+
+#[test]
+fn supervised_counters_identical_across_threads_and_schedulers() {
+    let graph = test_graph();
+    let roots = test_roots(&graph);
+    let config = CensusConfig::default().with_emax(3);
+    // A budget tight enough that some roots degrade: the deterministic
+    // section must still agree, because failed shard splits flush nothing
+    // and the sequential ladder produces the canonical counts.
+    let policy = ExtractionPolicy {
+        max_subgraphs: Some(2_000),
+        max_frontier: None,
+        root_timeout: None,
+        degrade: true,
+    };
+    let mut snapshots = Vec::new();
+    for scheduler in SCHEDULERS {
+        for threads in THREADS {
+            let obs = Obs::enabled();
+            let supervisor = Supervisor::new(&graph, config.clone(), policy.clone())
+                .unwrap()
+                .with_obs(obs.clone());
+            let extraction = supervisor.extract_scheduled(&roots, threads, scheduler);
+            assert_eq!(extraction.outcomes.len(), roots.len());
+            snapshots.push((scheduler, threads, obs.snapshot().deterministic_json()));
+        }
+    }
+    let (s0, t0, reference) = &snapshots[0];
+    for (scheduler, threads, json) in &snapshots[1..] {
+        assert_eq!(
+            json, reference,
+            "supervised deterministic counters drifted: {scheduler:?}/{threads} \
+             vs {s0:?}/{t0}"
+        );
+    }
+}
+
+#[test]
+fn snapshots_and_traces_validate_against_schema() {
+    let graph = test_graph();
+    let roots = test_roots(&graph);
+    let obs = Obs::enabled();
+    let engine = CensusEngine::new(&graph, CensusConfig::default().with_emax(3))
+        .unwrap()
+        .with_obs(obs.clone());
+    obs.phase("extract", || {
+        extract_censuses_with(&engine, &roots, 2, SchedulerKind::Stealing).unwrap()
+    });
+    let metrics = json::parse(&obs.snapshot().to_json()).expect("metrics JSON parses");
+    validate_metrics_json(&metrics).expect("metrics schema");
+    // The same document must agree with itself in a counter comparison.
+    compare_deterministic_counters(&metrics, &metrics).expect("self-comparison");
+    let trace = json::parse(&obs.trace_json()).expect("trace JSON parses");
+    validate_trace_json(&trace).expect("trace schema");
+    // The phase span and at least one per-root span made it into the ring.
+    let rendered = obs.trace_json();
+    assert!(rendered.contains("\"extract\""), "phase span missing");
+    assert!(rendered.contains("\"root "), "per-root spans missing");
+}
+
+#[test]
+fn disabled_obs_observes_nothing() {
+    let graph = test_graph();
+    let roots = test_roots(&graph);
+    let obs = Obs::disabled();
+    let engine = CensusEngine::new(&graph, CensusConfig::default().with_emax(3))
+        .unwrap()
+        .with_obs(obs.clone());
+    extract_censuses_with(&engine, &roots, 2, SchedulerKind::Stealing).unwrap();
+    let snap = obs.snapshot();
+    for metric in Metric::ALL {
+        assert_eq!(
+            snap.get(metric),
+            0,
+            "{} recorded while disabled",
+            metric.name()
+        );
+    }
+    assert_eq!(
+        snap.deterministic_json(),
+        Obs::disabled().snapshot().deterministic_json(),
+        "disabled snapshot is not the zero snapshot"
+    );
+}
