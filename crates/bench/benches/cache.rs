@@ -1,0 +1,83 @@
+//! Census cache benchmark: cold-vs-warm extraction on the MAG-style
+//! rank-prediction graph. The warm run replaces every per-root census
+//! with a fingerprint + lookup, so its speedup over cold/uncached is the
+//! cache's value proposition; `fingerprint-only` isolates the fixed cost
+//! every cached run pays even on a 100 % hit rate. A metrics snapshot
+//! with the cache counters rides along for `scripts/bench_diff.sh`
+//! (runtime section only — hit counts are never diffed deterministically).
+
+use hsgf_bench::mag_corpus;
+use hsgf_bench::runner::Runner;
+use hsgf_core::cache::CensusCache;
+use hsgf_core::census::{CensusConfig, CensusEngine};
+use hsgf_core::parallel::{extract_feature_matrix, extract_feature_matrix_cached};
+use hsgf_core::steal::SchedulerKind;
+use hsgf_core::Obs;
+use hsgf_data::Scale;
+use hsgf_graph::fingerprint::{neighborhood_fingerprint_with, FingerprintScratch};
+use hsgf_graph::NodeId;
+
+fn main() {
+    let mut runner = Runner::new("cache");
+    let data = mag_corpus(Scale::Tiny);
+    let (graph, _institutions) = data.rank_graph(0, 2009);
+    let roots: Vec<NodeId> = graph.nodes().collect();
+    let config = CensusConfig::default().with_emax(3);
+    let engine = CensusEngine::new(&graph, config).expect("valid config");
+    println!(
+        "MAG rank graph (conference 0, year 2009): {} nodes, {} edges, {} roots, emax 3\n",
+        graph.node_count(),
+        graph.edge_count(),
+        roots.len()
+    );
+
+    let mut group = runner.group("cache/mag-rank");
+    group.bench_function("nocache", || {
+        extract_feature_matrix(&engine, &roots, 1)
+            .expect("valid roots")
+            .row_count()
+    });
+    // Cold: a fresh cache every iteration — full extraction plus the
+    // fingerprint/store overhead, the worst case for the cache.
+    group.bench_function("cold", || {
+        let cache = CensusCache::in_memory();
+        extract_feature_matrix_cached(&engine, &roots, 1, SchedulerKind::Cursor, &cache)
+            .expect("valid roots")
+            .row_count()
+    });
+    // Warm: the cache already holds every root, so each iteration is
+    // fingerprints + lookups + matrix assembly only.
+    let warm = CensusCache::in_memory();
+    extract_feature_matrix_cached(&engine, &roots, 1, SchedulerKind::Cursor, &warm)
+        .expect("valid roots");
+    group.bench_function("warm", || {
+        extract_feature_matrix_cached(&engine, &roots, 1, SchedulerKind::Cursor, &warm)
+            .expect("valid roots")
+            .row_count()
+    });
+    // The fixed per-run cost of keying alone.
+    let mut scratch = FingerprintScratch::new();
+    group.bench_function("fingerprint-only", || {
+        let mut acc = 0u64;
+        for &root in &roots {
+            acc ^= neighborhood_fingerprint_with(&graph, root, 3, &mut scratch);
+        }
+        acc
+    });
+    group.finish();
+
+    // One observed cold+warm pair so the cache counters land in the
+    // attached snapshot (runtime section; excluded from deterministic
+    // counter diffs by design).
+    let obs = Obs::enabled();
+    let observed_engine = CensusEngine::new(&graph, engine.config().clone())
+        .expect("valid config")
+        .with_obs(obs.clone());
+    let cache = CensusCache::in_memory().with_obs(obs.clone());
+    for _ in 0..2 {
+        extract_feature_matrix_cached(&observed_engine, &roots, 1, SchedulerKind::Cursor, &cache)
+            .expect("valid roots");
+    }
+    runner.attach("obs_metrics", obs.snapshot().to_json());
+    runner.finish();
+}

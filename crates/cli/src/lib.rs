@@ -10,6 +10,9 @@
 //!   the census runs under the fault-tolerant supervisor: over-budget roots
 //!   degrade down a deterministic ladder (or fail cleanly), a per-root
 //!   outcome summary is reported, and a partial run exits with code 3.
+//!   With `--cache`, per-root results are reused across runs via content
+//!   fingerprints (see [`hsgf_core::cache`]); `cache-stats` prints a cache
+//!   directory's persistent counters.
 //!
 //! Everything here is plain functions over `io::Write` so the binary stays
 //! a thin shell and the behaviour is unit-testable. [`run`] returns the
@@ -21,19 +24,20 @@
 
 use std::io::Write;
 
+use hsgf_core::cache::{read_dir_stats, CensusCache};
 use hsgf_core::census::{CensusConfig, CensusEngine};
 use hsgf_core::export;
 use hsgf_core::features::FeatureMatrix;
 use hsgf_core::json;
 use hsgf_core::obs::{self, Metric, MetricsSnapshot, Obs};
-use hsgf_core::parallel::extract_censuses_with;
+use hsgf_core::parallel::{extract_censuses_cached, extract_censuses_with};
 use hsgf_core::sampling;
 use hsgf_core::steal::SchedulerKind;
 use hsgf_core::supervisor::{ExtractionPolicy, PartialExtraction, RootOutcome, Supervisor};
 use hsgf_data::{
     FlowConfig, FlowData, ImdbConfig, ImdbData, LoadConfig, LoadData, MagConfig, MagData, Scale,
 };
-use hsgf_graph::{DegreeStats, HetGraph, LabelConnectivityGraph, NodeId};
+use hsgf_graph::{DegreeStats, EdgeEdit, HetGraph, LabelConnectivityGraph, NodeId};
 
 /// Exit code of a run that completed but produced degraded, failed, or
 /// cancelled roots (exit 0 = fully exact, exit 2 = hard error).
@@ -184,6 +188,8 @@ USAGE:
                [--budget-subgraphs N] [--budget-frontier N] [--deadline-ms MS]
                [--degrade] [--out FILE] [--vocab FILE]
                [--metrics-out FILE] [--trace-out FILE]
+               [--cache DIR|mem] [--cache-cap N] [--apply-edits FILE]
+  hsgf cache-stats <DIR>
   hsgf obs-validate <METRICS> [--trace FILE] [--against METRICS2]
   hsgf help
 
@@ -201,6 +207,18 @@ subgraphs (deterministic), --budget-frontier caps scratch growth,
 roots retry down a deterministic ladder (tightened dmax, then reduced emax)
 instead of failing. A run with any non-exact root prints a per-root outcome
 summary and exits with code 3 (0 = fully exact, 2 = hard error).
+
+Caching: --cache keeps per-root census results keyed by a content
+fingerprint of each root's emax-hop neighbourhood plus the extraction
+configuration — `mem` for the process lifetime, a directory for reuse
+across runs. Entries self-invalidate when an edit lands inside a root's
+dependency radius; --apply-edits FILE applies an edge-edit list (`add U V
+[TYPE]` / `remove U V` per line) to the loaded graph first, so only roots
+whose fingerprint changed are re-extracted. --cache-cap N bounds the
+in-memory tier. Cached output is bit-identical to recomputation, and exit
+codes are unaffected: degraded cached roots still exit 3, and failed or
+cancelled roots are never cached. `cache-stats DIR` prints the persistent
+hit/miss/store/eviction counters and the entry count.
 
 Observability: --metrics-out writes a metrics snapshot (JSON) of the run's
 census counters; --trace-out writes per-phase and per-root spans in Chrome
@@ -342,15 +360,36 @@ impl ExtractParams {
 /// any census failure is a hard error; under a policy, failures are per-root
 /// outcomes and the call itself succeeds.
 pub fn extract(graph: &HetGraph, params: &ExtractParams) -> Result<PartialExtraction, CliError> {
+    extract_through(graph, params, None)
+}
+
+/// [`extract`] through an optional [`CensusCache`]: roots whose
+/// neighbourhood + configuration fingerprint is cached are served without
+/// recomputation, and the output is bit-identical to the uncached run.
+pub fn extract_through(
+    graph: &HetGraph,
+    params: &ExtractParams,
+    cache: Option<&CensusCache>,
+) -> Result<PartialExtraction, CliError> {
     let config = params.census_config(graph);
     let roots = params.select_roots(graph);
     let mut partial = if params.policy.is_bounded() || params.policy.degrade {
         let supervisor =
             Supervisor::new(graph, config, params.policy.clone())?.with_obs(params.obs.clone());
-        supervisor.extract_scheduled(&roots, params.threads, params.scheduler)
+        match cache {
+            Some(cache) => {
+                supervisor.extract_cached(&roots, params.threads, params.scheduler, cache)
+            }
+            None => supervisor.extract_scheduled(&roots, params.threads, params.scheduler),
+        }
     } else {
         let engine = CensusEngine::new(graph, config)?.with_obs(params.obs.clone());
-        let censuses = extract_censuses_with(&engine, &roots, params.threads, params.scheduler)?;
+        let censuses = match cache {
+            Some(cache) => {
+                extract_censuses_cached(&engine, &roots, params.threads, params.scheduler, cache)?
+            }
+            None => extract_censuses_with(&engine, &roots, params.threads, params.scheduler)?,
+        };
         // The plain path succeeds only when every root is exact; mirror the
         // supervisor's outcome accounting so the metrics agree.
         params.obs.add(Metric::RootsExact, roots.len() as u64);
@@ -366,6 +405,78 @@ pub fn extract(graph: &HetGraph, params: &ExtractParams) -> Result<PartialExtrac
         partial.matrix = partial.matrix.filter_min_df(params.min_df);
     }
     Ok(partial)
+}
+
+/// Parses an edge-edit list (the `--apply-edits` file): one edit per line,
+/// `add U V [TYPE]` or `remove U V`, tokens separated by any whitespace
+/// (tabs for a `.tsv`). Blank lines and `#` comments are ignored. Any
+/// malformed token is a [`CliError::BadValue`] carrying that token — a bad
+/// edit must never be silently dropped.
+pub fn parse_edits(text: &str) -> Result<Vec<EdgeEdit>, CliError> {
+    let bad = |token: &str| CliError::BadValue {
+        key: "apply-edits".to_string(),
+        value: token.to_string(),
+    };
+    let mut edits = Vec::new();
+    for line in text.lines() {
+        let line = line.split('#').next().unwrap_or("");
+        let mut tokens = line.split_whitespace();
+        let Some(op) = tokens.next() else { continue };
+        let node = |t: Option<&str>| -> Result<NodeId, CliError> {
+            let t = t.ok_or_else(|| bad(line.trim()))?;
+            t.parse::<u32>().map(NodeId::new).map_err(|_| bad(t))
+        };
+        let edit = match op {
+            "add" => {
+                let (u, v) = (node(tokens.next())?, node(tokens.next())?);
+                let edge_type = match tokens.next() {
+                    Some(t) => t.parse::<u8>().map_err(|_| bad(t))?,
+                    None => 0,
+                };
+                EdgeEdit::Add { u, v, edge_type }
+            }
+            "remove" => EdgeEdit::Remove {
+                u: node(tokens.next())?,
+                v: node(tokens.next())?,
+            },
+            other => return Err(bad(other)),
+        };
+        if let Some(extra) = tokens.next() {
+            return Err(bad(extra));
+        }
+        edits.push(edit);
+    }
+    Ok(edits)
+}
+
+/// Builds the [`CensusCache`] requested by `--cache <dir|mem>` and
+/// `--cache-cap N` (strict: a bare `--cache`/`--cache-cap` without a value
+/// is a [`CliError::BadValue`], and `--cache-cap` without `--cache` is a
+/// usage error, never a silent no-op).
+pub fn cache_from_options(options: &Options) -> Result<Option<CensusCache>, CliError> {
+    for key in ["cache", "cache-cap"] {
+        if options.flag(key) {
+            return Err(CliError::BadValue {
+                key: key.to_string(),
+                value: String::new(),
+            });
+        }
+    }
+    let cap = options.get_parsed::<usize>("cache-cap")?;
+    let cache = match options.get_opt("cache") {
+        None => {
+            if cap.is_some() {
+                return Err(CliError::Usage("--cache-cap requires --cache".into()));
+            }
+            return Ok(None);
+        }
+        Some("mem") => CensusCache::in_memory(),
+        Some(dir) => CensusCache::on_disk(dir)?,
+    };
+    Ok(Some(match cap {
+        Some(cap) => cache.with_cap(cap),
+        None => cache,
+    }))
 }
 
 /// Writes the per-root outcome summary of a supervised extraction: one
@@ -531,13 +642,41 @@ pub fn run<W: Write>(options: &Options, mut out: W) -> Result<i32, CliError> {
             } else {
                 Obs::disabled()
             };
-            let graph = obs.phase("load", || -> Result<HetGraph, CliError> {
+            let cache = cache_from_options(options)?.map(|c| c.with_obs(obs.clone()));
+            let mut graph = obs.phase("load", || -> Result<HetGraph, CliError> {
                 let text = std::fs::read_to_string(path)?;
                 Ok(hsgf_graph::io::from_str(&text)?)
             })?;
+            if options.flag("apply-edits") {
+                return Err(CliError::BadValue {
+                    key: "apply-edits".to_string(),
+                    value: String::new(),
+                });
+            }
+            if let Some(edits_path) = options.get_opt("apply-edits") {
+                let edits = parse_edits(&std::fs::read_to_string(edits_path)?)?;
+                // With --cache, only roots whose neighbourhood fingerprint
+                // the edits changed will re-extract below.
+                graph = obs.phase("apply-edits", || hsgf_graph::apply_edits(&graph, &edits))?;
+            }
             let mut params = extract_params(options)?;
             params.obs = obs.clone();
-            let partial = obs.phase("extract", || extract(&graph, &params))?;
+            let partial = obs.phase("extract", || {
+                extract_through(&graph, &params, cache.as_ref())
+            })?;
+            if let Some(cache) = &cache {
+                let stats = cache.stats();
+                writeln!(
+                    std::io::stderr().lock(),
+                    "cache: {} hits, {} misses, {} stores, {} evictions, fingerprints {} us",
+                    stats.hits,
+                    stats.misses,
+                    stats.stores,
+                    stats.evictions,
+                    stats.fingerprint_micros
+                )?;
+                cache.flush()?;
+            }
             obs.phase("eval", || -> Result<(), CliError> {
                 if let Some(vocab_path) = options.get_opt("vocab") {
                     let mut f = std::fs::File::create(vocab_path)?;
@@ -586,6 +725,20 @@ pub fn run<W: Write>(options: &Options, mut out: W) -> Result<i32, CliError> {
             } else {
                 EXIT_PARTIAL
             })
+        }
+        "cache-stats" => {
+            let dir = options
+                .positional
+                .get(1)
+                .ok_or_else(|| CliError::Usage("cache-stats needs a cache directory".into()))?;
+            let (stats, entries) = read_dir_stats(std::path::Path::new(dir))?;
+            writeln!(out, "entries {entries}")?;
+            writeln!(out, "hits {}", stats.hits)?;
+            writeln!(out, "misses {}", stats.misses)?;
+            writeln!(out, "stores {}", stats.stores)?;
+            writeln!(out, "evictions {}", stats.evictions)?;
+            writeln!(out, "fingerprint_micros {}", stats.fingerprint_micros)?;
+            Ok(0)
         }
         "obs-validate" => {
             let path = options
@@ -1025,6 +1178,210 @@ mod tests {
         assert!(text.contains("counters (deterministic)"), "{text}");
         assert!(text.contains("roots_exact"), "{text}");
         assert!(text.contains("extract"), "{text}");
+    }
+
+    #[test]
+    fn cache_flag_parsing_is_strict() {
+        // Bare --cache / --cache-cap (no value) must not silently default.
+        assert!(matches!(
+            cache_from_options(&opts(&["extract", "g.txt", "--cache"])),
+            Err(CliError::BadValue { key, value }) if key == "cache" && value.is_empty()
+        ));
+        assert!(matches!(
+            cache_from_options(&opts(&["extract", "g.txt", "--cache", "mem", "--cache-cap"])),
+            Err(CliError::BadValue { key, .. }) if key == "cache-cap"
+        ));
+        assert!(matches!(
+            cache_from_options(&opts(&["extract", "g.txt", "--cache", "mem", "--cache-cap", "lots"])),
+            Err(CliError::BadValue { key, value }) if key == "cache-cap" && value == "lots"
+        ));
+        // --cache-cap without --cache is a usage error, not a no-op.
+        assert!(matches!(
+            cache_from_options(&opts(&["extract", "g.txt", "--cache-cap", "10"])),
+            Err(CliError::Usage(_))
+        ));
+        assert!(cache_from_options(&opts(&["extract", "g.txt"]))
+            .unwrap()
+            .is_none());
+        let mem = cache_from_options(&opts(&["extract", "g.txt", "--cache", "mem"]))
+            .unwrap()
+            .unwrap();
+        assert!(mem.dir().is_none());
+    }
+
+    #[test]
+    fn edit_list_parsing_is_strict() {
+        let edits = parse_edits("add 0 1\nremove 1 2\n\n# comment\nadd 3 4 2 # typed\n").unwrap();
+        assert_eq!(
+            edits,
+            vec![
+                EdgeEdit::Add {
+                    u: NodeId::new(0),
+                    v: NodeId::new(1),
+                    edge_type: 0
+                },
+                EdgeEdit::Remove {
+                    u: NodeId::new(1),
+                    v: NodeId::new(2)
+                },
+                EdgeEdit::Add {
+                    u: NodeId::new(3),
+                    v: NodeId::new(4),
+                    edge_type: 2
+                },
+            ]
+        );
+        // Tabs work (the edits.tsv form).
+        assert_eq!(parse_edits("add\t5\t6\n").unwrap().len(), 1);
+        // The offending token is reported, not swallowed into a default.
+        assert!(matches!(
+            parse_edits("frobnicate 0 1"),
+            Err(CliError::BadValue { key, value }) if key == "apply-edits" && value == "frobnicate"
+        ));
+        assert!(matches!(
+            parse_edits("add 0 x"),
+            Err(CliError::BadValue { value, .. }) if value == "x"
+        ));
+        assert!(matches!(
+            parse_edits("remove 0 1 2"),
+            Err(CliError::BadValue { value, .. }) if value == "2"
+        ));
+        assert!(matches!(
+            parse_edits("add 0"),
+            Err(CliError::BadValue { value, .. }) if value == "add 0"
+        ));
+    }
+
+    #[test]
+    fn run_cached_extract_is_byte_identical_and_reports_hits() {
+        let dir = std::env::temp_dir().join(format!("hsgf-cli-cache-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let graph_path = dir.join("g.txt");
+        run(
+            &opts(&[
+                "generate",
+                "flow",
+                "--scale",
+                "tiny",
+                "--out",
+                graph_path.to_str().unwrap(),
+            ]),
+            Vec::new(),
+        )
+        .unwrap();
+        let cache_dir = dir.join("cache");
+        let cold_path = dir.join("cold.json");
+        let warm_path = dir.join("warm.json");
+        let extract_args = |out: &std::path::Path| {
+            vec![
+                "extract".to_string(),
+                graph_path.to_str().unwrap().to_string(),
+                "--emax".to_string(),
+                "2".to_string(),
+                "--cache".to_string(),
+                cache_dir.to_str().unwrap().to_string(),
+                "--out".to_string(),
+                out.to_str().unwrap().to_string(),
+            ]
+        };
+        assert_eq!(
+            run(&Options::parse(extract_args(&cold_path)), Vec::new()).unwrap(),
+            0
+        );
+        assert_eq!(
+            run(&Options::parse(extract_args(&warm_path)), Vec::new()).unwrap(),
+            0
+        );
+        assert_eq!(
+            std::fs::read(&cold_path).unwrap(),
+            std::fs::read(&warm_path).unwrap(),
+            "warm run must byte-match the cold run"
+        );
+        let mut buf = Vec::new();
+        assert_eq!(
+            run(
+                &opts(&["cache-stats", cache_dir.to_str().unwrap()]),
+                &mut buf
+            )
+            .unwrap(),
+            0
+        );
+        let stats = String::from_utf8(buf).unwrap();
+        let field = |key: &str| -> u64 {
+            stats
+                .lines()
+                .find_map(|l| l.strip_prefix(&format!("{key} ")))
+                .unwrap_or_else(|| panic!("{key} missing in {stats}"))
+                .parse()
+                .unwrap()
+        };
+        assert!(field("hits") > 0, "warm run reported no hits: {stats}");
+        assert!(field("entries") > 0, "{stats}");
+        assert_eq!(field("hits") + field("misses"), 2 * field("entries"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn run_apply_edits_matches_library_edits() {
+        let dir = std::env::temp_dir().join(format!("hsgf-cli-edits-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let graph_path = dir.join("g.txt");
+        run(
+            &opts(&[
+                "generate",
+                "flow",
+                "--scale",
+                "tiny",
+                "--out",
+                graph_path.to_str().unwrap(),
+            ]),
+            Vec::new(),
+        )
+        .unwrap();
+        let graph =
+            hsgf_graph::io::from_str(&std::fs::read_to_string(&graph_path).unwrap()).unwrap();
+        let (u, v) = graph.edges().next().unwrap();
+        let edits = vec![EdgeEdit::Remove { u, v }];
+        let edits_path = dir.join("edits.tsv");
+        std::fs::write(&edits_path, format!("remove\t{}\t{}\n", u.raw(), v.raw())).unwrap();
+        let out_path = dir.join("edited.csv");
+        assert_eq!(
+            run(
+                &opts(&[
+                    "extract",
+                    graph_path.to_str().unwrap(),
+                    "--emax",
+                    "2",
+                    "--dmax-pct",
+                    "100",
+                    "--apply-edits",
+                    edits_path.to_str().unwrap(),
+                    "--cache",
+                    "mem",
+                    "--out",
+                    out_path.to_str().unwrap(),
+                ]),
+                Vec::new(),
+            )
+            .unwrap(),
+            0
+        );
+        let edited = hsgf_graph::apply_edits(&graph, &edits).unwrap();
+        let expected = extract(&edited, &plain_params(2, RootSpec::All, 1)).unwrap();
+        let mut want = Vec::new();
+        export::write_csv(&expected.matrix, edited.labels(), &mut want).unwrap();
+        assert_eq!(std::fs::read(&out_path).unwrap(), want);
+        // Bare --apply-edits (no file) is rejected with the flag named.
+        assert!(matches!(
+            run(
+                &opts(&["extract", graph_path.to_str().unwrap(), "--apply-edits"]),
+                Vec::new()
+            ),
+            Err(CliError::BadValue { key, .. }) if key == "apply-edits"
+        ));
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -1,0 +1,750 @@
+//! Sharded per-root census cache with content-fingerprint invalidation.
+//!
+//! A cache entry is keyed by [`CacheKey`]: the root id, the fingerprint of
+//! the root's `emax`-hop dependency neighbourhood
+//! ([`hsgf_graph::fingerprint`]), a fingerprint of the extraction
+//! configuration ([`config_fingerprint`] / [`policy_fingerprint`]), and the
+//! degradation-ladder level the result was produced at. Because the
+//! neighbourhood fingerprint covers everything the census can observe —
+//! ball nodes with labels and global degrees, plus the content of every
+//! edge the DFS could walk — entries *self-invalidate*: any edit inside
+//! the dependency radius changes the fingerprint and the stale entry is
+//! simply never looked up again. There is no explicit invalidation
+//! protocol.
+//!
+//! # Cacheability rules
+//!
+//! * [`CachedOutcome::Exact`] results are stored at ladder level 0.
+//! * [`CachedOutcome::Degraded`] results are stored at their ladder level
+//!   (`attempts - 1`), so a budget-clipped row can never masquerade as an
+//!   exact one — the supervised lookup probes levels in ascending order
+//!   and the level is part of the key.
+//! * Failed and cancelled roots are **never** stored: a panic or
+//!   cancellation says nothing reusable about the root's census, and a
+//!   poisoned root must not pollute the cache.
+//! * Extractions with a wall-clock `root_timeout` bypass the cache
+//!   entirely — timeouts are nondeterministic, so the ladder level an
+//!   entry was produced at would not be a pure function of the key.
+//!
+//! # Structure
+//!
+//! The map is split over [`SHARD_COUNT`] mutex-protected shards, mirroring
+//! the sharded layout of [`crate::obs`]; shard choice hashes the *key*
+//! (not the thread), since a cache — unlike a counter set — must find an
+//! entry regardless of which thread stored it. An optional entry cap
+//! bounds the memory tier with per-shard FIFO eviction. The optional disk
+//! tier is write-through (one file per entry, atomically renamed into
+//! place) and is never evicted by the cap; disk hits are promoted back
+//! into memory. Process-local [`CacheStats`] drain into a persistent
+//! `stats.txt` on [`CensusCache::flush`], which is what `hsgf cache-stats`
+//! reads across processes.
+
+use std::collections::{HashMap, VecDeque};
+use std::fs;
+use std::io::{self, Write as _};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use hsgf_graph::rng::splitmix64;
+use hsgf_graph::NodeId;
+
+use crate::census::CensusConfig;
+use crate::hash::HashScheme;
+use crate::obs::{Metric, Obs};
+use crate::sequence::Encoding;
+use crate::supervisor::ExtractionPolicy;
+
+/// Number of mutex-protected shards (same fan-out as [`crate::obs`]).
+pub const SHARD_COUNT: usize = 16;
+
+/// On-disk entry format version; folded into [`config_fingerprint`] so a
+/// format bump orphans (rather than misreads) old entries.
+pub const CACHE_FORMAT_VERSION: u32 = 1;
+
+/// Domain-separation seed for configuration fingerprints ("HSGF" ++ "CF").
+const CONFIG_SEED: u64 = 0x4853_4746_4346;
+
+/// Header line of every on-disk entry.
+const ENTRY_HEADER: &str = "hsgf-census-cache 1";
+
+#[inline]
+fn fold(hash: u64, word: u64) -> u64 {
+    let mut state = hash ^ word.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    splitmix64(&mut state)
+}
+
+#[inline]
+fn fold_opt(hash: u64, word: Option<u64>) -> u64 {
+    match word {
+        Some(w) => fold(fold(hash, 1), w),
+        None => fold(hash, 0),
+    }
+}
+
+/// Fingerprint of the census-relevant configuration fields.
+///
+/// Every [`CensusConfig`] field enters the hash: all of them are
+/// scheduler-invariant (thread count and scheduler kind are deliberately
+/// *not* part of the config), and all of them can influence the emitted
+/// encodings or their counts. The format version is folded in first so
+/// incompatible on-disk layouts never collide.
+pub fn config_fingerprint(config: &CensusConfig) -> u64 {
+    let mut h = fold(CONFIG_SEED, CACHE_FORMAT_VERSION as u64);
+    h = fold(h, config.emax as u64);
+    h = fold_opt(h, config.dmax.map(u64::from));
+    h = fold(h, config.mask_root_label as u64);
+    h = fold(h, config.group_by_label as u64);
+    h = fold(h, config.hash_seed);
+    h = fold(
+        h,
+        match config.hash_scheme {
+            HashScheme::Mixed => 0,
+            HashScheme::Linear => 1,
+        },
+    );
+    h = fold(h, config.directed as u64);
+    h = fold(h, config.edge_typed as u64);
+    h
+}
+
+/// Extends a [`config_fingerprint`] with the supervised-extraction policy
+/// knobs that shape the degradation ladder (`max_subgraphs`,
+/// `max_frontier`, `degrade`). The wall-clock `root_timeout` is *not*
+/// folded: timeouts make outcomes nondeterministic, so supervised callers
+/// bypass the cache whenever one is set instead of keying on it.
+pub fn policy_fingerprint(base: u64, policy: &ExtractionPolicy) -> u64 {
+    let mut h = fold(base, 0x504F_4C59); // "POLY"
+    h = fold_opt(h, policy.max_subgraphs);
+    h = fold_opt(h, policy.max_frontier.map(|f| f as u64));
+    h = fold(h, policy.degrade as u64);
+    h
+}
+
+/// Full cache key of one per-root census result.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// Root node the census was extracted for.
+    pub root: NodeId,
+    /// Neighbourhood fingerprint of the root's dependency set
+    /// ([`hsgf_graph::fingerprint::neighborhood_fingerprint`] at radius
+    /// `emax`).
+    pub neighborhood: u64,
+    /// Configuration fingerprint ([`config_fingerprint`], optionally
+    /// extended by [`policy_fingerprint`]).
+    pub config: u64,
+    /// Degradation-ladder level the result was produced at (0 = exact).
+    pub level: u8,
+}
+
+impl CacheKey {
+    fn shard(&self) -> usize {
+        let mut h = fold(self.root.raw() as u64, self.neighborhood);
+        h = fold(h, self.config);
+        h = fold(h, self.level as u64);
+        (h % SHARD_COUNT as u64) as usize
+    }
+
+    fn file_name(&self) -> String {
+        format!(
+            "{:08x}-{:016x}-{:016x}-{:02x}.entry",
+            self.root.raw(),
+            self.neighborhood,
+            self.config,
+            self.level
+        )
+    }
+}
+
+/// How a cached census was obtained — mirrors the cacheable subset of
+/// [`crate::supervisor::RootOutcome`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CachedOutcome {
+    /// Extracted with the full requested configuration.
+    Exact,
+    /// Extracted after budget-driven degradation.
+    Degraded {
+        /// Effective `dmax` of the rung that succeeded.
+        dmax: Option<u32>,
+        /// Effective `emax` of the rung that succeeded.
+        emax: usize,
+        /// Total attempts, including the one that succeeded.
+        attempts: u32,
+    },
+}
+
+impl CachedOutcome {
+    /// The ladder level this outcome must be stored at: 0 for exact,
+    /// `attempts - 1` for degraded.
+    pub fn level(&self) -> u8 {
+        match *self {
+            CachedOutcome::Exact => 0,
+            CachedOutcome::Degraded { attempts, .. } => attempts.saturating_sub(1).min(255) as u8,
+        }
+    }
+}
+
+/// One cached per-root census: the encoding counts plus how they were
+/// obtained.
+#[derive(Clone, Debug)]
+pub struct CacheEntry {
+    /// Subgraph-encoding counts, exactly as the census produced them.
+    pub counts: HashMap<Encoding, u64>,
+    /// Provenance of the counts.
+    pub outcome: CachedOutcome,
+}
+
+/// Process-local cache counters (monotonic since construction or the last
+/// [`CensusCache::flush`]).
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the memory or disk tier.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Memory-tier entries dropped by the cap.
+    pub evictions: u64,
+    /// Entries written.
+    pub stores: u64,
+    /// Microseconds spent computing neighbourhood fingerprints.
+    pub fingerprint_micros: u64,
+}
+
+impl CacheStats {
+    fn add(&mut self, other: &CacheStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.evictions += other.evictions;
+        self.stores += other.stores;
+        self.fingerprint_micros += other.fingerprint_micros;
+    }
+}
+
+#[derive(Default)]
+struct Shard {
+    map: HashMap<CacheKey, Arc<CacheEntry>>,
+    /// Insertion order for FIFO eviction.
+    order: VecDeque<CacheKey>,
+}
+
+#[derive(Default)]
+struct StatCells {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    stores: AtomicU64,
+    fingerprint_micros: AtomicU64,
+}
+
+/// The sharded census cache. See the module docs for the design.
+pub struct CensusCache {
+    shards: Vec<Mutex<Shard>>,
+    dir: Option<PathBuf>,
+    /// Memory-tier entry cap, spread over the shards; `None` = unbounded.
+    cap: Option<usize>,
+    stats: StatCells,
+    obs: Obs,
+}
+
+impl CensusCache {
+    fn empty(dir: Option<PathBuf>) -> Self {
+        CensusCache {
+            shards: (0..SHARD_COUNT)
+                .map(|_| Mutex::new(Shard::default()))
+                .collect(),
+            dir,
+            cap: None,
+            stats: StatCells::default(),
+            obs: Obs::default(),
+        }
+    }
+
+    /// A purely in-memory cache.
+    pub fn in_memory() -> Self {
+        Self::empty(None)
+    }
+
+    /// A cache backed by `dir` (created if missing): every store is
+    /// written through to one file per entry, and misses in the memory
+    /// tier fall back to reading the entry file.
+    pub fn on_disk(dir: impl Into<PathBuf>) -> io::Result<Self> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        Ok(Self::empty(Some(dir)))
+    }
+
+    /// Caps the memory tier at `cap` entries (FIFO eviction per shard;
+    /// the disk tier is never evicted). A cap of 0 disables the memory
+    /// tier entirely.
+    pub fn with_cap(mut self, cap: usize) -> Self {
+        self.cap = Some(cap);
+        self
+    }
+
+    /// Attaches an observability handle; hits/misses/evictions and
+    /// fingerprint time are mirrored into its runtime counters.
+    pub fn with_obs(mut self, obs: Obs) -> Self {
+        self.obs = obs;
+        self
+    }
+
+    /// The backing directory, when this cache has a disk tier.
+    pub fn dir(&self) -> Option<&Path> {
+        self.dir.as_deref()
+    }
+
+    fn shard_cap(&self) -> Option<usize> {
+        self.cap.map(|c| c.div_ceil(SHARD_COUNT))
+    }
+
+    /// Looks `key` up, consulting memory first and the disk tier second.
+    /// Disk hits are promoted into the memory tier.
+    pub fn lookup(&self, key: &CacheKey) -> Option<CacheEntry> {
+        match self.lookup_uncounted(key) {
+            Some(entry) => {
+                self.note_hit();
+                Some(entry)
+            }
+            None => {
+                self.note_miss();
+                None
+            }
+        }
+    }
+
+    /// [`CensusCache::lookup`] without touching the hit/miss counters.
+    /// Multi-level ladder probes use this so one *logical* lookup (a root)
+    /// accounts exactly one hit or one miss, however many levels it scans.
+    pub(crate) fn lookup_uncounted(&self, key: &CacheKey) -> Option<CacheEntry> {
+        {
+            let shard = self.shards[key.shard()].lock().unwrap();
+            if let Some(entry) = shard.map.get(key) {
+                return Some(CacheEntry::clone(entry));
+            }
+        }
+        if let Some(dir) = &self.dir {
+            if let Some(entry) = read_entry(&dir.join(key.file_name())) {
+                self.insert_memory(*key, Arc::new(entry.clone()));
+                return Some(entry);
+            }
+        }
+        None
+    }
+
+    pub(crate) fn note_hit(&self) {
+        self.stats.hits.fetch_add(1, Ordering::Relaxed);
+        self.obs.incr(Metric::CacheHits);
+    }
+
+    pub(crate) fn note_miss(&self) {
+        self.stats.misses.fetch_add(1, Ordering::Relaxed);
+        self.obs.incr(Metric::CacheMisses);
+    }
+
+    /// Stores one census result. Disk-tier write failures are swallowed:
+    /// the cache is an optimization, and a failed write only costs a
+    /// future recomputation.
+    pub fn store(&self, key: CacheKey, entry: &CacheEntry) {
+        self.insert_memory(key, Arc::new(entry.clone()));
+        if let Some(dir) = &self.dir {
+            let _ = write_entry(dir, &key, entry);
+        }
+        self.stats.stores.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn insert_memory(&self, key: CacheKey, entry: Arc<CacheEntry>) {
+        let cap = self.shard_cap();
+        let mut evicted = 0u64;
+        {
+            let mut shard = self.shards[key.shard()].lock().unwrap();
+            if shard.map.insert(key, entry).is_none() {
+                shard.order.push_back(key);
+            }
+            if let Some(cap) = cap {
+                while shard.map.len() > cap {
+                    match shard.order.pop_front() {
+                        Some(old) => {
+                            if shard.map.remove(&old).is_some() {
+                                evicted += 1;
+                            }
+                        }
+                        None => break,
+                    }
+                }
+            }
+        }
+        if evicted > 0 {
+            self.stats.evictions.fetch_add(evicted, Ordering::Relaxed);
+            self.obs.add(Metric::CacheEvictions, evicted);
+        }
+    }
+
+    /// Records time spent computing neighbourhood fingerprints.
+    pub fn note_fingerprint_micros(&self, micros: u64) {
+        self.stats
+            .fingerprint_micros
+            .fetch_add(micros, Ordering::Relaxed);
+        self.obs.add(Metric::CacheFingerprintMicros, micros);
+    }
+
+    /// Entries currently held in the memory tier.
+    pub fn entry_count(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().unwrap().map.len())
+            .sum()
+    }
+
+    /// Process-local counters accumulated since construction or the last
+    /// [`CensusCache::flush`].
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.stats.hits.load(Ordering::Relaxed),
+            misses: self.stats.misses.load(Ordering::Relaxed),
+            evictions: self.stats.evictions.load(Ordering::Relaxed),
+            stores: self.stats.stores.load(Ordering::Relaxed),
+            fingerprint_micros: self.stats.fingerprint_micros.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Drains the process-local counters into the persistent `stats.txt`
+    /// of the disk tier (no-op for memory-only caches, but the local
+    /// counters are reset either way).
+    pub fn flush(&self) -> io::Result<()> {
+        let delta = CacheStats {
+            hits: self.stats.hits.swap(0, Ordering::Relaxed),
+            misses: self.stats.misses.swap(0, Ordering::Relaxed),
+            evictions: self.stats.evictions.swap(0, Ordering::Relaxed),
+            stores: self.stats.stores.swap(0, Ordering::Relaxed),
+            fingerprint_micros: self.stats.fingerprint_micros.swap(0, Ordering::Relaxed),
+        };
+        if let Some(dir) = &self.dir {
+            let path = dir.join("stats.txt");
+            let mut total = read_stats_file(&path).unwrap_or_default();
+            total.add(&delta);
+            let body = format!(
+                "hits {}\nmisses {}\nevictions {}\nstores {}\nfingerprint_micros {}\n",
+                total.hits, total.misses, total.evictions, total.stores, total.fingerprint_micros
+            );
+            atomic_write(dir, &path, body.as_bytes())?;
+        }
+        Ok(())
+    }
+}
+
+/// Reads the persistent statistics and entry count of an on-disk cache
+/// directory: the accumulated [`CacheStats`] from `stats.txt` (zeroes when
+/// absent) plus the number of `.entry` files.
+pub fn read_dir_stats(dir: &Path) -> io::Result<(CacheStats, usize)> {
+    let stats = read_stats_file(&dir.join("stats.txt")).unwrap_or_default();
+    let mut entries = 0;
+    for item in fs::read_dir(dir)? {
+        let item = item?;
+        if item.path().extension().is_some_and(|e| e == "entry") {
+            entries += 1;
+        }
+    }
+    Ok((stats, entries))
+}
+
+fn read_stats_file(path: &Path) -> Option<CacheStats> {
+    let text = fs::read_to_string(path).ok()?;
+    let mut stats = CacheStats::default();
+    for line in text.lines() {
+        let mut parts = line.split_whitespace();
+        let (key, value) = (parts.next()?, parts.next()?.parse::<u64>().ok()?);
+        match key {
+            "hits" => stats.hits = value,
+            "misses" => stats.misses = value,
+            "evictions" => stats.evictions = value,
+            "stores" => stats.stores = value,
+            "fingerprint_micros" => stats.fingerprint_micros = value,
+            _ => return None,
+        }
+    }
+    Some(stats)
+}
+
+fn atomic_write(dir: &Path, path: &Path, body: &[u8]) -> io::Result<()> {
+    let tmp = dir.join(format!(".tmp-{}", std::process::id()));
+    {
+        let mut f = fs::File::create(&tmp)?;
+        f.write_all(body)?;
+    }
+    fs::rename(&tmp, path)
+}
+
+fn write_entry(dir: &Path, key: &CacheKey, entry: &CacheEntry) -> io::Result<()> {
+    let mut body = String::from(ENTRY_HEADER);
+    body.push('\n');
+    match &entry.outcome {
+        CachedOutcome::Exact => body.push_str("outcome exact\n"),
+        CachedOutcome::Degraded {
+            dmax,
+            emax,
+            attempts,
+        } => {
+            let dmax = dmax.map_or_else(|| "-".to_string(), |d| d.to_string());
+            body.push_str(&format!("outcome degraded {dmax} {emax} {attempts}\n"));
+        }
+    }
+    // Sort rows so the file bytes are deterministic for a given census.
+    let mut rows: Vec<(&Encoding, u64)> = entry.counts.iter().map(|(e, &c)| (e, c)).collect();
+    rows.sort();
+    for (encoding, count) in rows {
+        body.push_str(&format!(
+            "row {} {} {count}\n",
+            encoding.label_count() + 1,
+            hex_encode(encoding.as_bytes())
+        ));
+    }
+    atomic_write(dir, &dir.join(key.file_name()), body.as_bytes())
+}
+
+/// Parses one entry file; any malformed content reads as a miss (`None`).
+fn read_entry(path: &Path) -> Option<CacheEntry> {
+    let text = fs::read_to_string(path).ok()?;
+    let mut lines = text.lines();
+    if lines.next()? != ENTRY_HEADER {
+        return None;
+    }
+    let outcome_line = lines.next()?;
+    let mut parts = outcome_line.split_whitespace();
+    if parts.next()? != "outcome" {
+        return None;
+    }
+    let outcome = match parts.next()? {
+        "exact" => CachedOutcome::Exact,
+        "degraded" => {
+            let dmax = match parts.next()? {
+                "-" => None,
+                d => Some(d.parse().ok()?),
+            };
+            CachedOutcome::Degraded {
+                dmax,
+                emax: parts.next()?.parse().ok()?,
+                attempts: parts.next()?.parse().ok()?,
+            }
+        }
+        _ => return None,
+    };
+    let mut counts = HashMap::new();
+    for line in lines {
+        let mut parts = line.split_whitespace();
+        if parts.next()? != "row" {
+            return None;
+        }
+        let row_len: u8 = parts.next()?.parse().ok()?;
+        let bytes = hex_decode(parts.next()?)?;
+        let count: u64 = parts.next()?.parse().ok()?;
+        if row_len == 0 || bytes.len() % row_len as usize != 0 {
+            return None;
+        }
+        // Rows were written in canonical (sorted) order, on which
+        // `from_unsorted_rows` is the identity.
+        counts.insert(Encoding::from_unsorted_rows(bytes, row_len), count);
+    }
+    Some(CacheEntry { counts, outcome })
+}
+
+fn hex_encode(bytes: &[u8]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        let _ = write!(out, "{b:02x}");
+    }
+    out
+}
+
+fn hex_decode(text: &str) -> Option<Vec<u8>> {
+    if text.len() % 2 != 0 {
+        return None;
+    }
+    (0..text.len())
+        .step_by(2)
+        .map(|i| u8::from_str_radix(text.get(i..i + 2)?, 16).ok())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use hsgf_graph::Label;
+
+    use super::*;
+
+    fn key(root: u32, level: u8) -> CacheKey {
+        CacheKey {
+            root: NodeId::new(root),
+            neighborhood: 0xDEAD_BEEF ^ root as u64,
+            config: 0x1234_5678,
+            level,
+        }
+    }
+
+    fn entry(count: u64) -> CacheEntry {
+        let enc = Encoding::of_subgraph(2, &[Label::new(0), Label::new(1)], &[(0, 1)]);
+        let enc2 = Encoding::of_subgraph(2, &[Label::new(1), Label::new(1)], &[(0, 1)]);
+        let mut counts = HashMap::new();
+        counts.insert(enc, count);
+        counts.insert(enc2, count + 1);
+        CacheEntry {
+            counts,
+            outcome: CachedOutcome::Exact,
+        }
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("hsgf-cache-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn memory_roundtrip_counts_hits_and_misses() {
+        let cache = CensusCache::in_memory();
+        assert!(cache.lookup(&key(1, 0)).is_none());
+        cache.store(key(1, 0), &entry(7));
+        let hit = cache.lookup(&key(1, 0)).unwrap();
+        assert_eq!(hit.counts, entry(7).counts);
+        assert_eq!(hit.outcome, CachedOutcome::Exact);
+        // Same root at a different ladder level is a distinct key.
+        assert!(cache.lookup(&key(1, 1)).is_none());
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.stores), (1, 2, 1));
+    }
+
+    #[test]
+    fn disk_tier_persists_across_instances() {
+        let dir = temp_dir("persist");
+        let degraded = CacheEntry {
+            counts: entry(3).counts,
+            outcome: CachedOutcome::Degraded {
+                dmax: Some(8),
+                emax: 4,
+                attempts: 2,
+            },
+        };
+        {
+            let cache = CensusCache::on_disk(&dir).unwrap();
+            cache.store(key(9, 1), &degraded);
+            cache.flush().unwrap();
+        }
+        let fresh = CensusCache::on_disk(&dir).unwrap();
+        let hit = fresh.lookup(&key(9, 1)).unwrap();
+        assert_eq!(hit.counts, degraded.counts);
+        assert_eq!(hit.outcome, degraded.outcome);
+        let (stats, entries) = read_dir_stats(&dir).unwrap();
+        assert_eq!(stats.stores, 1);
+        assert_eq!(entries, 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn cap_evicts_fifo_and_counts_evictions() {
+        let cache = CensusCache::in_memory().with_cap(SHARD_COUNT);
+        // Per-shard cap is 1, so two entries landing in one shard evict.
+        for i in 0..200 {
+            cache.store(key(i, 0), &entry(i as u64));
+        }
+        assert!(cache.entry_count() <= SHARD_COUNT);
+        let stats = cache.stats();
+        assert_eq!(stats.evictions, 200 - cache.entry_count() as u64);
+        assert!(stats.evictions > 0);
+    }
+
+    #[test]
+    fn flush_merges_into_persistent_stats() {
+        let dir = temp_dir("stats");
+        let cache = CensusCache::on_disk(&dir).unwrap();
+        cache.store(key(1, 0), &entry(1));
+        cache.lookup(&key(1, 0)).unwrap();
+        cache.note_fingerprint_micros(41);
+        cache.flush().unwrap();
+        assert_eq!(cache.stats(), CacheStats::default()); // drained
+        cache.lookup(&key(2, 0)); // miss
+        cache.flush().unwrap();
+        let (stats, _) = read_dir_stats(&dir).unwrap();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.stores, 1);
+        assert_eq!(stats.fingerprint_micros, 41);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_entry_files_read_as_misses() {
+        let dir = temp_dir("corrupt");
+        let cache = CensusCache::on_disk(&dir).unwrap();
+        let k = key(5, 0);
+        fs::write(dir.join(k.file_name()), "not a cache entry\n").unwrap();
+        assert!(cache.lookup(&k).is_none());
+        fs::write(
+            dir.join(k.file_name()),
+            format!("{ENTRY_HEADER}\noutcome exact\nrow 0 ab 1\n"),
+        )
+        .unwrap();
+        assert!(cache.lookup(&k).is_none());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn config_fingerprint_sees_every_knob() {
+        let base = CensusConfig::default();
+        let fp = config_fingerprint(&base);
+        let variants = [
+            base.clone().with_emax(3),
+            base.clone().with_dmax(Some(16)),
+            base.clone().with_mask_root_label(true),
+            base.clone().with_directed(true),
+            base.clone().with_edge_typed(true),
+            {
+                let mut c = base.clone();
+                c.hash_seed ^= 1;
+                c
+            },
+            {
+                let mut c = base.clone();
+                c.hash_scheme = HashScheme::Linear;
+                c
+            },
+            {
+                let mut c = base.clone();
+                c.group_by_label = false;
+                c
+            },
+        ];
+        for (i, v) in variants.iter().enumerate() {
+            assert_ne!(fp, config_fingerprint(v), "variant {i}");
+        }
+        assert_eq!(fp, config_fingerprint(&base.clone()));
+    }
+
+    #[test]
+    fn policy_fingerprint_sees_budget_knobs_but_not_timeout() {
+        let base = config_fingerprint(&CensusConfig::default());
+        let policy = ExtractionPolicy::default();
+        let fp = policy_fingerprint(base, &policy);
+        assert_ne!(fp, base);
+        let mut budgeted = policy.clone();
+        budgeted.max_subgraphs = Some(100);
+        assert_ne!(fp, policy_fingerprint(base, &budgeted));
+        let mut degrading = policy.clone();
+        degrading.degrade = true;
+        assert_ne!(fp, policy_fingerprint(base, &degrading));
+        let mut timed = policy.clone();
+        timed.root_timeout = Some(std::time::Duration::from_millis(1));
+        assert_eq!(fp, policy_fingerprint(base, &timed));
+    }
+
+    #[test]
+    fn outcome_levels_match_the_ladder() {
+        assert_eq!(CachedOutcome::Exact.level(), 0);
+        let degraded = CachedOutcome::Degraded {
+            dmax: Some(4),
+            emax: 5,
+            attempts: 3,
+        };
+        assert_eq!(degraded.level(), 2);
+    }
+}

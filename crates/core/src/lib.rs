@@ -51,6 +51,8 @@
 //! * [`supervisor`] — fault-tolerant extraction: panic isolation per root, a
 //!   deterministic degradation ladder (tightened `dmax`, then reduced
 //!   `emax`), and per-root outcome reporting.
+//! * [`cache`] — the sharded per-root census cache keyed by neighbourhood
+//!   content fingerprints; entries self-invalidate under graph edits.
 //! * [`small`] / [`enumerate`] — exact isomorphism and exhaustive
 //!   enumeration machinery used to *validate* the encoding and reproduce
 //!   the collision bounds of §3.1 (experiment E1).
@@ -60,6 +62,7 @@
 #![forbid(unsafe_code)]
 
 pub mod budget;
+pub mod cache;
 pub mod census;
 pub mod enumerate;
 pub mod export;
@@ -77,6 +80,10 @@ pub mod steal;
 pub mod supervisor;
 
 pub use budget::{BudgetKind, CancelToken, CensusBudget, SharedBudget};
+pub use cache::{
+    config_fingerprint, policy_fingerprint, CacheEntry, CacheKey, CacheStats, CachedOutcome,
+    CensusCache,
+};
 pub use census::{
     CensusConfig, CensusEngine, CensusError, CensusScratch, CensusSink, CountingSink,
     EncodedCensus, SubgraphView, MAX_EMAX,

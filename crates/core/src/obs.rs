@@ -109,11 +109,21 @@ pub enum Metric {
     StealParks,
     /// Hub roots split into stealable shards. Runtime.
     StealSplits,
+    /// Census-cache lookups served from a stored entry. Runtime: hit
+    /// counts depend on what earlier runs populated.
+    CacheHits,
+    /// Census-cache lookups that found no entry. Runtime.
+    CacheMisses,
+    /// Census-cache entries evicted by the capacity bound. Runtime.
+    CacheEvictions,
+    /// Microseconds spent computing neighbourhood fingerprints for cache
+    /// keys. Runtime (wall-clock).
+    CacheFingerprintMicros,
 }
 
 impl Metric {
     /// Number of metrics (the length of a [`CounterSet`]).
-    pub const COUNT: usize = 20;
+    pub const COUNT: usize = 24;
 
     /// Every metric, in declaration (and JSON emission) order.
     pub const ALL: [Metric; Metric::COUNT] = [
@@ -137,6 +147,10 @@ impl Metric {
         Metric::StealSteals,
         Metric::StealParks,
         Metric::StealSplits,
+        Metric::CacheHits,
+        Metric::CacheMisses,
+        Metric::CacheEvictions,
+        Metric::CacheFingerprintMicros,
     ];
 
     /// The metric's snake_case name, used as its JSON key.
@@ -162,6 +176,10 @@ impl Metric {
             Metric::StealSteals => "steal_steals",
             Metric::StealParks => "steal_parks",
             Metric::StealSplits => "steal_splits",
+            Metric::CacheHits => "cache_hits",
+            Metric::CacheMisses => "cache_misses",
+            Metric::CacheEvictions => "cache_evictions",
+            Metric::CacheFingerprintMicros => "cache_fingerprint_micros",
         }
     }
 
@@ -1143,6 +1161,36 @@ mod tests {
         assert_eq!(
             parsed.get("subgraphs_enumerated").and_then(|v| v.as_f64()),
             Some(0.0)
+        );
+    }
+
+    #[test]
+    fn cache_metrics_stay_out_of_the_deterministic_section() {
+        // Hit/miss/evict counts depend on what earlier runs populated and
+        // fingerprint time is wall-clock: all four cache metrics must land
+        // in the runtime section, never in the counters one compared by
+        // `obs-validate --against` and `scripts/bench_diff.sh`.
+        for metric in [
+            Metric::CacheHits,
+            Metric::CacheMisses,
+            Metric::CacheEvictions,
+            Metric::CacheFingerprintMicros,
+        ] {
+            assert!(!metric.deterministic(), "{} leaked", metric.name());
+        }
+        let obs = Obs::enabled();
+        obs.add(Metric::CacheHits, 12);
+        obs.add(Metric::CacheMisses, 3);
+        obs.add(Metric::CacheEvictions, 1);
+        obs.add(Metric::CacheFingerprintMicros, 450);
+        let det = obs.snapshot().deterministic_json();
+        assert!(!det.contains("cache_"), "{det}");
+        let full = parse(&obs.snapshot().to_json()).unwrap();
+        validate_metrics_json(&full).unwrap();
+        let runtime = full.get("runtime").expect("runtime section");
+        assert_eq!(
+            runtime.get("cache_hits").and_then(|v| v.as_f64()),
+            Some(12.0)
         );
     }
 

@@ -33,9 +33,11 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
+use hsgf_graph::fingerprint::{neighborhood_fingerprint_with, FingerprintScratch};
 use hsgf_graph::NodeId;
 
 use crate::budget::CensusBudget;
+use crate::cache::{config_fingerprint, CacheEntry, CacheKey, CachedOutcome, CensusCache};
 use crate::census::{CensusEngine, CensusError, CensusScratch};
 use crate::features::FeatureMatrix;
 use crate::obs::CensusCounters;
@@ -557,6 +559,97 @@ pub fn extract_feature_matrix_with(
     Ok(FeatureMatrix::from_censuses(roots.to_vec(), censuses))
 }
 
+/// Builds the level-0 cache keys for `roots` under the engine's current
+/// graph and configuration, charging the fingerprint time to `cache`. The
+/// fingerprint radius is the configured `emax`: every subgraph the census
+/// can reach, plus the degrees the `dmax` heuristic consults, lies inside
+/// that ball (see [`hsgf_graph::fingerprint`]).
+pub(crate) fn cache_keys(
+    engine: &CensusEngine<'_>,
+    roots: &[NodeId],
+    cache: &CensusCache,
+    config: u64,
+) -> Vec<CacheKey> {
+    let start = std::time::Instant::now();
+    let mut scratch = FingerprintScratch::new();
+    let keys = roots
+        .iter()
+        .map(|&root| CacheKey {
+            root,
+            neighborhood: neighborhood_fingerprint_with(
+                engine.graph(),
+                root,
+                engine.config().emax as u32,
+                &mut scratch,
+            ),
+            config,
+            level: 0,
+        })
+        .collect();
+    cache.note_fingerprint_micros(start.elapsed().as_micros() as u64);
+    keys
+}
+
+/// [`extract_censuses_with`] through a [`CensusCache`]: roots whose key
+/// (neighbourhood + configuration fingerprint) is cached are served
+/// without recomputation; the misses run through the requested scheduler
+/// and are stored as exact entries. Results are bit-identical to the
+/// uncached path — cache entries hold the census's own encoding counts —
+/// and returned in root order.
+pub fn extract_censuses_cached(
+    engine: &CensusEngine<'_>,
+    roots: &[NodeId],
+    threads: usize,
+    scheduler: SchedulerKind,
+    cache: &CensusCache,
+) -> Result<Vec<HashMap<Encoding, u64>>, CensusError> {
+    let keys = cache_keys(engine, roots, cache, config_fingerprint(engine.config()));
+    let mut out: Vec<Option<HashMap<Encoding, u64>>> = Vec::with_capacity(roots.len());
+    let mut miss_roots = Vec::new();
+    let mut miss_idx = Vec::new();
+    for (i, key) in keys.iter().enumerate() {
+        match cache.lookup(key) {
+            Some(entry) => out.push(Some(entry.counts)),
+            None => {
+                out.push(None);
+                miss_roots.push(roots[i]);
+                miss_idx.push(i);
+            }
+        }
+    }
+    if !miss_roots.is_empty() {
+        let fresh = extract_censuses_with(engine, &miss_roots, threads, scheduler)?;
+        for (&i, counts) in miss_idx.iter().zip(fresh) {
+            cache.store(
+                keys[i],
+                &CacheEntry {
+                    counts: counts.clone(),
+                    outcome: CachedOutcome::Exact,
+                },
+            );
+            out[i] = Some(counts);
+        }
+    }
+    Ok(out
+        .into_iter()
+        .map(|c| c.expect("every slot is either a hit or refilled from the miss run"))
+        .collect())
+}
+
+/// [`extract_feature_matrix_with`] through a [`CensusCache`]. The matrix
+/// assembly is a pure function of the per-root censuses, so a warm cache
+/// reproduces the cold matrix bit for bit.
+pub fn extract_feature_matrix_cached(
+    engine: &CensusEngine<'_>,
+    roots: &[NodeId],
+    threads: usize,
+    scheduler: SchedulerKind,
+    cache: &CensusCache,
+) -> Result<FeatureMatrix, CensusError> {
+    let censuses = extract_censuses_cached(engine, roots, threads, scheduler, cache)?;
+    Ok(FeatureMatrix::from_censuses(roots.to_vec(), censuses))
+}
+
 #[cfg(test)]
 mod tests {
     use hsgf_graph::{generators, GraphBuilder, Label, LabelSet};
@@ -809,5 +902,80 @@ mod tests {
         for i in 1..roots.len() {
             assert_eq!(faulted[i].as_ref().unwrap(), &clean[i]);
         }
+    }
+
+    #[test]
+    fn cached_extraction_matches_uncached_cold_and_warm() {
+        let graph = test_graph();
+        let engine = CensusEngine::new(&graph, CensusConfig::default().with_emax(3)).unwrap();
+        let roots: Vec<NodeId> = graph.nodes().step_by(7).collect();
+        let plain = extract_censuses(&engine, &roots, 2).unwrap();
+        let cache = CensusCache::in_memory();
+        for scheduler in [SchedulerKind::Cursor, SchedulerKind::Stealing] {
+            let cold = extract_censuses_cached(&engine, &roots, 2, scheduler, &cache).unwrap();
+            assert_eq!(plain, cold, "{scheduler:?} cold");
+        }
+        // Cursor run filled the cache; the stealing run was all hits.
+        let stats = cache.stats();
+        assert_eq!(stats.misses, roots.len() as u64);
+        assert_eq!(stats.hits, roots.len() as u64);
+        assert_eq!(stats.stores, roots.len() as u64);
+        assert!(cache.entry_count() == roots.len());
+        let warm = extract_censuses_cached(&engine, &roots, 1, SchedulerKind::Cursor, &cache);
+        assert_eq!(plain, warm.unwrap());
+    }
+
+    #[test]
+    fn cached_feature_matrix_is_bit_identical_to_uncached() {
+        let graph = test_graph();
+        let engine = CensusEngine::new(&graph, CensusConfig::default().with_emax(3)).unwrap();
+        let roots: Vec<NodeId> = graph.nodes().step_by(11).collect();
+        let plain = extract_feature_matrix(&engine, &roots, 2).unwrap();
+        let cache = CensusCache::in_memory();
+        for _ in 0..2 {
+            let cached =
+                extract_feature_matrix_cached(&engine, &roots, 2, SchedulerKind::Cursor, &cache)
+                    .unwrap();
+            assert_eq!(plain.row_count(), cached.row_count());
+            assert_eq!(plain.feature_count(), cached.feature_count());
+            for i in 0..plain.row_count() {
+                assert_eq!(plain.row(i), cached.row(i), "row {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn config_change_misses_the_cache() {
+        let graph = test_graph();
+        let roots: Vec<NodeId> = graph.nodes().take(6).collect();
+        let cache = CensusCache::in_memory();
+        let e3 = CensusEngine::new(&graph, CensusConfig::default().with_emax(3)).unwrap();
+        extract_censuses_cached(&e3, &roots, 1, SchedulerKind::Cursor, &cache).unwrap();
+        let e2 = CensusEngine::new(&graph, CensusConfig::default().with_emax(2)).unwrap();
+        let under_e2 = extract_censuses_cached(&e2, &roots, 1, SchedulerKind::Cursor, &cache);
+        assert_eq!(under_e2.unwrap(), extract_censuses(&e2, &roots, 1).unwrap());
+        // No cross-config pollution: the emax=2 run saw only misses.
+        assert_eq!(cache.stats().hits, 0);
+    }
+
+    #[test]
+    fn edits_outside_the_radius_keep_entries_warm() {
+        let graph = test_graph();
+        let config = CensusConfig::default().with_emax(2);
+        let engine = CensusEngine::new(&graph, config.clone()).unwrap();
+        let roots: Vec<NodeId> = graph.nodes().step_by(9).collect();
+        let cache = CensusCache::in_memory();
+        extract_censuses_cached(&engine, &roots, 1, SchedulerKind::Cursor, &cache).unwrap();
+        // Rebuild the identical graph through the edit path: every
+        // fingerprint is unchanged, so the rerun is all hits.
+        let same = hsgf_graph::apply_edits(&graph, &[]).unwrap();
+        let engine2 = CensusEngine::new(&same, config).unwrap();
+        let before = cache.stats().misses;
+        let rerun = extract_censuses_cached(&engine2, &roots, 1, SchedulerKind::Cursor, &cache);
+        assert_eq!(
+            rerun.unwrap(),
+            extract_censuses(&engine2, &roots, 1).unwrap()
+        );
+        assert_eq!(cache.stats().misses, before);
     }
 }

@@ -35,10 +35,13 @@ use std::time::Duration;
 use hsgf_graph::{HetGraph, NodeId};
 
 use crate::budget::{CancelToken, CensusBudget, SharedBudget};
+use crate::cache::{
+    config_fingerprint, policy_fingerprint, CacheEntry, CacheKey, CachedOutcome, CensusCache,
+};
 use crate::census::{CensusConfig, CensusEngine, CensusError, CensusScratch};
 use crate::features::FeatureMatrix;
 use crate::obs::{CensusCounters, Metric, Obs};
-use crate::parallel::{panic_message, plan_shards, SPLIT_WIDTH};
+use crate::parallel::{cache_keys, panic_message, plan_shards, SPLIT_WIDTH};
 use crate::sequence::Encoding;
 use crate::steal::{run_stealing, SchedulerKind};
 
@@ -319,6 +322,141 @@ impl<'g> Supervisor<'g> {
                 SchedulerKind::Stealing => self.extract_stealing(roots, threads, cancel, chaos),
             }
         };
+        self.assemble(roots, results)
+    }
+
+    /// [`Supervisor::extract_scheduled`] through a [`CensusCache`].
+    pub fn extract_cached(
+        &self,
+        roots: &[NodeId],
+        threads: usize,
+        scheduler: SchedulerKind,
+        cache: &CensusCache,
+    ) -> PartialExtraction {
+        self.extract_cached_with(roots, threads, None, None, scheduler, cache)
+    }
+
+    /// [`Supervisor::extract_with`] through a [`CensusCache`].
+    ///
+    /// The cache key extends the plain config fingerprint with the policy
+    /// knobs that shape the ladder ([`policy_fingerprint`]), and each root
+    /// probes ladder levels in ascending order — outcomes are pure
+    /// functions of `(graph, config, policy)`, so the lowest stored level
+    /// is *the* level a recomputation would land on. Cacheability rules:
+    /// `Exact` results are stored at level 0, `Degraded` results at their
+    /// ladder level, and `Failed`/`Cancelled` roots — including
+    /// chaos-poisoned ones — are never stored. When the policy carries a
+    /// wall-clock `root_timeout`, outcomes are nondeterministic and the
+    /// whole run bypasses the cache.
+    pub fn extract_cached_with(
+        &self,
+        roots: &[NodeId],
+        threads: usize,
+        cancel: Option<&CancelToken>,
+        chaos: Option<&dyn ChaosHook>,
+        scheduler: SchedulerKind,
+        cache: &CensusCache,
+    ) -> PartialExtraction {
+        if self.policy.root_timeout.is_some() {
+            return self.extract_with(roots, threads, cancel, chaos, scheduler);
+        }
+        let config = policy_fingerprint(
+            config_fingerprint(self.base_engine().config()),
+            &self.policy,
+        );
+        let keys = cache_keys(self.base_engine(), roots, cache, config);
+        let mut slots: Vec<Option<RootResult>> = (0..roots.len()).map(|_| None).collect();
+        let mut miss_roots = Vec::new();
+        let mut miss_idx = Vec::new();
+        for (i, key) in keys.iter().enumerate() {
+            let hit = (0..self.ladder_len()).find_map(|level| {
+                cache.lookup_uncounted(&CacheKey {
+                    level: level as u8,
+                    ..*key
+                })
+            });
+            match hit {
+                Some(entry) => {
+                    cache.note_hit();
+                    let outcome = match entry.outcome {
+                        CachedOutcome::Exact => RootOutcome::Exact,
+                        CachedOutcome::Degraded {
+                            dmax,
+                            emax,
+                            attempts,
+                        } => RootOutcome::Degraded {
+                            dmax,
+                            emax,
+                            attempts,
+                        },
+                    };
+                    slots[i] = Some((Some(entry.counts), outcome));
+                }
+                None => {
+                    cache.note_miss();
+                    miss_roots.push(roots[i]);
+                    miss_idx.push(i);
+                }
+            }
+        }
+        let miss_results: Vec<RootResult> = if miss_roots.is_empty() {
+            Vec::new()
+        } else if threads <= 1 {
+            let mut holder = None;
+            miss_roots
+                .iter()
+                .map(|&root| {
+                    let timer = self.obs.root_timer();
+                    let result = self.census_root(root, &mut holder, cancel, chaos);
+                    self.obs.record_root(root.raw(), 0, timer);
+                    result
+                })
+                .collect()
+        } else {
+            match scheduler {
+                SchedulerKind::Cursor => self.extract_parallel(&miss_roots, threads, cancel, chaos),
+                SchedulerKind::Stealing => {
+                    self.extract_stealing(&miss_roots, threads, cancel, chaos)
+                }
+            }
+        };
+        for (&i, result) in miss_idx.iter().zip(miss_results) {
+            if let (Some(counts), outcome) = &result {
+                let cached = match outcome {
+                    RootOutcome::Exact => Some(CachedOutcome::Exact),
+                    RootOutcome::Degraded {
+                        dmax,
+                        emax,
+                        attempts,
+                    } => Some(CachedOutcome::Degraded {
+                        dmax: *dmax,
+                        emax: *emax,
+                        attempts: *attempts,
+                    }),
+                    // Failed and cancelled roots say nothing reusable and
+                    // must never pollute the cache.
+                    RootOutcome::Failed { .. } | RootOutcome::Cancelled => None,
+                };
+                if let Some(outcome) = cached {
+                    let key = CacheKey {
+                        level: outcome.level(),
+                        ..keys[i]
+                    };
+                    cache.store(
+                        key,
+                        &CacheEntry {
+                            counts: counts.clone(),
+                            outcome,
+                        },
+                    );
+                }
+            }
+            slots[i] = Some(result);
+        }
+        let results = slots
+            .into_iter()
+            .map(|s| s.expect("every slot is either a cache hit or refilled from the miss run"))
+            .collect();
         self.assemble(roots, results)
     }
 
@@ -958,5 +1096,77 @@ mod tests {
         assert!(exact > 0, "work finished before the cancel must survive");
         assert!(cancelled > 0, "roots after the cancel must be marked");
         assert_eq!(exact + cancelled, roots.len());
+    }
+
+    #[test]
+    fn cached_supervised_matches_uncached_and_reuses_degraded_rows() {
+        let graph = test_graph();
+        let policy = ExtractionPolicy {
+            max_subgraphs: Some(300),
+            degrade: true,
+            ..ExtractionPolicy::default()
+        };
+        let sup = Supervisor::new(&graph, CensusConfig::default().with_emax(4), policy).unwrap();
+        let roots: Vec<NodeId> = graph.nodes().step_by(11).collect();
+        let plain = sup.extract_scheduled(&roots, 2, SchedulerKind::Cursor);
+        let (_, degraded, _, _) = plain.tally();
+        assert!(degraded > 0, "budget must clip some roots for this test");
+        let cache = CensusCache::in_memory();
+        let cold = sup.extract_cached(&roots, 2, SchedulerKind::Cursor, &cache);
+        assert_eq!(plain.outcomes, cold.outcomes);
+        let warm = sup.extract_cached(&roots, 2, SchedulerKind::Stealing, &cache);
+        assert_eq!(plain.outcomes, warm.outcomes);
+        for i in 0..roots.len() {
+            assert_eq!(row_census(&plain, i), row_census(&cold, i), "cold row {i}");
+            assert_eq!(row_census(&plain, i), row_census(&warm, i), "warm row {i}");
+        }
+        // Degraded rows are cacheable at their ladder level: the warm run
+        // was all hits, one logical hit per root.
+        let stats = cache.stats();
+        assert_eq!(stats.hits, roots.len() as u64);
+        assert_eq!(stats.misses, roots.len() as u64);
+    }
+
+    #[test]
+    fn chaos_poisoned_roots_never_pollute_the_cache() {
+        let graph = test_graph();
+        let sup = Supervisor::new(
+            &graph,
+            CensusConfig::default().with_emax(3),
+            ExtractionPolicy::default(),
+        )
+        .unwrap();
+        let roots: Vec<NodeId> = graph.nodes().take(12).collect();
+        let chaos = PanicOn(roots[5].raw());
+        let cache = CensusCache::in_memory();
+        let faulted =
+            sup.extract_cached_with(&roots, 2, None, Some(&chaos), SchedulerKind::Cursor, &cache);
+        let (_, _, failed, _) = faulted.tally();
+        assert_eq!(failed, 1);
+        assert_eq!(cache.entry_count(), roots.len() - 1, "failed root stored");
+        // Without the fault, the poisoned root misses (nothing was cached
+        // for it) and recomputes correctly; everyone else hits.
+        let healed = sup.extract_cached(&roots, 2, SchedulerKind::Cursor, &cache);
+        assert!(healed.is_complete());
+        let clean = sup.extract(&roots, 1);
+        for i in 0..roots.len() {
+            assert_eq!(row_census(&clean, i), row_census(&healed, i), "row {i}");
+        }
+    }
+
+    #[test]
+    fn timeout_policies_bypass_the_cache() {
+        let graph = test_graph();
+        let policy = ExtractionPolicy {
+            root_timeout: Some(Duration::from_secs(3600)),
+            ..ExtractionPolicy::default()
+        };
+        let sup = Supervisor::new(&graph, CensusConfig::default().with_emax(3), policy).unwrap();
+        let roots: Vec<NodeId> = graph.nodes().take(6).collect();
+        let cache = CensusCache::in_memory();
+        let partial = sup.extract_cached(&roots, 1, SchedulerKind::Cursor, &cache);
+        assert!(partial.is_complete());
+        assert_eq!(cache.entry_count(), 0);
+        assert_eq!(cache.stats(), crate::cache::CacheStats::default());
     }
 }

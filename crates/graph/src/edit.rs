@@ -1,0 +1,211 @@
+//! Edge-edit application: rebuild a [`HetGraph`] after a batch of edge
+//! insertions and deletions.
+//!
+//! The CSR representation is immutable by design (label-sorted adjacency is
+//! a hard invariant of the census engine), so edits are applied by a full
+//! metadata-preserving rebuild — node ids, labels, directions, and edge
+//! types of surviving edges are carried over verbatim. This is the
+//! substrate of the CLI's `--apply-edits` incremental path: after a
+//! rebuild, only roots whose neighbourhood fingerprint
+//! ([`crate::fingerprint`]) changed need re-extraction.
+
+use std::collections::HashSet;
+
+use crate::builder::GraphBuilder;
+use crate::direction::Direction;
+use crate::graph::{HetGraph, NodeId};
+
+/// One edge mutation. Endpoints refer to node ids of the graph being
+/// edited; edits never add or remove nodes.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum EdgeEdit {
+    /// Insert an undirected edge (no-op when the edge already exists with
+    /// the same type; the builder deduplicates).
+    Add {
+        /// One endpoint.
+        u: NodeId,
+        /// The other endpoint.
+        v: NodeId,
+        /// Edge type (0 for untyped graphs).
+        edge_type: u8,
+    },
+    /// Remove every edge between the two endpoints (no-op when absent).
+    Remove {
+        /// One endpoint.
+        u: NodeId,
+        /// The other endpoint.
+        v: NodeId,
+    },
+}
+
+/// Applies `edits` in order and returns the rebuilt graph.
+///
+/// Surviving edges keep their direction and type; added edges are
+/// undirected. Out-of-range endpoints and self loops surface as
+/// [`crate::GraphError`]s from the underlying builder/graph checks.
+pub fn apply_edits(graph: &HetGraph, edits: &[EdgeEdit]) -> crate::Result<HetGraph> {
+    let mut removed: HashSet<(u32, u32)> = HashSet::new();
+    let mut added: Vec<(NodeId, NodeId, u8)> = Vec::new();
+    for &edit in edits {
+        match edit {
+            EdgeEdit::Add { u, v, edge_type } => {
+                graph.check_node(u)?;
+                graph.check_node(v)?;
+                let key = (u.raw().min(v.raw()), u.raw().max(v.raw()));
+                removed.remove(&key);
+                added.push((u, v, edge_type));
+            }
+            EdgeEdit::Remove { u, v } => {
+                graph.check_node(u)?;
+                graph.check_node(v)?;
+                let key = (u.raw().min(v.raw()), u.raw().max(v.raw()));
+                added.retain(|&(a, b, _)| (a.raw().min(b.raw()), a.raw().max(b.raw())) != key);
+                removed.insert(key);
+            }
+        }
+    }
+    let mut builder = GraphBuilder::new(graph.labels().clone());
+    for v in graph.nodes() {
+        builder
+            .add_node_with(graph.label(v))
+            .expect("label comes from the graph's own LabelSet");
+    }
+    for u in graph.nodes() {
+        for (&v, &id) in graph.neighbors(u).iter().zip(graph.incident_edge_ids(u)) {
+            // Each undirected edge appears in both endpoint lists; keep the
+            // u < v copy only.
+            if u >= v || removed.contains(&(u.raw(), v.raw())) {
+                continue;
+            }
+            let edge_type = graph.edge_type(id);
+            match graph.edge_direction(id) {
+                Direction::Symmetric => builder.add_edge_typed(u, v, edge_type),
+                Direction::LowToHigh => builder.add_arc_typed(u, v, edge_type),
+                Direction::HighToLow => builder.add_arc_typed(v, u, edge_type),
+            }
+            .expect("endpoints were just re-added");
+        }
+    }
+    for (u, v, edge_type) in added {
+        builder.add_edge_typed(u, v, edge_type)?;
+    }
+    Ok(builder.build())
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::labels::{Label, LabelSet};
+
+    use super::*;
+
+    fn fixture() -> HetGraph {
+        let labels = LabelSet::from_names(["x", "y"]).unwrap();
+        GraphBuilder::from_edges(
+            labels,
+            &[Label::new(0), Label::new(1), Label::new(0), Label::new(1)],
+            &[(0, 1), (1, 2), (2, 3)],
+        )
+        .unwrap()
+    }
+
+    fn n(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    #[test]
+    fn add_and_remove_edges() {
+        let g = fixture();
+        let edited = apply_edits(
+            &g,
+            &[
+                EdgeEdit::Remove { u: n(1), v: n(2) },
+                EdgeEdit::Add {
+                    u: n(0),
+                    v: n(3),
+                    edge_type: 0,
+                },
+            ],
+        )
+        .unwrap();
+        assert_eq!(edited.node_count(), 4);
+        assert_eq!(edited.edge_count(), 3);
+        assert!(!edited.has_edge(n(1), n(2)));
+        assert!(edited.has_edge(n(0), n(3)));
+        assert_eq!(edited.label(n(3)), g.label(n(3)));
+    }
+
+    #[test]
+    fn later_edits_override_earlier_ones() {
+        let g = fixture();
+        // Remove then re-add: the edge survives. Add then remove: it dies.
+        let e1 = apply_edits(
+            &g,
+            &[
+                EdgeEdit::Remove { u: n(0), v: n(1) },
+                EdgeEdit::Add {
+                    u: n(1),
+                    v: n(0),
+                    edge_type: 0,
+                },
+            ],
+        )
+        .unwrap();
+        assert!(e1.has_edge(n(0), n(1)));
+        let e2 = apply_edits(
+            &g,
+            &[
+                EdgeEdit::Add {
+                    u: n(0),
+                    v: n(3),
+                    edge_type: 0,
+                },
+                EdgeEdit::Remove { u: n(3), v: n(0) },
+            ],
+        )
+        .unwrap();
+        assert!(!e2.has_edge(n(0), n(3)));
+    }
+
+    #[test]
+    fn directions_and_types_survive_untouched_edges() {
+        let labels = LabelSet::from_names(["x"]).unwrap();
+        let mut b = GraphBuilder::new(labels);
+        let u = b.add_node_with(Label::new(0)).unwrap();
+        let v = b.add_node_with(Label::new(0)).unwrap();
+        let w = b.add_node_with(Label::new(0)).unwrap();
+        b.add_arc_typed(v, u, 1).unwrap();
+        b.add_edge(v, w).unwrap();
+        let g = b.build();
+        let edited = apply_edits(&g, &[EdgeEdit::Remove { u: v, v: w }]).unwrap();
+        assert_eq!(edited.edge_count(), 1);
+        let id = edited.incident_edge_ids(u)[0];
+        assert_eq!(edited.edge_type(id), 1);
+        assert_eq!(edited.edge_direction(id), Direction::HighToLow);
+    }
+
+    #[test]
+    fn bad_endpoints_error() {
+        let g = fixture();
+        assert!(apply_edits(&g, &[EdgeEdit::Remove { u: n(0), v: n(99) }]).is_err());
+        assert!(apply_edits(
+            &g,
+            &[EdgeEdit::Add {
+                u: n(0),
+                v: n(0),
+                edge_type: 0
+            }]
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn no_edits_is_an_identity_rebuild() {
+        let g = fixture();
+        let same = apply_edits(&g, &[]).unwrap();
+        assert_eq!(g.node_count(), same.node_count());
+        assert_eq!(g.edge_count(), same.edge_count());
+        for v in g.nodes() {
+            assert_eq!(g.neighbors(v), same.neighbors(v));
+        }
+    }
+}

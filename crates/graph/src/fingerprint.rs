@@ -1,0 +1,223 @@
+//! Content fingerprints of bounded-radius neighbourhoods.
+//!
+//! A root's subgraph census depends only on its `emax`-hop ball: every
+//! connected subgraph with at most `emax` edges containing the root lies
+//! inside it, and the `dmax` hub heuristic additionally consults the
+//! *global* degree of each ball node. [`neighborhood_fingerprint`] hashes
+//! exactly that dependency set — ball nodes (id, label, distance, degree)
+//! plus the content of every edge incident to a node strictly inside the
+//! ball — so two graphs in which a root's dependency set is identical
+//! produce the same fingerprint, and any mutation that could change the
+//! root's census changes it (with the usual 64-bit collision caveat).
+//!
+//! The census cache in `hsgf-core` keys entries by this value: entries
+//! self-invalidate when an edit lands inside the dependency radius, with
+//! no explicit invalidation protocol.
+//!
+//! Dense edge ids are deliberately *not* hashed: they shift wholesale when
+//! the builder re-sorts adjacency after an edit, which would spuriously
+//! invalidate every root. Only edge content (endpoints, endpoint labels,
+//! type, direction) enters the hash.
+
+use std::collections::VecDeque;
+
+use crate::graph::{HetGraph, NodeId};
+use crate::rng::splitmix64;
+
+/// Domain-separation seed for neighbourhood fingerprints ("HSGF" ++ "NF").
+const FINGERPRINT_SEED: u64 = 0x4853_4746_4E46;
+
+/// Mixes one word into the running hash with full avalanche (SplitMix64's
+/// finalizer via [`splitmix64`]): every output bit depends on every input
+/// bit, so single-edit deltas never cancel positionally.
+#[inline]
+fn fold(hash: u64, word: u64) -> u64 {
+    let mut state = hash ^ word.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    splitmix64(&mut state)
+}
+
+/// Reusable buffers for fingerprinting many roots of one graph without
+/// re-allocating the per-node distance array each time.
+#[derive(Default)]
+pub struct FingerprintScratch {
+    /// BFS epoch per node; a node is visited iff its stamp equals `epoch`.
+    stamp: Vec<u32>,
+    /// BFS distance per node, valid only where `stamp == epoch`.
+    dist: Vec<u32>,
+    epoch: u32,
+    queue: VecDeque<NodeId>,
+}
+
+impl FingerprintScratch {
+    /// An empty scratch; buffers grow to the graph size on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// The fingerprint of `root`'s `radius`-hop dependency set in `graph`.
+/// Convenience wrapper over [`neighborhood_fingerprint_with`] that
+/// allocates a fresh scratch.
+pub fn neighborhood_fingerprint(graph: &HetGraph, root: NodeId, radius: u32) -> u64 {
+    neighborhood_fingerprint_with(graph, root, radius, &mut FingerprintScratch::new())
+}
+
+/// The fingerprint of `root`'s `radius`-hop dependency set, reusing
+/// `scratch` across calls.
+///
+/// BFS order over a label-sorted CSR is a pure function of the ball's
+/// content, so folding words in traversal order is deterministic: equal
+/// dependency sets hash equally regardless of how the graph was built.
+pub fn neighborhood_fingerprint_with(
+    graph: &HetGraph,
+    root: NodeId,
+    radius: u32,
+    scratch: &mut FingerprintScratch,
+) -> u64 {
+    let n = graph.node_count();
+    if scratch.stamp.len() < n {
+        scratch.stamp.resize(n, 0);
+        scratch.dist.resize(n, 0);
+    }
+    scratch.epoch = scratch.epoch.wrapping_add(1);
+    if scratch.epoch == 0 {
+        // Wrapped: stale stamps could collide with the new epoch.
+        scratch.stamp.fill(0);
+        scratch.epoch = 1;
+    }
+    let epoch = scratch.epoch;
+    scratch.stamp[root.index()] = epoch;
+    scratch.dist[root.index()] = 0;
+    scratch.queue.clear();
+    scratch.queue.push_back(root);
+
+    let mut hash = fold(FINGERPRINT_SEED, radius as u64);
+    while let Some(u) = scratch.queue.pop_front() {
+        let du = scratch.dist[u.index()];
+        // The node itself: identity, label, distance, and *global* degree.
+        // Degree covers edges leaving the ball, which the dmax heuristic
+        // sees even though the census never walks them.
+        hash = fold(hash, u.raw() as u64);
+        hash = fold(hash, graph.label(u).raw() as u64);
+        hash = fold(hash, du as u64);
+        hash = fold(hash, graph.degree(u) as u64);
+        if du == radius {
+            continue;
+        }
+        // Every edge incident to a strictly-interior node is reachable by
+        // some ≤radius-edge subgraph through `u`; hash its full content.
+        // (Edges between two distance-`radius` nodes need radius + 1 edges
+        // to reach and are correctly excluded.)
+        for (&w, &id) in graph.neighbors(u).iter().zip(graph.incident_edge_ids(u)) {
+            hash = fold(hash, w.raw() as u64);
+            hash = fold(hash, graph.label(w).raw() as u64);
+            hash = fold(hash, graph.edge_type(id) as u64);
+            hash = fold(hash, graph.orientation(u, w, id).block() as u64);
+            if scratch.stamp[w.index()] != epoch {
+                scratch.stamp[w.index()] = epoch;
+                scratch.dist[w.index()] = du + 1;
+                scratch.queue.push_back(w);
+            }
+        }
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::builder::GraphBuilder;
+    use crate::labels::{Label, LabelSet};
+
+    use super::*;
+
+    fn path_graph(n: u32) -> HetGraph {
+        let labels = LabelSet::from_names(["x", "y"]).unwrap();
+        let node_labels: Vec<Label> = (0..n).map(|i| Label::new((i % 2) as u8)).collect();
+        let edges: Vec<(u32, u32)> = (0..n - 1).map(|i| (i, i + 1)).collect();
+        GraphBuilder::from_edges(labels, &node_labels, &edges).unwrap()
+    }
+
+    #[test]
+    fn fingerprint_is_deterministic_and_scratch_independent() {
+        let g = path_graph(8);
+        let mut scratch = FingerprintScratch::new();
+        for v in g.nodes() {
+            let fresh = neighborhood_fingerprint(&g, v, 3);
+            let reused = neighborhood_fingerprint_with(&g, v, 3, &mut scratch);
+            assert_eq!(fresh, reused, "root {v:?}");
+            assert_eq!(fresh, neighborhood_fingerprint(&g, v, 3));
+        }
+    }
+
+    #[test]
+    fn edit_outside_radius_leaves_fingerprint_unchanged() {
+        // Path 0-1-2-3-4-5-6-7: toggling edge (6,7) is 5 hops from node 0,
+        // outside its radius-2 dependency set (nodes 0..=2 plus the degree
+        // of node 2, which edge (2,3) — not (6,7) — controls).
+        let with = path_graph(8);
+        let labels = with.labels().clone();
+        let node_labels: Vec<Label> = with.node_labels().to_vec();
+        let edges: Vec<(u32, u32)> = (0..6).map(|i| (i, i + 1)).collect();
+        let without = GraphBuilder::from_edges(labels, &node_labels, &edges).unwrap();
+        assert_eq!(
+            neighborhood_fingerprint(&with, NodeId::new(0), 2),
+            neighborhood_fingerprint(&without, NodeId::new(0), 2),
+        );
+        // The same edit is inside node 5's radius-2 set.
+        assert_ne!(
+            neighborhood_fingerprint(&with, NodeId::new(5), 2),
+            neighborhood_fingerprint(&without, NodeId::new(5), 2),
+        );
+    }
+
+    #[test]
+    fn boundary_degree_is_part_of_the_dependency_set() {
+        // Node 2 sits exactly at radius 2 from node 0; an extra edge
+        // hanging off it changes its degree, which dmax consults, so the
+        // fingerprint must change even though the census never walks the
+        // extra edge.
+        let short = path_graph(3);
+        let long = path_graph(4);
+        assert_ne!(
+            neighborhood_fingerprint(&short, NodeId::new(0), 2),
+            neighborhood_fingerprint(&long, NodeId::new(0), 2),
+        );
+    }
+
+    #[test]
+    fn label_and_direction_and_type_enter_the_hash() {
+        let labels = LabelSet::from_names(["x", "y"]).unwrap();
+        let base =
+            GraphBuilder::from_edges(labels.clone(), &[Label::new(0), Label::new(0)], &[(0, 1)])
+                .unwrap();
+        let relabeled =
+            GraphBuilder::from_edges(labels.clone(), &[Label::new(0), Label::new(1)], &[(0, 1)])
+                .unwrap();
+        let mut b = GraphBuilder::new(labels.clone());
+        let u = b.add_node_with(Label::new(0)).unwrap();
+        let v = b.add_node_with(Label::new(0)).unwrap();
+        b.add_arc(u, v).unwrap();
+        let directed = b.build();
+        let mut b = GraphBuilder::new(labels);
+        let u = b.add_node_with(Label::new(0)).unwrap();
+        let v = b.add_node_with(Label::new(0)).unwrap();
+        b.add_edge_typed(u, v, 1).unwrap();
+        let typed = b.build();
+        let root = NodeId::new(0);
+        let fp = |g: &HetGraph| neighborhood_fingerprint(g, root, 2);
+        assert_ne!(fp(&base), fp(&relabeled));
+        assert_ne!(fp(&base), fp(&directed));
+        assert_ne!(fp(&base), fp(&typed));
+    }
+
+    #[test]
+    fn radius_zero_still_sees_own_degree() {
+        let a = path_graph(2);
+        let b = path_graph(3);
+        // Radius 0: node 1's ball is itself, but its degree differs (1 vs 2).
+        assert_ne!(
+            neighborhood_fingerprint(&a, NodeId::new(1), 0),
+            neighborhood_fingerprint(&b, NodeId::new(1), 0),
+        );
+    }
+}

@@ -33,6 +33,8 @@
 
 pub mod builder;
 pub mod direction;
+pub mod edit;
+pub mod fingerprint;
 pub mod generators;
 pub mod graph;
 pub mod io;
@@ -46,7 +48,11 @@ mod error;
 
 pub use builder::GraphBuilder;
 pub use direction::{Direction, Orientation};
+pub use edit::{apply_edits, EdgeEdit};
 pub use error::GraphError;
+pub use fingerprint::{
+    neighborhood_fingerprint, neighborhood_fingerprint_with, FingerprintScratch,
+};
 pub use graph::{HetGraph, NeighborLabelRuns, NodeId};
 pub use labels::{Label, LabelSet};
 pub use lcg::LabelConnectivityGraph;

@@ -42,9 +42,16 @@ run_benches() {
 }
 
 # Prints "counter value" pairs from a suite JSON's attached obs metrics
-# snapshot (the deterministic "counters" section only). Histograms come out
-# as their whole bracketed array with spaces stripped, so each value stays a
-# single join(1) field.
+# snapshot (the deterministic "counters" section only — the "runtime"
+# section, which holds legitimately nondeterministic values like the
+# cache_hits/cache_misses/cache_evictions/cache_fingerprint_micros cache
+# counters and the steal/park/split scheduler counters, is never parsed
+# here and must never gate a diff). Histograms come out as their whole
+# bracketed array with spaces stripped, so each value stays a single
+# join(1) field. The cache_ skip is belt-and-braces: cache counters live
+# in "runtime" by construction (Metric::deterministic), but warm-vs-cold
+# hit counts depend on what a previous run left behind, so even a future
+# misclassification must not turn them into a deterministic gate.
 extract_counters() {
     awk '
         /"obs_metrics":/ {
@@ -58,6 +65,7 @@ extract_counters() {
                     val = pair
                     sub(/^"[a-z_0-9]+": */, "", val)
                     gsub(/[ \t]/, "", val)
+                    if (key ~ /^cache_/) continue
                     print key, val
                 }
             }

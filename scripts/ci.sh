@@ -51,6 +51,23 @@ cmp "$SMOKE_DIR/c2.csv" "$SMOKE_DIR/s2.csv"
     --trace "$SMOKE_DIR/trace.json" \
     --against "$SMOKE_DIR/stealing-metrics.json"
 
+echo "==> cache smoke (warm run byte-identical to cold, with >0 hits)"
+CACHE_DIR="$SMOKE_DIR/census-cache"
+"$HSGF" extract "$SMOKE_DIR/g.txt" --emax 3 --roots sample:5 --threads 4 \
+    --cache "$CACHE_DIR" --out "$SMOKE_DIR/cold.json" 2>/dev/null
+"$HSGF" extract "$SMOKE_DIR/g.txt" --emax 3 --roots sample:5 --threads 4 \
+    --cache "$CACHE_DIR" --out "$SMOKE_DIR/warm.json" 2>/dev/null
+cmp "$SMOKE_DIR/cold.json" "$SMOKE_DIR/warm.json"
+# Also byte-identical to an entirely uncached run.
+cmp "$SMOKE_DIR/cold.json" "$SMOKE_DIR/cursor.json"
+"$HSGF" cache-stats "$CACHE_DIR" | awk '
+    { stats[$1] = $2 }
+    END {
+        if (stats["hits"] + 0 <= 0)    { print "cache smoke: no hits on warm run"; exit 1 }
+        if (stats["entries"] + 0 <= 0) { print "cache smoke: empty cache dir"; exit 1 }
+        printf "    warm == cold (%d entries, %d hits)\n", stats["entries"], stats["hits"]
+    }'
+
 if cargo fmt --version >/dev/null 2>&1; then
     echo "==> cargo fmt --check"
     cargo fmt --all --check

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cache-59afb8dd0f01c250.d: crates/hsgf/../../tests/cache.rs
+
+/root/repo/target/debug/deps/cache-59afb8dd0f01c250: crates/hsgf/../../tests/cache.rs
+
+crates/hsgf/../../tests/cache.rs:

@@ -1,10 +1,12 @@
-/root/repo/target/debug/deps/hsgf_graph-bca9f656b65999eb.d: crates/graph/src/lib.rs crates/graph/src/builder.rs crates/graph/src/direction.rs crates/graph/src/generators.rs crates/graph/src/graph.rs crates/graph/src/io.rs crates/graph/src/labels.rs crates/graph/src/lcg.rs crates/graph/src/rng.rs crates/graph/src/stats.rs crates/graph/src/traversal.rs crates/graph/src/error.rs
+/root/repo/target/debug/deps/hsgf_graph-bca9f656b65999eb.d: crates/graph/src/lib.rs crates/graph/src/builder.rs crates/graph/src/direction.rs crates/graph/src/edit.rs crates/graph/src/fingerprint.rs crates/graph/src/generators.rs crates/graph/src/graph.rs crates/graph/src/io.rs crates/graph/src/labels.rs crates/graph/src/lcg.rs crates/graph/src/rng.rs crates/graph/src/stats.rs crates/graph/src/traversal.rs crates/graph/src/error.rs
 
-/root/repo/target/debug/deps/hsgf_graph-bca9f656b65999eb: crates/graph/src/lib.rs crates/graph/src/builder.rs crates/graph/src/direction.rs crates/graph/src/generators.rs crates/graph/src/graph.rs crates/graph/src/io.rs crates/graph/src/labels.rs crates/graph/src/lcg.rs crates/graph/src/rng.rs crates/graph/src/stats.rs crates/graph/src/traversal.rs crates/graph/src/error.rs
+/root/repo/target/debug/deps/hsgf_graph-bca9f656b65999eb: crates/graph/src/lib.rs crates/graph/src/builder.rs crates/graph/src/direction.rs crates/graph/src/edit.rs crates/graph/src/fingerprint.rs crates/graph/src/generators.rs crates/graph/src/graph.rs crates/graph/src/io.rs crates/graph/src/labels.rs crates/graph/src/lcg.rs crates/graph/src/rng.rs crates/graph/src/stats.rs crates/graph/src/traversal.rs crates/graph/src/error.rs
 
 crates/graph/src/lib.rs:
 crates/graph/src/builder.rs:
 crates/graph/src/direction.rs:
+crates/graph/src/edit.rs:
+crates/graph/src/fingerprint.rs:
 crates/graph/src/generators.rs:
 crates/graph/src/graph.rs:
 crates/graph/src/io.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/cache-02c4d7498ee6a52b.d: crates/bench/benches/cache.rs
+
+/root/repo/target/release/deps/cache-02c4d7498ee6a52b: crates/bench/benches/cache.rs
+
+crates/bench/benches/cache.rs:

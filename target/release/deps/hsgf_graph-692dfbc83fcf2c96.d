@@ -1,12 +1,14 @@
-/root/repo/target/release/deps/hsgf_graph-692dfbc83fcf2c96.d: crates/graph/src/lib.rs crates/graph/src/builder.rs crates/graph/src/direction.rs crates/graph/src/generators.rs crates/graph/src/graph.rs crates/graph/src/io.rs crates/graph/src/labels.rs crates/graph/src/lcg.rs crates/graph/src/rng.rs crates/graph/src/stats.rs crates/graph/src/traversal.rs crates/graph/src/error.rs
+/root/repo/target/release/deps/hsgf_graph-692dfbc83fcf2c96.d: crates/graph/src/lib.rs crates/graph/src/builder.rs crates/graph/src/direction.rs crates/graph/src/edit.rs crates/graph/src/fingerprint.rs crates/graph/src/generators.rs crates/graph/src/graph.rs crates/graph/src/io.rs crates/graph/src/labels.rs crates/graph/src/lcg.rs crates/graph/src/rng.rs crates/graph/src/stats.rs crates/graph/src/traversal.rs crates/graph/src/error.rs
 
-/root/repo/target/release/deps/libhsgf_graph-692dfbc83fcf2c96.rlib: crates/graph/src/lib.rs crates/graph/src/builder.rs crates/graph/src/direction.rs crates/graph/src/generators.rs crates/graph/src/graph.rs crates/graph/src/io.rs crates/graph/src/labels.rs crates/graph/src/lcg.rs crates/graph/src/rng.rs crates/graph/src/stats.rs crates/graph/src/traversal.rs crates/graph/src/error.rs
+/root/repo/target/release/deps/libhsgf_graph-692dfbc83fcf2c96.rlib: crates/graph/src/lib.rs crates/graph/src/builder.rs crates/graph/src/direction.rs crates/graph/src/edit.rs crates/graph/src/fingerprint.rs crates/graph/src/generators.rs crates/graph/src/graph.rs crates/graph/src/io.rs crates/graph/src/labels.rs crates/graph/src/lcg.rs crates/graph/src/rng.rs crates/graph/src/stats.rs crates/graph/src/traversal.rs crates/graph/src/error.rs
 
-/root/repo/target/release/deps/libhsgf_graph-692dfbc83fcf2c96.rmeta: crates/graph/src/lib.rs crates/graph/src/builder.rs crates/graph/src/direction.rs crates/graph/src/generators.rs crates/graph/src/graph.rs crates/graph/src/io.rs crates/graph/src/labels.rs crates/graph/src/lcg.rs crates/graph/src/rng.rs crates/graph/src/stats.rs crates/graph/src/traversal.rs crates/graph/src/error.rs
+/root/repo/target/release/deps/libhsgf_graph-692dfbc83fcf2c96.rmeta: crates/graph/src/lib.rs crates/graph/src/builder.rs crates/graph/src/direction.rs crates/graph/src/edit.rs crates/graph/src/fingerprint.rs crates/graph/src/generators.rs crates/graph/src/graph.rs crates/graph/src/io.rs crates/graph/src/labels.rs crates/graph/src/lcg.rs crates/graph/src/rng.rs crates/graph/src/stats.rs crates/graph/src/traversal.rs crates/graph/src/error.rs
 
 crates/graph/src/lib.rs:
 crates/graph/src/builder.rs:
 crates/graph/src/direction.rs:
+crates/graph/src/edit.rs:
+crates/graph/src/fingerprint.rs:
 crates/graph/src/generators.rs:
 crates/graph/src/graph.rs:
 crates/graph/src/io.rs:

@@ -1,0 +1,302 @@
+//! Oracle-backed equivalence tests for the census cache: cached output
+//! must be bit-identical to recomputation across thread counts,
+//! schedulers, and supervision modes; poisoned roots must never pollute
+//! the cache; and the neighbourhood fingerprint must be *sound* — any
+//! root whose feature row changes under an edit sequence must see its
+//! fingerprint change (property-tested with structural shrinking).
+
+use hsgf::core::cache::CensusCache;
+use hsgf::core::census::{CensusConfig, CensusEngine, CensusError};
+use hsgf::core::export;
+use hsgf::core::parallel::{
+    extract_censuses, extract_censuses_cached, extract_feature_matrix,
+    extract_feature_matrix_cached,
+};
+use hsgf::core::prop::{check_structural, graph_shrink_steps, Config};
+use hsgf::core::prop_assert;
+use hsgf::core::steal::SchedulerKind;
+use hsgf::core::supervisor::{ChaosHook, ExtractionPolicy, RootOutcome, Supervisor};
+use hsgf::graph::fingerprint::neighborhood_fingerprint;
+use hsgf::graph::rng::Rng;
+use hsgf::graph::{apply_edits, generators, EdgeEdit, HetGraph, LabelSet, NodeId};
+
+fn test_graph() -> HetGraph {
+    let labels = LabelSet::from_names(["a", "b", "c"]).unwrap();
+    generators::barabasi_albert(labels, &[1.0, 1.0, 1.0], 150, 3, 23).unwrap()
+}
+
+fn csv(graph: &HetGraph, m: &hsgf::core::FeatureMatrix) -> String {
+    export::to_csv_string(m, graph.labels())
+}
+
+const SCHEDULERS: [SchedulerKind; 2] = [SchedulerKind::Cursor, SchedulerKind::Stealing];
+const THREADS: [usize; 3] = [1, 2, 8];
+
+/// Raw (unsupervised) extraction: cache-off vs cache-on (cold AND warm)
+/// across {1,2,8} threads × {cursor,stealing} must be bit-identical.
+#[test]
+fn cache_on_equals_cache_off_raw() {
+    let graph = test_graph();
+    let engine = CensusEngine::new(&graph, CensusConfig::default().with_emax(3)).unwrap();
+    let roots: Vec<NodeId> = graph.nodes().step_by(5).collect();
+    let oracle = csv(&graph, &extract_feature_matrix(&engine, &roots, 1).unwrap());
+    for threads in THREADS {
+        for scheduler in SCHEDULERS {
+            let cache = CensusCache::in_memory();
+            let cold =
+                extract_feature_matrix_cached(&engine, &roots, threads, scheduler, &cache).unwrap();
+            assert_eq!(oracle, csv(&graph, &cold), "cold t={threads} {scheduler:?}");
+            let warm =
+                extract_feature_matrix_cached(&engine, &roots, threads, scheduler, &cache).unwrap();
+            assert_eq!(oracle, csv(&graph, &warm), "warm t={threads} {scheduler:?}");
+            let stats = cache.stats();
+            assert_eq!(stats.hits, roots.len() as u64, "t={threads} {scheduler:?}");
+            assert_eq!(stats.misses, roots.len() as u64);
+        }
+    }
+}
+
+/// Supervised extraction under a clipping budget: outcomes and matrices
+/// must match the uncached supervisor for every thread/scheduler combo,
+/// cold and warm — degraded rows included (they are cached at their
+/// ladder level, never as exact).
+#[test]
+fn cache_on_equals_cache_off_supervised_under_budget() {
+    let graph = test_graph();
+    let policy = ExtractionPolicy {
+        max_subgraphs: Some(300),
+        degrade: true,
+        ..ExtractionPolicy::default()
+    };
+    let sup = Supervisor::new(&graph, CensusConfig::default().with_emax(4), policy).unwrap();
+    let roots: Vec<NodeId> = graph.nodes().step_by(5).collect();
+    let oracle = sup.extract(&roots, 1);
+    let (_, degraded, _, _) = oracle.tally();
+    assert!(degraded > 0, "budget must clip some roots for this test");
+    let oracle_csv = csv(&graph, &oracle.matrix);
+    for threads in THREADS {
+        for scheduler in SCHEDULERS {
+            let cache = CensusCache::in_memory();
+            for pass in ["cold", "warm"] {
+                let got = sup.extract_cached(&roots, threads, scheduler, &cache);
+                assert_eq!(
+                    oracle.outcomes, got.outcomes,
+                    "{pass} t={threads} {scheduler:?}"
+                );
+                assert_eq!(
+                    oracle_csv,
+                    csv(&graph, &got.matrix),
+                    "{pass} t={threads} {scheduler:?}"
+                );
+            }
+            assert_eq!(cache.stats().hits, roots.len() as u64, "warm pass all-hit");
+        }
+    }
+}
+
+struct PanicOn(u32);
+impl ChaosHook for PanicOn {
+    fn inject(&self, root: NodeId, _attempt: usize) -> Option<CensusError> {
+        if root.raw() == self.0 {
+            panic!("chaos: injected fault on root {}", self.0);
+        }
+        None
+    }
+}
+
+/// A chaos-panicked root is reported as failed, stores nothing, and a
+/// later healthy run recomputes it — while every clean root's entry
+/// survives the crash run intact.
+#[test]
+fn chaos_panicked_roots_never_pollute_the_cache() {
+    let graph = test_graph();
+    let sup = Supervisor::new(
+        &graph,
+        CensusConfig::default().with_emax(3),
+        ExtractionPolicy::default(),
+    )
+    .unwrap();
+    let roots: Vec<NodeId> = graph.nodes().step_by(7).collect();
+    let poisoned = roots[roots.len() / 2];
+    let cache = CensusCache::in_memory();
+    for scheduler in SCHEDULERS {
+        let chaos = PanicOn(poisoned.raw());
+        let faulted = sup.extract_cached_with(&roots, 4, None, Some(&chaos), scheduler, &cache);
+        let (_, _, failed, _) = faulted.tally();
+        assert_eq!(failed, 1, "{scheduler:?}");
+        assert!(
+            matches!(
+                faulted.outcomes[roots.len() / 2],
+                RootOutcome::Failed { .. }
+            ),
+            "{scheduler:?}"
+        );
+        assert_eq!(
+            cache.entry_count(),
+            roots.len() - 1,
+            "a poisoned root was cached ({scheduler:?})"
+        );
+    }
+    // Healed: the poisoned root misses and recomputes; output matches a
+    // never-cached supervisor run exactly.
+    let healed = sup.extract_cached(&roots, 2, SchedulerKind::Cursor, &cache);
+    assert!(healed.is_complete());
+    let clean = sup.extract(&roots, 1);
+    assert_eq!(clean.outcomes, healed.outcomes);
+    assert_eq!(csv(&graph, &clean.matrix), csv(&graph, &healed.matrix));
+}
+
+/// Disk-tier persistence: a fresh cache instance over the same directory
+/// serves every root from disk and reproduces the cold output exactly.
+#[test]
+fn disk_cache_reuses_entries_across_instances() {
+    let dir = std::env::temp_dir().join(format!("hsgf-test-cache-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let graph = test_graph();
+    let engine = CensusEngine::new(&graph, CensusConfig::default().with_emax(3)).unwrap();
+    let roots: Vec<NodeId> = graph.nodes().step_by(9).collect();
+    let cold_csv = {
+        let cache = CensusCache::on_disk(&dir).unwrap();
+        let m = extract_feature_matrix_cached(&engine, &roots, 2, SchedulerKind::Cursor, &cache)
+            .unwrap();
+        cache.flush().unwrap();
+        csv(&graph, &m)
+    };
+    let fresh = CensusCache::on_disk(&dir).unwrap();
+    let warm =
+        extract_feature_matrix_cached(&engine, &roots, 2, SchedulerKind::Stealing, &fresh).unwrap();
+    assert_eq!(cold_csv, csv(&graph, &warm));
+    let stats = fresh.stats();
+    assert_eq!(stats.hits, roots.len() as u64, "all roots must hit disk");
+    assert_eq!(stats.misses, 0);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The incremental path: after an edge edit, only roots whose dependency
+/// ball covers the edit re-extract; everyone else hits, and the combined
+/// result equals a from-scratch run on the edited graph.
+#[test]
+fn edits_reextract_only_roots_with_changed_fingerprints() {
+    // A sparse graph keeps the edit's dependency ball small; a BA hub
+    // edge would legitimately invalidate most of the graph.
+    let labels = LabelSet::from_names(["a", "b", "c"]).unwrap();
+    let graph = generators::erdos_renyi(labels, &[1.0, 1.0, 1.0], 150, 0.02, 23).unwrap();
+    let config = CensusConfig::default().with_emax(2);
+    let engine = CensusEngine::new(&graph, config.clone()).unwrap();
+    let roots: Vec<NodeId> = graph.nodes().collect();
+    let cache = CensusCache::in_memory();
+    extract_censuses_cached(&engine, &roots, 2, SchedulerKind::Cursor, &cache).unwrap();
+    let before = cache.stats();
+
+    // Remove the lowest-degree edge so the invalidated region stays local.
+    let (u, v) = graph
+        .edges()
+        .min_by_key(|&(u, v)| graph.degree(u) + graph.degree(v))
+        .unwrap();
+    let edited = apply_edits(&graph, &[EdgeEdit::Remove { u, v }]).unwrap();
+    let engine2 = CensusEngine::new(&edited, config).unwrap();
+    let cached =
+        extract_censuses_cached(&engine2, &roots, 2, SchedulerKind::Cursor, &cache).unwrap();
+    assert_eq!(cached, extract_censuses(&engine2, &roots, 1).unwrap());
+
+    let after = cache.stats();
+    let (hits, misses) = (after.hits - before.hits, after.misses - before.misses);
+    assert!(misses > 0, "the edit's endpoints must re-extract");
+    assert!(hits > 0, "roots outside the radius must be reused");
+    assert!(
+        misses < roots.len() as u64 / 2,
+        "one edge edit invalidated {misses}/{} roots",
+        roots.len()
+    );
+}
+
+/// Fingerprint soundness under random insert/delete sequences: for every
+/// root whose census row changes after the edits, the neighbourhood
+/// fingerprint must change too (otherwise the cache would serve a stale
+/// row). Counterexamples shrink to minimal graphs via structural steps.
+#[test]
+fn fingerprint_soundness_under_random_edit_sequences() {
+    type Case = (HetGraph, Vec<(bool, u32, u32)>);
+    let generate = |rng: &mut Rng, max_size: usize| -> Case {
+        let hi = max_size.min(17).max(2);
+        let n = rng.gen_range(2usize..=hi);
+        let k = rng.gen_range(1usize..=3);
+        let seed = rng.gen_range(1u64..1000);
+        let names: Vec<String> = (0..k).map(|i| format!("l{i}")).collect();
+        let labels = LabelSet::from_names(names).unwrap();
+        let graph = generators::erdos_renyi(labels, &vec![1.0; k], n, 0.3, seed).unwrap();
+        let ops = (0..rng.gen_range(1usize..=4))
+            .map(|_| {
+                (
+                    rng.gen_range(0u64..2) == 0,
+                    rng.gen_range(0u64..1 << 20) as u32,
+                    rng.gen_range(0u64..1 << 20) as u32,
+                )
+            })
+            .collect();
+        (graph, ops)
+    };
+    // Ops are resolved modulo the node count, so they stay meaningful on
+    // every structurally-shrunk graph.
+    let resolve = |graph: &HetGraph, ops: &[(bool, u32, u32)]| -> Vec<EdgeEdit> {
+        let n = graph.node_count() as u32;
+        ops.iter()
+            .filter_map(|&(add, a, b)| {
+                let (u, v) = (NodeId::new(a % n), NodeId::new(b % n));
+                if u == v {
+                    None
+                } else if add {
+                    Some(EdgeEdit::Add { u, v, edge_type: 0 })
+                } else {
+                    Some(EdgeEdit::Remove { u, v })
+                }
+            })
+            .collect()
+    };
+    let steps = |case: &Case| -> Vec<Case> {
+        let mut out: Vec<Case> = graph_shrink_steps(&case.0)
+            .into_iter()
+            .filter(|g| g.node_count() >= 2)
+            .map(|g| (g, case.1.clone()))
+            .collect();
+        for i in 0..case.1.len() {
+            let mut ops = case.1.clone();
+            ops.remove(i);
+            out.push((case.0.clone(), ops));
+        }
+        out
+    };
+    // dmax low enough to be active: degree changes outside the walked ball
+    // must flow into the fingerprint (it hashes global degrees).
+    let config = CensusConfig::default().with_emax(3).with_dmax(Some(2));
+    check_structural(
+        "fingerprint_soundness_under_random_edit_sequences",
+        &Config::from_env(),
+        generate,
+        steps,
+        |(graph, ops)| {
+            let edits = resolve(graph, ops);
+            let edited = match apply_edits(graph, &edits) {
+                Ok(g) => g,
+                Err(e) => return Err(format!("apply_edits failed: {e}")),
+            };
+            let before = CensusEngine::new(graph, config.clone()).unwrap();
+            let after = CensusEngine::new(&edited, config.clone()).unwrap();
+            let mut s1 = before.make_scratch();
+            let mut s2 = after.make_scratch();
+            for root in graph.nodes() {
+                let a = before.census_encodings(root, &mut s1).unwrap().counts;
+                let b = after.census_encodings(root, &mut s2).unwrap().counts;
+                if a != b {
+                    let fa = neighborhood_fingerprint(graph, root, config.emax as u32);
+                    let fb = neighborhood_fingerprint(&edited, root, config.emax as u32);
+                    prop_assert!(
+                        fa != fb,
+                        "root {root:?}: census changed under {edits:?} but fingerprint did not"
+                    );
+                }
+            }
+            Ok(())
+        },
+    );
+}
