@@ -1,0 +1,138 @@
+//! Write-ahead journal benchmark: journaled extraction on the MAG-style
+//! rank-prediction graph. `off` is the plain supervised extraction;
+//! `on` adds a fresh journal (dir creation + one commit-ordered append
+//! per root), bounding the durability overhead the `--journal` flag buys;
+//! `resume-warm` replays a fully-durable journal, so every root is served
+//! from its record and the census itself is skipped entirely — the best
+//! case for crash recovery. A metrics snapshot with the journal counters
+//! rides along for `scripts/bench_diff.sh` (runtime section only — replay
+//! counts are never diffed deterministically).
+
+use hsgf_bench::mag_corpus;
+use hsgf_bench::runner::Runner;
+use hsgf_core::cache::{config_fingerprint, policy_fingerprint};
+use hsgf_core::census::CensusConfig;
+use hsgf_core::journal::{roots_hash, Journal, JournalHeader};
+use hsgf_core::steal::SchedulerKind;
+use hsgf_core::supervisor::{ExtractionPolicy, Supervisor};
+use hsgf_core::{Metric, Obs};
+use hsgf_data::Scale;
+use hsgf_graph::fingerprint::graph_fingerprint;
+use hsgf_graph::NodeId;
+
+fn main() {
+    let mut runner = Runner::new("journal");
+    let data = mag_corpus(Scale::Tiny);
+    let (graph, _institutions) = data.rank_graph(0, 2009);
+    let roots: Vec<NodeId> = graph.nodes().collect();
+    let config = CensusConfig::default().with_emax(4);
+    let policy = ExtractionPolicy::default();
+    let supervisor = Supervisor::new(&graph, config.clone(), policy.clone()).expect("valid config");
+    let header = JournalHeader {
+        config: policy_fingerprint(config_fingerprint(&config), &policy),
+        graph: graph_fingerprint(&graph),
+        roots: roots_hash(&roots),
+    };
+    println!(
+        "MAG rank graph (conference 0, year 2009): {} nodes, {} edges, {} roots, emax 4\n",
+        graph.node_count(),
+        graph.edge_count(),
+        roots.len()
+    );
+
+    let base = std::env::temp_dir().join(format!("hsgf-journal-bench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+    std::fs::create_dir_all(&base).expect("temp dir");
+
+    let mut group = runner.group("journal/mag-rank");
+    // Baseline: the same supervised extraction the journal wraps.
+    group.bench_function("off", || supervisor.extract(&roots, 1).outcomes.len());
+    // Journal on, cold: each iteration is one full journaled run —
+    // `Journal::create` discards the previous run's segments (exactly what
+    // `--journal` without `--resume` does), then pays one commit-ordered
+    // append per completed root.
+    let on_dir = base.join("on");
+    group.bench_function("on", || {
+        let journal = Journal::create(&on_dir, &header).expect("fresh journal");
+        let partial = supervisor.extract_journaled_with(
+            &roots,
+            1,
+            None,
+            None,
+            SchedulerKind::Cursor,
+            &journal,
+            &[],
+        );
+        partial.outcomes.len()
+    });
+    // Resume against a complete journal: recovery replays every root's
+    // record and no census runs at all.
+    let warm_dir = base.join("warm");
+    {
+        let journal = Journal::create(&warm_dir, &header).expect("warm journal");
+        supervisor.extract_journaled_with(
+            &roots,
+            1,
+            None,
+            None,
+            SchedulerKind::Cursor,
+            &journal,
+            &[],
+        );
+    }
+    group.bench_function("resume-warm", || {
+        let (journal, report) = Journal::resume(&warm_dir, &header, None).expect("resume");
+        let partial = supervisor.extract_journaled_with(
+            &roots,
+            1,
+            None,
+            None,
+            SchedulerKind::Cursor,
+            &journal,
+            &report.records,
+        );
+        partial.outcomes.len()
+    });
+    group.finish();
+
+    // One observed journaled run + resume so the journal counters land in
+    // the attached snapshot (runtime section; excluded from deterministic
+    // counter diffs by design).
+    let obs = Obs::enabled();
+    let observed = Supervisor::new(&graph, config, policy)
+        .expect("valid config")
+        .with_obs(obs.clone());
+    let obs_dir = base.join("observed");
+    {
+        let journal = Journal::create(&obs_dir, &header).expect("observed journal");
+        observed.extract_journaled_with(
+            &roots,
+            1,
+            None,
+            None,
+            SchedulerKind::Cursor,
+            &journal,
+            &[],
+        );
+    }
+    let (journal, report) = Journal::resume(&obs_dir, &header, None).expect("observed resume");
+    observed.extract_journaled_with(
+        &roots,
+        1,
+        None,
+        None,
+        SchedulerKind::Cursor,
+        &journal,
+        &report.records,
+    );
+    let snapshot = obs.snapshot();
+    println!(
+        "\njournal_appends {}  journal_replays {} ({} roots)",
+        snapshot.get(Metric::JournalAppends),
+        snapshot.get(Metric::JournalReplays),
+        roots.len()
+    );
+    runner.attach("obs_metrics", snapshot.to_json());
+    runner.finish();
+    let _ = std::fs::remove_dir_all(&base);
+}

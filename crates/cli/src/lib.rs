@@ -24,19 +24,26 @@
 
 use std::io::Write;
 
-use hsgf_core::cache::{read_dir_stats, CensusCache};
+use std::sync::Arc;
+
+use hsgf_core::budget::RetryPolicy;
+use hsgf_core::cache::{config_fingerprint, policy_fingerprint, read_dir_stats, CensusCache};
 use hsgf_core::census::{CensusConfig, CensusEngine};
 use hsgf_core::export;
 use hsgf_core::features::FeatureMatrix;
+use hsgf_core::journal::{roots_hash, Journal, JournalHeader};
 use hsgf_core::json;
 use hsgf_core::obs::{self, Metric, MetricsSnapshot, Obs};
 use hsgf_core::parallel::{extract_censuses_cached, extract_censuses_with};
 use hsgf_core::sampling;
 use hsgf_core::steal::SchedulerKind;
-use hsgf_core::supervisor::{ExtractionPolicy, PartialExtraction, RootOutcome, Supervisor};
+use hsgf_core::supervisor::{
+    ChaosHook, ExtractionPolicy, PartialExtraction, RootOutcome, ScheduledIoChaos, Supervisor,
+};
 use hsgf_data::{
     FlowConfig, FlowData, ImdbConfig, ImdbData, LoadConfig, LoadData, MagConfig, MagData, Scale,
 };
+use hsgf_graph::fingerprint::graph_fingerprint;
 use hsgf_graph::{DegreeStats, EdgeEdit, HetGraph, LabelConnectivityGraph, NodeId};
 
 /// Exit code of a run that completed but produced degraded, failed, or
@@ -186,9 +193,11 @@ USAGE:
                [--roots all|sample:K] [--min-df N] [--threads T]
                [--scheduler cursor|stealing]
                [--budget-subgraphs N] [--budget-frontier N] [--deadline-ms MS]
-               [--degrade] [--out FILE] [--vocab FILE]
+               [--degrade] [--retry-max N] [--retry-backoff-ms MS]
+               [--out FILE] [--vocab FILE]
                [--metrics-out FILE] [--trace-out FILE]
                [--cache DIR|mem] [--cache-cap N] [--apply-edits FILE]
+               [--journal DIR] [--resume]
   hsgf cache-stats <DIR>
   hsgf obs-validate <METRICS> [--trace FILE] [--against METRICS2]
   hsgf help
@@ -219,6 +228,23 @@ in-memory tier. Cached output is bit-identical to recomputation, and exit
 codes are unaffected: degraded cached roots still exit 3, and failed or
 cancelled roots are never cached. `cache-stats DIR` prints the persistent
 hit/miss/store/eviction counters and the entry count.
+
+Journaling: --journal DIR write-ahead-logs every completed root into DIR,
+so a run killed at any point (even kill -9) can be restarted with the same
+flags plus --resume: durably journaled roots are replayed bit-identically
+and only the remainder is re-extracted. The journal refuses to resume
+under a different graph, configuration, or root set. --journal and --cache
+are mutually exclusive (the journal is itself a durable record of the
+run), and --resume without --journal is an error. Recovery runbook: rerun
+the exact same command with --resume appended; a reported \"truncated
+torn tail\" is normal after a crash, and exit codes are unchanged (a
+resumed run that ends fully exact exits 0).
+
+Retries: --retry-max N re-runs a root's attempt up to N times when it
+fails *transiently* (a worker panic or a missed deadline); deterministic
+budget exhaustion is never retried. --retry-backoff-ms MS sleeps between
+attempts with exponential backoff and deterministic jitter;
+--retry-backoff-ms without --retry-max is an error.
 
 Observability: --metrics-out writes a metrics snapshot (JSON) of the run's
 census counters; --trace-out writes per-phase and per-root spans in Chrome
@@ -393,7 +419,7 @@ pub fn extract_through(
         // The plain path succeeds only when every root is exact; mirror the
         // supervisor's outcome accounting so the metrics agree.
         params.obs.add(Metric::RootsExact, roots.len() as u64);
-        let outcomes = vec![RootOutcome::Exact; roots.len()];
+        let outcomes = vec![RootOutcome::Exact { attempts: 1 }; roots.len()];
         PartialExtraction {
             matrix: params.obs.phase("feature-matrix", || {
                 FeatureMatrix::from_censuses(roots, censuses)
@@ -401,6 +427,53 @@ pub fn extract_through(
             outcomes,
         }
     };
+    if params.min_df > 1 {
+        partial.matrix = partial.matrix.filter_min_df(params.min_df);
+    }
+    Ok(partial)
+}
+
+/// [`extract`] through a crash-safe write-ahead [`Journal`] in `dir`. With
+/// `resume` false a fresh journal is started (discarding any previous one);
+/// with `resume` true, durably journaled roots of a compatible previous run
+/// are replayed bit-identically and only the remainder is re-extracted.
+/// The journal header binds the run to the graph content, the extraction
+/// configuration + policy, and the root list, so a resume under different
+/// inputs is refused instead of silently mixing runs.
+pub fn extract_journaled(
+    graph: &HetGraph,
+    params: &ExtractParams,
+    dir: &std::path::Path,
+    resume: bool,
+    chaos: Option<&dyn ChaosHook>,
+) -> Result<PartialExtraction, CliError> {
+    let config = params.census_config(graph);
+    let roots = params.select_roots(graph);
+    let header = JournalHeader {
+        config: policy_fingerprint(config_fingerprint(&config), &params.policy),
+        graph: graph_fingerprint(graph),
+        roots: roots_hash(&roots),
+    };
+    let (journal, replayed) = if resume {
+        let (journal, report) = Journal::resume(dir, &header, chaos)?;
+        params
+            .obs
+            .add(Metric::JournalTruncatedTails, report.truncated_tails);
+        (journal, report.records)
+    } else {
+        (Journal::create(dir, &header)?, Vec::new())
+    };
+    let supervisor =
+        Supervisor::new(graph, config, params.policy.clone())?.with_obs(params.obs.clone());
+    let mut partial = supervisor.extract_journaled_with(
+        &roots,
+        params.threads,
+        None,
+        chaos,
+        params.scheduler,
+        &journal,
+        &replayed,
+    );
     if params.min_df > 1 {
         partial.matrix = partial.matrix.filter_min_df(params.min_df);
     }
@@ -492,16 +565,17 @@ pub fn write_outcome_summary<W: Write>(
     )?;
     for (root, outcome) in partial.anomalies() {
         match outcome {
-            RootOutcome::Exact => {}
+            RootOutcome::Exact { .. } => {}
             RootOutcome::Degraded {
                 dmax,
                 emax,
+                rung,
                 attempts,
             } => {
                 let dmax = dmax.map_or("inf".to_string(), |d| d.to_string());
                 writeln!(
                     out,
-                    "  root {}: degraded to dmax={dmax} emax={emax} after {attempts} attempts",
+                    "  root {}: degraded to dmax={dmax} emax={emax} (rung {rung}) after {attempts} attempts",
                     root.raw()
                 )?;
             }
@@ -562,6 +636,18 @@ pub fn write_obs_summary<W: Write>(snap: &MetricsSnapshot, mut out: W) -> Result
 /// Builds [`ExtractParams`] from parsed options (strict: malformed values
 /// error instead of falling back to defaults).
 fn extract_params(options: &Options) -> Result<ExtractParams, CliError> {
+    let retry_max = options.get_parsed::<u32>("retry-max")?;
+    let retry_backoff = options.get_parsed::<u64>("retry-backoff-ms")?;
+    if retry_backoff.is_some() && retry_max.is_none() {
+        return Err(CliError::Usage(
+            "--retry-backoff-ms requires --retry-max".into(),
+        ));
+    }
+    let retry = retry_max.map(|max_attempts| RetryPolicy {
+        max_attempts,
+        backoff_ms: retry_backoff.unwrap_or(0),
+        ..RetryPolicy::default()
+    });
     let policy = ExtractionPolicy {
         max_subgraphs: options.get_parsed("budget-subgraphs")?,
         max_frontier: options.get_parsed("budget-frontier")?,
@@ -569,6 +655,7 @@ fn extract_params(options: &Options) -> Result<ExtractParams, CliError> {
             .get_parsed::<u64>("deadline-ms")?
             .map(std::time::Duration::from_millis),
         degrade: options.flag("degrade"),
+        retry,
     };
     Ok(ExtractParams {
         emax: options.get_or("emax", 4)?,
@@ -642,7 +729,39 @@ pub fn run<W: Write>(options: &Options, mut out: W) -> Result<i32, CliError> {
             } else {
                 Obs::disabled()
             };
-            let cache = cache_from_options(options)?.map(|c| c.with_obs(obs.clone()));
+            // IO chaos (tests/CI only): HSGF_IO_CHAOS holds a FAULT@OP:N
+            // schedule injected into the journal and disk-cache tiers.
+            let io_chaos: Option<Arc<ScheduledIoChaos>> = match std::env::var("HSGF_IO_CHAOS") {
+                Ok(spec) if !spec.trim().is_empty() => Some(Arc::new(
+                    ScheduledIoChaos::parse(&spec).map_err(CliError::Usage)?,
+                )),
+                _ => None,
+            };
+            if options.flag("journal") {
+                return Err(CliError::BadValue {
+                    key: "journal".to_string(),
+                    value: String::new(),
+                });
+            }
+            let journal_dir = options.get_opt("journal").map(str::to_owned);
+            let resume = options.flag("resume");
+            if resume && journal_dir.is_none() {
+                return Err(CliError::Usage("--resume requires --journal".into()));
+            }
+            let cache = cache_from_options(options)?.map(|c| {
+                let c = c.with_obs(obs.clone());
+                match &io_chaos {
+                    Some(chaos) => {
+                        c.with_io_chaos(chaos.clone() as Arc<dyn ChaosHook + Send + Sync>)
+                    }
+                    None => c,
+                }
+            });
+            if journal_dir.is_some() && cache.is_some() {
+                return Err(CliError::Usage(
+                    "--journal and --cache are mutually exclusive".into(),
+                ));
+            }
             let mut graph = obs.phase("load", || -> Result<HetGraph, CliError> {
                 let text = std::fs::read_to_string(path)?;
                 Ok(hsgf_graph::io::from_str(&text)?)
@@ -661,18 +780,26 @@ pub fn run<W: Write>(options: &Options, mut out: W) -> Result<i32, CliError> {
             }
             let mut params = extract_params(options)?;
             params.obs = obs.clone();
-            let partial = obs.phase("extract", || {
-                extract_through(&graph, &params, cache.as_ref())
+            let partial = obs.phase("extract", || match &journal_dir {
+                Some(dir) => extract_journaled(
+                    &graph,
+                    &params,
+                    std::path::Path::new(dir),
+                    resume,
+                    io_chaos.as_deref().map(|c| c as &dyn ChaosHook),
+                ),
+                None => extract_through(&graph, &params, cache.as_ref()),
             })?;
             if let Some(cache) = &cache {
                 let stats = cache.stats();
                 writeln!(
                     std::io::stderr().lock(),
-                    "cache: {} hits, {} misses, {} stores, {} evictions, fingerprints {} us",
+                    "cache: {} hits, {} misses, {} stores, {} evictions, {} quarantined, fingerprints {} us",
                     stats.hits,
                     stats.misses,
                     stats.stores,
                     stats.evictions,
+                    stats.quarantined,
                     stats.fingerprint_micros
                 )?;
                 cache.flush()?;
@@ -737,6 +864,7 @@ pub fn run<W: Write>(options: &Options, mut out: W) -> Result<i32, CliError> {
             writeln!(out, "misses {}", stats.misses)?;
             writeln!(out, "stores {}", stats.stores)?;
             writeln!(out, "evictions {}", stats.evictions)?;
+            writeln!(out, "quarantined {}", stats.quarantined)?;
             writeln!(out, "fingerprint_micros {}", stats.fingerprint_micros)?;
             Ok(0)
         }
@@ -1380,6 +1508,156 @@ mod tests {
                 Vec::new()
             ),
             Err(CliError::BadValue { key, .. }) if key == "apply-edits"
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn journal_and_retry_flag_parsing_is_strict() {
+        let dir = std::env::temp_dir().join(format!("hsgf-cli-jflags-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let graph_path = dir.join("g.txt");
+        run(
+            &opts(&[
+                "generate",
+                "flow",
+                "--scale",
+                "tiny",
+                "--out",
+                graph_path.to_str().unwrap(),
+            ]),
+            Vec::new(),
+        )
+        .unwrap();
+        let g = graph_path.to_str().unwrap();
+        // Bare --journal (no directory) names the flag.
+        assert!(matches!(
+            run(&opts(&["extract", g, "--journal"]), Vec::new()),
+            Err(CliError::BadValue { key, .. }) if key == "journal"
+        ));
+        // --resume without --journal is a usage error.
+        assert!(matches!(
+            run(&opts(&["extract", g, "--resume"]), Vec::new()),
+            Err(CliError::Usage(msg)) if msg.contains("--resume requires --journal")
+        ));
+        // --journal and --cache are mutually exclusive.
+        let jdir = dir.join("journal");
+        assert!(matches!(
+            run(
+                &opts(&["extract", g, "--journal", jdir.to_str().unwrap(), "--cache", "mem"]),
+                Vec::new()
+            ),
+            Err(CliError::Usage(msg)) if msg.contains("mutually exclusive")
+        ));
+        // Malformed retry values are BadValue, and backoff needs retry-max.
+        assert!(matches!(
+            run(&opts(&["extract", g, "--retry-max", "lots"]), Vec::new()),
+            Err(CliError::BadValue { key, .. }) if key == "retry-max"
+        ));
+        assert!(matches!(
+            run(&opts(&["extract", g, "--retry-backoff-ms", "10"]), Vec::new()),
+            Err(CliError::Usage(msg)) if msg.contains("--retry-backoff-ms requires --retry-max")
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn run_journaled_extract_resumes_byte_identically() {
+        let dir = std::env::temp_dir().join(format!("hsgf-cli-journal-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let graph_path = dir.join("g.txt");
+        run(
+            &opts(&[
+                "generate",
+                "flow",
+                "--scale",
+                "tiny",
+                "--out",
+                graph_path.to_str().unwrap(),
+            ]),
+            Vec::new(),
+        )
+        .unwrap();
+        let g = graph_path.to_str().unwrap();
+        let jdir = dir.join("journal");
+        let plain_path = dir.join("plain.csv");
+        let first_path = dir.join("first.csv");
+        let resumed_path = dir.join("resumed.csv");
+        // Reference run without a journal.
+        assert_eq!(
+            run(
+                &opts(&[
+                    "extract",
+                    g,
+                    "--emax",
+                    "2",
+                    "--out",
+                    plain_path.to_str().unwrap()
+                ]),
+                Vec::new()
+            )
+            .unwrap(),
+            0
+        );
+        // Journaled run, then a warm resume that replays every root.
+        assert_eq!(
+            run(
+                &opts(&[
+                    "extract",
+                    g,
+                    "--emax",
+                    "2",
+                    "--journal",
+                    jdir.to_str().unwrap(),
+                    "--out",
+                    first_path.to_str().unwrap(),
+                ]),
+                Vec::new()
+            )
+            .unwrap(),
+            0
+        );
+        assert!(jdir.join("segment-000000.wal").exists());
+        assert_eq!(
+            run(
+                &opts(&[
+                    "extract",
+                    g,
+                    "--emax",
+                    "2",
+                    "--journal",
+                    jdir.to_str().unwrap(),
+                    "--resume",
+                    "--out",
+                    resumed_path.to_str().unwrap(),
+                ]),
+                Vec::new()
+            )
+            .unwrap(),
+            0
+        );
+        let plain = std::fs::read(&plain_path).unwrap();
+        assert_eq!(plain, std::fs::read(&first_path).unwrap());
+        assert_eq!(plain, std::fs::read(&resumed_path).unwrap());
+        // A config change refuses the stale journal instead of mixing runs.
+        assert!(matches!(
+            run(
+                &opts(&[
+                    "extract",
+                    g,
+                    "--emax",
+                    "3",
+                    "--journal",
+                    jdir.to_str().unwrap(),
+                    "--resume",
+                    "--out",
+                    resumed_path.to_str().unwrap(),
+                ]),
+                Vec::new()
+            ),
+            Err(CliError::Io(e)) if e.kind() == std::io::ErrorKind::InvalidData
         ));
         std::fs::remove_dir_all(&dir).ok();
     }

@@ -29,6 +29,8 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use hsgf_graph::rng::{derive_seed, Rng};
+
 /// Which budget dimension a census exhausted.
 #[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
 pub enum BudgetKind {
@@ -94,6 +96,61 @@ impl CensusBudget {
     pub fn with_timeout(mut self, timeout: Duration) -> Self {
         self.deadline = Some(Instant::now() + timeout);
         self
+    }
+}
+
+/// Retry discipline for *transiently* failed census attempts (isolated
+/// worker panics, wall-clock deadline near-misses). Deterministic failures
+/// — subgraph or frontier cap exhaustion — are never retried: re-running
+/// them reproduces the identical result, so they go straight to the
+/// degrade ladder.
+///
+/// Backoff is exponential (`backoff_ms << (retry - 1)`) with deterministic
+/// jitter drawn from a [`Rng`] stream keyed by `(jitter_seed, root, rung,
+/// retry)`, so two runs of the same extraction sleep identically and
+/// co-scheduled workers still decorrelate. A global `max_total_retries`
+/// cap bounds the whole run's retry spend, so a systemic fault (every root
+/// panicking) degenerates into fail-fast rather than a retry storm.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Attempts allowed per ladder rung, first try included (min 1).
+    pub max_attempts: u32,
+    /// Base backoff before retry 1; doubles per further retry. 0 disables
+    /// sleeping (tests and purely CPU-bound faults).
+    pub backoff_ms: u64,
+    /// Seed of the jitter stream.
+    pub jitter_seed: u64,
+    /// Run-wide cap on retries across all roots and rungs.
+    pub max_total_retries: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            backoff_ms: 0,
+            // "HSGF" ++ "RT"
+            jitter_seed: 0x4853_4746_5254,
+            max_total_retries: 1024,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The pause before retry number `retry` (1-based) of `root` on ladder
+    /// `rung`: exponential base plus up to 50% deterministic jitter.
+    pub fn backoff(&self, root: u32, rung: u32, retry: u32) -> Duration {
+        if self.backoff_ms == 0 {
+            return Duration::ZERO;
+        }
+        // Shift saturates well below u64 overflow; 16 doublings of any
+        // sane base already exceed practical deadlines.
+        let exp = self
+            .backoff_ms
+            .saturating_mul(1 << retry.saturating_sub(1).min(16));
+        let seed = derive_seed(self.jitter_seed, &[root as u64, rung as u64, retry as u64]);
+        let jitter = Rng::from_seed(seed).gen_range(0..=exp / 2);
+        Duration::from_millis(exp.saturating_add(jitter))
     }
 }
 
@@ -273,6 +330,36 @@ impl<'a> BudgetState<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn retry_backoff_is_deterministic_and_exponential() {
+        let retry = RetryPolicy {
+            backoff_ms: 10,
+            ..RetryPolicy::default()
+        };
+        let first = retry.backoff(7, 0, 1);
+        assert_eq!(
+            first,
+            retry.backoff(7, 0, 1),
+            "jitter must be a pure function"
+        );
+        assert_ne!(first, retry.backoff(8, 0, 1), "roots must decorrelate");
+        // Base grows 10 → 20 → 40 ms; jitter adds at most 50%.
+        for (attempt, base) in [(1u32, 10u64), (2, 20), (3, 40)] {
+            let pause = retry.backoff(7, 0, attempt).as_millis() as u64;
+            assert!(
+                (base..=base + base / 2).contains(&pause),
+                "retry {attempt}: {pause}ms"
+            );
+        }
+        assert_eq!(
+            RetryPolicy::default().backoff(7, 0, 1),
+            Duration::ZERO,
+            "zero base disables sleeping"
+        );
+        // Huge retry indices must not overflow.
+        let _ = retry.backoff(7, 0, u32::MAX);
+    }
 
     #[test]
     fn unlimited_budget_never_stops() {

@@ -15,10 +15,12 @@
 //! # Cacheability rules
 //!
 //! * [`CachedOutcome::Exact`] results are stored at ladder level 0.
-//! * [`CachedOutcome::Degraded`] results are stored at their ladder level
-//!   (`attempts - 1`), so a budget-clipped row can never masquerade as an
-//!   exact one — the supervised lookup probes levels in ascending order
-//!   and the level is part of the key.
+//! * [`CachedOutcome::Degraded`] results are stored at their ladder rung,
+//!   so a budget-clipped row can never masquerade as an exact one — the
+//!   supervised lookup probes levels in ascending order and the level is
+//!   part of the key. The cache stores *fidelity* (the rung), not attempt
+//!   history: a root that needed transient-fault retries replays from the
+//!   cache with the retry-free attempt count.
 //! * Failed and cancelled roots are **never** stored: a panic or
 //!   cancellation says nothing reusable about the root's census, and a
 //!   poisoned root must not pollute the cache.
@@ -38,6 +40,18 @@
 //! into memory. Process-local [`CacheStats`] drain into a persistent
 //! `stats.txt` on [`CensusCache::flush`], which is what `hsgf cache-stats`
 //! reads across processes.
+//!
+//! # Disk-rot posture
+//!
+//! Every entry file ends in a checksum line covering the whole body. An
+//! entry that fails the header, checksum, or row validation is **moved to
+//! a `quarantine/` subdirectory** (and counted in
+//! [`CacheStats::quarantined`]) instead of silently reading as a miss, so
+//! operators see rot instead of paying invisible recomputations. Injected
+//! IO faults ([`crate::journal::IoFault`] via
+//! [`ChaosHook::inject_io`]) exercise exactly these paths: a torn or
+//! failed write never renames a partial file into place, and a corrupted
+//! write is quarantined by the next read.
 
 use std::collections::{HashMap, VecDeque};
 use std::fs;
@@ -51,22 +65,29 @@ use hsgf_graph::NodeId;
 
 use crate::census::CensusConfig;
 use crate::hash::HashScheme;
+use crate::journal::{IoFault, IoOp};
 use crate::obs::{Metric, Obs};
 use crate::sequence::Encoding;
-use crate::supervisor::ExtractionPolicy;
+use crate::supervisor::{ChaosHook, ExtractionPolicy};
 
 /// Number of mutex-protected shards (same fan-out as [`crate::obs`]).
 pub const SHARD_COUNT: usize = 16;
 
 /// On-disk entry format version; folded into [`config_fingerprint`] so a
 /// format bump orphans (rather than misreads) old entries.
-pub const CACHE_FORMAT_VERSION: u32 = 1;
+pub const CACHE_FORMAT_VERSION: u32 = 2;
 
 /// Domain-separation seed for configuration fingerprints ("HSGF" ++ "CF").
 const CONFIG_SEED: u64 = 0x4853_4746_4346;
 
+/// Domain-separation seed for entry-body checksums ("HSGF" ++ "CE").
+const ENTRY_CHECKSUM_SEED: u64 = 0x4853_4746_4345;
+
 /// Header line of every on-disk entry.
-const ENTRY_HEADER: &str = "hsgf-census-cache 1";
+const ENTRY_HEADER: &str = "hsgf-census-cache 2";
+
+/// Subdirectory corrupt entry files are moved into.
+const QUARANTINE_DIR: &str = "quarantine";
 
 #[inline]
 fn fold(hash: u64, word: u64) -> u64 {
@@ -168,18 +189,18 @@ pub enum CachedOutcome {
         dmax: Option<u32>,
         /// Effective `emax` of the rung that succeeded.
         emax: usize,
-        /// Total attempts, including the one that succeeded.
-        attempts: u32,
+        /// 1-based degradation-ladder rung the result was produced at.
+        rung: u8,
     },
 }
 
 impl CachedOutcome {
-    /// The ladder level this outcome must be stored at: 0 for exact,
-    /// `attempts - 1` for degraded.
+    /// The ladder level this outcome must be stored at: 0 for exact, the
+    /// ladder rung for degraded.
     pub fn level(&self) -> u8 {
         match *self {
             CachedOutcome::Exact => 0,
-            CachedOutcome::Degraded { attempts, .. } => attempts.saturating_sub(1).min(255) as u8,
+            CachedOutcome::Degraded { rung, .. } => rung,
         }
     }
 }
@@ -206,6 +227,8 @@ pub struct CacheStats {
     pub evictions: u64,
     /// Entries written.
     pub stores: u64,
+    /// Corrupt disk entries moved into the `quarantine/` subdirectory.
+    pub quarantined: u64,
     /// Microseconds spent computing neighbourhood fingerprints.
     pub fingerprint_micros: u64,
 }
@@ -216,6 +239,7 @@ impl CacheStats {
         self.misses += other.misses;
         self.evictions += other.evictions;
         self.stores += other.stores;
+        self.quarantined += other.quarantined;
         self.fingerprint_micros += other.fingerprint_micros;
     }
 }
@@ -233,6 +257,7 @@ struct StatCells {
     misses: AtomicU64,
     evictions: AtomicU64,
     stores: AtomicU64,
+    quarantined: AtomicU64,
     fingerprint_micros: AtomicU64,
 }
 
@@ -244,6 +269,7 @@ pub struct CensusCache {
     cap: Option<usize>,
     stats: StatCells,
     obs: Obs,
+    io_chaos: Option<Arc<dyn ChaosHook + Send + Sync>>,
 }
 
 impl CensusCache {
@@ -256,6 +282,7 @@ impl CensusCache {
             cap: None,
             stats: StatCells::default(),
             obs: Obs::default(),
+            io_chaos: None,
         }
     }
 
@@ -288,9 +315,21 @@ impl CensusCache {
         self
     }
 
+    /// Attaches an IO chaos hook; [`ChaosHook::inject_io`] is consulted
+    /// before every disk-tier read and write, letting tests exercise the
+    /// torn-write / corruption / quarantine paths deterministically.
+    pub fn with_io_chaos(mut self, chaos: Arc<dyn ChaosHook + Send + Sync>) -> Self {
+        self.io_chaos = Some(chaos);
+        self
+    }
+
     /// The backing directory, when this cache has a disk tier.
     pub fn dir(&self) -> Option<&Path> {
         self.dir.as_deref()
+    }
+
+    fn inject_io(&self, op: IoOp) -> Option<IoFault> {
+        self.io_chaos.as_ref().and_then(|c| c.inject_io(op))
     }
 
     fn shard_cap(&self) -> Option<usize> {
@@ -323,12 +362,32 @@ impl CensusCache {
             }
         }
         if let Some(dir) = &self.dir {
-            if let Some(entry) = read_entry(&dir.join(key.file_name())) {
-                self.insert_memory(*key, Arc::new(entry.clone()));
-                return Some(entry);
+            let path = dir.join(key.file_name());
+            match read_entry(&path, self.inject_io(IoOp::CacheRead)) {
+                DiskRead::Hit(entry) => {
+                    self.insert_memory(*key, Arc::new(entry.clone()));
+                    return Some(entry);
+                }
+                DiskRead::Corrupt => self.quarantine(dir, &path),
+                DiskRead::Absent => {}
             }
         }
         None
+    }
+
+    /// Moves a corrupt entry file into the `quarantine/` subdirectory so
+    /// it is inspectable and never re-read. Failures are swallowed — a
+    /// file that cannot even be moved will keep reading as corrupt, which
+    /// is noisy but safe.
+    fn quarantine(&self, dir: &Path, path: &Path) {
+        let Some(name) = path.file_name() else { return };
+        let pen = dir.join(QUARANTINE_DIR);
+        if fs::create_dir_all(&pen).is_err() {
+            return;
+        }
+        if fs::rename(path, pen.join(name)).is_ok() {
+            self.stats.quarantined.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     pub(crate) fn note_hit(&self) {
@@ -347,7 +406,7 @@ impl CensusCache {
     pub fn store(&self, key: CacheKey, entry: &CacheEntry) {
         self.insert_memory(key, Arc::new(entry.clone()));
         if let Some(dir) = &self.dir {
-            let _ = write_entry(dir, &key, entry);
+            let _ = write_entry(dir, &key, entry, self.inject_io(IoOp::CacheWrite));
         }
         self.stats.stores.fetch_add(1, Ordering::Relaxed);
     }
@@ -403,6 +462,7 @@ impl CensusCache {
             misses: self.stats.misses.load(Ordering::Relaxed),
             evictions: self.stats.evictions.load(Ordering::Relaxed),
             stores: self.stats.stores.load(Ordering::Relaxed),
+            quarantined: self.stats.quarantined.load(Ordering::Relaxed),
             fingerprint_micros: self.stats.fingerprint_micros.load(Ordering::Relaxed),
         }
     }
@@ -416,6 +476,7 @@ impl CensusCache {
             misses: self.stats.misses.swap(0, Ordering::Relaxed),
             evictions: self.stats.evictions.swap(0, Ordering::Relaxed),
             stores: self.stats.stores.swap(0, Ordering::Relaxed),
+            quarantined: self.stats.quarantined.swap(0, Ordering::Relaxed),
             fingerprint_micros: self.stats.fingerprint_micros.swap(0, Ordering::Relaxed),
         };
         if let Some(dir) = &self.dir {
@@ -423,8 +484,13 @@ impl CensusCache {
             let mut total = read_stats_file(&path).unwrap_or_default();
             total.add(&delta);
             let body = format!(
-                "hits {}\nmisses {}\nevictions {}\nstores {}\nfingerprint_micros {}\n",
-                total.hits, total.misses, total.evictions, total.stores, total.fingerprint_micros
+                "hits {}\nmisses {}\nevictions {}\nstores {}\nquarantined {}\nfingerprint_micros {}\n",
+                total.hits,
+                total.misses,
+                total.evictions,
+                total.stores,
+                total.quarantined,
+                total.fingerprint_micros
             );
             atomic_write(dir, &path, body.as_bytes())?;
         }
@@ -434,9 +500,12 @@ impl CensusCache {
 
 /// Reads the persistent statistics and entry count of an on-disk cache
 /// directory: the accumulated [`CacheStats`] from `stats.txt` (zeroes when
-/// absent) plus the number of `.entry` files.
+/// absent) plus the number of live `.entry` files. The number of files
+/// sitting in `quarantine/` is folded into [`CacheStats::quarantined`]
+/// when it exceeds the flushed counter, so un-flushed quarantines still
+/// show up in `hsgf cache-stats`.
 pub fn read_dir_stats(dir: &Path) -> io::Result<(CacheStats, usize)> {
-    let stats = read_stats_file(&dir.join("stats.txt")).unwrap_or_default();
+    let mut stats = read_stats_file(&dir.join("stats.txt")).unwrap_or_default();
     let mut entries = 0;
     for item in fs::read_dir(dir)? {
         let item = item?;
@@ -444,6 +513,11 @@ pub fn read_dir_stats(dir: &Path) -> io::Result<(CacheStats, usize)> {
             entries += 1;
         }
     }
+    let mut penned = 0u64;
+    if let Ok(items) = fs::read_dir(dir.join(QUARANTINE_DIR)) {
+        penned = items.flatten().count() as u64;
+    }
+    stats.quarantined = stats.quarantined.max(penned);
     Ok((stats, entries))
 }
 
@@ -458,6 +532,7 @@ fn read_stats_file(path: &Path) -> Option<CacheStats> {
             "misses" => stats.misses = value,
             "evictions" => stats.evictions = value,
             "stores" => stats.stores = value,
+            "quarantined" => stats.quarantined = value,
             "fingerprint_micros" => stats.fingerprint_micros = value,
             _ => return None,
         }
@@ -474,18 +549,31 @@ fn atomic_write(dir: &Path, path: &Path, body: &[u8]) -> io::Result<()> {
     fs::rename(&tmp, path)
 }
 
-fn write_entry(dir: &Path, key: &CacheKey, entry: &CacheEntry) -> io::Result<()> {
+/// Checksum of an entry body (everything before the trailing `checksum`
+/// line): length-seeded splitmix fold over 8-byte chunks, zero-padded.
+fn entry_checksum(body: &[u8]) -> u64 {
+    let mut h = fold(ENTRY_CHECKSUM_SEED, body.len() as u64);
+    for chunk in body.chunks(8) {
+        let mut word = [0u8; 8];
+        word[..chunk.len()].copy_from_slice(chunk);
+        h = fold(h, u64::from_le_bytes(word));
+    }
+    h
+}
+
+fn write_entry(
+    dir: &Path,
+    key: &CacheKey,
+    entry: &CacheEntry,
+    fault: Option<IoFault>,
+) -> io::Result<()> {
     let mut body = String::from(ENTRY_HEADER);
     body.push('\n');
     match &entry.outcome {
         CachedOutcome::Exact => body.push_str("outcome exact\n"),
-        CachedOutcome::Degraded {
-            dmax,
-            emax,
-            attempts,
-        } => {
+        CachedOutcome::Degraded { dmax, emax, rung } => {
             let dmax = dmax.map_or_else(|| "-".to_string(), |d| d.to_string());
-            body.push_str(&format!("outcome degraded {dmax} {emax} {attempts}\n"));
+            body.push_str(&format!("outcome degraded {dmax} {emax} {rung}\n"));
         }
     }
     // Sort rows so the file bytes are deterministic for a given census.
@@ -498,13 +586,95 @@ fn write_entry(dir: &Path, key: &CacheKey, entry: &CacheEntry) -> io::Result<()>
             hex_encode(encoding.as_bytes())
         ));
     }
-    atomic_write(dir, &dir.join(key.file_name()), body.as_bytes())
+    let sum = entry_checksum(body.as_bytes());
+    body.push_str(&format!("checksum {sum:016x}\n"));
+    let mut bytes = body.into_bytes();
+    match fault {
+        // A torn or out-of-space write dies before the atomic rename, so
+        // no partial file ever becomes visible — the store is just lost.
+        Some(IoFault::TornWrite) => {
+            bytes.truncate(bytes.len() / 2);
+            let tmp = dir.join(format!(".torn-{}", std::process::id()));
+            let _ = fs::write(&tmp, &bytes);
+            let _ = fs::remove_file(&tmp);
+            return Err(io::Error::new(
+                io::ErrorKind::WriteZero,
+                "injected torn write",
+            ));
+        }
+        Some(IoFault::Enospc) => {
+            return Err(io::Error::new(
+                io::ErrorKind::StorageFull,
+                "injected ENOSPC",
+            ));
+        }
+        // Bit rot *after* the checksum was computed: the file lands whole
+        // but the next read quarantines it.
+        Some(IoFault::CorruptRecord) => {
+            let mid = bytes.len() / 2;
+            bytes[mid] ^= 0x01;
+        }
+        Some(IoFault::ShortRead) | None => {}
+    }
+    atomic_write(dir, &dir.join(key.file_name()), &bytes)
 }
 
-/// Parses one entry file; any malformed content reads as a miss (`None`).
-fn read_entry(path: &Path) -> Option<CacheEntry> {
-    let text = fs::read_to_string(path).ok()?;
-    let mut lines = text.lines();
+/// Outcome of probing the disk tier for one entry file.
+enum DiskRead {
+    /// Valid entry.
+    Hit(CacheEntry),
+    /// No file (or a transient short read) — a plain miss.
+    Absent,
+    /// A file exists but fails validation; the caller must quarantine it.
+    Corrupt,
+}
+
+/// Reads and validates one entry file. Header, checksum, outcome, and row
+/// validation failures all report [`DiskRead::Corrupt`]; an injected
+/// [`IoFault::ShortRead`] truncates the in-memory view and reads as a
+/// transient miss (the on-disk file is intact, so it is *not* quarantined).
+fn read_entry(path: &Path, fault: Option<IoFault>) -> DiskRead {
+    let Ok(mut text) = fs::read_to_string(path) else {
+        return DiskRead::Absent;
+    };
+    let mut transient = false;
+    match fault {
+        Some(IoFault::ShortRead) => {
+            let mut cut = text.len() / 2;
+            while !text.is_char_boundary(cut) {
+                cut -= 1;
+            }
+            text.truncate(cut);
+            transient = true;
+        }
+        Some(IoFault::CorruptRecord) => {
+            // Rot surfacing at read time: corrupt the view we validate, so
+            // the quarantine path runs even though the stored bytes were
+            // fine when written.
+            text.pop();
+            text.push('#');
+        }
+        _ => {}
+    }
+    match parse_entry(&text) {
+        Some(entry) => DiskRead::Hit(entry),
+        None if transient => DiskRead::Absent,
+        None => DiskRead::Corrupt,
+    }
+}
+
+/// Parses one checksummed entry body; `None` means malformed.
+fn parse_entry(text: &str) -> Option<CacheEntry> {
+    // Split off and verify the trailing checksum line first.
+    let trimmed = text.strip_suffix('\n')?;
+    let (body_end, checksum_line) = trimmed.rsplit_once('\n')?;
+    let sum_hex = checksum_line.strip_prefix("checksum ")?;
+    let sum = u64::from_str_radix(sum_hex, 16).ok()?;
+    let body = &text[..body_end.len() + 1];
+    if entry_checksum(body.as_bytes()) != sum {
+        return None;
+    }
+    let mut lines = body.lines();
     if lines.next()? != ENTRY_HEADER {
         return None;
     }
@@ -523,7 +693,7 @@ fn read_entry(path: &Path) -> Option<CacheEntry> {
             CachedOutcome::Degraded {
                 dmax,
                 emax: parts.next()?.parse().ok()?,
-                attempts: parts.next()?.parse().ok()?,
+                rung: parts.next()?.parse().ok()?,
             }
         }
         _ => return None,
@@ -622,7 +792,7 @@ mod tests {
             outcome: CachedOutcome::Degraded {
                 dmax: Some(8),
                 emax: 4,
-                attempts: 2,
+                rung: 1,
             },
         };
         {
@@ -673,18 +843,120 @@ mod tests {
     }
 
     #[test]
-    fn corrupt_entry_files_read_as_misses() {
+    fn corrupt_entry_files_are_quarantined() {
         let dir = temp_dir("corrupt");
         let cache = CensusCache::on_disk(&dir).unwrap();
         let k = key(5, 0);
         fs::write(dir.join(k.file_name()), "not a cache entry\n").unwrap();
         assert!(cache.lookup(&k).is_none());
-        fs::write(
-            dir.join(k.file_name()),
-            format!("{ENTRY_HEADER}\noutcome exact\nrow 0 ab 1\n"),
-        )
-        .unwrap();
+        // The corrupt file moved into quarantine/ and was counted.
+        assert!(!dir.join(k.file_name()).exists());
+        assert!(dir.join(QUARANTINE_DIR).join(k.file_name()).exists());
+        assert_eq!(cache.stats().quarantined, 1);
+        // Bit rot inside a structurally valid file fails the checksum.
+        let k2 = key(7, 0);
+        cache.store(k2, &entry(4));
+        let path = dir.join(k2.file_name());
+        let mut text = fs::read_to_string(&path).unwrap();
+        text = text.replacen("outcome exact", "outcome exalt", 1);
+        fs::write(&path, text).unwrap();
+        // Reconstruct so the memory tier does not mask the disk read.
+        let fresh = CensusCache::on_disk(&dir).unwrap();
+        assert!(fresh.lookup(&k2).is_none());
+        assert_eq!(fresh.stats().quarantined, 1);
+        // Quarantined files surface in read_dir_stats even without flush.
+        let (stats, entries) = read_dir_stats(&dir).unwrap();
+        assert_eq!(stats.quarantined, 2);
+        assert_eq!(entries, 0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    /// Injects one fault on the Nth call to a single op, like the
+    /// journal's tests.
+    struct FaultOnce {
+        op: IoOp,
+        at: u64,
+        fault: IoFault,
+        calls: AtomicU64,
+    }
+
+    impl FaultOnce {
+        fn new(op: IoOp, at: u64, fault: IoFault) -> Self {
+            FaultOnce {
+                op,
+                at,
+                fault,
+                calls: AtomicU64::new(0),
+            }
+        }
+    }
+
+    impl crate::supervisor::ChaosHook for FaultOnce {
+        fn inject(&self, _root: NodeId, _attempt: usize) -> Option<crate::census::CensusError> {
+            None
+        }
+
+        fn inject_io(&self, op: IoOp) -> Option<IoFault> {
+            if op != self.op {
+                return None;
+            }
+            let call = self.calls.fetch_add(1, Ordering::Relaxed) + 1;
+            (call == self.at).then_some(self.fault)
+        }
+    }
+
+    #[test]
+    fn injected_write_faults_never_publish_partial_entries() {
+        for fault in [IoFault::TornWrite, IoFault::Enospc] {
+            let dir = temp_dir(&format!("wfault-{fault:?}"));
+            let chaos = Arc::new(FaultOnce::new(IoOp::CacheWrite, 1, fault));
+            let cache = CensusCache::on_disk(&dir).unwrap().with_io_chaos(chaos);
+            let k = key(3, 0);
+            cache.store(k, &entry(9));
+            // The write died before the rename: no file, no quarantine.
+            assert!(!dir.join(k.file_name()).exists());
+            assert_eq!(cache.stats().quarantined, 0);
+            // A fresh instance (no memory tier) sees a plain miss.
+            let fresh = CensusCache::on_disk(&dir).unwrap();
+            assert!(fresh.lookup(&k).is_none());
+            // The next store (fault spent) lands normally.
+            cache.store(k, &entry(9));
+            let fresh = CensusCache::on_disk(&dir).unwrap();
+            assert_eq!(fresh.lookup(&k).unwrap().counts, entry(9).counts);
+            let _ = fs::remove_dir_all(&dir);
+        }
+    }
+
+    #[test]
+    fn corrupting_write_fault_is_quarantined_by_the_next_read() {
+        let dir = temp_dir("wcorrupt");
+        let chaos = Arc::new(FaultOnce::new(IoOp::CacheWrite, 1, IoFault::CorruptRecord));
+        let cache = CensusCache::on_disk(&dir).unwrap().with_io_chaos(chaos);
+        let k = key(4, 0);
+        cache.store(k, &entry(2));
+        assert!(dir.join(k.file_name()).exists());
+        let fresh = CensusCache::on_disk(&dir).unwrap();
+        assert!(fresh.lookup(&k).is_none());
+        assert_eq!(fresh.stats().quarantined, 1);
+        assert!(dir.join(QUARANTINE_DIR).join(k.file_name()).exists());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn short_read_fault_is_a_transient_miss_not_a_quarantine() {
+        let dir = temp_dir("shortread");
+        let k = key(6, 0);
+        {
+            let writer = CensusCache::on_disk(&dir).unwrap();
+            writer.store(k, &entry(5));
+        }
+        let chaos = Arc::new(FaultOnce::new(IoOp::CacheRead, 1, IoFault::ShortRead));
+        let cache = CensusCache::on_disk(&dir).unwrap().with_io_chaos(chaos);
         assert!(cache.lookup(&k).is_none());
+        assert_eq!(cache.stats().quarantined, 0);
+        assert!(dir.join(k.file_name()).exists());
+        // The file is intact, so the retry (fault spent) hits.
+        assert!(cache.lookup(&k).is_some());
         let _ = fs::remove_dir_all(&dir);
     }
 
@@ -743,7 +1015,7 @@ mod tests {
         let degraded = CachedOutcome::Degraded {
             dmax: Some(4),
             emax: 5,
-            attempts: 3,
+            rung: 2,
         };
         assert_eq!(degraded.level(), 2);
     }

@@ -1,0 +1,993 @@
+//! Crash-safe write-ahead journal for long extractions.
+//!
+//! A census over a large information network runs for hours; a process
+//! crash (OOM-kill, SIGKILL, power loss) must not discard every in-flight
+//! result. The journal write-ahead-logs each *completed* root outcome as
+//! an append-only stream of length-prefixed, checksummed records across
+//! rotating segment files, so a resumed run (`hsgf extract --journal DIR
+//! --resume`) replays every durably journaled root bit-identically and
+//! re-extracts only the remainder.
+//!
+//! # Record framing
+//!
+//! Each segment file starts with the 8-byte magic `HSGFWAL1` followed by a
+//! run-header record; every record is framed as
+//!
+//! ```text
+//! [u32 LE payload length][u64 LE checksum][payload]
+//! ```
+//!
+//! where the checksum is a SplitMix64 fold over the payload (seeded by its
+//! length). Recovery scans segments in order and stops at the first frame
+//! whose length or checksum does not verify: the file is truncated back to
+//! the last good record (a *torn tail*, the expected artifact of a crash
+//! mid-write) and any later segments are deleted. A committed record is
+//! therefore never silently altered — corruption costs at worst the tail
+//! of the stream, which the resumed run simply re-extracts.
+//!
+//! # Durability contract
+//!
+//! Appends are direct unbuffered `write(2)` calls with no `fsync`: a
+//! `kill -9` cannot lose an acknowledged append (the bytes live in the OS
+//! page cache), only full power loss can. That is the right trade for the
+//! target failure mode — restartable batch jobs — and keeps the journal's
+//! overhead on the extraction hot path in the low single digits.
+//!
+//! # What is journaled
+//!
+//! Only successful outcomes ([`JournaledOutcome::Exact`] and
+//! [`JournaledOutcome::Degraded`]) carry rows and are journaled. Failed or
+//! cancelled roots are *not* recorded: deterministic failures re-fail
+//! identically on resume, and transient ones deserve the retry. Appends
+//! are **commit-ordered** (root-list order, enforced by the supervisor's
+//! commit sink), not worker-completion-ordered, so the journal prefix is
+//! always a prefix of the root list regardless of scheduling.
+//!
+//! The run header pins the policy fingerprint, a whole-graph content
+//! fingerprint, and a hash of the root list; [`Journal::resume`] refuses a
+//! journal written for a different run instead of replaying wrong rows.
+
+use std::collections::HashMap;
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Seek, SeekFrom, Write as _};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use hsgf_graph::rng::splitmix64;
+use hsgf_graph::NodeId;
+
+use crate::sequence::Encoding;
+use crate::supervisor::ChaosHook;
+
+/// Segment-file magic: "HSGFWAL" plus the format generation.
+const MAGIC: &[u8; 8] = b"HSGFWAL1";
+
+/// Journal format version, embedded in every run header.
+pub const JOURNAL_VERSION: u32 = 1;
+
+/// Domain-separation seed for record checksums ("HSGF" ++ "WL").
+const CHECKSUM_SEED: u64 = 0x4853_4746_574C;
+
+/// Domain-separation seed for [`roots_hash`] ("HSGF" ++ "RH").
+const ROOTS_SEED: u64 = 0x4853_4746_5248;
+
+/// Sanity cap on a single record; anything larger is treated as a torn
+/// length prefix during recovery.
+const MAX_RECORD_BYTES: u32 = 1 << 30;
+
+/// Default segment size before rotation (8 MiB).
+const DEFAULT_SEGMENT_BYTES: u64 = 8 << 20;
+
+/// Record kind tags (first payload byte).
+const KIND_HEADER: u8 = 0;
+const KIND_ROOT: u8 = 1;
+
+/// A disk fault injected through [`ChaosHook::inject_io`]. The journal and
+/// the disk cache tier must survive every variant without panicking or
+/// corrupting a committed record — at worst a fault costs a retried write,
+/// a truncated tail, or a quarantined cache entry.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum IoFault {
+    /// Only a prefix of the frame reaches the file before the write is
+    /// interrupted (the classic crash-mid-write artifact).
+    TornWrite,
+    /// A read returns fewer bytes than the file holds.
+    ShortRead,
+    /// The device reports no space for the write.
+    Enospc,
+    /// The payload is silently altered after checksumming (disk rot).
+    CorruptRecord,
+}
+
+/// Which IO operation a [`ChaosHook`] is being consulted for.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum IoOp {
+    /// Appending a record to the extraction journal.
+    JournalWrite,
+    /// Reading a journal segment during recovery.
+    JournalRead,
+    /// Writing a disk-cache entry file.
+    CacheWrite,
+    /// Reading a disk-cache entry file.
+    CacheRead,
+}
+
+/// Run identity pinned in every segment's header record. [`Journal::resume`]
+/// refuses to replay a journal whose header does not match the current run.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct JournalHeader {
+    /// The extraction's config + policy fingerprint
+    /// (see `cache::policy_fingerprint`).
+    pub config: u64,
+    /// Whole-graph content fingerprint
+    /// (see `hsgf_graph::fingerprint::graph_fingerprint`).
+    pub graph: u64,
+    /// Hash of the ordered root list (see [`roots_hash`]).
+    pub roots: u64,
+}
+
+/// The successful outcome of one journaled root. Mirrors the supervisor's
+/// `RootOutcome` success variants without dragging in its error type;
+/// failed/cancelled roots are never journaled.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum JournaledOutcome {
+    /// Full-fidelity census (possibly after retries).
+    Exact {
+        /// Total census attempts spent on the root (1 = clean first try).
+        attempts: u32,
+    },
+    /// Census under a degraded configuration.
+    Degraded {
+        /// The hub cutoff in force, if any.
+        dmax: Option<u32>,
+        /// The edge bound in force.
+        emax: usize,
+        /// Degrade-ladder rung (1-based distance from the full-fidelity
+        /// configuration).
+        rung: u8,
+        /// Total census attempts spent on the root.
+        attempts: u32,
+    },
+}
+
+/// One durably journaled root: its outcome and full encoding census.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RootRecord {
+    /// Raw id of the journaled root.
+    pub root: u32,
+    /// How the census concluded.
+    pub outcome: JournaledOutcome,
+    /// The root's complete census, replayed verbatim on resume.
+    pub counts: HashMap<Encoding, u64>,
+}
+
+/// What [`Journal::resume`] recovered from disk.
+#[derive(Debug, Default)]
+pub struct RecoveryReport {
+    /// Every durably journaled root, in journal order.
+    pub records: Vec<RootRecord>,
+    /// Torn tails truncated (and trailing segments discarded) during the
+    /// scan. 0 or 1 per resume; >1 never occurs because scanning stops at
+    /// the first bad frame.
+    pub truncated_tails: u64,
+    /// Segment files that survived recovery.
+    pub segments: u32,
+}
+
+/// Hash of an ordered root list, for the journal run header. Order matters:
+/// replay maps journal records back onto list positions.
+pub fn roots_hash(roots: &[NodeId]) -> u64 {
+    let mut hash = fold(ROOTS_SEED, roots.len() as u64);
+    for &root in roots {
+        hash = fold(hash, root.raw() as u64);
+    }
+    hash
+}
+
+#[inline]
+fn fold(hash: u64, word: u64) -> u64 {
+    let mut state = hash ^ word.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    splitmix64(&mut state)
+}
+
+/// Frame checksum: a SplitMix64 fold over the payload length and its
+/// zero-padded 8-byte chunks. Not cryptographic — it detects torn writes
+/// and rot, not adversaries.
+fn checksum(payload: &[u8]) -> u64 {
+    let mut hash = fold(CHECKSUM_SEED, payload.len() as u64);
+    for chunk in payload.chunks(8) {
+        let mut word = [0u8; 8];
+        word[..chunk.len()].copy_from_slice(chunk);
+        hash = fold(hash, u64::from_le_bytes(word));
+    }
+    hash
+}
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Cursor-style reader over a payload; all failures collapse to `None`,
+/// which recovery treats as a torn/corrupt record.
+struct Take<'a> {
+    bytes: &'a [u8],
+}
+
+impl<'a> Take<'a> {
+    fn u8(&mut self) -> Option<u8> {
+        let (&b, rest) = self.bytes.split_first()?;
+        self.bytes = rest;
+        Some(b)
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        let (head, rest) = self.bytes.split_at_checked(4)?;
+        self.bytes = rest;
+        Some(u32::from_le_bytes(head.try_into().ok()?))
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        let (head, rest) = self.bytes.split_at_checked(8)?;
+        self.bytes = rest;
+        Some(u64::from_le_bytes(head.try_into().ok()?))
+    }
+
+    fn bytes(&mut self, n: usize) -> Option<&'a [u8]> {
+        let (head, rest) = self.bytes.split_at_checked(n)?;
+        self.bytes = rest;
+        Some(head)
+    }
+
+    fn done(&self) -> bool {
+        self.bytes.is_empty()
+    }
+}
+
+fn encode_header(header: &JournalHeader) -> Vec<u8> {
+    let mut buf = vec![KIND_HEADER];
+    put_u32(&mut buf, JOURNAL_VERSION);
+    put_u64(&mut buf, header.config);
+    put_u64(&mut buf, header.graph);
+    put_u64(&mut buf, header.roots);
+    buf
+}
+
+fn decode_header(payload: &[u8]) -> Option<(u32, JournalHeader)> {
+    let mut take = Take { bytes: payload };
+    if take.u8()? != KIND_HEADER {
+        return None;
+    }
+    let version = take.u32()?;
+    let header = JournalHeader {
+        config: take.u64()?,
+        graph: take.u64()?,
+        roots: take.u64()?,
+    };
+    take.done().then_some((version, header))
+}
+
+/// Serializes one root record. Rows are emitted in `Encoding` order so the
+/// byte stream is a pure function of the census, independent of hash-map
+/// iteration order.
+pub(crate) fn encode_root_record(record: &RootRecord) -> Vec<u8> {
+    encode_root_payload(record.root, &record.outcome, &record.counts)
+}
+
+/// [`encode_root_record`] over borrowed parts, so the supervisor's commit
+/// sink serializes without cloning the census map into a [`RootRecord`].
+pub(crate) fn encode_root_payload(
+    root: u32,
+    outcome: &JournaledOutcome,
+    counts: &HashMap<Encoding, u64>,
+) -> Vec<u8> {
+    let mut buf = vec![KIND_ROOT];
+    put_u32(&mut buf, root);
+    match outcome {
+        JournaledOutcome::Exact { attempts } => {
+            buf.push(0);
+            put_u32(&mut buf, *attempts);
+        }
+        JournaledOutcome::Degraded {
+            dmax,
+            emax,
+            rung,
+            attempts,
+        } => {
+            buf.push(1);
+            put_u32(&mut buf, *attempts);
+            buf.push(dmax.is_some() as u8);
+            put_u32(&mut buf, dmax.unwrap_or(0));
+            put_u32(&mut buf, *emax as u32);
+            buf.push(*rung);
+        }
+    }
+    let mut rows: Vec<(&Encoding, &u64)> = counts.iter().collect();
+    rows.sort_unstable_by_key(|(encoding, _)| *encoding);
+    put_u32(&mut buf, rows.len() as u32);
+    for (encoding, &count) in rows {
+        let bytes = encoding.as_bytes();
+        buf.push(1 + encoding.label_count() as u8);
+        put_u32(&mut buf, bytes.len() as u32);
+        buf.extend_from_slice(bytes);
+        put_u64(&mut buf, count);
+    }
+    buf
+}
+
+fn decode_root_record(payload: &[u8]) -> Option<RootRecord> {
+    let mut take = Take { bytes: payload };
+    if take.u8()? != KIND_ROOT {
+        return None;
+    }
+    let root = take.u32()?;
+    let outcome = match take.u8()? {
+        0 => JournaledOutcome::Exact {
+            attempts: take.u32()?,
+        },
+        1 => {
+            let attempts = take.u32()?;
+            let has_dmax = take.u8()? != 0;
+            let dmax = take.u32()?;
+            let emax = take.u32()? as usize;
+            let rung = take.u8()?;
+            JournaledOutcome::Degraded {
+                dmax: has_dmax.then_some(dmax),
+                emax,
+                rung,
+                attempts,
+            }
+        }
+        _ => return None,
+    };
+    let nrows = take.u32()?;
+    let mut counts = HashMap::with_capacity(nrows as usize);
+    for _ in 0..nrows {
+        let row_len = take.u8()?;
+        let nbytes = take.u32()? as usize;
+        if row_len == 0 || nbytes % row_len as usize != 0 {
+            return None;
+        }
+        let bytes = take.bytes(nbytes)?.to_vec();
+        let count = take.u64()?;
+        counts.insert(Encoding::from_unsorted_rows(bytes, row_len), count);
+    }
+    take.done().then_some(RootRecord {
+        root,
+        outcome,
+        counts,
+    })
+}
+
+fn frame(payload: &[u8]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(12 + payload.len());
+    put_u32(&mut buf, payload.len() as u32);
+    put_u64(&mut buf, checksum(payload));
+    buf.extend_from_slice(payload);
+    buf
+}
+
+fn segment_path(dir: &Path, index: u32) -> PathBuf {
+    dir.join(format!("segment-{index:06}.wal"))
+}
+
+/// Sorted indices of every `segment-*.wal` in `dir`.
+fn list_segments(dir: &Path) -> io::Result<Vec<u32>> {
+    let mut indices = Vec::new();
+    let entries = match fs::read_dir(dir) {
+        Ok(entries) => entries,
+        Err(err) if err.kind() == io::ErrorKind::NotFound => return Ok(indices),
+        Err(err) => return Err(err),
+    };
+    for entry in entries {
+        let name = entry?.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if let Some(index) = name
+            .strip_prefix("segment-")
+            .and_then(|rest| rest.strip_suffix(".wal"))
+            .and_then(|digits| digits.parse::<u32>().ok())
+        {
+            indices.push(index);
+        }
+    }
+    indices.sort_unstable();
+    Ok(indices)
+}
+
+#[derive(Debug)]
+struct Writer {
+    file: File,
+    index: u32,
+    offset: u64,
+}
+
+/// The write-ahead journal of one extraction run. Safe to share across
+/// worker threads; appends serialize on an internal mutex (the supervisor's
+/// commit sink already orders them).
+#[derive(Debug)]
+pub struct Journal {
+    dir: PathBuf,
+    segment_bytes: u64,
+    /// `MAGIC` plus the framed run-header record — the prologue of every
+    /// segment, rewritten on rotation.
+    prologue: Vec<u8>,
+    writer: Mutex<Writer>,
+}
+
+impl Journal {
+    /// Starts a fresh journal in `dir`, discarding any existing segments.
+    pub fn create(dir: &Path, header: &JournalHeader) -> io::Result<Journal> {
+        fs::create_dir_all(dir)?;
+        for index in list_segments(dir)? {
+            fs::remove_file(segment_path(dir, index))?;
+        }
+        let prologue = prologue(header);
+        let (file, offset) = new_segment(dir, 0, &prologue)?;
+        Ok(Journal {
+            dir: dir.to_path_buf(),
+            segment_bytes: DEFAULT_SEGMENT_BYTES,
+            prologue,
+            writer: Mutex::new(Writer {
+                file,
+                index: 0,
+                offset,
+            }),
+        })
+    }
+
+    /// Lowers the rotation threshold (tests exercise rotation without
+    /// writing megabytes). Applies to subsequent appends.
+    pub fn with_segment_bytes(mut self, bytes: u64) -> Journal {
+        self.segment_bytes = bytes.max(self.prologue.len() as u64 + 1);
+        self
+    }
+
+    /// Recovers a journal from `dir`: scans segments in order, truncates a
+    /// torn tail back to the last committed record, and returns every
+    /// durable [`RootRecord`] for replay. An empty or missing directory
+    /// behaves like [`Journal::create`] (the original run may have been
+    /// killed before its first append).
+    ///
+    /// # Errors
+    ///
+    /// Besides IO failures, returns [`io::ErrorKind::InvalidData`] when the
+    /// journal's run header does not match `header` — the journal belongs
+    /// to a different graph, policy, or root list, and replaying it would
+    /// silently produce wrong rows.
+    pub fn resume(
+        dir: &Path,
+        header: &JournalHeader,
+        chaos: Option<&dyn ChaosHook>,
+    ) -> io::Result<(Journal, RecoveryReport)> {
+        fs::create_dir_all(dir)?;
+        let segments = list_segments(dir)?;
+        let mut report = RecoveryReport::default();
+        let mut tail: Option<(u32, u64)> = None; // surviving tail segment
+        let mut stop = false;
+        for (slot, &index) in segments.iter().enumerate() {
+            // A gap in segment numbering means the later files are stale
+            // leftovers from some earlier run; drop them.
+            let contiguous = slot as u32 == index - segments[0];
+            if stop || !contiguous || segments[0] != 0 {
+                fs::remove_file(segment_path(dir, index))?;
+                continue;
+            }
+            let path = segment_path(dir, index);
+            let mut bytes = fs::read(&path)?;
+            match chaos.and_then(|c| c.inject_io(IoOp::JournalRead)) {
+                Some(IoFault::ShortRead) => bytes.truncate(bytes.len() / 2),
+                Some(IoFault::CorruptRecord) => {
+                    if let Some(byte) = bytes.last_mut() {
+                        *byte ^= 0xFF;
+                    }
+                }
+                _ => {}
+            }
+            match scan_segment(&bytes, header)? {
+                Scan::Clean { records, end } => {
+                    report.records.extend(records);
+                    report.segments += 1;
+                    tail = Some((index, end));
+                }
+                Scan::Torn { records, end } => {
+                    report.records.extend(records);
+                    report.truncated_tails += 1;
+                    if end > MAGIC.len() as u64 {
+                        // Keep the good prefix: truncate the torn tail.
+                        let file = OpenOptions::new().write(true).open(&path)?;
+                        file.set_len(end)?;
+                        report.segments += 1;
+                        tail = Some((index, end));
+                    } else {
+                        // Not even a verifiable header survived: the
+                        // whole segment is garbage.
+                        fs::remove_file(&path)?;
+                    }
+                    stop = true;
+                }
+            }
+        }
+        let prologue = prologue(header);
+        let writer = match tail {
+            Some((index, offset)) => {
+                let mut file = OpenOptions::new()
+                    .read(true)
+                    .write(true)
+                    .open(segment_path(dir, index))?;
+                file.seek(SeekFrom::End(0))?;
+                Writer {
+                    file,
+                    index,
+                    offset,
+                }
+            }
+            None => {
+                let (file, offset) = new_segment(dir, 0, &prologue)?;
+                Writer {
+                    file,
+                    index: 0,
+                    offset,
+                }
+            }
+        };
+        Ok((
+            Journal {
+                dir: dir.to_path_buf(),
+                segment_bytes: DEFAULT_SEGMENT_BYTES,
+                prologue,
+                writer: Mutex::new(writer),
+            },
+            report,
+        ))
+    }
+
+    /// Appends one root record. Injected faults are absorbed here:
+    /// `TornWrite` truncates back and rewrites, `Enospc` rotates to a fresh
+    /// segment and retries, `CorruptRecord` lands rot that recovery later
+    /// truncates. No fault corrupts a previously committed record.
+    pub fn append(&self, record: &RootRecord, chaos: Option<&dyn ChaosHook>) -> io::Result<()> {
+        self.append_payload(&encode_root_record(record), chaos)
+    }
+
+    pub(crate) fn append_payload(
+        &self,
+        payload: &[u8],
+        chaos: Option<&dyn ChaosHook>,
+    ) -> io::Result<()> {
+        let mut frame = frame(payload);
+        let fault = chaos.and_then(|c| c.inject_io(IoOp::JournalWrite));
+        let mut writer = self.writer.lock().expect("journal writer poisoned");
+        if writer.offset >= self.segment_bytes || fault == Some(IoFault::Enospc) {
+            // The current segment is (or pretends to be) full; rotation
+            // gives the write a fresh device extent.
+            self.rotate(&mut writer)?;
+        }
+        match fault {
+            Some(IoFault::TornWrite) => {
+                // Simulate the interrupted write, then repair it the way a
+                // real writer would: truncate back to the committed prefix
+                // and rewrite the whole frame.
+                writer.file.write_all(&frame[..frame.len() / 2])?;
+                writer.file.set_len(writer.offset)?;
+                let offset = writer.offset;
+                writer.file.seek(SeekFrom::Start(offset))?;
+                writer.file.write_all(&frame)?;
+            }
+            Some(IoFault::CorruptRecord) => {
+                // Rot after checksumming: committed bytes differ from the
+                // checksum, so recovery truncates this record away.
+                let last = frame.len() - 1;
+                frame[last] ^= 0xFF;
+                writer.file.write_all(&frame)?;
+            }
+            _ => writer.file.write_all(&frame)?,
+        }
+        writer.offset += frame.len() as u64;
+        Ok(())
+    }
+
+    fn rotate(&self, writer: &mut Writer) -> io::Result<()> {
+        let index = writer.index + 1;
+        let (file, offset) = new_segment(&self.dir, index, &self.prologue)?;
+        writer.file = file;
+        writer.index = index;
+        writer.offset = offset;
+        Ok(())
+    }
+
+    /// The journal directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+}
+
+fn prologue(header: &JournalHeader) -> Vec<u8> {
+    let mut buf = MAGIC.to_vec();
+    buf.extend_from_slice(&frame(&encode_header(header)));
+    buf
+}
+
+/// Creates `segment-INDEX.wal` atomically (tmp + rename) so a crash during
+/// rotation never leaves a half-written prologue under the real name.
+fn new_segment(dir: &Path, index: u32, prologue: &[u8]) -> io::Result<(File, u64)> {
+    let tmp = dir.join(format!(".segment-{index:06}.tmp-{}", std::process::id()));
+    fs::write(&tmp, prologue)?;
+    let path = segment_path(dir, index);
+    fs::rename(&tmp, &path)?;
+    let mut file = OpenOptions::new().read(true).write(true).open(&path)?;
+    file.seek(SeekFrom::End(0))?;
+    Ok((file, prologue.len() as u64))
+}
+
+enum Scan {
+    /// Every frame verified; `end` is the file length.
+    Clean { records: Vec<RootRecord>, end: u64 },
+    /// A frame failed to verify; `end` is the offset of the last good byte.
+    Torn { records: Vec<RootRecord>, end: u64 },
+}
+
+/// Walks one segment's bytes. Returns `Err` only for a header that
+/// *verifies* but belongs to a different run; torn/corrupt frames are data,
+/// not errors.
+fn scan_segment(bytes: &[u8], expected: &JournalHeader) -> io::Result<Scan> {
+    let mut records = Vec::new();
+    if bytes.len() < MAGIC.len() || &bytes[..MAGIC.len()] != MAGIC {
+        return Ok(Scan::Torn { records, end: 0 });
+    }
+    let mut offset = MAGIC.len();
+    let mut saw_header = false;
+    loop {
+        let rest = &bytes[offset..];
+        if rest.is_empty() {
+            break;
+        }
+        let Some(payload) = verify_frame(rest) else {
+            return Ok(Scan::Torn {
+                records,
+                end: if saw_header { offset as u64 } else { 0 },
+            });
+        };
+        if !saw_header {
+            match decode_header(payload) {
+                Some((version, header)) if version == JOURNAL_VERSION && header == *expected => {
+                    saw_header = true;
+                }
+                Some(_) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        "journal was written by a different run \
+                         (graph, policy, or root list changed); \
+                         remove the journal directory to start over",
+                    ));
+                }
+                None => {
+                    return Ok(Scan::Torn { records, end: 0 });
+                }
+            }
+        } else {
+            match decode_root_record(payload) {
+                Some(record) => records.push(record),
+                // Checksum passed but the payload is malformed: treat as
+                // torn rather than replaying garbage.
+                None => {
+                    return Ok(Scan::Torn {
+                        records,
+                        end: offset as u64,
+                    });
+                }
+            }
+        }
+        offset += 12 + payload.len();
+    }
+    Ok(Scan::Clean {
+        records,
+        end: offset as u64,
+    })
+}
+
+/// Verifies one frame at the head of `bytes`; `None` on any torn or
+/// corrupt framing.
+fn verify_frame(bytes: &[u8]) -> Option<&[u8]> {
+    let mut take = Take { bytes };
+    let len = take.u32()?;
+    if len > MAX_RECORD_BYTES {
+        return None;
+    }
+    let expected = take.u64()?;
+    let payload = take.bytes(len as usize)?;
+    (checksum(payload) == expected).then_some(payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("hsgf-journal-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn header() -> JournalHeader {
+        JournalHeader {
+            config: 11,
+            graph: 22,
+            roots: 33,
+        }
+    }
+
+    fn record(root: u32) -> RootRecord {
+        let mut counts = HashMap::new();
+        for i in 0..3u8 {
+            let enc = Encoding::from_unsorted_rows(vec![root as u8, i, 1, 0, 2, i], 3);
+            counts.insert(enc, root as u64 * 10 + i as u64);
+        }
+        RootRecord {
+            root,
+            outcome: if root % 2 == 0 {
+                JournaledOutcome::Exact { attempts: 1 }
+            } else {
+                JournaledOutcome::Degraded {
+                    dmax: Some(16),
+                    emax: 3,
+                    rung: 1,
+                    attempts: 2,
+                }
+            },
+            counts,
+        }
+    }
+
+    /// Injects one fault on the nth consultation of one op.
+    struct FaultOnce {
+        op: IoOp,
+        at: u64,
+        fault: IoFault,
+        calls: AtomicU64,
+    }
+
+    impl FaultOnce {
+        fn new(op: IoOp, at: u64, fault: IoFault) -> Self {
+            FaultOnce {
+                op,
+                at,
+                fault,
+                calls: AtomicU64::new(0),
+            }
+        }
+    }
+
+    impl ChaosHook for FaultOnce {
+        fn inject(&self, _root: NodeId, _attempt: usize) -> Option<crate::census::CensusError> {
+            None
+        }
+
+        fn inject_io(&self, op: IoOp) -> Option<IoFault> {
+            if op != self.op {
+                return None;
+            }
+            (self.calls.fetch_add(1, Ordering::Relaxed) + 1 == self.at).then_some(self.fault)
+        }
+    }
+
+    #[test]
+    fn root_record_round_trips() {
+        for root in 0..6 {
+            let original = record(root);
+            let decoded = decode_root_record(&encode_root_record(&original)).unwrap();
+            assert_eq!(decoded, original);
+        }
+    }
+
+    #[test]
+    fn create_append_resume_round_trips() {
+        let dir = temp_dir("roundtrip");
+        let journal = Journal::create(&dir, &header()).unwrap();
+        for root in 0..10 {
+            journal.append(&record(root), None).unwrap();
+        }
+        drop(journal);
+        let (_journal, report) = Journal::resume(&dir, &header(), None).unwrap();
+        assert_eq!(report.truncated_tails, 0);
+        assert_eq!(report.records.len(), 10);
+        for (i, rec) in report.records.iter().enumerate() {
+            assert_eq!(*rec, record(i as u32));
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn resume_continues_appending_after_recovery() {
+        let dir = temp_dir("continue");
+        let journal = Journal::create(&dir, &header()).unwrap();
+        journal.append(&record(0), None).unwrap();
+        drop(journal);
+        let (journal, report) = Journal::resume(&dir, &header(), None).unwrap();
+        assert_eq!(report.records.len(), 1);
+        journal.append(&record(1), None).unwrap();
+        drop(journal);
+        let (_journal, report) = Journal::resume(&dir, &header(), None).unwrap();
+        assert_eq!(report.records.len(), 2);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_not_fatal() {
+        let dir = temp_dir("torn");
+        let journal = Journal::create(&dir, &header()).unwrap();
+        for root in 0..5 {
+            journal.append(&record(root), None).unwrap();
+        }
+        drop(journal);
+        // Chop bytes off the tail: the last record is torn.
+        let path = segment_path(&dir, 0);
+        let len = fs::metadata(&path).unwrap().len();
+        OpenOptions::new()
+            .write(true)
+            .open(&path)
+            .unwrap()
+            .set_len(len - 7)
+            .unwrap();
+        let (journal, report) = Journal::resume(&dir, &header(), None).unwrap();
+        assert_eq!(report.truncated_tails, 1);
+        assert_eq!(report.records.len(), 4, "only the torn record is lost");
+        // The truncated journal accepts appends and recovers cleanly.
+        journal.append(&record(4), None).unwrap();
+        drop(journal);
+        let (_journal, report) = Journal::resume(&dir, &header(), None).unwrap();
+        assert_eq!(report.truncated_tails, 0);
+        assert_eq!(report.records.len(), 5);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn header_mismatch_refuses_resume() {
+        let dir = temp_dir("mismatch");
+        let journal = Journal::create(&dir, &header()).unwrap();
+        journal.append(&record(0), None).unwrap();
+        drop(journal);
+        let other = JournalHeader {
+            graph: 99,
+            ..header()
+        };
+        let err = Journal::resume(&dir, &other, None).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_directory_resumes_as_fresh() {
+        let dir = temp_dir("fresh");
+        let (journal, report) = Journal::resume(&dir, &header(), None).unwrap();
+        assert_eq!(report.records.len(), 0);
+        assert_eq!(report.truncated_tails, 0);
+        journal.append(&record(0), None).unwrap();
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn rotation_splits_segments_and_replays_across_them() {
+        let dir = temp_dir("rotate");
+        let journal = Journal::create(&dir, &header())
+            .unwrap()
+            .with_segment_bytes(256);
+        for root in 0..20 {
+            journal.append(&record(root), None).unwrap();
+        }
+        drop(journal);
+        let segments = list_segments(&dir).unwrap();
+        assert!(segments.len() > 1, "expected rotation, got {segments:?}");
+        let (_journal, report) = Journal::resume(&dir, &header(), None).unwrap();
+        assert_eq!(report.records.len(), 20);
+        assert_eq!(report.segments, segments.len() as u32);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_mid_stream_drops_later_segments() {
+        let dir = temp_dir("midtorn");
+        let journal = Journal::create(&dir, &header())
+            .unwrap()
+            .with_segment_bytes(256);
+        for root in 0..20 {
+            journal.append(&record(root), None).unwrap();
+        }
+        drop(journal);
+        let segments = list_segments(&dir).unwrap();
+        assert!(segments.len() > 2);
+        // Corrupt a byte in the middle of the *first* segment's last record.
+        let path = segment_path(&dir, 0);
+        let mut bytes = fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        fs::write(&path, &bytes).unwrap();
+        let (_journal, report) = Journal::resume(&dir, &header(), None).unwrap();
+        assert_eq!(report.truncated_tails, 1);
+        assert!(report.records.len() < 20);
+        assert_eq!(list_segments(&dir).unwrap(), vec![0]);
+        // Replayed prefix is intact and in order.
+        for (i, rec) in report.records.iter().enumerate() {
+            assert_eq!(*rec, record(i as u32));
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_write_fault_is_repaired_in_place() {
+        let dir = temp_dir("tornwrite");
+        let chaos = FaultOnce::new(IoOp::JournalWrite, 2, IoFault::TornWrite);
+        let journal = Journal::create(&dir, &header()).unwrap();
+        for root in 0..4 {
+            journal.append(&record(root), Some(&chaos)).unwrap();
+        }
+        drop(journal);
+        let (_journal, report) = Journal::resume(&dir, &header(), None).unwrap();
+        assert_eq!(report.truncated_tails, 0, "repair must leave no tear");
+        assert_eq!(report.records.len(), 4);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn enospc_fault_rotates_and_retries() {
+        let dir = temp_dir("enospc");
+        let chaos = FaultOnce::new(IoOp::JournalWrite, 2, IoFault::Enospc);
+        let journal = Journal::create(&dir, &header()).unwrap();
+        for root in 0..4 {
+            journal.append(&record(root), Some(&chaos)).unwrap();
+        }
+        drop(journal);
+        assert_eq!(list_segments(&dir).unwrap(), vec![0, 1]);
+        let (_journal, report) = Journal::resume(&dir, &header(), None).unwrap();
+        assert_eq!(report.records.len(), 4);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_record_fault_costs_only_the_tail() {
+        let dir = temp_dir("rot");
+        let chaos = FaultOnce::new(IoOp::JournalWrite, 4, IoFault::CorruptRecord);
+        let journal = Journal::create(&dir, &header()).unwrap();
+        for root in 0..4 {
+            journal.append(&record(root), Some(&chaos)).unwrap();
+        }
+        drop(journal);
+        let (_journal, report) = Journal::resume(&dir, &header(), None).unwrap();
+        assert_eq!(report.truncated_tails, 1);
+        assert_eq!(report.records.len(), 3, "rotted record truncated away");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn short_read_fault_truncates_but_replays_a_prefix() {
+        let dir = temp_dir("shortread");
+        let journal = Journal::create(&dir, &header()).unwrap();
+        for root in 0..8 {
+            journal.append(&record(root), None).unwrap();
+        }
+        drop(journal);
+        let chaos = FaultOnce::new(IoOp::JournalRead, 1, IoFault::ShortRead);
+        let (_journal, report) = Journal::resume(&dir, &header(), Some(&chaos)).unwrap();
+        assert_eq!(report.truncated_tails, 1);
+        assert!(report.records.len() < 8);
+        for (i, rec) in report.records.iter().enumerate() {
+            assert_eq!(rec.root, i as u32, "prefix must stay ordered");
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn roots_hash_is_order_sensitive() {
+        let a = [NodeId::new(1), NodeId::new(2)];
+        let b = [NodeId::new(2), NodeId::new(1)];
+        assert_ne!(roots_hash(&a), roots_hash(&b));
+        assert_eq!(
+            roots_hash(&a),
+            roots_hash(&[NodeId::new(1), NodeId::new(2)])
+        );
+    }
+}

@@ -53,6 +53,9 @@
 //!   `emax`), and per-root outcome reporting.
 //! * [`cache`] — the sharded per-root census cache keyed by neighbourhood
 //!   content fingerprints; entries self-invalidate under graph edits.
+//! * [`journal`] — the crash-safe write-ahead journal of completed root
+//!   outcomes; a killed extraction resumes by replaying durable records
+//!   bit-identically and re-extracting only the remainder.
 //! * [`small`] / [`enumerate`] — exact isomorphism and exhaustive
 //!   enumeration machinery used to *validate* the encoding and reproduce
 //!   the collision bounds of §3.1 (experiment E1).
@@ -68,6 +71,7 @@ pub mod enumerate;
 pub mod export;
 pub mod features;
 pub mod hash;
+pub mod journal;
 pub mod json;
 pub mod obs;
 pub mod parallel;
@@ -79,7 +83,7 @@ pub mod small;
 pub mod steal;
 pub mod supervisor;
 
-pub use budget::{BudgetKind, CancelToken, CensusBudget, SharedBudget};
+pub use budget::{BudgetKind, CancelToken, CensusBudget, RetryPolicy, SharedBudget};
 pub use cache::{
     config_fingerprint, policy_fingerprint, CacheEntry, CacheKey, CacheStats, CachedOutcome,
     CensusCache,
@@ -94,8 +98,11 @@ pub use enumerate::{
 };
 pub use features::{FeatureMatrix, FeatureSpace};
 pub use hash::LabelBases;
+pub use journal::{IoFault, IoOp, Journal, JournalHeader, JournaledOutcome, RootRecord};
 pub use obs::{CensusCounters, Metric, MetricsSnapshot, Obs};
 pub use sequence::Encoding;
 pub use small::SmallGraph;
 pub use steal::{SchedulerKind, StealStats};
-pub use supervisor::{ChaosHook, ExtractionPolicy, PartialExtraction, RootOutcome, Supervisor};
+pub use supervisor::{
+    ChaosHook, ExtractionPolicy, PartialExtraction, RootOutcome, ScheduledIoChaos, Supervisor,
+};

@@ -119,11 +119,21 @@ pub enum Metric {
     /// Microseconds spent computing neighbourhood fingerprints for cache
     /// keys. Runtime (wall-clock).
     CacheFingerprintMicros,
+    /// Root records durably appended to the extraction journal. Runtime:
+    /// depends on how far the previous run got before dying.
+    JournalAppends,
+    /// Roots replayed from the journal instead of re-extracted. Runtime.
+    JournalReplays,
+    /// Torn journal tails truncated during recovery. Runtime.
+    JournalTruncatedTails,
+    /// Transient-failure retries spent by the supervisor. Runtime:
+    /// transient faults are scheduling-dependent by definition.
+    RetryAttempts,
 }
 
 impl Metric {
     /// Number of metrics (the length of a [`CounterSet`]).
-    pub const COUNT: usize = 24;
+    pub const COUNT: usize = 28;
 
     /// Every metric, in declaration (and JSON emission) order.
     pub const ALL: [Metric; Metric::COUNT] = [
@@ -151,6 +161,10 @@ impl Metric {
         Metric::CacheMisses,
         Metric::CacheEvictions,
         Metric::CacheFingerprintMicros,
+        Metric::JournalAppends,
+        Metric::JournalReplays,
+        Metric::JournalTruncatedTails,
+        Metric::RetryAttempts,
     ];
 
     /// The metric's snake_case name, used as its JSON key.
@@ -180,6 +194,10 @@ impl Metric {
             Metric::CacheMisses => "cache_misses",
             Metric::CacheEvictions => "cache_evictions",
             Metric::CacheFingerprintMicros => "cache_fingerprint_micros",
+            Metric::JournalAppends => "journal_appends",
+            Metric::JournalReplays => "journal_replays",
+            Metric::JournalTruncatedTails => "journal_truncated_tails",
+            Metric::RetryAttempts => "retry_attempts",
         }
     }
 
@@ -1191,6 +1209,39 @@ mod tests {
         assert_eq!(
             runtime.get("cache_hits").and_then(|v| v.as_f64()),
             Some(12.0)
+        );
+    }
+
+    #[test]
+    fn journal_and_retry_metrics_stay_out_of_the_deterministic_section() {
+        // How far a crashed run got (appends/replays/truncations) and how
+        // many transient retries fired are scheduling- and history-
+        // dependent, so determinism comparisons must ignore them — same
+        // contract as the cache counters.
+        for metric in [
+            Metric::JournalAppends,
+            Metric::JournalReplays,
+            Metric::JournalTruncatedTails,
+            Metric::RetryAttempts,
+        ] {
+            assert!(!metric.deterministic(), "{} leaked", metric.name());
+        }
+        let obs = Obs::enabled();
+        obs.add(Metric::JournalAppends, 40);
+        obs.add(Metric::JournalReplays, 38);
+        obs.add(Metric::JournalTruncatedTails, 1);
+        obs.add(Metric::RetryAttempts, 2);
+        let det = obs.snapshot().deterministic_json();
+        assert!(
+            !det.contains("journal_") && !det.contains("retry_"),
+            "{det}"
+        );
+        let full = parse(&obs.snapshot().to_json()).unwrap();
+        validate_metrics_json(&full).unwrap();
+        let runtime = full.get("runtime").expect("runtime section");
+        assert_eq!(
+            runtime.get("journal_replays").and_then(|v| v.as_f64()),
+            Some(38.0)
         );
     }
 

@@ -25,21 +25,32 @@
 //! scheduling — as long as the policy uses only deterministic budget
 //! dimensions (subgraph and frontier caps). Wall-clock deadlines are
 //! supported but inherently nondeterministic.
+//!
+//! # Retries and the journal
+//!
+//! A [`RetryPolicy`] on the policy re-attempts *transient* faults
+//! (isolated panics, deadline misses) on the same ladder rung before any
+//! fidelity is given up; the per-root attempt count is reported in the
+//! outcome so retried and clean successes stay distinguishable. A
+//! [`Journal`] (see [`Supervisor::extract_journaled_with`]) write-ahead
+//! logs each completed root in commit order, so a killed run resumes by
+//! replaying the journal's durable prefix bit-identically.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Duration;
 
 use hsgf_graph::{HetGraph, NodeId};
 
-use crate::budget::{CancelToken, CensusBudget, SharedBudget};
+use crate::budget::{BudgetKind, CancelToken, CensusBudget, RetryPolicy, SharedBudget};
 use crate::cache::{
     config_fingerprint, policy_fingerprint, CacheEntry, CacheKey, CachedOutcome, CensusCache,
 };
 use crate::census::{CensusConfig, CensusEngine, CensusError, CensusScratch};
 use crate::features::FeatureMatrix;
+use crate::journal::{encode_root_payload, IoFault, IoOp, Journal, JournaledOutcome, RootRecord};
 use crate::obs::{CensusCounters, Metric, Obs};
 use crate::parallel::{cache_keys, panic_message, plan_shards, SPLIT_WIDTH};
 use crate::sequence::Encoding;
@@ -49,14 +60,23 @@ use crate::steal::{run_stealing, SchedulerKind};
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum RootOutcome {
     /// The census completed under the base configuration.
-    Exact,
+    Exact {
+        /// Total census attempts spent on this root (1 = clean first try;
+        /// more when a [`RetryPolicy`] rescued transient faults).
+        attempts: u32,
+    },
     /// The base census exceeded its budget; a ladder step completed instead.
     Degraded {
         /// The `dmax` of the completing ladder step.
         dmax: Option<u32>,
         /// The `emax` of the completing ladder step.
         emax: usize,
-        /// Total census attempts for this root (base attempt included).
+        /// Which ladder rung completed (1-based distance from the base
+        /// configuration). Decoupled from `attempts`: retries can spend
+        /// several attempts on one rung.
+        rung: u8,
+        /// Total census attempts for this root (base attempt and retries
+        /// included).
         attempts: u32,
     },
     /// No configuration completed; the row is empty.
@@ -72,7 +92,16 @@ pub enum RootOutcome {
 impl RootOutcome {
     /// Whether the root produced a usable (exact or degraded) row.
     pub fn has_row(&self) -> bool {
-        matches!(self, RootOutcome::Exact | RootOutcome::Degraded { .. })
+        matches!(
+            self,
+            RootOutcome::Exact { .. } | RootOutcome::Degraded { .. }
+        )
+    }
+
+    /// Whether the root completed under the base configuration (regardless
+    /// of how many attempts it took).
+    pub fn is_exact(&self) -> bool {
+        matches!(self, RootOutcome::Exact { .. })
     }
 }
 
@@ -89,6 +118,13 @@ pub struct ExtractionPolicy {
     /// Retry over-budget roots down the degradation ladder instead of
     /// failing them outright.
     pub degrade: bool,
+    /// Re-attempt *transiently* failed roots (isolated panics, deadline
+    /// near-misses) on the same ladder rung before degrading or failing.
+    /// `None` disables retries (every fault is terminal for its attempt,
+    /// the pre-retry behaviour). Excluded from the cache's policy
+    /// fingerprint: retries only rescue nondeterministic faults and never
+    /// change what a successful census contains.
+    pub retry: Option<RetryPolicy>,
 }
 
 impl ExtractionPolicy {
@@ -147,6 +183,96 @@ pub trait ChaosHook: Sync {
     /// Called before census `attempt` (0 = base configuration) of `root`.
     /// Returning `Some(error)` aborts the attempt with that error.
     fn inject(&self, root: NodeId, attempt: usize) -> Option<CensusError>;
+
+    /// Called before the IO operation `op` (journal append/scan, disk-cache
+    /// read/write). Returning `Some(fault)` makes that operation misbehave
+    /// accordingly; the defaults inject nothing. Fault handling is the
+    /// responsibility of the IO path under test — no injected fault may
+    /// panic the process or corrupt a committed record.
+    fn inject_io(&self, _op: IoOp) -> Option<IoFault> {
+        None
+    }
+}
+
+/// A [`ChaosHook`] injecting IO faults on a fixed schedule, parsed from a
+/// spec string (the CLI's `HSGF_IO_CHAOS` environment variable):
+/// comma-separated `FAULT@OP:N` entries, where `FAULT` is one of
+/// `torn-write|short-read|enospc|corrupt-record`, `OP` one of
+/// `journal-write|journal-read|cache-write|cache-read`, and `N` the 1-based
+/// index of the matching operation to fault. Example:
+/// `torn-write@journal-write:3,short-read@cache-read:1`.
+#[derive(Debug, Default)]
+pub struct ScheduledIoChaos {
+    plan: Vec<(IoOp, u64, IoFault)>,
+    /// Operations observed so far, indexed like [`ScheduledIoChaos::OPS`].
+    calls: [AtomicU64; 4],
+}
+
+impl ScheduledIoChaos {
+    const OPS: [(&'static str, IoOp); 4] = [
+        ("journal-write", IoOp::JournalWrite),
+        ("journal-read", IoOp::JournalRead),
+        ("cache-write", IoOp::CacheWrite),
+        ("cache-read", IoOp::CacheRead),
+    ];
+
+    const FAULTS: [(&'static str, IoFault); 4] = [
+        ("torn-write", IoFault::TornWrite),
+        ("short-read", IoFault::ShortRead),
+        ("enospc", IoFault::Enospc),
+        ("corrupt-record", IoFault::CorruptRecord),
+    ];
+
+    /// Parses a spec string; the error names the offending entry.
+    pub fn parse(spec: &str) -> Result<ScheduledIoChaos, String> {
+        let mut plan = Vec::new();
+        for entry in spec.split(',').filter(|s| !s.trim().is_empty()) {
+            let entry = entry.trim();
+            let bad = || format!("bad io-chaos entry '{entry}' (want FAULT@OP:N)");
+            let (fault, rest) = entry.split_once('@').ok_or_else(bad)?;
+            let (op, index) = rest.split_once(':').ok_or_else(bad)?;
+            let fault = Self::FAULTS
+                .iter()
+                .find(|(name, _)| *name == fault)
+                .map(|&(_, f)| f)
+                .ok_or_else(|| format!("unknown io fault '{fault}'"))?;
+            let op = Self::OPS
+                .iter()
+                .find(|(name, _)| *name == op)
+                .map(|&(_, o)| o)
+                .ok_or_else(|| format!("unknown io op '{op}'"))?;
+            let index: u64 = index.parse().map_err(|_| bad())?;
+            if index == 0 {
+                return Err(format!("io-chaos index in '{entry}' is 1-based"));
+            }
+            plan.push((op, index, fault));
+        }
+        Ok(ScheduledIoChaos {
+            plan,
+            calls: Default::default(),
+        })
+    }
+
+    fn op_index(op: IoOp) -> usize {
+        Self::OPS
+            .iter()
+            .position(|&(_, o)| o == op)
+            .expect("every IoOp is listed")
+    }
+}
+
+impl ChaosHook for ScheduledIoChaos {
+    fn inject(&self, _root: NodeId, _attempt: usize) -> Option<CensusError> {
+        None
+    }
+
+    fn inject_io(&self, op: IoOp) -> Option<IoFault> {
+        let seen = self.calls[Self::op_index(op)].fetch_add(1, Ordering::Relaxed) + 1;
+        self.plan
+            .iter()
+            .find(|&&(o, at, _)| o == op && at == seen)
+            .map(|&(_, _, fault)| fault)
+    }
 }
 
 /// The result of a supervised extraction: a feature matrix over every root
@@ -163,7 +289,7 @@ pub struct PartialExtraction {
 impl PartialExtraction {
     /// Whether every root completed exactly.
     pub fn is_complete(&self) -> bool {
-        self.outcomes.iter().all(|o| *o == RootOutcome::Exact)
+        self.outcomes.iter().all(RootOutcome::is_exact)
     }
 
     /// `(exact, degraded, failed, cancelled)` root counts.
@@ -171,7 +297,7 @@ impl PartialExtraction {
         let mut t = (0, 0, 0, 0);
         for o in &self.outcomes {
             match o {
-                RootOutcome::Exact => t.0 += 1,
+                RootOutcome::Exact { .. } => t.0 += 1,
                 RootOutcome::Degraded { .. } => t.1 += 1,
                 RootOutcome::Failed { .. } => t.2 += 1,
                 RootOutcome::Cancelled => t.3 += 1,
@@ -183,11 +309,7 @@ impl PartialExtraction {
     /// The sub-matrix of exactly-extracted roots only (strict feature
     /// comparability; see the module docs on degradation semantics).
     pub fn exact_matrix(&self) -> FeatureMatrix {
-        let keep: Vec<bool> = self
-            .outcomes
-            .iter()
-            .map(|o| *o == RootOutcome::Exact)
-            .collect();
+        let keep: Vec<bool> = self.outcomes.iter().map(RootOutcome::is_exact).collect();
         self.matrix.retain_rows(&keep)
     }
 
@@ -199,7 +321,129 @@ impl PartialExtraction {
             .iter()
             .copied()
             .zip(self.outcomes.iter())
-            .filter(|(_, o)| **o != RootOutcome::Exact)
+            .filter(|(_, o)| !o.is_exact())
+    }
+}
+
+/// Whether `error` is worth retrying: isolated worker panics and
+/// wall-clock deadline misses are scheduling/environment artifacts that a
+/// re-run may avoid; subgraph/frontier exhaustion is a pure function of
+/// `(graph, config)` and will recur identically.
+fn is_transient(error: &CensusError) -> bool {
+    matches!(
+        error,
+        CensusError::WorkerPanicked { .. }
+            | CensusError::BudgetExhausted {
+                kind: BudgetKind::Deadline,
+                ..
+            }
+    )
+}
+
+/// The journalable view of an outcome: successful outcomes map to their
+/// [`JournaledOutcome`]; failed/cancelled roots return `None` and are never
+/// written (a resume re-extracts them — deterministic failures re-fail
+/// identically, transient ones get their retry).
+fn journaled_outcome(outcome: &RootOutcome) -> Option<JournaledOutcome> {
+    match outcome {
+        RootOutcome::Exact { attempts } => Some(JournaledOutcome::Exact {
+            attempts: *attempts,
+        }),
+        RootOutcome::Degraded {
+            dmax,
+            emax,
+            rung,
+            attempts,
+        } => Some(JournaledOutcome::Degraded {
+            dmax: *dmax,
+            emax: *emax,
+            rung: *rung,
+            attempts: *attempts,
+        }),
+        RootOutcome::Failed { .. } | RootOutcome::Cancelled => None,
+    }
+}
+
+/// The inverse of [`journaled_outcome`], for replay.
+fn replayed_outcome(outcome: &JournaledOutcome) -> RootOutcome {
+    match outcome {
+        JournaledOutcome::Exact { attempts } => RootOutcome::Exact {
+            attempts: *attempts,
+        },
+        JournaledOutcome::Degraded {
+            dmax,
+            emax,
+            rung,
+            attempts,
+        } => RootOutcome::Degraded {
+            dmax: *dmax,
+            emax: *emax,
+            rung: *rung,
+            attempts: *attempts,
+        },
+    }
+}
+
+/// Orders journal appends by root-list position — *commit order* — no
+/// matter which worker finishes first. Workers offer every result as it
+/// completes; the sink buffers out-of-order results and drains the
+/// contiguous prefix to the journal, so the journal's content is always a
+/// prefix of the root list and replay is deterministic across schedulers
+/// and thread counts. Failed/cancelled roots advance the frontier without
+/// writing a record.
+struct CommitSink<'a> {
+    journal: &'a Journal,
+    chaos: Option<&'a dyn ChaosHook>,
+    obs: &'a Obs,
+    state: Mutex<SinkState>,
+}
+
+struct SinkState {
+    /// Next root index the journal is waiting for.
+    next: usize,
+    /// Completed-but-unjournaled results; `None` marks a recordless
+    /// (failed/cancelled) root.
+    pending: BTreeMap<usize, Option<Vec<u8>>>,
+}
+
+impl<'a> CommitSink<'a> {
+    fn new(journal: &'a Journal, chaos: Option<&'a dyn ChaosHook>, obs: &'a Obs) -> Self {
+        CommitSink {
+            journal,
+            chaos,
+            obs,
+            state: Mutex::new(SinkState {
+                next: 0,
+                pending: BTreeMap::new(),
+            }),
+        }
+    }
+
+    fn offer(&self, index: usize, root: NodeId, result: &RootResult) {
+        // Serialize outside the lock; under it the sink only moves bytes.
+        let payload = match result {
+            (Some(counts), outcome) => journaled_outcome(outcome)
+                .map(|outcome| encode_root_payload(root.raw(), &outcome, counts)),
+            _ => None,
+        };
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        state.pending.insert(index, payload);
+        while state
+            .pending
+            .first_key_value()
+            .is_some_and(|(&index, _)| index == state.next)
+        {
+            let (_, payload) = state.pending.pop_first().expect("checked non-empty");
+            state.next += 1;
+            if let Some(payload) = payload {
+                // A real append failure (device gone, say) must not sink
+                // the extraction: the record is simply not durable and a
+                // resume re-extracts that root.
+                if self.journal.append_payload(&payload, self.chaos).is_ok() {
+                    self.obs.incr(Metric::JournalAppends);
+                }
+            }
+        }
     }
 }
 
@@ -216,6 +460,10 @@ pub struct Supervisor<'g> {
     /// holds a clone, so completed censuses on any rung flush into the same
     /// registry.
     obs: Obs,
+    /// Retries spent by the current extraction, charged against
+    /// [`RetryPolicy::max_total_retries`]; reset at every extraction entry
+    /// point.
+    retry_spent: AtomicU64,
 }
 
 impl<'g> Supervisor<'g> {
@@ -238,6 +486,7 @@ impl<'g> Supervisor<'g> {
             engines,
             policy,
             obs: Obs::disabled(),
+            retry_spent: AtomicU64::new(0),
         })
     }
 
@@ -305,24 +554,101 @@ impl<'g> Supervisor<'g> {
         chaos: Option<&dyn ChaosHook>,
         scheduler: SchedulerKind,
     ) -> PartialExtraction {
-        let results = if threads <= 1 {
+        self.retry_spent.store(0, Ordering::Relaxed);
+        let results = self.run_roots(roots, threads, cancel, chaos, scheduler, None);
+        self.assemble(roots, results)
+    }
+
+    /// [`Supervisor::extract_with`] through a write-ahead [`Journal`]:
+    /// `replayed` records (from [`Journal::resume`]) fill their roots'
+    /// rows bit-identically without re-extraction, and every newly
+    /// completed root is appended to `journal` in root-list order (commit
+    /// order), so a crash at any point leaves a journal whose durable
+    /// prefix replays exactly. Journal records from roots outside `roots`
+    /// are ignored (the run header already pins the root list).
+    pub fn extract_journaled_with(
+        &self,
+        roots: &[NodeId],
+        threads: usize,
+        cancel: Option<&CancelToken>,
+        chaos: Option<&dyn ChaosHook>,
+        scheduler: SchedulerKind,
+        journal: &Journal,
+        replayed: &[RootRecord],
+    ) -> PartialExtraction {
+        self.retry_spent.store(0, Ordering::Relaxed);
+        let mut by_root: HashMap<u32, &RootRecord> = HashMap::with_capacity(replayed.len());
+        for record in replayed {
+            by_root.insert(record.root, record);
+        }
+        let mut slots: Vec<Option<RootResult>> = (0..roots.len()).map(|_| None).collect();
+        let mut miss_roots = Vec::new();
+        let mut miss_idx = Vec::new();
+        for (i, &root) in roots.iter().enumerate() {
+            match by_root.get(&root.raw()) {
+                Some(record) => {
+                    self.obs.incr(Metric::JournalReplays);
+                    slots[i] = Some((
+                        Some(record.counts.clone()),
+                        replayed_outcome(&record.outcome),
+                    ));
+                }
+                None => {
+                    miss_roots.push(root);
+                    miss_idx.push(i);
+                }
+            }
+        }
+        let sink = CommitSink::new(journal, chaos, &self.obs);
+        let results = self.run_roots(&miss_roots, threads, cancel, chaos, scheduler, Some(&sink));
+        for (&i, result) in miss_idx.iter().zip(results) {
+            slots[i] = Some(result);
+        }
+        let results = slots
+            .into_iter()
+            .map(|s| s.expect("every slot is either replayed or refilled from the miss run"))
+            .collect();
+        self.assemble(roots, results)
+    }
+
+    /// Dispatches `roots` to the sequential loop or the chosen scheduler,
+    /// offering every completed result to `sink` (when journaling) keyed by
+    /// its index in `roots`.
+    fn run_roots(
+        &self,
+        roots: &[NodeId],
+        threads: usize,
+        cancel: Option<&CancelToken>,
+        chaos: Option<&dyn ChaosHook>,
+        scheduler: SchedulerKind,
+        sink: Option<&CommitSink>,
+    ) -> Vec<RootResult> {
+        if roots.is_empty() {
+            return Vec::new();
+        }
+        if threads <= 1 {
             let mut holder = None;
             roots
                 .iter()
-                .map(|&root| {
+                .enumerate()
+                .map(|(i, &root)| {
                     let timer = self.obs.root_timer();
                     let result = self.census_root(root, &mut holder, cancel, chaos);
                     self.obs.record_root(root.raw(), 0, timer);
+                    if let Some(sink) = sink {
+                        sink.offer(i, root, &result);
+                    }
                     result
                 })
                 .collect()
         } else {
             match scheduler {
-                SchedulerKind::Cursor => self.extract_parallel(roots, threads, cancel, chaos),
-                SchedulerKind::Stealing => self.extract_stealing(roots, threads, cancel, chaos),
+                SchedulerKind::Cursor => self.extract_parallel(roots, threads, cancel, chaos, sink),
+                SchedulerKind::Stealing => {
+                    self.extract_stealing(roots, threads, cancel, chaos, sink)
+                }
             }
-        };
-        self.assemble(roots, results)
+        }
     }
 
     /// [`Supervisor::extract_scheduled`] through a [`CensusCache`].
@@ -360,6 +686,7 @@ impl<'g> Supervisor<'g> {
         if self.policy.root_timeout.is_some() {
             return self.extract_with(roots, threads, cancel, chaos, scheduler);
         }
+        self.retry_spent.store(0, Ordering::Relaxed);
         let config = policy_fingerprint(
             config_fingerprint(self.base_engine().config()),
             &self.policy,
@@ -378,16 +705,16 @@ impl<'g> Supervisor<'g> {
             match hit {
                 Some(entry) => {
                     cache.note_hit();
+                    // The cache stores fidelity, not attempt history:
+                    // replayed attempt counts are the retry-free values
+                    // (1 for exact, rung + 1 for degraded).
                     let outcome = match entry.outcome {
-                        CachedOutcome::Exact => RootOutcome::Exact,
-                        CachedOutcome::Degraded {
+                        CachedOutcome::Exact => RootOutcome::Exact { attempts: 1 },
+                        CachedOutcome::Degraded { dmax, emax, rung } => RootOutcome::Degraded {
                             dmax,
                             emax,
-                            attempts,
-                        } => RootOutcome::Degraded {
-                            dmax,
-                            emax,
-                            attempts,
+                            rung,
+                            attempts: rung as u32 + 1,
                         },
                     };
                     slots[i] = Some((Some(entry.counts), outcome));
@@ -399,39 +726,17 @@ impl<'g> Supervisor<'g> {
                 }
             }
         }
-        let miss_results: Vec<RootResult> = if miss_roots.is_empty() {
-            Vec::new()
-        } else if threads <= 1 {
-            let mut holder = None;
-            miss_roots
-                .iter()
-                .map(|&root| {
-                    let timer = self.obs.root_timer();
-                    let result = self.census_root(root, &mut holder, cancel, chaos);
-                    self.obs.record_root(root.raw(), 0, timer);
-                    result
-                })
-                .collect()
-        } else {
-            match scheduler {
-                SchedulerKind::Cursor => self.extract_parallel(&miss_roots, threads, cancel, chaos),
-                SchedulerKind::Stealing => {
-                    self.extract_stealing(&miss_roots, threads, cancel, chaos)
-                }
-            }
-        };
+        let miss_results = self.run_roots(&miss_roots, threads, cancel, chaos, scheduler, None);
         for (&i, result) in miss_idx.iter().zip(miss_results) {
             if let (Some(counts), outcome) = &result {
                 let cached = match outcome {
-                    RootOutcome::Exact => Some(CachedOutcome::Exact),
+                    RootOutcome::Exact { .. } => Some(CachedOutcome::Exact),
                     RootOutcome::Degraded {
-                        dmax,
-                        emax,
-                        attempts,
+                        dmax, emax, rung, ..
                     } => Some(CachedOutcome::Degraded {
                         dmax: *dmax,
                         emax: *emax,
-                        attempts: *attempts,
+                        rung: *rung,
                     }),
                     // Failed and cancelled roots say nothing reusable and
                     // must never pollute the cache.
@@ -466,6 +771,7 @@ impl<'g> Supervisor<'g> {
         threads: usize,
         cancel: Option<&CancelToken>,
         chaos: Option<&dyn ChaosHook>,
+        sink: Option<&CommitSink>,
     ) -> Vec<RootResult> {
         // Tiny extractions must not pay spawn/teardown for workers that
         // would immediately exit.
@@ -487,6 +793,9 @@ impl<'g> Supervisor<'g> {
                         let timer = self.obs.root_timer();
                         let result = self.census_root(roots[i], &mut holder, cancel, chaos);
                         self.obs.record_root(roots[i].raw(), worker as u64, timer);
+                        if let Some(sink) = sink {
+                            sink.offer(i, roots[i], &result);
+                        }
                         // The result is computed before the lock is taken,
                         // and `census_root` never panics (faults are caught
                         // inside), so the lock cannot be poisoned by census
@@ -534,6 +843,7 @@ impl<'g> Supervisor<'g> {
         threads: usize,
         cancel: Option<&CancelToken>,
         chaos: Option<&dyn ChaosHook>,
+        sink: Option<&CommitSink>,
     ) -> Vec<RootResult> {
         /// A pool task: one root, or one shard of a split root's base
         /// attempt. Indices are into `roots`.
@@ -620,6 +930,9 @@ impl<'g> Supervisor<'g> {
                     let timer = self.obs.root_timer();
                     let result = self.census_root(roots[i], holder, cancel, chaos);
                     self.obs.record_root(roots[i].raw(), worker as u64, timer);
+                    if let Some(sink) = sink {
+                        sink.offer(i, roots[i], &result);
+                    }
                     *slots[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(result);
                 }
                 Task::Shard {
@@ -694,8 +1007,13 @@ impl<'g> Supervisor<'g> {
                     } else {
                         self.obs.record_census(&delta);
                         self.obs.observe_root_subgraphs(delta.subgraphs);
-                        (Some(counts), RootOutcome::Exact)
+                        // All shards of the base attempt completed: one
+                        // logical attempt, exactly like the sequential path.
+                        (Some(counts), RootOutcome::Exact { attempts: 1 })
                     };
+                    if let Some(sink) = sink {
+                        sink.offer(slot, root, &result);
+                    }
                     *slots[slot].lock().unwrap_or_else(|e| e.into_inner()) = Some(result);
                 }
             },
@@ -721,9 +1039,26 @@ impl<'g> Supervisor<'g> {
             .collect()
     }
 
+    /// Whether the current extraction may still spend one more retry
+    /// against the run-wide [`RetryPolicy::max_total_retries`] cap.
+    fn try_spend_retry(&self, retry: &RetryPolicy) -> bool {
+        self.retry_spent
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |spent| {
+                (spent < retry.max_total_retries).then_some(spent + 1)
+            })
+            .is_ok()
+    }
+
     /// Runs one root down the ladder inside the panic-isolation boundary.
     /// `holder` carries the worker's reusable scratch; it is discarded after
     /// a panic (its invariants can no longer be trusted).
+    ///
+    /// With a [`RetryPolicy`], *transient* faults (isolated panics,
+    /// wall-clock deadline misses) are re-attempted on the same rung —
+    /// with exponential deterministically-jittered backoff — before any
+    /// fidelity is given up to the degrade ladder. Deterministic budget
+    /// exhaustion (subgraph/frontier caps) is never retried: re-running it
+    /// reproduces the identical exhaustion.
     fn census_root(
         &self,
         root: NodeId,
@@ -731,56 +1066,74 @@ impl<'g> Supervisor<'g> {
         cancel: Option<&CancelToken>,
         chaos: Option<&dyn ChaosHook>,
     ) -> RootResult {
-        for (attempt, engine) in self.engines.iter().enumerate() {
-            if cancel.is_some_and(CancelToken::is_cancelled) {
-                return (None, RootOutcome::Cancelled);
-            }
-            let budget = self.policy.attempt_budget();
-            // Ladder steps only shrink emax/dmax, never the alphabet or
-            // column layout, so one scratch fits every engine.
-            let scratch = holder.get_or_insert_with(|| self.engines[0].make_scratch());
-            let attempt_run = catch_unwind(AssertUnwindSafe(|| {
-                if let Some(error) = chaos.and_then(|hook| hook.inject(root, attempt)) {
-                    return Err(error);
-                }
-                engine.census_encodings_budgeted(root, scratch, &budget, cancel)
-            }));
-            match attempt_run {
-                Ok(Ok(census)) => {
-                    let outcome = if attempt == 0 {
-                        RootOutcome::Exact
-                    } else {
-                        RootOutcome::Degraded {
-                            dmax: engine.config().dmax,
-                            emax: engine.config().emax,
-                            attempts: attempt as u32 + 1,
-                        }
-                    };
-                    return (Some(census.counts), outcome);
-                }
-                Ok(Err(CensusError::BudgetExhausted { .. }))
-                    if attempt + 1 < self.engines.len() =>
-                {
-                    self.obs.incr(Metric::DegradeAttempts);
-                    continue;
-                }
-                Ok(Err(CensusError::Cancelled { .. })) => {
+        let mut total_attempts: u32 = 0;
+        for (rung, engine) in self.engines.iter().enumerate() {
+            let mut tries: u32 = 0;
+            loop {
+                if cancel.is_some_and(CancelToken::is_cancelled) {
                     return (None, RootOutcome::Cancelled);
                 }
-                Ok(Err(error)) => return (None, RootOutcome::Failed { error }),
-                Err(payload) => {
-                    // The scratch may hold arbitrary partial state: drop it
-                    // so the next root starts from a fresh one.
-                    *holder = None;
-                    return (
-                        None,
-                        RootOutcome::Failed {
-                            error: CensusError::WorkerPanicked {
-                                root: root.raw(),
-                                message: panic_message(payload.as_ref()),
-                            },
-                        },
-                    );
+                tries += 1;
+                total_attempts += 1;
+                let budget = self.policy.attempt_budget();
+                // Ladder steps only shrink emax/dmax, never the alphabet or
+                // column layout, so one scratch fits every engine.
+                let scratch = holder.get_or_insert_with(|| self.engines[0].make_scratch());
+                let attempt_run = catch_unwind(AssertUnwindSafe(|| {
+                    if let Some(error) = chaos.and_then(|hook| hook.inject(root, rung)) {
+                        return Err(error);
+                    }
+                    engine.census_encodings_budgeted(root, scratch, &budget, cancel)
+                }));
+                let error = match attempt_run {
+                    Ok(Ok(census)) => {
+                        let outcome = if rung == 0 {
+                            RootOutcome::Exact {
+                                attempts: total_attempts,
+                            }
+                        } else {
+                            RootOutcome::Degraded {
+                                dmax: engine.config().dmax,
+                                emax: engine.config().emax,
+                                rung: rung as u8,
+                                attempts: total_attempts,
+                            }
+                        };
+                        return (Some(census.counts), outcome);
+                    }
+                    Ok(Err(CensusError::Cancelled { .. })) => {
+                        return (None, RootOutcome::Cancelled);
+                    }
+                    Ok(Err(error)) => error,
+                    Err(payload) => {
+                        // The scratch may hold arbitrary partial state:
+                        // drop it so the next attempt starts from a fresh
+                        // one.
+                        *holder = None;
+                        CensusError::WorkerPanicked {
+                            root: root.raw(),
+                            message: panic_message(payload.as_ref()),
+                        }
+                    }
+                };
+                if is_transient(&error) {
+                    if let Some(retry) = &self.policy.retry {
+                        if tries < retry.max_attempts && self.try_spend_retry(retry) {
+                            self.obs.incr(Metric::RetryAttempts);
+                            let pause = retry.backoff(root.raw(), rung as u32, tries);
+                            if !pause.is_zero() {
+                                std::thread::sleep(pause);
+                            }
+                            continue;
+                        }
+                    }
+                }
+                match error {
+                    CensusError::BudgetExhausted { .. } if rung + 1 < self.engines.len() => {
+                        self.obs.incr(Metric::DegradeAttempts);
+                        break; // next rung
+                    }
+                    error => return (None, RootOutcome::Failed { error }),
                 }
             }
         }
@@ -792,7 +1145,7 @@ impl<'g> Supervisor<'g> {
         let mut outcomes = Vec::with_capacity(results.len());
         for (counts, outcome) in results {
             let metric = match &outcome {
-                RootOutcome::Exact => Metric::RootsExact,
+                RootOutcome::Exact { .. } => Metric::RootsExact,
                 RootOutcome::Degraded { .. } => Metric::RootsDegraded,
                 RootOutcome::Failed { .. } => Metric::RootsFailed,
                 RootOutcome::Cancelled => Metric::RootsCancelled,

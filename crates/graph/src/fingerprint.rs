@@ -27,6 +27,9 @@ use crate::rng::splitmix64;
 /// Domain-separation seed for neighbourhood fingerprints ("HSGF" ++ "NF").
 const FINGERPRINT_SEED: u64 = 0x4853_4746_4E46;
 
+/// Domain-separation seed for whole-graph fingerprints ("HSGF" ++ "GF").
+const GRAPH_SEED: u64 = 0x4853_4746_4746;
+
 /// Mixes one word into the running hash with full avalanche (SplitMix64's
 /// finalizer via [`splitmix64`]): every output bit depends on every input
 /// bit, so single-edit deltas never cancel positionally.
@@ -53,6 +56,28 @@ impl FingerprintScratch {
     pub fn new() -> Self {
         Self::default()
     }
+}
+
+/// A content fingerprint of the whole graph: node/edge/label counts, every
+/// node's label and degree, and every edge's content (endpoints, type,
+/// orientation). Used by the extraction journal to refuse resuming against
+/// a different graph than the one the journal was written for. Like the
+/// neighbourhood fingerprint, dense edge ids are not hashed — only edge
+/// content — so a rebuild of the same graph fingerprints identically.
+pub fn graph_fingerprint(graph: &HetGraph) -> u64 {
+    let mut hash = fold(GRAPH_SEED, graph.node_count() as u64);
+    hash = fold(hash, graph.edge_count() as u64);
+    hash = fold(hash, graph.label_count() as u64);
+    for v in graph.nodes() {
+        hash = fold(hash, graph.label(v).raw() as u64);
+        hash = fold(hash, graph.degree(v) as u64);
+        for (&w, &id) in graph.neighbors(v).iter().zip(graph.incident_edge_ids(v)) {
+            hash = fold(hash, w.raw() as u64);
+            hash = fold(hash, graph.edge_type(id) as u64);
+            hash = fold(hash, graph.orientation(v, w, id).block() as u64);
+        }
+    }
+    hash
 }
 
 /// The fingerprint of `root`'s `radius`-hop dependency set in `graph`.
@@ -135,6 +160,21 @@ mod tests {
         let node_labels: Vec<Label> = (0..n).map(|i| Label::new((i % 2) as u8)).collect();
         let edges: Vec<(u32, u32)> = (0..n - 1).map(|i| (i, i + 1)).collect();
         GraphBuilder::from_edges(labels, &node_labels, &edges).unwrap()
+    }
+
+    #[test]
+    fn graph_fingerprint_sees_content_changes() {
+        let a = path_graph(8);
+        let b = path_graph(8);
+        assert_eq!(graph_fingerprint(&a), graph_fingerprint(&b));
+        let c = path_graph(9);
+        assert_ne!(graph_fingerprint(&a), graph_fingerprint(&c));
+        let labels = a.labels().clone();
+        let mut node_labels = a.node_labels().to_vec();
+        node_labels[3] = Label::new(0);
+        let edges: Vec<(u32, u32)> = (0..7).map(|i| (i, i + 1)).collect();
+        let relabeled = GraphBuilder::from_edges(labels, &node_labels, &edges).unwrap();
+        assert_ne!(graph_fingerprint(&a), graph_fingerprint(&relabeled));
     }
 
     #[test]

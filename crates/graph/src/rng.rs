@@ -23,6 +23,21 @@ pub fn splitmix64(state: &mut u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// Folds `words` into `base` with full avalanche per word, producing a
+/// seed for a derived [`Rng`] stream. Used wherever a deterministic
+/// sub-stream must be keyed by structured identity (e.g. the retry-jitter
+/// stream in `hsgf-core`, keyed by root, ladder rung, and attempt) so that
+/// equal identities always yield equal jitter regardless of scheduling.
+pub fn derive_seed(base: u64, words: &[u64]) -> u64 {
+    let mut state = base;
+    let mut hash = splitmix64(&mut state);
+    for &word in words {
+        let mut mixed = hash ^ word.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        hash = splitmix64(&mut mixed);
+    }
+    hash
+}
+
 /// Xoshiro256++ generator with the narrow API the workspace actually uses.
 ///
 /// Not cryptographic; do not use for secrets. Period is 2^256 − 1.
@@ -315,6 +330,15 @@ mod tests {
         assert_eq!(first, again);
         let mut other = Rng::from_seed(43);
         assert_ne!(first[0], other.next_u64());
+    }
+
+    #[test]
+    fn derive_seed_separates_by_word_and_position() {
+        let a = derive_seed(1, &[2, 3]);
+        assert_eq!(a, derive_seed(1, &[2, 3]), "must be deterministic");
+        assert_ne!(a, derive_seed(1, &[3, 2]), "order must matter");
+        assert_ne!(a, derive_seed(1, &[2, 3, 0]), "length must matter");
+        assert_ne!(a, derive_seed(2, &[2, 3]), "base must matter");
     }
 
     #[test]

@@ -48,9 +48,10 @@ run_benches() {
 # counters and the steal/park/split scheduler counters, is never parsed
 # here and must never gate a diff). Histograms come out as their whole
 # bracketed array with spaces stripped, so each value stays a single
-# join(1) field. The cache_ skip is belt-and-braces: cache counters live
-# in "runtime" by construction (Metric::deterministic), but warm-vs-cold
-# hit counts depend on what a previous run left behind, so even a future
+# join(1) field. The cache_/journal_/retry_ skip is belt-and-braces:
+# those counters live in "runtime" by construction (Metric::deterministic),
+# but warm-vs-cold hit counts, replay counts, and retry tallies depend on
+# what a previous run left behind or on injected faults, so even a future
 # misclassification must not turn them into a deterministic gate.
 extract_counters() {
     awk '
@@ -65,7 +66,7 @@ extract_counters() {
                     val = pair
                     sub(/^"[a-z_0-9]+": */, "", val)
                     gsub(/[ \t]/, "", val)
-                    if (key ~ /^cache_/) continue
+                    if (key ~ /^(cache_|journal_|retry_)/) continue
                     print key, val
                 }
             }

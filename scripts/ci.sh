@@ -68,6 +68,29 @@ cmp "$SMOKE_DIR/cold.json" "$SMOKE_DIR/cursor.json"
         printf "    warm == cold (%d entries, %d hits)\n", stats["entries"], stats["hits"]
     }'
 
+echo "==> chaos-resume smoke (torn journal writes + SIGKILL, then --resume)"
+JDIR="$SMOKE_DIR/journal"
+# A journaled run with an injected torn write on the 3rd journal append
+# must still produce the same matrix as the unjournaled reference run.
+HSGF_IO_CHAOS="torn-write@journal-write:3" \
+    "$HSGF" extract "$SMOKE_DIR/g.txt" --emax 3 --roots sample:5 --threads 4 \
+    --journal "$JDIR" --out "$SMOKE_DIR/torn.json" 2>/dev/null
+cmp "$SMOKE_DIR/torn.json" "$SMOKE_DIR/cursor.json"
+# Kill a fresh journaled run mid-flight, then resume it; the resumed matrix
+# must be byte-identical to the reference. If the run wins the race and
+# finishes before the kill, resume just replays everything — still a pass.
+rm -rf "$JDIR"
+"$HSGF" extract "$SMOKE_DIR/g.txt" --emax 3 --roots sample:5 --threads 4 \
+    --journal "$JDIR" --out "$SMOKE_DIR/killed.json" 2>/dev/null &
+KILLED_PID=$!
+sleep 0.05
+kill -9 "$KILLED_PID" 2>/dev/null || true
+wait "$KILLED_PID" 2>/dev/null || true
+"$HSGF" extract "$SMOKE_DIR/g.txt" --emax 3 --roots sample:5 --threads 4 \
+    --journal "$JDIR" --resume --out "$SMOKE_DIR/resumed.json" 2>/dev/null
+cmp "$SMOKE_DIR/resumed.json" "$SMOKE_DIR/cursor.json"
+echo "    resumed == reference ($(wc -c < "$SMOKE_DIR/resumed.json" | tr -d ' ') bytes)"
+
 if cargo fmt --version >/dev/null 2>&1; then
     echo "==> cargo fmt --check"
     cargo fmt --all --check

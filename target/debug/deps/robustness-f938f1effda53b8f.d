@@ -3,3 +3,5 @@
 /root/repo/target/debug/deps/robustness-f938f1effda53b8f: crates/hsgf/../../tests/robustness.rs
 
 crates/hsgf/../../tests/robustness.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/hsgf

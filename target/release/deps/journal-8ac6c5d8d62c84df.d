@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/journal-8ac6c5d8d62c84df.d: crates/bench/benches/journal.rs
+
+/root/repo/target/release/deps/journal-8ac6c5d8d62c84df: crates/bench/benches/journal.rs
+
+crates/bench/benches/journal.rs:

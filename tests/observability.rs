@@ -68,9 +68,8 @@ fn supervised_counters_identical_across_threads_and_schedulers() {
     // and the sequential ladder produces the canonical counts.
     let policy = ExtractionPolicy {
         max_subgraphs: Some(2_000),
-        max_frontier: None,
-        root_timeout: None,
         degrade: true,
+        ..ExtractionPolicy::default()
     };
     let mut snapshots = Vec::new();
     for scheduler in SCHEDULERS {

@@ -7,14 +7,25 @@
 //!   in the per-root outcomes;
 //! * the degradation ladder's output is deterministic across runs and
 //!   thread counts;
-//! * no finished work is ever lost to a fault.
+//! * no finished work is ever lost to a fault;
+//! * transient faults (worker panics, missed deadlines) are retried under a
+//!   [`RetryPolicy`] with exact attempt accounting, while deterministic
+//!   budget exhaustion never is;
+//! * a journaled extraction killed at any point — including `kill -9` of
+//!   the whole process — resumes from the write-ahead journal with a
+//!   byte-identical final matrix, across schedulers and thread counts.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use hsgf::core::cache::{config_fingerprint, policy_fingerprint};
 use hsgf::core::census::CensusError;
+use hsgf::core::journal::{roots_hash, Journal, JournalHeader};
 use hsgf::core::supervisor::{
     ChaosHook, ExtractionPolicy, PartialExtraction, RootOutcome, Supervisor,
 };
-use hsgf::core::{CensusConfig, SchedulerKind};
+use hsgf::core::{CensusConfig, RetryPolicy, SchedulerKind};
 use hsgf::data::{ImdbConfig, ImdbData, Scale};
+use hsgf::graph::fingerprint::graph_fingerprint;
 use hsgf::graph::{HetGraph, NodeId};
 
 fn chaos_graph() -> HetGraph {
@@ -202,7 +213,7 @@ fn cancellation_preserves_finished_work() {
     // Finished rows match an uncancelled run byte for byte.
     let clean = supervisor.extract(&roots, 1);
     for (i, outcome) in partial.outcomes.iter().enumerate() {
-        if *outcome == RootOutcome::Exact {
+        if outcome.is_exact() {
             assert_eq!(row_census(&partial, i), row_census(&clean, i));
         } else {
             assert!(partial.matrix.row(i).is_empty());
@@ -321,6 +332,377 @@ fn stealing_supervisor_outcomes_match_cursor_under_tight_budget() {
             );
         }
     }
+}
+
+/// Panics on one root until that root has been attempted `faults` times,
+/// then lets it through — a transient fault that a retry policy can ride
+/// out.
+struct FlakyRoot {
+    root: u32,
+    faults: u64,
+    seen: AtomicU64,
+}
+
+impl FlakyRoot {
+    fn new(root: u32, faults: u64) -> Self {
+        FlakyRoot {
+            root,
+            faults,
+            seen: AtomicU64::new(0),
+        }
+    }
+}
+
+impl ChaosHook for FlakyRoot {
+    fn inject(&self, root: NodeId, _attempt: usize) -> Option<CensusError> {
+        if root.raw() == self.root && self.seen.fetch_add(1, Ordering::Relaxed) < self.faults {
+            panic!("chaos: transient fault on root {}", self.root);
+        }
+        None
+    }
+}
+
+#[test]
+fn transient_faults_retry_to_exact_with_attempt_accounting() {
+    let graph = chaos_graph();
+    let roots = hundred_roots(&graph);
+    let config = CensusConfig::default().with_emax(3);
+    let flaky = roots[21].raw();
+
+    // Without a retry policy the transient fault is terminal.
+    let no_retry = Supervisor::new(&graph, config.clone(), ExtractionPolicy::default()).unwrap();
+    let chaos = FlakyRoot::new(flaky, 2);
+    let failed = no_retry.extract_with(&roots, 1, None, Some(&chaos), SchedulerKind::Cursor);
+    assert!(matches!(
+        &failed.outcomes[21],
+        RootOutcome::Failed {
+            error: CensusError::WorkerPanicked { .. }
+        }
+    ));
+
+    // With retries the root succeeds on the third attempt, and the outcome
+    // says so — `Exact` because no degradation was involved.
+    let policy = ExtractionPolicy {
+        retry: Some(RetryPolicy {
+            max_attempts: 3,
+            backoff_ms: 0,
+            ..RetryPolicy::default()
+        }),
+        ..ExtractionPolicy::default()
+    };
+    let supervisor = Supervisor::new(&graph, config, policy).unwrap();
+    let chaos = FlakyRoot::new(flaky, 2);
+    let retried = supervisor.extract_with(&roots, 1, None, Some(&chaos), SchedulerKind::Cursor);
+    assert_eq!(retried.outcomes[21], RootOutcome::Exact { attempts: 3 });
+    for (i, outcome) in retried.outcomes.iter().enumerate() {
+        if i != 21 {
+            assert_eq!(*outcome, RootOutcome::Exact { attempts: 1 }, "root {i}");
+        }
+    }
+
+    // The rescued run is bit-identical to a clean one.
+    let clean = supervisor.extract(&roots, 1);
+    for i in 0..roots.len() {
+        assert_eq!(row_census(&retried, i), row_census(&clean, i), "row {i}");
+    }
+}
+
+/// Always exhausts the subgraph budget on the base attempt of one root.
+struct DeterministicExhaustion {
+    root: u32,
+    rung0_attempts: AtomicU64,
+}
+
+impl ChaosHook for DeterministicExhaustion {
+    fn inject(&self, root: NodeId, attempt: usize) -> Option<CensusError> {
+        if root.raw() == self.root && attempt == 0 {
+            self.rung0_attempts.fetch_add(1, Ordering::Relaxed);
+            return Some(CensusError::BudgetExhausted {
+                root: root.raw(),
+                kind: hsgf::core::BudgetKind::Subgraphs,
+            });
+        }
+        None
+    }
+}
+
+#[test]
+fn deterministic_budget_exhaustion_is_never_retried() {
+    let graph = chaos_graph();
+    let roots = hundred_roots(&graph);
+    // A generous retry policy must not spend a single retry on budget
+    // exhaustion: re-running a deterministic exhaustion reproduces it.
+    let policy = ExtractionPolicy {
+        degrade: true,
+        retry: Some(RetryPolicy {
+            max_attempts: 5,
+            backoff_ms: 0,
+            ..RetryPolicy::default()
+        }),
+        ..ExtractionPolicy::default()
+    };
+    let supervisor = Supervisor::new(&graph, CensusConfig::default().with_emax(3), policy).unwrap();
+    let chaos = DeterministicExhaustion {
+        root: roots[8].raw(),
+        rung0_attempts: AtomicU64::new(0),
+    };
+    let partial = supervisor.extract_with(&roots, 1, None, Some(&chaos), SchedulerKind::Cursor);
+    assert_eq!(
+        chaos.rung0_attempts.load(Ordering::Relaxed),
+        1,
+        "budget exhaustion was retried"
+    );
+    assert!(matches!(
+        &partial.outcomes[8],
+        RootOutcome::Degraded {
+            rung: 1,
+            attempts: 2,
+            ..
+        }
+    ));
+}
+
+#[test]
+fn retry_budget_caps_total_retries_across_roots() {
+    let graph = chaos_graph();
+    let roots = hundred_roots(&graph);
+    // Every root faults forever; the run-wide retry budget (2) must bound
+    // the total number of re-attempts no matter how many roots are flaky.
+    struct AlwaysPanic;
+    impl ChaosHook for AlwaysPanic {
+        fn inject(&self, _root: NodeId, _attempt: usize) -> Option<CensusError> {
+            panic!("chaos: permanent fault");
+        }
+    }
+    let policy = ExtractionPolicy {
+        retry: Some(RetryPolicy {
+            max_attempts: 10,
+            backoff_ms: 0,
+            max_total_retries: 2,
+            ..RetryPolicy::default()
+        }),
+        ..ExtractionPolicy::default()
+    };
+    let obs = hsgf::core::Obs::enabled();
+    let supervisor = Supervisor::new(&graph, CensusConfig::default().with_emax(2), policy)
+        .unwrap()
+        .with_obs(obs.clone());
+    let partial = supervisor.extract_with(
+        &roots[..10],
+        1,
+        None,
+        Some(&AlwaysPanic),
+        SchedulerKind::Cursor,
+    );
+    let (_, _, failed, _) = partial.tally();
+    assert_eq!(failed, 10);
+    assert_eq!(
+        obs.snapshot().get(hsgf::core::Metric::RetryAttempts),
+        2,
+        "retry budget exceeded or unused"
+    );
+}
+
+fn journal_header(
+    graph: &HetGraph,
+    config: &CensusConfig,
+    policy: &ExtractionPolicy,
+    roots: &[NodeId],
+) -> JournalHeader {
+    JournalHeader {
+        config: policy_fingerprint(config_fingerprint(config), policy),
+        graph: graph_fingerprint(graph),
+        roots: roots_hash(roots),
+    }
+}
+
+#[test]
+fn torn_journal_resumes_bit_identically_across_schedulers() {
+    let graph = chaos_graph();
+    let roots = hundred_roots(&graph);
+    let config = CensusConfig::default().with_emax(3);
+    let policy = ExtractionPolicy {
+        max_subgraphs: Some(2_000),
+        degrade: true,
+        ..ExtractionPolicy::default()
+    };
+    let supervisor = Supervisor::new(&graph, config.clone(), policy.clone()).unwrap();
+    let reference = supervisor.extract(&roots, 1);
+
+    for scheduler in [SchedulerKind::Cursor, SchedulerKind::Stealing] {
+        for threads in [1usize, 8] {
+            let dir = std::env::temp_dir().join(format!(
+                "hsgf-torn-journal-{scheduler}-{threads}-{}",
+                std::process::id()
+            ));
+            let _ = std::fs::remove_dir_all(&dir);
+            let header = journal_header(&graph, &config, &policy, &roots);
+            let journal = Journal::create(&dir, &header).unwrap();
+            let first = supervisor.extract_journaled_with(
+                &roots,
+                threads,
+                None,
+                None,
+                scheduler,
+                &journal,
+                &[],
+            );
+            assert_eq!(first.outcomes, reference.outcomes);
+            drop(journal);
+
+            // Simulate a crash mid-append: tear bytes off the segment tail.
+            let segment = dir.join("segment-000000.wal");
+            let len = std::fs::metadata(&segment).unwrap().len();
+            let file = std::fs::OpenOptions::new()
+                .write(true)
+                .open(&segment)
+                .unwrap();
+            file.set_len(len - 7).unwrap();
+            drop(file);
+
+            let (journal, report) = Journal::resume(&dir, &header, None).unwrap();
+            assert_eq!(report.truncated_tails, 1);
+            assert!(
+                !report.records.is_empty() && report.records.len() < roots.len(),
+                "torn tail should drop some but not all records ({} replayed)",
+                report.records.len()
+            );
+            let resumed = supervisor.extract_journaled_with(
+                &roots,
+                threads,
+                None,
+                None,
+                scheduler,
+                &journal,
+                &report.records,
+            );
+            assert_eq!(
+                resumed.outcomes, reference.outcomes,
+                "outcomes drifted after resume ({scheduler}, {threads} threads)"
+            );
+            for i in 0..roots.len() {
+                assert_eq!(
+                    row_census(&resumed, i),
+                    row_census(&reference, i),
+                    "row {i} drifted after resume ({scheduler}, {threads} threads)"
+                );
+            }
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+}
+
+/// Locates (building if necessary) the `hsgf` CLI binary for subprocess
+/// crash tests. The facade crate does not depend on `hsgf-cli`, so
+/// `CARGO_BIN_EXE_*` is unavailable; walk up from the test executable to
+/// `target/debug` instead.
+fn hsgf_binary() -> std::path::PathBuf {
+    let exe = std::env::current_exe().unwrap();
+    let debug_dir = exe
+        .ancestors()
+        .find(|p| p.file_name().is_some_and(|n| n == "debug"))
+        .expect("test executable outside target/debug")
+        .to_path_buf();
+    let bin = debug_dir.join("hsgf");
+    if !bin.exists() {
+        let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".into());
+        let status = std::process::Command::new(cargo)
+            .args(["build", "-p", "hsgf-cli", "--offline"])
+            .current_dir(concat!(env!("CARGO_MANIFEST_DIR"), "/../.."))
+            .status()
+            .expect("spawn cargo build for the hsgf binary");
+        assert!(status.success(), "building the hsgf binary failed");
+    }
+    assert!(bin.exists(), "no hsgf binary at {}", bin.display());
+    bin
+}
+
+#[test]
+fn sigkilled_journaled_extraction_resumes_byte_identically() {
+    let bin = hsgf_binary();
+    let dir = std::env::temp_dir().join(format!("hsgf-sigkill-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let graph_path = dir.join("g.txt");
+    std::fs::write(&graph_path, hsgf::graph::io::to_string(&chaos_graph())).unwrap();
+
+    // Reference matrix from an unkilled run (scheduler-invariant output).
+    let ref_path = dir.join("reference.csv");
+    let status = std::process::Command::new(&bin)
+        .args([
+            "extract",
+            graph_path.to_str().unwrap(),
+            "--emax",
+            "3",
+            "--threads",
+            "1",
+            "--out",
+            ref_path.to_str().unwrap(),
+        ])
+        .status()
+        .unwrap();
+    assert!(status.success());
+    let reference = std::fs::read(&ref_path).unwrap();
+
+    // Seeded kill delays: spread over startup, early, and mid extraction.
+    let kill_ms: [u64; 4] = [20, 60, 120, 240];
+    let combos = [
+        ("cursor", "1"),
+        ("cursor", "8"),
+        ("stealing", "1"),
+        ("stealing", "8"),
+    ];
+    for (i, (scheduler, threads)) in combos.iter().enumerate() {
+        let jdir = dir.join(format!("journal-{scheduler}-{threads}"));
+        let out = dir.join(format!("out-{scheduler}-{threads}.csv"));
+        let args = |resume: bool| {
+            let mut a = vec![
+                "extract".to_string(),
+                graph_path.to_str().unwrap().to_string(),
+                "--emax".to_string(),
+                "3".to_string(),
+                "--threads".to_string(),
+                threads.to_string(),
+                "--scheduler".to_string(),
+                scheduler.to_string(),
+                "--journal".to_string(),
+                jdir.to_str().unwrap().to_string(),
+                "--out".to_string(),
+                out.to_str().unwrap().to_string(),
+            ];
+            if resume {
+                a.push("--resume".to_string());
+            }
+            a
+        };
+
+        // Start the run and SIGKILL it mid-flight. If it won the race and
+        // finished first, that's fine — resume then replays everything.
+        let mut child = std::process::Command::new(&bin)
+            .args(args(false))
+            .stdout(std::process::Stdio::null())
+            .stderr(std::process::Stdio::null())
+            .spawn()
+            .unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(kill_ms[i]));
+        let _ = child.kill(); // SIGKILL on unix
+        let _ = child.wait();
+
+        let status = std::process::Command::new(&bin)
+            .args(args(true))
+            .status()
+            .unwrap();
+        assert!(
+            status.success(),
+            "resume failed ({scheduler}, {threads} threads)"
+        );
+        assert_eq!(
+            std::fs::read(&out).unwrap(),
+            reference,
+            "resumed matrix not byte-identical ({scheduler}, {threads} threads)"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]
