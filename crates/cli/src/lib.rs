@@ -181,6 +181,16 @@ impl From<std::io::Error> for CliError {
         CliError::Io(e)
     }
 }
+impl From<hsgf_serve::ServeError> for CliError {
+    fn from(e: hsgf_serve::ServeError) -> Self {
+        match e {
+            hsgf_serve::ServeError::Census(e) => CliError::Census(e),
+            hsgf_serve::ServeError::Graph(e) => CliError::Graph(e),
+            hsgf_serve::ServeError::Io(e) => CliError::Io(e),
+            hsgf_serve::ServeError::Protocol(msg) => CliError::Usage(msg),
+        }
+    }
+}
 
 /// The usage text shown by `hsgf help`.
 pub const USAGE: &str = "\
@@ -198,6 +208,10 @@ USAGE:
                [--metrics-out FILE] [--trace-out FILE]
                [--cache DIR|mem] [--cache-cap N] [--apply-edits FILE]
                [--journal DIR] [--resume]
+  hsgf serve <GRAPH> [--host H] [--port P] [extract flags]
+             [--cache DIR|mem] [--cache-cap N]
+             [--tail-journal DIR] [--tail-interval-ms MS] [--max-conns N]
+  hsgf serve-call <ADDR> <JSON>...
   hsgf cache-stats <DIR>
   hsgf obs-validate <METRICS> [--trace FILE] [--against METRICS2]
   hsgf help
@@ -245,6 +259,27 @@ fails *transiently* (a worker panic or a missed deadline); deterministic
 budget exhaustion is never retried. --retry-backoff-ms MS sleeps between
 attempts with exponential backoff and deterministic jitter;
 --retry-backoff-ms without --retry-max is an error.
+
+Serving: `serve` starts a long-running TCP server speaking one JSON
+request per line, one JSON response per line. It accepts the extract
+flags (--emax, --dmax-pct, --threads, --scheduler, budgets, --degrade,
+--min-df) and pins them for the server's lifetime; --port 0 (the default)
+picks a free port and the chosen address is printed as `listening on
+ADDR`. Requests: {\"op\":\"extract\",\"roots\":\"all\"|\"sample:K\"|[ids]}
+returns the exact matrix_to_json document `extract --out x.json` writes;
+{\"op\":\"census\",\"root\":N} one root's encoding counts;
+{\"op\":\"edit\",\"edits\":[\"add U V [T]\",\"remove U V\"]} applies an
+edge-edit batch and swaps the served snapshot (cached rows re-key via
+neighbourhood fingerprints, so stale entries self-invalidate);
+{\"op\":\"sync\"} absorbs new records from the --tail-journal change feed
+(also re-scanned every --tail-interval-ms); {\"op\":\"metrics\"} exports
+the obs snapshot (obs-validate accepts it); {\"op\":\"stats\"} the cache
+counters; {\"op\":\"shutdown\"} stops the server. Errors answer
+{\"ok\":false,\"error\":...} without dropping the connection. `serve-call
+ADDR JSON...` sends each request and prints each response (newline
+between responses, none trailing, so a single extract response
+byte-compares against an --out file); it exits 2 when any response is an
+error.
 
 Observability: --metrics-out writes a metrics snapshot (JSON) of the run's
 census counters; --trace-out writes per-phase and per-root spans in Chrome
@@ -486,38 +521,18 @@ pub fn extract_journaled(
 /// malformed token is a [`CliError::BadValue`] carrying that token — a bad
 /// edit must never be silently dropped.
 pub fn parse_edits(text: &str) -> Result<Vec<EdgeEdit>, CliError> {
-    let bad = |token: &str| CliError::BadValue {
-        key: "apply-edits".to_string(),
-        value: token.to_string(),
-    };
     let mut edits = Vec::new();
     for line in text.lines() {
-        let line = line.split('#').next().unwrap_or("");
-        let mut tokens = line.split_whitespace();
-        let Some(op) = tokens.next() else { continue };
-        let node = |t: Option<&str>| -> Result<NodeId, CliError> {
-            let t = t.ok_or_else(|| bad(line.trim()))?;
-            t.parse::<u32>().map(NodeId::new).map_err(|_| bad(t))
-        };
-        let edit = match op {
-            "add" => {
-                let (u, v) = (node(tokens.next())?, node(tokens.next())?);
-                let edge_type = match tokens.next() {
-                    Some(t) => t.parse::<u8>().map_err(|_| bad(t))?,
-                    None => 0,
-                };
-                EdgeEdit::Add { u, v, edge_type }
+        match hsgf_graph::parse_edit_line(line) {
+            Ok(Some(edit)) => edits.push(edit),
+            Ok(None) => {}
+            Err(token) => {
+                return Err(CliError::BadValue {
+                    key: "apply-edits".to_string(),
+                    value: token,
+                })
             }
-            "remove" => EdgeEdit::Remove {
-                u: node(tokens.next())?,
-                v: node(tokens.next())?,
-            },
-            other => return Err(bad(other)),
-        };
-        if let Some(extra) = tokens.next() {
-            return Err(bad(extra));
         }
-        edits.push(edit);
     }
     Ok(edits)
 }
@@ -852,6 +867,105 @@ pub fn run<W: Write>(options: &Options, mut out: W) -> Result<i32, CliError> {
             } else {
                 EXIT_PARTIAL
             })
+        }
+        "serve" => {
+            let path = options
+                .positional
+                .get(1)
+                .ok_or_else(|| CliError::Usage("serve needs a graph file".into()))?;
+            // Bare serve flags (no value) must not silently default.
+            for key in [
+                "port",
+                "host",
+                "tail-journal",
+                "tail-interval-ms",
+                "max-conns",
+            ] {
+                if options.flag(key) {
+                    return Err(CliError::BadValue {
+                        key: key.to_string(),
+                        value: String::new(),
+                    });
+                }
+            }
+            let port: u16 = options.get_or("port", 0)?;
+            let host: String = options.get_or("host", "127.0.0.1".to_string())?;
+            let tail_dir = options
+                .get_opt("tail-journal")
+                .map(std::path::PathBuf::from);
+            let tail_interval =
+                std::time::Duration::from_millis(options.get_or("tail-interval-ms", 1000u64)?);
+            let max_conns: usize = options.get_or("max-conns", 16)?;
+            // The server always observes itself: metrics are a wire op,
+            // not an opt-in flag.
+            let obs = Obs::enabled();
+            let cache = cache_from_options(options)?
+                .unwrap_or_else(CensusCache::in_memory)
+                .with_obs(obs.clone());
+            let text = std::fs::read_to_string(path)?;
+            let graph = hsgf_graph::io::from_str(&text)?;
+            let mut params = extract_params(options)?;
+            params.obs = obs.clone();
+            let settings = hsgf_serve::ServeSettings {
+                config: params.census_config(&graph),
+                policy: params.policy.clone(),
+                threads: params.threads,
+                scheduler: params.scheduler,
+                min_df: params.min_df,
+            };
+            let core = hsgf_serve::ServeCore::new(graph, settings, cache, obs, tail_dir)?;
+            if core.has_tail() {
+                // Warm the cache from the committed feed prefix before
+                // accepting traffic; an unmatched or torn feed is fine.
+                core.sync_journal()?;
+            }
+            let listener = std::net::TcpListener::bind((host.as_str(), port))?;
+            writeln!(out, "listening on {}", listener.local_addr()?)?;
+            out.flush()?;
+            hsgf_serve::serve(
+                listener,
+                Arc::new(core),
+                hsgf_serve::ServeOptions {
+                    max_conns,
+                    tail_interval,
+                },
+            )?;
+            Ok(0)
+        }
+        "serve-call" => {
+            let addr = options.positional.get(1).ok_or_else(|| {
+                CliError::Usage("serve-call needs an address and at least one request".into())
+            })?;
+            let requests = &options.positional[2..];
+            if requests.is_empty() {
+                return Err(CliError::Usage(
+                    "serve-call needs at least one JSON request".into(),
+                ));
+            }
+            use std::io::BufRead;
+            let mut stream = std::net::TcpStream::connect(addr)?;
+            let mut reader = std::io::BufReader::new(stream.try_clone()?);
+            let mut failed = false;
+            for (i, request) in requests.iter().enumerate() {
+                stream.write_all(request.as_bytes())?;
+                stream.write_all(b"\n")?;
+                let mut line = String::new();
+                if reader.read_line(&mut line)? == 0 {
+                    return Err(CliError::Usage(
+                        "server closed the connection before answering".into(),
+                    ));
+                }
+                let line = line.trim_end_matches('\n');
+                if i > 0 {
+                    out.write_all(b"\n")?;
+                }
+                out.write_all(line.as_bytes())?;
+                if line.starts_with("{\"ok\":false") {
+                    failed = true;
+                }
+            }
+            out.flush()?;
+            Ok(if failed { 2 } else { 0 })
         }
         "cache-stats" => {
             let dir = options

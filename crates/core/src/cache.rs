@@ -507,11 +507,20 @@ impl CensusCache {
 pub fn read_dir_stats(dir: &Path) -> io::Result<(CacheStats, usize)> {
     let mut stats = read_stats_file(&dir.join("stats.txt")).unwrap_or_default();
     let mut entries = 0;
-    for item in fs::read_dir(dir)? {
-        let item = item?;
-        if item.path().extension().is_some_and(|e| e == "entry") {
-            entries += 1;
+    match fs::read_dir(dir) {
+        Ok(items) => {
+            for item in items {
+                let item = item?;
+                if item.path().extension().is_some_and(|e| e == "entry") {
+                    entries += 1;
+                }
+            }
         }
+        // A partially-initialized cache (flushed stats or a quarantine
+        // subdir created before the first entry landed, or nothing at all)
+        // reports zeros rather than erroring.
+        Err(err) if err.kind() == io::ErrorKind::NotFound => {}
+        Err(err) => return Err(err),
     }
     let mut penned = 0u64;
     if let Ok(items) = fs::read_dir(dir.join(QUARANTINE_DIR)) {
@@ -521,12 +530,20 @@ pub fn read_dir_stats(dir: &Path) -> io::Result<(CacheStats, usize)> {
     Ok((stats, entries))
 }
 
+/// Parses `stats.txt`. Torn-tail tolerant, mirroring journal recovery: the
+/// file is written atomically, but a crashed writer from an older layout or
+/// a rotted tail must not zero the counters that *did* parse — scanning
+/// stops at the first malformed or unknown line and the good prefix is
+/// kept.
 fn read_stats_file(path: &Path) -> Option<CacheStats> {
     let text = fs::read_to_string(path).ok()?;
     let mut stats = CacheStats::default();
     for line in text.lines() {
         let mut parts = line.split_whitespace();
-        let (key, value) = (parts.next()?, parts.next()?.parse::<u64>().ok()?);
+        let parsed = parts
+            .next()
+            .and_then(|key| Some((key, parts.next()?.parse::<u64>().ok()?)));
+        let Some((key, value)) = parsed else { break };
         match key {
             "hits" => stats.hits = value,
             "misses" => stats.misses = value,
@@ -534,7 +551,7 @@ fn read_stats_file(path: &Path) -> Option<CacheStats> {
             "stores" => stats.stores = value,
             "quarantined" => stats.quarantined = value,
             "fingerprint_micros" => stats.fingerprint_micros = value,
-            _ => return None,
+            _ => break,
         }
     }
     Some(stats)
@@ -868,6 +885,65 @@ mod tests {
         let (stats, entries) = read_dir_stats(&dir).unwrap();
         assert_eq!(stats.quarantined, 2);
         assert_eq!(entries, 0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn dir_stats_tolerate_partial_initialization() {
+        // A quarantine/ subdir with no stats.txt and no entries: zeros plus
+        // the quarantine count, not an error.
+        let dir = temp_dir("partial");
+        fs::create_dir_all(dir.join(QUARANTINE_DIR)).unwrap();
+        fs::write(dir.join(QUARANTINE_DIR).join("rotten.entry"), "x").unwrap();
+        let (stats, entries) = read_dir_stats(&dir).unwrap();
+        assert_eq!(entries, 0);
+        assert_eq!(stats.quarantined, 1);
+        assert_eq!((stats.hits, stats.misses, stats.stores), (0, 0, 0));
+        // A directory that does not exist at all reads as empty, matching
+        // how journal recovery treats a missing journal dir.
+        let gone = dir.join("never-created");
+        let (stats, entries) = read_dir_stats(&gone).unwrap();
+        assert_eq!((entries, stats.hits, stats.quarantined), (0, 0, 0));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_stats_file_keeps_the_good_prefix() {
+        let dir = temp_dir("tornstats");
+        // Truncated mid-value on the final line: the parsed prefix must
+        // survive, the way journal recovery keeps frames before a torn tail.
+        fs::write(
+            dir.join("stats.txt"),
+            "hits 5\nmisses 2\nstores 3\nfingerprint_mic",
+        )
+        .unwrap();
+        let (stats, _) = read_dir_stats(&dir).unwrap();
+        assert_eq!((stats.hits, stats.misses, stats.stores), (5, 2, 3));
+        assert_eq!(stats.fingerprint_micros, 0);
+        // A torn *value* on the final line is equally recoverable.
+        fs::write(dir.join("stats.txt"), "hits 7\nmisses").unwrap();
+        let (stats, _) = read_dir_stats(&dir).unwrap();
+        assert_eq!((stats.hits, stats.misses), (7, 0));
+        // An unknown key (a future layout) stops the scan without zeroing
+        // what already parsed.
+        fs::write(
+            dir.join("stats.txt"),
+            "hits 9\nshiny_new_counter 4\nmisses 1\n",
+        )
+        .unwrap();
+        let (stats, _) = read_dir_stats(&dir).unwrap();
+        assert_eq!((stats.hits, stats.misses), (9, 0));
+        // And flush() merges *into* the surviving prefix rather than
+        // resetting it.
+        fs::write(dir.join("stats.txt"), "hits 5\nmisses 2\ntorn").unwrap();
+        let cache = CensusCache::on_disk(&dir).unwrap();
+        cache.store(key(1, 0), &entry(1));
+        cache.lookup(&key(1, 0)).unwrap();
+        cache.flush().unwrap();
+        let (stats, _) = read_dir_stats(&dir).unwrap();
+        assert_eq!(stats.hits, 6);
+        assert_eq!(stats.misses, 2);
+        assert_eq!(stats.stores, 1);
         let _ = fs::remove_dir_all(&dir);
     }
 

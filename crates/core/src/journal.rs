@@ -174,6 +174,116 @@ pub struct RecoveryReport {
     pub segments: u32,
 }
 
+/// What [`tail_records`] observed in a journal directory.
+#[derive(Debug, Default)]
+pub struct TailReport {
+    /// The run header of the first committed segment, when one exists.
+    pub header: Option<JournalHeader>,
+    /// Every record in the committed prefix, in journal order.
+    pub records: Vec<RootRecord>,
+    /// Whether the scan stopped at a torn/corrupt frame or a segment gap
+    /// (an in-flight append, or stale leftovers). A later tail may see
+    /// further once the writer completes the frame.
+    pub torn: bool,
+    /// Committed segments contributing records.
+    pub segments: u32,
+}
+
+/// Reads the committed prefix of a journal directory **without touching
+/// it** — the change-feed read path of the serving layer, as opposed to
+/// [`Journal::resume`], which truncates torn tails and deletes stale
+/// segments as a writer taking ownership.
+///
+/// The scan walks segments from index 0 in contiguous order, verifies
+/// every frame checksum, and stops at the first torn frame, malformed
+/// payload, or gap; everything before the stop is durably committed and is
+/// returned. Unlike `resume`, no header is required up front: the first
+/// segment's header is *reported* (so a tailer can decide whether the feed
+/// matches its graph/config), and subsequent segments must carry the same
+/// one. A missing directory is an empty feed, not an error.
+pub fn tail_records(dir: &Path) -> io::Result<TailReport> {
+    let mut report = TailReport::default();
+    let segments = match list_segments(dir) {
+        Ok(segments) => segments,
+        // A feed that has not started yet is empty, not broken.
+        Err(err) if err.kind() == io::ErrorKind::NotFound => return Ok(report),
+        Err(err) => return Err(err),
+    };
+    if segments.is_empty() {
+        return Ok(report);
+    }
+    if segments[0] != 0 {
+        // No contiguous prefix from segment 0: stale leftovers only.
+        report.torn = true;
+        return Ok(report);
+    }
+    for (slot, &index) in segments.iter().enumerate() {
+        if slot as u32 != index {
+            report.torn = true;
+            break;
+        }
+        let bytes = fs::read(segment_path(dir, index))?;
+        if !scan_segment_read_only(&bytes, &mut report) {
+            break;
+        }
+    }
+    Ok(report)
+}
+
+/// Walks one segment's bytes for [`tail_records`], appending committed
+/// records to `report`. Returns `false` when the scan must stop (torn
+/// frame, bad payload, or a header mismatching the first segment's).
+fn scan_segment_read_only(bytes: &[u8], report: &mut TailReport) -> bool {
+    if bytes.len() < MAGIC.len() || &bytes[..MAGIC.len()] != MAGIC {
+        report.torn = true;
+        return false;
+    }
+    let mut offset = MAGIC.len();
+    let mut saw_header = false;
+    loop {
+        let rest = &bytes[offset..];
+        if rest.is_empty() {
+            break;
+        }
+        let Some(payload) = verify_frame(rest) else {
+            report.torn = true;
+            return false;
+        };
+        if !saw_header {
+            match decode_header(payload) {
+                Some((version, header)) if version == JOURNAL_VERSION => {
+                    match report.header {
+                        None => report.header = Some(header),
+                        // A different run's segment in the same dir: stop
+                        // at the boundary rather than mixing feeds.
+                        Some(expected) if header != expected => {
+                            report.torn = true;
+                            return false;
+                        }
+                        Some(_) => {}
+                    }
+                    saw_header = true;
+                }
+                _ => {
+                    report.torn = true;
+                    return false;
+                }
+            }
+        } else {
+            match decode_root_record(payload) {
+                Some(record) => report.records.push(record),
+                None => {
+                    report.torn = true;
+                    return false;
+                }
+            }
+        }
+        offset += 12 + payload.len();
+    }
+    report.segments += 1;
+    true
+}
+
 /// Hash of an ordered root list, for the journal run header. Order matters:
 /// replay maps journal records back onto list positions.
 pub fn roots_hash(roots: &[NodeId]) -> u64 {
@@ -989,5 +1099,94 @@ mod tests {
             roots_hash(&a),
             roots_hash(&[NodeId::new(1), NodeId::new(2)])
         );
+    }
+
+    #[test]
+    fn tail_reads_committed_prefix_without_mutating() {
+        let dir = temp_dir("tail");
+        let journal = Journal::create(&dir, &header()).unwrap();
+        for root in 0..6 {
+            journal.append(&record(root), None).unwrap();
+        }
+        let report = tail_records(&dir).unwrap();
+        assert_eq!(report.header, Some(header()));
+        assert_eq!(report.records.len(), 6);
+        assert!(!report.torn);
+        for (i, rec) in report.records.iter().enumerate() {
+            assert_eq!(*rec, record(i as u32));
+        }
+        // The journal is still live: the tail must not have truncated or
+        // deleted anything, and further appends keep feeding it.
+        journal.append(&record(6), None).unwrap();
+        assert_eq!(tail_records(&dir).unwrap().records.len(), 7);
+        drop(journal);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn tail_of_missing_or_empty_dir_is_empty() {
+        let dir = temp_dir("tailempty");
+        let gone = dir.join("never-created");
+        let report = tail_records(&gone).unwrap();
+        assert!(report.header.is_none());
+        assert!(report.records.is_empty());
+        assert!(!report.torn);
+        // An existing directory with no segments is just as empty.
+        fs::create_dir_all(&dir).unwrap();
+        let report = tail_records(&dir).unwrap();
+        assert!(report.records.is_empty());
+        assert!(!report.torn);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn tail_stops_at_torn_frame_and_leaves_the_file_alone() {
+        let dir = temp_dir("tailtorn");
+        let journal = Journal::create(&dir, &header()).unwrap();
+        for root in 0..5 {
+            journal.append(&record(root), None).unwrap();
+        }
+        drop(journal);
+        // Chop mid-frame: a committed prefix plus a torn tail.
+        let path = segment_path(&dir, 0);
+        let bytes = fs::read(&path).unwrap();
+        let torn_len = bytes.len() - 7;
+        fs::write(&path, &bytes[..torn_len]).unwrap();
+        let report = tail_records(&dir).unwrap();
+        assert!(report.torn);
+        assert_eq!(report.records.len(), 4, "good prefix survives");
+        // Read-only: the torn file is byte-for-byte untouched, so a later
+        // writer (or Journal::resume) still owns the truncation decision.
+        assert_eq!(fs::read(&path).unwrap().len(), torn_len);
+        // Once the "in-flight" frame completes, a re-tail sees it: restore
+        // the full segment and the feed catches up.
+        fs::write(&path, &bytes).unwrap();
+        let report = tail_records(&dir).unwrap();
+        assert!(!report.torn);
+        assert_eq!(report.records.len(), 5);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn tail_spans_segments_and_stops_at_gaps() {
+        let dir = temp_dir("tailseg");
+        let journal = Journal::create(&dir, &header())
+            .unwrap()
+            .with_segment_bytes(256);
+        for root in 0..10 {
+            journal.append(&record(root), None).unwrap();
+        }
+        drop(journal);
+        let full = tail_records(&dir).unwrap();
+        assert!(full.segments > 1, "fixture must actually rotate segments");
+        assert_eq!(full.records.len(), 10);
+        // Remove a middle segment: the contiguous prefix before the gap is
+        // still served, flagged torn.
+        fs::remove_file(segment_path(&dir, 1)).unwrap();
+        let gapped = tail_records(&dir).unwrap();
+        assert!(gapped.torn);
+        assert!(gapped.records.len() < 10);
+        assert_eq!(gapped.segments, 1);
+        fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -129,11 +129,18 @@ pub enum Metric {
     /// Transient-failure retries spent by the supervisor. Runtime:
     /// transient faults are scheduling-dependent by definition.
     RetryAttempts,
+    /// Feature/census queries answered by the serving layer. Runtime.
+    ServeQueries,
+    /// Edge-edit batches applied by the serving layer. Runtime.
+    ServeEdits,
+    /// Journal records absorbed by the serving layer's change-feed tail
+    /// (startup replay plus periodic re-scans). Runtime.
+    ServeJournalRecords,
 }
 
 impl Metric {
     /// Number of metrics (the length of a [`CounterSet`]).
-    pub const COUNT: usize = 28;
+    pub const COUNT: usize = 31;
 
     /// Every metric, in declaration (and JSON emission) order.
     pub const ALL: [Metric; Metric::COUNT] = [
@@ -165,6 +172,9 @@ impl Metric {
         Metric::JournalReplays,
         Metric::JournalTruncatedTails,
         Metric::RetryAttempts,
+        Metric::ServeQueries,
+        Metric::ServeEdits,
+        Metric::ServeJournalRecords,
     ];
 
     /// The metric's snake_case name, used as its JSON key.
@@ -198,6 +208,9 @@ impl Metric {
             Metric::JournalReplays => "journal_replays",
             Metric::JournalTruncatedTails => "journal_truncated_tails",
             Metric::RetryAttempts => "retry_attempts",
+            Metric::ServeQueries => "serve_queries",
+            Metric::ServeEdits => "serve_edits",
+            Metric::ServeJournalRecords => "serve_journal_records",
         }
     }
 

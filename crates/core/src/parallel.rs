@@ -564,7 +564,7 @@ pub fn extract_feature_matrix_with(
 /// fingerprint radius is the configured `emax`: every subgraph the census
 /// can reach, plus the degrees the `dmax` heuristic consults, lies inside
 /// that ball (see [`hsgf_graph::fingerprint`]).
-pub(crate) fn cache_keys(
+pub fn cache_keys(
     engine: &CensusEngine<'_>,
     roots: &[NodeId],
     cache: &CensusCache,

@@ -160,19 +160,31 @@ impl ExtractionPolicy {
 /// seed) are never touched, so degraded censuses stay feature-comparable.
 pub fn degrade_ladder(base: &CensusConfig) -> Vec<CensusConfig> {
     let mut steps = Vec::new();
-    let base_dmax = base.dmax.unwrap_or(u32::MAX);
     for dmax in [16u32, 4] {
-        if dmax < base_dmax {
+        if dmax_strictly_tighter(Some(dmax), base.dmax) {
             steps.push(base.clone().with_dmax(Some(dmax)));
         }
     }
-    let tight_dmax = base_dmax.min(4);
+    let tight_dmax = base.dmax.map_or(4, |d| d.min(4));
     let mut emax = base.emax;
     while emax > 2 {
         emax -= 1;
         steps.push(base.clone().with_emax(emax).with_dmax(Some(tight_dmax)));
     }
     steps
+}
+
+/// Whether `candidate` is a strictly tighter hub cutoff than `base`.
+/// `None` means unlimited, so any finite candidate tightens it — including
+/// `Some(u32::MAX)`, which is a real (if absurd) cap, not a sentinel.
+/// Collapsing `Some(u32::MAX)` into `u32::MAX` via `unwrap_or` would make
+/// the two indistinguishable and break rung-monotonicity checks.
+pub fn dmax_strictly_tighter(candidate: Option<u32>, base: Option<u32>) -> bool {
+    match (candidate, base) {
+        (Some(_), None) => true,
+        (Some(c), Some(b)) => c < b,
+        (None, _) => false,
+    }
 }
 
 /// Fault-injection hook for chaos testing the supervisor. Implementations
@@ -1217,11 +1229,14 @@ mod tests {
         let ladder = degrade_ladder(&base);
         assert_eq!(shape(&ladder), shape(&degrade_ladder(&base)));
         assert!(!ladder.is_empty());
-        let mut prev = (base.emax, base.dmax.unwrap_or(u32::MAX));
+        // Each rung must shrink emax or strictly tighten dmax — compared
+        // over Option<u32> directly, so an unlimited base (None) is not
+        // conflated with a base capped at exactly u32::MAX.
+        let mut prev = (base.emax, base.dmax);
         for step in &ladder {
-            let cur = (step.emax, step.dmax.unwrap_or(u32::MAX));
+            let cur = (step.emax, step.dmax);
             assert!(
-                cur < prev,
+                cur.0 < prev.0 || (cur.0 == prev.0 && dmax_strictly_tighter(cur.1, prev.1)),
                 "ladder must strictly tighten: {prev:?} -> {cur:?}"
             );
             assert_eq!(step.hash_seed, base.hash_seed);
@@ -1231,6 +1246,43 @@ mod tests {
         // An already-tight base yields a short (possibly empty) ladder.
         let tight = CensusConfig::default().with_emax(2).with_dmax(Some(3));
         assert!(degrade_ladder(&tight).is_empty());
+    }
+
+    #[test]
+    fn ladder_treats_dmax_u32_max_as_a_real_cap() {
+        // Regression: dmax = Some(u32::MAX) used to collapse into the
+        // unwrap_or(u32::MAX) sentinel for "unlimited", making the two
+        // indistinguishable. A u32::MAX cap is bounded, and every rung must
+        // still strictly tighten under the Option-aware comparison.
+        let capped = CensusConfig::default()
+            .with_emax(4)
+            .with_dmax(Some(u32::MAX));
+        let unlimited = CensusConfig::default().with_emax(4);
+        let capped_ladder = degrade_ladder(&capped);
+        let unlimited_ladder = degrade_ladder(&unlimited);
+        assert!(!capped_ladder.is_empty());
+        let shape = |cfgs: &[CensusConfig]| -> Vec<(usize, Option<u32>)> {
+            cfgs.iter().map(|c| (c.emax, c.dmax)).collect()
+        };
+        // Both ladders tighten to the same finite rungs (16, then 4, then
+        // emax reductions at dmax 4) because 16 < u32::MAX and 16 tightens
+        // an unlimited base too.
+        assert_eq!(shape(&capped_ladder), shape(&unlimited_ladder));
+        let mut prev = (capped.emax, capped.dmax);
+        for step in &capped_ladder {
+            let cur = (step.emax, step.dmax);
+            assert!(
+                cur.0 < prev.0 || (cur.0 == prev.0 && dmax_strictly_tighter(cur.1, prev.1)),
+                "rung {cur:?} does not tighten {prev:?}"
+            );
+            prev = cur;
+        }
+        // The helper itself: a finite cap tightens None, None tightens
+        // nothing, and Some(u32::MAX) is not treated as unlimited.
+        assert!(dmax_strictly_tighter(Some(u32::MAX), None));
+        assert!(!dmax_strictly_tighter(None, Some(u32::MAX)));
+        assert!(!dmax_strictly_tighter(Some(u32::MAX), Some(u32::MAX)));
+        assert!(dmax_strictly_tighter(Some(16), Some(u32::MAX)));
     }
 
     #[test]

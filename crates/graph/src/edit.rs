@@ -38,6 +38,44 @@ pub enum EdgeEdit {
     },
 }
 
+/// Parses one line of an edge-edit list: `add U V [TYPE]` or `remove U V`,
+/// tokens separated by any whitespace, with `#` starting a comment. Returns
+/// `Ok(None)` for a blank or comment-only line and `Err(token)` carrying
+/// the offending token for anything malformed — a bad edit must never be
+/// silently dropped. This is the one grammar shared by the CLI's
+/// `--apply-edits` files and the serving layer's wire-protocol edit
+/// batches.
+pub fn parse_edit_line(line: &str) -> Result<Option<EdgeEdit>, String> {
+    let line = line.split('#').next().unwrap_or("");
+    let mut tokens = line.split_whitespace();
+    let Some(op) = tokens.next() else {
+        return Ok(None);
+    };
+    let node = |t: Option<&str>| -> Result<NodeId, String> {
+        let t = t.ok_or_else(|| line.trim().to_string())?;
+        t.parse::<u32>().map(NodeId::new).map_err(|_| t.to_string())
+    };
+    let edit = match op {
+        "add" => {
+            let (u, v) = (node(tokens.next())?, node(tokens.next())?);
+            let edge_type = match tokens.next() {
+                Some(t) => t.parse::<u8>().map_err(|_| t.to_string())?,
+                None => 0,
+            };
+            EdgeEdit::Add { u, v, edge_type }
+        }
+        "remove" => EdgeEdit::Remove {
+            u: node(tokens.next())?,
+            v: node(tokens.next())?,
+        },
+        other => return Err(other.to_string()),
+    };
+    if let Some(extra) = tokens.next() {
+        return Err(extra.to_string());
+    }
+    Ok(Some(edit))
+}
+
 /// Applies `edits` in order and returns the rebuilt graph.
 ///
 /// Surviving edges keep their direction and type; added edges are
@@ -196,6 +234,36 @@ mod tests {
             }]
         )
         .is_err());
+    }
+
+    #[test]
+    fn edit_lines_parse_and_reject() {
+        assert_eq!(
+            parse_edit_line("add 1 2 3").unwrap(),
+            Some(EdgeEdit::Add {
+                u: n(1),
+                v: n(2),
+                edge_type: 3
+            })
+        );
+        assert_eq!(
+            parse_edit_line("add 1 2").unwrap(),
+            Some(EdgeEdit::Add {
+                u: n(1),
+                v: n(2),
+                edge_type: 0
+            })
+        );
+        assert_eq!(
+            parse_edit_line("  remove 4 5  # trailing comment").unwrap(),
+            Some(EdgeEdit::Remove { u: n(4), v: n(5) })
+        );
+        assert_eq!(parse_edit_line("").unwrap(), None);
+        assert_eq!(parse_edit_line("# only a comment").unwrap(), None);
+        assert_eq!(parse_edit_line("drop 1 2"), Err("drop".to_string()));
+        assert_eq!(parse_edit_line("add 1 x"), Err("x".to_string()));
+        assert_eq!(parse_edit_line("remove 1 2 3"), Err("3".to_string()));
+        assert_eq!(parse_edit_line("add 1"), Err("add 1".to_string()));
     }
 
     #[test]

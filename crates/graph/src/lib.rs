@@ -48,7 +48,7 @@ mod error;
 
 pub use builder::GraphBuilder;
 pub use direction::{Direction, Orientation};
-pub use edit::{apply_edits, EdgeEdit};
+pub use edit::{apply_edits, parse_edit_line, EdgeEdit};
 pub use error::GraphError;
 pub use fingerprint::{
     neighborhood_fingerprint, neighborhood_fingerprint_with, FingerprintScratch,

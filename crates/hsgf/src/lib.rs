@@ -14,6 +14,8 @@
 //!   (`hsgf-data`).
 //! * [`eval`] — the experiment harness regenerating each table and figure
 //!   (`hsgf-eval`).
+//! * [`serve`] — the long-running feature-serving layer over the census
+//!   cache (`hsgf-serve`).
 //!
 //! ## Quickstart
 //!
@@ -45,3 +47,4 @@ pub use hsgf_embed as embed;
 pub use hsgf_eval as eval;
 pub use hsgf_graph as graph;
 pub use hsgf_ml as ml;
+pub use hsgf_serve as serve;

@@ -1,0 +1,700 @@
+//! Long-running feature-serving layer over the census cache.
+//!
+//! `hsgf serve` wraps this crate: a TCP server speaking newline-delimited
+//! JSON (one request object per line, one response per line) that serves
+//! per-root feature vectors and census encodings out of a
+//! [`hsgf_core::cache::CensusCache`]. A cache hit returns the stored row;
+//! a miss runs a (possibly budgeted, supervised) extraction on a bounded
+//! worker pool and writes through. Three things make the server more than
+//! a cache front end:
+//!
+//! * **Writes.** An `edit` request applies an [`EdgeEdit`] batch through
+//!   [`hsgf_graph::apply_edits`] and atomically swaps the served graph
+//!   snapshot. No explicit invalidation happens — cache keys are
+//!   neighbourhood fingerprints, so entries whose dependency ball an edit
+//!   touched simply stop matching (see [`hsgf_core::cache`]).
+//! * **Change feed.** With a tail directory configured, the server
+//!   periodically re-reads the committed prefix of an
+//!   [`hsgf_core::journal`] written by offline `hsgf extract --journal`
+//!   runs and absorbs matching records into the cache
+//!   ([`journal::tail_records`] is read-only and torn-tail safe, so a
+//!   concurrent writer is never corrupted).
+//! * **Observability.** A `metrics` request exports the standard
+//!   [`hsgf_core::obs`] snapshot (validated by `hsgf obs-validate`);
+//!   `stats` exports the cache counters, so hit rates are observable
+//!   while the server runs.
+//!
+//! Consistency model: reads snapshot the graph once per request (an
+//! `Arc` clone), so a query races an edit to *either* the old or the new
+//! graph — never a torn mix — and the winning snapshot's response is
+//! byte-identical to an offline `hsgf extract` over that graph. The wire
+//! format of an `extract` response *is* [`export::matrix_to_json`], the
+//! exact bytes `hsgf extract --out x.json` writes.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod net;
+
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
+
+use hsgf_core::cache::{
+    config_fingerprint, policy_fingerprint, CacheEntry, CacheKey, CachedOutcome, CensusCache,
+};
+use hsgf_core::census::{CensusConfig, CensusEngine, CensusError};
+use hsgf_core::export;
+use hsgf_core::features::FeatureMatrix;
+use hsgf_core::journal::{self, JournaledOutcome};
+use hsgf_core::json::{self, JsonArray, JsonObject, JsonValue};
+use hsgf_core::obs::{Metric, Obs};
+use hsgf_core::parallel::{cache_keys, extract_censuses_cached};
+use hsgf_core::sampling;
+use hsgf_core::steal::SchedulerKind;
+use hsgf_core::supervisor::{ExtractionPolicy, PartialExtraction, RootOutcome, Supervisor};
+use hsgf_graph::fingerprint::graph_fingerprint;
+use hsgf_graph::{apply_edits, parse_edit_line, EdgeEdit, GraphError, HetGraph, NodeId};
+
+pub use net::{serve, ServeOptions};
+
+/// Errors surfaced by the serving layer.
+#[derive(Debug)]
+pub enum ServeError {
+    /// Census-layer failure (bad configuration, engine error).
+    Census(CensusError),
+    /// Graph-layer failure (bad edit endpoints, self loops).
+    Graph(GraphError),
+    /// Filesystem / socket failure.
+    Io(std::io::Error),
+    /// Malformed request or misuse of the wire protocol.
+    Protocol(String),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Census(e) => write!(f, "census error: {e}"),
+            ServeError::Graph(e) => write!(f, "graph error: {e}"),
+            ServeError::Io(e) => write!(f, "io error: {e}"),
+            ServeError::Protocol(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<CensusError> for ServeError {
+    fn from(e: CensusError) -> Self {
+        ServeError::Census(e)
+    }
+}
+impl From<GraphError> for ServeError {
+    fn from(e: GraphError) -> Self {
+        ServeError::Graph(e)
+    }
+}
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> Self {
+        ServeError::Io(e)
+    }
+}
+
+/// The extraction configuration a server is pinned to. All requests run
+/// under these settings; they are part of every cache key, so a restart
+/// with different settings starts from a logically empty cache view.
+#[derive(Clone, Debug)]
+pub struct ServeSettings {
+    /// Census configuration with `dmax` already resolved to an absolute
+    /// cutoff (the serving layer never re-derives percentiles, so edits
+    /// cannot silently shift the configuration under cached entries).
+    pub config: CensusConfig,
+    /// Per-root resource policy. Bounded (or degrade-enabled) policies
+    /// route misses through the supervisor, exactly like `hsgf extract`.
+    pub policy: ExtractionPolicy,
+    /// Worker threads per extraction.
+    pub threads: usize,
+    /// How roots are spread over the worker pool.
+    pub scheduler: SchedulerKind,
+    /// Minimum document frequency applied to response matrices.
+    pub min_df: u32,
+}
+
+/// Root selection of one `extract` request.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RootsRequest {
+    /// Every node of the current graph.
+    All,
+    /// Every `k`-th node (deterministic stride subsample).
+    Sample(usize),
+    /// An explicit root list, served in the given order.
+    Explicit(Vec<u32>),
+}
+
+/// What one change-feed sync observed.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SyncReport {
+    /// Whether the feed's header matches this server's graph and
+    /// configuration (a non-matching feed is left alone, not an error).
+    pub matched: bool,
+    /// Whether the feed scan stopped at a torn frame or segment gap (an
+    /// in-flight writer; a later sync may see further).
+    pub torn: bool,
+    /// Committed records visible in the feed right now.
+    pub records: usize,
+    /// Records newly absorbed into the cache by *this* sync.
+    pub absorbed: usize,
+    /// Total records absorbed since the feed last matched.
+    pub total_absorbed: usize,
+}
+
+struct TailFeed {
+    dir: PathBuf,
+    absorbed: Mutex<usize>,
+}
+
+/// Shared state of one server: the current graph snapshot, the census
+/// cache, the pinned extraction settings, and the optional journal feed.
+///
+/// Thread safety: reads clone the graph `Arc` under a brief lock and then
+/// run lock-free; edits serialize among themselves and swap the `Arc`.
+/// The cache is internally sharded and shared by all requests.
+pub struct ServeCore {
+    graph: Mutex<Arc<HetGraph>>,
+    edit_lock: Mutex<()>,
+    settings: ServeSettings,
+    cache: CensusCache,
+    obs: Obs,
+    tail: Option<TailFeed>,
+}
+
+impl ServeCore {
+    /// Builds a server core, validating `settings.config` against the
+    /// graph up front so a misconfigured server fails at startup, not on
+    /// the first request.
+    pub fn new(
+        graph: HetGraph,
+        settings: ServeSettings,
+        cache: CensusCache,
+        obs: Obs,
+        tail_dir: Option<PathBuf>,
+    ) -> Result<ServeCore, ServeError> {
+        CensusEngine::new(&graph, settings.config.clone())?;
+        Ok(ServeCore {
+            graph: Mutex::new(Arc::new(graph)),
+            edit_lock: Mutex::new(()),
+            settings,
+            cache,
+            obs,
+            tail: tail_dir.map(|dir| TailFeed {
+                dir,
+                absorbed: Mutex::new(0),
+            }),
+        })
+    }
+
+    /// The current graph snapshot (an `Arc` clone; never blocks on an
+    /// in-flight extraction).
+    pub fn snapshot(&self) -> Arc<HetGraph> {
+        self.graph.lock().expect("graph lock poisoned").clone()
+    }
+
+    /// The pinned extraction settings.
+    pub fn settings(&self) -> &ServeSettings {
+        &self.settings
+    }
+
+    /// The server's observability handle.
+    pub fn obs(&self) -> &Obs {
+        &self.obs
+    }
+
+    /// The shared census cache.
+    pub fn cache(&self) -> &CensusCache {
+        &self.cache
+    }
+
+    /// Whether a journal change feed is configured.
+    pub fn has_tail(&self) -> bool {
+        self.tail.is_some()
+    }
+
+    fn resolve_roots(
+        &self,
+        graph: &HetGraph,
+        request: &RootsRequest,
+    ) -> Result<Vec<NodeId>, ServeError> {
+        let all: Vec<NodeId> = graph.nodes().collect();
+        match request {
+            RootsRequest::All => Ok(all),
+            RootsRequest::Sample(k) => Ok(sampling::stride_sample(&all, *k)),
+            RootsRequest::Explicit(ids) => ids
+                .iter()
+                .map(|&id| {
+                    if (id as usize) < graph.node_count() {
+                        Ok(NodeId::new(id))
+                    } else {
+                        Err(ServeError::Protocol(format!(
+                            "root {id} out of range (graph has {} nodes)",
+                            graph.node_count()
+                        )))
+                    }
+                })
+                .collect(),
+        }
+    }
+
+    /// Runs one extraction over `roots` on `graph` through the shared
+    /// cache. Mirrors the CLI's `extract_through` exactly — supervised
+    /// when the policy is bounded or degrade-enabled, the plain cached
+    /// path otherwise — so responses are bit-identical to offline runs.
+    fn extract_on(
+        &self,
+        graph: &HetGraph,
+        roots: Vec<NodeId>,
+    ) -> Result<PartialExtraction, ServeError> {
+        let s = &self.settings;
+        let mut partial = if s.policy.is_bounded() || s.policy.degrade {
+            let supervisor = Supervisor::new(graph, s.config.clone(), s.policy.clone())?
+                .with_obs(self.obs.clone());
+            supervisor.extract_cached(&roots, s.threads, s.scheduler, &self.cache)
+        } else {
+            let engine = CensusEngine::new(graph, s.config.clone())?.with_obs(self.obs.clone());
+            let censuses =
+                extract_censuses_cached(&engine, &roots, s.threads, s.scheduler, &self.cache)?;
+            self.obs.add(Metric::RootsExact, roots.len() as u64);
+            let outcomes = vec![RootOutcome::Exact { attempts: 1 }; roots.len()];
+            PartialExtraction {
+                matrix: self.obs.phase("feature-matrix", || {
+                    FeatureMatrix::from_censuses(roots, censuses)
+                }),
+                outcomes,
+            }
+        };
+        if s.min_df > 1 {
+            partial.matrix = partial.matrix.filter_min_df(s.min_df);
+        }
+        Ok(partial)
+    }
+
+    /// Serves one `extract` request: the response is the exact
+    /// [`export::matrix_to_json`] document `hsgf extract --out x.json`
+    /// would write for the same graph, roots, and settings.
+    pub fn query(&self, request: &RootsRequest) -> Result<String, ServeError> {
+        let graph = self.snapshot();
+        let roots = self.resolve_roots(&graph, request)?;
+        let partial = self.extract_on(&graph, roots)?;
+        self.obs.incr(Metric::ServeQueries);
+        Ok(export::matrix_to_json(&partial.matrix, graph.labels()))
+    }
+
+    /// Serves one `census` request: a single root's encoding counts,
+    /// rendered as `[encoding, count]` pairs, plus its outcome.
+    pub fn census(&self, root: u32) -> Result<String, ServeError> {
+        let graph = self.snapshot();
+        let roots = self.resolve_roots(&graph, &RootsRequest::Explicit(vec![root]))?;
+        let partial = self.extract_on(&graph, roots)?;
+        self.obs.incr(Metric::ServeQueries);
+        let matrix = &partial.matrix;
+        let mut pairs = JsonArray::new();
+        for &(f, v) in matrix.row(0) {
+            let mut pair = JsonArray::new();
+            pair.push_str(&matrix.space().key(f).render(graph.labels()));
+            pair.push_num(v);
+            pairs.push_raw(&pair.finish());
+        }
+        let mut obj = JsonObject::new().bool("ok", true).uint("root", root as u64);
+        obj = match &partial.outcomes[0] {
+            RootOutcome::Exact { .. } => obj.str("outcome", "exact"),
+            RootOutcome::Degraded { rung, .. } => {
+                obj.str("outcome", "degraded").uint("rung", *rung as u64)
+            }
+            RootOutcome::Failed { error } => obj
+                .str("outcome", "failed")
+                .str("error", &error.to_string()),
+            RootOutcome::Cancelled => obj.str("outcome", "cancelled"),
+        };
+        Ok(obj.raw("census", &pairs.finish()).finish())
+    }
+
+    /// Applies an edit batch and swaps the served snapshot. Returns the
+    /// new graph's `(nodes, edges)`. Edits serialize among themselves;
+    /// readers keep extracting from whichever snapshot they hold.
+    pub fn apply(&self, edits: &[EdgeEdit]) -> Result<(usize, usize), ServeError> {
+        let _guard = self.edit_lock.lock().expect("edit lock poisoned");
+        let current = self.snapshot();
+        let edited = Arc::new(apply_edits(&current, edits)?);
+        let summary = (edited.node_count(), edited.edge_count());
+        *self.graph.lock().expect("graph lock poisoned") = edited;
+        self.obs.add(Metric::ServeEdits, edits.len() as u64);
+        Ok(summary)
+    }
+
+    /// Reads the journal change feed once and absorbs any new committed
+    /// records into the cache. A feed whose header does not match this
+    /// server's graph + configuration (or an empty feed) is reported as
+    /// unmatched and left alone — stale feeds must never poison the
+    /// cache. Errors when no feed is configured.
+    pub fn sync_journal(&self) -> Result<SyncReport, ServeError> {
+        let feed = self.tail.as_ref().ok_or_else(|| {
+            ServeError::Protocol("no journal feed configured (start with --tail-journal)".into())
+        })?;
+        let report = journal::tail_records(&feed.dir)?;
+        let graph = self.snapshot();
+        let s = &self.settings;
+        let base = config_fingerprint(&s.config);
+        let expected_config = policy_fingerprint(base, &s.policy);
+        let matched = report.header.as_ref().map_or(false, |h| {
+            h.config == expected_config && h.graph == graph_fingerprint(&graph)
+        });
+        let mut absorbed = feed.absorbed.lock().expect("tail cursor poisoned");
+        if !matched {
+            // Reset the cursor so a feed that starts matching later (e.g.
+            // after an edit is reverted) replays from its beginning.
+            *absorbed = 0;
+            return Ok(SyncReport {
+                matched,
+                torn: report.torn,
+                records: report.records.len(),
+                absorbed: 0,
+                total_absorbed: 0,
+            });
+        }
+        if report.records.len() < *absorbed {
+            // The feed was restarted (shorter than what we already saw).
+            *absorbed = 0;
+        }
+        let fresh = &report.records[*absorbed..];
+        if !fresh.is_empty() {
+            let engine = CensusEngine::new(&graph, s.config.clone())?;
+            let supervised = s.policy.is_bounded() || s.policy.degrade;
+            // Keys must match whichever lookup path queries take: the
+            // supervised path folds the policy into the fingerprint, the
+            // plain path uses the bare configuration fingerprint.
+            let key_config = if supervised { expected_config } else { base };
+            let roots: Vec<NodeId> = fresh.iter().map(|r| NodeId::new(r.root)).collect();
+            let keys = cache_keys(&engine, &roots, &self.cache, key_config);
+            for (record, key) in fresh.iter().zip(keys) {
+                let outcome = match &record.outcome {
+                    JournaledOutcome::Exact { .. } => CachedOutcome::Exact,
+                    JournaledOutcome::Degraded {
+                        dmax, emax, rung, ..
+                    } => CachedOutcome::Degraded {
+                        dmax: *dmax,
+                        emax: *emax,
+                        rung: *rung,
+                    },
+                };
+                if !supervised && !matches!(outcome, CachedOutcome::Exact) {
+                    // The plain path only ever consults exact entries.
+                    continue;
+                }
+                let key = CacheKey {
+                    level: outcome.level(),
+                    ..key
+                };
+                self.cache.store(
+                    key,
+                    &CacheEntry {
+                        counts: record.counts.clone(),
+                        outcome,
+                    },
+                );
+            }
+            self.obs
+                .add(Metric::ServeJournalRecords, fresh.len() as u64);
+        }
+        let newly = fresh.len();
+        *absorbed = report.records.len();
+        Ok(SyncReport {
+            matched: true,
+            torn: report.torn,
+            records: report.records.len(),
+            absorbed: newly,
+            total_absorbed: *absorbed,
+        })
+    }
+
+    /// The standard metrics snapshot (the same document
+    /// `--metrics-out` writes; `hsgf obs-validate` accepts it).
+    pub fn metrics_json(&self) -> String {
+        self.obs.snapshot().to_json()
+    }
+
+    /// The cache counters plus the served graph's size, as JSON.
+    pub fn stats_json(&self) -> String {
+        let stats = self.cache.stats();
+        let graph = self.snapshot();
+        JsonObject::new()
+            .bool("ok", true)
+            .uint("entries", self.cache.entry_count() as u64)
+            .uint("hits", stats.hits)
+            .uint("misses", stats.misses)
+            .uint("stores", stats.stores)
+            .uint("evictions", stats.evictions)
+            .uint("quarantined", stats.quarantined)
+            .uint("fingerprint_micros", stats.fingerprint_micros)
+            .uint("nodes", graph.node_count() as u64)
+            .uint("edges", graph.edge_count() as u64)
+            .finish()
+    }
+}
+
+fn protocol(msg: impl Into<String>) -> ServeError {
+    ServeError::Protocol(msg.into())
+}
+
+fn roots_request(value: Option<&JsonValue>) -> Result<RootsRequest, ServeError> {
+    match value {
+        None => Ok(RootsRequest::All),
+        Some(JsonValue::String(s)) if s == "all" => Ok(RootsRequest::All),
+        Some(JsonValue::String(s)) => match s.strip_prefix("sample:") {
+            Some(k) => {
+                let k: usize = k
+                    .parse()
+                    .map_err(|_| protocol(format!("bad sample count in {s:?}")))?;
+                Ok(RootsRequest::Sample(k.max(1)))
+            }
+            None => Err(protocol(format!(
+                "bad \"roots\" value {s:?}; expected \"all\", \"sample:K\", or an id array"
+            ))),
+        },
+        Some(JsonValue::Array(items)) => items
+            .iter()
+            .map(|item| {
+                let n = item
+                    .as_f64()
+                    .ok_or_else(|| protocol("\"roots\" array must hold node ids"))?;
+                if n < 0.0 || n.fract() != 0.0 || n > u32::MAX as f64 {
+                    return Err(protocol(format!("bad root id {n}")));
+                }
+                Ok(n as u32)
+            })
+            .collect::<Result<Vec<u32>, ServeError>>()
+            .map(RootsRequest::Explicit),
+        Some(_) => Err(protocol(
+            "bad \"roots\"; expected \"all\", \"sample:K\", or an id array",
+        )),
+    }
+}
+
+fn uint_field(value: &JsonValue, key: &str) -> Result<u64, ServeError> {
+    let n = value
+        .get(key)
+        .and_then(JsonValue::as_f64)
+        .ok_or_else(|| protocol(format!("request needs a numeric {key:?} field")))?;
+    if n < 0.0 || n.fract() != 0.0 || n > u32::MAX as f64 {
+        return Err(protocol(format!("bad {key:?} value {n}")));
+    }
+    Ok(n as u64)
+}
+
+fn dispatch(core: &ServeCore, line: &str) -> Result<(String, bool), ServeError> {
+    let value = json::parse(line).map_err(|e| protocol(format!("bad request JSON: {e}")))?;
+    let op = value
+        .get("op")
+        .and_then(JsonValue::as_str)
+        .ok_or_else(|| protocol("request needs an \"op\" string"))?;
+    match op {
+        "ping" => Ok((
+            JsonObject::new()
+                .bool("ok", true)
+                .uint("version", 1)
+                .finish(),
+            false,
+        )),
+        "extract" => {
+            let request = roots_request(value.get("roots"))?;
+            Ok((core.query(&request)?, false))
+        }
+        "census" => {
+            let root = uint_field(&value, "root")? as u32;
+            Ok((core.census(root)?, false))
+        }
+        "edit" => {
+            let items = value
+                .get("edits")
+                .and_then(JsonValue::as_array)
+                .ok_or_else(|| protocol("edit needs an \"edits\" array of strings"))?;
+            let mut edits = Vec::new();
+            for item in items {
+                let text = item
+                    .as_str()
+                    .ok_or_else(|| protocol("\"edits\" entries must be strings"))?;
+                match parse_edit_line(text) {
+                    Ok(Some(edit)) => edits.push(edit),
+                    Ok(None) => {}
+                    Err(token) => return Err(protocol(format!("bad edit token {token:?}"))),
+                }
+            }
+            let (nodes, edges) = core.apply(&edits)?;
+            Ok((
+                JsonObject::new()
+                    .bool("ok", true)
+                    .uint("applied", edits.len() as u64)
+                    .uint("nodes", nodes as u64)
+                    .uint("edges", edges as u64)
+                    .finish(),
+                false,
+            ))
+        }
+        "sync" => {
+            let report = core.sync_journal()?;
+            Ok((
+                JsonObject::new()
+                    .bool("ok", true)
+                    .bool("matched", report.matched)
+                    .bool("torn", report.torn)
+                    .uint("records", report.records as u64)
+                    .uint("absorbed", report.absorbed as u64)
+                    .uint("total_absorbed", report.total_absorbed as u64)
+                    .finish(),
+                false,
+            ))
+        }
+        "metrics" => Ok((core.metrics_json(), false)),
+        "stats" => Ok((core.stats_json(), false)),
+        "shutdown" => Ok((
+            JsonObject::new()
+                .bool("ok", true)
+                .bool("shutdown", true)
+                .finish(),
+            true,
+        )),
+        other => Err(protocol(format!("unknown op {other:?}"))),
+    }
+}
+
+/// Handles one request line and returns `(response, shutdown)`. Errors
+/// become `{"ok":false,"error":...}` responses — a malformed request must
+/// never tear down the connection, let alone the server.
+pub fn handle_request(core: &ServeCore, line: &str) -> (String, bool) {
+    match dispatch(core, line) {
+        Ok(result) => result,
+        Err(e) => (
+            JsonObject::new()
+                .bool("ok", false)
+                .str("error", &e.to_string())
+                .finish(),
+            false,
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use hsgf_graph::{generators, LabelSet};
+
+    use super::*;
+
+    fn test_core() -> ServeCore {
+        let labels = LabelSet::from_names(["a", "b", "c"]).unwrap();
+        let graph = generators::barabasi_albert(labels, &[1.0, 1.0, 1.0], 60, 2, 7).unwrap();
+        let settings = ServeSettings {
+            config: CensusConfig::default().with_emax(2),
+            policy: ExtractionPolicy::default(),
+            threads: 2,
+            scheduler: SchedulerKind::Cursor,
+            min_df: 1,
+        };
+        ServeCore::new(
+            graph,
+            settings,
+            CensusCache::in_memory(),
+            Obs::enabled(),
+            None,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn extract_response_is_the_offline_json_document() {
+        let core = test_core();
+        let (body, stop) = handle_request(&core, "{\"op\":\"extract\",\"roots\":\"sample:7\"}");
+        assert!(!stop);
+        let graph = core.snapshot();
+        let all: Vec<NodeId> = graph.nodes().collect();
+        let roots = sampling::stride_sample(&all, 7);
+        let engine = CensusEngine::new(&graph, core.settings().config.clone()).unwrap();
+        let censuses = hsgf_core::parallel::extract_censuses(&engine, &roots, 1).unwrap();
+        let matrix = FeatureMatrix::from_censuses(roots, censuses);
+        assert_eq!(body, export::matrix_to_json(&matrix, graph.labels()));
+        // The second query is a pure cache hit and still byte-identical.
+        let (warm, _) = handle_request(&core, "{\"op\":\"extract\",\"roots\":\"sample:7\"}");
+        assert_eq!(warm, body);
+        assert!(core.cache().stats().hits > 0);
+    }
+
+    #[test]
+    fn edits_swap_the_snapshot_and_change_responses() {
+        let core = test_core();
+        let before = core.snapshot();
+        let (u, v) = before.edges().next().unwrap();
+        let req = format!(
+            "{{\"op\":\"edit\",\"edits\":[\"remove {} {}\"]}}",
+            u.raw(),
+            v.raw()
+        );
+        let (body, _) = handle_request(&core, &req);
+        assert!(body.starts_with("{\"ok\":true"), "{body}");
+        let after = core.snapshot();
+        assert_eq!(after.edge_count(), before.edge_count() - 1);
+        assert!(!after.has_edge(u, v));
+        // The response now matches an offline extraction of the edited graph.
+        let (got, _) = handle_request(&core, "{\"op\":\"extract\"}");
+        let engine = CensusEngine::new(&after, core.settings().config.clone()).unwrap();
+        let roots: Vec<NodeId> = after.nodes().collect();
+        let censuses = hsgf_core::parallel::extract_censuses(&engine, &roots, 1).unwrap();
+        let matrix = FeatureMatrix::from_censuses(roots, censuses);
+        assert_eq!(got, export::matrix_to_json(&matrix, after.labels()));
+    }
+
+    #[test]
+    fn malformed_requests_answer_errors_without_dying() {
+        let core = test_core();
+        for bad in [
+            "not json",
+            "{}",
+            "{\"op\":\"frobnicate\"}",
+            "{\"op\":\"extract\",\"roots\":\"everything\"}",
+            "{\"op\":\"extract\",\"roots\":[1e9]}",
+            "{\"op\":\"census\"}",
+            "{\"op\":\"edit\",\"edits\":[\"drop 1 2\"]}",
+            "{\"op\":\"edit\"}",
+            "{\"op\":\"sync\"}",
+        ] {
+            let (body, stop) = handle_request(&core, bad);
+            assert!(body.starts_with("{\"ok\":false"), "{bad} -> {body}");
+            assert!(!stop);
+        }
+        // The core still serves after the error barrage.
+        let (body, _) = handle_request(&core, "{\"op\":\"ping\"}");
+        assert!(body.starts_with("{\"ok\":true"), "{body}");
+    }
+
+    #[test]
+    fn stats_and_metrics_are_well_formed() {
+        let core = test_core();
+        handle_request(&core, "{\"op\":\"extract\",\"roots\":\"sample:11\"}");
+        let (stats, _) = handle_request(&core, "{\"op\":\"stats\"}");
+        let parsed = json::parse(&stats).unwrap();
+        assert!(parsed.get("stores").and_then(JsonValue::as_f64).unwrap() > 0.0);
+        let (metrics, _) = handle_request(&core, "{\"op\":\"metrics\"}");
+        let parsed = json::parse(&metrics).unwrap();
+        hsgf_core::obs::validate_metrics_json(&parsed).unwrap();
+        let queries = parsed
+            .get("runtime")
+            .unwrap()
+            .get("serve_queries")
+            .and_then(JsonValue::as_f64)
+            .unwrap();
+        assert_eq!(queries, 1.0);
+    }
+
+    #[test]
+    fn shutdown_is_signalled_to_the_caller() {
+        let core = test_core();
+        let (body, stop) = handle_request(&core, "{\"op\":\"shutdown\"}");
+        assert!(stop);
+        assert!(body.contains("\"shutdown\":true"), "{body}");
+    }
+}

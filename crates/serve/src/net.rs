@@ -1,0 +1,146 @@
+//! TCP front end: one thread per connection, newline-delimited JSON.
+//!
+//! The accept loop is deliberately boring std-only code: a bounded pool
+//! of connection threads (excess connections are refused with a JSON
+//! error, never queued unboundedly), a background journal tailer, and a
+//! cooperative shutdown flag checked on a short read timeout so every
+//! thread exits promptly once a `shutdown` request lands.
+
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+use crate::{handle_request, ServeCore};
+
+/// Tunables of [`serve`].
+#[derive(Clone, Copy, Debug)]
+pub struct ServeOptions {
+    /// Maximum simultaneously served connections; further connections
+    /// receive a `{"ok":false,...}` line and are closed.
+    pub max_conns: usize,
+    /// How often the journal change feed is re-scanned (ignored when the
+    /// core has no feed configured).
+    pub tail_interval: Duration,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            max_conns: 16,
+            tail_interval: Duration::from_millis(1000),
+        }
+    }
+}
+
+/// Runs the accept loop until a client sends `{"op":"shutdown"}`. Blocks
+/// the calling thread; returns once every connection thread and the
+/// journal tailer have exited.
+pub fn serve(listener: TcpListener, core: Arc<ServeCore>, options: ServeOptions) -> io::Result<()> {
+    let addr = listener.local_addr()?;
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let tailer = if core.has_tail() {
+        let core = core.clone();
+        let stop = shutdown.clone();
+        let interval = options.tail_interval;
+        Some(thread::spawn(move || {
+            while !stop.load(Ordering::SeqCst) {
+                // A torn or unmatched feed is a normal state, not a
+                // reason to kill the tailer; IO errors are likewise
+                // retried on the next tick.
+                let _ = core.sync_journal();
+                let mut slept = Duration::ZERO;
+                while slept < interval && !stop.load(Ordering::SeqCst) {
+                    let step = Duration::from_millis(25).min(interval - slept);
+                    thread::sleep(step);
+                    slept += step;
+                }
+            }
+        }))
+    } else {
+        None
+    };
+    let mut workers: Vec<thread::JoinHandle<()>> = Vec::new();
+    for stream in listener.incoming() {
+        if shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let stream = match stream {
+            Ok(stream) => stream,
+            Err(_) => continue,
+        };
+        workers.retain(|handle| !handle.is_finished());
+        if workers.len() >= options.max_conns {
+            let _ = refuse(stream);
+            continue;
+        }
+        let core = core.clone();
+        let stop = shutdown.clone();
+        workers.push(thread::spawn(move || {
+            let _ = handle_connection(&core, stream, &stop, addr);
+        }));
+    }
+    for handle in workers {
+        let _ = handle.join();
+    }
+    if let Some(handle) = tailer {
+        let _ = handle.join();
+    }
+    Ok(())
+}
+
+fn refuse(stream: TcpStream) -> io::Result<()> {
+    let mut writer = BufWriter::new(stream);
+    writer.write_all(b"{\"ok\":false,\"error\":\"server at connection capacity\"}\n")?;
+    writer.flush()
+}
+
+fn handle_connection(
+    core: &ServeCore,
+    stream: TcpStream,
+    shutdown: &AtomicBool,
+    addr: SocketAddr,
+) -> io::Result<()> {
+    // A short read timeout keeps the thread responsive to shutdown even
+    // while a client idles with the connection open.
+    stream.set_read_timeout(Some(Duration::from_millis(200)))?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    let mut line = String::new();
+    loop {
+        if shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        match reader.read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => {
+                if !line.trim().is_empty() {
+                    let (body, stop) = handle_request(core, &line);
+                    writer.write_all(body.as_bytes())?;
+                    writer.write_all(b"\n")?;
+                    writer.flush()?;
+                    if stop {
+                        shutdown.store(true, Ordering::SeqCst);
+                        // Unblock the accept loop so it observes the flag.
+                        drop(TcpStream::connect(addr));
+                        break;
+                    }
+                }
+                line.clear();
+            }
+            // Timeout with a partial line buffered: keep accumulating.
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                continue;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}

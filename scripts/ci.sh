@@ -91,6 +91,51 @@ wait "$KILLED_PID" 2>/dev/null || true
 cmp "$SMOKE_DIR/resumed.json" "$SMOKE_DIR/cursor.json"
 echo "    resumed == reference ($(wc -c < "$SMOKE_DIR/resumed.json" | tr -d ' ') bytes)"
 
+echo "==> serve smoke (warm reads byte-identical to offline extract, edits visible)"
+# --dmax-pct 100 on both sides: the server pins its config at startup,
+# while offline extract re-derives dmax from the (post-edit) degree
+# percentile; disabling the percentile keeps the two configs identical.
+SERVE_LOG="$SMOKE_DIR/serve.log"
+"$HSGF" serve "$SMOKE_DIR/g.txt" --emax 3 --dmax-pct 100 --threads 4 \
+    --port 0 > "$SERVE_LOG" &
+SERVE_PID=$!
+ADDR=""
+for _ in $(seq 1 100); do
+    ADDR="$(sed -n 's/^listening on //p' "$SERVE_LOG")"
+    [ -n "$ADDR" ] && break
+    sleep 0.05
+done
+[ -n "$ADDR" ] || { echo "serve smoke: server never reported its address"; exit 1; }
+"$HSGF" extract "$SMOKE_DIR/g.txt" --emax 3 --dmax-pct 100 --threads 4 \
+    --roots sample:5 --out "$SMOKE_DIR/offline1.json"
+"$HSGF" serve-call "$ADDR" '{"op":"extract","roots":"sample:5"}' \
+    > "$SMOKE_DIR/served1.json"
+cmp "$SMOKE_DIR/served1.json" "$SMOKE_DIR/offline1.json"
+# Edit the graph over the wire, then check the served response tracks the
+# offline extraction of the edited graph.
+EDGE="$(awk '$1 == "edge" { print $2, $3; exit }' "$SMOKE_DIR/g.txt")"
+"$HSGF" serve-call "$ADDR" "{\"op\":\"edit\",\"edits\":[\"remove $EDGE\"]}" \
+    | grep -q '"ok":true'
+echo "remove $EDGE" > "$SMOKE_DIR/edits.txt"
+"$HSGF" extract "$SMOKE_DIR/g.txt" --emax 3 --dmax-pct 100 --threads 4 \
+    --roots sample:5 --apply-edits "$SMOKE_DIR/edits.txt" \
+    --out "$SMOKE_DIR/offline2.json"
+"$HSGF" serve-call "$ADDR" '{"op":"extract","roots":"sample:5"}' \
+    > "$SMOKE_DIR/served2.json"
+cmp "$SMOKE_DIR/served2.json" "$SMOKE_DIR/offline2.json"
+# Warm re-read: identical bytes, and the hit counter moved.
+"$HSGF" serve-call "$ADDR" '{"op":"extract","roots":"sample:5"}' \
+    > "$SMOKE_DIR/served3.json"
+cmp "$SMOKE_DIR/served3.json" "$SMOKE_DIR/served2.json"
+"$HSGF" serve-call "$ADDR" '{"op":"stats"}' | awk -F'"hits":' '
+    { split($2, a, ","); if (a[1] + 0 <= 0) { print "serve smoke: no cache hits"; exit 1 } }'
+# The exported metrics snapshot passes schema validation.
+"$HSGF" serve-call "$ADDR" '{"op":"metrics"}' > "$SMOKE_DIR/serve-metrics.json"
+"$HSGF" obs-validate "$SMOKE_DIR/serve-metrics.json"
+"$HSGF" serve-call "$ADDR" '{"op":"shutdown"}' | grep -q '"shutdown":true'
+wait "$SERVE_PID"
+echo "    served == offline, before and after edit ($(wc -c < "$SMOKE_DIR/served2.json" | tr -d ' ') bytes)"
+
 if cargo fmt --version >/dev/null 2>&1; then
     echo "==> cargo fmt --check"
     cargo fmt --all --check

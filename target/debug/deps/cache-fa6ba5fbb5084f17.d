@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cache-fa6ba5fbb5084f17.d: crates/hsgf/../../tests/cache.rs
+
+/root/repo/target/debug/deps/cache-fa6ba5fbb5084f17: crates/hsgf/../../tests/cache.rs
+
+crates/hsgf/../../tests/cache.rs:

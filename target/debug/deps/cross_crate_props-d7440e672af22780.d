@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cross_crate_props-d7440e672af22780.d: crates/hsgf/../../tests/cross_crate_props.rs
+
+/root/repo/target/debug/deps/cross_crate_props-d7440e672af22780: crates/hsgf/../../tests/cross_crate_props.rs
+
+crates/hsgf/../../tests/cross_crate_props.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-e819820f6be0a811.d: crates/hsgf/../../tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-e819820f6be0a811: crates/hsgf/../../tests/determinism.rs
+
+crates/hsgf/../../tests/determinism.rs:

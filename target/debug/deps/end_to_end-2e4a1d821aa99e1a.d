@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-2e4a1d821aa99e1a.d: crates/hsgf/../../tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-2e4a1d821aa99e1a: crates/hsgf/../../tests/end_to_end.rs
+
+crates/hsgf/../../tests/end_to_end.rs:

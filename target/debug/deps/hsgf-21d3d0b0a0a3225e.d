@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hsgf-21d3d0b0a0a3225e.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/hsgf-21d3d0b0a0a3225e: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

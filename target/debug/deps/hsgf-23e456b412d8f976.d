@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hsgf-23e456b412d8f976.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/hsgf-23e456b412d8f976: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

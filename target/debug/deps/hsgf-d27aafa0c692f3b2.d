@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/hsgf-d27aafa0c692f3b2.d: crates/hsgf/src/lib.rs
+
+/root/repo/target/debug/deps/libhsgf-d27aafa0c692f3b2.rlib: crates/hsgf/src/lib.rs
+
+/root/repo/target/debug/deps/libhsgf-d27aafa0c692f3b2.rmeta: crates/hsgf/src/lib.rs
+
+crates/hsgf/src/lib.rs:

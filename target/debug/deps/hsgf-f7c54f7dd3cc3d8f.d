@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hsgf-f7c54f7dd3cc3d8f.d: crates/hsgf/src/lib.rs
+
+/root/repo/target/debug/deps/hsgf-f7c54f7dd3cc3d8f: crates/hsgf/src/lib.rs
+
+crates/hsgf/src/lib.rs:

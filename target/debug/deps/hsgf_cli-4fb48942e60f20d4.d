@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hsgf_cli-4fb48942e60f20d4.d: crates/cli/src/lib.rs
+
+/root/repo/target/debug/deps/hsgf_cli-4fb48942e60f20d4: crates/cli/src/lib.rs
+
+crates/cli/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/hsgf_cli-7b8ec7968d8dec54.d: crates/cli/src/lib.rs
+
+/root/repo/target/debug/deps/libhsgf_cli-7b8ec7968d8dec54.rlib: crates/cli/src/lib.rs
+
+/root/repo/target/debug/deps/libhsgf_cli-7b8ec7968d8dec54.rmeta: crates/cli/src/lib.rs
+
+crates/cli/src/lib.rs:

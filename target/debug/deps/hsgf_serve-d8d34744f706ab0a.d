@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/hsgf_serve-d8d34744f706ab0a.d: crates/serve/src/lib.rs crates/serve/src/net.rs
+
+/root/repo/target/debug/deps/libhsgf_serve-d8d34744f706ab0a.rlib: crates/serve/src/lib.rs crates/serve/src/net.rs
+
+/root/repo/target/debug/deps/libhsgf_serve-d8d34744f706ab0a.rmeta: crates/serve/src/lib.rs crates/serve/src/net.rs
+
+crates/serve/src/lib.rs:
+crates/serve/src/net.rs:

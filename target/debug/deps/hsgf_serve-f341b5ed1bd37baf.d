@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/hsgf_serve-f341b5ed1bd37baf.d: crates/serve/src/lib.rs crates/serve/src/net.rs
+
+/root/repo/target/debug/deps/hsgf_serve-f341b5ed1bd37baf: crates/serve/src/lib.rs crates/serve/src/net.rs
+
+crates/serve/src/lib.rs:
+crates/serve/src/net.rs:

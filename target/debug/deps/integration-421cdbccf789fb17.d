@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration-421cdbccf789fb17.d: crates/hsgf/../../tests/integration.rs
+
+/root/repo/target/debug/deps/integration-421cdbccf789fb17: crates/hsgf/../../tests/integration.rs
+
+crates/hsgf/../../tests/integration.rs:

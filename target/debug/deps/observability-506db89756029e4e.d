@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/observability-506db89756029e4e.d: crates/hsgf/../../tests/observability.rs
+
+/root/repo/target/debug/deps/observability-506db89756029e4e: crates/hsgf/../../tests/observability.rs
+
+crates/hsgf/../../tests/observability.rs:

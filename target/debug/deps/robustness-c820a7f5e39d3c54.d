@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/robustness-c820a7f5e39d3c54.d: crates/hsgf/../../tests/robustness.rs
+
+/root/repo/target/debug/deps/robustness-c820a7f5e39d3c54: crates/hsgf/../../tests/robustness.rs
+
+crates/hsgf/../../tests/robustness.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/hsgf

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serve-fd1abfbcce5c3af1.d: crates/hsgf/../../tests/serve.rs
+
+/root/repo/target/debug/deps/serve-fd1abfbcce5c3af1: crates/hsgf/../../tests/serve.rs
+
+crates/hsgf/../../tests/serve.rs:

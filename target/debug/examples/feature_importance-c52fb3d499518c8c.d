@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/feature_importance-c52fb3d499518c8c.d: crates/hsgf/../../examples/feature_importance.rs
+
+/root/repo/target/debug/examples/feature_importance-c52fb3d499518c8c: crates/hsgf/../../examples/feature_importance.rs
+
+crates/hsgf/../../examples/feature_importance.rs:

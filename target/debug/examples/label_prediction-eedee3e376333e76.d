@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/label_prediction-eedee3e376333e76.d: crates/hsgf/../../examples/label_prediction.rs
+
+/root/repo/target/debug/examples/label_prediction-eedee3e376333e76: crates/hsgf/../../examples/label_prediction.rs
+
+crates/hsgf/../../examples/label_prediction.rs:

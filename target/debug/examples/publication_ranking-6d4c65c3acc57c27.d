@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/publication_ranking-6d4c65c3acc57c27.d: crates/hsgf/../../examples/publication_ranking.rs
+
+/root/repo/target/debug/examples/publication_ranking-6d4c65c3acc57c27: crates/hsgf/../../examples/publication_ranking.rs
+
+crates/hsgf/../../examples/publication_ranking.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-8b0733d2653223fb.d: crates/hsgf/../../examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-8b0733d2653223fb: crates/hsgf/../../examples/quickstart.rs
+
+crates/hsgf/../../examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/hsgf-31aaa52d480be1ed.d: crates/cli/src/main.rs
+
+/root/repo/target/release/deps/hsgf-31aaa52d480be1ed: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/hsgf-56a889861b90b7f7.d: crates/hsgf/src/lib.rs
+
+/root/repo/target/release/deps/libhsgf-56a889861b90b7f7.rlib: crates/hsgf/src/lib.rs
+
+/root/repo/target/release/deps/libhsgf-56a889861b90b7f7.rmeta: crates/hsgf/src/lib.rs
+
+crates/hsgf/src/lib.rs:

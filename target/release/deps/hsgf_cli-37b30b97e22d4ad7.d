@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/hsgf_cli-37b30b97e22d4ad7.d: crates/cli/src/lib.rs
+
+/root/repo/target/release/deps/libhsgf_cli-37b30b97e22d4ad7.rlib: crates/cli/src/lib.rs
+
+/root/repo/target/release/deps/libhsgf_cli-37b30b97e22d4ad7.rmeta: crates/cli/src/lib.rs
+
+crates/cli/src/lib.rs:

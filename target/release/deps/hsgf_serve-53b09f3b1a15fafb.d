@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/hsgf_serve-53b09f3b1a15fafb.d: crates/serve/src/lib.rs crates/serve/src/net.rs
+
+/root/repo/target/release/deps/libhsgf_serve-53b09f3b1a15fafb.rlib: crates/serve/src/lib.rs crates/serve/src/net.rs
+
+/root/repo/target/release/deps/libhsgf_serve-53b09f3b1a15fafb.rmeta: crates/serve/src/lib.rs crates/serve/src/net.rs
+
+crates/serve/src/lib.rs:
+crates/serve/src/net.rs:

@@ -738,3 +738,94 @@ fn stealing_supervisor_contains_injected_panics_like_cursor() {
         }
     }
 }
+
+/// Exit-code fidelity of `--resume`: a replay must report exactly what the
+/// original run reported. An all-exact journaled run resumes with exit 0;
+/// a run that degraded roots resumes with exit 3 (EXIT_PARTIAL) and an
+/// identical per-root outcome summary — a resume must never launder a
+/// degraded run into a clean exit.
+#[test]
+fn resume_exit_codes_mirror_the_original_run() {
+    let bin = hsgf_binary();
+    let dir = std::env::temp_dir().join(format!("hsgf-resume-exit-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let graph_path = dir.join("g.txt");
+    let status = std::process::Command::new(&bin)
+        .args([
+            "generate",
+            "imdb",
+            "--scale",
+            "tiny",
+            "--out",
+            graph_path.to_str().unwrap(),
+        ])
+        .status()
+        .unwrap();
+    assert!(status.success());
+
+    let run = |extra: &[&str], jdir: &std::path::Path, out: &std::path::Path| {
+        let mut args = vec![
+            "extract".to_string(),
+            graph_path.to_str().unwrap().to_string(),
+            "--emax".to_string(),
+            "3".to_string(),
+            "--roots".to_string(),
+            "sample:7".to_string(),
+            "--threads".to_string(),
+            "2".to_string(),
+            "--journal".to_string(),
+            jdir.to_str().unwrap().to_string(),
+            "--out".to_string(),
+            out.to_str().unwrap().to_string(),
+        ];
+        args.extend(extra.iter().map(|s| s.to_string()));
+        std::process::Command::new(&bin)
+            .args(&args)
+            .output()
+            .unwrap()
+    };
+
+    // All-exact run: exit 0 both fresh and resumed, byte-identical output.
+    let jdir = dir.join("journal-exact");
+    let out = dir.join("exact.csv");
+    let first = run(&[], &jdir, &out);
+    assert_eq!(first.status.code(), Some(0), "{first:?}");
+    let first_bytes = std::fs::read(&out).unwrap();
+    let resumed = run(&["--resume"], &jdir, &out);
+    assert_eq!(
+        resumed.status.code(),
+        Some(0),
+        "all-exact replay must exit 0: {resumed:?}"
+    );
+    assert_eq!(std::fs::read(&out).unwrap(), first_bytes);
+
+    // Degraded run: a 5-subgraph budget forces non-exact roots, so both
+    // the fresh run and the full replay must exit 3 with the same
+    // per-root summary and output bytes.
+    let jdir = dir.join("journal-degraded");
+    let out = dir.join("degraded.csv");
+    let budget = ["--budget-subgraphs", "5", "--degrade"];
+    let first = run(&budget, &jdir, &out);
+    assert_eq!(first.status.code(), Some(3), "{first:?}");
+    let first_bytes = std::fs::read(&out).unwrap();
+    let first_summary = String::from_utf8(first.stdout).unwrap();
+    assert!(first_summary.contains("roots:"), "{first_summary}");
+    let resumed = run(
+        &["--budget-subgraphs", "5", "--degrade", "--resume"],
+        &jdir,
+        &out,
+    );
+    assert_eq!(
+        resumed.status.code(),
+        Some(3),
+        "replayed degraded roots must keep EXIT_PARTIAL: {resumed:?}"
+    );
+    assert_eq!(std::fs::read(&out).unwrap(), first_bytes);
+    let resumed_summary = String::from_utf8(resumed.stdout).unwrap();
+    assert_eq!(
+        resumed_summary, first_summary,
+        "resume must replay the identical per-root outcome summary"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,266 @@
+//! Serving-layer consistency tests: concurrent readers racing an edge-edit
+//! batch must observe either the pre-edit or the post-edit graph's response
+//! — bit-identical to an offline extraction of that graph, never a torn
+//! mix — across schedulers and thread counts; the journal change feed must
+//! warm the cache with entries the query path actually hits; and the TCP
+//! front end must round-trip the wire protocol end to end.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use hsgf::core::cache::CensusCache;
+use hsgf::core::census::{CensusConfig, CensusEngine};
+use hsgf::core::export;
+use hsgf::core::journal::{roots_hash, Journal, JournalHeader, JournaledOutcome, RootRecord};
+use hsgf::core::obs::Obs;
+use hsgf::core::parallel::extract_censuses;
+use hsgf::core::steal::SchedulerKind;
+use hsgf::core::supervisor::ExtractionPolicy;
+use hsgf::core::FeatureMatrix;
+use hsgf::graph::fingerprint::graph_fingerprint;
+use hsgf::graph::{apply_edits, generators, EdgeEdit, HetGraph, LabelSet, NodeId};
+use hsgf::serve::{handle_request, RootsRequest, ServeCore, ServeSettings};
+
+fn test_graph() -> HetGraph {
+    let labels = LabelSet::from_names(["a", "b", "c"]).unwrap();
+    generators::barabasi_albert(labels, &[1.0, 1.0, 1.0], 90, 2, 41).unwrap()
+}
+
+fn settings(threads: usize, scheduler: SchedulerKind) -> ServeSettings {
+    ServeSettings {
+        config: CensusConfig::default().with_emax(2),
+        policy: ExtractionPolicy::default(),
+        threads,
+        scheduler,
+        min_df: 1,
+    }
+}
+
+/// The offline oracle: the exact JSON document `hsgf extract --out x.json`
+/// writes for `graph` over all nodes.
+fn offline_json(graph: &HetGraph, config: &CensusConfig) -> String {
+    let engine = CensusEngine::new(graph, config.clone()).unwrap();
+    let roots: Vec<NodeId> = graph.nodes().collect();
+    let censuses = extract_censuses(&engine, &roots, 1).unwrap();
+    let matrix = FeatureMatrix::from_censuses(roots, censuses);
+    export::matrix_to_json(&matrix, graph.labels())
+}
+
+/// Readers hammering `extract` while an edit batch lands must see the old
+/// or the new document — never anything else — and afterwards exactly the
+/// new one. Exercised across {cursor,stealing} × {1,8} worker threads.
+#[test]
+fn readers_race_edits_without_torn_responses() {
+    for scheduler in [SchedulerKind::Cursor, SchedulerKind::Stealing] {
+        for threads in [1usize, 8] {
+            let graph = test_graph();
+            let (u, v) = graph.edges().next().unwrap();
+            let edits = vec![
+                EdgeEdit::Remove { u, v },
+                EdgeEdit::Add {
+                    u: NodeId::new(0),
+                    v: NodeId::new(graph.node_count() as u32 - 1),
+                    edge_type: 0,
+                },
+            ];
+            let config = CensusConfig::default().with_emax(2);
+            let before = offline_json(&graph, &config);
+            let after = offline_json(&apply_edits(&graph, &edits).unwrap(), &config);
+            assert_ne!(before, after, "edit must change some feature row");
+
+            let core = Arc::new(
+                ServeCore::new(
+                    graph,
+                    settings(threads, scheduler),
+                    CensusCache::in_memory(),
+                    Obs::enabled(),
+                    None,
+                )
+                .unwrap(),
+            );
+            let done = Arc::new(AtomicBool::new(false));
+            let mut readers = Vec::new();
+            for _ in 0..4 {
+                let core = core.clone();
+                let done = done.clone();
+                let before = before.clone();
+                let after = after.clone();
+                readers.push(std::thread::spawn(move || {
+                    let mut saw_after = false;
+                    while !done.load(Ordering::SeqCst) || !saw_after {
+                        let got = core.query(&RootsRequest::All).unwrap();
+                        assert!(
+                            got == before || got == after,
+                            "torn response under {scheduler:?}x{threads}"
+                        );
+                        saw_after = got == after;
+                    }
+                }));
+            }
+            // Let readers warm up on the pre-edit snapshot, then land the
+            // batch mid-flight.
+            std::thread::sleep(std::time::Duration::from_millis(30));
+            core.apply(&edits).unwrap();
+            done.store(true, Ordering::SeqCst);
+            for reader in readers {
+                reader.join().unwrap();
+            }
+            // Settled state: exactly the post-edit document, from cache.
+            assert_eq!(core.query(&RootsRequest::All).unwrap(), after);
+        }
+    }
+}
+
+/// A journal written by an offline run warms the serve cache: every
+/// journaled root becomes a hit, and the served bytes still match the
+/// offline document.
+#[test]
+fn journal_feed_warms_the_cache() {
+    let graph = test_graph();
+    let config = CensusConfig::default().with_emax(2);
+    let policy = ExtractionPolicy::default();
+    let roots: Vec<NodeId> = graph.nodes().collect();
+
+    // Write a journal the way `hsgf extract --journal` would.
+    let dir = std::env::temp_dir().join(format!("hsgf-serve-feed-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let header = JournalHeader {
+        config: hsgf::core::cache::policy_fingerprint(
+            hsgf::core::cache::config_fingerprint(&config),
+            &policy,
+        ),
+        graph: graph_fingerprint(&graph),
+        roots: roots_hash(&roots),
+    };
+    let journal = Journal::create(&dir, &header).unwrap();
+    let engine = CensusEngine::new(&graph, config.clone()).unwrap();
+    let censuses = extract_censuses(&engine, &roots, 2).unwrap();
+    for (root, counts) in roots.iter().zip(&censuses) {
+        journal
+            .append(
+                &RootRecord {
+                    root: root.raw(),
+                    outcome: JournaledOutcome::Exact { attempts: 1 },
+                    counts: counts.clone(),
+                },
+                None,
+            )
+            .unwrap();
+    }
+    drop(journal);
+
+    let core = ServeCore::new(
+        graph,
+        ServeSettings {
+            config: config.clone(),
+            policy,
+            threads: 2,
+            scheduler: SchedulerKind::Cursor,
+            min_df: 1,
+        },
+        CensusCache::in_memory(),
+        Obs::enabled(),
+        Some(dir.clone()),
+    )
+    .unwrap();
+    let report = core.sync_journal().unwrap();
+    assert!(report.matched, "feed header must match the server");
+    assert!(!report.torn);
+    assert_eq!(report.absorbed, roots.len());
+    // A re-sync absorbs nothing new.
+    let again = core.sync_journal().unwrap();
+    assert_eq!(again.absorbed, 0);
+    assert_eq!(again.total_absorbed, roots.len());
+
+    // The very first query is all hits and byte-identical to offline.
+    let got = core.query(&RootsRequest::All).unwrap();
+    assert_eq!(got, offline_json(&core.snapshot(), &config));
+    let stats = core.cache().stats();
+    assert_eq!(stats.hits as usize, roots.len(), "warm read must not miss");
+    assert_eq!(stats.misses, 0);
+
+    // After an edit the feed no longer matches and is left alone.
+    let (u, v) = core.snapshot().edges().next().unwrap();
+    core.apply(&[EdgeEdit::Remove { u, v }]).unwrap();
+    let stale = core.sync_journal().unwrap();
+    assert!(!stale.matched);
+    assert_eq!(stale.absorbed, 0);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Full TCP round trip: serve on a loopback port, query/edit/query over a
+/// real socket, and shut down cleanly.
+#[test]
+fn tcp_round_trip_and_shutdown() {
+    use std::io::{BufRead, BufReader, Write};
+
+    let graph = test_graph();
+    let config = CensusConfig::default().with_emax(2);
+    let before = offline_json(&graph, &config);
+    let (u, v) = graph.edges().next().unwrap();
+    let after = offline_json(
+        &apply_edits(&graph, &[EdgeEdit::Remove { u, v }]).unwrap(),
+        &config,
+    );
+    let core = Arc::new(
+        ServeCore::new(
+            graph,
+            settings(2, SchedulerKind::Cursor),
+            CensusCache::in_memory(),
+            Obs::enabled(),
+            None,
+        )
+        .unwrap(),
+    );
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let server = {
+        let core = core.clone();
+        std::thread::spawn(move || {
+            hsgf::serve::serve(listener, core, hsgf::serve::ServeOptions::default()).unwrap();
+        })
+    };
+
+    let stream = std::net::TcpStream::connect(addr).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut stream = stream;
+    let mut call = |req: &str| -> String {
+        stream.write_all(req.as_bytes()).unwrap();
+        stream.write_all(b"\n").unwrap();
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        line.trim_end_matches('\n').to_string()
+    };
+    assert!(call("{\"op\":\"ping\"}").starts_with("{\"ok\":true"));
+    assert_eq!(call("{\"op\":\"extract\"}"), before);
+    let edit = format!(
+        "{{\"op\":\"edit\",\"edits\":[\"remove {} {}\"]}}",
+        u.raw(),
+        v.raw()
+    );
+    assert!(call(&edit).starts_with("{\"ok\":true"));
+    assert_eq!(call("{\"op\":\"extract\"}"), after);
+    // Malformed request answers an error on the same connection.
+    assert!(call("{\"op\":\"nope\"}").starts_with("{\"ok\":false"));
+    let bye = call("{\"op\":\"shutdown\"}");
+    assert!(bye.contains("\"shutdown\":true"), "{bye}");
+    drop(stream);
+    server.join().unwrap();
+}
+
+/// The wire dispatcher and the direct core API agree byte for byte.
+#[test]
+fn wire_extract_equals_core_query() {
+    let core = ServeCore::new(
+        test_graph(),
+        settings(2, SchedulerKind::Stealing),
+        CensusCache::in_memory(),
+        Obs::enabled(),
+        None,
+    )
+    .unwrap();
+    let (wire, stop) = handle_request(&core, "{\"op\":\"extract\",\"roots\":[0,3,5]}");
+    assert!(!stop);
+    let direct = core.query(&RootsRequest::Explicit(vec![0, 3, 5])).unwrap();
+    assert_eq!(wire, direct);
+}
