@@ -1,0 +1,599 @@
+//! A lightweight Rust lexer: just enough tokenization for line-anchored
+//! lint checks, not a parser. The output is a flat token stream with line
+//! numbers; strings (including raw and byte strings), char literals,
+//! lifetimes, numbers, and nested block comments are recognized so that
+//! lint patterns never match inside literal or comment text.
+//!
+//! On top of the raw stream, [`itemize`] recovers the little structure the
+//! lints need: `fn` spans with brace-matched bodies, and the line ranges
+//! of test code (`#[cfg(test)]` modules and `#[test]` functions), which
+//! every lint treats as out of scope.
+
+/// Token classification. Deliberately coarse: lints match on identifier
+/// and punctuation sequences, and must *skip* literals and comments.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (including raw identifiers, `r#type`).
+    Ident,
+    /// Single punctuation character (`::` arrives as two `:` tokens).
+    Punct,
+    /// String / char / number literal (contents never lint-matched).
+    Literal,
+    /// Lifetime marker such as `'a` (distinct from a char literal).
+    Lifetime,
+    /// Line or block comment, text preserved for the suppression grammar.
+    Comment,
+}
+
+/// One lexed token with its 1-based source line.
+#[derive(Clone, Debug)]
+pub struct Tok {
+    /// Classification.
+    pub kind: TokKind,
+    /// Raw text. For comments this includes the `//` / `/*` sigils; for
+    /// line comments the trailing newline is excluded.
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+}
+
+impl Tok {
+    /// Whether this is the identifier `name`.
+    pub fn is_ident(&self, name: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == name
+    }
+
+    /// Whether this is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == 1 && self.text.starts_with(c)
+    }
+}
+
+/// Lexes `src` into a token stream. The lexer never fails: malformed
+/// input degrades to punctuation tokens rather than an error, because a
+/// lint pass must keep going on files the compiler would reject.
+pub fn lex(src: &str) -> Vec<Tok> {
+    let chars: Vec<char> = src.chars().collect();
+    let mut toks = Vec::new();
+    let mut i = 0;
+    let mut line: u32 = 1;
+    let n = chars.len();
+    let push = |toks: &mut Vec<Tok>, kind, text: String, line| {
+        toks.push(Tok { kind, text, line });
+    };
+    while i < n {
+        let c = chars[i];
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Comments.
+        if c == '/' && i + 1 < n && chars[i + 1] == '/' {
+            let start = i;
+            while i < n && chars[i] != '\n' {
+                i += 1;
+            }
+            push(
+                &mut toks,
+                TokKind::Comment,
+                chars[start..i].iter().collect(),
+                line,
+            );
+            continue;
+        }
+        if c == '/' && i + 1 < n && chars[i + 1] == '*' {
+            let start = i;
+            let start_line = line;
+            let mut depth = 1usize;
+            i += 2;
+            while i < n && depth > 0 {
+                if chars[i] == '/' && i + 1 < n && chars[i + 1] == '*' {
+                    depth += 1;
+                    i += 2;
+                } else if chars[i] == '*' && i + 1 < n && chars[i + 1] == '/' {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    if chars[i] == '\n' {
+                        line += 1;
+                    }
+                    i += 1;
+                }
+            }
+            push(
+                &mut toks,
+                TokKind::Comment,
+                chars[start..i].iter().collect(),
+                start_line,
+            );
+            continue;
+        }
+        // Raw strings / byte strings / raw identifiers: r"..", r#".."#,
+        // br".."; b"..", b'..'.
+        if c == 'r' || c == 'b' {
+            let mut j = i + 1;
+            if c == 'b' && j < n && chars[j] == 'r' {
+                j += 1;
+            }
+            let mut hashes = 0usize;
+            while j < n && chars[j] == '#' {
+                hashes += 1;
+                j += 1;
+            }
+            let is_raw = c == 'r' || (c == 'b' && i + 1 < n && chars[i + 1] == 'r');
+            if is_raw && j < n && chars[j] == '"' {
+                // Raw (byte) string: scan to `"` followed by `hashes` #s.
+                let start = i;
+                let start_line = line;
+                j += 1;
+                loop {
+                    if j >= n {
+                        break;
+                    }
+                    if chars[j] == '\n' {
+                        line += 1;
+                    }
+                    if chars[j] == '"' {
+                        let mut k = 0;
+                        while k < hashes && j + 1 + k < n && chars[j + 1 + k] == '#' {
+                            k += 1;
+                        }
+                        if k == hashes {
+                            j += 1 + hashes;
+                            break;
+                        }
+                    }
+                    j += 1;
+                }
+                push(
+                    &mut toks,
+                    TokKind::Literal,
+                    chars[start..j.min(n)].iter().collect(),
+                    start_line,
+                );
+                i = j.min(n);
+                continue;
+            }
+            if c == 'r' && hashes == 1 && j < n && is_ident_start(chars[j]) {
+                // Raw identifier r#type: emit the identifier without r#.
+                let start = j;
+                while j < n && is_ident_continue(chars[j]) {
+                    j += 1;
+                }
+                push(
+                    &mut toks,
+                    TokKind::Ident,
+                    chars[start..j].iter().collect(),
+                    line,
+                );
+                i = j;
+                continue;
+            }
+            if c == 'b' && i + 1 < n && (chars[i + 1] == '"' || chars[i + 1] == '\'') {
+                // Byte string / byte char: delegate to the quoted scanner
+                // below by consuming the `b` prefix here.
+                let quote = chars[i + 1];
+                let (end, nl) = scan_quoted(&chars, i + 2, quote);
+                push(
+                    &mut toks,
+                    TokKind::Literal,
+                    chars[i..end].iter().collect(),
+                    line,
+                );
+                line += nl;
+                i = end;
+                continue;
+            }
+            // Plain identifier starting with r/b.
+        }
+        if c == '"' {
+            let start_line = line;
+            let (end, nl) = scan_quoted(&chars, i + 1, '"');
+            push(
+                &mut toks,
+                TokKind::Literal,
+                chars[i..end].iter().collect(),
+                start_line,
+            );
+            line += nl;
+            i = end;
+            continue;
+        }
+        if c == '\'' {
+            // Lifetime or char literal. `'a` / `'static` are lifetimes
+            // unless a closing quote follows a single code point ('a').
+            if i + 1 < n && chars[i + 1] == '\\' {
+                let (end, nl) = scan_quoted(&chars, i + 1, '\'');
+                push(
+                    &mut toks,
+                    TokKind::Literal,
+                    chars[i..end].iter().collect(),
+                    line,
+                );
+                line += nl;
+                i = end;
+                continue;
+            }
+            if i + 2 < n && is_ident_start(chars[i + 1]) && chars[i + 2] != '\'' {
+                let start = i;
+                let mut j = i + 1;
+                while j < n && is_ident_continue(chars[j]) {
+                    j += 1;
+                }
+                push(
+                    &mut toks,
+                    TokKind::Lifetime,
+                    chars[start..j].iter().collect(),
+                    line,
+                );
+                i = j;
+                continue;
+            }
+            let (end, nl) = scan_quoted(&chars, i + 1, '\'');
+            push(
+                &mut toks,
+                TokKind::Literal,
+                chars[i..end].iter().collect(),
+                line,
+            );
+            line += nl;
+            i = end;
+            continue;
+        }
+        if is_ident_start(c) {
+            let start = i;
+            while i < n && is_ident_continue(chars[i]) {
+                i += 1;
+            }
+            push(
+                &mut toks,
+                TokKind::Ident,
+                chars[start..i].iter().collect(),
+                line,
+            );
+            continue;
+        }
+        if c.is_ascii_digit() {
+            let start = i;
+            while i < n && (is_ident_continue(chars[i]) || chars[i] == '.') {
+                // Do not swallow `..` range punctuation after a number.
+                if chars[i] == '.' && i + 1 < n && chars[i + 1] == '.' {
+                    break;
+                }
+                i += 1;
+            }
+            push(
+                &mut toks,
+                TokKind::Literal,
+                chars[start..i].iter().collect(),
+                line,
+            );
+            continue;
+        }
+        push(&mut toks, TokKind::Punct, c.to_string(), line);
+        i += 1;
+    }
+    toks
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Scans a quoted literal starting *after* the opening quote at `start`;
+/// returns (index one past the closing quote, newlines crossed).
+fn scan_quoted(chars: &[char], start: usize, quote: char) -> (usize, u32) {
+    let mut i = start;
+    let mut nl = 0u32;
+    while i < chars.len() {
+        match chars[i] {
+            '\\' => i += 2,
+            '\n' => {
+                nl += 1;
+                i += 1;
+            }
+            c if c == quote => return (i + 1, nl),
+            _ => i += 1,
+        }
+    }
+    (chars.len(), nl)
+}
+
+/// A `fn` item recovered from the token stream.
+#[derive(Clone, Debug)]
+pub struct FnSpan {
+    /// The function's name.
+    pub name: String,
+    /// Token range `[body_start, body_end)` of the brace-matched body
+    /// (indices into the lexed stream; the braces themselves included).
+    pub body: (usize, usize),
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+}
+
+/// Structure extracted by [`itemize`].
+#[derive(Clone, Debug, Default)]
+pub struct Items {
+    /// All `fn` items, in source order (nested functions included).
+    pub fns: Vec<FnSpan>,
+    /// Inclusive 1-based line ranges of test code: `#[cfg(test)]` items
+    /// and `#[test]` functions.
+    pub test_lines: Vec<(u32, u32)>,
+}
+
+impl Items {
+    /// Whether `line` falls inside a test region.
+    pub fn in_test(&self, line: u32) -> bool {
+        self.test_lines.iter().any(|&(a, b)| a <= line && line <= b)
+    }
+}
+
+/// Recovers `fn` spans and test-code line ranges from a token stream.
+pub fn itemize(toks: &[Tok]) -> Items {
+    let mut items = Items::default();
+    let mut i = 0;
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.is_punct('#') && i + 1 < toks.len() && toks[i + 1].is_punct('[') {
+            // Attribute: collect its identifiers, then decide whether it
+            // marks the following item as test code.
+            let (attr_end, idents) = scan_attr(toks, i + 1);
+            let is_test_attr = idents.iter().any(|id| id == "test")
+                && (idents[0] == "test" || idents[0] == "cfg")
+                && !idents.iter().any(|id| id == "not");
+            if is_test_attr {
+                if let Some((start, end)) = item_body_lines(toks, attr_end) {
+                    items.test_lines.push((toks[i].line.min(start), end));
+                }
+            }
+            i = attr_end;
+            continue;
+        }
+        if t.is_ident("fn") {
+            if let Some(name_tok) = toks.get(i + 1) {
+                if name_tok.kind == TokKind::Ident {
+                    if let Some((open, close)) = fn_body(toks, i + 2) {
+                        items.fns.push(FnSpan {
+                            name: name_tok.text.clone(),
+                            body: (open, close + 1),
+                            line: t.line,
+                        });
+                    }
+                }
+            }
+        }
+        i += 1;
+    }
+    items
+}
+
+/// Scans an attribute starting at its `[` token; returns (index one past
+/// the closing `]`, identifiers seen inside).
+fn scan_attr(toks: &[Tok], open: usize) -> (usize, Vec<String>) {
+    let mut depth = 0usize;
+    let mut idents = Vec::new();
+    let mut i = open;
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.is_punct('[') {
+            depth += 1;
+        } else if t.is_punct(']') {
+            depth -= 1;
+            if depth == 0 {
+                return (i + 1, idents);
+            }
+        } else if t.kind == TokKind::Ident {
+            idents.push(t.text.clone());
+        }
+        i += 1;
+    }
+    (toks.len(), idents)
+}
+
+/// Finds the brace-matched body of the item starting at `from` (skipping
+/// further attributes and doc comments); returns its inclusive line range.
+fn item_body_lines(toks: &[Tok], mut from: usize) -> Option<(u32, u32)> {
+    // Skip stacked attributes between the test attribute and the item.
+    while from < toks.len() {
+        if toks[from].kind == TokKind::Comment {
+            from += 1;
+        } else if toks[from].is_punct('#') && from + 1 < toks.len() && toks[from + 1].is_punct('[')
+        {
+            from = scan_attr(toks, from + 1).0;
+        } else {
+            break;
+        }
+    }
+    let start_line = toks.get(from)?.line;
+    let (open, close) = brace_block(toks, from)?;
+    let _ = open;
+    Some((start_line, toks[close].line))
+}
+
+/// Finds a `fn` body given the index just past the function name: skips
+/// the signature (balancing `()`/`<>` loosely) to the first `{` at
+/// nesting depth zero, then matches braces.
+fn fn_body(toks: &[Tok], from: usize) -> Option<(usize, usize)> {
+    brace_block(toks, from)
+}
+
+/// From `from`, finds the first `{` not nested inside parentheses or
+/// brackets, then returns (index of `{`, index of matching `}`). Returns
+/// `None` for bodyless items (`fn` in traits, `;`-terminated).
+fn brace_block(toks: &[Tok], from: usize) -> Option<(usize, usize)> {
+    let mut i = from;
+    let mut paren = 0i32;
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.is_punct('(') || t.is_punct('[') {
+            paren += 1;
+        } else if t.is_punct(')') || t.is_punct(']') {
+            paren -= 1;
+        } else if t.is_punct(';') && paren <= 0 {
+            return None;
+        } else if t.is_punct('{') && paren <= 0 {
+            // Match braces from here.
+            let mut depth = 0i32;
+            let open = i;
+            while i < toks.len() {
+                if toks[i].is_punct('{') {
+                    depth += 1;
+                } else if toks[i].is_punct('}') {
+                    depth -= 1;
+                    if depth == 0 {
+                        return Some((open, i));
+                    }
+                }
+                i += 1;
+            }
+            return Some((open, toks.len() - 1));
+        }
+        i += 1;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn idents_and_puncts() {
+        let toks = lex("let x = a.lock();");
+        let idents: Vec<&str> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(idents, vec!["let", "x", "a", "lock"]);
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        let toks = kinds(r#"call("HashMap.iter() // not a comment", x)"#);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Literal && t.contains("HashMap")));
+        assert!(!toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Ident && t == "HashMap"));
+        assert!(!toks.iter().any(|(k, _)| *k == TokKind::Comment));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes_and_quotes() {
+        let src = "let s = r#\"he said \"hi\" and left\"#; let t = 1;";
+        let toks = kinds(src);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Literal && t.contains("he said")));
+        // The lexer resynchronizes after the raw string.
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Ident && t == "t"));
+    }
+
+    #[test]
+    fn byte_and_escaped_literals() {
+        let toks = kinds(r#"(b"ab\"c", b'x', '\n', 'q', "e\\")"#);
+        let lits = toks.iter().filter(|(k, _)| *k == TokKind::Literal).count();
+        assert_eq!(lits, 5);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = kinds("fn f<'a>(x: &'a str) -> &'a str { x }");
+        let lifetimes = toks.iter().filter(|(k, _)| *k == TokKind::Lifetime).count();
+        assert_eq!(lifetimes, 3);
+        assert!(!toks.iter().any(|(k, _)| *k == TokKind::Literal));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = kinds("a /* one /* two */ still comment */ b");
+        assert_eq!(toks.len(), 3);
+        assert_eq!(toks[1].0, TokKind::Comment);
+        assert!(toks[1].1.contains("still comment"));
+        assert_eq!(toks[2].1, "b");
+    }
+
+    #[test]
+    fn line_numbers_survive_multiline_tokens() {
+        let src = "a\n/* x\ny */\nb \"s\ntr\"\nc";
+        let toks = lex(src);
+        let find = |name: &str| toks.iter().find(|t| t.text == name).unwrap().line;
+        assert_eq!(find("a"), 1);
+        assert_eq!(find("b"), 4);
+        assert_eq!(find("c"), 6);
+    }
+
+    #[test]
+    fn nested_generics_lex_as_puncts() {
+        let toks = kinds("let m: HashMap<Encoding, Vec<(u32, f64)>> = HashMap::new();");
+        let idents: Vec<&str> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Ident)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(
+            idents,
+            vec!["let", "m", "HashMap", "Encoding", "Vec", "u32", "f64", "HashMap", "new"]
+        );
+        // `>>` arrives as two separate `>` puncts.
+        let gt = toks
+            .iter()
+            .filter(|(k, t)| *k == TokKind::Punct && t == ">")
+            .count();
+        assert_eq!(gt, 2);
+    }
+
+    #[test]
+    fn numbers_do_not_swallow_ranges() {
+        let toks = kinds("for i in 0..10 { x[i] }");
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Literal && t == "0"));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Literal && t == "10"));
+    }
+
+    #[test]
+    fn itemize_finds_fns_and_test_regions() {
+        let src = "\
+fn alpha() { beta(); }
+#[test]
+fn in_test_fn() { x.lock().unwrap(); }
+#[cfg(test)]
+mod tests {
+    fn helper() {}
+}
+fn omega() {}
+";
+        let toks = lex(src);
+        let items = itemize(&toks);
+        let names: Vec<&str> = items.fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["alpha", "in_test_fn", "helper", "omega"]);
+        assert!(items.in_test(3)); // the #[test] fn body
+        assert!(items.in_test(6)); // inside mod tests
+        assert!(!items.in_test(1));
+        assert!(!items.in_test(8));
+    }
+
+    #[test]
+    fn raw_identifiers() {
+        let toks = kinds("let r#type = 1;");
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Ident && t == "type"));
+    }
+}

@@ -1,0 +1,605 @@
+//! In-repo static analysis for the hsgf workspace.
+//!
+//! `hsgf_analyze` is a std-only, zero-dependency lint tool in the same
+//! spirit as the hand-rolled JSON layer: a lightweight Rust lexer and
+//! itemizer ([`lexer`]) feed a catalogue of project-specific lints (see
+//! `lints.rs` module docs) that encode invariants the test suite cannot
+//! structurally enforce — determinism of census output, lock acquisition
+//! order across the concurrent subsystems, panic-freedom of request and
+//! IO paths, atomic-ordering discipline on control flags, and
+//! `#![forbid(unsafe_code)]` retention.
+//!
+//! # Scanning model
+//!
+//! [`analyze_root`] scans `crates/*/src/**.rs` when the root contains a
+//! `crates/` directory (workspace mode), or every `*.rs` under the root
+//! otherwise (fixture mode). Files are visited in sorted order and
+//! findings are reported deterministically, sorted by `(file, line,
+//! lint)`.
+//!
+//! # Suppressions
+//!
+//! A finding can be silenced at its site with a plain line comment of
+//! the form `hsgf-lint: allow(<lint-id>, <reason>)` — trailing on the
+//! offending line, or standalone on the line above (the directive then
+//! applies to the next code line). The reason is mandatory; a malformed
+//! directive is itself a finding (`bad-suppression`), and a directive
+//! that silences nothing is one too (`unused-suppression`), so stale
+//! allows cannot accumulate. Doc comments (`///`, `//!`) and block
+//! comments are never parsed as directives. The companion marker
+//! `hsgf-lint: expect(<lint-id>)` is ignored by the analyzer entirely;
+//! the fixture test harness uses it to pin expected findings to lines.
+//!
+//! # Baseline
+//!
+//! Grandfathered findings live in a checked-in baseline file: one
+//! `lint-id|path|trimmed source line` entry per line (`#` comments
+//! allowed). An entry matches any finding with the same lint and path
+//! whose anchored source line — trimmed — equals the recorded text, so
+//! entries survive unrelated line drift. Matched findings are dropped
+//! (counted as `baselined`); entries that match nothing are reported as
+//! stale in the report (a warning, not a failure).
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod lexer;
+mod lints;
+
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use hsgf_core::json::{JsonArray, JsonObject};
+
+use lexer::{itemize, lex, Tok, TokKind};
+use lints::{Code, SourceFile};
+
+pub use lints::ALL_LINTS;
+
+/// How severe a finding is. Every catalogue lint reports errors; the
+/// distinction exists for the JSON schema and future warning-class lints.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Severity {
+    /// Fails the lint gate.
+    Error,
+    /// Reported but does not fail the gate.
+    Warning,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+        })
+    }
+}
+
+/// One lint finding, anchored to a file and 1-based line.
+#[derive(Clone, Debug)]
+pub struct Finding {
+    /// Lint identifier (`det-hash-iter`, `lock-order`, …).
+    pub lint: &'static str,
+    /// Gate impact.
+    pub severity: Severity,
+    /// Root-relative path with forward slashes.
+    pub file: String,
+    /// 1-based line the finding anchors to.
+    pub line: u32,
+    /// Human-oriented explanation.
+    pub message: String,
+}
+
+/// The result of analyzing one tree.
+#[derive(Clone, Debug)]
+pub struct Report {
+    /// The scanned root, as given.
+    pub root: String,
+    /// Number of `.rs` files scanned.
+    pub files: usize,
+    /// Findings that survived suppressions and the baseline, sorted by
+    /// `(file, line, lint)`.
+    pub findings: Vec<Finding>,
+    /// Findings silenced by inline `allow` directives.
+    pub suppressed: usize,
+    /// Findings absorbed by the baseline file.
+    pub baselined: usize,
+    /// Baseline entries that matched no finding (verbatim entry text).
+    pub stale_baseline: Vec<String>,
+}
+
+impl Report {
+    /// Whether the gate passes: no error-severity findings remain.
+    pub fn is_clean(&self) -> bool {
+        !self.findings.iter().any(|f| f.severity == Severity::Error)
+    }
+
+    /// Renders the report for terminals: one `file:line: [lint] message`
+    /// per finding plus a one-line summary.
+    pub fn render_human(&self) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            out.push_str(&format!(
+                "{}:{}: {} [{}] {}\n",
+                f.file, f.line, f.severity, f.lint, f.message
+            ));
+        }
+        for entry in &self.stale_baseline {
+            out.push_str(&format!(
+                "stale baseline entry (matched nothing): {entry}\n"
+            ));
+        }
+        out.push_str(&format!(
+            "{} file(s) scanned, {} finding(s), {} suppressed, {} baselined\n",
+            self.files,
+            self.findings.len(),
+            self.suppressed,
+            self.baselined
+        ));
+        out
+    }
+
+    /// Renders the report as a single JSON object built with
+    /// `hsgf_core::json` (round-trips through `hsgf_core::json::parse`).
+    pub fn render_json(&self) -> String {
+        let mut findings = JsonArray::new();
+        for f in &self.findings {
+            findings.push_raw(
+                &JsonObject::new()
+                    .str("lint", f.lint)
+                    .str("severity", &f.severity.to_string())
+                    .str("file", &f.file)
+                    .uint("line", u64::from(f.line))
+                    .str("message", &f.message)
+                    .finish(),
+            );
+        }
+        let mut stale = JsonArray::new();
+        for entry in &self.stale_baseline {
+            stale.push_str(entry);
+        }
+        JsonObject::new()
+            .uint("version", 1)
+            .str("root", &self.root)
+            .uint("files", self.files as u64)
+            .raw("findings", &findings.finish())
+            .uint("suppressed", self.suppressed as u64)
+            .uint("baselined", self.baselined as u64)
+            .raw("stale_baseline", &stale.finish())
+            .finish()
+    }
+}
+
+/// An inline `allow` directive awaiting a finding to silence.
+struct Suppression {
+    lint: String,
+    /// Line the directive applies to (its own for trailing comments, the
+    /// next code line for standalone ones).
+    target: u32,
+    /// Line of the comment itself (anchor for `unused-suppression`).
+    comment_line: u32,
+    used: bool,
+}
+
+/// Extracts suppression directives (and malformed-directive findings)
+/// from one file's tokens.
+fn parse_suppressions(file: &SourceFile) -> (Vec<Suppression>, Vec<Finding>) {
+    let mut sups = Vec::new();
+    let mut bad = Vec::new();
+    let toks: &[Tok] = &file.toks;
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Comment || !t.text.starts_with("//") {
+            continue;
+        }
+        let tail = &t.text[2..];
+        if tail.starts_with('/') || tail.starts_with('!') {
+            continue; // doc comments are documentation, not directives
+        }
+        let body = tail.trim();
+        let Some(rest) = body.strip_prefix("hsgf-lint:") else {
+            continue;
+        };
+        let rest = rest.trim();
+        if rest.starts_with("expect(") {
+            continue; // fixture-harness marker, not an analyzer directive
+        }
+        let parsed = rest
+            .strip_prefix("allow(")
+            .and_then(|inner| inner.rfind(')').map(|p| &inner[..p]))
+            .and_then(|inner| {
+                let (id, reason) = inner.split_once(',')?;
+                let (id, reason) = (id.trim(), reason.trim());
+                if reason.is_empty() {
+                    return None;
+                }
+                Some(id.to_string())
+            });
+        let Some(id) = parsed else {
+            bad.push(Finding {
+                lint: "bad-suppression",
+                severity: Severity::Error,
+                file: file.rel.clone(),
+                line: t.line,
+                message: format!(
+                    "malformed directive `{body}`; expected \
+                     `hsgf-lint: allow(<lint-id>, <reason>)` with a non-empty reason"
+                ),
+            });
+            continue;
+        };
+        if !ALL_LINTS.contains(&id.as_str()) {
+            bad.push(Finding {
+                lint: "bad-suppression",
+                severity: Severity::Error,
+                file: file.rel.clone(),
+                line: t.line,
+                message: format!("unknown lint id `{id}` in allow directive"),
+            });
+            continue;
+        }
+        // Trailing (code earlier on the same line) applies to its own
+        // line; standalone applies to the next code line.
+        let trailing = toks[..i]
+            .iter()
+            .rev()
+            .take_while(|u| u.line == t.line)
+            .any(|u| u.kind != TokKind::Comment);
+        let target = if trailing {
+            t.line
+        } else {
+            toks[i + 1..]
+                .iter()
+                .find(|u| u.kind != TokKind::Comment)
+                .map_or(t.line, |u| u.line)
+        };
+        sups.push(Suppression {
+            lint: id,
+            target,
+            comment_line: t.line,
+            used: false,
+        });
+    }
+    (sups, bad)
+}
+
+/// One parsed baseline entry.
+struct BaselineEntry {
+    lint: String,
+    file: String,
+    text: String,
+    raw: String,
+    used: bool,
+}
+
+fn parse_baseline(text: &str) -> Vec<BaselineEntry> {
+    let mut entries = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.splitn(3, '|');
+        let (Some(lint), Some(file), Some(src)) = (parts.next(), parts.next(), parts.next()) else {
+            continue;
+        };
+        entries.push(BaselineEntry {
+            lint: lint.trim().to_string(),
+            file: file.trim().to_string(),
+            text: src.trim().to_string(),
+            raw: line.to_string(),
+            used: false,
+        });
+    }
+    entries
+}
+
+/// Recursively collects `.rs` files under `dir`, sorted by path for
+/// deterministic output; `target/` and dot-directories are pruned so
+/// fixture mode never scans build output.
+fn walk_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if name == "target" || name.starts_with('.') {
+                continue;
+            }
+            walk_rs(&path, out)?;
+        } else if path.extension().and_then(|e| e.to_str()) == Some("rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Lists the files [`analyze_root`] would scan: `(absolute, relative)`
+/// pairs in scan order.
+fn scan_paths(root: &Path) -> io::Result<Vec<(PathBuf, String)>> {
+    let mut out = Vec::new();
+    let crates = root.join("crates");
+    if crates.is_dir() {
+        let mut crate_dirs: Vec<PathBuf> = fs::read_dir(&crates)?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.is_dir())
+            .collect();
+        crate_dirs.sort();
+        for dir in crate_dirs {
+            let src = dir.join("src");
+            if !src.is_dir() {
+                continue;
+            }
+            let mut files = Vec::new();
+            walk_rs(&src, &mut files)?;
+            for path in files {
+                let rel = path
+                    .strip_prefix(root)
+                    .unwrap_or(&path)
+                    .to_string_lossy()
+                    .replace('\\', "/");
+                out.push((path, rel));
+            }
+        }
+    } else {
+        let mut files = Vec::new();
+        walk_rs(root, &mut files)?;
+        for path in files {
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .to_string_lossy()
+                .replace('\\', "/");
+            out.push((path, rel));
+        }
+    }
+    Ok(out)
+}
+
+fn crate_and_stem(root: &Path, rel: &str) -> (String, String) {
+    let parts: Vec<&str> = rel.split('/').collect();
+    let crate_name = if parts.first() == Some(&"crates") && parts.len() > 1 {
+        parts[1].to_string()
+    } else {
+        root.file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or("root")
+            .to_string()
+    };
+    let stem = Path::new(rel)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("")
+        .to_string();
+    (crate_name, stem)
+}
+
+/// Analyzes the tree at `root`, applying `baseline` (the file's text, if
+/// any) to grandfather known findings. See the crate docs for the
+/// scanning model.
+pub fn analyze_root(root: &Path, baseline: Option<&str>) -> io::Result<Report> {
+    let paths = scan_paths(root)?;
+    let mut files: Vec<SourceFile> = Vec::with_capacity(paths.len());
+    for (path, rel) in paths {
+        let src = fs::read_to_string(&path)?;
+        let toks = lex(&src);
+        let items = itemize(&toks);
+        let (crate_name, stem) = crate_and_stem(root, &rel);
+        files.push(SourceFile {
+            rel,
+            crate_name,
+            stem,
+            lines: src.lines().map(str::to_string).collect(),
+            toks,
+            items,
+        });
+    }
+    let codes: Vec<Code<'_>> = files.iter().map(|f| Code::new(&f.toks)).collect();
+
+    let mut findings: Vec<Finding> = Vec::new();
+    for (file, code) in files.iter().zip(codes.iter()) {
+        findings.extend(lints::det_hash_iter(file, code));
+        findings.extend(lints::det_wallclock(file, code));
+        findings.extend(lints::lock_poison(file, code));
+        findings.extend(lints::panic_path(file, code));
+        findings.extend(lints::atomic_order(file, code));
+        findings.extend(lints::unsafe_drift(file, code));
+    }
+    findings.extend(lints::lock_order(&files, &codes));
+
+    // Suppressions: silence matching findings at the directive's target
+    // line; every directive must earn its keep.
+    let mut suppressed = 0usize;
+    let mut meta: Vec<Finding> = Vec::new();
+    for file in &files {
+        let (mut sups, bad) = parse_suppressions(file);
+        meta.extend(bad);
+        if !sups.is_empty() {
+            findings.retain(|f| {
+                if f.file != file.rel {
+                    return true;
+                }
+                for s in &mut sups {
+                    if s.lint == f.lint && s.target == f.line {
+                        s.used = true;
+                        suppressed += 1;
+                        return false;
+                    }
+                }
+                true
+            });
+        }
+        for s in &sups {
+            if !s.used {
+                meta.push(Finding {
+                    lint: "unused-suppression",
+                    severity: Severity::Error,
+                    file: file.rel.clone(),
+                    line: s.comment_line,
+                    message: format!("allow({}) directive silences nothing; remove it", s.lint),
+                });
+            }
+        }
+    }
+    findings.extend(meta);
+
+    // Baseline: drop grandfathered findings, track stale entries.
+    let mut baselined = 0usize;
+    let mut stale = Vec::new();
+    if let Some(text) = baseline {
+        let mut entries = parse_baseline(text);
+        findings.retain(|f| {
+            for e in &mut entries {
+                if e.lint == f.lint && e.file == f.file {
+                    let src_line = files
+                        .iter()
+                        .find(|sf| sf.rel == f.file)
+                        .and_then(|sf| sf.lines.get(f.line as usize - 1))
+                        .map(|l| l.trim());
+                    if src_line == Some(e.text.as_str()) {
+                        e.used = true;
+                        baselined += 1;
+                        return false;
+                    }
+                }
+            }
+            true
+        });
+        for e in &entries {
+            if !e.used {
+                stale.push(e.raw.clone());
+            }
+        }
+    }
+
+    findings
+        .sort_by(|a, b| (a.file.as_str(), a.line, a.lint).cmp(&(b.file.as_str(), b.line, b.lint)));
+
+    Ok(Report {
+        root: root.to_string_lossy().into_owned(),
+        files: files.len(),
+        findings,
+        suppressed,
+        baselined,
+        stale_baseline: stale,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    fn report_for(files: &[(&str, &str)]) -> Report {
+        let dir = std::env::temp_dir().join(format!(
+            "hsgf-analyze-test-{}-{}",
+            std::process::id(),
+            files.len()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        for (rel, src) in files {
+            let path = dir.join(rel);
+            fs::create_dir_all(path.parent().unwrap()).unwrap();
+            let mut f = fs::File::create(&path).unwrap();
+            f.write_all(src.as_bytes()).unwrap();
+        }
+        let report = analyze_root(&dir, None).unwrap();
+        let _ = fs::remove_dir_all(&dir);
+        report
+    }
+
+    #[test]
+    fn json_report_round_trips_through_core_parser() {
+        let report = Report {
+            root: "x".to_string(),
+            files: 2,
+            findings: vec![Finding {
+                lint: "det-hash-iter",
+                severity: Severity::Error,
+                file: "a/b.rs".to_string(),
+                line: 7,
+                message: "iteration \"order\"".to_string(),
+            }],
+            suppressed: 1,
+            baselined: 0,
+            stale_baseline: vec!["det-wallclock|x.rs|old line".to_string()],
+        };
+        let json = report.render_json();
+        let value = hsgf_core::json::parse(&json).unwrap();
+        assert_eq!(value.get("version").and_then(|v| v.as_f64()), Some(1.0));
+        let findings = value.get("findings").and_then(|v| v.as_array()).unwrap();
+        assert_eq!(findings.len(), 1);
+        assert_eq!(
+            findings[0].get("lint").and_then(|v| v.as_str()),
+            Some("det-hash-iter")
+        );
+        assert_eq!(findings[0].get("line").and_then(|v| v.as_f64()), Some(7.0));
+        assert_eq!(
+            value
+                .get("stale_baseline")
+                .and_then(|v| v.as_array())
+                .map(Vec::len),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn suppression_silences_and_unused_is_flagged() {
+        let src = "\
+pub fn f(censuses: Vec<std::collections::HashMap<u32, u64>>) {
+    let m: HashMap<u32, u64> = HashMap::new();
+    for _k in m.keys() {} // hsgf-lint: allow(det-hash-iter, sorted downstream)
+}
+// hsgf-lint: allow(det-wallclock, nothing here)
+pub fn g() {}
+";
+        let report = report_for(&[("census.rs", src)]);
+        assert!(
+            report
+                .findings
+                .iter()
+                .any(|f| f.lint == "unused-suppression"),
+            "unused allow must be reported: {:?}",
+            report.findings
+        );
+        assert!(
+            !report.findings.iter().any(|f| f.lint == "det-hash-iter"),
+            "trailing allow must silence the finding: {:?}",
+            report.findings
+        );
+        assert_eq!(report.suppressed, 1);
+    }
+
+    #[test]
+    fn malformed_suppression_is_a_finding() {
+        let src = "// hsgf-lint: allow(det-hash-iter)\npub fn f() {}\n";
+        let report = report_for(&[("misc.rs", src)]);
+        assert!(report.findings.iter().any(|f| f.lint == "bad-suppression"));
+    }
+
+    #[test]
+    fn baseline_absorbs_by_trimmed_line_and_reports_stale() {
+        let dir = std::env::temp_dir().join(format!("hsgf-analyze-bl-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(
+            dir.join("export.rs"),
+            "pub fn f() {\n    let t = Instant::now();\n    let _ = t;\n}\n",
+        )
+        .unwrap();
+        let baseline = "\
+# grandfathered
+det-wallclock|export.rs|let t = Instant::now();
+det-wallclock|export.rs|let gone = Instant::now();
+";
+        let report = analyze_root(&dir, Some(baseline)).unwrap();
+        let _ = fs::remove_dir_all(&dir);
+        assert_eq!(report.baselined, 1, "{:?}", report.findings);
+        assert!(!report.findings.iter().any(|f| f.lint == "det-wallclock"));
+        assert_eq!(report.stale_baseline.len(), 1);
+    }
+}

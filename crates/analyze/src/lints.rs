@@ -1,0 +1,1013 @@
+//! The lint catalogue: project-specific checks over lexed source files.
+//!
+//! Every lint here encodes an invariant the hsgf workspace's tests cannot
+//! structurally enforce:
+//!
+//! * [`det-hash-iter`] — no `HashMap`/`HashSet` iteration in modules that
+//!   feed deterministic output (the PR 1 `FeatureMatrix::from_censuses`
+//!   bug class: interning features in randomized hash order).
+//! * [`det-wallclock`] — no `Instant::now` / `SystemTime` outside the
+//!   obs/budget/bench allowlist.
+//! * [`lock-order`] — mutex acquisition sequences must form an acyclic
+//!   cross-module order over the named shard families, and a guard must
+//!   never be re-acquired from its own family while held.
+//! * [`lock-poison`] — poison handling uses the one documented idiom,
+//!   `.lock().unwrap_or_else(PoisonError::into_inner)`.
+//! * [`panic-path`] — no `unwrap`/`expect`/`panic!` in serve request
+//!   paths or journal/cache IO paths.
+//! * [`atomic-order`] — no `Ordering::Relaxed` on atomics named like
+//!   cross-thread control flags.
+//! * [`unsafe-drift`] — every crate root keeps `#![forbid(unsafe_code)]`.
+//!
+//! All lints skip test code (`#[cfg(test)]` modules, `#[test]` fns) and
+//! comment/string interiors; findings are line-anchored and suppressible
+//! (see the crate docs for the suppression grammar).
+
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+
+use crate::lexer::{Items, Tok, TokKind};
+use crate::{Finding, Severity};
+
+/// Identifiers of every shipped lint, in report order.
+pub const ALL_LINTS: &[&str] = &[
+    "det-hash-iter",
+    "det-wallclock",
+    "lock-order",
+    "lock-poison",
+    "panic-path",
+    "atomic-order",
+    "unsafe-drift",
+];
+
+/// File stems whose modules feed deterministic output: the census and its
+/// encodings, feature interning, exports, and content fingerprints.
+const DET_STEMS: &[&str] = &[
+    "census",
+    "features",
+    "export",
+    "fingerprint",
+    "hash",
+    "sequence",
+    "small",
+    "enumerate",
+    "reference",
+    "sampling",
+];
+
+/// Wall-clock allowlist: observability and budget deadlines are *defined*
+/// over wall time, and the bench crate measures it.
+const WALLCLOCK_ALLOW_STEMS: &[&str] = &["obs", "budget", "runner"];
+
+/// Hash-collection methods whose results depend on iteration order.
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "into_iter",
+    "into_keys",
+    "into_values",
+    "drain",
+];
+
+/// Atomic read-modify-write / load / store method names.
+const ATOMIC_OPS: &[&str] = &[
+    "load",
+    "store",
+    "swap",
+    "fetch_add",
+    "fetch_sub",
+    "fetch_and",
+    "fetch_or",
+    "fetch_xor",
+    "fetch_update",
+    "fetch_max",
+    "fetch_min",
+    "compare_exchange",
+    "compare_exchange_weak",
+];
+
+/// Receiver-name fragments that mark an atomic as a cross-thread control
+/// flag (parking epochs, shutdown/cancel flags) rather than a counter.
+const CONTROL_FLAG_PATTERNS: &[&str] = &[
+    "shutdown",
+    "shutting",
+    "stop",
+    "cancel",
+    "park",
+    "epoch",
+    "done",
+    "terminate",
+    "quit",
+    "halt",
+];
+
+/// One source file prepared for linting.
+pub(crate) struct SourceFile {
+    /// Root-relative path with forward slashes.
+    pub rel: String,
+    /// Crate directory name (`core`, `serve`, …) or the scan root's name.
+    pub crate_name: String,
+    /// File stem (`cache` for `crates/core/src/cache.rs`).
+    pub stem: String,
+    /// Raw source lines (for baseline matching).
+    pub lines: Vec<String>,
+    /// Lexed tokens.
+    pub toks: Vec<Tok>,
+    /// Recovered items (fn spans, test regions).
+    pub items: Items,
+}
+
+/// Non-comment view over a token stream: lint patterns match on code
+/// tokens only, while comments are handled by the suppression layer.
+pub(crate) struct Code<'a> {
+    toks: &'a [Tok],
+    idx: Vec<usize>,
+}
+
+impl<'a> Code<'a> {
+    pub fn new(toks: &'a [Tok]) -> Self {
+        let idx = toks
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.kind != TokKind::Comment)
+            .map(|(i, _)| i)
+            .collect();
+        Code { toks, idx }
+    }
+
+    pub fn len(&self) -> usize {
+        self.idx.len()
+    }
+
+    pub fn get(&self, j: usize) -> Option<&Tok> {
+        self.idx.get(j).map(|&i| &self.toks[i])
+    }
+
+    fn ident(&self, j: usize, name: &str) -> bool {
+        self.get(j).is_some_and(|t| t.is_ident(name))
+    }
+
+    fn punct(&self, j: usize, c: char) -> bool {
+        self.get(j).is_some_and(|t| t.is_punct(c))
+    }
+
+    fn line(&self, j: usize) -> u32 {
+        self.get(j).map_or(0, |t| t.line)
+    }
+
+    /// Maps a raw token index to its position in the code view (for
+    /// translating fn body spans).
+    fn pos_of_raw(&self, raw: usize) -> usize {
+        self.idx.partition_point(|&i| i < raw)
+    }
+
+    /// Walks backwards from the code position `j` (exclusive) over one
+    /// postfix expression tail, skipping balanced `[..]` / `(..)` groups,
+    /// and returns the identifier that heads it: the receiver of a method
+    /// call, or the trailing name of a path like `&mut self.counts`.
+    fn receiver(&self, mut j: usize) -> Option<String> {
+        loop {
+            if j == 0 {
+                return None;
+            }
+            j -= 1;
+            let t = self.get(j)?;
+            if t.is_punct(']') || t.is_punct(')') {
+                let (open, close) = if t.is_punct(']') {
+                    ('[', ']')
+                } else {
+                    ('(', ')')
+                };
+                let mut depth = 1i32;
+                while depth > 0 {
+                    if j == 0 {
+                        return None;
+                    }
+                    j -= 1;
+                    let u = self.get(j)?;
+                    if u.is_punct(close) {
+                        depth += 1;
+                    } else if u.is_punct(open) {
+                        depth -= 1;
+                    }
+                }
+                continue;
+            }
+            if t.kind == TokKind::Ident {
+                return Some(t.text.clone());
+            }
+            return None;
+        }
+    }
+}
+
+/// What a declared type resolves to, as far as the lints care.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum TypeKind {
+    Hash,
+    VecOfHash,
+    Other,
+}
+
+/// Classifies the type (or constructor expression) starting at code
+/// position `j`: skips references, `mut`, and path prefixes, then checks
+/// the first significant identifier.
+fn classify_type(code: &Code<'_>, mut j: usize) -> TypeKind {
+    // Skip `&`, `&&`, `mut`, lifetimes.
+    while let Some(t) = code.get(j) {
+        if t.is_punct('&') || t.is_ident("mut") || t.kind == TokKind::Lifetime {
+            j += 1;
+        } else {
+            break;
+        }
+    }
+    // Skip path prefixes: `std :: collections ::`.
+    loop {
+        let Some(t) = code.get(j) else {
+            return TypeKind::Other;
+        };
+        if t.kind != TokKind::Ident {
+            return TypeKind::Other;
+        }
+        if code.punct(j + 1, ':') && code.punct(j + 2, ':') && !code.punct(j + 3, '<') {
+            // `seg::` — but stop descending when the next segment opens
+            // generics immediately (`HashMap::<K,V>` turbofish is rare in
+            // type position; treat the segment itself below).
+            if code.get(j + 3).is_some_and(|t| {
+                t.kind == TokKind::Ident
+                    && t.text != "new"
+                    && t.text != "with_capacity"
+                    && t.text != "from"
+                    && t.text != "default"
+            }) {
+                j += 3;
+                continue;
+            }
+        }
+        break;
+    }
+    let Some(t) = code.get(j) else {
+        return TypeKind::Other;
+    };
+    match t.text.as_str() {
+        "HashMap" | "HashSet" => TypeKind::Hash,
+        "Vec" if code.punct(j + 1, '<') => match classify_type(code, j + 2) {
+            TypeKind::Hash => TypeKind::VecOfHash,
+            _ => TypeKind::Other,
+        },
+        _ => TypeKind::Other,
+    }
+}
+
+/// Names bound to hash collections (or vectors of them) in one file:
+/// struct fields, function parameters, and `let` bindings, resolved by
+/// declared type or constructor.
+fn hash_typed_names(code: &Code<'_>) -> BTreeMap<String, TypeKind> {
+    let mut names: BTreeMap<String, TypeKind> = BTreeMap::new();
+    for j in 0..code.len() {
+        let Some(t) = code.get(j) else { break };
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        // `name : Type` (field, param, annotated let, struct literal with
+        // a constructor expression — all resolve the same way).
+        if code.punct(j + 1, ':') && !code.punct(j + 2, ':') && (j == 0 || !code.punct(j - 1, ':'))
+        {
+            let kind = classify_type(code, j + 2);
+            if kind != TypeKind::Other {
+                names.insert(t.text.clone(), kind);
+            }
+        }
+        // `let [mut] name = HashMap::new()` and friends.
+        if t.is_ident("let") {
+            let mut k = j + 1;
+            if code.ident(k, "mut") {
+                k += 1;
+            }
+            if let Some(name) = code.get(k) {
+                if name.kind == TokKind::Ident && code.punct(k + 1, '=') {
+                    let kind = classify_type(code, k + 2);
+                    if kind != TypeKind::Other {
+                        names.insert(name.text.clone(), kind);
+                    }
+                }
+            }
+        }
+    }
+    names
+}
+
+fn finding(lint: &'static str, file: &SourceFile, line: u32, message: String) -> Finding {
+    Finding {
+        lint,
+        severity: Severity::Error,
+        file: file.rel.clone(),
+        line,
+        message,
+    }
+}
+
+/// `det-hash-iter`: iteration over hash collections in deterministic
+/// modules. Tracks hash-typed names per file and flags order-sensitive
+/// method calls and `for` loops over them; iterating a `Vec<HashMap<_>>`
+/// propagates hash-ness to the loop variable (the exact shape of the
+/// PR 1 `from_censuses` bug).
+pub(crate) fn det_hash_iter(file: &SourceFile, code: &Code<'_>) -> Vec<Finding> {
+    if !DET_STEMS.contains(&file.stem.as_str()) {
+        return Vec::new();
+    }
+    let mut names = hash_typed_names(code);
+    let mut out = Vec::new();
+    for j in 0..code.len() {
+        let Some(t) = code.get(j) else { break };
+        if file.items.in_test(t.line) {
+            continue;
+        }
+        // `recv.iter()` and friends.
+        if t.kind == TokKind::Ident
+            && ITER_METHODS.contains(&t.text.as_str())
+            && code.punct(j + 1, '(')
+            && j >= 1
+            && code.punct(j - 1, '.')
+        {
+            if let Some(recv) = code.receiver(j - 1) {
+                if names.get(&recv) == Some(&TypeKind::Hash) {
+                    out.push(finding(
+                        "det-hash-iter",
+                        file,
+                        t.line,
+                        format!(
+                            "`.{}()` on hash collection `{recv}` in a deterministic module: \
+                             iteration order is randomized per process; collect and sort \
+                             (or restructure) before anything order-sensitive",
+                            t.text
+                        ),
+                    ));
+                }
+            }
+        }
+        // `for pat in expr { … }`.
+        if t.is_ident("for") {
+            if code.punct(j + 1, '<') {
+                continue; // `for<'a>` HRTB
+            }
+            // Find `in` at paren depth 0 within a short window.
+            let mut depth = 0i32;
+            let mut in_at = None;
+            for k in j + 1..(j + 24).min(code.len()) {
+                let Some(u) = code.get(k) else { break };
+                if u.is_punct('(') || u.is_punct('[') {
+                    depth += 1;
+                } else if u.is_punct(')') || u.is_punct(']') {
+                    depth -= 1;
+                } else if u.is_punct('{') && depth == 0 {
+                    break; // `impl Trait for Type {`
+                } else if u.is_ident("in") && depth == 0 {
+                    in_at = Some(k);
+                    break;
+                }
+            }
+            let Some(in_at) = in_at else { continue };
+            // Find the loop body `{` at depth 0 after `in`.
+            let mut depth = 0i32;
+            let mut body_at = None;
+            for k in in_at + 1..code.len() {
+                let Some(u) = code.get(k) else { break };
+                if u.is_punct('(') || u.is_punct('[') {
+                    depth += 1;
+                } else if u.is_punct(')') || u.is_punct(']') {
+                    depth -= 1;
+                } else if u.is_punct('{') && depth == 0 {
+                    body_at = Some(k);
+                    break;
+                }
+            }
+            let Some(body_at) = body_at else { continue };
+            // The iterated expression's trailing identifier.
+            if code.get(body_at - 1).is_some_and(|u| u.is_punct(')')) {
+                // Ends in a call — the method rule above owns those.
+                continue;
+            }
+            let Some(target) = code.receiver(body_at) else {
+                continue;
+            };
+            match names.get(&target) {
+                Some(TypeKind::Hash) => out.push(finding(
+                    "det-hash-iter",
+                    file,
+                    t.line,
+                    format!(
+                        "`for` loop over hash collection `{target}` in a deterministic \
+                         module: iteration order is randomized per process"
+                    ),
+                )),
+                Some(TypeKind::VecOfHash) => {
+                    // `for census in censuses` — the loop variable is a
+                    // hash map; record it so its own uses are checked.
+                    if in_at == j + 2 {
+                        if let Some(pat) = code.get(j + 1) {
+                            if pat.kind == TokKind::Ident {
+                                names.insert(pat.text.clone(), TypeKind::Hash);
+                            }
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    out
+}
+
+/// `det-wallclock`: `Instant::now` / `SystemTime` outside the allowlist.
+pub(crate) fn det_wallclock(file: &SourceFile, code: &Code<'_>) -> Vec<Finding> {
+    if WALLCLOCK_ALLOW_STEMS.contains(&file.stem.as_str()) || file.crate_name == "bench" {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for j in 0..code.len() {
+        let Some(t) = code.get(j) else { break };
+        if t.kind != TokKind::Ident || file.items.in_test(t.line) {
+            continue;
+        }
+        if t.text == "Instant"
+            && code.punct(j + 1, ':')
+            && code.punct(j + 2, ':')
+            && code.ident(j + 3, "now")
+        {
+            out.push(finding(
+                "det-wallclock",
+                file,
+                t.line,
+                "`Instant::now` outside the obs/budget/bench allowlist: wall-clock reads \
+                 make output timing-dependent"
+                    .to_string(),
+            ));
+        }
+        if t.text == "SystemTime" {
+            out.push(finding(
+                "det-wallclock",
+                file,
+                t.line,
+                "`SystemTime` outside the obs/budget/bench allowlist: wall-clock reads \
+                 make output timing-dependent"
+                    .to_string(),
+            ));
+        }
+    }
+    out
+}
+
+/// `lock-poison`: after `.lock()`, the only accepted continuation in
+/// non-test code is the documented idiom
+/// `.unwrap_or_else(PoisonError::into_inner)` (or explicit `Result`
+/// handling). `.unwrap()` / `.expect(…)` turn a poisoned-but-benign mutex
+/// into a thread death.
+pub(crate) fn lock_poison(file: &SourceFile, code: &Code<'_>) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for j in 0..code.len() {
+        if !(code.ident(j, "lock")
+            && j >= 1
+            && code.punct(j - 1, '.')
+            && code.punct(j + 1, '(')
+            && code.punct(j + 2, ')')
+            && code.punct(j + 3, '.'))
+        {
+            continue;
+        }
+        let line = code.line(j);
+        if file.items.in_test(line) {
+            continue;
+        }
+        let Some(next) = code.get(j + 4) else {
+            continue;
+        };
+        match next.text.as_str() {
+            "unwrap" | "expect" => out.push(finding(
+                "lock-poison",
+                file,
+                line,
+                format!(
+                    "`.lock().{}(…)` dies on a poisoned mutex; use the workspace idiom \
+                     `.lock().unwrap_or_else(PoisonError::into_inner)` where poison is \
+                     benign, or handle the `Err` explicitly",
+                    next.text
+                ),
+            )),
+            "unwrap_or_else" => {
+                let canonical = code.punct(j + 5, '(')
+                    && code.ident(j + 6, "PoisonError")
+                    && code.punct(j + 7, ':')
+                    && code.punct(j + 8, ':')
+                    && code.ident(j + 9, "into_inner")
+                    && code.punct(j + 10, ')');
+                if !canonical {
+                    out.push(finding(
+                        "lock-poison",
+                        file,
+                        line,
+                        "non-canonical poison handler after `.lock()`; the workspace idiom \
+                         is `.lock().unwrap_or_else(PoisonError::into_inner)`"
+                            .to_string(),
+                    ));
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Whether `panic-path` applies to this file: serve request handling and
+/// journal / disk-cache IO paths.
+fn panic_scope(file: &SourceFile) -> bool {
+    file.crate_name == "serve"
+        || file.rel.contains("/serve/")
+        || file.stem == "serve"
+        || file.stem == "journal"
+        || file.stem == "cache"
+}
+
+/// `panic-path`: `unwrap` / `expect` / `panic!` in request or IO paths.
+/// `.lock().unwrap()` is excluded here — `lock-poison` owns lock sites.
+pub(crate) fn panic_path(file: &SourceFile, code: &Code<'_>) -> Vec<Finding> {
+    if !panic_scope(file) {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for j in 0..code.len() {
+        let Some(t) = code.get(j) else { break };
+        if t.kind != TokKind::Ident || file.items.in_test(t.line) {
+            continue;
+        }
+        let after_lock = j >= 4
+            && code.punct(j - 1, '.')
+            && code.punct(j - 2, ')')
+            && code.punct(j - 3, '(')
+            && code.ident(j - 4, "lock");
+        match t.text.as_str() {
+            "unwrap" | "expect" if code.punct(j + 1, '(') && j >= 1 && code.punct(j - 1, '.') => {
+                if after_lock {
+                    continue;
+                }
+                out.push(finding(
+                    "panic-path",
+                    file,
+                    t.line,
+                    format!(
+                        "`.{}(…)` in a request/IO path kills the worker thread on failure; \
+                         propagate an error (`{{\"ok\":false,…}}` response or `io::Error`) \
+                         instead",
+                        t.text
+                    ),
+                ));
+            }
+            "panic" if code.punct(j + 1, '!') => out.push(finding(
+                "panic-path",
+                file,
+                t.line,
+                "`panic!` in a request/IO path kills the worker thread; return an error \
+                 instead"
+                    .to_string(),
+            )),
+            _ => {}
+        }
+    }
+    out
+}
+
+/// `atomic-order`: `Ordering::Relaxed` on an atomic whose name marks it
+/// as a cross-thread control flag. Relaxed loads/stores on flags order
+/// nothing: a worker can observe the flag without the writes it guards.
+pub(crate) fn atomic_order(file: &SourceFile, code: &Code<'_>) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let mut last: Option<(u32, String)> = None;
+    for j in 0..code.len() {
+        if !(code.ident(j, "Ordering")
+            && code.punct(j + 1, ':')
+            && code.punct(j + 2, ':')
+            && code.ident(j + 3, "Relaxed"))
+        {
+            continue;
+        }
+        let line = code.line(j);
+        if file.items.in_test(line) {
+            continue;
+        }
+        // Walk back to the enclosing call's method name.
+        let mut depth = 0i32;
+        let mut k = j;
+        let mut method: Option<usize> = None;
+        while k > 0 {
+            k -= 1;
+            let Some(u) = code.get(k) else { break };
+            if u.is_punct(')') {
+                depth += 1;
+            } else if u.is_punct('(') {
+                depth -= 1;
+                if depth < 0 {
+                    if k > 0 && code.get(k - 1).is_some_and(|m| m.kind == TokKind::Ident) {
+                        method = Some(k - 1);
+                    }
+                    break;
+                }
+            }
+        }
+        let Some(m) = method else { continue };
+        let mname = &code.get(m).map(|t| t.text.clone()).unwrap_or_default();
+        if !ATOMIC_OPS.contains(&mname.as_str()) {
+            continue;
+        }
+        let Some(recv) = (if m >= 1 && code.punct(m - 1, '.') {
+            code.receiver(m - 1)
+        } else {
+            None
+        }) else {
+            continue;
+        };
+        let lower = recv.to_lowercase();
+        if !CONTROL_FLAG_PATTERNS.iter().any(|p| lower.contains(p)) {
+            continue;
+        }
+        // fetch_update carries two orderings; report the call once.
+        if last.as_ref() == Some(&(line, recv.clone())) {
+            continue;
+        }
+        last = Some((line, recv.clone()));
+        out.push(finding(
+            "atomic-order",
+            file,
+            line,
+            format!(
+                "`Ordering::Relaxed` on control-flag atomic `{recv}.{mname}`: relaxed \
+                 accesses order nothing across threads; use Acquire/Release (or SeqCst)"
+            ),
+        ));
+    }
+    out
+}
+
+/// `unsafe-drift`: crate roots must retain `#![forbid(unsafe_code)]`, and
+/// no file may introduce an `unsafe` token at all.
+pub(crate) fn unsafe_drift(file: &SourceFile, code: &Code<'_>) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let is_crate_root = file.rel.ends_with("src/lib.rs") || file.rel.ends_with("src/main.rs");
+    if is_crate_root {
+        let mut found = false;
+        for j in 0..code.len() {
+            if code.punct(j, '#')
+                && code.punct(j + 1, '!')
+                && code.punct(j + 2, '[')
+                && code.ident(j + 3, "forbid")
+                && code.punct(j + 4, '(')
+                && code.ident(j + 5, "unsafe_code")
+            {
+                found = true;
+                break;
+            }
+        }
+        if !found {
+            out.push(finding(
+                "unsafe-drift",
+                file,
+                1,
+                "crate root is missing `#![forbid(unsafe_code)]`".to_string(),
+            ));
+        }
+    }
+    for j in 0..code.len() {
+        let Some(t) = code.get(j) else { break };
+        if t.is_ident("unsafe") && !file.items.in_test(t.line) {
+            out.push(finding(
+                "unsafe-drift",
+                file,
+                t.line,
+                "`unsafe` token in a forbid(unsafe_code) workspace".to_string(),
+            ));
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// lock-order: cross-module acquisition graph over named lock families.
+// ---------------------------------------------------------------------------
+
+/// One acquisition or call event inside a function body.
+#[derive(Clone, Debug)]
+enum Event {
+    /// `.lock()` on `family`; `guard` is the `let`-bound name when the
+    /// guard outlives its statement, with the brace depth at the binding.
+    Lock {
+        family: String,
+        line: u32,
+        guard: Option<(String, i32)>,
+        depth: i32,
+    },
+    /// A call that may acquire locks transitively.
+    Call { name: String, line: u32 },
+    /// `drop(name)` — explicitly releases a named guard.
+    Drop { name: String },
+    /// Closing brace to `depth` (guards bound deeper die here).
+    Close { depth: i32 },
+}
+
+/// Per-function event log plus direct lock families (for expansion).
+#[derive(Clone, Debug, Default)]
+struct FnLocks {
+    events: Vec<Event>,
+    families: BTreeSet<String>,
+}
+
+/// Extracts lock/call events from one function body (code positions
+/// `[start, end)`).
+fn fn_events(file: &SourceFile, code: &Code<'_>, start: usize, end: usize) -> FnLocks {
+    let mut log = FnLocks::default();
+    let mut depth = 0i32;
+    for j in start..end.min(code.len()) {
+        let Some(t) = code.get(j) else { break };
+        if t.is_punct('{') {
+            depth += 1;
+            continue;
+        }
+        if t.is_punct('}') {
+            depth -= 1;
+            log.events.push(Event::Close { depth });
+            continue;
+        }
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        // `.lock()`.
+        if t.text == "lock"
+            && j >= 1
+            && code.punct(j - 1, '.')
+            && code.punct(j + 1, '(')
+            && code.punct(j + 2, ')')
+        {
+            let recv = code.receiver(j - 1).unwrap_or_else(|| "?".to_string());
+            let family = format!("{}/{}:{recv}", file.crate_name, file.stem);
+            // A guard survives its statement iff the statement is a
+            // `let` binding: scan back to the statement head.
+            let guard = let_bound_guard(code, j, start);
+            log.families.insert(family.clone());
+            log.events.push(Event::Lock {
+                family,
+                line: t.line,
+                guard,
+                depth,
+            });
+            continue;
+        }
+        // `drop(name)`.
+        if t.text == "drop" && code.punct(j + 1, '(') {
+            if let Some(name) = code.get(j + 2) {
+                if name.kind == TokKind::Ident && code.punct(j + 3, ')') {
+                    log.events.push(Event::Drop {
+                        name: name.text.clone(),
+                    });
+                    continue;
+                }
+            }
+        }
+        // Calls: `name(` — both free calls and method calls, excluding
+        // the `.lock(` pattern handled above and macro invocations.
+        if code.punct(j + 1, '(') && t.text != "lock" {
+            log.events.push(Event::Call {
+                name: t.text.clone(),
+                line: t.line,
+            });
+        }
+    }
+    log
+}
+
+/// If the statement containing the `.lock()` at code position `j` is a
+/// `let` binding, returns the bound name and its depth. Walks back to the
+/// nearest `;`, `{`, or `}` and checks for `let [mut] name =`.
+fn let_bound_guard(code: &Code<'_>, j: usize, floor: usize) -> Option<(String, i32)> {
+    let mut k = j;
+    let mut depth_back = 0i32;
+    while k > floor {
+        k -= 1;
+        let t = code.get(k)?;
+        if t.is_punct(')') || t.is_punct(']') {
+            depth_back += 1;
+        } else if t.is_punct('(') || t.is_punct('[') {
+            depth_back -= 1;
+            if depth_back < 0 {
+                return None; // lock happens inside an argument list
+            }
+        } else if (t.is_punct(';') || t.is_punct('{') || t.is_punct('}')) && depth_back == 0 {
+            k += 1;
+            break;
+        }
+    }
+    let t = code.get(k)?;
+    if !t.is_ident("let") {
+        return None;
+    }
+    let mut n = k + 1;
+    if code.ident(n, "mut") {
+        n += 1;
+    }
+    let name = code.get(n)?;
+    if name.kind == TokKind::Ident && code.punct(n + 1, '=') {
+        Some((name.text.clone(), 0)) // depth filled in by caller
+    } else {
+        None
+    }
+}
+
+/// A lock-order edge: `from` held while `to` is acquired.
+#[derive(Clone, Debug)]
+struct EdgeSite {
+    file: String,
+    line: u32,
+    via: String,
+}
+
+/// `lock-order` runs over the whole workspace at once: build per-function
+/// event logs, compute each function's transitive lock families, then
+/// walk every `let`-bound guard's live window collecting `held → acquired`
+/// edges, and report (a) same-family re-acquisition inside a window and
+/// (b) cycles in the cross-module family graph.
+pub(crate) fn lock_order(files: &[SourceFile], codes: &[Code<'_>]) -> Vec<Finding> {
+    // Function name → merged event logs (name collisions union; this is a
+    // heuristic call graph, precise enough for family-level ordering).
+    let mut fn_logs: BTreeMap<String, Vec<FnLocks>> = BTreeMap::new();
+    let mut per_fn: Vec<(usize, String, FnLocks, u32)> = Vec::new();
+    for (fi, (file, code)) in files.iter().zip(codes.iter()).enumerate() {
+        for f in &file.items.fns {
+            let start = code.pos_of_raw(f.body.0);
+            let end = code.pos_of_raw(f.body.1);
+            let log = fn_events(file, code, start, end);
+            if !log.events.is_empty() {
+                fn_logs.entry(f.name.clone()).or_default().push(log.clone());
+                per_fn.push((fi, f.name.clone(), log, f.line));
+            }
+        }
+    }
+    // Transitive lock families per function name, memoized.
+    fn families_of(
+        name: &str,
+        fn_logs: &BTreeMap<String, Vec<FnLocks>>,
+        memo: &mut BTreeMap<String, BTreeSet<String>>,
+        visiting: &mut BTreeSet<String>,
+    ) -> BTreeSet<String> {
+        if let Some(done) = memo.get(name) {
+            return done.clone();
+        }
+        if !visiting.insert(name.to_string()) {
+            return BTreeSet::new();
+        }
+        let mut fams = BTreeSet::new();
+        if let Some(logs) = fn_logs.get(name) {
+            for log in logs {
+                fams.extend(log.families.iter().cloned());
+                for ev in &log.events {
+                    if let Event::Call { name: callee, .. } = ev {
+                        if callee != name && fn_logs.contains_key(callee) {
+                            fams.extend(families_of(callee, fn_logs, memo, visiting));
+                        }
+                    }
+                }
+            }
+        }
+        visiting.remove(name);
+        memo.insert(name.to_string(), fams.clone());
+        fams
+    }
+    let mut memo = BTreeMap::new();
+    let mut out = Vec::new();
+    let mut edges: BTreeMap<(String, String), EdgeSite> = BTreeMap::new();
+    for (fi, fname, log, _) in &per_fn {
+        let file = &files[*fi];
+        // Walk each let-bound guard's live window.
+        for (i, ev) in log.events.iter().enumerate() {
+            let Event::Lock {
+                family,
+                line,
+                guard: Some((gname, _)),
+                depth,
+            } = ev
+            else {
+                continue;
+            };
+            if file.items.in_test(*line) {
+                continue;
+            }
+            for later in &log.events[i + 1..] {
+                match later {
+                    Event::Drop { name } if name == gname => break,
+                    Event::Close { depth: d } if d < depth => break,
+                    Event::Lock {
+                        family: f2,
+                        line: l2,
+                        ..
+                    } => {
+                        if f2 == family {
+                            out.push(finding(
+                                "lock-order",
+                                file,
+                                *l2,
+                                format!(
+                                    "`{family}` re-acquired at line {l2} while the guard \
+                                     from line {line} (`{gname}`) is still held: nested \
+                                     same-family locking self-deadlocks"
+                                ),
+                            ));
+                        } else {
+                            edges
+                                .entry((family.clone(), f2.clone()))
+                                .or_insert(EdgeSite {
+                                    file: file.rel.clone(),
+                                    line: *l2,
+                                    via: fname.clone(),
+                                });
+                        }
+                    }
+                    Event::Call { name, line: l2 } => {
+                        let mut visiting = BTreeSet::new();
+                        for f2 in families_of(name, &fn_logs, &mut memo, &mut visiting) {
+                            if &f2 != family {
+                                edges.entry((family.clone(), f2)).or_insert(EdgeSite {
+                                    file: file.rel.clone(),
+                                    line: *l2,
+                                    via: format!("{fname} → {name}"),
+                                });
+                            }
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+    // Cycle detection over the family graph (DFS with colors).
+    let mut adj: BTreeMap<&String, Vec<&String>> = BTreeMap::new();
+    for (from, to) in edges.keys() {
+        adj.entry(from).or_default().push(to);
+    }
+    let nodes: Vec<&String> = adj.keys().copied().collect();
+    let mut color: BTreeMap<&String, u8> = BTreeMap::new();
+    fn dfs<'a>(
+        node: &'a String,
+        adj: &BTreeMap<&'a String, Vec<&'a String>>,
+        color: &mut BTreeMap<&'a String, u8>,
+        stack: &mut Vec<&'a String>,
+        cycles: &mut Vec<Vec<String>>,
+    ) {
+        color.insert(node, 1);
+        stack.push(node);
+        for &next in adj.get(node).map(Vec::as_slice).unwrap_or_default() {
+            match color.get(next).copied().unwrap_or(0) {
+                0 => dfs(next, adj, color, stack, cycles),
+                1 => {
+                    let pos = stack.iter().position(|n| *n == next).unwrap_or(0);
+                    let mut cycle: Vec<String> =
+                        stack[pos..].iter().map(|s| s.to_string()).collect();
+                    cycle.push(next.clone());
+                    cycles.push(cycle);
+                }
+                _ => {}
+            }
+        }
+        stack.pop();
+        color.insert(node, 2);
+    }
+    let mut cycles = Vec::new();
+    for node in nodes {
+        if color.get(node).copied().unwrap_or(0) == 0 {
+            let mut stack = Vec::new();
+            dfs(node, &adj, &mut color, &mut stack, &mut cycles);
+        }
+    }
+    for cycle in cycles {
+        // Anchor the finding at the first edge of the cycle.
+        let site = edges
+            .get(&(cycle[0].clone(), cycle[1].clone()))
+            .cloned()
+            .unwrap_or(EdgeSite {
+                file: String::new(),
+                line: 0,
+                via: String::new(),
+            });
+        out.push(Finding {
+            lint: "lock-order",
+            severity: Severity::Error,
+            file: site.file,
+            line: site.line,
+            message: format!(
+                "lock acquisition cycle {} (via {}): functions disagree on the order \
+                 these families are taken in, which can deadlock under contention",
+                cycle.join(" → "),
+                site.via
+            ),
+        });
+    }
+    out
+}

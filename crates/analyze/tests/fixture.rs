@@ -1,0 +1,91 @@
+//! Every shipped lint must fire in the fixture crate exactly at its
+//! `hsgf-lint: expect(<id>)`-annotated lines — no extra findings, no
+//! missing ones.
+
+use std::collections::BTreeSet;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use hsgf_analyze::{analyze_root, ALL_LINTS};
+
+fn fixture_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../tests/lint-fixture")
+}
+
+/// Collects `(file, line, lint)` expectations from the fixture's
+/// `expect` markers: a trailing marker pins its own line, a standalone
+/// marker pins the line directly below it.
+fn expected(dir: &Path) -> BTreeSet<(String, u32, String)> {
+    let marker = "hsgf-lint: expect(";
+    let mut out = BTreeSet::new();
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(d) = stack.pop() {
+        for entry in fs::read_dir(&d).unwrap() {
+            let path = entry.unwrap().path();
+            if path.is_dir() {
+                stack.push(path);
+                continue;
+            }
+            if path.extension().and_then(|e| e.to_str()) != Some("rs") {
+                continue;
+            }
+            let rel = path
+                .strip_prefix(dir)
+                .unwrap()
+                .to_string_lossy()
+                .replace('\\', "/");
+            let text = fs::read_to_string(&path).unwrap();
+            for (i, line) in text.lines().enumerate() {
+                let Some(pos) = line.find(marker) else {
+                    continue;
+                };
+                let rest = &line[pos + marker.len()..];
+                let id = rest[..rest.find(')').unwrap()].to_string();
+                let standalone = line[..pos].trim().trim_start_matches('/').trim().is_empty();
+                let target = if standalone {
+                    i as u32 + 2
+                } else {
+                    i as u32 + 1
+                };
+                out.insert((rel.clone(), target, id));
+            }
+        }
+    }
+    out
+}
+
+#[test]
+fn fixture_trips_every_lint_at_annotated_lines() {
+    let dir = fixture_dir();
+    let report = analyze_root(&dir, None).unwrap();
+    assert!(
+        !report.is_clean(),
+        "the fixture must fail the gate (CLI exits non-zero on it)"
+    );
+    let got: BTreeSet<(String, u32, String)> = report
+        .findings
+        .iter()
+        .map(|f| (f.file.clone(), f.line, f.lint.to_string()))
+        .collect();
+    assert_eq!(
+        got.len(),
+        report.findings.len(),
+        "findings must be unique per (file, line, lint)"
+    );
+    let want = expected(&dir);
+    assert_eq!(
+        got, want,
+        "findings must match the expect() annotations exactly"
+    );
+    let fired: BTreeSet<&str> = report.findings.iter().map(|f| f.lint).collect();
+    for lint in ALL_LINTS {
+        assert!(
+            fired.contains(lint),
+            "lint {lint} did not fire in the fixture"
+        );
+    }
+    assert_eq!(
+        report.suppressed, 1,
+        "the justified allow in features.rs must suppress exactly one finding"
+    );
+}

@@ -1,0 +1,29 @@
+//! Self-check: the real workspace must lint clean with the checked-in
+//! baseline — the same invariant `scripts/ci.sh` gates on.
+
+use std::fs;
+use std::path::Path;
+
+use hsgf_analyze::analyze_root;
+
+#[test]
+fn workspace_lints_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let baseline = fs::read_to_string(root.join("lint-baseline.txt")).ok();
+    let report = analyze_root(&root, baseline.as_deref()).unwrap();
+    assert!(
+        report.is_clean(),
+        "workspace lint findings:\n{}",
+        report.render_human()
+    );
+    assert!(
+        report.stale_baseline.is_empty(),
+        "stale baseline entries: {:?}",
+        report.stale_baseline
+    );
+    assert!(
+        report.files >= 80,
+        "expected to scan the whole workspace, scanned only {} files",
+        report.files
+    );
+}

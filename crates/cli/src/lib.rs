@@ -214,6 +214,7 @@ USAGE:
   hsgf serve-call <ADDR> <JSON>...
   hsgf cache-stats <DIR>
   hsgf obs-validate <METRICS> [--trace FILE] [--against METRICS2]
+  hsgf lint [DIR] [--json] [--baseline FILE]
   hsgf help
 
 GRAPH files use the hsgf-graph v1 text format (see `hsgf generate`).
@@ -288,7 +289,21 @@ a summary table to stderr. The snapshot's \"counters\" section is
 deterministic — identical across thread counts and schedulers — while
 \"runtime\" and \"durations\" vary run to run. `obs-validate` checks the
 schema of saved files and, with --against, that two snapshots' deterministic
-counters agree.";
+counters agree.
+
+Static analysis: `lint` runs the in-repo analyzer (hsgf-analyze) over DIR
+(default `.`): `crates/*/src/**.rs` when DIR is a workspace root, every
+`.rs` file otherwise. It checks project invariants no test can enforce
+structurally — hash-map iteration in deterministic modules, wall-clock
+reads outside the obs/bench allowlist, lock-order cycles and nested
+same-family locks, panics and non-canonical poison handling in request/IO
+paths, Relaxed orderings on control-flag atomics, and
+#![forbid(unsafe_code)] drift. Findings print as `file:line: severity
+[lint-id] message`; --json emits one JSON report object instead. Sites are
+silenced inline with `hsgf-lint: allow(<id>, <reason>)` comments (the
+analyzer rejects unused or malformed directives) or grandfathered in a
+baseline file (--baseline FILE; DIR/lint-baseline.txt is picked up
+automatically). Exits 0 when clean, 1 with findings, 2 on hard error.";
 
 /// Generates a named synthetic dataset.
 pub fn generate(dataset: &str, scale: Scale) -> Result<HetGraph, CliError> {
@@ -1010,6 +1025,36 @@ pub fn run<W: Write>(options: &Options, mut out: W) -> Result<i32, CliError> {
                 writeln!(out, "deterministic counters match {other_path}")?;
             }
             Ok(0)
+        }
+        "lint" => {
+            let dir = options.positional.get(1).map_or(".", String::as_str);
+            let root = std::path::Path::new(dir);
+            let baseline_path = options
+                .get_opt("baseline")
+                .map(std::path::PathBuf::from)
+                .or_else(|| {
+                    let auto = root.join("lint-baseline.txt");
+                    auto.is_file().then_some(auto)
+                });
+            let baseline =
+                match &baseline_path {
+                    Some(path) => Some(std::fs::read_to_string(path).map_err(|e| {
+                        CliError::Usage(format!("baseline {}: {e}", path.display()))
+                    })?),
+                    None => None,
+                };
+            let report = hsgf_analyze::analyze_root(root, baseline.as_deref())?;
+            if options.flag("json") {
+                let body = report.render_json();
+                // The machine output must stay parseable by the in-repo
+                // JSON reader; refuse to emit anything that is not.
+                json::parse(&body)
+                    .map_err(|e| CliError::Usage(format!("internal: lint JSON invalid: {e}")))?;
+                writeln!(out, "{body}")?;
+            } else {
+                write!(out, "{}", report.render_human())?;
+            }
+            Ok(if report.is_clean() { 0 } else { 1 })
         }
         other => Err(CliError::Usage(format!("unknown subcommand {other:?}"))),
     }

@@ -3,6 +3,8 @@
 //! Exit codes: 0 = success, 2 = hard error, 3 = extraction completed with
 //! degraded, failed, or cancelled roots (see `hsgf help`).
 
+#![forbid(unsafe_code)]
+
 fn main() {
     let options = hsgf_cli::Options::parse(std::env::args().skip(1));
     let stdout = std::io::stdout();

@@ -58,7 +58,7 @@ use std::fs;
 use std::io::{self, Write as _};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 
 use hsgf_graph::rng::splitmix64;
 use hsgf_graph::NodeId;
@@ -356,7 +356,9 @@ impl CensusCache {
     /// accounts exactly one hit or one miss, however many levels it scans.
     pub(crate) fn lookup_uncounted(&self, key: &CacheKey) -> Option<CacheEntry> {
         {
-            let shard = self.shards[key.shard()].lock().unwrap();
+            let shard = self.shards[key.shard()]
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
             if let Some(entry) = shard.map.get(key) {
                 return Some(CacheEntry::clone(entry));
             }
@@ -415,7 +417,9 @@ impl CensusCache {
         let cap = self.shard_cap();
         let mut evicted = 0u64;
         {
-            let mut shard = self.shards[key.shard()].lock().unwrap();
+            let mut shard = self.shards[key.shard()]
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
             if shard.map.insert(key, entry).is_none() {
                 shard.order.push_back(key);
             }
@@ -450,7 +454,7 @@ impl CensusCache {
     pub fn entry_count(&self) -> usize {
         self.shards
             .iter()
-            .map(|s| s.lock().unwrap().map.len())
+            .map(|s| s.lock().unwrap_or_else(PoisonError::into_inner).map.len())
             .sum()
     }
 

@@ -156,6 +156,7 @@ pub fn enumerate_connected_budgeted(
             frontier = next;
         }
     }
+    // hsgf-lint: allow(det-hash-iter, drained into a Vec and fully sorted immediately below)
     let mut graphs: Vec<SmallGraph> = all.into_iter().collect();
     graphs.sort_by(|a, b| {
         (a.edge_count(), a.node_count())

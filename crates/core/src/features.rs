@@ -97,6 +97,7 @@ impl FeatureMatrix {
             // HashMap iteration order is randomized per process; intern in
             // encoding-byte order so feature indices — and everything
             // derived from them — are a pure function of the censuses.
+            // hsgf-lint: allow(det-hash-iter, collected then sorted by encoding bytes on the next line; PR 1 interned in raw iteration order here and broke cross-run determinism)
             let mut entries: Vec<(Encoding, u64)> = census.into_iter().collect();
             entries.sort_unstable_by(|a, b| a.0.as_bytes().cmp(b.0.as_bytes()));
             let mut row: Vec<(u32, f64)> = entries

@@ -51,7 +51,7 @@ use std::collections::HashMap;
 use std::fs::{self, File, OpenOptions};
 use std::io::{self, Seek, SeekFrom, Write as _};
 use std::path::{Path, PathBuf};
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 
 use hsgf_graph::rng::splitmix64;
 use hsgf_graph::NodeId;
@@ -669,7 +669,7 @@ impl Journal {
     ) -> io::Result<()> {
         let mut frame = frame(payload);
         let fault = chaos.and_then(|c| c.inject_io(IoOp::JournalWrite));
-        let mut writer = self.writer.lock().expect("journal writer poisoned");
+        let mut writer = self.writer.lock().unwrap_or_else(PoisonError::into_inner);
         if writer.offset >= self.segment_bytes || fault == Some(IoFault::Enospc) {
             // The current segment is (or pretends to be) full; rotation
             // gives the write a fresh device extent.

@@ -31,7 +31,7 @@
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 
 use hsgf_graph::fingerprint::{neighborhood_fingerprint_with, FingerprintScratch};
 use hsgf_graph::NodeId;
@@ -154,7 +154,7 @@ where
                     // The census already ran (and any panic was caught), so
                     // the critical section is a plain store; recover from
                     // poisoning anyway rather than propagate it.
-                    *slots[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(result);
+                    *slots[i].lock().unwrap_or_else(PoisonError::into_inner) = Some(result);
                 }
             });
         }
@@ -173,7 +173,7 @@ fn collect_slots<T>(
         .zip(roots)
         .map(|(slot, &root)| {
             slot.into_inner()
-                .unwrap_or_else(|e| e.into_inner())
+                .unwrap_or_else(PoisonError::into_inner)
                 .unwrap_or_else(|| {
                     // Unreachable with in-loop isolation, but an unfilled
                     // slot must degrade to an error, not a caller panic.
@@ -418,7 +418,7 @@ fn run_per_root_stealing<W: ShardableCensus>(
                 let timer = obs.root_timer();
                 let result = isolated(engine, root, holder, |s| W::census_whole(engine, root, s));
                 obs.record_root(root.raw(), worker as u64, timer);
-                *slots[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(result);
+                *slots[i].lock().unwrap_or_else(PoisonError::into_inner) = Some(result);
             }
             StealTask::Shard {
                 slot,
@@ -432,7 +432,7 @@ fn run_per_root_stealing<W: ShardableCensus>(
                     W::census_shard(engine, root, s, (lo, hi))
                 });
                 obs.record_root(root.raw(), worker as u64, timer);
-                let mut merge = merges[slot].lock().unwrap_or_else(|e| e.into_inner());
+                let mut merge = merges[slot].lock().unwrap_or_else(PoisonError::into_inner);
                 merge.parts[shard] = Some(result);
                 merge.remaining -= 1;
                 if merge.remaining == 0 {
@@ -467,7 +467,7 @@ fn run_per_root_stealing<W: ShardableCensus>(
                             Ok(W::merge_shards(datas))
                         }
                     };
-                    *slots[slot].lock().unwrap_or_else(|e| e.into_inner()) = Some(outcome);
+                    *slots[slot].lock().unwrap_or_else(PoisonError::into_inner) = Some(outcome);
                 }
             }
         },

@@ -42,7 +42,7 @@
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Condvar, Mutex, MutexGuard};
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
 
 use crate::obs::{CounterSet, Metric, Obs};
 
@@ -136,7 +136,7 @@ pub(crate) struct StealPool<T> {
 /// before it can reach a deque lock, so a poisoned lock only means some
 /// worker died mid-push — the queue contents are still well-formed.
 fn lock_deque<T>(m: &Mutex<VecDeque<T>>) -> MutexGuard<'_, VecDeque<T>> {
-    m.lock().unwrap_or_else(|e| e.into_inner())
+    m.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
 impl<T: Send> StealPool<T> {
@@ -169,7 +169,7 @@ impl<T: Send> StealPool<T> {
     pub(crate) fn spawn(&self, worker: usize, task: T) {
         self.pending.fetch_add(1, Ordering::SeqCst);
         lock_deque(&self.deques[worker]).push_back(task);
-        let mut sync = self.sync.lock().unwrap_or_else(|e| e.into_inner());
+        let mut sync = self.sync.lock().unwrap_or_else(PoisonError::into_inner);
         sync.epoch += 1;
         drop(sync);
         self.wakeup.notify_one();
@@ -184,7 +184,7 @@ impl<T: Send> StealPool<T> {
     /// worker. Must be called exactly once per executed task.
     pub(crate) fn complete(&self) {
         if self.pending.fetch_sub(1, Ordering::SeqCst) == 1 {
-            let mut sync = self.sync.lock().unwrap_or_else(|e| e.into_inner());
+            let mut sync = self.sync.lock().unwrap_or_else(PoisonError::into_inner);
             sync.done = true;
             drop(sync);
             self.wakeup.notify_all();
@@ -199,7 +199,7 @@ impl<T: Send> StealPool<T> {
             // Epoch snapshot BEFORE scanning: a spawn that lands mid-scan
             // bumps the epoch and is caught by the recheck below.
             let seen_epoch = {
-                let sync = self.sync.lock().unwrap_or_else(|e| e.into_inner());
+                let sync = self.sync.lock().unwrap_or_else(PoisonError::into_inner);
                 if sync.done {
                     return None;
                 }
@@ -218,7 +218,7 @@ impl<T: Send> StealPool<T> {
                     return Some(task);
                 }
             }
-            let sync = self.sync.lock().unwrap_or_else(|e| e.into_inner());
+            let sync = self.sync.lock().unwrap_or_else(PoisonError::into_inner);
             if sync.done {
                 return None;
             }
@@ -231,7 +231,10 @@ impl<T: Send> StealPool<T> {
             self.counters.incr(Metric::StealParks);
             // Spawners bump the epoch and notify under `sync`, so no task
             // published after the epoch check can be missed by this wait.
-            let _guard = self.wakeup.wait(sync).unwrap_or_else(|e| e.into_inner());
+            let _guard = self
+                .wakeup
+                .wait(sync)
+                .unwrap_or_else(PoisonError::into_inner);
         }
     }
 

@@ -39,7 +39,7 @@
 use std::collections::{BTreeMap, HashMap};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 use std::time::Duration;
 
 use hsgf_graph::{HetGraph, NodeId};
@@ -438,7 +438,7 @@ impl<'a> CommitSink<'a> {
                 .map(|outcome| encode_root_payload(root.raw(), &outcome, counts)),
             _ => None,
         };
-        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
         state.pending.insert(index, payload);
         while state
             .pending
@@ -812,7 +812,7 @@ impl<'g> Supervisor<'g> {
                         // and `census_root` never panics (faults are caught
                         // inside), so the lock cannot be poisoned by census
                         // work; recover anyway rather than propagate.
-                        *slots[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(result);
+                        *slots[i].lock().unwrap_or_else(PoisonError::into_inner) = Some(result);
                     }
                 });
             }
@@ -822,7 +822,7 @@ impl<'g> Supervisor<'g> {
             .zip(roots)
             .map(|(slot, &root)| {
                 slot.into_inner()
-                    .unwrap_or_else(|e| e.into_inner())
+                    .unwrap_or_else(PoisonError::into_inner)
                     .unwrap_or_else(|| {
                         // A worker died between claiming the slot and
                         // filling it. With in-loop isolation this should be
@@ -945,7 +945,7 @@ impl<'g> Supervisor<'g> {
                     if let Some(sink) = sink {
                         sink.offer(i, roots[i], &result);
                     }
-                    *slots[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(result);
+                    *slots[i].lock().unwrap_or_else(PoisonError::into_inner) = Some(result);
                 }
                 Task::Shard {
                     slot,
@@ -980,7 +980,7 @@ impl<'g> Supervisor<'g> {
                         }
                     };
                     self.obs.record_root(root.raw(), worker as u64, timer);
-                    let mut merge = merges[slot].lock().unwrap_or_else(|e| e.into_inner());
+                    let mut merge = merges[slot].lock().unwrap_or_else(PoisonError::into_inner);
                     merge.parts[shard] = Some(result);
                     merge.remaining -= 1;
                     if merge.remaining > 0 {
@@ -1026,7 +1026,7 @@ impl<'g> Supervisor<'g> {
                     if let Some(sink) = sink {
                         sink.offer(slot, root, &result);
                     }
-                    *slots[slot].lock().unwrap_or_else(|e| e.into_inner()) = Some(result);
+                    *slots[slot].lock().unwrap_or_else(PoisonError::into_inner) = Some(result);
                 }
             },
         );
@@ -1035,7 +1035,7 @@ impl<'g> Supervisor<'g> {
             .zip(roots)
             .map(|(slot, &root)| {
                 slot.into_inner()
-                    .unwrap_or_else(|e| e.into_inner())
+                    .unwrap_or_else(PoisonError::into_inner)
                     .unwrap_or_else(|| {
                         (
                             None,

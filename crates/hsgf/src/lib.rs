@@ -16,6 +16,8 @@
 //!   (`hsgf-eval`).
 //! * [`serve`] — the long-running feature-serving layer over the census
 //!   cache (`hsgf-serve`).
+//! * [`analyze`] — the in-repo static analysis tool behind `hsgf lint`
+//!   (`hsgf-analyze`).
 //!
 //! ## Quickstart
 //!
@@ -41,6 +43,7 @@
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub use hsgf_analyze as analyze;
 pub use hsgf_core as core;
 pub use hsgf_data as data;
 pub use hsgf_embed as embed;

@@ -37,7 +37,7 @@
 mod net;
 
 use std::path::PathBuf;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 
 use hsgf_core::cache::{
     config_fingerprint, policy_fingerprint, CacheEntry, CacheKey, CachedOutcome, CensusCache,
@@ -195,7 +195,10 @@ impl ServeCore {
     /// The current graph snapshot (an `Arc` clone; never blocks on an
     /// in-flight extraction).
     pub fn snapshot(&self) -> Arc<HetGraph> {
-        self.graph.lock().expect("graph lock poisoned").clone()
+        self.graph
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
     }
 
     /// The pinned extraction settings.
@@ -320,11 +323,14 @@ impl ServeCore {
     /// new graph's `(nodes, edges)`. Edits serialize among themselves;
     /// readers keep extracting from whichever snapshot they hold.
     pub fn apply(&self, edits: &[EdgeEdit]) -> Result<(usize, usize), ServeError> {
-        let _guard = self.edit_lock.lock().expect("edit lock poisoned");
+        let _guard = self
+            .edit_lock
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
         let current = self.snapshot();
         let edited = Arc::new(apply_edits(&current, edits)?);
         let summary = (edited.node_count(), edited.edge_count());
-        *self.graph.lock().expect("graph lock poisoned") = edited;
+        *self.graph.lock().unwrap_or_else(PoisonError::into_inner) = edited;
         self.obs.add(Metric::ServeEdits, edits.len() as u64);
         Ok(summary)
     }
@@ -346,7 +352,7 @@ impl ServeCore {
         let matched = report.header.as_ref().map_or(false, |h| {
             h.config == expected_config && h.graph == graph_fingerprint(&graph)
         });
-        let mut absorbed = feed.absorbed.lock().expect("tail cursor poisoned");
+        let mut absorbed = feed.absorbed.lock().unwrap_or_else(PoisonError::into_inner);
         if !matched {
             // Reset the cursor so a feed that starts matching later (e.g.
             // after an edit is reverted) replays from its beginning.

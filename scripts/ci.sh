@@ -12,8 +12,8 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "==> cargo build --release --offline"
-cargo build --release --offline --workspace
+echo "==> cargo build --release --offline (warnings are errors)"
+RUSTFLAGS="-D warnings" cargo build --release --offline --workspace
 
 echo "==> cargo test -q --offline"
 cargo test -q --offline --workspace
@@ -135,6 +135,28 @@ cmp "$SMOKE_DIR/served3.json" "$SMOKE_DIR/served2.json"
 "$HSGF" serve-call "$ADDR" '{"op":"shutdown"}' | grep -q '"shutdown":true'
 wait "$SERVE_PID"
 echo "    served == offline, before and after edit ($(wc -c < "$SMOKE_DIR/served2.json" | tr -d ' ') bytes)"
+
+echo "==> static analysis gate (hsgf lint)"
+# The workspace must lint clean: every invariant the analyzer encodes
+# (determinism, lock order, panic safety, atomic orderings, forbid drift)
+# is a hard gate, with suppressions and the baseline audited in-repo.
+"$HSGF" lint .
+# The machine-readable report must agree that the tree is clean. The CLI
+# round-trips the document through hsgf_core::json::parse before printing
+# (a non-parseable report is a hard error), so exit 0 here also certifies
+# the in-repo JSON reader accepts it.
+"$HSGF" lint . --json > "$SMOKE_DIR/lint.json"
+grep -q '"findings":\[\]' "$SMOKE_DIR/lint.json"
+# The fixture crate must fail the gate, with every shipped lint firing
+# (the per-line assertions live in crates/analyze/tests/fixture.rs).
+if "$HSGF" lint tests/lint-fixture > "$SMOKE_DIR/lint-fixture.out"; then
+    echo "lint smoke: fixture crate unexpectedly lint-clean"; exit 1
+fi
+for lint in det-hash-iter det-wallclock lock-order lock-poison panic-path atomic-order unsafe-drift; do
+    grep -q "\[$lint\]" "$SMOKE_DIR/lint-fixture.out" || {
+        echo "lint smoke: $lint did not fire on the fixture"; exit 1; }
+done
+echo "    workspace clean; fixture trips all 7 lints"
 
 if cargo fmt --version >/dev/null 2>&1; then
     echo "==> cargo fmt --check"

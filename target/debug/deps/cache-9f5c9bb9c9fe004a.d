@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cache-9f5c9bb9c9fe004a.d: crates/hsgf/../../tests/cache.rs
+
+/root/repo/target/debug/deps/cache-9f5c9bb9c9fe004a: crates/hsgf/../../tests/cache.rs
+
+crates/hsgf/../../tests/cache.rs:

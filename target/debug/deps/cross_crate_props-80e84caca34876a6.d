@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cross_crate_props-80e84caca34876a6.d: crates/hsgf/../../tests/cross_crate_props.rs
+
+/root/repo/target/debug/deps/cross_crate_props-80e84caca34876a6: crates/hsgf/../../tests/cross_crate_props.rs
+
+crates/hsgf/../../tests/cross_crate_props.rs:

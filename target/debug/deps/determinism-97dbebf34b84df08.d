@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-97dbebf34b84df08.d: crates/hsgf/../../tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-97dbebf34b84df08: crates/hsgf/../../tests/determinism.rs
+
+crates/hsgf/../../tests/determinism.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-87faae48fb8ae5e9.d: crates/hsgf/../../tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-87faae48fb8ae5e9: crates/hsgf/../../tests/end_to_end.rs
+
+crates/hsgf/../../tests/end_to_end.rs:

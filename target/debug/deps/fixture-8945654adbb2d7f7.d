@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/fixture-8945654adbb2d7f7.d: crates/analyze/tests/fixture.rs
+
+/root/repo/target/debug/deps/fixture-8945654adbb2d7f7: crates/analyze/tests/fixture.rs
+
+crates/analyze/tests/fixture.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/analyze

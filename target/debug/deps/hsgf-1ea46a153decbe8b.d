@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hsgf-1ea46a153decbe8b.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/hsgf-1ea46a153decbe8b: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hsgf-72b933a86f4a4d2d.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/hsgf-72b933a86f4a4d2d: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

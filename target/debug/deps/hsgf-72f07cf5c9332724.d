@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/hsgf-72f07cf5c9332724.d: crates/hsgf/src/lib.rs
+
+/root/repo/target/debug/deps/libhsgf-72f07cf5c9332724.rlib: crates/hsgf/src/lib.rs
+
+/root/repo/target/debug/deps/libhsgf-72f07cf5c9332724.rmeta: crates/hsgf/src/lib.rs
+
+crates/hsgf/src/lib.rs:

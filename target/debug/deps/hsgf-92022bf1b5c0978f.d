@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hsgf-92022bf1b5c0978f.d: crates/hsgf/src/lib.rs
+
+/root/repo/target/debug/deps/hsgf-92022bf1b5c0978f: crates/hsgf/src/lib.rs
+
+crates/hsgf/src/lib.rs:

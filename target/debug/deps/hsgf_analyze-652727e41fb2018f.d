@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hsgf_analyze-652727e41fb2018f.d: crates/analyze/src/lib.rs crates/analyze/src/lexer.rs crates/analyze/src/lints.rs
+
+/root/repo/target/debug/deps/libhsgf_analyze-652727e41fb2018f.rlib: crates/analyze/src/lib.rs crates/analyze/src/lexer.rs crates/analyze/src/lints.rs
+
+/root/repo/target/debug/deps/libhsgf_analyze-652727e41fb2018f.rmeta: crates/analyze/src/lib.rs crates/analyze/src/lexer.rs crates/analyze/src/lints.rs
+
+crates/analyze/src/lib.rs:
+crates/analyze/src/lexer.rs:
+crates/analyze/src/lints.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/hsgf_analyze-8f4e5f8ee1957f8d.d: crates/analyze/src/lib.rs crates/analyze/src/lexer.rs crates/analyze/src/lints.rs
+
+/root/repo/target/debug/deps/hsgf_analyze-8f4e5f8ee1957f8d: crates/analyze/src/lib.rs crates/analyze/src/lexer.rs crates/analyze/src/lints.rs
+
+crates/analyze/src/lib.rs:
+crates/analyze/src/lexer.rs:
+crates/analyze/src/lints.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/hsgf_cli-6db07ec4c92aec09.d: crates/cli/src/lib.rs
+
+/root/repo/target/debug/deps/libhsgf_cli-6db07ec4c92aec09.rlib: crates/cli/src/lib.rs
+
+/root/repo/target/debug/deps/libhsgf_cli-6db07ec4c92aec09.rmeta: crates/cli/src/lib.rs
+
+crates/cli/src/lib.rs:

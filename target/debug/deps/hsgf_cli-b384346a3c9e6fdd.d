@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hsgf_cli-b384346a3c9e6fdd.d: crates/cli/src/lib.rs
+
+/root/repo/target/debug/deps/hsgf_cli-b384346a3c9e6fdd: crates/cli/src/lib.rs
+
+crates/cli/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration-add3a2cf232a2d43.d: crates/hsgf/../../tests/integration.rs
+
+/root/repo/target/debug/deps/integration-add3a2cf232a2d43: crates/hsgf/../../tests/integration.rs
+
+crates/hsgf/../../tests/integration.rs:

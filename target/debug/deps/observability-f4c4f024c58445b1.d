@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/observability-f4c4f024c58445b1.d: crates/hsgf/../../tests/observability.rs
+
+/root/repo/target/debug/deps/observability-f4c4f024c58445b1: crates/hsgf/../../tests/observability.rs
+
+crates/hsgf/../../tests/observability.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/robustness-a86755eef4eaaaab.d: crates/hsgf/../../tests/robustness.rs
+
+/root/repo/target/debug/deps/robustness-a86755eef4eaaaab: crates/hsgf/../../tests/robustness.rs
+
+crates/hsgf/../../tests/robustness.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/hsgf

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serve-81f7fac49b934994.d: crates/hsgf/../../tests/serve.rs
+
+/root/repo/target/debug/deps/serve-81f7fac49b934994: crates/hsgf/../../tests/serve.rs
+
+crates/hsgf/../../tests/serve.rs:

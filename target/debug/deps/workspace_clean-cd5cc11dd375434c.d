@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/workspace_clean-cd5cc11dd375434c.d: crates/analyze/tests/workspace_clean.rs
+
+/root/repo/target/debug/deps/workspace_clean-cd5cc11dd375434c: crates/analyze/tests/workspace_clean.rs
+
+crates/analyze/tests/workspace_clean.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/analyze

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/feature_importance-dc4638be4511e878.d: crates/hsgf/../../examples/feature_importance.rs
+
+/root/repo/target/debug/examples/feature_importance-dc4638be4511e878: crates/hsgf/../../examples/feature_importance.rs
+
+crates/hsgf/../../examples/feature_importance.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/label_prediction-98191d48b61c1f7c.d: crates/hsgf/../../examples/label_prediction.rs
+
+/root/repo/target/debug/examples/label_prediction-98191d48b61c1f7c: crates/hsgf/../../examples/label_prediction.rs
+
+crates/hsgf/../../examples/label_prediction.rs:

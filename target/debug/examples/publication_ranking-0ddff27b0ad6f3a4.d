@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/publication_ranking-0ddff27b0ad6f3a4.d: crates/hsgf/../../examples/publication_ranking.rs
+
+/root/repo/target/debug/examples/publication_ranking-0ddff27b0ad6f3a4: crates/hsgf/../../examples/publication_ranking.rs
+
+crates/hsgf/../../examples/publication_ranking.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-ea29b5f8eb594f50.d: crates/hsgf/../../examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-ea29b5f8eb594f50: crates/hsgf/../../examples/quickstart.rs
+
+crates/hsgf/../../examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_datasets-fb540f26b9953e4b.d: crates/bench/src/bin/exp_datasets.rs
+
+/root/repo/target/release/deps/exp_datasets-fb540f26b9953e4b: crates/bench/src/bin/exp_datasets.rs
+
+crates/bench/src/bin/exp_datasets.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_directed-31593d966632be3f.d: crates/bench/src/bin/exp_directed.rs
+
+/root/repo/target/release/deps/exp_directed-31593d966632be3f: crates/bench/src/bin/exp_directed.rs
+
+crates/bench/src/bin/exp_directed.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_dmax-33220ff77c2b5bc8.d: crates/bench/src/bin/exp_dmax.rs
+
+/root/repo/target/release/deps/exp_dmax-33220ff77c2b5bc8: crates/bench/src/bin/exp_dmax.rs
+
+crates/bench/src/bin/exp_dmax.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_encoding_limits-6b381028ff4a2352.d: crates/bench/src/bin/exp_encoding_limits.rs
+
+/root/repo/target/release/deps/exp_encoding_limits-6b381028ff4a2352: crates/bench/src/bin/exp_encoding_limits.rs
+
+crates/bench/src/bin/exp_encoding_limits.rs:

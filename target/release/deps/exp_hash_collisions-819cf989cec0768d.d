@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_hash_collisions-819cf989cec0768d.d: crates/bench/src/bin/exp_hash_collisions.rs
+
+/root/repo/target/release/deps/exp_hash_collisions-819cf989cec0768d: crates/bench/src/bin/exp_hash_collisions.rs
+
+crates/bench/src/bin/exp_hash_collisions.rs:

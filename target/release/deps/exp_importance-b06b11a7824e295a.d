@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_importance-b06b11a7824e295a.d: crates/bench/src/bin/exp_importance.rs
+
+/root/repo/target/release/deps/exp_importance-b06b11a7824e295a: crates/bench/src/bin/exp_importance.rs
+
+crates/bench/src/bin/exp_importance.rs:

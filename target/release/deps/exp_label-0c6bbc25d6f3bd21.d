@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_label-0c6bbc25d6f3bd21.d: crates/bench/src/bin/exp_label.rs
+
+/root/repo/target/release/deps/exp_label-0c6bbc25d6f3bd21: crates/bench/src/bin/exp_label.rs
+
+crates/bench/src/bin/exp_label.rs:

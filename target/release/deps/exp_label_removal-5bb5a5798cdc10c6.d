@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_label_removal-5bb5a5798cdc10c6.d: crates/bench/src/bin/exp_label_removal.rs
+
+/root/repo/target/release/deps/exp_label_removal-5bb5a5798cdc10c6: crates/bench/src/bin/exp_label_removal.rs
+
+crates/bench/src/bin/exp_label_removal.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_multiplex-c16d6a7be2d19c65.d: crates/bench/src/bin/exp_multiplex.rs
+
+/root/repo/target/release/deps/exp_multiplex-c16d6a7be2d19c65: crates/bench/src/bin/exp_multiplex.rs
+
+crates/bench/src/bin/exp_multiplex.rs:

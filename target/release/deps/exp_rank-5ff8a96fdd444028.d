@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_rank-5ff8a96fdd444028.d: crates/bench/src/bin/exp_rank.rs
+
+/root/repo/target/release/deps/exp_rank-5ff8a96fdd444028: crates/bench/src/bin/exp_rank.rs
+
+crates/bench/src/bin/exp_rank.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_runtime-21e08ef05449ce0e.d: crates/bench/src/bin/exp_runtime.rs
+
+/root/repo/target/release/deps/exp_runtime-21e08ef05449ce0e: crates/bench/src/bin/exp_runtime.rs
+
+crates/bench/src/bin/exp_runtime.rs:

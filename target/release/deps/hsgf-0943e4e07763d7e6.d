@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/hsgf-0943e4e07763d7e6.d: crates/cli/src/main.rs
+
+/root/repo/target/release/deps/hsgf-0943e4e07763d7e6: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/hsgf-768ab44b9695505c.d: crates/hsgf/src/lib.rs
+
+/root/repo/target/release/deps/libhsgf-768ab44b9695505c.rlib: crates/hsgf/src/lib.rs
+
+/root/repo/target/release/deps/libhsgf-768ab44b9695505c.rmeta: crates/hsgf/src/lib.rs
+
+crates/hsgf/src/lib.rs:

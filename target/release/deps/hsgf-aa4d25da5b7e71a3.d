@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/hsgf-aa4d25da5b7e71a3.d: crates/cli/src/main.rs
+
+/root/repo/target/release/deps/hsgf-aa4d25da5b7e71a3: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

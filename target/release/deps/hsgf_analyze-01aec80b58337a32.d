@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/hsgf_analyze-01aec80b58337a32.d: crates/analyze/src/lib.rs crates/analyze/src/lexer.rs crates/analyze/src/lints.rs
+
+/root/repo/target/release/deps/libhsgf_analyze-01aec80b58337a32.rlib: crates/analyze/src/lib.rs crates/analyze/src/lexer.rs crates/analyze/src/lints.rs
+
+/root/repo/target/release/deps/libhsgf_analyze-01aec80b58337a32.rmeta: crates/analyze/src/lib.rs crates/analyze/src/lexer.rs crates/analyze/src/lints.rs
+
+crates/analyze/src/lib.rs:
+crates/analyze/src/lexer.rs:
+crates/analyze/src/lints.rs:

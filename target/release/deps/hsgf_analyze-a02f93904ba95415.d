@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/hsgf_analyze-a02f93904ba95415.d: crates/analyze/src/lib.rs crates/analyze/src/lexer.rs crates/analyze/src/lints.rs
+
+/root/repo/target/release/deps/libhsgf_analyze-a02f93904ba95415.rlib: crates/analyze/src/lib.rs crates/analyze/src/lexer.rs crates/analyze/src/lints.rs
+
+/root/repo/target/release/deps/libhsgf_analyze-a02f93904ba95415.rmeta: crates/analyze/src/lib.rs crates/analyze/src/lexer.rs crates/analyze/src/lints.rs
+
+crates/analyze/src/lib.rs:
+crates/analyze/src/lexer.rs:
+crates/analyze/src/lints.rs:

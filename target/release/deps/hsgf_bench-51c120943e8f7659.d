@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/hsgf_bench-51c120943e8f7659.d: crates/bench/src/lib.rs crates/bench/src/runner.rs
+
+/root/repo/target/release/deps/libhsgf_bench-51c120943e8f7659.rlib: crates/bench/src/lib.rs crates/bench/src/runner.rs
+
+/root/repo/target/release/deps/libhsgf_bench-51c120943e8f7659.rmeta: crates/bench/src/lib.rs crates/bench/src/runner.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/runner.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/hsgf_cli-2cff9c54d587f0c7.d: crates/cli/src/lib.rs
+
+/root/repo/target/release/deps/libhsgf_cli-2cff9c54d587f0c7.rlib: crates/cli/src/lib.rs
+
+/root/repo/target/release/deps/libhsgf_cli-2cff9c54d587f0c7.rmeta: crates/cli/src/lib.rs
+
+crates/cli/src/lib.rs:

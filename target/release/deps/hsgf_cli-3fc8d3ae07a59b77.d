@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/hsgf_cli-3fc8d3ae07a59b77.d: crates/cli/src/lib.rs
+
+/root/repo/target/release/deps/libhsgf_cli-3fc8d3ae07a59b77.rlib: crates/cli/src/lib.rs
+
+/root/repo/target/release/deps/libhsgf_cli-3fc8d3ae07a59b77.rmeta: crates/cli/src/lib.rs
+
+crates/cli/src/lib.rs:

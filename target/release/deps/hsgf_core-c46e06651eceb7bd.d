@@ -1,0 +1,25 @@
+/root/repo/target/release/deps/hsgf_core-c46e06651eceb7bd.d: crates/core/src/lib.rs crates/core/src/budget.rs crates/core/src/cache.rs crates/core/src/census.rs crates/core/src/enumerate.rs crates/core/src/export.rs crates/core/src/features.rs crates/core/src/hash.rs crates/core/src/journal.rs crates/core/src/json.rs crates/core/src/obs.rs crates/core/src/parallel.rs crates/core/src/prop.rs crates/core/src/reference.rs crates/core/src/sampling.rs crates/core/src/sequence.rs crates/core/src/small.rs crates/core/src/steal.rs crates/core/src/supervisor.rs
+
+/root/repo/target/release/deps/libhsgf_core-c46e06651eceb7bd.rlib: crates/core/src/lib.rs crates/core/src/budget.rs crates/core/src/cache.rs crates/core/src/census.rs crates/core/src/enumerate.rs crates/core/src/export.rs crates/core/src/features.rs crates/core/src/hash.rs crates/core/src/journal.rs crates/core/src/json.rs crates/core/src/obs.rs crates/core/src/parallel.rs crates/core/src/prop.rs crates/core/src/reference.rs crates/core/src/sampling.rs crates/core/src/sequence.rs crates/core/src/small.rs crates/core/src/steal.rs crates/core/src/supervisor.rs
+
+/root/repo/target/release/deps/libhsgf_core-c46e06651eceb7bd.rmeta: crates/core/src/lib.rs crates/core/src/budget.rs crates/core/src/cache.rs crates/core/src/census.rs crates/core/src/enumerate.rs crates/core/src/export.rs crates/core/src/features.rs crates/core/src/hash.rs crates/core/src/journal.rs crates/core/src/json.rs crates/core/src/obs.rs crates/core/src/parallel.rs crates/core/src/prop.rs crates/core/src/reference.rs crates/core/src/sampling.rs crates/core/src/sequence.rs crates/core/src/small.rs crates/core/src/steal.rs crates/core/src/supervisor.rs
+
+crates/core/src/lib.rs:
+crates/core/src/budget.rs:
+crates/core/src/cache.rs:
+crates/core/src/census.rs:
+crates/core/src/enumerate.rs:
+crates/core/src/export.rs:
+crates/core/src/features.rs:
+crates/core/src/hash.rs:
+crates/core/src/journal.rs:
+crates/core/src/json.rs:
+crates/core/src/obs.rs:
+crates/core/src/parallel.rs:
+crates/core/src/prop.rs:
+crates/core/src/reference.rs:
+crates/core/src/sampling.rs:
+crates/core/src/sequence.rs:
+crates/core/src/small.rs:
+crates/core/src/steal.rs:
+crates/core/src/supervisor.rs:

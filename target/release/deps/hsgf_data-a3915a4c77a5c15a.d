@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/hsgf_data-a3915a4c77a5c15a.d: crates/data/src/lib.rs crates/data/src/classic.rs crates/data/src/flow.rs crates/data/src/imdb.rs crates/data/src/load.rs crates/data/src/mag.rs crates/data/src/multiplex.rs
+
+/root/repo/target/release/deps/libhsgf_data-a3915a4c77a5c15a.rlib: crates/data/src/lib.rs crates/data/src/classic.rs crates/data/src/flow.rs crates/data/src/imdb.rs crates/data/src/load.rs crates/data/src/mag.rs crates/data/src/multiplex.rs
+
+/root/repo/target/release/deps/libhsgf_data-a3915a4c77a5c15a.rmeta: crates/data/src/lib.rs crates/data/src/classic.rs crates/data/src/flow.rs crates/data/src/imdb.rs crates/data/src/load.rs crates/data/src/mag.rs crates/data/src/multiplex.rs
+
+crates/data/src/lib.rs:
+crates/data/src/classic.rs:
+crates/data/src/flow.rs:
+crates/data/src/imdb.rs:
+crates/data/src/load.rs:
+crates/data/src/mag.rs:
+crates/data/src/multiplex.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/hsgf_embed-355dab60dbb33126.d: crates/embed/src/lib.rs crates/embed/src/alias.rs crates/embed/src/deepwalk.rs crates/embed/src/line.rs crates/embed/src/node2vec.rs crates/embed/src/sgns.rs crates/embed/src/walks.rs
+
+/root/repo/target/release/deps/libhsgf_embed-355dab60dbb33126.rlib: crates/embed/src/lib.rs crates/embed/src/alias.rs crates/embed/src/deepwalk.rs crates/embed/src/line.rs crates/embed/src/node2vec.rs crates/embed/src/sgns.rs crates/embed/src/walks.rs
+
+/root/repo/target/release/deps/libhsgf_embed-355dab60dbb33126.rmeta: crates/embed/src/lib.rs crates/embed/src/alias.rs crates/embed/src/deepwalk.rs crates/embed/src/line.rs crates/embed/src/node2vec.rs crates/embed/src/sgns.rs crates/embed/src/walks.rs
+
+crates/embed/src/lib.rs:
+crates/embed/src/alias.rs:
+crates/embed/src/deepwalk.rs:
+crates/embed/src/line.rs:
+crates/embed/src/node2vec.rs:
+crates/embed/src/sgns.rs:
+crates/embed/src/walks.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/hsgf_eval-a670f854f74f42e6.d: crates/eval/src/lib.rs crates/eval/src/features.rs crates/eval/src/label.rs crates/eval/src/rank.rs crates/eval/src/report.rs
+
+/root/repo/target/release/deps/libhsgf_eval-a670f854f74f42e6.rlib: crates/eval/src/lib.rs crates/eval/src/features.rs crates/eval/src/label.rs crates/eval/src/rank.rs crates/eval/src/report.rs
+
+/root/repo/target/release/deps/libhsgf_eval-a670f854f74f42e6.rmeta: crates/eval/src/lib.rs crates/eval/src/features.rs crates/eval/src/label.rs crates/eval/src/rank.rs crates/eval/src/report.rs
+
+crates/eval/src/lib.rs:
+crates/eval/src/features.rs:
+crates/eval/src/label.rs:
+crates/eval/src/rank.rs:
+crates/eval/src/report.rs:

@@ -1,0 +1,20 @@
+/root/repo/target/release/deps/hsgf_graph-f60329aef2b8818a.d: crates/graph/src/lib.rs crates/graph/src/builder.rs crates/graph/src/direction.rs crates/graph/src/edit.rs crates/graph/src/fingerprint.rs crates/graph/src/generators.rs crates/graph/src/graph.rs crates/graph/src/io.rs crates/graph/src/labels.rs crates/graph/src/lcg.rs crates/graph/src/rng.rs crates/graph/src/stats.rs crates/graph/src/traversal.rs crates/graph/src/error.rs
+
+/root/repo/target/release/deps/libhsgf_graph-f60329aef2b8818a.rlib: crates/graph/src/lib.rs crates/graph/src/builder.rs crates/graph/src/direction.rs crates/graph/src/edit.rs crates/graph/src/fingerprint.rs crates/graph/src/generators.rs crates/graph/src/graph.rs crates/graph/src/io.rs crates/graph/src/labels.rs crates/graph/src/lcg.rs crates/graph/src/rng.rs crates/graph/src/stats.rs crates/graph/src/traversal.rs crates/graph/src/error.rs
+
+/root/repo/target/release/deps/libhsgf_graph-f60329aef2b8818a.rmeta: crates/graph/src/lib.rs crates/graph/src/builder.rs crates/graph/src/direction.rs crates/graph/src/edit.rs crates/graph/src/fingerprint.rs crates/graph/src/generators.rs crates/graph/src/graph.rs crates/graph/src/io.rs crates/graph/src/labels.rs crates/graph/src/lcg.rs crates/graph/src/rng.rs crates/graph/src/stats.rs crates/graph/src/traversal.rs crates/graph/src/error.rs
+
+crates/graph/src/lib.rs:
+crates/graph/src/builder.rs:
+crates/graph/src/direction.rs:
+crates/graph/src/edit.rs:
+crates/graph/src/fingerprint.rs:
+crates/graph/src/generators.rs:
+crates/graph/src/graph.rs:
+crates/graph/src/io.rs:
+crates/graph/src/labels.rs:
+crates/graph/src/lcg.rs:
+crates/graph/src/rng.rs:
+crates/graph/src/stats.rs:
+crates/graph/src/traversal.rs:
+crates/graph/src/error.rs:

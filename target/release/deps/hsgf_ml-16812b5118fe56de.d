@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/hsgf_ml-16812b5118fe56de.d: crates/ml/src/lib.rs crates/ml/src/crossval.rs crates/ml/src/dataset.rs crates/ml/src/forest.rs crates/ml/src/linalg.rs crates/ml/src/linreg.rs crates/ml/src/logreg.rs crates/ml/src/metrics.rs crates/ml/src/ridge.rs crates/ml/src/select.rs crates/ml/src/tree.rs
+
+/root/repo/target/release/deps/libhsgf_ml-16812b5118fe56de.rlib: crates/ml/src/lib.rs crates/ml/src/crossval.rs crates/ml/src/dataset.rs crates/ml/src/forest.rs crates/ml/src/linalg.rs crates/ml/src/linreg.rs crates/ml/src/logreg.rs crates/ml/src/metrics.rs crates/ml/src/ridge.rs crates/ml/src/select.rs crates/ml/src/tree.rs
+
+/root/repo/target/release/deps/libhsgf_ml-16812b5118fe56de.rmeta: crates/ml/src/lib.rs crates/ml/src/crossval.rs crates/ml/src/dataset.rs crates/ml/src/forest.rs crates/ml/src/linalg.rs crates/ml/src/linreg.rs crates/ml/src/logreg.rs crates/ml/src/metrics.rs crates/ml/src/ridge.rs crates/ml/src/select.rs crates/ml/src/tree.rs
+
+crates/ml/src/lib.rs:
+crates/ml/src/crossval.rs:
+crates/ml/src/dataset.rs:
+crates/ml/src/forest.rs:
+crates/ml/src/linalg.rs:
+crates/ml/src/linreg.rs:
+crates/ml/src/logreg.rs:
+crates/ml/src/metrics.rs:
+crates/ml/src/ridge.rs:
+crates/ml/src/select.rs:
+crates/ml/src/tree.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/hsgf_serve-1658d2319ec589e4.d: crates/serve/src/lib.rs crates/serve/src/net.rs
+
+/root/repo/target/release/deps/libhsgf_serve-1658d2319ec589e4.rlib: crates/serve/src/lib.rs crates/serve/src/net.rs
+
+/root/repo/target/release/deps/libhsgf_serve-1658d2319ec589e4.rmeta: crates/serve/src/lib.rs crates/serve/src/net.rs
+
+crates/serve/src/lib.rs:
+crates/serve/src/net.rs:

@@ -1,0 +1,45 @@
+//! The PR 1 `FeatureMatrix::from_censuses` bug pattern, reintroduced:
+//! feature indices interned in raw `HashMap` iteration order, which is
+//! randomized per process. det-hash-iter must flag the iteration.
+
+use std::collections::HashMap;
+
+pub struct FeatureSpace {
+    index: HashMap<String, u32>,
+    keys: Vec<String>,
+}
+
+impl FeatureSpace {
+    pub fn intern(&mut self, enc: String) -> u32 {
+        if let Some(&i) = self.index.get(&enc) {
+            return i;
+        }
+        let i = self.keys.len() as u32;
+        self.index.insert(enc.clone(), i);
+        self.keys.push(enc);
+        i
+    }
+}
+
+pub fn from_censuses(censuses: Vec<HashMap<String, u64>>) -> Vec<Vec<(u32, f64)>> {
+    let mut space = FeatureSpace {
+        index: HashMap::new(),
+        keys: Vec::new(),
+    };
+    let mut rows = Vec::new();
+    for census in censuses {
+        let mut row = Vec::new();
+        for (enc, count) in census.into_iter() { // hsgf-lint: expect(det-hash-iter)
+            row.push((space.intern(enc), count as f64));
+        }
+        rows.push(row);
+    }
+    rows
+}
+
+pub fn sorted_export(counts: &HashMap<String, u64>) -> Vec<(String, u64)> {
+    // hsgf-lint: allow(det-hash-iter, collected into a Vec and fully sorted on the next line)
+    let mut rows: Vec<(String, u64)> = counts.iter().map(|(k, v)| (k.clone(), *v)).collect();
+    rows.sort();
+    rows
+}

@@ -1,0 +1,7 @@
+pub mod features; // hsgf-lint: expect(unsafe-drift)
+pub mod journal;
+pub mod locks;
+pub mod serve;
+
+// The missing `#![forbid(unsafe_code)]` above is deliberate: unsafe-drift
+// reports the omission at line 1 of every crate root that lacks it.

@@ -1,0 +1,29 @@
+//! Lock families exercising the acquisition-order lint: two functions
+//! that take the cache and obs shard families in opposite orders (a
+//! deadlock-capable cycle), and one that re-locks its own family while
+//! holding a guard from it.
+
+use std::sync::{Mutex, PoisonError};
+
+pub struct Shards {
+    pub cache: Vec<Mutex<u64>>,
+    pub obs: Vec<Mutex<u64>>,
+}
+
+pub fn cache_then_obs(shards: &Shards) -> u64 {
+    let cache = shards.cache[0].lock().unwrap_or_else(PoisonError::into_inner);
+    let obs = shards.obs[0].lock().unwrap_or_else(PoisonError::into_inner); // hsgf-lint: expect(lock-order)
+    *cache + *obs
+}
+
+pub fn obs_then_cache(shards: &Shards) -> u64 {
+    let obs = shards.obs[0].lock().unwrap_or_else(PoisonError::into_inner);
+    let cache = shards.cache[0].lock().unwrap_or_else(PoisonError::into_inner);
+    *cache + *obs
+}
+
+pub fn nested_cache(shards: &Shards) -> u64 {
+    let first = shards.cache[0].lock().unwrap_or_else(PoisonError::into_inner);
+    let second = shards.cache[1].lock().unwrap_or_else(PoisonError::into_inner); // hsgf-lint: expect(lock-order)
+    *first + *second
+}

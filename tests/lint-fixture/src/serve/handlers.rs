@@ -1,0 +1,20 @@
+//! Request handlers: atomic-order, panic-path, and det-wallclock must
+//! all fire in this file.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+pub fn shutdown_requested(shutdown: &AtomicBool) -> bool {
+    shutdown.load(Ordering::Relaxed) // hsgf-lint: expect(atomic-order)
+}
+
+pub fn parse_root(line: &str) -> u64 {
+    line.trim().parse().unwrap() // hsgf-lint: expect(panic-path)
+}
+
+pub fn deadline_micros() -> u64 {
+    let now = std::time::SystemTime::now(); // hsgf-lint: expect(det-wallclock)
+    match now.duration_since(std::time::UNIX_EPOCH) {
+        Ok(d) => d.as_micros() as u64,
+        Err(_) => 0,
+    }
+}

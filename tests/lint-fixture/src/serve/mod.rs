@@ -1,0 +1,4 @@
+//! Serve-side fixture modules (the `/serve/` path segment puts them in
+//! panic-path scope).
+
+pub mod handlers;
