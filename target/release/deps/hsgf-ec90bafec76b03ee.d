@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/hsgf-ec90bafec76b03ee.d: crates/hsgf/src/lib.rs
+
+/root/repo/target/release/deps/libhsgf-ec90bafec76b03ee.rlib: crates/hsgf/src/lib.rs
+
+/root/repo/target/release/deps/libhsgf-ec90bafec76b03ee.rmeta: crates/hsgf/src/lib.rs
+
+crates/hsgf/src/lib.rs:
